@@ -1,0 +1,162 @@
+// Command kgbench runs the paper's experiments (Table I and Figures 8-11,
+// plus the sample-time summary) over the synthetic datasets and prints the
+// regenerated tables.
+//
+// Usage:
+//
+//	kgbench -all                         # everything, quick protocol
+//	kgbench -all -full -scale 0.5        # the paper's 9s x 1s protocol
+//	kgbench -fig8 -budget 2s -interval 500ms
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"kgexplore/internal/experiments"
+)
+
+func main() {
+	var (
+		all      = flag.Bool("all", false, "run every experiment")
+		table1   = flag.Bool("table1", false, "Table I: dataset information")
+		fig8     = flag.Bool("fig8", false, "Fig. 8: six selected queries")
+		fig9     = flag.Bool("fig9", false, "Fig. 9: all queries, distinct")
+		fig10    = flag.Bool("fig10", false, "Fig. 10: all queries, no distinct")
+		fig11    = flag.Bool("fig11", false, "Fig. 11: rejection rates")
+		stime    = flag.Bool("sampletime", false, "average sample times (§V-C)")
+		full     = flag.Bool("full", false, "use the paper's 9s x 1s protocol and 25 paths")
+		scale    = flag.Float64("scale", 0.05, "dataset scale factor")
+		budget   = flag.Duration("budget", 0, "override online-aggregation budget per query")
+		interval = flag.Duration("interval", 0, "override snapshot interval")
+		paths    = flag.Int("paths", 0, "override exploration paths per dataset")
+		steps    = flag.Int("steps", 0, "override max exploration steps per path")
+		seed     = flag.Int64("seed", 1, "random seed")
+		thresh   = flag.Float64("threshold", 0, "override Audit Join tipping threshold")
+		nobase   = flag.Bool("skip-baseline", false, "skip the baseline engine in Fig. 8")
+		csvDir   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+	)
+	flag.Parse()
+
+	writeCSV := func(name string, fn func(w *os.File) error) {
+		if *csvDir == "" {
+			return
+		}
+		f, err := os.Create(*csvDir + "/" + name)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgbench: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := fn(f); err != nil {
+			fmt.Fprintf(os.Stderr, "kgbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	cfg := experiments.Quick()
+	cfg.Scale = *scale
+	cfg.Paths = 6
+	cfg.Budget = 500 * time.Millisecond
+	cfg.Interval = 100 * time.Millisecond
+	cfg.MaxSteps = 4
+	if *full {
+		cfg = experiments.Full(*scale)
+	}
+	cfg.Seed = *seed
+	if *budget > 0 {
+		cfg.Budget = *budget
+	}
+	if *interval > 0 {
+		cfg.Interval = *interval
+	}
+	if *paths > 0 {
+		cfg.Paths = *paths
+	}
+	if *steps > 0 {
+		cfg.MaxSteps = *steps
+	}
+	if *thresh > 0 {
+		cfg.Threshold = *thresh
+	}
+	cfg.SkipBaseline = *nobase
+
+	w := os.Stdout
+	any := false
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "kgbench: %v\n", err)
+		os.Exit(1)
+	}
+
+	if *all || *table1 {
+		any = true
+		infos, err := experiments.Table1(w, cfg)
+		if err != nil {
+			fail(err)
+		}
+		writeCSV("table1.csv", func(f *os.File) error {
+			return experiments.WriteTable1CSV(f, infos)
+		})
+	}
+	if *all || *fig8 {
+		any = true
+		start := time.Now()
+		rows, err := experiments.Fig8(w, cfg)
+		if err != nil {
+			fail(err)
+		}
+		writeCSV("fig8.csv", func(f *os.File) error {
+			return experiments.WriteFig8CSV(f, rows)
+		})
+		fmt.Fprintf(w, "\n[fig8 took %v]\n", time.Since(start).Round(time.Millisecond))
+	}
+	if *all || *fig9 || *fig10 || *fig11 || *stime {
+		any = true
+		start := time.Now()
+		suite, err := experiments.NewSuite(cfg)
+		if err != nil {
+			fail(err)
+		}
+		fmt.Fprintf(w, "\n[workload generated in %v: %d + %d queries]\n",
+			time.Since(start).Round(time.Millisecond),
+			suite.Queries("dbpedia-sim"), suite.Queries("lgd-sim"))
+		if *all || *fig9 {
+			cells, err := suite.FigAllQueries(w, true)
+			if err != nil {
+				fail(err)
+			}
+			writeCSV("fig9.csv", func(f *os.File) error {
+				return experiments.WriteTukeyCSV(f, cells)
+			})
+		}
+		if *all || *fig10 {
+			cells, err := suite.FigAllQueries(w, false)
+			if err != nil {
+				fail(err)
+			}
+			writeCSV("fig10.csv", func(f *os.File) error {
+				return experiments.WriteTukeyCSV(f, cells)
+			})
+		}
+		if *all || *fig11 {
+			rows, err := suite.Fig11(w)
+			if err != nil {
+				fail(err)
+			}
+			writeCSV("fig11.csv", func(f *os.File) error {
+				return experiments.WriteFig11CSV(f, rows)
+			})
+		}
+		if *all || *stime {
+			if _, _, err := suite.SampleTimes(w); err != nil {
+				fail(err)
+			}
+		}
+	}
+	if !any {
+		flag.Usage()
+		os.Exit(2)
+	}
+}

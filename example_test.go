@@ -1,0 +1,91 @@
+package kgexplore_test
+
+import (
+	"fmt"
+	"strings"
+
+	"kgexplore"
+)
+
+const exampleData = `<alice> <worksAt> <acme> .
+<bob> <worksAt> <acme> .
+<carol> <worksAt> <globex> .
+<alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<acme> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Company> .
+<globex> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Company> .
+`
+
+// Loading a dataset and answering a grouped count-distinct exactly.
+func ExampleDataset_Exact() {
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		panic(err)
+	}
+	parsed, err := ds.ParseQuery(`
+		SELECT ?c COUNT(DISTINCT ?org) WHERE {
+			?p <worksAt> ?org .
+			?org a ?c .
+		} GROUP BY ?c`)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := ds.Compile(parsed.Query)
+	if err != nil {
+		panic(err)
+	}
+	exact, err := ds.Exact(plan, kgexplore.EngineCTJ)
+	if err != nil {
+		panic(err)
+	}
+	for _, bar := range ds.BarsOf(exact, nil) {
+		fmt.Printf("%s: %g\n", bar.Category.Value, bar.Count)
+	}
+	// Output:
+	// Company: 2
+}
+
+// Online aggregation with Audit Join: the estimate converges to the exact
+// distinct count.
+func ExampleDataset_NewAuditJoin() {
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		panic(err)
+	}
+	parsed, err := ds.ParseQuery(
+		`SELECT COUNT(DISTINCT ?org) WHERE { ?p <worksAt> ?org . ?p a <Person> }`)
+	if err != nil {
+		panic(err)
+	}
+	plan, err := ds.Compile(parsed.Query)
+	if err != nil {
+		panic(err)
+	}
+	aj := ds.NewAuditJoin(plan, kgexplore.AuditJoinOptions{
+		Threshold: kgexplore.DefaultTippingThreshold,
+		Seed:      1,
+	})
+	aj.Run(10000)
+	fmt.Printf("%.1f\n", aj.Snapshot().Estimates[kgexplore.GlobalGroup])
+	// Output:
+	// 2.0
+}
+
+// Exploring with the bar-chart model of the paper's §III.
+func ExampleDataset_Chart() {
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(exampleData))
+	if err != nil {
+		panic(err)
+	}
+	bars, err := ds.Chart(ds.Root(), kgexplore.OpSubclass)
+	if err != nil {
+		panic(err)
+	}
+	for _, b := range bars {
+		fmt.Printf("%s: %g\n", b.Category.Value, b.Count)
+	}
+	// Output:
+	// Person: 3
+	// Company: 2
+}

@@ -1,0 +1,102 @@
+// Graph profiling: the paper's motivating query (§I) — "compute the
+// distribution of properties over all nodes", i.e. how many distinct
+// subjects carry each property — took Virtuoso over five minutes on DBpedia.
+// This example runs it on the synthetic DBpedia-like dataset with all four
+// strategies and shows the cost ordering the paper reports:
+// baseline > LFTJ > CTJ for exact answers, with Audit Join delivering a
+// usable estimate in a fraction of CTJ's time.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"kgexplore"
+)
+
+func main() {
+	ds, err := kgexplore.GenerateDBpediaSim(0.05)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset: %d triples\n\n", ds.NumTriples())
+
+	// The out-property expansion of the root class: group all typed nodes
+	// by outgoing property, counting distinct subjects.
+	root := ds.Root()
+	q, err := root.Query(kgexplore.OpOutProp)
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := ds.Compile(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Exact strategies, timed.
+	type exactRun struct {
+		name   string
+		engine kgexplore.ExactEngine
+	}
+	var exact map[kgexplore.ID]float64
+	for _, er := range []exactRun{
+		{"baseline (hash joins)", kgexplore.EngineBaseline},
+		{"LFTJ (no cache)", kgexplore.EngineLFTJ},
+		{"CTJ (cached)", kgexplore.EngineCTJ},
+	} {
+		start := time.Now()
+		res, err := ds.Exact(plan, er.engine)
+		if err != nil {
+			fmt.Printf("%-22s failed: %v\n", er.name, err)
+			continue
+		}
+		fmt.Printf("%-22s %10v  (%d property groups)\n",
+			er.name, time.Since(start).Round(time.Microsecond), len(res))
+		exact = res
+	}
+
+	// Online aggregation: how good is the Audit Join estimate after 10ms,
+	// 50ms, 250ms?
+	fmt.Println("\nAudit Join estimate quality over time:")
+	aj := ds.NewAuditJoin(plan, kgexplore.AuditJoinOptions{
+		Threshold: kgexplore.DefaultTippingThreshold,
+		Seed:      7,
+	})
+	var elapsed time.Duration
+	for _, budget := range []time.Duration{10, 40, 200} {
+		d := budget * time.Millisecond
+		aj.RunFor(d, 128)
+		elapsed += d
+		snap := aj.Snapshot()
+		fmt.Printf("  after %6v: %6d walks, mean abs error %.2f%%\n",
+			elapsed, snap.Walks, 100*mae(snap.Estimates, exact))
+	}
+
+	fmt.Println("\ntop properties by distinct subjects (exact):")
+	bars := ds.BarsOf(exact, nil)
+	for i, b := range bars {
+		if i == 10 {
+			break
+		}
+		fmt.Printf("  %-28s %8.0f\n", b.Category.Value, b.Count)
+	}
+}
+
+// mae is the paper's mean absolute error across the exact groups.
+func mae(est, exact map[kgexplore.ID]float64) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	var sum float64
+	for g, ex := range exact {
+		d := ex - est[g]
+		if d < 0 {
+			d = -d
+		}
+		if ex > 0 {
+			sum += d / ex
+		}
+	}
+	return sum / float64(len(exact))
+}

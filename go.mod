@@ -1,0 +1,3 @@
+module kgexplore
+
+go 1.22

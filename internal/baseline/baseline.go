@@ -1,0 +1,278 @@
+// Package baseline implements the off-the-shelf exact engine the paper
+// represents with Virtuoso: classical pairwise hash joins with full
+// materialization of every intermediate result, followed by a grouped
+// (distinct) count.
+//
+// The point of this engine in the study is architectural, not competitive:
+// multiway graph joins explode its intermediate results, which is exactly
+// why the paper's exploration queries take minutes to hours on Virtuoso
+// while the worst-case-optimal CTJ avoids the blowup (§I, §V-C). The engine
+// is correct and reasonably tuned (hash build on the smaller side, columnar
+// row storage) so that the comparison is fair.
+package baseline
+
+import (
+	"errors"
+	"fmt"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// GlobalGroup is the group key used for ungrouped queries.
+const GlobalGroup = rdf.NoID
+
+// ErrTooManyRows is returned when an intermediate result exceeds the
+// configured cap — the baseline's failure mode on exploding joins.
+var ErrTooManyRows = errors.New("baseline: intermediate result exceeds row limit")
+
+// Engine evaluates plans with pairwise hash joins.
+type Engine struct {
+	// MaxRows caps the materialized intermediate size (rows). Zero means
+	// DefaultMaxRows.
+	MaxRows int
+}
+
+// DefaultMaxRows bounds intermediate materialization to roughly 1.6 GB of
+// row data on typical exploration schemas.
+const DefaultMaxRows = 50_000_000
+
+// relation is a materialized intermediate: a flat columnar buffer of rows,
+// each row holding the values of the bound variables in schema order.
+type relation struct {
+	schema []query.Var // bound variables, in binding order
+	stride int
+	data   []rdf.ID
+}
+
+func (r *relation) rows() int { return len(r.data) / maxInt(r.stride, 1) }
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func (r *relation) colOf(v query.Var) int {
+	for i, s := range r.schema {
+		if s == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// Evaluate computes the exact per-group result of the plan.
+func (e *Engine) Evaluate(store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	maxRows := e.MaxRows
+	if maxRows <= 0 {
+		maxRows = DefaultMaxRows
+	}
+	cur := &relation{stride: 0}
+	for i := range pl.Steps {
+		next, err := e.joinStep(store, pl, i, cur, maxRows)
+		if err != nil {
+			return nil, err
+		}
+		cur = next
+		if cur.rows() == 0 {
+			break
+		}
+	}
+	return aggregate(store, cur, pl), nil
+}
+
+// joinStep hash-joins the current intermediate with the triples matching
+// pattern i's constants.
+func (e *Engine) joinStep(store *index.Store, pl *query.Plan, i int, cur *relation, maxRows int) (*relation, error) {
+	st := &pl.Steps[i]
+	pat := st.Pattern
+
+	// The pattern's variables and their positions.
+	var patVars []query.VarPos
+	for pos := index.Pos(0); pos < 3; pos++ {
+		if a := pat.Atom(pos); a.IsVar() {
+			patVars = append(patVars, query.VarPos{Var: a.Var, Pos: pos})
+		}
+	}
+	// Join variables: pattern vars already in the schema.
+	var joinVars []query.VarPos
+	var newVars []query.VarPos
+	for _, vp := range patVars {
+		if cur.colOf(vp.Var) >= 0 {
+			joinVars = append(joinVars, vp)
+		} else {
+			newVars = append(newVars, vp)
+		}
+	}
+
+	out := &relation{
+		schema: append(append([]query.Var(nil), cur.schema...), varsOf(newVars)...),
+	}
+	out.stride = len(out.schema)
+
+	order, span, scanAll := constSpan(store, pat)
+	emit := func(row []rdf.ID, tr rdf.Triple) error {
+		if out.rows() >= maxRows {
+			return fmt.Errorf("%w (limit %d)", ErrTooManyRows, maxRows)
+		}
+		out.data = append(out.data, row...)
+		for _, vp := range newVars {
+			out.data = append(out.data, index.Field(tr, vp.Pos))
+		}
+		return nil
+	}
+	matchConsts := func(tr rdf.Triple) bool {
+		for pos := index.Pos(0); pos < 3; pos++ {
+			if a := pat.Atom(pos); !a.IsVar() && index.Field(tr, pos) != a.ID {
+				return false
+			}
+		}
+		return true
+	}
+
+	if i == 0 {
+		// No intermediate yet: materialize the pattern's matches.
+		for k := 0; k < span.Len(); k++ {
+			tr := store.At(order, span, k)
+			if scanAll && !matchConsts(tr) {
+				continue
+			}
+			if err := emit(nil, tr); err != nil {
+				return nil, err
+			}
+		}
+		return out, nil
+	}
+
+	// Build a hash table on the join key over the pattern's triples, then
+	// probe with the intermediate rows (or vice versa if the intermediate
+	// is smaller; the build side should be the smaller input).
+	type key [2]rdf.ID
+	mkKeyTriple := func(tr rdf.Triple) key {
+		var k key
+		k[0], k[1] = rdf.NoID, rdf.NoID
+		for j, vp := range joinVars {
+			k[j] = index.Field(tr, vp.Pos)
+		}
+		return k
+	}
+	mkKeyRow := func(row []rdf.ID) key {
+		var k key
+		k[0], k[1] = rdf.NoID, rdf.NoID
+		for j, vp := range joinVars {
+			k[j] = row[cur.colOf(vp.Var)]
+		}
+		return k
+	}
+	if len(joinVars) > 2 {
+		return nil, fmt.Errorf("baseline: pattern %d joins on %d variables; at most 2 supported", i, len(joinVars))
+	}
+
+	ht := make(map[key][]rdf.Triple)
+	for k := 0; k < span.Len(); k++ {
+		tr := store.At(order, span, k)
+		if scanAll && !matchConsts(tr) {
+			continue
+		}
+		kk := mkKeyTriple(tr)
+		ht[kk] = append(ht[kk], tr)
+	}
+	for r := 0; r < cur.rows(); r++ {
+		row := cur.data[r*cur.stride : (r+1)*cur.stride]
+		for _, tr := range ht[mkKeyRow(row)] {
+			if err := emit(row, tr); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+func varsOf(vps []query.VarPos) []query.Var {
+	out := make([]query.Var, len(vps))
+	for i, vp := range vps {
+		out[i] = vp.Var
+	}
+	return out
+}
+
+// constSpan returns the span of triples matching the pattern's constants.
+// scanAll=true means the constants could not be served by an index order
+// and the caller must filter a full scan.
+func constSpan(store *index.Store, pat query.Pattern) (index.Order, index.Span, bool) {
+	var bound [3]bool
+	for pos := index.Pos(0); pos < 3; pos++ {
+		bound[pos] = !pat.Atom(pos).IsVar()
+	}
+	kind, order, err := query.AccessFor(bound)
+	if err != nil {
+		return index.SPO, store.FullSpan(index.SPO), true
+	}
+	levels := order.Levels()
+	switch kind {
+	case query.AccessFull:
+		return order, store.FullSpan(order), false
+	case query.AccessL1:
+		return order, store.SpanL1(order, pat.Atom(levels[0]).ID), false
+	case query.AccessL2:
+		return order, store.SpanL2(order, pat.Atom(levels[0]).ID, pat.Atom(levels[1]).ID), false
+	default: // membership: all constants
+		return index.SPO, store.FullSpan(index.SPO), true
+	}
+}
+
+// aggregate applies the query's grouped aggregation (COUNT, COUNT DISTINCT,
+// SUM or AVG) to the final relation.
+func aggregate(store *index.Store, rel *relation, pl *query.Plan) map[rdf.ID]float64 {
+	out := make(map[rdf.ID]float64)
+	if rel.rows() == 0 {
+		return out
+	}
+	alphaCol := -1
+	if pl.Query.Alpha != query.NoVar {
+		alphaCol = rel.colOf(pl.Query.Alpha)
+	}
+	betaCol := rel.colOf(pl.Query.Beta)
+	var seen map[[2]rdf.ID]struct{}
+	if pl.Query.Distinct {
+		seen = make(map[[2]rdf.ID]struct{})
+	}
+	counts := make(map[rdf.ID]float64)
+	for r := 0; r < rel.rows(); r++ {
+		row := rel.data[r*rel.stride : (r+1)*rel.stride]
+		a := GlobalGroup
+		if alphaCol >= 0 {
+			a = row[alphaCol]
+		}
+		switch pl.Query.Agg {
+		case query.AggSum, query.AggAvg:
+			if v, ok := store.Numeric(row[betaCol]); ok {
+				out[a] += v
+				counts[a]++
+			}
+		default:
+			if pl.Query.Distinct {
+				k := [2]rdf.ID{a, row[betaCol]}
+				if _, dup := seen[k]; dup {
+					continue
+				}
+				seen[k] = struct{}{}
+			}
+			out[a]++
+		}
+	}
+	if pl.Query.Agg == query.AggAvg {
+		for a := range out {
+			out[a] /= counts[a]
+		}
+	}
+	return out
+}
+
+// Evaluate is a convenience wrapper using a default Engine.
+func Evaluate(store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	return (&Engine{}).Evaluate(store, pl)
+}

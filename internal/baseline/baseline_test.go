@@ -1,0 +1,170 @@
+package baseline
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+func fig5(t *testing.T, distinct bool) (*query.Plan, *rdf.Graph, *index.Store) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+
+	bp, _ := g.Dict.LookupIRI("birthPlace")
+	ty, _ := g.Dict.LookupIRI(rdf.RDFType)
+	person, _ := g.Dict.LookupIRI("Person")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(bp), O: query.V(1)},
+			{S: query.V(0), P: query.C(ty), O: query.C(person)},
+			{S: query.V(1), P: query.C(ty), O: query.V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: distinct,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, g, index.Build(g)
+}
+
+func TestEvaluateDistinct(t *testing.T) {
+	pl, g, st := fig5(t, true)
+	got, err := Evaluate(st, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	if got[city] != 2 || got[capital] != 1 || len(got) != 2 {
+		t.Errorf("Evaluate = %v, want City:2 Capital:1", got)
+	}
+}
+
+func TestEvaluateNonDistinct(t *testing.T) {
+	pl, g, st := fig5(t, false)
+	got, err := Evaluate(st, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	if got[city] != 4 || got[capital] != 2 {
+		t.Errorf("Evaluate = %v, want City:4 Capital:2", got)
+	}
+}
+
+func TestEvaluateUngrouped(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	q := *pl.Query
+	q.Alpha = query.NoVar
+	pl2, err := query.Compile(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(st, pl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[GlobalGroup] != 6 {
+		t.Errorf("ungrouped = %v, want 6", got)
+	}
+}
+
+func TestRowLimit(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	e := &Engine{MaxRows: 2}
+	_, err := e.Evaluate(st, pl)
+	if !errors.Is(err, ErrTooManyRows) {
+		t.Errorf("err = %v, want ErrTooManyRows", err)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	pl, g, st := fig5(t, false)
+	missing := g.Dict.InternIRI("missing-pred")
+	q := &query.Query{
+		Patterns: []query.Pattern{{S: query.V(0), P: query.C(missing), O: query.V(1)}},
+		Alpha:    query.NoVar,
+		Beta:     1,
+	}
+	pl2, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Evaluate(st, pl2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Errorf("empty query result = %v", got)
+	}
+	_ = pl
+}
+
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, depth8, flags uint8) bool {
+		depth := 1 + int(depth8%3)
+		grouped := flags&1 != 0
+		distinct := flags&2 != 0
+		g := testkit.RandomGraph(seed, 6, 3, 4, 40)
+		if g.Len() == 0 {
+			return true
+		}
+		preds := make([]rdf.ID, depth)
+		for i := range preds {
+			preds[i] = rdf.ID(6 + i%3)
+		}
+		q := testkit.ChainQuery(g, preds, grouped, distinct)
+		pl, err := query.Compile(q)
+		if err != nil {
+			return false
+		}
+		st := index.Build(g)
+		want := testkit.BruteForce(g, q)
+		got, err := Evaluate(st, pl)
+		if err != nil {
+			return false
+		}
+		return testkit.MapsEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAgreesWithLFTJOnFig5Variants(t *testing.T) {
+	for _, distinct := range []bool{false, true} {
+		pl, _, st := fig5(t, distinct)
+		want := lftj.Evaluate(st, pl)
+		got, err := Evaluate(st, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testkit.MapsEqual(got, want, 1e-9) {
+			t.Errorf("distinct=%v: baseline %v, lftj %v", distinct, got, want)
+		}
+	}
+}

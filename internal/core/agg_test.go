@@ -1,0 +1,129 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/wj"
+)
+
+// aggFixture: a two-hop query ending in numeric literals.
+func aggFixture(t *testing.T, agg query.AggFunc) (*query.Plan, *index.Store) {
+	t.Helper()
+	g := testkit.RandomGraph(11, 8, 3, 5, 70)
+	q := testkit.ChainQuery(g, []rdf.ID{8, 9}, true, false)
+	q.Agg = agg
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, index.Build(g)
+}
+
+func TestSumUnbiased(t *testing.T) {
+	pl, st := aggFixture(t, query.AggSum)
+	exact := lftj.Evaluate(st, pl)
+	if len(exact) == 0 {
+		t.Skip("fixture produced empty result")
+	}
+	for _, opts := range []Options{
+		{Threshold: DefaultThreshold, Seed: 3},
+		TipNever(4),
+	} {
+		r := New(st, pl, opts)
+		r.Run(200000)
+		snap := r.Snapshot()
+		for a, ex := range exact {
+			if ex == 0 {
+				continue
+			}
+			rel := math.Abs(snap.Estimates[a]-ex) / math.Abs(ex)
+			if rel > 0.15 {
+				t.Errorf("opts %+v group %d: %.2f vs %.2f (rel %.3f)",
+					opts, a, snap.Estimates[a], ex, rel)
+			}
+		}
+	}
+}
+
+func TestAvgConverges(t *testing.T) {
+	pl, st := aggFixture(t, query.AggAvg)
+	exact := lftj.Evaluate(st, pl)
+	if len(exact) == 0 {
+		t.Skip("fixture produced empty result")
+	}
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 5})
+	r.Run(200000)
+	snap := r.Snapshot()
+	for a, ex := range exact {
+		rel := math.Abs(snap.Estimates[a]-ex) / math.Abs(ex)
+		if rel > 0.15 {
+			t.Errorf("group %d: %.3f vs %.3f (rel %.3f)", a, snap.Estimates[a], ex, rel)
+		}
+	}
+}
+
+func TestWJSumAlsoConverges(t *testing.T) {
+	// Wander Join supports SUM natively (its original paper); verify our
+	// implementation matches on the same fixture.
+	pl, st := aggFixture(t, query.AggSum)
+	exact := lftj.Evaluate(st, pl)
+	if len(exact) == 0 {
+		t.Skip("fixture produced empty result")
+	}
+	r := wj.New(st, pl, 9)
+	r.Run(300000)
+	snap := r.Snapshot()
+	for a, ex := range exact {
+		if ex == 0 {
+			continue
+		}
+		rel := math.Abs(snap.Estimates[a]-ex) / math.Abs(ex)
+		if rel > 0.2 {
+			t.Errorf("group %d: %.2f vs %.2f (rel %.3f)", a, snap.Estimates[a], ex, rel)
+		}
+	}
+}
+
+func TestAvgCIIsZero(t *testing.T) {
+	pl, st := aggFixture(t, query.AggAvg)
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 5})
+	r.Run(1000)
+	for a, ci := range r.Snapshot().CI {
+		if ci != 0 {
+			t.Errorf("AVG CI for group %d = %v, want 0 (documented limitation)", a, ci)
+		}
+	}
+}
+
+func TestNonNumericBetaSumIsZero(t *testing.T) {
+	// A chain ending at IRI objects only: SUM estimates must stay empty/0.
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("b", "q", "c")
+	g.Dedup()
+	p, _ := g.Dict.LookupIRI("p")
+	qid, _ := g.Dict.LookupIRI("q")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(p), O: query.V(1)},
+			{S: query.V(1), P: query.C(qid), O: query.V(2)},
+		},
+		Alpha: query.NoVar, Beta: 2, Agg: query.AggSum,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 1})
+	r.Run(100)
+	if est := r.Snapshot().Estimates[GlobalGroup]; est != 0 {
+		t.Errorf("SUM over IRIs = %v, want 0", est)
+	}
+}

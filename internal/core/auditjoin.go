@@ -1,0 +1,224 @@
+// Package core implements Audit Join, the paper's primary contribution
+// (§IV-D): an online-aggregation algorithm for grouped COUNT and
+// COUNT(DISTINCT) over exploration queries on knowledge graphs.
+//
+// Audit Join runs Wander Join's random walks, but after every step it
+// estimates the size of the remaining suffix join with PostgreSQL-style
+// statistics; when the estimate falls below a threshold — the "tipping
+// point" — it finishes the walk exactly with Cached Trie Join and folds the
+// exact partial result into the estimator:
+//
+//	C_aj(δ) = |Γ_δ| / Pr(δ)                        (counts)
+//	C_aj^d(δ) = Σ_b Pr(δ,b) / (Pr(δ)·Pr(b))        (distinct counts, Eq. 1)
+//
+// Both estimators are unbiased (Propositions IV.1 and IV.2); the distinct
+// case needs the walk-hit probabilities Pr(a,b), which are computed online
+// with CTJ and cached. Tipping early slashes the dead-end rejections that
+// throttle Wander Join on highly selective exploration queries, and the CTJ
+// caches make repeated prefixes nearly free.
+package core
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+)
+
+// GlobalGroup is the group key used for ungrouped queries.
+const GlobalGroup = rdf.NoID
+
+// DefaultThreshold is the default tipping-point threshold: a walk switches
+// to exact computation when the estimated suffix join size drops below it.
+const DefaultThreshold = 10_000
+
+// Options configures an Audit Join runner.
+type Options struct {
+	// Threshold is the tipping point: estimated suffix sizes at or below it
+	// trigger exact computation. Zero keeps only the degenerate tip on
+	// provably empty suffixes; math.Inf(1) tips immediately at step one.
+	Threshold float64
+	// Seed drives the deterministic random source.
+	Seed int64
+	// Oracle estimates suffix sizes for the tipping decision; nil uses the
+	// paper's PostgreSQL-style StatsOracle.
+	Oracle TippingOracle
+}
+
+// Runner executes Audit Join over one plan. It owns a CTJ evaluation
+// session whose caches persist across walks. Not safe for concurrent use.
+type Runner struct {
+	store  *index.Store
+	pl     *query.Plan
+	opts   Options
+	rng    *rand.Rand
+	acc    *wj.Acc
+	eval   *ctj.Evaluator
+	oracle TippingOracle
+
+	tipped int64 // walks that ended in a partial exact computation
+}
+
+// New creates a Runner. A non-positive Threshold in opts is kept as given
+// (zero disables tipping except on empty suffixes).
+func New(store *index.Store, pl *query.Plan, opts Options) *Runner {
+	oracle := opts.Oracle
+	if oracle == nil {
+		oracle = StatsOracle{Store: store, Plan: pl}
+	}
+	return &Runner{
+		store:  store,
+		pl:     pl,
+		opts:   opts,
+		rng:    rand.New(rand.NewSource(opts.Seed)),
+		acc:    wj.NewAcc(),
+		eval:   ctj.New(store, pl),
+		oracle: oracle,
+	}
+}
+
+// Step performs one Audit Join walk (Fig. 7 of the paper).
+func (r *Runner) Step() {
+	r.acc.N++
+	b := r.pl.NewBindings()
+	prodD := 1.0 // ∏_{j<=i} d_j = 1/Pr(δ)
+	last := len(r.pl.Steps) - 1
+	for i := range r.pl.Steps {
+		st := &r.pl.Steps[i]
+		sp, ok := st.ResolveSpan(r.store, b)
+		if !ok {
+			r.acc.Rejected++
+			return
+		}
+		if st.Kind != query.AccessMembership {
+			t := r.store.Sample(st.Order, sp, r.rng)
+			st.Bind(t, b)
+			prodD *= float64(sp.Len())
+		}
+		if i == last {
+			r.finish(i, b, prodD)
+			return
+		}
+		if r.oracle.EstimateSuffix(i, b) <= r.opts.Threshold {
+			r.tipped++
+			r.finish(i, b, prodD)
+			return
+		}
+	}
+}
+
+// finish terminates a walk at prefix δ ending after step i: it aggregates
+// the completions of δ exactly (via the cached CTJ suffix aggregate; for a
+// full path this is the path itself) and updates the estimator.
+func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
+	agg := r.eval.SuffixAgg(i, b)
+	if len(agg) == 0 {
+		r.acc.Rejected++
+		return
+	}
+	if r.pl.Query.Distinct {
+		// C_a += Σ_b Pr(δ,(a,b)) / (Pr(δ)·Pr(a,b)); the entry's P is
+		// Pr(δ,(a,b))/Pr(δ), so the prefix probability cancels.
+		perGroup := make(map[rdf.ID]float64, len(agg))
+		for _, e := range agg {
+			pab := r.eval.PathProbAB(e.A, e.B)
+			if pab > 0 {
+				perGroup[e.A] += e.P / pab
+			}
+		}
+		for a, x := range perGroup {
+			r.acc.Add(a, x)
+		}
+		return
+	}
+	switch r.pl.Query.Agg {
+	case query.AggSum:
+		// C_a += Σ_b v(b) · |Γ_δ with (a,b)| × ∏ d_j — the same unbiasedness
+		// argument as Prop. IV.1 with paths weighted by v(β(γ)).
+		perGroup := make(map[rdf.ID]float64, len(agg))
+		for _, e := range agg {
+			if v, ok := r.store.Numeric(e.B); ok {
+				perGroup[e.A] += v * float64(e.N) * prodD
+			}
+		}
+		for a, x := range perGroup {
+			r.acc.Add(a, x)
+		}
+	case query.AggAvg:
+		// Ratio of two unbiased estimators: weighted sum over numeric-β
+		// paths divided by their count.
+		type nd struct{ num, den float64 }
+		perGroup := make(map[rdf.ID]nd, len(agg))
+		for _, e := range agg {
+			if v, ok := r.store.Numeric(e.B); ok {
+				cur := perGroup[e.A]
+				cur.num += v * float64(e.N) * prodD
+				cur.den += float64(e.N) * prodD
+				perGroup[e.A] = cur
+			}
+		}
+		for a, x := range perGroup {
+			r.acc.AddRatio(a, x.num, x.den)
+		}
+	default:
+		// C_a += |Γ_δ with α=a| × ∏ d_j.
+		perGroup := make(map[rdf.ID]float64, len(agg))
+		for _, e := range agg {
+			perGroup[e.A] += float64(e.N) * prodD
+		}
+		for a, x := range perGroup {
+			r.acc.Add(a, x)
+		}
+	}
+}
+
+// Run performs n walks.
+func (r *Runner) Run(n int) {
+	for i := 0; i < n; i++ {
+		r.Step()
+	}
+}
+
+// RunFor keeps walking until the duration elapses, checking the clock every
+// batch walks. It returns the number of walks performed.
+func (r *Runner) RunFor(d time.Duration, batch int) int64 {
+	if batch <= 0 {
+		batch = 256
+	}
+	deadline := time.Now().Add(d)
+	start := r.acc.N
+	for time.Now().Before(deadline) {
+		r.Run(batch)
+	}
+	return r.acc.N - start
+}
+
+// Snapshot returns the current estimates with 0.95 confidence intervals.
+func (r *Runner) Snapshot() wj.Result { return r.acc.Snapshot(stats.Z95) }
+
+// Acc exposes the walk accumulator.
+func (r *Runner) Acc() *wj.Acc { return r.acc }
+
+// Tipped returns the number of walks terminated by the tipping point.
+func (r *Runner) Tipped() int64 { return r.tipped }
+
+// CacheStats exposes the CTJ session's cache statistics.
+func (r *Runner) CacheStats() ctj.CacheStats { return r.eval.Stats() }
+
+// TipAlways returns options that tip at the first step (the "all exact"
+// extreme); useful in tests and ablations.
+func TipAlways(seed int64) Options {
+	return Options{Threshold: math.Inf(1), Seed: seed}
+}
+
+// TipNever returns options that never tip (Audit Join degenerates to Wander
+// Join walks, but keeps the unbiased distinct estimator).
+func TipNever(seed int64) Options {
+	return Options{Threshold: -1, Seed: seed}
+}

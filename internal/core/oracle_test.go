@@ -1,0 +1,101 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+func TestStatsOracleMatchesPlanEstimate(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	o := StatsOracle{Store: st, Plan: pl}
+	b := pl.NewBindings()
+	alice, _ := dictLookup(t, st, "alice")
+	paris, _ := dictLookup(t, st, "paris")
+	b[0], b[1] = alice, paris
+	if got, want := o.EstimateSuffix(0, b), pl.EstimateSuffixSize(st, 0, b); got != want {
+		t.Errorf("StatsOracle = %v, plan = %v", got, want)
+	}
+}
+
+func dictLookup(t *testing.T, st *index.Store, iri string) (rdf.ID, bool) {
+	t.Helper()
+	id, ok := st.Dict().LookupIRI(iri)
+	if !ok {
+		t.Fatalf("missing %q", iri)
+	}
+	return id, ok
+}
+
+func TestProbeOracleUnbiasedOnSuffixSize(t *testing.T) {
+	// The probe estimate is itself an unbiased HT estimator of |Γ_δ|:
+	// average many probes and compare with the exact suffix count.
+	g := testkit.RandomGraph(4, 8, 3, 5, 60)
+	q := testkit.ChainQuery(g, []rdf.ID{8, 9}, false, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	// Bind step 0 to its first candidate.
+	b := pl.NewBindings()
+	sp, ok := pl.Steps[0].ResolveSpan(st, b)
+	if !ok {
+		t.Skip("empty fixture")
+	}
+	pl.Steps[0].Bind(st.At(pl.Steps[0].Order, sp, 0), b)
+
+	// Exact suffix count via enumeration.
+	var want float64
+	lftj.Enumerate(st, pl, func(bb query.Bindings) bool {
+		if bb[0] == b[0] && bb[1] == b[1] {
+			want++
+		}
+		return true
+	})
+	o := NewProbeOracle(st, pl, 4, 99)
+	var sum float64
+	const reps = 4000
+	for i := 0; i < reps; i++ {
+		sum += o.EstimateSuffix(0, b)
+	}
+	got := sum / reps
+	if want == 0 {
+		if got != 0 {
+			t.Errorf("probe = %v on empty suffix", got)
+		}
+		return
+	}
+	if math.Abs(got-want)/want > 0.15 {
+		t.Errorf("probe mean %v vs exact %v", got, want)
+	}
+	// Probing must not leave stray bindings.
+	for v := 2; v < len(b); v++ {
+		if b[v] != rdf.NoID {
+			t.Errorf("probe leaked binding for ?%d", v)
+		}
+	}
+}
+
+func TestAJWithProbeOracleUnbiased(t *testing.T) {
+	pl, _, st := fig5(t, true)
+	exact := lftj.GroupDistinct(st, pl)
+	oracle := NewProbeOracle(st, pl, 3, 7)
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 7, Oracle: oracle})
+	r.Run(60000)
+	snap := r.Snapshot()
+	for a, ex := range exact {
+		rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
+		if rel > 0.1 {
+			t.Errorf("group %d: %.3f vs %d (rel %.3f)", a, snap.Estimates[a], ex, rel)
+		}
+	}
+	if r.Tipped() == 0 {
+		t.Error("probe-oracle AJ never tipped on the tiny fixture")
+	}
+}

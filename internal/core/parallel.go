@@ -1,0 +1,44 @@
+package core
+
+import (
+	"sync"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+)
+
+// RunParallel runs Audit Join with workers independent runners (each with
+// its own derived seed and CTJ cache), walksPerWorker walks each, and merges
+// their accumulators into one result. Because the walks are i.i.d., the
+// merged estimator is identical in distribution to a single runner with
+// workers × walksPerWorker walks; wall-clock time scales down with the
+// number of cores.
+//
+// The per-worker CTJ caches are not shared (the runners are single-
+// threaded by design), so parallel runs trade some duplicated exact
+// computation for core-level parallelism.
+func RunParallel(store *index.Store, pl *query.Plan, opts Options, workers, walksPerWorker int) wj.Result {
+	if workers < 1 {
+		workers = 1
+	}
+	runners := make([]*Runner, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		o := opts
+		o.Seed = opts.Seed + int64(w)*1_000_003
+		runners[w] = New(store, pl, o)
+		wg.Add(1)
+		go func(r *Runner) {
+			defer wg.Done()
+			r.Run(walksPerWorker)
+		}(runners[w])
+	}
+	wg.Wait()
+	merged := wj.NewAcc()
+	for _, r := range runners {
+		merged.Merge(r.Acc())
+	}
+	return merged.Snapshot(stats.Z95)
+}

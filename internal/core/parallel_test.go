@@ -1,0 +1,61 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/wj"
+)
+
+func TestRunParallelConverges(t *testing.T) {
+	pl, _, st := fig5(t, true)
+	exact := lftj.GroupDistinct(st, pl)
+	res := RunParallel(st, pl, Options{Threshold: DefaultThreshold, Seed: 17}, 4, 20000)
+	if res.Walks != 80000 {
+		t.Errorf("merged walks = %d, want 80000", res.Walks)
+	}
+	for a, ex := range exact {
+		rel := math.Abs(res.Estimates[a]-float64(ex)) / float64(ex)
+		if rel > 0.08 {
+			t.Errorf("group %d: %.3f vs %d", a, res.Estimates[a], ex)
+		}
+	}
+}
+
+func TestRunParallelSingleWorkerMatchesSerial(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	res := RunParallel(st, pl, Options{Threshold: DefaultThreshold, Seed: 5}, 1, 5000)
+	serial := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 5})
+	serial.Run(5000)
+	want := serial.Snapshot()
+	for a, v := range want.Estimates {
+		if res.Estimates[a] != v {
+			t.Errorf("group %d: parallel %v vs serial %v", a, res.Estimates[a], v)
+		}
+	}
+}
+
+func TestMergeAccumulators(t *testing.T) {
+	a := wj.NewAcc()
+	b := wj.NewAcc()
+	a.N, b.N = 10, 20
+	a.Rejected, b.Rejected = 1, 2
+	a.Add(1, 5)
+	b.Add(1, 7)
+	b.Add(2, 3)
+	b.AddRatio(3, 4, 2)
+	a.Merge(b)
+	if a.N != 30 || a.Rejected != 3 {
+		t.Errorf("N/Rejected = %d/%d", a.N, a.Rejected)
+	}
+	if a.Sum[1] != 12 || a.Sum[2] != 3 {
+		t.Errorf("sums = %v", a.Sum)
+	}
+	if a.SumSq[1] != 25+49 {
+		t.Errorf("sumsq = %v", a.SumSq)
+	}
+	if a.Den[3] != 2 {
+		t.Errorf("den = %v", a.Den)
+	}
+}

@@ -1,0 +1,363 @@
+package ctj
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// fig5 builds the paper's Fig. 5 query over the small known graph.
+func fig5(t *testing.T) (*query.Plan, *rdf.Graph, *index.Store) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+
+	bp, _ := g.Dict.LookupIRI("birthPlace")
+	ty, _ := g.Dict.LookupIRI(rdf.RDFType)
+	person, _ := g.Dict.LookupIRI("Person")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(bp), O: query.V(1)},
+			{S: query.V(0), P: query.C(ty), O: query.C(person)},
+			{S: query.V(1), P: query.C(ty), O: query.V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: true,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, g, index.Build(g)
+}
+
+func TestCountMatchesLFTJ(t *testing.T) {
+	pl, _, st := fig5(t)
+	if got, want := Count(st, pl), lftj.Count(st, pl); got != want {
+		t.Errorf("Count = %d, want %d", got, want)
+	}
+}
+
+func TestGroupCountFig5(t *testing.T) {
+	pl, g, st := fig5(t)
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	got := GroupCount(st, pl)
+	if got[city] != 4 || got[capital] != 2 || len(got) != 2 {
+		t.Errorf("GroupCount = %v, want City:4 Capital:2", got)
+	}
+}
+
+func TestGroupDistinctFig5(t *testing.T) {
+	pl, g, st := fig5(t)
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	got := GroupDistinct(st, pl)
+	if got[city] != 2 || got[capital] != 1 || len(got) != 2 {
+		t.Errorf("GroupDistinct = %v, want City:2 Capital:1", got)
+	}
+}
+
+func TestUngroupedVariants(t *testing.T) {
+	pl, _, st := fig5(t)
+	q := *pl.Query
+	q.Alpha = query.NoVar
+	q.Distinct = false
+	plc, err := query.Compile(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := GroupCount(st, plc); got[GlobalGroup] != 6 {
+		t.Errorf("ungrouped count = %v, want 6", got)
+	}
+	q.Distinct = true
+	pld, _ := query.Compile(&q)
+	// Distinct birth places of persons overall: paris, lima = 2.
+	if got := GroupDistinct(st, pld); got[GlobalGroup] != 2 {
+		t.Errorf("ungrouped distinct = %v, want 2", got)
+	}
+}
+
+func TestSuffixCountExampleIV3(t *testing.T) {
+	// Example IV.3 analogue: after binding a prefix, SuffixCount returns the
+	// exact number of completions.
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	b := pl.NewBindings()
+	carol, _ := g.Dict.LookupIRI("carol")
+	lima, _ := g.Dict.LookupIRI("lima")
+	b[0], b[1] = carol, lima
+	// Completions after step 0: carol is a Person (1 way) x lima's 2 types.
+	if got := e.SuffixCount(0, b); got != 2 {
+		t.Errorf("SuffixCount = %d, want 2", got)
+	}
+	// After step 1 (membership checked), still 2.
+	if got := e.SuffixCount(1, b); got != 2 {
+		t.Errorf("SuffixCount after membership = %d, want 2", got)
+	}
+	// eve: not a person -> 0 completions.
+	eve, _ := g.Dict.LookupIRI("eve")
+	rome, _ := g.Dict.LookupIRI("rome")
+	b[0], b[1] = eve, rome
+	if got := e.SuffixCount(0, b); got != 0 {
+		t.Errorf("SuffixCount(eve) = %d, want 0", got)
+	}
+}
+
+func TestSuffixCountCaches(t *testing.T) {
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	b := pl.NewBindings()
+	alice, _ := g.Dict.LookupIRI("alice")
+	bob, _ := g.Dict.LookupIRI("bob")
+	paris, _ := g.Dict.LookupIRI("paris")
+	b[0], b[1] = alice, paris
+	e.SuffixCount(0, b)
+	misses := e.Stats().CountMisses
+	// Same interface from a different walk start (bob also lands on paris,
+	// and ?s=0 is dead after step 1, so the boundary-2 interface matches).
+	b[0] = bob
+	e.SuffixCount(1, b)
+	if e.Stats().CountHits == 0 {
+		t.Errorf("no cache hits on repeated interface (misses then=%d now=%d)",
+			misses, e.Stats().CountMisses)
+	}
+}
+
+func TestExists(t *testing.T) {
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	b := pl.NewBindings()
+	if !e.Exists(0, b) {
+		t.Error("Exists(0) = false on non-empty query")
+	}
+	eve, _ := g.Dict.LookupIRI("eve")
+	rome, _ := g.Dict.LookupIRI("rome")
+	b[0], b[1] = eve, rome
+	if e.Exists(1, b) {
+		t.Error("Exists for eve (not a Person) = true")
+	}
+}
+
+func TestEnumerateSuffixProbabilities(t *testing.T) {
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	b := pl.NewBindings()
+	carol, _ := g.Dict.LookupIRI("carol")
+	lima, _ := g.Dict.LookupIRI("lima")
+	b[0], b[1] = carol, lima
+	var n int
+	var probSum float64
+	e.EnumerateSuffix(0, b, func(bind query.Bindings, prob float64) {
+		n++
+		probSum += prob
+	})
+	// Two completions (City, Capital); lima has 2 types so each has
+	// conditional probability 1/2 (membership step has d=1).
+	if n != 2 {
+		t.Fatalf("enumerated %d completions, want 2", n)
+	}
+	if math.Abs(probSum-1.0) > 1e-12 {
+		t.Errorf("conditional suffix probabilities sum to %v, want 1", probSum)
+	}
+}
+
+func TestSuffixAgg(t *testing.T) {
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	b := pl.NewBindings()
+	carol, _ := g.Dict.LookupIRI("carol")
+	lima, _ := g.Dict.LookupIRI("lima")
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	b[0], b[1] = carol, lima
+	agg := e.SuffixAgg(0, b)
+	if len(agg) != 2 {
+		t.Fatalf("SuffixAgg = %v, want 2 groups", agg)
+	}
+	for _, gr := range agg {
+		if gr.B != lima || gr.N != 1 || math.Abs(gr.P-0.5) > 1e-12 {
+			t.Errorf("group %+v, want B=lima N=1 P=0.5", gr)
+		}
+		if gr.A != city && gr.A != capital {
+			t.Errorf("unexpected group value %d", gr.A)
+		}
+	}
+	// Second call hits the aggregate cache.
+	before := e.Stats().AggHits
+	e.SuffixAgg(0, b)
+	if e.Stats().AggHits != before+1 {
+		t.Error("SuffixAgg did not hit its cache on repeat")
+	}
+}
+
+func TestPathProbB(t *testing.T) {
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	// Pr(paris): walks over 5 birthPlace triples; alice and bob lead to
+	// paris. Walk: step0 picks one of 5 triples (prob 1/5 each), step1
+	// membership d=1 (alice, bob are Persons), step2 picks one of paris's 1
+	// type. Pr(paris) = 2 * (1/5 * 1 * 1) = 0.4.
+	paris, _ := g.Dict.LookupIRI("paris")
+	if got := e.PathProbB(paris); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Pr(paris) = %v, want 0.4", got)
+	}
+	// Pr(lima) = 2 paths through carol/dave, each 1/5 * 1 * 1/2, times 2
+	// types... careful: Pr(b) sums over full paths with β=lima: 2 starts x 2
+	// types x (1/5 * 1/2) = 0.4.
+	lima, _ := g.Dict.LookupIRI("lima")
+	if got := e.PathProbB(lima); math.Abs(got-0.4) > 1e-12 {
+		t.Errorf("Pr(lima) = %v, want 0.4", got)
+	}
+	// rome: eve is not a Person, no full paths.
+	rome, _ := g.Dict.LookupIRI("rome")
+	if got := e.PathProbB(rome); got != 0 {
+		t.Errorf("Pr(rome) = %v, want 0", got)
+	}
+	// Cache: repeated call hits.
+	before := e.Stats().ProbHits
+	e.PathProbB(paris)
+	if e.Stats().ProbHits != before+1 {
+		t.Error("PathProbB did not hit its cache")
+	}
+}
+
+func TestPathProbAB(t *testing.T) {
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	lima, _ := g.Dict.LookupIRI("lima")
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	// Pr(City, lima) = 2 starts x (1/5 * 1/2) = 0.2; same for Capital.
+	if got := e.PathProbAB(city, lima); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Pr(City,lima) = %v, want 0.2", got)
+	}
+	if got := e.PathProbAB(capital, lima); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Pr(Capital,lima) = %v, want 0.2", got)
+	}
+}
+
+func TestPathProbsSumToOne(t *testing.T) {
+	// Σ_b Pr(b) over all reachable b = probability a walk succeeds at all.
+	// Σ_{a,b} Pr(a,b) must equal the same number.
+	pl, g, st := fig5(t)
+	e := New(st, pl)
+	exact := lftj.GroupDistinct(st, pl)
+	betas := map[rdf.ID]bool{}
+	lftj.Enumerate(st, pl, func(b query.Bindings) bool {
+		betas[b[pl.Query.Beta]] = true
+		return true
+	})
+	var sumB float64
+	for b := range betas {
+		sumB += e.PathProbB(b)
+	}
+	// Success probability: 4/5 of starts are Persons, and every Person
+	// start completes; so 0.8.
+	if math.Abs(sumB-0.8) > 1e-12 {
+		t.Errorf("sum Pr(b) = %v, want 0.8", sumB)
+	}
+	var sumAB float64
+	for a := range exact {
+		for b := range betas {
+			sumAB += e.PathProbAB(a, b)
+		}
+	}
+	if math.Abs(sumAB-sumB) > 1e-12 {
+		t.Errorf("sum Pr(a,b) = %v, want %v", sumAB, sumB)
+	}
+	_ = g
+}
+
+func TestExactAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, depth8, flags uint8) bool {
+		depth := 1 + int(depth8%3)
+		grouped := flags&1 != 0
+		distinct := flags&2 != 0
+		g := testkit.RandomGraph(seed, 6, 3, 4, 40)
+		if g.Len() == 0 {
+			return true
+		}
+		preds := make([]rdf.ID, depth)
+		for i := range preds {
+			preds[i] = rdf.ID(6 + i%3)
+		}
+		q := testkit.ChainQuery(g, preds, grouped, distinct)
+		pl, err := query.Compile(q)
+		if err != nil {
+			return false
+		}
+		st := index.Build(g)
+		want := testkit.BruteForce(g, q)
+		got := Evaluate(st, pl)
+		return testkit.MapsEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSuffixCountAgainstLFTJProperty(t *testing.T) {
+	// Property: SuffixCount from any sampled prefix equals the number of
+	// LFTJ enumerations sharing that prefix.
+	f := func(seed int64) bool {
+		g := testkit.RandomGraph(seed, 6, 3, 4, 40)
+		if g.Len() == 0 {
+			return true
+		}
+		preds := []rdf.ID{6, 7}
+		q := testkit.ChainQuery(g, preds, true, false)
+		pl, err := query.Compile(q)
+		if err != nil {
+			return false
+		}
+		st := index.Build(g)
+		e := New(st, pl)
+		ok := true
+		// For every binding of the first pattern, compare.
+		sp, found := pl.Steps[0].ResolveSpan(st, pl.NewBindings())
+		if !found {
+			return true
+		}
+		for t := 0; t < sp.Len(); t++ {
+			b := pl.NewBindings()
+			tr := st.At(pl.Steps[0].Order, sp, t)
+			pl.Steps[0].Bind(tr, b)
+			got := e.SuffixCount(0, b)
+			var want int64
+			lftj.Enumerate(st, pl, func(bb query.Bindings) bool {
+				if bb[0] == b[0] && bb[1] == b[1] {
+					want++
+				}
+				return true
+			})
+			if got != want {
+				ok = false
+			}
+		}
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

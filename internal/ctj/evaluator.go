@@ -1,0 +1,233 @@
+// Package ctj implements Cached Trie Join (Kalinsky et al., EDBT 2017) for
+// the exploration-query fragment: the backtracking trie join of LFTJ
+// augmented with caches guided by the query's tree decomposition, which for
+// the fragment's acyclic queries is the walk path itself (paper §IV-B).
+//
+// The cache memoizes, for every step boundary, aggregates of the suffix join
+// keyed by the "interface": the values of the variables that are bound
+// before the boundary and still used after it. Whenever the same interface
+// values recur — LFTJ would recompute the whole subtree — CTJ serves the
+// aggregate from the cache (Example IV.1 of the paper).
+//
+// Besides standalone exact evaluation, the package exposes the primitives
+// Audit Join builds on: cached suffix counts, suffix enumeration with walk
+// probabilities, and the path-probability sums Pr(b) and Pr(a,b) of the
+// unbiased distinct estimator.
+package ctj
+
+import (
+	"fmt"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// GlobalGroup is the map key used for ungrouped queries.
+const GlobalGroup = rdf.NoID
+
+// maxIface bounds the number of interface variables a cache key can carry.
+// A boundary's interface holds at most one variable per later pattern (each
+// variable occurs in at most two patterns), and exploration queries are
+// short, so eight is generous.
+const maxIface = 8
+
+// ckey identifies a cached suffix aggregate: the boundary step plus the
+// values of the boundary's key variables (padded with NoID).
+type ckey struct {
+	step int8
+	vals [maxIface]rdf.ID
+}
+
+// SuffixGroup is one aggregated completion class of a suffix join: the group
+// value A, the counted value B, the number N of completions with that (A,B),
+// and P, the sum over those completions of the walk probabilities
+// ∏_{j>i} 1/d_j. B and P are only meaningful for distinct-mode consumers.
+type SuffixGroup struct {
+	A, B rdf.ID
+	N    int64
+	P    float64
+}
+
+// CacheStats reports cache effectiveness, used by the CTJ-vs-LFTJ ablation.
+type CacheStats struct {
+	CountHits, CountMisses int64
+	AggHits, AggMisses     int64
+	ExistHits, ExistMisses int64
+	ProbHits, ProbMisses   int64
+	// ProbMaterialized is true when all Pr(a,b) were computed in one
+	// full-join pass instead of lazily per pair.
+	ProbMaterialized bool
+}
+
+// Evaluator is a CTJ evaluation session over one plan. It owns the caches;
+// reusing an Evaluator across many operations (as Audit Join does across
+// walks) is what makes the cached prefixes pay off. Not safe for concurrent
+// use.
+type Evaluator struct {
+	store *index.Store
+	pl    *query.Plan
+
+	// iface[i] lists the variables in the interface of boundary i (bound
+	// at a step < i and used at a step >= i), for i in [0, len(Steps)].
+	iface [][]query.Var
+	// lastUse[v] is the last step where variable v occurs.
+	lastUse []int
+
+	countCache map[ckey]int64
+	aggCache   map[ckey][]SuffixGroup
+	existCache map[ckey]bool
+	probCache  map[[2]rdf.ID]float64 // (a,b) -> Pr(a,b); b-only under (NoID, b)
+
+	// probsMaterialized: probCache holds every reachable pair already.
+	// probDecided: the materialize-or-lazy decision has been made.
+	probsMaterialized bool
+	probDecided       bool
+
+	stats CacheStats
+}
+
+// New creates an evaluation session for the plan.
+func New(store *index.Store, pl *query.Plan) *Evaluator {
+	n := len(pl.Steps)
+	e := &Evaluator{
+		store:      store,
+		pl:         pl,
+		lastUse:    make([]int, pl.NumVars()),
+		countCache: make(map[ckey]int64),
+		aggCache:   make(map[ckey][]SuffixGroup),
+		existCache: make(map[ckey]bool),
+		probCache:  make(map[[2]rdf.ID]float64),
+	}
+	firstBound := make([]int, pl.NumVars())
+	for v := range firstBound {
+		firstBound[v] = -1
+		e.lastUse[v] = -1
+	}
+	for i, st := range pl.Steps {
+		for _, a := range []query.Atom{st.Pattern.S, st.Pattern.P, st.Pattern.O} {
+			if a.IsVar() {
+				if firstBound[a.Var] == -1 {
+					firstBound[a.Var] = i
+				}
+				e.lastUse[a.Var] = i
+			}
+		}
+	}
+	e.iface = make([][]query.Var, n+1)
+	for i := 0; i <= n; i++ {
+		for v := 0; v < pl.NumVars(); v++ {
+			if firstBound[v] >= 0 && firstBound[v] < i && e.lastUse[v] >= i {
+				e.iface[i] = append(e.iface[i], query.Var(v))
+			}
+		}
+		if len(e.iface[i]) > maxIface {
+			panic(fmt.Sprintf("ctj: boundary %d has %d interface variables; the fragment should keep this under %d",
+				i, len(e.iface[i]), maxIface))
+		}
+	}
+	return e
+}
+
+// Stats returns a snapshot of the cache statistics.
+func (e *Evaluator) Stats() CacheStats { return e.stats }
+
+// Plan returns the plan this session evaluates.
+func (e *Evaluator) Plan() *query.Plan { return e.pl }
+
+// key builds the cache key for boundary step under bindings b. extra values
+// (e.g. the group and counted values for aggregate caches) are appended
+// after the interface values.
+func (e *Evaluator) key(step int, b query.Bindings, extra ...rdf.ID) ckey {
+	k := ckey{step: int8(step)}
+	i := 0
+	for _, v := range e.iface[step] {
+		k.vals[i] = b[v]
+		i++
+	}
+	for _, x := range extra {
+		if i >= maxIface {
+			panic("ctj: cache key overflow")
+		}
+		k.vals[i] = x
+		i++
+	}
+	for ; i < maxIface; i++ {
+		k.vals[i] = rdf.NoID
+	}
+	return k
+}
+
+// stepWidth returns the walk candidate-set size d for a resolved step: the
+// span length, or 1 for a satisfied membership step.
+func stepWidth(st *query.Step, sp index.Span) int {
+	if st.Kind == query.AccessMembership {
+		return 1
+	}
+	return sp.Len()
+}
+
+// SuffixCount returns the exact number of completions of steps i+1..n-1
+// given the bindings of steps 0..i — the |Γ_δ| of the paper's base Audit
+// Join estimator — with memoization at every deeper boundary.
+func (e *Evaluator) SuffixCount(i int, b query.Bindings) int64 {
+	return e.count(i+1, b)
+}
+
+func (e *Evaluator) count(j int, b query.Bindings) int64 {
+	if j == len(e.pl.Steps) {
+		return 1
+	}
+	k := e.key(j, b)
+	if n, ok := e.countCache[k]; ok {
+		e.stats.CountHits++
+		return n
+	}
+	e.stats.CountMisses++
+	st := &e.pl.Steps[j]
+	sp, ok := st.ResolveSpan(e.store, b)
+	var n int64
+	if ok {
+		if st.Kind == query.AccessMembership {
+			n = e.count(j+1, b)
+		} else {
+			for t := 0; t < sp.Len(); t++ {
+				st.Bind(e.store.At(st.Order, sp, t), b)
+				n += e.count(j+1, b)
+			}
+			st.Unbind(b)
+		}
+	}
+	e.countCache[k] = n
+	return n
+}
+
+// Exists reports whether steps j..n-1 have at least one completion under the
+// bindings, with memoized short-circuiting.
+func (e *Evaluator) Exists(j int, b query.Bindings) bool {
+	if j == len(e.pl.Steps) {
+		return true
+	}
+	k := e.key(j, b)
+	if v, ok := e.existCache[k]; ok {
+		e.stats.ExistHits++
+		return v
+	}
+	e.stats.ExistMisses++
+	st := &e.pl.Steps[j]
+	sp, ok := st.ResolveSpan(e.store, b)
+	found := false
+	if ok {
+		if st.Kind == query.AccessMembership {
+			found = e.Exists(j+1, b)
+		} else {
+			for t := 0; t < sp.Len() && !found; t++ {
+				st.Bind(e.store.At(st.Order, sp, t), b)
+				found = e.Exists(j+1, b)
+			}
+			st.Unbind(b)
+		}
+	}
+	e.existCache[k] = found
+	return found
+}

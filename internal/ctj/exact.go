@@ -1,0 +1,246 @@
+package ctj
+
+import (
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// Count returns the exact number of full assignments |Γ| using the cached
+// suffix recursion.
+func Count(store *index.Store, pl *query.Plan) int64 {
+	e := New(store, pl)
+	b := pl.NewBindings()
+	return e.count(0, b)
+}
+
+// GroupCount returns the exact COUNT per group. Internally the plan is
+// reordered (when a valid connected order exists and compiles) so that the
+// pattern binding Alpha comes as early as possible: every assignment of the
+// prefix up to Alpha then contributes one cached suffix count, which is
+// where CTJ's caching removes LFTJ's recomputation.
+func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	out := make(map[rdf.ID]int64)
+	if pl.Query.Alpha == query.NoVar {
+		e := New(store, pl)
+		b := pl.NewBindings()
+		if n := e.count(0, b); n > 0 {
+			out[GlobalGroup] = n
+		}
+		return out
+	}
+	pl2 := reorderFor(store, pl, false)
+	e := New(store, pl2)
+	b := pl2.NewBindings()
+	target := pl2.AlphaStep
+	var rec func(i int)
+	rec = func(i int) {
+		st := &pl2.Steps[i]
+		sp, ok := st.ResolveSpan(store, b)
+		if !ok {
+			return
+		}
+		if st.Kind == query.AccessMembership {
+			if i == target {
+				// Alpha cannot first bind at a membership step (membership
+				// binds nothing), so just descend.
+				panic("ctj: alpha bound at membership step")
+			}
+			rec(i + 1)
+			return
+		}
+		for t := 0; t < sp.Len(); t++ {
+			st.Bind(store.At(st.Order, sp, t), b)
+			if i == target {
+				if n := e.SuffixCount(i, b); n > 0 {
+					out[b[pl2.Query.Alpha]] += n
+				}
+			} else {
+				rec(i + 1)
+			}
+		}
+		st.Unbind(b)
+	}
+	rec(0)
+	return out
+}
+
+// GroupDistinct returns the exact COUNT(DISTINCT Beta) per group. The plan
+// is reordered so that Alpha and Beta are both bound as early as possible;
+// each prefix assignment then needs only a cached existence check of the
+// remaining steps, and the distinct (Alpha, Beta) pairs are collected in a
+// set.
+func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	pl2 := reorderFor(store, pl, true)
+	e := New(store, pl2)
+	b := pl2.NewBindings()
+	alpha, beta := pl2.Query.Alpha, pl2.Query.Beta
+	target := pl2.BetaStep
+	if alpha != query.NoVar && pl2.AlphaStep > target {
+		target = pl2.AlphaStep
+	}
+	seen := make(map[[2]rdf.ID]struct{})
+	out := make(map[rdf.ID]int64)
+	var rec func(i int)
+	rec = func(i int) {
+		if i > target {
+			if !e.Exists(i, b) {
+				return
+			}
+			a := GlobalGroup
+			if alpha != query.NoVar {
+				a = b[alpha]
+			}
+			k := [2]rdf.ID{a, b[beta]}
+			if _, dup := seen[k]; !dup {
+				seen[k] = struct{}{}
+				out[a]++
+			}
+			return
+		}
+		st := &pl2.Steps[i]
+		sp, ok := st.ResolveSpan(store, b)
+		if !ok {
+			return
+		}
+		if st.Kind == query.AccessMembership {
+			rec(i + 1)
+			return
+		}
+		for t := 0; t < sp.Len(); t++ {
+			st.Bind(store.At(st.Order, sp, t), b)
+			rec(i + 1)
+		}
+		st.Unbind(b)
+	}
+	rec(0)
+	return out
+}
+
+// groupWeighted traverses prefixes until Alpha and Beta are bound, then
+// multiplies Beta's numeric value by the cached count of suffix completions
+// — the shared machinery of GroupSum and GroupAvg.
+func groupWeighted(store *index.Store, pl *query.Plan) (sums, counts map[rdf.ID]float64) {
+	pl2 := reorderFor(store, pl, true)
+	e := New(store, pl2)
+	b := pl2.NewBindings()
+	alpha, beta := pl2.Query.Alpha, pl2.Query.Beta
+	target := pl2.BetaStep
+	if alpha != query.NoVar && pl2.AlphaStep > target {
+		target = pl2.AlphaStep
+	}
+	sums = make(map[rdf.ID]float64)
+	counts = make(map[rdf.ID]float64)
+	var rec func(i int)
+	rec = func(i int) {
+		if i > target {
+			v, numeric := store.Numeric(b[beta])
+			if !numeric {
+				return
+			}
+			n := e.count(i, b)
+			if n == 0 {
+				return
+			}
+			a := GlobalGroup
+			if alpha != query.NoVar {
+				a = b[alpha]
+			}
+			sums[a] += v * float64(n)
+			counts[a] += float64(n)
+			return
+		}
+		st := &pl2.Steps[i]
+		sp, ok := st.ResolveSpan(store, b)
+		if !ok {
+			return
+		}
+		if st.Kind == query.AccessMembership {
+			rec(i + 1)
+			return
+		}
+		for t := 0; t < sp.Len(); t++ {
+			st.Bind(store.At(st.Order, sp, t), b)
+			rec(i + 1)
+		}
+		st.Unbind(b)
+	}
+	rec(0)
+	return sums, counts
+}
+
+// GroupSum returns the exact SUM of Beta's numeric values per group.
+func GroupSum(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	sums, _ := groupWeighted(store, pl)
+	return sums
+}
+
+// GroupAvg returns the exact AVG of Beta's numeric values per group, over
+// the assignments whose Beta is numeric.
+func GroupAvg(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	sums, counts := groupWeighted(store, pl)
+	out := make(map[rdf.ID]float64, len(sums))
+	for a, s := range sums {
+		if counts[a] > 0 {
+			out[a] = s / counts[a]
+		}
+	}
+	return out
+}
+
+// Evaluate runs the query per its aggregation function and Distinct flag,
+// returning per-group exact results as float64 for comparability with the
+// estimators.
+func Evaluate(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	switch pl.Query.Agg {
+	case query.AggSum:
+		return GroupSum(store, pl)
+	case query.AggAvg:
+		return GroupAvg(store, pl)
+	}
+	var raw map[rdf.ID]int64
+	if pl.Query.Distinct {
+		raw = GroupDistinct(store, pl)
+	} else {
+		raw = GroupCount(store, pl)
+	}
+	out := make(map[rdf.ID]float64, len(raw))
+	for k, v := range raw {
+		out[k] = float64(v)
+	}
+	return out
+}
+
+// reorderFor picks the valid, compilable pattern order that binds Alpha
+// (and, if needBeta, Beta) at the earliest step; ties favor the original
+// order. Exact results are order-invariant, so this is purely a cost choice.
+func reorderFor(store *index.Store, pl *query.Plan, needBeta bool) *query.Plan {
+	q := pl.Query
+	best := pl
+	bestScore := orderScore(pl, needBeta)
+	for _, ord := range q.ValidOrders() {
+		q2, err := q.Reorder(ord)
+		if err != nil {
+			continue
+		}
+		pl2, err := query.Compile(q2)
+		if err != nil {
+			continue
+		}
+		if s := orderScore(pl2, needBeta); s < bestScore {
+			best, bestScore = pl2, s
+		}
+	}
+	return best
+}
+
+func orderScore(pl *query.Plan, needBeta bool) int {
+	s := 0
+	if pl.Query.Alpha != query.NoVar {
+		s = pl.AlphaStep
+	}
+	if needBeta && pl.BetaStep > s {
+		s = pl.BetaStep
+	}
+	return s
+}

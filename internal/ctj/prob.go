@@ -1,0 +1,290 @@
+package ctj
+
+import (
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// probMaterializeLimit bounds the estimated join size up to which the
+// evaluator computes every Pr(a,b) in a single full-join pass instead of
+// lazily per pair. Exploration queries are highly selective (the paper
+// reports average selectivities near 1), so their filtered joins are small
+// and one pass is far cheaper than per-pair path enumeration — especially
+// with hub values whose in-degree makes single-pair enumeration expensive.
+const probMaterializeLimit = 1 << 20
+
+// PathProbB returns Pr(b): the probability that a random walk over the plan
+// completes with Beta = b — the sum over all full paths γ with β(γ) = b of
+// ∏_j 1/d_j (paper §IV-D, "Distinct"). Results are cached per b; the paper
+// computes these online with CTJ in the same way ("materialize all paths
+// leading to the sampled b, summing up their probabilities, and caching the
+// results").
+func (e *Evaluator) PathProbB(b rdf.ID) float64 {
+	key := [2]rdf.ID{rdf.NoID, b}
+	if p, ok := e.probCache[key]; ok {
+		e.stats.ProbHits++
+		return p
+	}
+	if e.maybeMaterializeProbs() {
+		return e.probCache[key] // zero for unreachable b
+	}
+	e.stats.ProbMisses++
+	p := e.pathProb(map[query.Var]rdf.ID{e.pl.Query.Beta: b})
+	e.probCache[key] = p
+	return p
+}
+
+// PathProbAB returns Pr(a, b): the probability that a random walk completes
+// with Alpha = a and Beta = b. For ungrouped queries pass a = GlobalGroup;
+// the group constraint is then vacuous and the result equals Pr(b).
+func (e *Evaluator) PathProbAB(a, b rdf.ID) float64 {
+	if e.pl.Query.Alpha == query.NoVar || a == GlobalGroup {
+		return e.PathProbB(b)
+	}
+	key := [2]rdf.ID{a, b}
+	if p, ok := e.probCache[key]; ok {
+		e.stats.ProbHits++
+		return p
+	}
+	if e.maybeMaterializeProbs() {
+		return e.probCache[key]
+	}
+	e.stats.ProbMisses++
+	p := e.pathProb(map[query.Var]rdf.ID{e.pl.Query.Alpha: a, e.pl.Query.Beta: b})
+	e.probCache[key] = p
+	return p
+}
+
+// maybeMaterializeProbs decides once, on the first probability miss, whether
+// to compute every Pr(b) and Pr(a,b) in one pass over the (filtered) join.
+// Returns true when the cache is fully materialized.
+func (e *Evaluator) maybeMaterializeProbs() bool {
+	if e.probsMaterialized {
+		return true
+	}
+	if e.probDecided {
+		return false
+	}
+	e.probDecided = true
+	if e.pl.EstimateJoinSize(e.store) > probMaterializeLimit {
+		return false
+	}
+	e.materializeProbs()
+	e.probsMaterialized = true
+	return true
+}
+
+// materializeProbs enumerates the full join once, accumulating the walk
+// probability ∏ 1/d_j of every path into Pr(a,b) and Pr(b). The d_j come
+// for free: they are the very span lengths the enumeration descends into.
+func (e *Evaluator) materializeProbs() {
+	alpha, beta := e.pl.Query.Alpha, e.pl.Query.Beta
+	b := e.pl.NewBindings()
+	var rec func(j int, prob float64)
+	rec = func(j int, prob float64) {
+		if j == len(e.pl.Steps) {
+			a := GlobalGroup
+			if alpha != query.NoVar {
+				a = b[alpha]
+			}
+			bb := b[beta]
+			e.probCache[[2]rdf.ID{rdf.NoID, bb}] += prob
+			if alpha != query.NoVar {
+				e.probCache[[2]rdf.ID{a, bb}] += prob
+			}
+			return
+		}
+		st := &e.pl.Steps[j]
+		sp, ok := st.ResolveSpan(e.store, b)
+		if !ok {
+			return
+		}
+		if st.Kind == query.AccessMembership {
+			rec(j+1, prob) // d_j = 1
+			return
+		}
+		p := prob / float64(sp.Len())
+		for t := 0; t < sp.Len(); t++ {
+			st.Bind(e.store.At(st.Order, sp, t), b)
+			rec(j+1, p)
+		}
+		st.Unbind(b)
+	}
+	rec(0, 1)
+	e.stats.ProbMaterialized = true
+}
+
+// pathProb sums walk probabilities over all full paths whose variable
+// assignment agrees with presets.
+//
+// The paths are enumerated through a *constrained* plan in which the preset
+// variables are replaced by constants and the patterns are reordered to
+// start from the most-constrained pattern — so the enumeration touches only
+// the few paths that actually lead to the preset values, never the whole
+// join. Each enumerated path's probability is then computed against the
+// ORIGINAL plan: d_j is the size of the candidate set the unconstrained walk
+// would see at step j given the path's bindings.
+func (e *Evaluator) pathProb(presets map[query.Var]rdf.ID) float64 {
+	cpl := e.constrainedPlan(presets)
+	if cpl == nil {
+		return 0
+	}
+	var sum float64
+	origBind := e.pl.NewBindings()
+	b := cpl.NewBindings()
+	var rec func(j int)
+	rec = func(j int) {
+		if j == len(cpl.Steps) {
+			// The fallback plan binds preset variables during enumeration;
+			// skip paths that contradict a preset. (Under the constrained
+			// plan preset variables stay unbound — the constants did the
+			// filtering — so this check passes trivially.)
+			for v, want := range presets {
+				if int(v) < len(b) && b[v] != rdf.NoID && b[v] != want {
+					return
+				}
+			}
+			sum += e.walkProbability(b, origBind, presets)
+			return
+		}
+		st := &cpl.Steps[j]
+		sp, ok := st.ResolveSpan(e.store, b)
+		if !ok {
+			return
+		}
+		if st.Kind == query.AccessMembership {
+			rec(j + 1)
+			return
+		}
+		for t := 0; t < sp.Len(); t++ {
+			st.Bind(e.store.At(st.Order, sp, t), b)
+			rec(j + 1)
+		}
+		st.Unbind(b)
+	}
+	rec(0)
+	return sum
+}
+
+// walkProbability computes ∏_j 1/d_j for one full path under the original
+// plan, where the path's bindings are the enumeration bindings b completed
+// with the preset values.
+func (e *Evaluator) walkProbability(b, orig query.Bindings, presets map[query.Var]rdf.ID) float64 {
+	for v := range orig {
+		if v < len(b) {
+			orig[v] = b[v]
+		} else {
+			orig[v] = rdf.NoID
+		}
+	}
+	for v, val := range presets {
+		if orig[v] == rdf.NoID {
+			orig[v] = val
+		}
+	}
+	prob := 1.0
+	for j := range e.pl.Steps {
+		st := &e.pl.Steps[j]
+		if st.Kind == query.AccessMembership {
+			continue // d_j = 1
+		}
+		sp, ok := st.ResolveSpan(e.store, orig)
+		if !ok {
+			return 0 // cannot happen for a genuine path; defensive
+		}
+		prob /= float64(sp.Len())
+	}
+	return prob
+}
+
+// constrainedPlan compiles the original query with the preset variables
+// replaced by constants, reordered so that the most-constrained patterns
+// are enumerated first. Returns nil when no servable order exists (then the
+// probability is computed as zero; with the four maintained index orders
+// this does not occur for exploration queries).
+func (e *Evaluator) constrainedPlan(presets map[query.Var]rdf.ID) *query.Plan {
+	q := e.pl.Query
+	subst := func(a query.Atom) query.Atom {
+		if a.IsVar() {
+			if v, ok := presets[a.Var]; ok {
+				return query.C(v)
+			}
+		}
+		return a
+	}
+	pats := make([]query.Pattern, len(q.Patterns))
+	for i, p := range q.Patterns {
+		pats[i] = query.Pattern{S: subst(p.S), P: subst(p.P), O: subst(p.O)}
+	}
+
+	// Greedy connected order: start from the pattern with the most
+	// constants; repeatedly append the connected pattern with the most
+	// bound positions. Ties break on the original index for determinism.
+	n := len(pats)
+	used := make([]bool, n)
+	bound := map[query.Var]bool{}
+	consts := func(i int) int {
+		c := 0
+		for _, a := range []query.Atom{pats[i].S, pats[i].P, pats[i].O} {
+			if !a.IsVar() || bound[a.Var] {
+				c++
+			}
+		}
+		return c
+	}
+	connected := func(i int) bool {
+		for _, a := range []query.Atom{pats[i].S, pats[i].P, pats[i].O} {
+			if a.IsVar() && bound[a.Var] {
+				return true
+			}
+		}
+		return false
+	}
+	order := make([]int, 0, n)
+	for len(order) < n {
+		best, bestScore := -1, -1
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			if len(order) > 0 && !connected(i) {
+				continue
+			}
+			if s := consts(i); s > bestScore {
+				best, bestScore = i, s
+			}
+		}
+		if best < 0 {
+			// Disconnected remainder (outside the fragment): append the
+			// densest remaining pattern; it becomes a cartesian step.
+			for i := 0; i < n; i++ {
+				if !used[i] && consts(i) > bestScore {
+					best, bestScore = i, consts(i)
+				}
+			}
+		}
+		used[best] = true
+		order = append(order, best)
+		for _, a := range []query.Atom{pats[best].S, pats[best].P, pats[best].O} {
+			if a.IsVar() {
+				bound[a.Var] = true
+			}
+		}
+	}
+
+	cq := &query.Query{Alpha: query.NoVar, Beta: q.Beta, Agg: q.Agg}
+	for _, i := range order {
+		cq.Patterns = append(cq.Patterns, pats[i])
+	}
+	// Beta may have become a constant; CompileUnchecked does not validate,
+	// so that is fine — the plan is only used for enumeration.
+	pl, err := query.CompileUnchecked(cq)
+	if err != nil {
+		// A mask like (s,o)-bound without p can arise for unusual preset
+		// positions; fall back to the original plan, which always compiles.
+		// The presets then act as enumeration filters only (the leaf check
+		// in pathProb), which is slow but always valid.
+		return e.pl
+	}
+	return pl
+}

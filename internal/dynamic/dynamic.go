@@ -1,0 +1,133 @@
+// Package dynamic adds update support on top of the immutable index.Store,
+// realizing the paper's envisaged extension of "support for incremental
+// indexing on updates" (§VI).
+//
+// The design is a classic two-tier scheme: additions and deletions
+// accumulate in an in-memory delta, and readers obtain immutable snapshots.
+// A snapshot is rebuilt lazily, only when the delta is non-empty and a
+// reader asks for one, so the rebuild cost is amortized over batches of
+// updates; between snapshots, running estimators keep using their (still
+// valid, merely stale) store, which is exactly the semantics an exploration
+// UI needs — charts refresh on the next interaction.
+package dynamic
+
+import (
+	"sync"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// Store is an updatable triple store. All methods are safe for concurrent
+// use; Snapshot returns immutable index.Store values that remain valid
+// forever.
+type Store struct {
+	mu      sync.Mutex
+	graph   *rdf.Graph
+	current *index.Store
+	adds    []rdf.Triple
+	dels    map[rdf.Triple]bool
+	// Rebuilds counts how many times a snapshot was rebuilt (observability
+	// and tests).
+	rebuilds int
+}
+
+// New wraps a graph (which is retained and modified on Apply) into an
+// updatable store.
+func New(g *rdf.Graph) *Store {
+	return &Store{
+		graph:   g,
+		current: index.Build(g),
+		dels:    make(map[rdf.Triple]bool),
+	}
+}
+
+// Dict returns the term dictionary. Interning new terms is allowed (the
+// dictionary only grows; existing IDs never change).
+func (s *Store) Dict() *rdf.Dict {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.graph.Dict
+}
+
+// Add buffers the insertion of a triple. Duplicate inserts are harmless.
+func (s *Store) Add(t rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	delete(s.dels, t)
+	s.adds = append(s.adds, t)
+}
+
+// AddDecoded interns the terms and buffers the triple.
+func (s *Store) AddDecoded(sub, pred, obj rdf.Term) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	t := rdf.Triple{
+		S: s.graph.Dict.Intern(sub),
+		P: s.graph.Dict.Intern(pred),
+		O: s.graph.Dict.Intern(obj),
+	}
+	delete(s.dels, t)
+	s.adds = append(s.adds, t)
+}
+
+// Delete buffers the removal of a triple. Deleting an absent triple is a
+// no-op.
+func (s *Store) Delete(t rdf.Triple) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	// Cancel a pending add if present; also record the delete in case the
+	// triple exists in the base.
+	for i, a := range s.adds {
+		if a == t {
+			s.adds = append(s.adds[:i], s.adds[i+1:]...)
+			break
+		}
+	}
+	s.dels[t] = true
+}
+
+// Pending returns the number of buffered updates.
+func (s *Store) Pending() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.adds) + len(s.dels)
+}
+
+// Rebuilds returns how many snapshot rebuilds have happened.
+func (s *Store) Rebuilds() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.rebuilds
+}
+
+// Snapshot returns an immutable store reflecting every update buffered so
+// far, rebuilding the indexes only if the delta is non-empty.
+func (s *Store) Snapshot() *index.Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(s.adds) == 0 && len(s.dels) == 0 {
+		return s.current
+	}
+	s.applyLocked()
+	return s.current
+}
+
+// applyLocked folds the delta into the graph and rebuilds the indexes.
+func (s *Store) applyLocked() {
+	if len(s.dels) > 0 {
+		kept := s.graph.Triples[:0]
+		for _, t := range s.graph.Triples {
+			if !s.dels[t] {
+				kept = append(kept, t)
+			}
+		}
+		s.graph.Triples = kept
+	}
+	s.graph.Triples = append(s.graph.Triples, s.adds...)
+	s.graph.Dedup()
+	s.adds = s.adds[:0]
+	s.dels = make(map[rdf.Triple]bool)
+	s.current = index.Build(s.graph)
+	s.rebuilds++
+}

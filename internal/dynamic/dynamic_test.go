@@ -1,0 +1,149 @@
+package dynamic
+
+import (
+	"sync"
+	"testing"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+func base(t *testing.T) (*Store, rdf.ID) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("b", "p", "c")
+	g.Dedup()
+	p, _ := g.Dict.LookupIRI("p")
+	return New(g), p
+}
+
+func countEdges(t *testing.T, s *Store, p rdf.ID) int64 {
+	t.Helper()
+	q := &query.Query{
+		Patterns: []query.Pattern{{S: query.V(0), P: query.C(p), O: query.V(1)}},
+		Alpha:    query.NoVar,
+		Beta:     1,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ctj.Count(s.Snapshot(), pl)
+}
+
+func TestAddVisibleAfterSnapshot(t *testing.T) {
+	s, p := base(t)
+	if got := countEdges(t, s, p); got != 2 {
+		t.Fatalf("base count = %d", got)
+	}
+	d := s.Dict()
+	s.Add(rdf.Triple{S: d.InternIRI("c"), P: p, O: d.InternIRI("d")})
+	if got := countEdges(t, s, p); got != 3 {
+		t.Errorf("after add = %d, want 3", got)
+	}
+}
+
+func TestAddDecoded(t *testing.T) {
+	s, p := base(t)
+	s.AddDecoded(rdf.NewIRI("x"), rdf.NewIRI("p"), rdf.NewIRI("y"))
+	if got := countEdges(t, s, p); got != 3 {
+		t.Errorf("after AddDecoded = %d, want 3", got)
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s, p := base(t)
+	d := s.Dict()
+	a, _ := d.LookupIRI("a")
+	b, _ := d.LookupIRI("b")
+	s.Delete(rdf.Triple{S: a, P: p, O: b})
+	if got := countEdges(t, s, p); got != 1 {
+		t.Errorf("after delete = %d, want 1", got)
+	}
+	// Deleting an absent triple is a no-op.
+	s.Delete(rdf.Triple{S: b, P: p, O: a})
+	if got := countEdges(t, s, p); got != 1 {
+		t.Errorf("after no-op delete = %d, want 1", got)
+	}
+}
+
+func TestAddThenDeleteCancels(t *testing.T) {
+	s, p := base(t)
+	d := s.Dict()
+	x := d.InternIRI("x")
+	y := d.InternIRI("y")
+	tr := rdf.Triple{S: x, P: p, O: y}
+	s.Add(tr)
+	s.Delete(tr)
+	if got := countEdges(t, s, p); got != 2 {
+		t.Errorf("add+delete = %d, want 2", got)
+	}
+	// Delete-then-add resurrects.
+	s.Delete(tr)
+	s.Add(tr)
+	if got := countEdges(t, s, p); got != 3 {
+		t.Errorf("delete+add = %d, want 3", got)
+	}
+}
+
+func TestSnapshotLazyRebuild(t *testing.T) {
+	s, p := base(t)
+	s.Snapshot()
+	s.Snapshot()
+	if s.Rebuilds() != 0 {
+		t.Errorf("rebuilds without updates = %d", s.Rebuilds())
+	}
+	d := s.Dict()
+	for i := 0; i < 10; i++ {
+		s.Add(rdf.Triple{S: d.InternIRI("n"), P: p, O: rdf.ID(uint32(i))})
+	}
+	if s.Pending() != 10 {
+		t.Errorf("pending = %d", s.Pending())
+	}
+	s.Snapshot()
+	if s.Rebuilds() != 1 {
+		t.Errorf("batched updates caused %d rebuilds, want 1", s.Rebuilds())
+	}
+	if s.Pending() != 0 {
+		t.Errorf("pending after snapshot = %d", s.Pending())
+	}
+}
+
+func TestOldSnapshotsStayValid(t *testing.T) {
+	s, p := base(t)
+	old := s.Snapshot()
+	oldCount := old.SpanL1(0, 0) // touch it
+	_ = oldCount
+	n := old.NumTriples()
+	d := s.Dict()
+	s.Add(rdf.Triple{S: d.InternIRI("z"), P: p, O: d.InternIRI("w")})
+	_ = s.Snapshot()
+	if old.NumTriples() != n {
+		t.Error("old snapshot mutated by update")
+	}
+}
+
+func TestConcurrentUpdatesAndSnapshots(t *testing.T) {
+	s, p := base(t)
+	// Intern up front: Dict is safe for concurrent lookups, not interning.
+	c := s.Dict().InternIRI("c")
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				s.Add(rdf.Triple{S: c, P: p, O: rdf.ID(uint32(w*100 + i))})
+				if i%10 == 0 {
+					s.Snapshot()
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := countEdges(t, s, p); got != 2+200 {
+		t.Errorf("final count = %d, want 202", got)
+	}
+}

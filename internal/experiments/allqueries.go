@@ -1,0 +1,274 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"kgexplore/internal/core"
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+	"kgexplore/internal/workload"
+)
+
+// QueryRun is the measured behaviour of both online algorithms on one
+// workload query.
+type QueryRun struct {
+	Dataset  string
+	Path     int
+	Step     int
+	Groups   int
+	WJ, AJ   []SeriesPoint
+	WJRate   float64 // final rejection rate
+	AJRate   float64
+	WJWalks  int64
+	AJWalks  int64
+	AJTipped int64
+}
+
+// Suite caches datasets and workload runs so that Figures 9, 10 and 11 (and
+// the sample-time summary) reuse the same measurements, exactly as in the
+// paper where they are different views of one experiment.
+type Suite struct {
+	Cfg      Config
+	Datasets []*Dataset
+
+	recs map[string][]workload.StepRecord
+	runs map[bool][]QueryRun // keyed by distinct
+}
+
+// NewSuite generates the datasets and the random exploration workload
+// (cfg.Paths paths of cfg.MaxSteps steps per dataset, §V-B).
+func NewSuite(cfg Config) (*Suite, error) {
+	ds, err := LoadDatasets(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{
+		Cfg:      cfg,
+		Datasets: ds,
+		recs:     make(map[string][]workload.StepRecord),
+		runs:     make(map[bool][]QueryRun),
+	}
+	for _, d := range ds {
+		gen := &workload.Generator{
+			Store:    d.Store,
+			Schema:   d.Schema,
+			Seed:     cfg.Seed,
+			MaxSteps: cfg.MaxSteps,
+		}
+		s.recs[d.Name] = gen.Paths(cfg.Paths)
+	}
+	return s, nil
+}
+
+// Queries returns the number of workload queries per dataset.
+func (s *Suite) Queries(dataset string) int { return len(s.recs[dataset]) }
+
+// Runs measures every workload query with both algorithms, in distinct or
+// plain-count mode, caching the result.
+func (s *Suite) Runs(distinct bool) ([]QueryRun, error) {
+	if cached, ok := s.runs[distinct]; ok {
+		return cached, nil
+	}
+	var out []QueryRun
+	for di, d := range s.Datasets {
+		for qi, rec := range s.recs[d.Name] {
+			run, err := s.runOne(d, rec, distinct, int64(di*10_000+qi))
+			if err != nil {
+				return nil, fmt.Errorf("%s path %d step %d: %w", d.Name, rec.Path, rec.Step, err)
+			}
+			out = append(out, run)
+		}
+	}
+	s.runs[distinct] = out
+	return out, nil
+}
+
+func (s *Suite) runOne(d *Dataset, rec workload.StepRecord, distinct bool, salt int64) (QueryRun, error) {
+	q := rec.Query
+	exact := rec.Exact
+	pl := rec.Plan
+	if !distinct {
+		// Rebuild the query as a plain COUNT and recompute ground truth.
+		q2 := *q
+		q2.Distinct = false
+		var err error
+		pl, err = query.Compile(&q2)
+		if err != nil {
+			return QueryRun{}, err
+		}
+		exact = ctj.Evaluate(d.Store, pl)
+	}
+	cfg := s.Cfg
+	run := QueryRun{Dataset: d.Name, Path: rec.Path, Step: rec.Step, Groups: len(exact)}
+
+	wjPlan := bestWJOrder(d.Store, pl, exact, cfg.OrderTrials, cfg.Seed+salt)
+	wjr := wj.New(d.Store, wjPlan, cfg.Seed+salt)
+	run.WJ = runSeries(wjr, exact, cfg.Budget, cfg.Interval)
+	wsnap := wjr.Snapshot()
+	run.WJRate, run.WJWalks = wsnap.RejectionRate(), wsnap.Walks
+
+	ajPlan := bestAJOrder(d.Store, pl, exact, cfg.OrderTrials, cfg.Threshold, cfg.Seed+salt)
+	ajr := core.New(d.Store, ajPlan, core.Options{Threshold: cfg.Threshold, Seed: cfg.Seed + salt})
+	run.AJ = runSeries(ajr, exact, cfg.Budget, cfg.Interval)
+	asnap := ajr.Snapshot()
+	run.AJRate, run.AJWalks = asnap.RejectionRate(), asnap.Walks
+	run.AJTipped = ajr.Tipped()
+	return run, nil
+}
+
+// TukeyCell is one box of Figures 9/10: the distribution of per-query MAE
+// at one snapshot time, for one dataset and exploration step.
+type TukeyCell struct {
+	Dataset string
+	Step    int
+	T       time.Duration
+	WJ, AJ  stats.Tukey
+}
+
+// FigAllQueries produces the Fig. 9 (distinct=true) or Fig. 10
+// (distinct=false) grid and prints it.
+func (s *Suite) FigAllQueries(w io.Writer, distinct bool) ([]TukeyCell, error) {
+	runs, err := s.Runs(distinct)
+	if err != nil {
+		return nil, err
+	}
+	label := "Fig.9 (all queries, distinct)"
+	if !distinct {
+		label = "Fig.10 (all queries, no distinct)"
+	}
+	fmt.Fprintf(w, "\n%s\n", label)
+
+	var cells []TukeyCell
+	for _, d := range s.Datasets {
+		for step := 1; step <= s.Cfg.MaxSteps; step++ {
+			// Collect MAE samples per snapshot index.
+			var nPoints int
+			for _, r := range runs {
+				if r.Dataset == d.Name && r.Step == step && len(r.WJ) > nPoints {
+					nPoints = len(r.WJ)
+				}
+			}
+			if nPoints == 0 {
+				continue
+			}
+			for pt := 0; pt < nPoints; pt++ {
+				var wjs, ajs []float64
+				var t time.Duration
+				for _, r := range runs {
+					if r.Dataset != d.Name || r.Step != step || pt >= len(r.WJ) {
+						continue
+					}
+					wjs = append(wjs, r.WJ[pt].MAE)
+					ajs = append(ajs, r.AJ[pt].MAE)
+					t = r.WJ[pt].T
+				}
+				cells = append(cells, TukeyCell{
+					Dataset: d.Name,
+					Step:    step,
+					T:       t,
+					WJ:      stats.TukeyOf(wjs),
+					AJ:      stats.TukeyOf(ajs),
+				})
+			}
+		}
+	}
+	printTukeyCells(w, cells)
+	return cells, nil
+}
+
+func printTukeyCells(w io.Writer, cells []TukeyCell) {
+	lastKey := ""
+	for _, c := range cells {
+		key := fmt.Sprintf("%s step %d", c.Dataset, c.Step)
+		if key != lastKey {
+			fmt.Fprintf(w, "\n%s (%d queries)\n", key, c.WJ.N)
+			fmt.Fprintf(w, "  %-8s | %9s %9s %9s | %9s %9s %9s\n",
+				"t", "WJ q1", "WJ med", "WJ q3", "AJ q1", "AJ med", "AJ q3")
+			lastKey = key
+		}
+		fmt.Fprintf(w, "  %-8v | %8.1f%% %8.1f%% %8.1f%% | %8.1f%% %8.1f%% %8.1f%%\n",
+			c.T, 100*c.WJ.Q1, 100*c.WJ.Median, 100*c.WJ.Q3,
+			100*c.AJ.Q1, 100*c.AJ.Median, 100*c.AJ.Q3)
+	}
+}
+
+// Fig11Row is one query's rejection rates.
+type Fig11Row struct {
+	Dataset string
+	Path    int
+	Step    int
+	WJRate  float64
+	AJRate  float64
+}
+
+// Fig11 reports the per-query rejection rates of WJ and AJ on the distinct
+// workload, sorted by descending WJ rate (the paper sorts each curve by its
+// own rate; we keep the rows paired for readability and also report the
+// paper's headline counts of queries under 25% rejection).
+func (s *Suite) Fig11(w io.Writer) ([]Fig11Row, error) {
+	runs, err := s.Runs(true)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig11Row, 0, len(runs))
+	for _, r := range runs {
+		rows = append(rows, Fig11Row{
+			Dataset: r.Dataset, Path: r.Path, Step: r.Step,
+			WJRate: r.WJRate, AJRate: r.AJRate,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].WJRate > rows[j].WJRate })
+	under25 := func(sel func(Fig11Row) float64) int {
+		n := 0
+		for _, r := range rows {
+			if sel(r) < 0.25 {
+				n++
+			}
+		}
+		return n
+	}
+	fmt.Fprintf(w, "\nFig.11 rejection rates (%d queries)\n", len(rows))
+	fmt.Fprintf(w, "  queries with rejection < 25%%: AJ %d, WJ %d\n",
+		under25(func(r Fig11Row) float64 { return r.AJRate }),
+		under25(func(r Fig11Row) float64 { return r.WJRate }))
+	fmt.Fprintf(w, "  %-14s %5s %5s %9s %9s\n", "dataset", "path", "step", "WJ", "AJ")
+	for _, r := range rows {
+		fmt.Fprintf(w, "  %-14s %5d %5d %8.1f%% %8.1f%%\n",
+			r.Dataset, r.Path, r.Step, 100*r.WJRate, 100*r.AJRate)
+	}
+	return rows, nil
+}
+
+// SampleTimes reports the average wall time per walk for both algorithms
+// over the distinct workload — the paper's ~2.5µs comparison (§V-C).
+func (s *Suite) SampleTimes(w io.Writer) (wjNS, ajNS float64, err error) {
+	runs, err := s.Runs(true)
+	if err != nil {
+		return 0, 0, err
+	}
+	var wjWalks, ajWalks int64
+	var elapsed time.Duration
+	for _, r := range runs {
+		wjWalks += r.WJWalks
+		ajWalks += r.AJWalks
+		elapsed += s.Cfg.Budget
+	}
+	if wjWalks > 0 {
+		wjNS = float64(elapsed.Nanoseconds()) / float64(wjWalks)
+	}
+	if ajWalks > 0 {
+		ajNS = float64(elapsed.Nanoseconds()) / float64(ajWalks)
+	}
+	fmt.Fprintf(w, "\nSample time: WJ %.2fµs/walk, AJ %.2fµs/walk (over %d+%d walks)\n",
+		wjNS/1e3, ajNS/1e3, wjWalks, ajWalks)
+	return wjNS, ajNS, nil
+}
+
+// GlobalGroup re-exported for consumers of run results.
+const GlobalGroup = rdf.NoID

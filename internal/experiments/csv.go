@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+
+	"kgexplore/internal/kggen"
+)
+
+// The CSV emitters write machine-readable versions of every regenerated
+// artifact, so the figures can be re-plotted with external tooling.
+
+// WriteTable1CSV writes the Table I rows.
+func WriteTable1CSV(w io.Writer, infos []kggen.Info) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"dataset", "triples", "classes", "props"})
+	for _, in := range infos {
+		cw.Write([]string{in.Name, itoa(in.Triples), itoa(in.Classes), itoa(in.Props)})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig8CSV writes one row per (panel, snapshot): the MAE and relative CI
+// series of both algorithms plus the exact-engine runtimes.
+func WriteFig8CSV(w io.Writer, rows []Fig8Row) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{
+		"dataset", "query", "groups", "baseline_ms", "ctj_ms",
+		"t_ms", "wj_mae", "wj_relci", "aj_mae", "aj_relci", "wj_walks", "aj_walks",
+	})
+	for _, r := range rows {
+		baseMS := fmt.Sprintf("%.3f", float64(r.BaselineTime.Microseconds())/1000)
+		if r.BaselineErr != nil {
+			baseMS = "DNF"
+		}
+		for i := range r.WJ {
+			cw.Write([]string{
+				r.Dataset, r.Label, itoa(r.Groups),
+				baseMS,
+				fmt.Sprintf("%.3f", float64(r.CTJTime.Microseconds())/1000),
+				itoa(int(r.WJ[i].T.Milliseconds())),
+				f(r.WJ[i].MAE), f(r.WJ[i].RelCI),
+				f(r.AJ[i].MAE), f(r.AJ[i].RelCI),
+				itoa(int(r.WJ[i].Walks)), itoa(int(r.AJ[i].Walks)),
+			})
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTukeyCSV writes the Fig. 9 / Fig. 10 grids.
+func WriteTukeyCSV(w io.Writer, cells []TukeyCell) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{
+		"dataset", "step", "t_ms", "n",
+		"wj_q1", "wj_median", "wj_q3", "wj_whisklo", "wj_whiskhi",
+		"aj_q1", "aj_median", "aj_q3", "aj_whisklo", "aj_whiskhi",
+	})
+	for _, c := range cells {
+		cw.Write([]string{
+			c.Dataset, itoa(c.Step), itoa(int(c.T.Milliseconds())), itoa(c.WJ.N),
+			f(c.WJ.Q1), f(c.WJ.Median), f(c.WJ.Q3), f(c.WJ.WhiskLo), f(c.WJ.WhiskHi),
+			f(c.AJ.Q1), f(c.AJ.Median), f(c.AJ.Q3), f(c.AJ.WhiskLo), f(c.AJ.WhiskHi),
+		})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteFig11CSV writes the rejection-rate rows.
+func WriteFig11CSV(w io.Writer, rows []Fig11Row) error {
+	cw := csv.NewWriter(w)
+	cw.Write([]string{"dataset", "path", "step", "wj_rejection", "aj_rejection"})
+	for _, r := range rows {
+		cw.Write([]string{r.Dataset, itoa(r.Path), itoa(r.Step), f(r.WJRate), f(r.AJRate)})
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func itoa(n int) string { return fmt.Sprintf("%d", n) }
+func f(v float64) string {
+	return fmt.Sprintf("%.6f", v)
+}

@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/csv"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/stats"
+)
+
+func TestWriteTable1CSV(t *testing.T) {
+	var buf bytes.Buffer
+	err := WriteTable1CSV(&buf, []kggen.Info{
+		{Name: "d1", Triples: 10, Classes: 2, Props: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 || recs[1][0] != "d1" || recs[1][1] != "10" {
+		t.Errorf("csv = %v", recs)
+	}
+}
+
+func TestWriteFig8CSV(t *testing.T) {
+	rows := []Fig8Row{{
+		Dataset: "d", Label: "q", Groups: 3,
+		BaselineTime: 5 * time.Millisecond, CTJTime: time.Millisecond,
+		WJ: []SeriesPoint{{T: time.Second, MAE: 0.5, RelCI: 0.1, Walks: 100}},
+		AJ: []SeriesPoint{{T: time.Second, MAE: 0.05, RelCI: 0.01, Walks: 200}},
+	}, {
+		Dataset: "d", Label: "q2", Groups: 1,
+		BaselineErr: errors.New("boom"), CTJTime: time.Millisecond,
+		WJ: []SeriesPoint{{T: time.Second}},
+		AJ: []SeriesPoint{{T: time.Second}},
+	}}
+	var buf bytes.Buffer
+	if err := WriteFig8CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[1][6] != "0.500000" || recs[1][8] != "0.050000" {
+		t.Errorf("row = %v", recs[1])
+	}
+	if recs[2][3] != "DNF" {
+		t.Errorf("baseline DNF not marked: %v", recs[2])
+	}
+}
+
+func TestWriteTukeyAndFig11CSV(t *testing.T) {
+	var buf bytes.Buffer
+	cells := []TukeyCell{{
+		Dataset: "d", Step: 1, T: time.Second,
+		WJ: stats.TukeyOf([]float64{1, 2, 3}),
+		AJ: stats.TukeyOf([]float64{0.1, 0.2}),
+	}}
+	if err := WriteTukeyCSV(&buf, cells); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "wj_median") {
+		t.Error("missing header")
+	}
+	buf.Reset()
+	if err := WriteFig11CSV(&buf, []Fig11Row{{Dataset: "d", Path: 1, Step: 2, WJRate: 0.9, AJRate: 0.1}}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "0.900000") {
+		t.Errorf("csv = %s", buf.String())
+	}
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTable1(t *testing.T) {
+	var buf bytes.Buffer
+	infos, err := Table1(&buf, Quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 {
+		t.Fatalf("infos = %v", infos)
+	}
+	if infos[0].Name != "dbpedia-sim" || infos[1].Name != "lgd-sim" {
+		t.Errorf("dataset names: %v", infos)
+	}
+	for _, in := range infos {
+		if in.Triples == 0 || in.Classes == 0 || in.Props == 0 {
+			t.Errorf("empty info %+v", in)
+		}
+	}
+	if !strings.Contains(buf.String(), "Table I") {
+		t.Error("missing header")
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Quick()
+	rows, err := Fig8(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d, want 6 panels", len(rows))
+	}
+	for _, r := range rows {
+		if r.CTJTime <= 0 {
+			t.Errorf("%s/%s: no CTJ time", r.Dataset, r.Label)
+		}
+		if len(r.WJ) == 0 || len(r.AJ) == 0 {
+			t.Errorf("%s/%s: empty series", r.Dataset, r.Label)
+		}
+		if r.Groups == 0 {
+			t.Errorf("%s/%s: no groups", r.Dataset, r.Label)
+		}
+		for _, p := range append(append([]SeriesPoint{}, r.WJ...), r.AJ...) {
+			if p.MAE < 0 {
+				t.Errorf("negative MAE %v", p.MAE)
+			}
+			if p.Walks <= 0 {
+				t.Errorf("no walks recorded")
+			}
+		}
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig.8 dbpedia-sim", "Fig.8 lgd-sim", "ctj:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestFig8AJBeatsWJAtEnd(t *testing.T) {
+	// On the root out-property panels — the paper's headline case — AJ's
+	// final MAE must be clearly below WJ's.
+	var buf bytes.Buffer
+	cfg := Quick()
+	cfg.Budget = 200 * time.Millisecond
+	cfg.Interval = 50 * time.Millisecond
+	rows, err := Fig8(&buf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checked := 0
+	for _, r := range rows {
+		if r.Label != "out-prop(root)" {
+			continue
+		}
+		checked++
+		wjFinal := r.WJ[len(r.WJ)-1].MAE
+		ajFinal := r.AJ[len(r.AJ)-1].MAE
+		if !(ajFinal < wjFinal) {
+			t.Errorf("%s: AJ final MAE %.3f not below WJ %.3f", r.Dataset, ajFinal, wjFinal)
+		}
+	}
+	if checked != 2 {
+		t.Errorf("checked %d root panels, want 2", checked)
+	}
+}
+
+func TestSuiteFigures(t *testing.T) {
+	cfg := Quick()
+	s, err := NewSuite(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range s.Datasets {
+		if s.Queries(d.Name) == 0 {
+			t.Fatalf("no workload queries for %s", d.Name)
+		}
+	}
+	var buf bytes.Buffer
+	cells, err := s.FigAllQueries(&buf, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("no Fig.9 cells")
+	}
+	for _, c := range cells {
+		if c.WJ.N != c.AJ.N {
+			t.Errorf("mismatched sample sizes in cell %+v", c)
+		}
+	}
+	cells10, err := s.FigAllQueries(&buf, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells10) == 0 {
+		t.Fatal("no Fig.10 cells")
+	}
+	rows, err := s.Fig11(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) == 0 {
+		t.Fatal("no Fig.11 rows")
+	}
+	for i := 1; i < len(rows); i++ {
+		if rows[i].WJRate > rows[i-1].WJRate {
+			t.Error("Fig.11 not sorted by WJ rate")
+		}
+	}
+	wjNS, ajNS, err := s.SampleTimes(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wjNS <= 0 || ajNS <= 0 {
+		t.Errorf("sample times: %v %v", wjNS, ajNS)
+	}
+	out := buf.String()
+	for _, want := range []string{"Fig.9", "Fig.10", "Fig.11", "Sample time"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+	// Caching: re-running a figure must not re-measure.
+	r1, _ := s.Runs(true)
+	r2, _ := s.Runs(true)
+	if &r1[0] != &r2[0] {
+		t.Error("Runs not cached")
+	}
+}
+
+func TestMeanRelCISkipsInf(t *testing.T) {
+	// With a single walk, CI is +Inf and must be skipped, not poison the mean.
+	cfg := Quick()
+	ds, err := LoadDatasets(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ds
+}

@@ -1,0 +1,104 @@
+package explore
+
+import (
+	"kgexplore/internal/rdf"
+)
+
+// ClosureStats reports what MaterializeClosure added.
+type ClosureStats struct {
+	Classes        int // classes discovered
+	RootsAttached  int // parentless classes attached to the root
+	ClosureTriples int // (x, typeClosure, c) triples added
+}
+
+// MaterializeClosure prepares a graph for exploration, mirroring the
+// paper's offline preprocessing (§V-A):
+//
+//  1. every class without a rdfs:subClassOf parent (other than the root) is
+//     attached to the root class, as the paper does for LinkedGeoData;
+//  2. the instance-level subclass closure is materialized: for each triple
+//     (x, rdf:type, t) and each ancestor-or-self c of t, the derived triple
+//     (x, urn:kgexplore:typeClosure, c) is added.
+//
+// Classes are the objects of rdf:type triples plus both sides of
+// rdfs:subClassOf triples plus the root. Cycles in the subclass hierarchy
+// are tolerated (members of a cycle share their ancestor sets). The graph
+// is deduplicated before returning.
+func MaterializeClosure(g *rdf.Graph, rootIRI string) ClosureStats {
+	d := g.Dict
+	root := d.InternIRI(rootIRI)
+	typeID := d.InternIRI(rdf.RDFType)
+	subID := d.InternIRI(rdf.RDFSSubClass)
+	closureID := d.InternIRI(TypeClosureIRI)
+
+	// Discover classes and the parent relation.
+	classes := map[rdf.ID]bool{root: true}
+	parents := map[rdf.ID][]rdf.ID{}
+	for _, t := range g.Triples {
+		switch t.P {
+		case typeID:
+			classes[t.O] = true
+		case subID:
+			classes[t.S] = true
+			classes[t.O] = true
+			parents[t.S] = append(parents[t.S], t.O)
+		}
+	}
+
+	// Attach parentless classes to the root.
+	var stats ClosureStats
+	stats.Classes = len(classes)
+	for c := range classes {
+		if c != root && len(parents[c]) == 0 {
+			g.AddEncoded(rdf.Triple{S: c, P: subID, O: root})
+			parents[c] = append(parents[c], root)
+			stats.RootsAttached++
+		}
+	}
+
+	// Ancestor sets (including self) with memoized DFS; gray-marked nodes
+	// break cycles.
+	anc := make(map[rdf.ID][]rdf.ID, len(classes))
+	const gray = 1
+	state := make(map[rdf.ID]int8, len(classes))
+	var ancestors func(c rdf.ID) []rdf.ID
+	ancestors = func(c rdf.ID) []rdf.ID {
+		if a, ok := anc[c]; ok {
+			return a
+		}
+		if state[c] == gray {
+			return nil // cycle: contribute nothing beyond what callers add
+		}
+		state[c] = gray
+		set := map[rdf.ID]bool{c: true}
+		for _, p := range parents[c] {
+			for _, a := range ancestors(p) {
+				set[a] = true
+			}
+		}
+		state[c] = 0
+		out := make([]rdf.ID, 0, len(set))
+		for a := range set {
+			out = append(out, a)
+		}
+		anc[c] = out
+		return out
+	}
+
+	// Materialize the instance-level closure. Collect type triples first:
+	// we append to g.Triples while iterating otherwise.
+	var typed []rdf.Triple
+	for _, t := range g.Triples {
+		if t.P == typeID {
+			typed = append(typed, t)
+		}
+	}
+	for _, t := range typed {
+		for _, a := range ancestors(t.O) {
+			g.AddEncoded(rdf.Triple{S: t.S, P: closureID, O: a})
+			stats.ClosureTriples++
+		}
+	}
+	g.Dedup()
+	return stats
+}

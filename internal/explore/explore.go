@@ -1,0 +1,291 @@
+// Package explore implements the paper's visual exploration model (§III):
+// bar charts over an RDF graph, five bar expansions (subclass, out-property,
+// in-property, object, subject), the transition system between chart kinds
+// (Fig. 3), and the translation of exploration paths into the aggregate
+// queries of Fig. 4.
+//
+// Class membership follows the paper's remark in §IV-A: the subclass closure
+// is computed offline and materialized in the graph as an instance-level
+// closure relation (x, typeClosure, c) for every ancestor-or-self c of x's
+// explicit types, while the rdf:type triples stay per the original data (and
+// feed the object/subject expansions' direct-class categories).
+package explore
+
+import (
+	"errors"
+	"fmt"
+
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// TypeClosureIRI is the derived predicate that materializes the
+// instance-level subclass closure.
+const TypeClosureIRI = "urn:kgexplore:typeClosure"
+
+// BarKind is the kind of a bar (and of the chart that contains it).
+type BarKind uint8
+
+const (
+	// ClassBar represents instances of a common class.
+	ClassBar BarKind = iota
+	// OutPropBar represents subjects of a common outgoing property.
+	OutPropBar
+	// InPropBar represents objects of a common incoming property.
+	InPropBar
+)
+
+func (k BarKind) String() string {
+	switch k {
+	case ClassBar:
+		return "class"
+	case OutPropBar:
+		return "out-property"
+	case InPropBar:
+		return "in-property"
+	default:
+		return fmt.Sprintf("BarKind(%d)", uint8(k))
+	}
+}
+
+// Op is one of the five bar expansions.
+type Op uint8
+
+const (
+	// OpSubclass expands a class bar into its direct subclasses.
+	OpSubclass Op = iota
+	// OpOutProp expands a class bar into the outgoing properties of its nodes.
+	OpOutProp
+	// OpInProp expands a class bar into the incoming properties of its nodes.
+	OpInProp
+	// OpObject expands an out-property bar into the classes of the objects.
+	OpObject
+	// OpSubject expands an in-property bar into the classes of the subjects.
+	OpSubject
+	numOps
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpSubclass:
+		return "subclass"
+	case OpOutProp:
+		return "out-property"
+	case OpInProp:
+		return "in-property"
+	case OpObject:
+		return "object"
+	case OpSubject:
+		return "subject"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Expansions returns the legal expansions from a bar of kind k, following
+// the transition system of Fig. 3.
+func Expansions(k BarKind) []Op {
+	switch k {
+	case ClassBar:
+		return []Op{OpSubclass, OpOutProp, OpInProp}
+	case OutPropBar:
+		return []Op{OpObject}
+	case InPropBar:
+		return []Op{OpSubject}
+	default:
+		return nil
+	}
+}
+
+// Schema holds the dictionary IDs of the vocabulary the exploration model
+// needs. Build it with SchemaOf after closure materialization.
+type Schema struct {
+	Type        rdf.ID // rdf:type
+	SubClassOf  rdf.ID // rdfs:subClassOf
+	TypeClosure rdf.ID // urn:kgexplore:typeClosure
+	Root        rdf.ID // the root class (owl:Thing unless overridden)
+}
+
+// SchemaOf resolves the vocabulary in the graph's dictionary. The rootIRI
+// is typically rdf.OWLThing. It fails if the graph lacks any of the terms,
+// which usually means MaterializeClosure has not run.
+func SchemaOf(d *rdf.Dict, rootIRI string) (Schema, error) {
+	var s Schema
+	var ok bool
+	if s.Type, ok = d.LookupIRI(rdf.RDFType); !ok {
+		return s, errors.New("explore: graph has no rdf:type triples")
+	}
+	if s.SubClassOf, ok = d.LookupIRI(rdf.RDFSSubClass); !ok {
+		return s, errors.New("explore: graph has no rdfs:subClassOf triples")
+	}
+	if s.TypeClosure, ok = d.LookupIRI(TypeClosureIRI); !ok {
+		return s, errors.New("explore: type closure not materialized (run MaterializeClosure first)")
+	}
+	if s.Root, ok = d.LookupIRI(rootIRI); !ok {
+		return s, fmt.Errorf("explore: root class %q not in graph", rootIRI)
+	}
+	return s, nil
+}
+
+// State is a selected bar: the exploration path's current focus set, defined
+// by the accumulated join patterns plus a replaceable type filter. States
+// are immutable; Select returns a new one.
+type State struct {
+	schema   Schema
+	Kind     BarKind
+	Category rdf.ID
+
+	base       []query.Pattern // accumulated patterns defining the focus set
+	typeFilter *query.Pattern  // replaceable (focus, typeClosure, class) filter
+	focus      query.Var       // variable whose assignments are the bar's nodes
+	next       query.Var       // next fresh variable
+	objVar     query.Var       // out-property bar: the object variable of (focus p ?o)
+	subjVar    query.Var       // in-property bar: the subject variable of (?s p focus)
+}
+
+// Root returns the initial state: the class bar of the schema's root class,
+// whose nodes are all instances (via closure) of the root.
+func Root(schema Schema) *State {
+	tf := query.Pattern{S: query.V(0), P: query.C(schema.TypeClosure), O: query.C(schema.Root)}
+	return &State{
+		schema:     schema,
+		Kind:       ClassBar,
+		Category:   schema.Root,
+		typeFilter: &tf,
+		focus:      0,
+		next:       1,
+		objVar:     query.NoVar,
+		subjVar:    query.NoVar,
+	}
+}
+
+// Focus returns the variable denoting the bar's node set.
+func (s *State) Focus() query.Var { return s.focus }
+
+// focusPatterns returns the patterns defining the focus set (base plus the
+// type filter when present).
+func (s *State) focusPatterns() []query.Pattern {
+	out := append([]query.Pattern(nil), s.base...)
+	if s.typeFilter != nil {
+		out = append(out, *s.typeFilter)
+	}
+	return out
+}
+
+// FocusQuery returns the query counting the bar's own nodes (a single-group
+// COUNT DISTINCT of the focus variable) — the height of the selected bar.
+func (s *State) FocusQuery() *query.Query {
+	return &query.Query{
+		Patterns: s.focusPatterns(),
+		Alpha:    query.NoVar,
+		Beta:     s.focus,
+		Distinct: true,
+	}
+}
+
+// Query translates expanding this bar with op into the chart query of
+// Fig. 4: a join whose Alpha is the new chart's category variable and whose
+// Beta is the new chart's focus variable, counted distinct.
+func (s *State) Query(op Op) (*query.Query, error) {
+	if !opLegal(s.Kind, op) {
+		return nil, fmt.Errorf("explore: %v expansion is not legal on a %v bar", op, s.Kind)
+	}
+	q := &query.Query{Distinct: true}
+	switch op {
+	case OpSubclass:
+		// base + (focus typeClosure ?c') + (?c' subClassOf category)
+		cvar := s.next
+		q.Patterns = append(append([]query.Pattern(nil), s.base...),
+			query.Pattern{S: query.V(s.focus), P: query.C(s.schema.TypeClosure), O: query.V(cvar)},
+			query.Pattern{S: query.V(cvar), P: query.C(s.schema.SubClassOf), O: query.C(s.Category)},
+		)
+		q.Alpha, q.Beta = cvar, s.focus
+	case OpOutProp:
+		pvar, ovar := s.next, s.next+1
+		q.Patterns = append(s.focusPatterns(),
+			query.Pattern{S: query.V(s.focus), P: query.V(pvar), O: query.V(ovar)})
+		q.Alpha, q.Beta = pvar, s.focus
+	case OpInProp:
+		pvar, svar := s.next, s.next+1
+		q.Patterns = append(s.focusPatterns(),
+			query.Pattern{S: query.V(svar), P: query.V(pvar), O: query.V(s.focus)})
+		q.Alpha, q.Beta = pvar, s.focus
+	case OpObject:
+		cvar := s.next
+		q.Patterns = append(s.focusPatterns(),
+			query.Pattern{S: query.V(s.objVar), P: query.C(s.schema.Type), O: query.V(cvar)})
+		q.Alpha, q.Beta = cvar, s.objVar
+	case OpSubject:
+		cvar := s.next
+		q.Patterns = append(s.focusPatterns(),
+			query.Pattern{S: query.V(s.subjVar), P: query.C(s.schema.Type), O: query.V(cvar)})
+		q.Alpha, q.Beta = cvar, s.subjVar
+	default:
+		return nil, fmt.Errorf("explore: unknown op %v", op)
+	}
+	if err := q.Validate(); err != nil {
+		return nil, fmt.Errorf("explore: translated query invalid: %w", err)
+	}
+	return q, nil
+}
+
+// Select clicks the bar with the given category in the chart produced by
+// expanding with op, returning the new state.
+func (s *State) Select(op Op, category rdf.ID) (*State, error) {
+	if !opLegal(s.Kind, op) {
+		return nil, fmt.Errorf("explore: %v expansion is not legal on a %v bar", op, s.Kind)
+	}
+	ns := &State{schema: s.schema, objVar: query.NoVar, subjVar: query.NoVar}
+	switch op {
+	case OpSubclass:
+		// Same focus; the type filter narrows to the subclass (the old
+		// filter is implied by the new one and dropped, as in Fig. 5).
+		tf := query.Pattern{S: query.V(s.focus), P: query.C(s.schema.TypeClosure), O: query.C(category)}
+		ns.Kind, ns.Category = ClassBar, category
+		ns.base = append([]query.Pattern(nil), s.base...)
+		ns.typeFilter = &tf
+		ns.focus, ns.next = s.focus, s.next
+	case OpOutProp:
+		ovar := s.next
+		ns.Kind, ns.Category = OutPropBar, category
+		ns.base = append(s.focusPatterns(),
+			query.Pattern{S: query.V(s.focus), P: query.C(category), O: query.V(ovar)})
+		ns.focus, ns.next = s.focus, s.next+1
+		ns.objVar = ovar
+	case OpInProp:
+		svar := s.next
+		ns.Kind, ns.Category = InPropBar, category
+		ns.base = append(s.focusPatterns(),
+			query.Pattern{S: query.V(svar), P: query.C(category), O: query.V(s.focus)})
+		ns.focus, ns.next = s.focus, s.next+1
+		ns.subjVar = svar
+	case OpObject:
+		tf := query.Pattern{S: query.V(s.objVar), P: query.C(s.schema.TypeClosure), O: query.C(category)}
+		ns.Kind, ns.Category = ClassBar, category
+		ns.base = append([]query.Pattern(nil), s.base...)
+		ns.typeFilter = &tf
+		ns.focus, ns.next = s.objVar, s.next
+	case OpSubject:
+		tf := query.Pattern{S: query.V(s.subjVar), P: query.C(s.schema.TypeClosure), O: query.C(category)}
+		ns.Kind, ns.Category = ClassBar, category
+		ns.base = append([]query.Pattern(nil), s.base...)
+		ns.typeFilter = &tf
+		ns.focus, ns.next = s.subjVar, s.next
+	default:
+		return nil, fmt.Errorf("explore: unknown op %v", op)
+	}
+	return ns, nil
+}
+
+// Depth returns the number of join patterns accumulated so far, a proxy for
+// the exploration depth used when reporting per-step results.
+func (s *State) Depth() int { return len(s.base) }
+
+func opLegal(k BarKind, op Op) bool {
+	for _, o := range Expansions(k) {
+		if o == op {
+			return true
+		}
+	}
+	return false
+}

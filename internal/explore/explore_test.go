@@ -1,0 +1,370 @@
+package explore
+
+import (
+	"strings"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// philosopherGraph builds a miniature of the paper's running example
+// (Example III.1): a class tree Thing <- {Agent <- Person <- Philosopher,
+// Work}, philosophers influenced by persons, and birth places.
+func philosopherGraph(t *testing.T) (*rdf.Graph, Schema) {
+	t.Helper()
+	g := rdf.NewGraph()
+	sub := func(c, p string) { g.AddIRIs(c, rdf.RDFSSubClass, p) }
+	ty := func(x, c string) { g.AddIRIs(x, rdf.RDFType, c) }
+
+	sub("Agent", rdf.OWLThing)
+	sub("Person", "Agent")
+	sub("Philosopher", "Person")
+	sub("Work", rdf.OWLThing)
+
+	ty("socrates", "Philosopher")
+	ty("plato", "Philosopher")
+	ty("aristotle", "Philosopher")
+	ty("homer", "Person")
+	ty("parmenides", "Person")
+	ty("iliad", "Work")
+
+	inf := func(a, b string) { g.AddIRIs(a, "influencedBy", b) }
+	inf("plato", "socrates")
+	inf("aristotle", "plato")
+	inf("aristotle", "socrates")
+	inf("socrates", "parmenides")
+	inf("plato", "parmenides")
+
+	g.AddIRIs("socrates", "birthPlace", "athens")
+	g.AddIRIs("plato", "birthPlace", "athens")
+	g.AddIRIs("homer", "wrote", "iliad")
+
+	MaterializeClosure(g, rdf.OWLThing)
+	schema, err := SchemaOf(g.Dict, rdf.OWLThing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, schema
+}
+
+func evalExact(t *testing.T, g *rdf.Graph, q *query.Query) map[rdf.ID]float64 {
+	t.Helper()
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatalf("compile %v: %v", q, err)
+	}
+	return lftj.Evaluate(index.Build(g), pl)
+}
+
+func iri(t *testing.T, g *rdf.Graph, s string) rdf.ID {
+	t.Helper()
+	id, ok := g.Dict.LookupIRI(s)
+	if !ok {
+		t.Fatalf("IRI %q missing", s)
+	}
+	return id
+}
+
+func TestMaterializeClosure(t *testing.T) {
+	g, schema := philosopherGraph(t)
+	st := index.Build(g)
+	// socrates: typeClosure {Philosopher, Person, Agent, Thing}.
+	soc := iri(t, g, "socrates")
+	sp := st.SpanL1(index.SPO, soc)
+	n := 0
+	for i := 0; i < sp.Len(); i++ {
+		if st.At(index.SPO, sp, i).P == schema.TypeClosure {
+			n++
+		}
+	}
+	if n != 4 {
+		t.Errorf("socrates has %d closure triples, want 4", n)
+	}
+	// iliad: {Work, Thing}.
+	il := iri(t, g, "iliad")
+	sp = st.SpanL1(index.SPO, il)
+	n = 0
+	for i := 0; i < sp.Len(); i++ {
+		if st.At(index.SPO, sp, i).P == schema.TypeClosure {
+			n++
+		}
+	}
+	if n != 2 {
+		t.Errorf("iliad has %d closure triples, want 2", n)
+	}
+}
+
+func TestClosureAttachesParentless(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("x", rdf.RDFType, "Orphan")
+	stats := MaterializeClosure(g, rdf.OWLThing)
+	if stats.RootsAttached != 1 {
+		t.Errorf("RootsAttached = %d, want 1", stats.RootsAttached)
+	}
+	schema, err := SchemaOf(g.Dict, rdf.OWLThing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	// x closure-types: Orphan and Thing.
+	if got := st.SpanL1(index.PSO, schema.TypeClosure).Len(); got != 2 {
+		t.Errorf("closure triples = %d, want 2", got)
+	}
+}
+
+func TestClosureCycleTolerated(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("A", rdf.RDFSSubClass, "B")
+	g.AddIRIs("B", rdf.RDFSSubClass, "A")
+	g.AddIRIs("x", rdf.RDFType, "A")
+	MaterializeClosure(g, rdf.OWLThing) // must terminate
+	if _, err := SchemaOf(g.Dict, rdf.OWLThing); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSchemaOfErrors(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	if _, err := SchemaOf(g.Dict, rdf.OWLThing); err == nil || !strings.Contains(err.Error(), "rdf:type") {
+		t.Errorf("err = %v, want missing rdf:type", err)
+	}
+}
+
+func TestRootSubclassChart(t *testing.T) {
+	g, schema := philosopherGraph(t)
+	root := Root(schema)
+	if root.Kind != ClassBar || root.Category != schema.Root {
+		t.Fatalf("root state = %+v", root)
+	}
+	q, err := root.Query(OpSubclass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalExact(t, g, q)
+	agent := iri(t, g, "Agent")
+	work := iri(t, g, "Work")
+	// Direct subclasses of Thing: Agent (5 typed people via closure) and
+	// Work (1 instance).
+	if got[agent] != 5 || got[work] != 1 || len(got) != 2 {
+		t.Errorf("subclass chart = %v, want Agent:5 Work:1", got)
+	}
+}
+
+func TestSubclassDescent(t *testing.T) {
+	g, schema := philosopherGraph(t)
+	s := Root(schema)
+	for _, c := range []string{"Agent", "Person", "Philosopher"} {
+		var err error
+		s, err = s.Select(OpSubclass, iri(t, g, c))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := evalExact(t, g, s.FocusQuery())
+	if got[lftj.GlobalGroup] != 3 {
+		t.Errorf("philosophers = %v, want 3", got)
+	}
+}
+
+func TestOutPropChart(t *testing.T) {
+	g, schema := philosopherGraph(t)
+	s := Root(schema)
+	s, _ = s.Select(OpSubclass, iri(t, g, "Agent"))
+	s, _ = s.Select(OpSubclass, iri(t, g, "Person"))
+	q, err := s.Query(OpOutProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalExact(t, g, q)
+	// Persons (closure: all 5 humans + nothing else) with outgoing props:
+	// influencedBy: socrates, plato, aristotle -> 3 distinct subjects
+	// birthPlace: socrates, plato -> 2
+	// wrote: homer -> 1
+	// rdf:type: all 5; typeClosure: all 5.
+	inf := iri(t, g, "influencedBy")
+	bp := iri(t, g, "birthPlace")
+	wrote := iri(t, g, "wrote")
+	if got[inf] != 3 || got[bp] != 2 || got[wrote] != 1 {
+		t.Errorf("out-prop chart = %v", got)
+	}
+	if got[schema.Type] != 5 || got[schema.TypeClosure] != 5 {
+		t.Errorf("type bars = %v/%v, want 5/5", got[schema.Type], got[schema.TypeClosure])
+	}
+}
+
+func TestRunningExamplePath(t *testing.T) {
+	// Example III.1: Thing -> Agent -> Person -> Philosopher, out-property
+	// influencedBy, object expansion, select Person, out-properties.
+	g, schema := philosopherGraph(t)
+	s := Root(schema)
+	for _, c := range []string{"Agent", "Person", "Philosopher"} {
+		s, _ = s.Select(OpSubclass, iri(t, g, c))
+	}
+	s, err := s.Select(OpOutProp, iri(t, g, "influencedBy"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != OutPropBar {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	// Object expansion: classes of things that influenced philosophers:
+	// socrates(Philosopher), plato(Philosopher), parmenides(Person).
+	q, err := s.Query(OpObject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalExact(t, g, q)
+	phil := iri(t, g, "Philosopher")
+	person := iri(t, g, "Person")
+	if got[phil] != 2 || got[person] != 1 || len(got) != 2 {
+		t.Errorf("object chart = %v, want Philosopher:2 Person:1", got)
+	}
+	// Select Person: influencers that are persons via closure = all 3.
+	s, err = s.Select(OpObject, person)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != ClassBar || s.Category != person {
+		t.Fatalf("state after object select = %+v", s)
+	}
+	focus := evalExact(t, g, s.FocusQuery())
+	if focus[lftj.GlobalGroup] != 3 {
+		t.Errorf("persons who influenced philosophers = %v, want 3", focus)
+	}
+	// Out-properties of those influencers (the Fig. 2 chart).
+	q, err = s.Query(OpOutProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = evalExact(t, g, q)
+	inf := iri(t, g, "influencedBy")
+	bp := iri(t, g, "birthPlace")
+	// Influencers: socrates, plato, parmenides. Of these, influencedBy:
+	// socrates, plato -> 2; birthPlace: socrates, plato -> 2.
+	if got[inf] != 2 || got[bp] != 2 {
+		t.Errorf("final chart = %v, want influencedBy:2 birthPlace:2", got)
+	}
+}
+
+func TestInPropAndSubject(t *testing.T) {
+	g, schema := philosopherGraph(t)
+	s := Root(schema)
+	q, err := s.Query(OpInProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := evalExact(t, g, q)
+	inf := iri(t, g, "influencedBy")
+	// Distinct objects of influencedBy: socrates, plato, parmenides = 3.
+	if got[inf] != 3 {
+		t.Errorf("in-prop chart influencedBy = %v, want 3", got[inf])
+	}
+	s, err = s.Select(OpInProp, inf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != InPropBar {
+		t.Fatalf("kind = %v", s.Kind)
+	}
+	q, err = s.Query(OpSubject)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = evalExact(t, g, q)
+	phil := iri(t, g, "Philosopher")
+	// Subjects doing the influencing: plato, aristotle, socrates — all
+	// Philosophers (direct type).
+	if got[phil] != 3 || len(got) != 1 {
+		t.Errorf("subject chart = %v, want Philosopher:3", got)
+	}
+	s, err = s.Select(OpSubject, phil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	focus := evalExact(t, g, s.FocusQuery())
+	if focus[lftj.GlobalGroup] != 3 {
+		t.Errorf("focus = %v, want 3", focus)
+	}
+}
+
+func TestIllegalOps(t *testing.T) {
+	g, schema := philosopherGraph(t)
+	s := Root(schema)
+	if _, err := s.Query(OpObject); err == nil {
+		t.Error("object expansion on class bar accepted")
+	}
+	if _, err := s.Select(OpSubject, 0); err == nil {
+		t.Error("subject select on class bar accepted")
+	}
+	s, _ = s.Select(OpOutProp, iri(t, g, "influencedBy"))
+	if _, err := s.Query(OpSubclass); err == nil {
+		t.Error("subclass expansion on out-prop bar accepted")
+	}
+	if _, err := s.Query(OpInProp); err == nil {
+		t.Error("in-prop expansion on out-prop bar accepted")
+	}
+}
+
+func TestExpansionsPerFig3(t *testing.T) {
+	if got := Expansions(ClassBar); len(got) != 3 {
+		t.Errorf("class bar expansions = %v", got)
+	}
+	if got := Expansions(OutPropBar); len(got) != 1 || got[0] != OpObject {
+		t.Errorf("out-prop bar expansions = %v", got)
+	}
+	if got := Expansions(InPropBar); len(got) != 1 || got[0] != OpSubject {
+		t.Errorf("in-prop bar expansions = %v", got)
+	}
+}
+
+func TestStringers(t *testing.T) {
+	for _, o := range []Op{OpSubclass, OpOutProp, OpInProp, OpObject, OpSubject} {
+		if strings.Contains(o.String(), "Op(") {
+			t.Errorf("missing name for op %d", o)
+		}
+	}
+	for _, k := range []BarKind{ClassBar, OutPropBar, InPropBar} {
+		if strings.Contains(k.String(), "BarKind(") {
+			t.Errorf("missing name for kind %d", k)
+		}
+	}
+}
+
+func TestDeepPathStaysInFragment(t *testing.T) {
+	// Alternate expansions four levels deep; every chart query along the
+	// way must validate and compile.
+	g, schema := philosopherGraph(t)
+	s := Root(schema)
+	steps := []struct {
+		op  Op
+		cat string
+	}{
+		{OpSubclass, "Agent"},
+		{OpOutProp, "influencedBy"},
+		{OpObject, "Person"},
+		{OpOutProp, "birthPlace"},
+	}
+	for _, stp := range steps {
+		for _, op := range Expansions(s.Kind) {
+			q, err := s.Query(op)
+			if err != nil {
+				t.Fatalf("query for %v on %v: %v", op, s.Kind, err)
+			}
+			if _, err := query.Compile(q); err != nil {
+				t.Fatalf("compile for %v: %v", op, err)
+			}
+		}
+		var err error
+		s, err = s.Select(stp.op, iri(t, g, stp.cat))
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s.Depth() == 0 {
+		t.Error("depth not tracked")
+	}
+}

@@ -1,0 +1,73 @@
+package explore_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/explore"
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// TestRandomSessionsStayValid drives long random sessions over the state
+// machine of Fig. 3 and asserts the invariant the whole system relies on:
+// every chart query produced along the way validates, compiles, and every
+// selected bar leads to a state whose focus set is exactly the bar's count.
+func TestRandomSessionsStayValid(t *testing.T) {
+	g, schema, err := kggen.Generate(kggen.DBpediaSim(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	for seed := int64(1); seed <= 6; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		state := explore.Root(schema)
+		for step := 0; step < 6; step++ {
+			ops := explore.Expansions(state.Kind)
+			op := ops[rng.Intn(len(ops))]
+			q, err := state.Query(op)
+			if err != nil {
+				t.Fatalf("seed %d step %d: Query(%v): %v", seed, step, op, err)
+			}
+			pl, err := query.Compile(q)
+			if err != nil {
+				t.Fatalf("seed %d step %d: Compile: %v\nquery: %v", seed, step, err, q)
+			}
+			chart := ctj.Evaluate(st, pl)
+			if len(chart) == 0 {
+				break // dead end: legal, ends the session
+			}
+			// Pick a random bar and check the focus invariant.
+			keys := make([]uint32, 0, len(chart))
+			for k := range chart {
+				keys = append(keys, uint32(k))
+			}
+			// Deterministic order for the RNG draw.
+			for i := 1; i < len(keys); i++ {
+				for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+					keys[j], keys[j-1] = keys[j-1], keys[j]
+				}
+			}
+			sel := keys[rng.Intn(len(keys))]
+			next, err := state.Select(op, rdf.ID(sel))
+			if err != nil {
+				t.Fatalf("seed %d step %d: Select: %v", seed, step, err)
+			}
+			fq := next.FocusQuery()
+			fpl, err := query.Compile(fq)
+			if err != nil {
+				t.Fatalf("seed %d step %d: focus compile: %v", seed, step, err)
+			}
+			focus := ctj.Evaluate(st, fpl)
+			want := chart[rdf.ID(sel)]
+			if got := focus[ctj.GlobalGroup]; got != want {
+				t.Fatalf("seed %d step %d op %v: focus count %v != bar count %v",
+					seed, step, op, got, want)
+			}
+			state = next
+		}
+	}
+}

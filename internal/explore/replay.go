@@ -1,0 +1,36 @@
+package explore
+
+import (
+	"fmt"
+
+	"kgexplore/internal/rdf"
+)
+
+// PathStep is one recorded exploration interaction, with the category
+// identified by its decoded term so the step is portable across datasets
+// (whose dictionary IDs differ). This is the basis of the paper's envisaged
+// "explore and contrast multiple knowledge graphs simultaneously" (§VI):
+// record a path once, replay it on several graphs, compare the charts.
+type PathStep struct {
+	Op       Op
+	Category rdf.Term
+}
+
+// Replay applies a recorded path to a dataset, resolving categories through
+// the dictionary. It fails with a descriptive error when a category does
+// not exist in this graph or an op is illegal at its position.
+func Replay(schema Schema, d *rdf.Dict, steps []PathStep) (*State, error) {
+	s := Root(schema)
+	for i, st := range steps {
+		id, ok := d.Lookup(st.Category)
+		if !ok {
+			return nil, fmt.Errorf("explore: replay step %d: category %v not in this graph", i, st.Category)
+		}
+		next, err := s.Select(st.Op, id)
+		if err != nil {
+			return nil, fmt.Errorf("explore: replay step %d: %w", i, err)
+		}
+		s = next
+	}
+	return s, nil
+}

@@ -1,0 +1,322 @@
+// Package index implements the storage layer shared by all engines in this
+// repository: an in-memory triple store with four index orders (spo, ops,
+// pso, pos), exactly the orders the paper maintains for its exploration
+// queries.
+//
+// Each order keeps one permuted, sorted slice of encoded triples plus hash
+// levels mapping prefixes to contiguous spans. This is the paper's "hybrid
+// hashtable/trie" structure: the hash levels give O(1) candidate-set lookup
+// and uniform sampling for the random walks of Wander Join and Audit Join,
+// while the sorted spans act as tries with O(log n) seeks for Leapfrog Trie
+// Join and Cached Trie Join.
+package index
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"kgexplore/internal/rdf"
+)
+
+// Order names one of the four maintained attribute orders.
+type Order uint8
+
+const (
+	SPO Order = iota
+	OPS
+	PSO
+	POS
+	numOrders
+)
+
+func (o Order) String() string {
+	switch o {
+	case SPO:
+		return "spo"
+	case OPS:
+		return "ops"
+	case PSO:
+		return "pso"
+	case POS:
+		return "pos"
+	default:
+		return fmt.Sprintf("Order(%d)", uint8(o))
+	}
+}
+
+// Pos names a triple position.
+type Pos uint8
+
+const (
+	S Pos = iota
+	P
+	O
+)
+
+func (p Pos) String() string {
+	switch p {
+	case S:
+		return "s"
+	case P:
+		return "p"
+	case O:
+		return "o"
+	default:
+		return fmt.Sprintf("Pos(%d)", uint8(p))
+	}
+}
+
+// perms[o] gives the triple positions stored at trie levels 0, 1, 2 of order o.
+var perms = [numOrders][3]Pos{
+	SPO: {S, P, O},
+	OPS: {O, P, S},
+	PSO: {P, S, O},
+	POS: {P, O, S},
+}
+
+// Levels returns the positions at the three trie levels of the order.
+func (o Order) Levels() [3]Pos { return perms[o] }
+
+// field extracts the value of triple t at position p.
+func field(t rdf.Triple, p Pos) rdf.ID {
+	switch p {
+	case S:
+		return t.S
+	case P:
+		return t.P
+	default:
+		return t.O
+	}
+}
+
+// Field is the exported form of field, used by the join engines.
+func Field(t rdf.Triple, p Pos) rdf.ID { return field(t, p) }
+
+// Span is a half-open range [Lo, Hi) into one order's sorted triple slice.
+type Span struct {
+	Lo, Hi int
+}
+
+// Len returns the number of triples in the span.
+func (s Span) Len() int { return s.Hi - s.Lo }
+
+// Empty reports whether the span contains no triples.
+func (s Span) Empty() bool { return s.Hi <= s.Lo }
+
+type pair [2]rdf.ID
+
+// orderIndex is one fully materialized index order.
+type orderIndex struct {
+	order   Order
+	triples []rdf.Triple // sorted by the order's permutation
+	l1      map[rdf.ID]Span
+	l2      map[pair]Span // only populated for PSO and POS
+}
+
+// PredStat holds the per-predicate statistics the tipping-point estimator
+// uses (PostgreSQL-style join-size estimation, paper §IV-D).
+type PredStat struct {
+	Count int // number of triples with this predicate
+	NdvS  int // distinct subjects among them
+	NdvO  int // distinct objects among them
+}
+
+// Stats holds dataset-wide statistics.
+type Stats struct {
+	Triples int
+	NdvS    int // distinct subjects in the graph
+	NdvP    int // distinct predicates
+	NdvO    int // distinct objects
+	Preds   map[rdf.ID]PredStat
+}
+
+// Store is the four-order triple store. It is immutable after Build and safe
+// for concurrent readers.
+type Store struct {
+	dict   *rdf.Dict
+	orders [numOrders]orderIndex
+	stats  Stats
+
+	// numeric[i] is the parsed numeric value of term i (NaN when the term
+	// is not a numeric literal), precomputed for the SUM/AVG aggregates.
+	numeric []float64
+}
+
+// Build indexes the graph. The graph should be deduplicated; Build sorts four
+// permuted copies of the triples and constructs the hash levels and
+// statistics. The graph's triple slice is not retained.
+func Build(g *rdf.Graph) *Store {
+	st := &Store{dict: g.Dict}
+	for o := Order(0); o < numOrders; o++ {
+		st.orders[o] = buildOrder(o, g.Triples)
+	}
+	st.buildStats()
+	st.numeric = make([]float64, g.Dict.Len())
+	for i := range st.numeric {
+		if v, ok := rdf.NumericValue(g.Dict.Term(rdf.ID(i))); ok {
+			st.numeric[i] = v
+		} else {
+			st.numeric[i] = math.NaN()
+		}
+	}
+	return st
+}
+
+// Numeric returns the numeric value of a term and whether the term is a
+// numeric literal.
+func (st *Store) Numeric(id rdf.ID) (float64, bool) {
+	if int(id) >= len(st.numeric) {
+		return 0, false
+	}
+	v := st.numeric[id]
+	if math.IsNaN(v) {
+		return 0, false
+	}
+	return v, true
+}
+
+func buildOrder(o Order, src []rdf.Triple) orderIndex {
+	ts := make([]rdf.Triple, len(src))
+	copy(ts, src)
+	p := perms[o]
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if v0, w0 := field(a, p[0]), field(b, p[0]); v0 != w0 {
+			return v0 < w0
+		}
+		if v1, w1 := field(a, p[1]), field(b, p[1]); v1 != w1 {
+			return v1 < w1
+		}
+		return field(a, p[2]) < field(b, p[2])
+	})
+	oi := orderIndex{order: o, triples: ts, l1: make(map[rdf.ID]Span)}
+	// Build level-1 spans.
+	for i := 0; i < len(ts); {
+		k := field(ts[i], p[0])
+		j := i + 1
+		for j < len(ts) && field(ts[j], p[0]) == k {
+			j++
+		}
+		oi.l1[k] = Span{i, j}
+		i = j
+	}
+	// Level-2 hash spans are needed only where random walks look up a pair:
+	// (p,s) via PSO and (p,o) via POS.
+	if o == PSO || o == POS {
+		oi.l2 = make(map[pair]Span)
+		for i := 0; i < len(ts); {
+			k := pair{field(ts[i], p[0]), field(ts[i], p[1])}
+			j := i + 1
+			for j < len(ts) && field(ts[j], p[0]) == k[0] && field(ts[j], p[1]) == k[1] {
+				j++
+			}
+			oi.l2[k] = Span{i, j}
+			i = j
+		}
+	}
+	return oi
+}
+
+func (st *Store) buildStats() {
+	st.stats = Stats{
+		Triples: len(st.orders[SPO].triples),
+		NdvS:    len(st.orders[SPO].l1),
+		NdvP:    len(st.orders[PSO].l1),
+		NdvO:    len(st.orders[OPS].l1),
+		Preds:   make(map[rdf.ID]PredStat, len(st.orders[PSO].l1)),
+	}
+	for p, sp := range st.orders[PSO].l1 {
+		stat := PredStat{Count: sp.Len()}
+		// Distinct subjects: count level-2 runs within the PSO span.
+		stat.NdvS = countRuns(st.orders[PSO].triples[sp.Lo:sp.Hi], S)
+		stat.NdvO = countRuns(st.orders[POS].triples[st.orders[POS].l1[p].Lo:st.orders[POS].l1[p].Hi], O)
+		st.stats.Preds[p] = stat
+	}
+}
+
+// countRuns counts distinct values at position pos over a slice that is
+// sorted with pos as its secondary key.
+func countRuns(ts []rdf.Triple, pos Pos) int {
+	n := 0
+	var prev rdf.ID
+	for i, t := range ts {
+		v := field(t, pos)
+		if i == 0 || v != prev {
+			n++
+			prev = v
+		}
+	}
+	return n
+}
+
+// Dict returns the term dictionary backing the store.
+func (st *Store) Dict() *rdf.Dict { return st.dict }
+
+// Stats returns dataset-wide statistics.
+func (st *Store) Stats() Stats { return st.stats }
+
+// NumTriples returns the total number of indexed triples.
+func (st *Store) NumTriples() int { return st.stats.Triples }
+
+// Triples returns the sorted triple slice of an order. The caller must not
+// modify it.
+func (st *Store) Triples(o Order) []rdf.Triple { return st.orders[o].triples }
+
+// FullSpan returns the span covering all triples of an order.
+func (st *Store) FullSpan(o Order) Span { return Span{0, len(st.orders[o].triples)} }
+
+// SpanL1 returns the span of triples whose level-0 value equals v in the
+// given order: e.g. SpanL1(SPO, s) is the span of all triples with subject s.
+func (st *Store) SpanL1(o Order, v rdf.ID) Span { return st.orders[o].l1[v] }
+
+// SpanL2 returns the span of triples whose level-0 and level-1 values equal
+// v0 and v1. For PSO and POS it is a hash lookup (O(1)); for the other
+// orders it falls back to binary search within the level-1 span (O(log n)).
+func (st *Store) SpanL2(o Order, v0, v1 rdf.ID) Span {
+	oi := &st.orders[o]
+	if oi.l2 != nil {
+		return oi.l2[pair{v0, v1}]
+	}
+	outer := oi.l1[v0]
+	if outer.Empty() {
+		return Span{}
+	}
+	p1 := perms[o][1]
+	ts := oi.triples
+	lo := outer.Lo + sort.Search(outer.Len(), func(i int) bool { return field(ts[outer.Lo+i], p1) >= v1 })
+	hi := outer.Lo + sort.Search(outer.Len(), func(i int) bool { return field(ts[outer.Lo+i], p1) > v1 })
+	return Span{lo, hi}
+}
+
+// Contains reports whether the fully specified triple is in the store.
+func (st *Store) Contains(t rdf.Triple) bool {
+	sp := st.SpanL2(PSO, t.P, t.S)
+	ts := st.orders[PSO].triples
+	i := sp.Lo + sort.Search(sp.Len(), func(i int) bool { return ts[sp.Lo+i].O >= t.O })
+	return i < sp.Hi && ts[i] == t
+}
+
+// Sample returns a uniformly random triple from the span of the given order.
+// The span must be non-empty.
+func (st *Store) Sample(o Order, sp Span, rng *rand.Rand) rdf.Triple {
+	return st.orders[o].triples[sp.Lo+rng.Intn(sp.Len())]
+}
+
+// At returns the i-th triple of a span in the given order.
+func (st *Store) At(o Order, sp Span, i int) rdf.Triple {
+	return st.orders[o].triples[sp.Lo+i]
+}
+
+// EstimateBytes returns an estimate of the resident size of the four index
+// orders, used to report the "index memory" figures of the paper.
+func (st *Store) EstimateBytes() int64 {
+	var b int64
+	for o := Order(0); o < numOrders; o++ {
+		b += int64(len(st.orders[o].triples)) * 12
+		b += int64(len(st.orders[o].l1)) * 24
+		b += int64(len(st.orders[o].l2)) * 28
+	}
+	return b
+}

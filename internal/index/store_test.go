@@ -1,0 +1,298 @@
+package index
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/rdf"
+)
+
+// buildTestGraph returns a small graph with known structure:
+//
+//	a knows b, a knows c, b knows c, c knows d
+//	a type Person, b type Person, c type Robot
+//	a name "A"
+func buildTestGraph() *rdf.Graph {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "knows", "b")
+	g.AddIRIs("a", "knows", "c")
+	g.AddIRIs("b", "knows", "c")
+	g.AddIRIs("c", "knows", "d")
+	g.AddIRIs("a", rdf.RDFType, "Person")
+	g.AddIRIs("b", rdf.RDFType, "Person")
+	g.AddIRIs("c", rdf.RDFType, "Robot")
+	g.Add(rdf.NewIRI("a"), rdf.NewIRI("name"), rdf.NewLiteral("A"))
+	g.Dedup()
+	return g
+}
+
+func mustID(t *testing.T, d *rdf.Dict, iri string) rdf.ID {
+	t.Helper()
+	id, ok := d.LookupIRI(iri)
+	if !ok {
+		t.Fatalf("IRI %q not in dict", iri)
+	}
+	return id
+}
+
+func TestBuildSortsAllOrders(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	for o := Order(0); o < numOrders; o++ {
+		ts := st.Triples(o)
+		if len(ts) != g.Len() {
+			t.Fatalf("order %v has %d triples, want %d", o, len(ts), g.Len())
+		}
+		p := perms[o]
+		for i := 1; i < len(ts); i++ {
+			a, b := ts[i-1], ts[i]
+			ka := [3]rdf.ID{field(a, p[0]), field(a, p[1]), field(a, p[2])}
+			kb := [3]rdf.ID{field(b, p[0]), field(b, p[1]), field(b, p[2])}
+			if !(ka[0] < kb[0] || (ka[0] == kb[0] && (ka[1] < kb[1] || (ka[1] == kb[1] && ka[2] < kb[2])))) {
+				t.Errorf("order %v not sorted at %d: %v %v", o, i, a, b)
+			}
+		}
+	}
+}
+
+func TestSpanL1(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	knows := mustID(t, d, "knows")
+	a := mustID(t, d, "a")
+
+	if got := st.SpanL1(PSO, knows).Len(); got != 4 {
+		t.Errorf("knows span = %d, want 4", got)
+	}
+	if got := st.SpanL1(SPO, a).Len(); got != 4 {
+		t.Errorf("subject a span = %d, want 4", got)
+	}
+	// Object c appears as object of two knows triples.
+	c := mustID(t, d, "c")
+	if got := st.SpanL1(OPS, c).Len(); got != 2 {
+		t.Errorf("object c span = %d, want 2", got)
+	}
+	// Unknown key yields empty span.
+	if sp := st.SpanL1(SPO, rdf.ID(9999)); !sp.Empty() {
+		t.Errorf("unknown key span = %+v, want empty", sp)
+	}
+}
+
+func TestSpanL2HashAndSearchAgree(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	knows := mustID(t, d, "knows")
+	a := mustID(t, d, "a")
+	c := mustID(t, d, "c")
+
+	// PSO is hash-backed: (knows, a) -> 2 triples.
+	if got := st.SpanL2(PSO, knows, a).Len(); got != 2 {
+		t.Errorf("(knows,a) span = %d, want 2", got)
+	}
+	// POS is hash-backed: (knows, c) -> 2 triples.
+	if got := st.SpanL2(POS, knows, c).Len(); got != 2 {
+		t.Errorf("(knows,c) objects span = %d, want 2", got)
+	}
+	// SPO falls back to binary search: (a, knows) -> 2 triples.
+	if got := st.SpanL2(SPO, a, knows).Len(); got != 2 {
+		t.Errorf("(a,knows) span via search = %d, want 2", got)
+	}
+	// OPS fallback: (c, knows) -> 2.
+	if got := st.SpanL2(OPS, c, knows).Len(); got != 2 {
+		t.Errorf("(c,knows) span via search = %d, want 2", got)
+	}
+	// (knows, c) in PSO: c has one outgoing knows edge (c knows d).
+	if got := st.SpanL2(PSO, knows, c).Len(); got != 1 {
+		t.Errorf("(knows,c) subject span = %d, want 1", got)
+	}
+}
+
+func TestSpanL2MissingPairs(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	knows := mustID(t, d, "knows")
+	dd := mustID(t, d, "d")
+	person := mustID(t, d, "Person")
+
+	if !st.SpanL2(PSO, knows, dd).Empty() { // d has no outgoing knows
+		t.Error("(knows,d) should be empty")
+	}
+	if !st.SpanL2(SPO, dd, knows).Empty() {
+		t.Error("(d,knows) via search should be empty")
+	}
+	if !st.SpanL2(SPO, person, knows).Empty() { // Person is never a subject
+		t.Error("(Person,knows) should be empty")
+	}
+}
+
+func TestContains(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	for _, tr := range g.Triples {
+		if !st.Contains(tr) {
+			t.Errorf("Contains(%v) = false for indexed triple", tr)
+		}
+	}
+	d := g.Dict
+	fake := rdf.Triple{S: mustID(t, d, "d"), P: mustID(t, d, "knows"), O: mustID(t, d, "a")}
+	if st.Contains(fake) {
+		t.Errorf("Contains(%v) = true for absent triple", fake)
+	}
+}
+
+func TestStats(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	stats := st.Stats()
+	if stats.Triples != 8 {
+		t.Errorf("Triples = %d, want 8", stats.Triples)
+	}
+	if stats.NdvS != 3 { // a, b, c
+		t.Errorf("NdvS = %d, want 3", stats.NdvS)
+	}
+	if stats.NdvP != 3 { // knows, type, name
+		t.Errorf("NdvP = %d, want 3", stats.NdvP)
+	}
+	if stats.NdvO != 6 { // b, c, d, Person, Robot, "A"
+		t.Errorf("NdvO = %d, want 6", stats.NdvO)
+	}
+	ks := stats.Preds[mustID(t, d, "knows")]
+	if ks.Count != 4 || ks.NdvS != 3 || ks.NdvO != 3 {
+		t.Errorf("knows stats = %+v, want {4 3 3}", ks)
+	}
+	ty := stats.Preds[mustID(t, d, rdf.RDFType)]
+	if ty.Count != 3 || ty.NdvS != 3 || ty.NdvO != 2 {
+		t.Errorf("type stats = %+v, want {3 3 2}", ty)
+	}
+}
+
+func TestSampleUniform(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	knows := mustID(t, d, "knows")
+	sp := st.SpanL1(PSO, knows)
+	rng := rand.New(rand.NewSource(1))
+	counts := map[rdf.Triple]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[st.Sample(PSO, sp, rng)]++
+	}
+	if len(counts) != 4 {
+		t.Fatalf("sampled %d distinct triples, want 4", len(counts))
+	}
+	for tr, c := range counts {
+		frac := float64(c) / n
+		if frac < 0.22 || frac > 0.28 {
+			t.Errorf("triple %v sampled with frequency %.3f, want ~0.25", tr, frac)
+		}
+	}
+}
+
+func TestFullSpanAndAt(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	sp := st.FullSpan(SPO)
+	if sp.Len() != g.Len() {
+		t.Errorf("full span = %d, want %d", sp.Len(), g.Len())
+	}
+	seen := map[rdf.Triple]bool{}
+	for i := 0; i < sp.Len(); i++ {
+		seen[st.At(SPO, sp, i)] = true
+	}
+	if len(seen) != g.Len() {
+		t.Errorf("At enumerated %d distinct triples, want %d", len(seen), g.Len())
+	}
+}
+
+func TestEstimateBytesPositive(t *testing.T) {
+	st := Build(buildTestGraph())
+	if st.EstimateBytes() <= 0 {
+		t.Error("EstimateBytes <= 0")
+	}
+}
+
+func TestOrderAndPosStrings(t *testing.T) {
+	if SPO.String() != "spo" || OPS.String() != "ops" || PSO.String() != "pso" || POS.String() != "pos" {
+		t.Error("Order strings wrong")
+	}
+	if S.String() != "s" || P.String() != "p" || O.String() != "o" {
+		t.Error("Pos strings wrong")
+	}
+}
+
+// randomGraph builds a random graph over small ID alphabets so collisions
+// and runs are common.
+func randomGraph(raw []byte) *rdf.Graph {
+	g := rdf.NewGraph()
+	for i := 0; i < 8; i++ {
+		g.Dict.InternIRI(string(rune('a' + i)))
+	}
+	for i := 0; i+2 < len(raw); i += 3 {
+		g.AddEncoded(rdf.Triple{
+			S: rdf.ID(raw[i] % 8),
+			P: rdf.ID(raw[i+1] % 4),
+			O: rdf.ID(raw[i+2] % 8),
+		})
+	}
+	g.Dedup()
+	return g
+}
+
+func TestSpanConsistencyProperty(t *testing.T) {
+	// Property: for every (p,s) pair present, the PSO hash span agrees with
+	// the SPO search span, and the union of level-1 spans covers the data.
+	f := func(raw []byte) bool {
+		g := randomGraph(raw)
+		if g.Len() == 0 {
+			return true
+		}
+		st := Build(g)
+		covered := 0
+		for _, sp := range st.orders[SPO].l1 {
+			covered += sp.Len()
+		}
+		if covered != g.Len() {
+			return false
+		}
+		for _, tr := range g.Triples {
+			hashSpan := st.SpanL2(PSO, tr.P, tr.S)
+			searchSpan := st.SpanL2(SPO, tr.S, tr.P)
+			if hashSpan.Len() != searchSpan.Len() || hashSpan.Empty() {
+				return false
+			}
+			if !st.Contains(tr) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsConsistencyProperty(t *testing.T) {
+	// Property: per-predicate counts sum to the total and ndv values are
+	// bounded by the counts.
+	f := func(raw []byte) bool {
+		g := randomGraph(raw)
+		st := Build(g)
+		total := 0
+		for _, ps := range st.Stats().Preds {
+			total += ps.Count
+			if ps.NdvS > ps.Count || ps.NdvO > ps.Count || ps.NdvS < 1 || ps.NdvO < 1 {
+				return false
+			}
+		}
+		return total == g.Len()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}

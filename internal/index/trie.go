@@ -1,0 +1,123 @@
+package index
+
+import (
+	"sort"
+
+	"kgexplore/internal/rdf"
+)
+
+// LevelIter iterates over the distinct values at one trie level of an index
+// order, restricted to a span (the subtree selected by the values of the
+// shallower levels). It is the trie-iterator interface of Leapfrog Trie Join:
+// Key/SubSpan expose the current value and its subtree, Next advances to the
+// next distinct value, and Seek leapfrogs to the first value >= the target.
+//
+// A fresh iterator is positioned before the first value; call Next or Seek
+// before Key. The zero LevelIter is exhausted.
+type LevelIter struct {
+	ts    []rdf.Triple
+	pos   Pos  // triple position stored at this level
+	span  Span // bounds of the parent subtree
+	cur   Span // subtree of the current key; cur.Lo==cur.Hi means not positioned
+	key   rdf.ID
+	valid bool
+}
+
+// Level returns an iterator over the distinct values at the given trie level
+// (0, 1 or 2) of order o within span sp.
+func (st *Store) Level(o Order, sp Span, level int) LevelIter {
+	return LevelIter{
+		ts:   st.orders[o].triples,
+		pos:  perms[o][level],
+		span: sp,
+		cur:  Span{sp.Lo, sp.Lo},
+	}
+}
+
+// Valid reports whether the iterator is positioned at a value.
+func (it *LevelIter) Valid() bool { return it.valid }
+
+// Key returns the current distinct value. It must only be called when Valid.
+func (it *LevelIter) Key() rdf.ID { return it.key }
+
+// SubSpan returns the span of triples sharing the current key (the subtree
+// below the current trie node). It must only be called when Valid.
+func (it *LevelIter) SubSpan() Span { return it.cur }
+
+// Next advances to the next distinct value, returning false at the end.
+func (it *LevelIter) Next() bool {
+	lo := it.cur.Hi
+	if lo >= it.span.Hi {
+		it.valid = false
+		return false
+	}
+	it.key = Field(it.ts[lo], it.pos)
+	hi := it.endOfRun(lo)
+	it.cur = Span{lo, hi}
+	it.valid = true
+	return true
+}
+
+// Seek positions the iterator at the first distinct value >= v, returning
+// false if no such value exists. Seeking backwards from the current position
+// is a no-op (the iterator stays where it is), matching LFTJ's monotone
+// seeks.
+func (it *LevelIter) Seek(v rdf.ID) bool {
+	if it.valid && it.key >= v {
+		return true
+	}
+	lo := it.cur.Hi
+	n := it.span.Hi - lo
+	if n <= 0 {
+		it.valid = false
+		return false
+	}
+	ts := it.ts
+	pos := it.pos
+	// Galloping search: runs in O(log d) where d is the distance moved,
+	// which is what gives LFTJ its worst-case optimality.
+	step := 1
+	for step < n && Field(ts[lo+step-1], pos) < v {
+		step <<= 1
+	}
+	searchLo, searchHi := lo+step/2, lo+min(step, n)
+	i := searchLo + sort.Search(searchHi-searchLo, func(k int) bool {
+		return Field(ts[searchLo+k], pos) >= v
+	})
+	if i >= it.span.Hi {
+		it.valid = false
+		return false
+	}
+	it.key = Field(ts[i], pos)
+	it.cur = Span{i, it.endOfRun(i)}
+	it.valid = true
+	return true
+}
+
+// endOfRun finds the end of the run of triples sharing the key at index lo,
+// by galloping forward.
+func (it *LevelIter) endOfRun(lo int) int {
+	k := Field(it.ts[lo], it.pos)
+	n := it.span.Hi - lo
+	step := 1
+	for step < n && Field(it.ts[lo+step], it.pos) == k {
+		step <<= 1
+	}
+	searchLo, searchHi := lo+step/2+1, lo+min(step, n)
+	if searchLo > searchHi {
+		searchLo = searchHi
+	}
+	return searchLo + sort.Search(searchHi-searchLo, func(i int) bool {
+		return Field(it.ts[searchLo+i], it.pos) > k
+	})
+}
+
+// CountDistinct counts the distinct values at a trie level within a span.
+func (st *Store) CountDistinct(o Order, sp Span, level int) int {
+	it := st.Level(o, sp, level)
+	n := 0
+	for it.Next() {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,209 @@
+package index
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/rdf"
+)
+
+func TestLevelIterWalk(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+
+	// Level 0 of PSO enumerates the distinct predicates.
+	it := st.Level(PSO, st.FullSpan(PSO), 0)
+	var preds []rdf.ID
+	for it.Next() {
+		preds = append(preds, it.Key())
+		if it.SubSpan().Empty() {
+			t.Error("non-empty key with empty subspan")
+		}
+	}
+	if len(preds) != 3 {
+		t.Fatalf("level-0 PSO enumerated %d predicates, want 3", len(preds))
+	}
+	for i := 1; i < len(preds); i++ {
+		if preds[i-1] >= preds[i] {
+			t.Error("keys not strictly increasing")
+		}
+	}
+
+	// Descend into knows and enumerate subjects (level 1).
+	knows := mustID(t, d, "knows")
+	it = st.Level(PSO, st.FullSpan(PSO), 0)
+	if !it.Seek(knows) || it.Key() != knows {
+		t.Fatal("seek to knows failed")
+	}
+	sub := st.Level(PSO, it.SubSpan(), 1)
+	n := 0
+	for sub.Next() {
+		n++
+	}
+	if n != 3 { // a, b, c have outgoing knows
+		t.Errorf("knows has %d distinct subjects, want 3", n)
+	}
+}
+
+func TestLevelIterSeek(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	knows := mustID(t, d, "knows")
+	sp := st.SpanL1(PSO, knows)
+
+	subjects := []rdf.ID{}
+	it := st.Level(PSO, sp, 1)
+	for it.Next() {
+		subjects = append(subjects, it.Key())
+	}
+
+	// Seek to each subject exactly.
+	for _, s := range subjects {
+		it := st.Level(PSO, sp, 1)
+		if !it.Seek(s) || it.Key() != s {
+			t.Errorf("Seek(%d) failed", s)
+		}
+	}
+	// Seek past the last subject fails.
+	it = st.Level(PSO, sp, 1)
+	if it.Seek(subjects[len(subjects)-1] + 1) {
+		t.Error("Seek past the end succeeded")
+	}
+	// Seek to 0 lands on the first subject.
+	it = st.Level(PSO, sp, 1)
+	if !it.Seek(0) || it.Key() != subjects[0] {
+		t.Error("Seek(0) did not land on first subject")
+	}
+	// Backward seek is a no-op.
+	it = st.Level(PSO, sp, 1)
+	it.Seek(subjects[len(subjects)-1])
+	cur := it.Key()
+	if !it.Seek(0) || it.Key() != cur {
+		t.Error("backward seek moved the iterator")
+	}
+}
+
+func TestLevelIterEmptySpan(t *testing.T) {
+	st := Build(buildTestGraph())
+	it := st.Level(SPO, Span{}, 0)
+	if it.Next() {
+		t.Error("Next on empty span succeeded")
+	}
+	it = st.Level(SPO, Span{}, 0)
+	if it.Seek(0) {
+		t.Error("Seek on empty span succeeded")
+	}
+	if it.Valid() {
+		t.Error("exhausted iterator reports Valid")
+	}
+}
+
+func TestCountDistinct(t *testing.T) {
+	g := buildTestGraph()
+	st := Build(g)
+	d := g.Dict
+	knows := mustID(t, d, "knows")
+	if got := st.CountDistinct(PSO, st.SpanL1(PSO, knows), 1); got != 3 {
+		t.Errorf("distinct subjects of knows = %d, want 3", got)
+	}
+	if got := st.CountDistinct(POS, st.SpanL1(POS, knows), 1); got != 3 {
+		t.Errorf("distinct objects of knows = %d, want 3", got)
+	}
+	if got := st.CountDistinct(SPO, st.FullSpan(SPO), 0); got != 3 {
+		t.Errorf("distinct subjects = %d, want 3", got)
+	}
+}
+
+func TestLevelIterProperty(t *testing.T) {
+	// Property: on random graphs, for every order and every level-0 subtree,
+	// (1) Next enumerates strictly increasing keys whose subspans partition
+	// the span, and (2) Seek(k) agrees with linear scanning for every key k
+	// in a probe set.
+	f := func(raw []byte) bool {
+		g := randomGraph(raw)
+		if g.Len() == 0 {
+			return true
+		}
+		st := Build(g)
+		for o := Order(0); o < numOrders; o++ {
+			sp := st.FullSpan(o)
+			it := st.Level(o, sp, 0)
+			lastKey := rdf.NoID
+			cursor := sp.Lo
+			var keys []rdf.ID
+			for it.Next() {
+				if lastKey != rdf.NoID && it.Key() <= lastKey {
+					return false
+				}
+				if it.SubSpan().Lo != cursor {
+					return false // gap or overlap
+				}
+				cursor = it.SubSpan().Hi
+				lastKey = it.Key()
+				keys = append(keys, it.Key())
+			}
+			if cursor != sp.Hi {
+				return false // subspans do not cover the span
+			}
+			// Probe seeks: each key, key+1, and 0.
+			probes := append([]rdf.ID{0}, keys...)
+			for _, k := range keys {
+				probes = append(probes, k+1)
+			}
+			for _, v := range probes {
+				it := st.Level(o, sp, 0)
+				ok := it.Seek(v)
+				// Linear reference.
+				var want rdf.ID
+				found := false
+				for _, k := range keys {
+					if k >= v {
+						want, found = k, true
+						break
+					}
+				}
+				if ok != found || (ok && it.Key() != want) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelIterDeepLevelsProperty(t *testing.T) {
+	// Property: descending through all three levels of every order
+	// enumerates exactly the triples of the graph.
+	f := func(raw []byte) bool {
+		g := randomGraph(raw)
+		st := Build(g)
+		for o := Order(0); o < numOrders; o++ {
+			n := 0
+			l0 := st.Level(o, st.FullSpan(o), 0)
+			for l0.Next() {
+				l1 := st.Level(o, l0.SubSpan(), 1)
+				for l1.Next() {
+					l2 := st.Level(o, l1.SubSpan(), 2)
+					for l2.Next() {
+						if l2.SubSpan().Len() != 1 {
+							return false // leaf runs must be single triples
+						}
+						n++
+					}
+				}
+			}
+			if n != g.Len() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,238 @@
+// Package kggen generates deterministic synthetic knowledge graphs that
+// stand in for the paper's evaluation datasets (DBpedia 3.6 and
+// LinkedGeoData 2015-11), which are far beyond this environment's memory.
+//
+// The generators preserve the structural properties that drive the paper's
+// results rather than the absolute scale (see DESIGN.md §3):
+//
+//   - a rooted class hierarchy — deep and wide for DBpedia-sim, shallow with
+//     few classes for LGD-sim;
+//   - Zipfian predicate popularity (a few dense properties, a long tail),
+//     which yields the many-group property charts of Fig. 8a/8d;
+//   - Zipfian object popularity (hub entities), which creates the skewed
+//     fan-outs that make Wander Join walks die on selective suffixes;
+//   - entities carrying one or a few explicit types, with class membership
+//     expanded by the subclass closure at load time.
+package kggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgexplore/internal/explore"
+	"kgexplore/internal/rdf"
+)
+
+// Config parameterizes a synthetic knowledge graph.
+type Config struct {
+	Name string
+	Seed int64
+
+	NumClasses  int // classes in the hierarchy (excluding the root)
+	TopLevel    int // classes attached directly to the root
+	Branching   int // children per class in the tree layout
+	NumProps    int // non-type predicates
+	NumEntities int // entity URIs
+	NumEdges    int // non-type property triples
+
+	TypesPerEntityMax int     // each entity gets 1..max explicit types
+	PredZipfS         float64 // Zipf skew of predicate popularity (>1)
+	SubjZipfS         float64 // Zipf skew of subject popularity (>1; 0 = uniform)
+	ObjZipfS          float64 // Zipf skew of object popularity (>1)
+	ClassZipfS        float64 // Zipf skew of class popularity (>1)
+	EntityObjFrac     float64 // fraction of edges whose object is an entity (vs. a literal-like value node)
+	ValuePool         int     // number of distinct value nodes (0: NumEntities/10)
+}
+
+// DBpediaSim configures a multi-domain graph in the spirit of DBpedia:
+// a deep, wide class tree, tens of properties per entity drawn from a large
+// Zipfian vocabulary, and heavy object hubs. scale multiplies the entity and
+// edge counts (scale 1 is roughly 1.2M triples after closure).
+func DBpediaSim(scale float64) Config {
+	return Config{
+		Name:              "dbpedia-sim",
+		Seed:              20220501,
+		NumClasses:        scaleInt(2000, scale, 200),
+		TopLevel:          30,
+		Branching:         4,
+		NumProps:          scaleInt(1200, scale, 60),
+		NumEntities:       scaleInt(120_000, scale, 500),
+		NumEdges:          scaleInt(600_000, scale, 2000),
+		TypesPerEntityMax: 3,
+		PredZipfS:         1.3,
+		SubjZipfS:         1.05,
+		ObjZipfS:          1.2,
+		ClassZipfS:        1.4,
+		EntityObjFrac:     0.55,
+	}
+}
+
+// LGDSim configures a spatially flavored graph in the spirit of
+// LinkedGeoData: very few classes in a shallow hierarchy, a handful of
+// extremely dense properties, and notably more triples than DBpediaSim at
+// the same scale (the paper's LGD has ~3x DBpedia's edges).
+func LGDSim(scale float64) Config {
+	return Config{
+		Name:              "lgd-sim",
+		Seed:              20151101,
+		NumClasses:        scaleInt(1147, scale, 80),
+		TopLevel:          100,
+		Branching:         40,
+		NumProps:          scaleInt(700, scale, 40),
+		NumEntities:       scaleInt(250_000, scale, 900),
+		NumEdges:          scaleInt(1_500_000, scale, 5000),
+		TypesPerEntityMax: 1,
+		PredZipfS:         1.6,
+		SubjZipfS:         1.03,
+		ObjZipfS:          1.1,
+		ClassZipfS:        1.2,
+		EntityObjFrac:     0.45,
+	}
+}
+
+func scaleInt(base int, scale float64, min int) int {
+	n := int(float64(base) * scale)
+	if n < min {
+		return min
+	}
+	return n
+}
+
+// Generate builds the graph: the class hierarchy, the typed entities, and
+// the Zipf-distributed property edges. The subclass closure is then
+// materialized (explore.MaterializeClosure), matching the paper's offline
+// preprocessing, and the graph is deduplicated.
+func Generate(cfg Config) (*rdf.Graph, explore.Schema, error) {
+	if cfg.NumClasses < 1 || cfg.NumProps < 1 || cfg.NumEntities < 1 {
+		return nil, explore.Schema{}, fmt.Errorf("kggen: config %q needs at least one class, property and entity", cfg.Name)
+	}
+	if cfg.Branching < 2 {
+		cfg.Branching = 2
+	}
+	if cfg.ValuePool <= 0 {
+		cfg.ValuePool = cfg.NumEntities/10 + 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	g := rdf.NewGraph()
+
+	// Intern vocabulary up front so IDs are stable and compact.
+	classes := make([]rdf.ID, cfg.NumClasses)
+	for i := range classes {
+		classes[i] = g.Dict.InternIRI(fmt.Sprintf("c:%s:%d", cfg.Name, i))
+	}
+	props := make([]rdf.ID, cfg.NumProps)
+	for i := range props {
+		props[i] = g.Dict.InternIRI(fmt.Sprintf("p:%s:%d", cfg.Name, i))
+	}
+	entities := make([]rdf.ID, cfg.NumEntities)
+	for i := range entities {
+		entities[i] = g.Dict.InternIRI(fmt.Sprintf("e:%s:%d", cfg.Name, i))
+	}
+	// Value nodes are integer literals so that SUM/AVG aggregation over
+	// them is meaningful.
+	values := make([]rdf.ID, cfg.ValuePool)
+	for i := range values {
+		values[i] = g.Dict.Intern(rdf.NewTypedLiteral(fmt.Sprintf("%d", i+1), rdf.XSDInteger))
+	}
+	root := g.Dict.InternIRI(rdf.OWLThing)
+	typeID := g.Dict.InternIRI(rdf.RDFType)
+	subID := g.Dict.InternIRI(rdf.RDFSSubClass)
+
+	// Class tree in array layout: the first TopLevel classes hang directly
+	// off the root; class i >= TopLevel has parent (i-TopLevel)/Branching.
+	topLevel := cfg.TopLevel
+	if topLevel < 1 {
+		topLevel = 1
+	}
+	if topLevel > cfg.NumClasses {
+		topLevel = cfg.NumClasses
+	}
+	for i, c := range classes {
+		parent := root
+		if i >= topLevel {
+			parent = classes[(i-topLevel)/cfg.Branching]
+		}
+		g.AddEncoded(rdf.Triple{S: c, P: subID, O: parent})
+	}
+
+	// Types: Zipf over classes.
+	classZipf := rand.NewZipf(rng, cfg.ClassZipfS, 1, uint64(cfg.NumClasses-1))
+	maxTypes := cfg.TypesPerEntityMax
+	if maxTypes < 1 {
+		maxTypes = 1
+	}
+	for _, e := range entities {
+		n := 1 + rng.Intn(maxTypes)
+		for k := 0; k < n; k++ {
+			g.AddEncoded(rdf.Triple{S: e, P: typeID, O: classes[classZipf.Uint64()]})
+		}
+	}
+
+	// Edges: Zipf predicates and objects; subjects are mildly Zipf too, so
+	// that hub entities are both popular objects and prolific subjects —
+	// the reconvergent structure (many paths through one node, which then
+	// fans out again) behind Example IV.1 and the walk rejections of §V.
+	predZipf := rand.NewZipf(rng, cfg.PredZipfS, 1, uint64(cfg.NumProps-1))
+	objZipf := rand.NewZipf(rng, cfg.ObjZipfS, 1, uint64(cfg.NumEntities-1))
+	valZipf := rand.NewZipf(rng, cfg.ObjZipfS, 1, uint64(cfg.ValuePool-1))
+	var subjZipf *rand.Zipf
+	if cfg.SubjZipfS > 1 {
+		subjZipf = rand.NewZipf(rng, cfg.SubjZipfS, 1, uint64(cfg.NumEntities-1))
+	}
+	for i := 0; i < cfg.NumEdges; i++ {
+		var s rdf.ID
+		if subjZipf != nil {
+			s = entities[subjZipf.Uint64()]
+		} else {
+			s = entities[rng.Intn(cfg.NumEntities)]
+		}
+		p := props[predZipf.Uint64()]
+		var o rdf.ID
+		if rng.Float64() < cfg.EntityObjFrac {
+			o = entities[objZipf.Uint64()]
+		} else {
+			o = values[valZipf.Uint64()]
+		}
+		g.AddEncoded(rdf.Triple{S: s, P: p, O: o})
+	}
+
+	explore.MaterializeClosure(g, rdf.OWLThing)
+	schema, err := explore.SchemaOf(g.Dict, rdf.OWLThing)
+	if err != nil {
+		return nil, explore.Schema{}, fmt.Errorf("kggen: %w", err)
+	}
+	return g, schema, nil
+}
+
+// Info summarizes a generated dataset for Table I.
+type Info struct {
+	Name    string
+	Triples int
+	Classes int
+	Props   int
+}
+
+// DatasetInfo computes the Table I row for a graph: total triples, distinct
+// classes (objects of rdf:type plus both sides of rdfs:subClassOf), and
+// distinct non-derived predicates.
+func DatasetInfo(name string, g *rdf.Graph) Info {
+	typeID, _ := g.Dict.LookupIRI(rdf.RDFType)
+	subID, _ := g.Dict.LookupIRI(rdf.RDFSSubClass)
+	closureID, hasClosure := g.Dict.LookupIRI(explore.TypeClosureIRI)
+	classes := map[rdf.ID]bool{}
+	props := map[rdf.ID]bool{}
+	for _, t := range g.Triples {
+		if hasClosure && t.P == closureID {
+			continue // derived, not part of the dataset proper
+		}
+		props[t.P] = true
+		if t.P == typeID {
+			classes[t.O] = true
+		}
+		if t.P == subID {
+			classes[t.S] = true
+			classes[t.O] = true
+		}
+	}
+	return Info{Name: name, Triples: g.Len(), Classes: len(classes), Props: len(props)}
+}

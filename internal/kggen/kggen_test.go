@@ -1,0 +1,149 @@
+package kggen
+
+import (
+	"testing"
+
+	"kgexplore/internal/explore"
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DBpediaSim(0.01)
+	g1, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, _, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Len() != g2.Len() {
+		t.Fatalf("non-deterministic sizes: %d vs %d", g1.Len(), g2.Len())
+	}
+	for i := range g1.Triples {
+		if g1.Triples[i] != g2.Triples[i] {
+			t.Fatalf("triple %d differs", i)
+		}
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	for _, cfg := range []Config{DBpediaSim(0.01), LGDSim(0.01)} {
+		g, schema, err := Generate(cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		info := DatasetInfo(cfg.Name, g)
+		if info.Triples == 0 || info.Classes < cfg.NumClasses || info.Props <= 2 {
+			t.Errorf("%s: implausible info %+v", cfg.Name, info)
+		}
+		// Closure must make every typed entity an instance of the root.
+		st := index.Build(g)
+		closureSpan := st.SpanL2(index.POS, schema.TypeClosure, schema.Root)
+		typedEntities := st.CountDistinct(index.PSO, st.SpanL1(index.PSO, schema.Type), 1)
+		// Root instances include the typed entities (classes typed? no) —
+		// every typed entity has the root in its closure.
+		if closureSpan.Len() < typedEntities {
+			t.Errorf("%s: root closure %d < typed entities %d",
+				cfg.Name, closureSpan.Len(), typedEntities)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	// The most popular predicate must dominate: top-1 predicate should have
+	// at least 10x the triples of the median predicate.
+	g, _, err := Generate(DBpediaSim(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	typeID, _ := g.Dict.LookupIRI(rdf.RDFType)
+	subID, _ := g.Dict.LookupIRI(rdf.RDFSSubClass)
+	closureID, _ := g.Dict.LookupIRI(explore.TypeClosureIRI)
+	var counts []int
+	it := st.Level(index.PSO, st.FullSpan(index.PSO), 0)
+	for it.Next() {
+		if k := it.Key(); k == typeID || k == subID || k == closureID {
+			continue
+		}
+		counts = append(counts, it.SubSpan().Len())
+	}
+	if len(counts) < 10 {
+		t.Fatalf("only %d predicates", len(counts))
+	}
+	max, sum := 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		sum += c
+	}
+	mean := sum / len(counts)
+	if max < 5*mean {
+		t.Errorf("predicate skew too flat: max %d vs mean %d", max, mean)
+	}
+}
+
+func TestGeneratedGraphSupportsExploration(t *testing.T) {
+	g, schema, err := Generate(DBpediaSim(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	s := explore.Root(schema)
+	q, err := s.Query(explore.OpSubclass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := lftj.Evaluate(st, pl)
+	if len(res) == 0 {
+		t.Fatal("root subclass chart empty")
+	}
+	// Out-property chart of the root must include the generated predicates.
+	q, err = s.Query(explore.OpOutProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err = query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res = lftj.Evaluate(st, pl)
+	if len(res) < 10 {
+		t.Errorf("root out-prop chart has only %d bars", len(res))
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	bad := Config{Name: "bad"}
+	if _, _, err := Generate(bad); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestDatasetInfoIgnoresClosure(t *testing.T) {
+	g, _, err := Generate(DBpediaSim(0.005))
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := DatasetInfo("x", g)
+	closureID, _ := g.Dict.LookupIRI(explore.TypeClosureIRI)
+	for p := range map[rdf.ID]bool{closureID: true} {
+		_ = p
+	}
+	// Triples counts everything (the materialized graph), but Props must
+	// not include the derived closure predicate.
+	st := index.Build(g)
+	nPreds := st.CountDistinct(index.PSO, st.FullSpan(index.PSO), 0)
+	if info.Props != nPreds-1 {
+		t.Errorf("Props = %d, want %d (all preds minus closure)", info.Props, nPreds-1)
+	}
+}

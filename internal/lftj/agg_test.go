@@ -1,0 +1,115 @@
+package lftj
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// sumFixture: persons with numeric ages grouped by type.
+func sumFixture(t *testing.T) (*rdf.Graph, *query.Query) {
+	t.Helper()
+	g := rdf.NewGraph()
+	age := rdf.NewIRI("age")
+	ty := rdf.NewIRI(rdf.RDFType)
+	add := func(who string, a float64, class string) {
+		g.Add(rdf.NewIRI(who), age, rdf.NewTypedLiteral(trimF(a), rdf.XSDInteger))
+		g.Add(rdf.NewIRI(who), ty, rdf.NewIRI(class))
+	}
+	add("alice", 30, "Person")
+	add("bob", 40, "Person")
+	add("carol", 20, "Robot")
+	// dave has a non-numeric age.
+	g.Add(rdf.NewIRI("dave"), age, rdf.NewLiteral("unknown"))
+	g.Add(rdf.NewIRI("dave"), ty, rdf.NewIRI("Person"))
+	g.Dedup()
+
+	ageID, _ := g.Dict.LookupIRI("age")
+	tyID, _ := g.Dict.LookupIRI(rdf.RDFType)
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(ageID), O: query.V(1)},
+			{S: query.V(0), P: query.C(tyID), O: query.V(2)},
+		},
+		Alpha: 2,
+		Beta:  1,
+		Agg:   query.AggSum,
+	}
+	return g, q
+}
+
+func trimF(f float64) string {
+	return string([]byte{byte('0' + int(f)/10), byte('0' + int(f)%10)})
+}
+
+func TestGroupSum(t *testing.T) {
+	g, q := sumFixture(t)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	got := Evaluate(st, pl)
+	person, _ := g.Dict.LookupIRI("Person")
+	robot, _ := g.Dict.LookupIRI("Robot")
+	// Person: 30+40 (dave's "unknown" contributes nothing); Robot: 20.
+	if got[person] != 70 || got[robot] != 20 {
+		t.Errorf("GroupSum = %v, want Person:70 Robot:20", got)
+	}
+}
+
+func TestGroupAvg(t *testing.T) {
+	g, q := sumFixture(t)
+	q.Agg = query.AggAvg
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	got := Evaluate(st, pl)
+	person, _ := g.Dict.LookupIRI("Person")
+	robot, _ := g.Dict.LookupIRI("Robot")
+	if math.Abs(got[person]-35) > 1e-12 || got[robot] != 20 {
+		t.Errorf("GroupAvg = %v, want Person:35 Robot:20", got)
+	}
+}
+
+func TestDistinctSumRejected(t *testing.T) {
+	_, q := sumFixture(t)
+	q.Distinct = true
+	if err := q.Validate(); err == nil {
+		t.Error("DISTINCT SUM accepted")
+	}
+}
+
+func TestAggAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, flags uint8) bool {
+		agg := query.AggSum
+		if flags&1 != 0 {
+			agg = query.AggAvg
+		}
+		grouped := flags&2 != 0
+		g := testkit.RandomGraph(seed, 6, 3, 4, 40)
+		if g.Len() == 0 {
+			return true
+		}
+		q := testkit.ChainQuery(g, []rdf.ID{6, 7}, grouped, false)
+		q.Agg = agg
+		pl, err := query.Compile(q)
+		if err != nil {
+			return false
+		}
+		st := index.Build(g)
+		want := testkit.BruteForce(g, q)
+		got := Evaluate(st, pl)
+		return testkit.MapsEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+// Package lftj implements Leapfrog Trie Join for the exploration-query
+// fragment: an exact, backtracking join over the store's trie indexes with
+// no materialization and no caching (Veldhuizen's LFTJ, paper §IV-B).
+//
+// For the acyclic queries of the fragment, LFTJ's variable-at-a-time
+// leapfrogging specializes to pattern-at-a-time backtracking in walk order:
+// each pattern's trie is restricted by the values already bound (a seek),
+// and the pattern's free positions are enumerated from the restricted
+// subtree. Because nothing is cached, shared suffixes are recomputed on
+// every revisit — the inefficiency Cached Trie Join removes (Example IV.1).
+package lftj
+
+import (
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// GlobalGroup is the map key used for ungrouped queries (Alpha == NoVar).
+const GlobalGroup = rdf.NoID
+
+// Enumerate performs the backtracking join and invokes cb once per full
+// assignment. cb must not retain the bindings slice. If cb returns false the
+// enumeration stops early.
+func Enumerate(store *index.Store, pl *query.Plan, cb func(query.Bindings) bool) {
+	b := pl.NewBindings()
+	var rec func(i int) bool
+	rec = func(i int) bool {
+		if i == len(pl.Steps) {
+			return cb(b)
+		}
+		st := &pl.Steps[i]
+		sp, ok := st.ResolveSpan(store, b)
+		if !ok {
+			return true
+		}
+		if st.Kind == query.AccessMembership {
+			return rec(i + 1)
+		}
+		for k := 0; k < sp.Len(); k++ {
+			st.Bind(store.At(st.Order, sp, k), b)
+			if !rec(i + 1) {
+				return false
+			}
+		}
+		st.Unbind(b)
+		return true
+	}
+	rec(0)
+}
+
+// Count returns the exact number of full assignments |Γ|.
+func Count(store *index.Store, pl *query.Plan) int64 {
+	var n int64
+	Enumerate(store, pl, func(query.Bindings) bool {
+		n++
+		return true
+	})
+	return n
+}
+
+// GroupCount returns the exact COUNT per group: the number of full
+// assignments for each value of Alpha. For ungrouped queries the single
+// count is under GlobalGroup.
+func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	out := make(map[rdf.ID]int64)
+	alpha := pl.Query.Alpha
+	Enumerate(store, pl, func(b query.Bindings) bool {
+		key := GlobalGroup
+		if alpha != query.NoVar {
+			key = b[alpha]
+		}
+		out[key]++
+		return true
+	})
+	return out
+}
+
+// GroupDistinct returns the exact COUNT(DISTINCT Beta) per group. For
+// ungrouped queries the single count is under GlobalGroup.
+func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	seen := make(map[uint64]struct{})
+	out := make(map[rdf.ID]int64)
+	alpha, beta := pl.Query.Alpha, pl.Query.Beta
+	Enumerate(store, pl, func(b query.Bindings) bool {
+		a := GlobalGroup
+		if alpha != query.NoVar {
+			a = b[alpha]
+		}
+		k := uint64(a)<<32 | uint64(b[beta])
+		if _, dup := seen[k]; !dup {
+			seen[k] = struct{}{}
+			out[a]++
+		}
+		return true
+	})
+	return out
+}
+
+// GroupSum returns the exact SUM of Beta's numeric values per group.
+// Assignments whose Beta is not numeric contribute nothing; groups with no
+// numeric assignment at all are omitted (consistently across engines).
+func GroupSum(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	out := make(map[rdf.ID]float64)
+	alpha, beta := pl.Query.Alpha, pl.Query.Beta
+	Enumerate(store, pl, func(b query.Bindings) bool {
+		if v, ok := store.Numeric(b[beta]); ok {
+			a := GlobalGroup
+			if alpha != query.NoVar {
+				a = b[alpha]
+			}
+			out[a] += v
+		}
+		return true
+	})
+	return out
+}
+
+// GroupAvg returns the exact AVG of Beta's numeric values per group,
+// averaged over the assignments whose Beta is numeric. Groups with no
+// numeric assignment are omitted.
+func GroupAvg(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	sums := make(map[rdf.ID]float64)
+	counts := make(map[rdf.ID]float64)
+	alpha, beta := pl.Query.Alpha, pl.Query.Beta
+	Enumerate(store, pl, func(b query.Bindings) bool {
+		if v, ok := store.Numeric(b[beta]); ok {
+			a := GlobalGroup
+			if alpha != query.NoVar {
+				a = b[alpha]
+			}
+			sums[a] += v
+			counts[a]++
+		}
+		return true
+	})
+	out := make(map[rdf.ID]float64, len(sums))
+	for a, s := range sums {
+		out[a] = s / counts[a]
+	}
+	return out
+}
+
+// Evaluate runs the query per its aggregation function and Distinct flag,
+// returning exact per-group results as float64 for comparability with the
+// estimators.
+func Evaluate(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	switch pl.Query.Agg {
+	case query.AggSum:
+		return GroupSum(store, pl)
+	case query.AggAvg:
+		return GroupAvg(store, pl)
+	}
+	var raw map[rdf.ID]int64
+	if pl.Query.Distinct {
+		raw = GroupDistinct(store, pl)
+	} else {
+		raw = GroupCount(store, pl)
+	}
+	out := make(map[rdf.ID]float64, len(raw))
+	for k, v := range raw {
+		out[k] = float64(v)
+	}
+	return out
+}

@@ -1,0 +1,208 @@
+package lftj
+
+import (
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// fig5Fixture builds the paper's Fig. 5 query over a small known graph and
+// returns the plan, the store's graph and the expected results.
+func fig5Fixture(t *testing.T) (*query.Plan, *rdf.Graph) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+
+	bp, _ := g.Dict.LookupIRI("birthPlace")
+	ty, _ := g.Dict.LookupIRI(rdf.RDFType)
+	person, _ := g.Dict.LookupIRI("Person")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(bp), O: query.V(1)},
+			{S: query.V(0), P: query.C(ty), O: query.C(person)},
+			{S: query.V(1), P: query.C(ty), O: query.V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: true,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, g
+}
+
+func TestCountFig5(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	// Full assignments: alice/bob->paris->City (2), carol/dave->lima->City,
+	// carol/dave->lima->Capital (4) = 6.
+	if got := Count(st, pl); got != 6 {
+		t.Errorf("Count = %d, want 6", got)
+	}
+}
+
+func TestGroupCountFig5(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	got := GroupCount(st, pl)
+	if got[city] != 4 || got[capital] != 2 || len(got) != 2 {
+		t.Errorf("GroupCount = %v, want City:4 Capital:2", got)
+	}
+}
+
+func TestGroupDistinctFig5(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	city, _ := g.Dict.LookupIRI("City")
+	capital, _ := g.Dict.LookupIRI("Capital")
+	// Distinct birth places per type: City {paris, lima} = 2, Capital {lima} = 1.
+	got := GroupDistinct(st, pl)
+	if got[city] != 2 || got[capital] != 1 || len(got) != 2 {
+		t.Errorf("GroupDistinct = %v, want City:2 Capital:1", got)
+	}
+}
+
+func TestEvaluateHonorsDistinctFlag(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	city, _ := g.Dict.LookupIRI("City")
+	if got := Evaluate(st, pl); got[city] != 2 {
+		t.Errorf("Evaluate distinct = %v", got)
+	}
+	q2 := *pl.Query
+	q2.Distinct = false
+	pl2, _ := query.Compile(&q2)
+	if got := Evaluate(st, pl2); got[city] != 4 {
+		t.Errorf("Evaluate non-distinct = %v", got)
+	}
+}
+
+func TestUngroupedCount(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	q := *pl.Query
+	q.Alpha = query.NoVar
+	q.Distinct = false
+	pl2, err := query.Compile(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testkit.BuildStore(g)
+	got := GroupCount(st, pl2)
+	if got[GlobalGroup] != 6 || len(got) != 1 {
+		t.Errorf("ungrouped GroupCount = %v, want {global:6}", got)
+	}
+}
+
+func TestEnumerateEarlyStop(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	n := 0
+	Enumerate(st, pl, func(query.Bindings) bool {
+		n++
+		return n < 3
+	})
+	if n != 3 {
+		t.Errorf("early stop visited %d assignments, want 3", n)
+	}
+}
+
+func TestEmptyResult(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	// Query over a predicate that exists but with an impossible constant.
+	bp, _ := g.Dict.LookupIRI("birthPlace")
+	person, _ := g.Dict.LookupIRI("Person")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.C(person), P: query.C(bp), O: query.V(0)},
+		},
+		Alpha: query.NoVar,
+		Beta:  0,
+	}
+	pl2, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := Count(st, pl2); got != 0 {
+		t.Errorf("Count = %d, want 0", got)
+	}
+	if got := GroupCount(st, pl2); len(got) != 0 {
+		t.Errorf("GroupCount = %v, want empty", got)
+	}
+	_ = pl
+}
+
+// TestAgainstBruteForce cross-checks LFTJ against the independent oracle on
+// random graphs and chain queries of depth 1..3, grouped and ungrouped,
+// distinct and not.
+func TestAgainstBruteForce(t *testing.T) {
+	f := func(seed int64, depth8, flags uint8) bool {
+		depth := 1 + int(depth8%3)
+		grouped := flags&1 != 0
+		distinct := flags&2 != 0
+		g := testkit.RandomGraph(seed, 6, 3, 4, 40)
+		if g.Len() == 0 {
+			return true
+		}
+		preds := make([]rdf.ID, depth)
+		for i := range preds {
+			preds[i] = rdf.ID(6 + i%3)
+		}
+		q := testkit.ChainQuery(g, preds, grouped, distinct)
+		pl, err := query.Compile(q)
+		if err != nil {
+			return false
+		}
+		st := testkit.BuildStore(g)
+		want := testkit.BruteForce(g, q)
+		got := Evaluate(st, pl)
+		return testkit.MapsEqual(got, want, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestOrderInvariance verifies that exact results do not depend on the walk
+// order of the patterns.
+func TestOrderInvariance(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	want := Evaluate(st, pl)
+	for _, ord := range pl.Query.ValidOrders() {
+		qq, err := pl.Query.Reorder(ord)
+		if err != nil {
+			t.Fatalf("reorder %v: %v", ord, err)
+		}
+		pl2, err := query.Compile(qq)
+		if err != nil {
+			// Some orders may hit the unsupported s+o access path; those
+			// are legitimately not executable.
+			continue
+		}
+		got := Evaluate(st, pl2)
+		if !testkit.MapsEqual(got, want, 1e-9) {
+			t.Errorf("order %v gave %v, want %v", ord, got, want)
+		}
+	}
+}

@@ -1,0 +1,185 @@
+package query
+
+import (
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// PatternCard returns the exact number of triples matching the pattern's
+// constant positions, ignoring variables. This is an O(1) span lookup for
+// every constant combination that the exploration fragment produces.
+func PatternCard(store *index.Store, p Pattern) int {
+	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
+	switch {
+	case !sConst && !pConst && !oConst:
+		return store.NumTriples()
+	case sConst && !pConst && !oConst:
+		return store.SpanL1(index.SPO, p.S.ID).Len()
+	case !sConst && pConst && !oConst:
+		return store.SpanL1(index.PSO, p.P.ID).Len()
+	case !sConst && !pConst && oConst:
+		return store.SpanL1(index.OPS, p.O.ID).Len()
+	case sConst && pConst && !oConst:
+		return store.SpanL2(index.PSO, p.P.ID, p.S.ID).Len()
+	case !sConst && pConst && oConst:
+		return store.SpanL2(index.POS, p.P.ID, p.O.ID).Len()
+	case sConst && !pConst && oConst:
+		// Not servable exactly by the four orders; use the independence
+		// estimate |G_s| * |G_o| / N.
+		n := store.NumTriples()
+		if n == 0 {
+			return 0
+		}
+		est := float64(store.SpanL1(index.SPO, p.S.ID).Len()) *
+			float64(store.SpanL1(index.OPS, p.O.ID).Len()) / float64(n)
+		return int(est + 0.5)
+	default: // all constant
+		if store.Contains(rdf.Triple{S: p.S.ID, P: p.P.ID, O: p.O.ID}) {
+			return 1
+		}
+		return 0
+	}
+}
+
+// PatternVarNdv estimates the number of distinct values the variable at
+// position pos takes within the constant-restricted pattern. Exact where the
+// statistics allow (predicate-level ndv, two-constant spans); otherwise the
+// span length is used as an upper bound, matching the coarse statistics
+// PostgreSQL-style estimation relies on (paper §IV-D).
+func PatternVarNdv(store *index.Store, p Pattern, pos index.Pos) int {
+	card := PatternCard(store, p)
+	if card == 0 {
+		return 0
+	}
+	stats := store.Stats()
+	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
+	nConst := 0
+	for _, c := range []bool{sConst, pConst, oConst} {
+		if c {
+			nConst++
+		}
+	}
+	// With two constants, the free position's values are all distinct
+	// (triples are unique), so ndv == card.
+	if nConst >= 2 {
+		return card
+	}
+	if pConst {
+		ps := stats.Preds[p.P.ID]
+		switch pos {
+		case index.S:
+			return ps.NdvS
+		case index.O:
+			return ps.NdvO
+		}
+		return 1 // the predicate itself
+	}
+	if nConst == 0 {
+		switch pos {
+		case index.S:
+			return stats.NdvS
+		case index.P:
+			return stats.NdvP
+		default:
+			return stats.NdvO
+		}
+	}
+	// One non-predicate constant (subject or object bound, e.g. the
+	// ?x ?p ?o patterns of property expansions): no per-entity ndv
+	// statistics are kept, so bound by the span length.
+	return card
+}
+
+// EstimateSuffixSize estimates the number of full paths extending a prefix
+// that has just completed step i (0-based) under bindings b, i.e. the
+// estimated |Γ_δ| that Audit Join's tipping point compares against its
+// threshold. The first remaining step is resolved exactly (one O(1) span
+// lookup); later steps compose PostgreSQL's rule
+//
+//	|G_j| / max(ndv_left(join var), ndv_right(join var))
+//
+// where ndv_left is 1 for the step adjacent to the prefix (a single value is
+// bound) and the pattern-level ndv otherwise.
+func (pl *Plan) EstimateSuffixSize(store *index.Store, i int, b Bindings) float64 {
+	est := 1.0
+	for j := i + 1; j < len(pl.Steps); j++ {
+		st := &pl.Steps[j]
+		adjacent := true // whether all of st's join vars are bound in b
+		for _, jv := range st.JoinVars {
+			if b[jv.Var] == rdf.NoID {
+				adjacent = false
+			}
+		}
+		if adjacent && len(st.JoinVars) > 0 {
+			sp, ok := st.ResolveSpan(store, b)
+			if !ok {
+				return 0
+			}
+			if st.Kind == AccessMembership {
+				est *= 1
+			} else {
+				est *= float64(sp.Len())
+			}
+			continue
+		}
+		card := float64(PatternCard(store, st.Pattern))
+		if card == 0 {
+			return 0
+		}
+		f := card
+		for _, jv := range st.JoinVars {
+			ndvHere := PatternVarNdv(store, st.Pattern, jv.Pos)
+			ndvThere := pl.ndvAtBindingSite(store, jv.Var)
+			d := ndvHere
+			if ndvThere > d {
+				d = ndvThere
+			}
+			if d > 0 {
+				f /= float64(d)
+			}
+		}
+		est *= f
+		if est == 0 {
+			return 0
+		}
+	}
+	return est
+}
+
+// ndvAtBindingSite returns the pattern-level ndv of variable v at the step
+// that first binds it.
+func (pl *Plan) ndvAtBindingSite(store *index.Store, v Var) int {
+	for s := range pl.Steps {
+		for _, vp := range pl.Steps[s].NewVars {
+			if vp.Var == v {
+				return PatternVarNdv(store, pl.Steps[s].Pattern, vp.Pos)
+			}
+		}
+	}
+	return 1
+}
+
+// EstimateJoinSize estimates the total join size |Γ| of the whole query by
+// composing the PostgreSQL rule over all steps, with no bindings. Exposed
+// for diagnostics and for the workload generator's selectivity reporting.
+func (pl *Plan) EstimateJoinSize(store *index.Store) float64 {
+	est := float64(PatternCard(store, pl.Steps[0].Pattern))
+	for j := 1; j < len(pl.Steps); j++ {
+		st := &pl.Steps[j]
+		card := float64(PatternCard(store, st.Pattern))
+		f := card
+		for _, jv := range st.JoinVars {
+			ndvHere := PatternVarNdv(store, st.Pattern, jv.Pos)
+			ndvThere := pl.ndvAtBindingSite(store, jv.Var)
+			d := ndvHere
+			if ndvThere > d {
+				d = ndvThere
+			}
+			if d > 0 {
+				f /= float64(d)
+			}
+		}
+		est *= f
+	}
+	return est
+}

@@ -1,0 +1,142 @@
+package query
+
+import (
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+func TestPatternCard(t *testing.T) {
+	st, d := testData(t)
+	bp, _ := d.LookupIRI("birthPlace")
+	ty, _ := d.LookupIRI(rdf.RDFType)
+	alice, _ := d.LookupIRI("alice")
+	paris, _ := d.LookupIRI("paris")
+	person, _ := d.LookupIRI("Person")
+
+	cases := []struct {
+		name string
+		p    Pattern
+		want int
+	}{
+		{"all vars", Pattern{V(0), V(1), V(2)}, st.NumTriples()},
+		{"p const", Pattern{V(0), C(bp), V(1)}, 5},
+		{"s const", Pattern{C(alice), V(0), V(1)}, 2},
+		{"o const", Pattern{V(0), V(1), C(paris)}, 2}, // birthPlace x2; paris as subject of type doesn't count
+		{"sp const", Pattern{C(alice), C(bp), V(0)}, 1},
+		{"po const", Pattern{V(0), C(ty), C(person)}, 4},
+		{"spo present", Pattern{C(alice), C(bp), C(paris)}, 1},
+		{"spo absent", Pattern{C(alice), C(bp), C(person)}, 0},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if got := PatternCard(st, c.p); got != c.want {
+				t.Errorf("PatternCard = %d, want %d", got, c.want)
+			}
+		})
+	}
+}
+
+func TestPatternCardSOConstFallback(t *testing.T) {
+	st, d := testData(t)
+	alice, _ := d.LookupIRI("alice")
+	paris, _ := d.LookupIRI("paris")
+	// (alice, ?p, paris): independence estimate, should be small but >= 0.
+	got := PatternCard(st, Pattern{C(alice), V(0), C(paris)})
+	if got < 0 || got > 2 {
+		t.Errorf("independence estimate = %d, want within [0,2]", got)
+	}
+}
+
+func TestPatternVarNdv(t *testing.T) {
+	st, d := testData(t)
+	bp, _ := d.LookupIRI("birthPlace")
+	ty, _ := d.LookupIRI(rdf.RDFType)
+	person, _ := d.LookupIRI("Person")
+	alice, _ := d.LookupIRI("alice")
+
+	// ?s birthPlace ?o: 5 distinct subjects, 3 distinct objects.
+	p := Pattern{V(0), C(bp), V(1)}
+	if got := PatternVarNdv(st, p, index.S); got != 5 {
+		t.Errorf("ndv(s | birthPlace) = %d, want 5", got)
+	}
+	if got := PatternVarNdv(st, p, index.O); got != 3 {
+		t.Errorf("ndv(o | birthPlace) = %d, want 3", got)
+	}
+	// ?s type Person: two constants -> ndv = card = 4.
+	p2 := Pattern{V(0), C(ty), C(person)}
+	if got := PatternVarNdv(st, p2, index.S); got != 4 {
+		t.Errorf("ndv(s | type Person) = %d, want 4", got)
+	}
+	// alice ?p ?o: span-length upper bound = 2.
+	p3 := Pattern{C(alice), V(0), V(1)}
+	if got := PatternVarNdv(st, p3, index.P); got != 2 {
+		t.Errorf("ndv(p | alice) = %d, want 2", got)
+	}
+	// All-var pattern falls back to global ndvs.
+	p4 := Pattern{V(0), V(1), V(2)}
+	if got := PatternVarNdv(st, p4, index.P); got != st.Stats().NdvP {
+		t.Errorf("global ndv(p) = %d, want %d", got, st.Stats().NdvP)
+	}
+	if got := PatternVarNdv(st, p4, index.S); got != st.Stats().NdvS {
+		t.Errorf("global ndv(s) = %d, want %d", got, st.Stats().NdvS)
+	}
+	if got := PatternVarNdv(st, p4, index.O); got != st.Stats().NdvO {
+		t.Errorf("global ndv(o) = %d, want %d", got, st.Stats().NdvO)
+	}
+	// Empty pattern -> 0.
+	if got := PatternVarNdv(st, Pattern{V(0), C(rdf.ID(9999)), V(1)}, index.S); got != 0 {
+		t.Errorf("ndv over empty pattern = %d, want 0", got)
+	}
+}
+
+func TestEstimateSuffixSizeAdjacentExact(t *testing.T) {
+	st, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	pl, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pl.NewBindings()
+	alice, _ := d.LookupIRI("alice")
+	paris, _ := d.LookupIRI("paris")
+	b[0], b[1] = alice, paris
+	// After step 0 with (alice, paris): step 1 membership (1 way) and step 2
+	// resolves exactly: paris has 1 type. Estimate should be 1*1 = 1.
+	got := pl.EstimateSuffixSize(st, 0, b)
+	if got != 1 {
+		t.Errorf("EstimateSuffixSize = %v, want 1", got)
+	}
+	// Prefix ending at a dead end: carol born in lima, lima has 2 types,
+	// but carol IS a person, so estimate = 2.
+	carol, _ := d.LookupIRI("carol")
+	lima, _ := d.LookupIRI("lima")
+	b[0], b[1] = carol, lima
+	if got := pl.EstimateSuffixSize(st, 0, b); got != 2 {
+		t.Errorf("EstimateSuffixSize(carol) = %v, want 2", got)
+	}
+	// eve is not a Person: estimate 0.
+	eve, _ := d.LookupIRI("eve")
+	rome, _ := d.LookupIRI("rome")
+	b[0], b[1] = eve, rome
+	if got := pl.EstimateSuffixSize(st, 0, b); got != 0 {
+		t.Errorf("EstimateSuffixSize(eve) = %v, want 0", got)
+	}
+	// At the final step the suffix is empty: estimate 1 (the path itself).
+	if got := pl.EstimateSuffixSize(st, len(pl.Steps)-1, b); got != 1 {
+		t.Errorf("EstimateSuffixSize at last step = %v, want 1", got)
+	}
+}
+
+func TestEstimateJoinSizePositive(t *testing.T) {
+	st, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	pl, _ := Compile(q)
+	est := pl.EstimateJoinSize(st)
+	// Exact join size: persons with birthplaces x types of those places:
+	// alice/bob->paris(City), carol/dave->lima(City,Capital) = 2+4 = 6.
+	if est <= 0 || est > 30 {
+		t.Errorf("EstimateJoinSize = %v, want a positive value near 6", est)
+	}
+}

@@ -1,0 +1,36 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"kgexplore/internal/index"
+)
+
+func TestExplain(t *testing.T) {
+	st, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	pl, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := pl.Explain(st)
+	for _, want := range []string{
+		"step 0", "step 1", "step 2",
+		"access=l1/pso", "access=membership", "access=l2/pso",
+		"binds=", "join=",
+		"|G_i|=5", // the birthPlace pattern
+		"estimated join size",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Explain missing %q in:\n%s", want, out)
+		}
+	}
+	// Structure-only mode.
+	out = pl.Explain(nil)
+	if strings.Contains(out, "|G_i|") || strings.Contains(out, "estimated join") {
+		t.Errorf("nil-store Explain leaked estimates:\n%s", out)
+	}
+	_ = st
+	var _ = index.SPO
+}

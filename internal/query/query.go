@@ -1,0 +1,367 @@
+// Package query defines the intermediate representation of exploration
+// queries (the fragment of Figure 4 of the paper): acyclic multiway joins of
+// triple patterns in which every variable occurs in at most two join
+// patterns (plus any number of single-variable filter patterns, which the
+// type and subclass-closure checks of exploration steps accumulate),
+// evaluated as a grouped COUNT or COUNT(DISTINCT).
+//
+// The package also plans how each engine accesses the store: for every
+// pattern it derives, given the variables bound by earlier patterns, which
+// of the four index orders serves the candidate-set lookup, and it provides
+// the PostgreSQL-style join-size estimates that Audit Join's tipping point
+// uses (paper §IV-D).
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// Var identifies a query variable. Variables are small non-negative
+// integers; NoVar marks "no variable here".
+type Var int
+
+// NoVar is the absent variable (used for Alpha on ungrouped queries and for
+// constant atoms).
+const NoVar Var = -1
+
+// Atom is one position of a triple pattern: either a variable or a constant
+// term ID.
+type Atom struct {
+	Var Var    // >= 0 when the atom is a variable
+	ID  rdf.ID // constant term when Var == NoVar
+}
+
+// V returns a variable atom.
+func V(v Var) Atom { return Atom{Var: v} }
+
+// C returns a constant atom.
+func C(id rdf.ID) Atom { return Atom{Var: NoVar, ID: id} }
+
+// IsVar reports whether the atom is a variable.
+func (a Atom) IsVar() bool { return a.Var >= 0 }
+
+func (a Atom) String() string {
+	if a.IsVar() {
+		return fmt.Sprintf("?%d", a.Var)
+	}
+	return fmt.Sprintf("<%d>", a.ID)
+}
+
+// Pattern is a triple pattern (a_i, b_i, c_i) in the paper's notation.
+type Pattern struct {
+	S, P, O Atom
+}
+
+func (p Pattern) String() string {
+	return p.S.String() + " " + p.P.String() + " " + p.O.String()
+}
+
+// Atom returns the atom at a triple position.
+func (p Pattern) Atom(pos index.Pos) Atom {
+	switch pos {
+	case index.S:
+		return p.S
+	case index.P:
+		return p.P
+	default:
+		return p.O
+	}
+}
+
+// AggFunc selects the aggregation applied to Beta. COUNT (with or without
+// DISTINCT) is the paper's fragment; SUM and AVG are the extension the
+// paper lists as future work (§IV-D "Limitations"), supported by every
+// engine in this repository for non-distinct aggregation over numeric
+// literal values.
+type AggFunc uint8
+
+const (
+	// AggCount counts the assignments (or distinct Beta values).
+	AggCount AggFunc = iota
+	// AggSum sums the numeric values of Beta over all assignments;
+	// assignments whose Beta is not a numeric literal contribute 0.
+	AggSum
+	// AggAvg averages the numeric values of Beta over the assignments
+	// whose Beta is numeric.
+	AggAvg
+)
+
+func (a AggFunc) String() string {
+	switch a {
+	case AggCount:
+		return "COUNT"
+	case AggSum:
+		return "SUM"
+	case AggAvg:
+		return "AVG"
+	default:
+		return fmt.Sprintf("AggFunc(%d)", uint8(a))
+	}
+}
+
+// Query is an exploration query: a list of triple patterns joined on shared
+// variables, grouped by Alpha, aggregating values of Beta (COUNT by
+// default, optionally DISTINCT; or SUM/AVG over numeric values).
+//
+// The pattern order is the random-walk order used by Wander Join and Audit
+// Join: every pattern after the first must share a variable with an earlier
+// pattern. Validate checks this along with the fragment's restrictions.
+type Query struct {
+	Patterns []Pattern
+	Alpha    Var     // group-by variable; NoVar for a single global group
+	Beta     Var     // aggregated variable
+	Distinct bool    // COUNT(DISTINCT Beta); only valid with AggCount
+	Agg      AggFunc // aggregation function; zero value is AggCount
+}
+
+// NumVars returns one plus the largest variable index used, i.e. the size of
+// a binding array.
+func (q *Query) NumVars() int {
+	max := -1
+	for _, p := range q.Patterns {
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if a.IsVar() && int(a.Var) > max {
+				max = int(a.Var)
+			}
+		}
+	}
+	return max + 1
+}
+
+// varOccurrences counts how many patterns each variable occurs in.
+func (q *Query) varOccurrences() map[Var]int {
+	occ := make(map[Var]int)
+	for _, p := range q.Patterns {
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if a.IsVar() {
+				occ[a.Var]++
+			}
+		}
+	}
+	return occ
+}
+
+// patternVars returns the distinct variables of a pattern.
+func patternVars(p Pattern) []Var {
+	var vs []Var
+	for _, a := range []Atom{p.S, p.P, p.O} {
+		if a.IsVar() {
+			vs = append(vs, a.Var)
+		}
+	}
+	return vs
+}
+
+// Validate checks that the query is inside the exploration fragment:
+// non-empty; no repeated variable within one pattern; each variable in at
+// most two *join* patterns (patterns with two or more variables) — extra
+// occurrences in single-variable filter patterns, such as the rdf:type and
+// subclass-closure membership checks exploration steps accumulate, are
+// allowed since they do not branch the join tree; the join graph is acyclic;
+// the pattern order is connected; and Alpha/Beta occur in some pattern.
+func (q *Query) Validate() error { return q.validate(false) }
+
+// ValidateCyclic checks the same properties as Validate but permits cycles
+// in the join graph. Cyclic patterns (e.g. triangles) are outside the
+// paper's exploration fragment, but the random-walk estimators remain
+// unbiased on them — the closing pattern simply becomes a membership check
+// with d = 1 — which the paper notes as a natural extension (§IV-D
+// "Limitations"). Compile cyclic queries with CompileCyclic.
+func (q *Query) ValidateCyclic() error { return q.validate(true) }
+
+func (q *Query) validate(allowCycles bool) error {
+	if len(q.Patterns) == 0 {
+		return errors.New("query: no patterns")
+	}
+	for i, p := range q.Patterns {
+		seen := map[Var]bool{}
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if a.IsVar() {
+				if seen[a.Var] {
+					return fmt.Errorf("query: variable ?%d repeated within pattern %d", a.Var, i)
+				}
+				seen[a.Var] = true
+			}
+		}
+	}
+	occ := q.varOccurrences()
+	// Count occurrences in join patterns only, and check acyclicity of the
+	// join graph with union-find (each shared variable links two join
+	// patterns; a link within one component closes a cycle).
+	joinOcc := make(map[Var]int)
+	varHome := make(map[Var]int) // join-pattern index that first used the var
+	parent := make([]int, len(q.Patterns))
+	for i := range parent {
+		parent[i] = i
+	}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	for i, p := range q.Patterns {
+		vs := patternVars(p)
+		if len(vs) < 2 {
+			continue // filter pattern
+		}
+		for _, v := range vs {
+			joinOcc[v]++
+			if joinOcc[v] > 2 {
+				return fmt.Errorf("query: variable ?%d occurs in %d join patterns; the exploration fragment allows at most 2", v, joinOcc[v])
+			}
+			if home, ok := varHome[v]; ok {
+				a, b := find(home), find(i)
+				if a == b {
+					if !allowCycles {
+						return fmt.Errorf("query: join patterns form a cycle through variable ?%d; the exploration fragment is acyclic (use CompileCyclic to allow it)", v)
+					}
+				} else {
+					parent[a] = b
+				}
+			} else {
+				varHome[v] = i
+			}
+		}
+	}
+	if q.Beta == NoVar {
+		return errors.New("query: Beta (aggregated variable) is required")
+	}
+	if q.Distinct && q.Agg != AggCount {
+		return fmt.Errorf("query: DISTINCT is only supported with COUNT, not %v", q.Agg)
+	}
+	if _, ok := occ[q.Beta]; !ok {
+		return fmt.Errorf("query: Beta ?%d does not occur in any pattern", q.Beta)
+	}
+	if q.Alpha != NoVar {
+		if _, ok := occ[q.Alpha]; !ok {
+			return fmt.Errorf("query: Alpha ?%d does not occur in any pattern", q.Alpha)
+		}
+	}
+	// Connectivity in walk order.
+	bound := map[Var]bool{}
+	for i, p := range q.Patterns {
+		if i > 0 {
+			connected := false
+			for _, a := range []Atom{p.S, p.P, p.O} {
+				if a.IsVar() && bound[a.Var] {
+					connected = true
+				}
+			}
+			if !connected {
+				return fmt.Errorf("query: pattern %d (%s) shares no variable with earlier patterns; reorder the walk", i, p)
+			}
+		}
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if a.IsVar() {
+				bound[a.Var] = true
+			}
+		}
+	}
+	return nil
+}
+
+// Reorder returns a copy of q with its patterns permuted by perm (perm[i] is
+// the index into q.Patterns of the i-th pattern of the new order).
+func (q *Query) Reorder(perm []int) (*Query, error) {
+	if len(perm) != len(q.Patterns) {
+		return nil, fmt.Errorf("query: permutation has %d entries for %d patterns", len(perm), len(q.Patterns))
+	}
+	used := make([]bool, len(perm))
+	nq := &Query{Alpha: q.Alpha, Beta: q.Beta, Distinct: q.Distinct, Agg: q.Agg}
+	for _, idx := range perm {
+		if idx < 0 || idx >= len(q.Patterns) || used[idx] {
+			return nil, fmt.Errorf("query: invalid permutation %v", perm)
+		}
+		used[idx] = true
+		nq.Patterns = append(nq.Patterns, q.Patterns[idx])
+	}
+	if err := nq.Validate(); err != nil {
+		return nil, err
+	}
+	return nq, nil
+}
+
+// ValidOrders enumerates all pattern permutations that keep the walk
+// connected (every pattern shares a variable with an earlier one). Intended
+// for the paper's protocol of trying different Wander Join walk orders; the
+// number of patterns in exploration queries is small.
+func (q *Query) ValidOrders() [][]int {
+	n := len(q.Patterns)
+	var out [][]int
+	perm := make([]int, 0, n)
+	used := make([]bool, n)
+	bound := map[Var]bool{}
+	var rec func()
+	rec = func() {
+		if len(perm) == n {
+			out = append(out, append([]int(nil), perm...))
+			return
+		}
+		for i := 0; i < n; i++ {
+			if used[i] {
+				continue
+			}
+			p := q.Patterns[i]
+			vars := []Atom{p.S, p.P, p.O}
+			connected := len(perm) == 0
+			for _, a := range vars {
+				if a.IsVar() && bound[a.Var] {
+					connected = true
+				}
+			}
+			if !connected {
+				continue
+			}
+			// Bind this pattern's new variables.
+			var added []Var
+			for _, a := range vars {
+				if a.IsVar() && !bound[a.Var] {
+					bound[a.Var] = true
+					added = append(added, a.Var)
+				}
+			}
+			used[i] = true
+			perm = append(perm, i)
+			rec()
+			perm = perm[:len(perm)-1]
+			used[i] = false
+			for _, v := range added {
+				delete(bound, v)
+			}
+		}
+	}
+	rec()
+	return out
+}
+
+func (q *Query) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Alpha != NoVar {
+		fmt.Fprintf(&b, "?%d ", q.Alpha)
+	}
+	b.WriteString(q.Agg.String())
+	b.WriteString("(")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	fmt.Fprintf(&b, "?%d) WHERE {", q.Beta)
+	for _, p := range q.Patterns {
+		b.WriteString(" ")
+		b.WriteString(p.String())
+		b.WriteString(" .")
+	}
+	b.WriteString(" }")
+	if q.Alpha != NoVar {
+		fmt.Fprintf(&b, " GROUP BY ?%d", q.Alpha)
+	}
+	return b.String()
+}

@@ -1,0 +1,334 @@
+package query
+
+import (
+	"strings"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// testData builds the paper's running-example shape:
+//
+//	?s <birthPlace> ?o . ?s rdf:type <Person> . ?o rdf:type ?c
+//
+// over a small graph.
+func testData(t *testing.T) (*index.Store, *rdf.Dict) {
+	t.Helper()
+	g := rdf.NewGraph()
+	// People and their birth places.
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	// Types.
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+	return index.Build(g), g.Dict
+}
+
+// birthPlaceQuery is the query of Fig. 5: SELECT ?c COUNT(DISTINCT ?o)
+// WHERE { ?s birthPlace ?o . ?s type Person . ?o type ?c } GROUP BY ?c
+// with walk order as listed. Vars: ?s=0, ?o=1, ?c=2.
+func birthPlaceQuery(t *testing.T, d *rdf.Dict) *Query {
+	t.Helper()
+	bp, _ := d.LookupIRI("birthPlace")
+	ty, _ := d.LookupIRI(rdf.RDFType)
+	person, _ := d.LookupIRI("Person")
+	return &Query{
+		Patterns: []Pattern{
+			{S: V(0), P: C(bp), O: V(1)},
+			{S: V(0), P: C(ty), O: C(person)},
+			{S: V(1), P: C(ty), O: V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: true,
+	}
+}
+
+func TestValidateAccepts(t *testing.T) {
+	_, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	if err := q.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if q.NumVars() != 3 {
+		t.Errorf("NumVars = %d, want 3", q.NumVars())
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	cases := []struct {
+		name string
+		q    Query
+		want string
+	}{
+		{"empty", Query{Beta: 0}, "no patterns"},
+		{"var thrice in join patterns", Query{
+			Patterns: []Pattern{
+				{S: V(0), P: C(1), O: V(1)},
+				{S: V(0), P: C(2), O: V(2)},
+				{S: V(0), P: C(3), O: V(3)},
+			}, Beta: 0,
+		}, "at most 2"},
+		{"cyclic triangle", Query{
+			Patterns: []Pattern{
+				{S: V(0), P: C(1), O: V(1)},
+				{S: V(1), P: C(2), O: V(2)},
+				{S: V(2), P: C(3), O: V(0)},
+			}, Beta: 0,
+		}, "cycle"},
+		{"repeated in pattern", Query{
+			Patterns: []Pattern{{S: V(0), P: C(1), O: V(0)}}, Beta: 0,
+		}, "repeated within pattern"},
+		{"disconnected", Query{
+			Patterns: []Pattern{
+				{S: V(0), P: C(1), O: V(1)},
+				{S: V(2), P: C(2), O: V(3)},
+			}, Beta: 0,
+		}, "shares no variable"},
+		{"no beta", Query{
+			Patterns: []Pattern{{S: V(0), P: C(1), O: V(1)}}, Beta: NoVar,
+		}, "Beta"},
+		{"beta unused", Query{
+			Patterns: []Pattern{{S: V(0), P: C(1), O: V(1)}}, Beta: 7,
+		}, "does not occur"},
+		{"alpha unused", Query{
+			Patterns: []Pattern{{S: V(0), P: C(1), O: V(1)}}, Beta: 0, Alpha: 9,
+		}, "Alpha"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.q.Validate()
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("Validate = %v, want error mentioning %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestValidateAllowsFilterPatterns(t *testing.T) {
+	// ?x in one join pattern plus two filter patterns (type checks) — the
+	// shape real exploration paths produce — must be accepted.
+	q := Query{
+		Patterns: []Pattern{
+			{S: V(0), P: C(1), O: C(2)}, // ?x type Person (filter)
+			{S: V(0), P: C(3), O: V(1)}, // ?x influencedBy ?y (join)
+			{S: V(0), P: C(1), O: C(4)}, // ?x type Agent (filter)
+			{S: V(0), P: V(2), O: V(3)}, // ?x ?p ?o (join)
+		},
+		Alpha: 2,
+		Beta:  0,
+	}
+	if err := q.Validate(); err != nil {
+		t.Errorf("filter-heavy query rejected: %v", err)
+	}
+	// But a third occurrence in join patterns is still rejected.
+	q.Patterns = append(q.Patterns, Pattern{S: V(0), P: C(5), O: V(4)})
+	if err := q.Validate(); err == nil {
+		t.Error("third join occurrence accepted")
+	}
+}
+
+func TestCompileAccessPaths(t *testing.T) {
+	_, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	pl, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step 0: only P bound (constant) -> PSO level 1.
+	if s := pl.Steps[0]; s.Kind != AccessL1 || s.Order != index.PSO {
+		t.Errorf("step 0 access = %v/%v, want l1/pso", s.Kind, s.Order)
+	}
+	// Step 1: S (join var), P, O all bound -> membership.
+	if s := pl.Steps[1]; s.Kind != AccessMembership {
+		t.Errorf("step 1 access = %v, want membership", s.Kind)
+	}
+	// Step 2: S (join var) and P bound -> PSO level 2.
+	if s := pl.Steps[2]; s.Kind != AccessL2 || s.Order != index.PSO {
+		t.Errorf("step 2 access = %v/%v, want l2/pso", s.Kind, s.Order)
+	}
+	// Alpha (?c=2) first bound at step 2 in O position; Beta (?o=1) at step 0.
+	if pl.AlphaStep != 2 || pl.AlphaPos != index.O {
+		t.Errorf("alpha site = %d/%v", pl.AlphaStep, pl.AlphaPos)
+	}
+	if pl.BetaStep != 0 || pl.BetaPos != index.O {
+		t.Errorf("beta site = %d/%v", pl.BetaStep, pl.BetaPos)
+	}
+}
+
+func TestCompileRejectsSOAccess(t *testing.T) {
+	// ?x <p> ?y . ?x ?q <c>: second pattern has S bound (join) and O const,
+	// P free -> unsupported by the four orders.
+	q := &Query{
+		Patterns: []Pattern{
+			{S: V(0), P: C(1), O: V(1)},
+			{S: V(0), P: V(2), O: C(5)},
+		},
+		Beta: 1,
+	}
+	_, err := Compile(q)
+	if err == nil || !strings.Contains(err.Error(), "not served") {
+		t.Errorf("Compile = %v, want unsupported-access error", err)
+	}
+}
+
+func TestResolveSpanAndBind(t *testing.T) {
+	st, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	pl, err := Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := pl.NewBindings()
+
+	// Step 0: all birthPlace triples.
+	sp, ok := pl.Steps[0].ResolveSpan(st, b)
+	if !ok || sp.Len() != 5 {
+		t.Fatalf("step 0 span = %d,%v; want 5", sp.Len(), ok)
+	}
+	// Bind to the alice triple.
+	var aliceTriple rdf.Triple
+	alice, _ := d.LookupIRI("alice")
+	for i := 0; i < sp.Len(); i++ {
+		tr := st.At(pl.Steps[0].Order, sp, i)
+		if tr.S == alice {
+			aliceTriple = tr
+		}
+	}
+	pl.Steps[0].Bind(aliceTriple, b)
+	if b[0] != alice {
+		t.Fatalf("binding ?s = %d, want alice=%d", b[0], alice)
+	}
+	paris, _ := d.LookupIRI("paris")
+	if b[1] != paris {
+		t.Fatalf("binding ?o = %d, want paris=%d", b[1], paris)
+	}
+
+	// Step 1 membership: alice is a Person.
+	if _, ok := pl.Steps[1].ResolveSpan(st, b); !ok {
+		t.Error("alice type Person membership failed")
+	}
+	// Step 2: types of paris -> City only.
+	sp2, ok := pl.Steps[2].ResolveSpan(st, b)
+	if !ok || sp2.Len() != 1 {
+		t.Fatalf("step 2 span = %d,%v; want 1", sp2.Len(), ok)
+	}
+	tr := st.At(pl.Steps[2].Order, sp2, 0)
+	pl.Steps[2].Bind(tr, b)
+	city, _ := d.LookupIRI("City")
+	if b[2] != city {
+		t.Errorf("?c = %d, want City=%d", b[2], city)
+	}
+
+	// Unbind backtracks.
+	pl.Steps[2].Unbind(b)
+	if b[2] != rdf.NoID {
+		t.Error("Unbind did not clear ?c")
+	}
+	// Matches.
+	if !pl.Steps[0].Matches(aliceTriple, b) {
+		t.Error("Matches rejected the bound triple")
+	}
+}
+
+func TestResolveSpanMembershipAbsent(t *testing.T) {
+	st, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	pl, _ := Compile(q)
+	b := pl.NewBindings()
+	eve, _ := d.LookupIRI("eve")
+	rome, _ := d.LookupIRI("rome")
+	b[0], b[1] = eve, rome
+	// eve is a Robot, not a Person.
+	if _, ok := pl.Steps[1].ResolveSpan(st, b); ok {
+		t.Error("eve type Person membership succeeded, want failure")
+	}
+}
+
+func TestReorder(t *testing.T) {
+	_, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	// Order (1,0,2): type-Person first, then birthPlace, then type ?c.
+	nq, err := q.Reorder([]int{1, 0, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nq.Patterns) != 3 || nq.Patterns[0] != q.Patterns[1] {
+		t.Error("Reorder did not permute")
+	}
+	// Order (2,1,0) is disconnected at step 1 (?c/?o vs ?s/Person).
+	if _, err := q.Reorder([]int{2, 1, 0}); err == nil {
+		t.Error("disconnected reorder accepted")
+	}
+	// Bad permutations.
+	if _, err := q.Reorder([]int{0, 0, 1}); err == nil {
+		t.Error("duplicate permutation accepted")
+	}
+	if _, err := q.Reorder([]int{0, 1}); err == nil {
+		t.Error("short permutation accepted")
+	}
+}
+
+func TestValidOrders(t *testing.T) {
+	_, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	orders := q.ValidOrders()
+	// Patterns: 0 (?s bp ?o), 1 (?s type Person), 2 (?o type ?c).
+	// Connected orders: any starting pattern works? Pattern 1 binds ?s; then
+	// 0 connects via ?s; 2 connects only after 0. Pattern 2 binds ?o,?c;
+	// then 0 connects via ?o; 1 after 0.
+	want := map[string]bool{
+		"[0 1 2]": true, "[0 2 1]": true,
+		"[1 0 2]": true, "[2 0 1]": true,
+	}
+	if len(orders) != len(want) {
+		t.Fatalf("ValidOrders = %v, want %d orders", orders, len(want))
+	}
+	for _, o := range orders {
+		if !want[fmtInts(o)] {
+			t.Errorf("unexpected order %v", o)
+		}
+	}
+	// Every returned order must re-validate.
+	for _, o := range orders {
+		if _, err := q.Reorder(o); err != nil {
+			t.Errorf("order %v failed Reorder: %v", o, err)
+		}
+	}
+}
+
+func fmtInts(xs []int) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = string(rune('0' + x))
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+func TestQueryString(t *testing.T) {
+	_, d := testData(t)
+	q := birthPlaceQuery(t, d)
+	s := q.String()
+	for _, want := range []string{"SELECT ?2", "COUNT(DISTINCT ?1)", "GROUP BY ?2"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() = %q missing %q", s, want)
+		}
+	}
+	q.Distinct = false
+	q.Alpha = NoVar
+	s = q.String()
+	if strings.Contains(s, "DISTINCT") || strings.Contains(s, "GROUP BY") {
+		t.Errorf("ungrouped non-distinct String() = %q", s)
+	}
+}

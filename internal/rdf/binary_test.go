@@ -1,0 +1,131 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLiteral("plain"))
+	g.Add(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLangLiteral("hej", "sv"))
+	g.Add(NewIRI("s2"), NewIRI("p2"), NewTypedLiteral("42", XSDInteger))
+	g.Add(NewBlank("b1"), NewIRI("p2"), NewIRI("o"))
+	g.Dedup()
+
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != g.Len() || g2.Dict.Len() != g.Dict.Len() {
+		t.Fatalf("sizes changed: %d/%d vs %d/%d", g2.Len(), g2.Dict.Len(), g.Len(), g.Dict.Len())
+	}
+	for i, tr := range g.Triples {
+		if g2.Triples[i] != tr {
+			t.Errorf("triple %d differs", i)
+		}
+	}
+	for i := 0; i < g.Dict.Len(); i++ {
+		if g.Dict.Term(ID(i)) != g2.Dict.Term(ID(i)) {
+			t.Errorf("term %d differs: %v vs %v", i, g.Dict.Term(ID(i)), g2.Dict.Term(ID(i)))
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(labels []string, raw []uint8) bool {
+		g := NewGraph()
+		// Intern a varied dictionary.
+		for _, l := range labels {
+			g.Dict.Intern(NewLiteral(l))
+			g.Dict.InternIRI(l)
+		}
+		if g.Dict.Len() == 0 {
+			g.Dict.InternIRI("x")
+		}
+		n := g.Dict.Len()
+		for i := 0; i+2 < len(raw); i += 3 {
+			g.AddEncoded(Triple{
+				S: ID(int(raw[i]) % n),
+				P: ID(int(raw[i+1]) % n),
+				O: ID(int(raw[i+2]) % n),
+			})
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if g2.Len() != g.Len() {
+			return false
+		}
+		for i := range g.Triples {
+			if g.Triples[i] != g2.Triples[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadBinaryErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		data string
+		want string
+	}{
+		{"empty", "", "magic"},
+		{"bad magic", "NOPE", "not a graph snapshot"},
+		{"truncated term count", "KGX1\x01", "term count"},
+		{"truncated terms", "KGX1\x02\x00\x00\x00", "term 0"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadBinary(strings.NewReader(c.data))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestReadBinaryRejectsDanglingIDs(t *testing.T) {
+	// Craft a snapshot with a triple referencing a term beyond the dict.
+	g := NewGraph()
+	g.AddIRIs("a", "b", "c")
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The last 12 bytes are the triple; corrupt the subject to a huge ID.
+	data[len(data)-12] = 0xff
+	data[len(data)-11] = 0xff
+	_, err := ReadBinary(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "beyond dictionary") {
+		t.Errorf("err = %v, want dangling-ID rejection", err)
+	}
+}
+
+func TestReadBinaryRejectsBadKind(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("KGX1")
+	buf.Write([]byte{1, 0, 0, 0}) // one term
+	buf.WriteByte(99)             // invalid kind
+	_, err := ReadBinary(&buf)
+	if err == nil || !strings.Contains(err.Error(), "invalid kind") {
+		t.Errorf("err = %v, want invalid-kind rejection", err)
+	}
+}

@@ -1,0 +1,237 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseError describes a syntax error in N-Triples input.
+type ParseError struct {
+	Line int
+	Col  int
+	Msg  string
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("ntriples: line %d col %d: %s", e.Line, e.Col, e.Msg)
+}
+
+// ReadNTriples parses N-Triples from r into a new Graph. Comment lines
+// (starting with '#') and blank lines are skipped. The triples are
+// deduplicated before returning.
+func ReadNTriples(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	if err := ReadNTriplesInto(r, g); err != nil {
+		return nil, err
+	}
+	g.Dedup()
+	return g, nil
+}
+
+// ReadNTriplesInto parses N-Triples from r, appending to g. It does not
+// deduplicate; callers that need set semantics should call g.Dedup after all
+// inputs are loaded.
+func ReadNTriplesInto(r io.Reader, g *Graph) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		s, p, o, err := parseTripleLine(line, lineNo)
+		if err != nil {
+			return err
+		}
+		g.Add(s, p, o)
+	}
+	return sc.Err()
+}
+
+// parseTripleLine parses one "<s> <p> <o> ." line.
+func parseTripleLine(line string, lineNo int) (s, p, o Term, err error) {
+	pp := &lineParser{line: line, lineNo: lineNo}
+	s, err = pp.term()
+	if err != nil {
+		return
+	}
+	p, err = pp.term()
+	if err != nil {
+		return
+	}
+	o, err = pp.term()
+	if err != nil {
+		return
+	}
+	pp.skipSpace()
+	if !pp.eat('.') {
+		err = pp.errf("expected '.' terminating triple")
+		return
+	}
+	pp.skipSpace()
+	if pp.pos != len(pp.line) {
+		err = pp.errf("trailing content after '.'")
+	}
+	return
+}
+
+type lineParser struct {
+	line   string
+	pos    int
+	lineNo int
+}
+
+func (p *lineParser) errf(format string, args ...any) error {
+	return &ParseError{Line: p.lineNo, Col: p.pos + 1, Msg: fmt.Sprintf(format, args...)}
+}
+
+func (p *lineParser) skipSpace() {
+	for p.pos < len(p.line) && (p.line[p.pos] == ' ' || p.line[p.pos] == '\t') {
+		p.pos++
+	}
+}
+
+func (p *lineParser) eat(c byte) bool {
+	if p.pos < len(p.line) && p.line[p.pos] == c {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *lineParser) peek() byte {
+	if p.pos < len(p.line) {
+		return p.line[p.pos]
+	}
+	return 0
+}
+
+// term parses the next term: an IRI, a blank node, or a literal.
+func (p *lineParser) term() (Term, error) {
+	p.skipSpace()
+	switch p.peek() {
+	case '<':
+		return p.iri()
+	case '_':
+		return p.blank()
+	case '"':
+		return p.literal()
+	case 0:
+		return Term{}, p.errf("unexpected end of line, expected a term")
+	default:
+		return Term{}, p.errf("unexpected character %q, expected a term", p.peek())
+	}
+}
+
+func (p *lineParser) iri() (Term, error) {
+	p.eat('<')
+	end := strings.IndexByte(p.line[p.pos:], '>')
+	if end < 0 {
+		return Term{}, p.errf("unterminated IRI")
+	}
+	iri := p.line[p.pos : p.pos+end]
+	p.pos += end + 1
+	return NewIRI(iri), nil
+}
+
+func (p *lineParser) blank() (Term, error) {
+	if !strings.HasPrefix(p.line[p.pos:], "_:") {
+		return Term{}, p.errf("malformed blank node")
+	}
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.line) && !isTermBreak(p.line[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.line[start:p.pos]), nil
+}
+
+func isTermBreak(c byte) bool { return c == ' ' || c == '\t' }
+
+func (p *lineParser) literal() (Term, error) {
+	p.eat('"')
+	var b strings.Builder
+	for {
+		if p.pos >= len(p.line) {
+			return Term{}, p.errf("unterminated literal")
+		}
+		c := p.line[p.pos]
+		if c == '"' {
+			p.pos++
+			break
+		}
+		if c == '\\' {
+			p.pos++
+			if p.pos >= len(p.line) {
+				return Term{}, p.errf("dangling escape in literal")
+			}
+			switch p.line[p.pos] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			case 'u', 'U':
+				return Term{}, p.errf("\\u escapes are not supported by this loader")
+			default:
+				return Term{}, p.errf("unknown escape \\%c in literal", p.line[p.pos])
+			}
+			p.pos++
+			continue
+		}
+		b.WriteByte(c)
+		p.pos++
+	}
+	lex := b.String()
+	// Optional suffix: @lang or ^^<datatype>.
+	if p.eat('@') {
+		start := p.pos
+		for p.pos < len(p.line) && !isTermBreak(p.line[p.pos]) {
+			p.pos++
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.line[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.line[p.pos:], "^^") {
+		p.pos += 2
+		dt, err := p.iri()
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+// WriteNTriples serializes the graph to w in N-Triples syntax.
+func WriteNTriples(w io.Writer, g *Graph) error {
+	bw := bufio.NewWriter(w)
+	for _, t := range g.Triples {
+		d := g.Decode(t)
+		if _, err := bw.WriteString(d.S.String()); err != nil {
+			return err
+		}
+		bw.WriteByte(' ')
+		bw.WriteString(d.P.String())
+		bw.WriteByte(' ')
+		bw.WriteString(d.O.String())
+		if _, err := bw.WriteString(" .\n"); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

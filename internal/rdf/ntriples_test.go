@@ -1,0 +1,169 @@
+package rdf
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+const sampleNT = `# a comment
+<http://ex.org/alice> <http://ex.org/knows> <http://ex.org/bob> .
+<http://ex.org/alice> <http://ex.org/name> "Alice" .
+
+<http://ex.org/bob> <http://ex.org/age> "42"^^<http://www.w3.org/2001/XMLSchema#integer> .
+<http://ex.org/bob> <http://ex.org/name> "Bobo"@en .
+_:b0 <http://ex.org/p> _:b1 .
+`
+
+func TestReadNTriples(t *testing.T) {
+	g, err := ReadNTriples(strings.NewReader(sampleNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 5 {
+		t.Fatalf("parsed %d triples, want 5", g.Len())
+	}
+	found := false
+	for _, tr := range g.Triples {
+		d := g.Decode(tr)
+		if d.O == NewTypedLiteral("42", XSDInteger) {
+			found = true
+			if d.S != NewIRI("http://ex.org/bob") {
+				t.Errorf("typed literal triple has subject %v", d.S)
+			}
+		}
+	}
+	if !found {
+		t.Error("typed literal triple not parsed")
+	}
+}
+
+func TestReadNTriplesDedups(t *testing.T) {
+	in := "<a> <p> <b> .\n<a> <p> <b> .\n"
+	g, err := ReadNTriples(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("want 1 triple after dedup, got %d", g.Len())
+	}
+}
+
+func TestReadNTriplesErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		in   string
+		want string // substring of the error
+	}{
+		{"missing dot", "<a> <p> <b>", "expected '.'"},
+		{"unterminated IRI", "<a", "unterminated"},
+		{"unterminated literal", `<a> <p> "oops .`, "unterminated literal"},
+		{"bad escape", `<a> <p> "x\q" .`, "unknown escape"},
+		{"dangling escape", `<a> <p> "x\`, "dangling escape"},
+		{"unicode escape", "<a> <p> \"x\\u0041\" .", "not supported"},
+		{"trailing junk", "<a> <p> <b> . extra", "trailing content"},
+		{"empty blank label", "_: <p> <b> .", "empty blank node label"},
+		{"bare word", "a <p> <b> .", "unexpected character"},
+		{"truncated", "<a> <p>", "end of line"},
+		{"empty lang", `<a> <p> "x"@ .`, "empty language tag"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadNTriples(strings.NewReader(c.in))
+			if err == nil {
+				t.Fatalf("no error for %q", c.in)
+			}
+			if !strings.Contains(err.Error(), c.want) {
+				t.Errorf("error %q does not mention %q", err, c.want)
+			}
+			var pe *ParseError
+			if !errorsAs(err, &pe) {
+				t.Errorf("error is %T, want *ParseError", err)
+			} else if pe.Line != 1 {
+				t.Errorf("error line = %d, want 1", pe.Line)
+			}
+		})
+	}
+}
+
+// errorsAs avoids importing errors for one call and keeps the test explicit.
+func errorsAs(err error, target **ParseError) bool {
+	pe, ok := err.(*ParseError)
+	if ok {
+		*target = pe
+	}
+	return ok
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLiteral("plain"))
+	g.Add(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLangLiteral("hej", "sv"))
+	g.Add(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewTypedLiteral("1.5", XSDDouble))
+	g.Add(NewBlank("x"), NewIRI("http://ex.org/p"), NewIRI("http://ex.org/o"))
+	g.Add(NewIRI("http://ex.org/s"), NewIRI("http://ex.org/p"), NewLiteral("esc \" \\ \n\t\r done"))
+	g.Dedup()
+
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatalf("re-parse failed: %v\noutput was:\n%s", err, buf.String())
+	}
+	if g2.Len() != g.Len() {
+		t.Fatalf("round trip changed triple count: %d -> %d", g.Len(), g2.Len())
+	}
+	set := map[string]bool{}
+	for _, tr := range g.Triples {
+		set[g.Decode(tr).String()] = true
+	}
+	for _, tr := range g2.Triples {
+		if !set[g2.Decode(tr).String()] {
+			t.Errorf("round trip invented triple %s", g2.Decode(tr))
+		}
+	}
+}
+
+func TestRoundTripPropertyLiterals(t *testing.T) {
+	// Property: any literal lexical form free of \u-needing control chars
+	// survives a write/read round trip.
+	f := func(lex string) bool {
+		// The writer emits escapes only for " \ \n \r \t; other control
+		// characters would need \u escapes the reader rejects, so filter.
+		for _, r := range lex {
+			if r < 0x20 && r != '\n' && r != '\r' && r != '\t' {
+				return true // skip: out of supported alphabet
+			}
+		}
+		g := NewGraph()
+		g.Add(NewIRI("s"), NewIRI("p"), NewLiteral(lex))
+		var buf bytes.Buffer
+		if err := WriteNTriples(&buf, g); err != nil {
+			return false
+		}
+		g2, err := ReadNTriples(&buf)
+		if err != nil || g2.Len() != 1 {
+			return false
+		}
+		return g2.Decode(g2.Triples[0]).O == NewLiteral(lex)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReadNTriplesIntoAccumulates(t *testing.T) {
+	g := NewGraph()
+	if err := ReadNTriplesInto(strings.NewReader("<a> <p> <b> .\n"), g); err != nil {
+		t.Fatal(err)
+	}
+	if err := ReadNTriplesInto(strings.NewReader("<a> <p> <c> .\n"), g); err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 2 {
+		t.Errorf("accumulated %d triples, want 2", g.Len())
+	}
+}

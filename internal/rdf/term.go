@@ -1,0 +1,153 @@
+// Package rdf implements the RDF data model used throughout kgexplore:
+// terms (IRIs and literals), triples, dictionary encoding of terms to dense
+// integer IDs, and N-Triples input/output.
+//
+// All query processing in this repository operates on dictionary-encoded
+// triples (three uint32 IDs); strings appear only at the edges, when data is
+// loaded and when results are rendered. This mirrors the design of the
+// engines evaluated in the paper, whose indexes store integer-encoded triples.
+package rdf
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// TermKind distinguishes the lexical categories of RDF terms.
+type TermKind uint8
+
+const (
+	// IRI is an Internationalized Resource Identifier (we follow the paper
+	// in calling these URIs interchangeably).
+	IRI TermKind = iota
+	// Literal is an RDF literal; the Value holds the lexical form and
+	// Datatype optionally holds the datatype IRI ("" means xsd:string).
+	Literal
+	// BlankNode is an RDF blank node with a local label.
+	BlankNode
+)
+
+func (k TermKind) String() string {
+	switch k {
+	case IRI:
+		return "IRI"
+	case Literal:
+		return "Literal"
+	case BlankNode:
+		return "BlankNode"
+	default:
+		return fmt.Sprintf("TermKind(%d)", uint8(k))
+	}
+}
+
+// Term is a decoded RDF term. Terms are values; they compare with ==.
+type Term struct {
+	Kind     TermKind
+	Value    string // IRI string, literal lexical form, or blank node label
+	Datatype string // literal datatype IRI; empty for plain literals
+	Lang     string // literal language tag; empty if none
+}
+
+// NewIRI returns an IRI term.
+func NewIRI(iri string) Term { return Term{Kind: IRI, Value: iri} }
+
+// NewLiteral returns a plain literal term.
+func NewLiteral(lex string) Term { return Term{Kind: Literal, Value: lex} }
+
+// NewTypedLiteral returns a literal with a datatype IRI.
+func NewTypedLiteral(lex, datatype string) Term {
+	return Term{Kind: Literal, Value: lex, Datatype: datatype}
+}
+
+// NewLangLiteral returns a language-tagged literal.
+func NewLangLiteral(lex, lang string) Term {
+	return Term{Kind: Literal, Value: lex, Lang: lang}
+}
+
+// NewBlank returns a blank node term with the given label.
+func NewBlank(label string) Term { return Term{Kind: BlankNode, Value: label} }
+
+// IsIRI reports whether the term is an IRI.
+func (t Term) IsIRI() bool { return t.Kind == IRI }
+
+// IsLiteral reports whether the term is a literal.
+func (t Term) IsLiteral() bool { return t.Kind == Literal }
+
+// String renders the term in N-Triples syntax.
+func (t Term) String() string {
+	switch t.Kind {
+	case IRI:
+		return "<" + t.Value + ">"
+	case BlankNode:
+		return "_:" + t.Value
+	case Literal:
+		var b strings.Builder
+		b.WriteByte('"')
+		b.WriteString(escapeLiteral(t.Value))
+		b.WriteByte('"')
+		if t.Lang != "" {
+			b.WriteByte('@')
+			b.WriteString(t.Lang)
+		} else if t.Datatype != "" {
+			b.WriteString("^^<")
+			b.WriteString(t.Datatype)
+			b.WriteByte('>')
+		}
+		return b.String()
+	default:
+		return fmt.Sprintf("?!%v", t.Kind)
+	}
+}
+
+// escapeLiteral escapes the characters N-Triples requires escaping inside
+// literal lexical forms.
+func escapeLiteral(s string) string {
+	if !strings.ContainsAny(s, "\"\\\n\r\t") {
+		return s
+	}
+	var b strings.Builder
+	b.Grow(len(s) + 8)
+	for _, r := range s {
+		switch r {
+		case '"':
+			b.WriteString(`\"`)
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		case '\r':
+			b.WriteString(`\r`)
+		case '\t':
+			b.WriteString(`\t`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// NumericValue interprets a term as a number: literals whose lexical form
+// parses as a float (regardless of datatype) yield their value. IRIs and
+// blank nodes are not numeric. Used by the SUM and AVG aggregates.
+func NumericValue(t Term) (float64, bool) {
+	if t.Kind != Literal {
+		return 0, false
+	}
+	v, err := strconv.ParseFloat(t.Value, 64)
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// Well-known vocabulary IRIs used by the exploration model.
+const (
+	RDFType      = "http://www.w3.org/1999/02/22-rdf-syntax-ns#type"
+	RDFSSubClass = "http://www.w3.org/2000/01/rdf-schema#subClassOf"
+	RDFSLabel    = "http://www.w3.org/2000/01/rdf-schema#label"
+	OWLThing     = "http://www.w3.org/2002/07/owl#Thing"
+	XSDInteger   = "http://www.w3.org/2001/XMLSchema#integer"
+	XSDDouble    = "http://www.w3.org/2001/XMLSchema#double"
+	XSDString    = "http://www.w3.org/2001/XMLSchema#string"
+)

@@ -1,0 +1,183 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTermString(t *testing.T) {
+	cases := []struct {
+		term Term
+		want string
+	}{
+		{NewIRI("http://ex.org/a"), "<http://ex.org/a>"},
+		{NewBlank("b1"), "_:b1"},
+		{NewLiteral("hello"), `"hello"`},
+		{NewLangLiteral("hola", "es"), `"hola"@es`},
+		{NewTypedLiteral("42", XSDInteger), `"42"^^<` + XSDInteger + `>`},
+		{NewLiteral(`quote " back \ nl` + "\n"), `"quote \" back \\ nl\n"`},
+		{NewLiteral("tab\tret\r"), `"tab\tret\r"`},
+	}
+	for _, c := range cases {
+		if got := c.term.String(); got != c.want {
+			t.Errorf("Term%+v.String() = %q, want %q", c.term, got, c.want)
+		}
+	}
+}
+
+func TestTermKindString(t *testing.T) {
+	if IRI.String() != "IRI" || Literal.String() != "Literal" || BlankNode.String() != "BlankNode" {
+		t.Errorf("TermKind strings wrong: %s %s %s", IRI, Literal, BlankNode)
+	}
+	if got := TermKind(9).String(); !strings.Contains(got, "9") {
+		t.Errorf("unknown kind String() = %q", got)
+	}
+}
+
+func TestTermPredicates(t *testing.T) {
+	if !NewIRI("x").IsIRI() || NewIRI("x").IsLiteral() {
+		t.Error("IRI predicates wrong")
+	}
+	if !NewLiteral("x").IsLiteral() || NewLiteral("x").IsIRI() {
+		t.Error("literal predicates wrong")
+	}
+}
+
+func TestEscapeLiteralIdentityFastPath(t *testing.T) {
+	s := "no special characters here"
+	if got := escapeLiteral(s); got != s {
+		t.Errorf("escapeLiteral(%q) = %q, want identity", s, got)
+	}
+}
+
+func TestDictInternLookup(t *testing.T) {
+	d := NewDict()
+	a := d.InternIRI("http://ex.org/a")
+	b := d.InternIRI("http://ex.org/b")
+	if a == b {
+		t.Fatal("distinct terms got the same ID")
+	}
+	if again := d.InternIRI("http://ex.org/a"); again != a {
+		t.Errorf("re-interning changed ID: %d vs %d", again, a)
+	}
+	if d.Len() != 2 {
+		t.Errorf("Len = %d, want 2", d.Len())
+	}
+	if id, ok := d.LookupIRI("http://ex.org/b"); !ok || id != b {
+		t.Errorf("LookupIRI(b) = %d,%v", id, ok)
+	}
+	if _, ok := d.LookupIRI("http://ex.org/zzz"); ok {
+		t.Error("LookupIRI of unknown term reported ok")
+	}
+	if got := d.Term(a); got != NewIRI("http://ex.org/a") {
+		t.Errorf("Term(%d) = %v", a, got)
+	}
+}
+
+func TestDictDistinguishesKinds(t *testing.T) {
+	d := NewDict()
+	iri := d.Intern(NewIRI("x"))
+	lit := d.Intern(NewLiteral("x"))
+	blank := d.Intern(NewBlank("x"))
+	if iri == lit || lit == blank || iri == blank {
+		t.Errorf("same-value terms of different kinds shared IDs: %d %d %d", iri, lit, blank)
+	}
+}
+
+func TestDictTermPanicsOutOfRange(t *testing.T) {
+	d := NewDict()
+	defer func() {
+		if recover() == nil {
+			t.Error("Term on out-of-range ID did not panic")
+		}
+	}()
+	d.Term(5)
+}
+
+func TestDictIDsDense(t *testing.T) {
+	// Property: interning n distinct terms yields exactly IDs 0..n-1.
+	f := func(labels []string) bool {
+		d := NewDict()
+		seen := map[string]bool{}
+		n := 0
+		for _, l := range labels {
+			if !seen[l] {
+				seen[l] = true
+				n++
+			}
+			id := d.InternIRI(l)
+			if int(id) >= n {
+				return false
+			}
+		}
+		return d.Len() == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGraphAddDedup(t *testing.T) {
+	g := NewGraph()
+	g.AddIRIs("s", "p", "o")
+	g.AddIRIs("s", "p", "o")
+	g.AddIRIs("s", "p", "o2")
+	if g.Len() != 3 {
+		t.Fatalf("Len before dedup = %d", g.Len())
+	}
+	removed := g.Dedup()
+	if removed != 1 || g.Len() != 2 {
+		t.Errorf("Dedup removed %d, len %d; want 1, 2", removed, g.Len())
+	}
+	// Verify sorted order after dedup.
+	for i := 1; i < len(g.Triples); i++ {
+		a, b := g.Triples[i-1], g.Triples[i]
+		if a.S > b.S || (a.S == b.S && a.P > b.P) || (a.S == b.S && a.P == b.P && a.O >= b.O) {
+			t.Errorf("triples not strictly sorted at %d: %v %v", i, a, b)
+		}
+	}
+}
+
+func TestGraphDecode(t *testing.T) {
+	g := NewGraph()
+	g.Add(NewIRI("s"), NewIRI("p"), NewLiteral("v"))
+	d := g.Decode(g.Triples[0])
+	if d.S != NewIRI("s") || d.P != NewIRI("p") || d.O != NewLiteral("v") {
+		t.Errorf("Decode = %v", d)
+	}
+	if want := `<s> <p> "v"`; d.String() != want {
+		t.Errorf("String = %q want %q", d.String(), want)
+	}
+}
+
+func TestGraphDedupProperty(t *testing.T) {
+	// Property: Dedup is idempotent and preserves the set of triples.
+	f := func(raw []uint8) bool {
+		g := NewGraph()
+		ids := make([]ID, 4)
+		for i := range ids {
+			ids[i] = g.Dict.InternIRI(string(rune('a' + i)))
+		}
+		set := map[Triple]bool{}
+		for i := 0; i+2 < len(raw); i += 3 {
+			tr := Triple{ids[raw[i]%4], ids[raw[i+1]%4], ids[raw[i+2]%4]}
+			g.AddEncoded(tr)
+			set[tr] = true
+		}
+		g.Dedup()
+		if g.Len() != len(set) {
+			return false
+		}
+		for _, tr := range g.Triples {
+			if !set[tr] {
+				return false
+			}
+		}
+		second := g.Dedup()
+		return second == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,472 @@
+package rdf
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+	"unicode"
+)
+
+// ReadTurtle parses a practical subset of the Turtle syntax into a graph:
+//
+//   - @prefix / PREFIX declarations and prefixed names (ex:Thing)
+//   - @base / BASE declarations (textual concatenation for relative IRIs)
+//   - the `a` keyword for rdf:type
+//   - predicate lists (`;`) and object lists (`,`)
+//   - IRIs, blank nodes (_:x), and literals with @lang / ^^datatype,
+//     including numeric and boolean shorthand (42, 1.5e3, true)
+//   - '#' comments and triple-quoted long strings ("""...""")
+//
+// Unsupported Turtle features are reported as errors rather than silently
+// skipped: collections ( ), anonymous blank nodes [ ], and \u escapes.
+// The triples are deduplicated before returning.
+func ReadTurtle(r io.Reader) (*Graph, error) {
+	g := NewGraph()
+	p := &turtleParser{g: g, prefixes: map[string]string{}}
+	if err := p.parse(r); err != nil {
+		return nil, err
+	}
+	g.Dedup()
+	return g, nil
+}
+
+type turtleParser struct {
+	g        *Graph
+	prefixes map[string]string
+	base     string
+	src      string
+	pos      int
+	line     int
+}
+
+func (p *turtleParser) parse(r io.Reader) error {
+	// Turtle statements can span lines, so read everything up front.
+	br := bufio.NewReader(r)
+	var sb strings.Builder
+	if _, err := io.Copy(&sb, br); err != nil {
+		return err
+	}
+	p.src = sb.String()
+	p.line = 1
+	for {
+		p.skipWS()
+		if p.pos >= len(p.src) {
+			return nil
+		}
+		if err := p.statement(); err != nil {
+			return err
+		}
+	}
+}
+
+func (p *turtleParser) errf(format string, args ...any) error {
+	return fmt.Errorf("turtle: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *turtleParser) skipWS() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		switch {
+		case c == '\n':
+			p.line++
+			p.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			p.pos++
+		case c == '#':
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (p *turtleParser) peek() byte {
+	if p.pos < len(p.src) {
+		return p.src[p.pos]
+	}
+	return 0
+}
+
+func (p *turtleParser) hasKeyword(kw string) bool {
+	if len(p.src)-p.pos < len(kw) {
+		return false
+	}
+	return strings.EqualFold(p.src[p.pos:p.pos+len(kw)], kw)
+}
+
+// statement parses one directive or triple statement.
+func (p *turtleParser) statement() error {
+	switch {
+	case p.hasKeyword("@prefix"):
+		p.pos += len("@prefix")
+		return p.prefixDecl(true)
+	case p.hasKeyword("PREFIX"):
+		p.pos += len("PREFIX")
+		return p.prefixDecl(false)
+	case p.hasKeyword("@base"):
+		p.pos += len("@base")
+		return p.baseDecl(true)
+	case p.hasKeyword("BASE"):
+		p.pos += len("BASE")
+		return p.baseDecl(false)
+	default:
+		return p.triples()
+	}
+}
+
+func (p *turtleParser) prefixDecl(dotted bool) error {
+	p.skipWS()
+	name, err := p.prefixName()
+	if err != nil {
+		return err
+	}
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.prefixes[name] = iri
+	if dotted {
+		p.skipWS()
+		if p.peek() != '.' {
+			return p.errf("@prefix requires a terminating '.'")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+func (p *turtleParser) baseDecl(dotted bool) error {
+	p.skipWS()
+	iri, err := p.iriRef()
+	if err != nil {
+		return err
+	}
+	p.base = iri
+	if dotted {
+		p.skipWS()
+		if p.peek() != '.' {
+			return p.errf("@base requires a terminating '.'")
+		}
+		p.pos++
+	}
+	return nil
+}
+
+// prefixName parses "ex:" (possibly the empty prefix ":").
+func (p *turtleParser) prefixName() (string, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isPNChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.peek() != ':' {
+		return "", p.errf("expected prefix name ending in ':'")
+	}
+	name := p.src[start:p.pos]
+	p.pos++
+	return name, nil
+}
+
+func isPNChar(c byte) bool {
+	return c == '_' || c == '-' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+func (p *turtleParser) iriRef() (string, error) {
+	if p.peek() != '<' {
+		return "", p.errf("expected IRI, got %q", p.peek())
+	}
+	p.pos++
+	end := strings.IndexByte(p.src[p.pos:], '>')
+	if end < 0 {
+		return "", p.errf("unterminated IRI")
+	}
+	iri := p.src[p.pos : p.pos+end]
+	p.pos += end + 1
+	if p.base != "" && !strings.Contains(iri, ":") {
+		iri = p.base + iri
+	}
+	return iri, nil
+}
+
+// triples parses "subject predicateObjectList ." with ';' and ',' lists.
+func (p *turtleParser) triples() error {
+	subj, err := p.subject()
+	if err != nil {
+		return err
+	}
+	for {
+		p.skipWS()
+		pred, err := p.predicate()
+		if err != nil {
+			return err
+		}
+		for {
+			p.skipWS()
+			obj, err := p.object()
+			if err != nil {
+				return err
+			}
+			p.g.Add(subj, pred, obj)
+			p.skipWS()
+			if p.peek() == ',' {
+				p.pos++
+				continue
+			}
+			break
+		}
+		if p.peek() == ';' {
+			p.pos++
+			p.skipWS()
+			// A dangling ';' before '.' is legal Turtle.
+			if p.peek() == '.' {
+				p.pos++
+				return nil
+			}
+			continue
+		}
+		if p.peek() == '.' {
+			p.pos++
+			return nil
+		}
+		return p.errf("expected ';', ',' or '.', got %q", p.peek())
+	}
+}
+
+func (p *turtleParser) subject() (Term, error) {
+	switch {
+	case p.peek() == '<':
+		iri, err := p.iriRef()
+		return NewIRI(iri), err
+	case strings.HasPrefix(p.src[p.pos:], "_:"):
+		return p.blankNode()
+	case p.peek() == '[':
+		return Term{}, p.errf("anonymous blank nodes [ ] are not supported by this loader")
+	case p.peek() == '(':
+		return Term{}, p.errf("collections ( ) are not supported by this loader")
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) predicate() (Term, error) {
+	if p.peek() == 'a' && p.pos+1 < len(p.src) && !isPNChar(p.src[p.pos+1]) && p.src[p.pos+1] != ':' {
+		p.pos++
+		return NewIRI(RDFType), nil
+	}
+	if p.peek() == '<' {
+		iri, err := p.iriRef()
+		return NewIRI(iri), err
+	}
+	return p.prefixedName()
+}
+
+func (p *turtleParser) object() (Term, error) {
+	c := p.peek()
+	switch {
+	case c == '<':
+		iri, err := p.iriRef()
+		return NewIRI(iri), err
+	case strings.HasPrefix(p.src[p.pos:], "_:"):
+		return p.blankNode()
+	case c == '"' || c == '\'':
+		return p.literal()
+	case c == '[':
+		return Term{}, p.errf("anonymous blank nodes [ ] are not supported by this loader")
+	case c == '(':
+		return Term{}, p.errf("collections ( ) are not supported by this loader")
+	case c == '+' || c == '-' || c >= '0' && c <= '9':
+		return p.numericLiteral()
+	case p.hasKeyword("true") || p.hasKeyword("false"):
+		return p.booleanLiteral()
+	default:
+		return p.prefixedName()
+	}
+}
+
+func (p *turtleParser) blankNode() (Term, error) {
+	p.pos += 2
+	start := p.pos
+	for p.pos < len(p.src) && isPNChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.pos == start {
+		return Term{}, p.errf("empty blank node label")
+	}
+	return NewBlank(p.src[start:p.pos]), nil
+}
+
+func (p *turtleParser) prefixedName() (Term, error) {
+	start := p.pos
+	for p.pos < len(p.src) && isPNChar(p.src[p.pos]) {
+		p.pos++
+	}
+	if p.peek() != ':' {
+		return Term{}, p.errf("expected a term, got %q", p.src[start:min(start+12, len(p.src))])
+	}
+	prefix := p.src[start:p.pos]
+	p.pos++
+	ns, ok := p.prefixes[prefix]
+	if !ok {
+		return Term{}, p.errf("undeclared prefix %q", prefix)
+	}
+	localStart := p.pos
+	for p.pos < len(p.src) && (isPNChar(p.src[p.pos]) || p.src[p.pos] == '.') && !p.localEndsHere() {
+		p.pos++
+	}
+	return NewIRI(ns + p.src[localStart:p.pos]), nil
+}
+
+// localEndsHere reports whether the current '.' terminates the statement
+// (followed by whitespace/EOF) rather than being part of a local name.
+func (p *turtleParser) localEndsHere() bool {
+	if p.src[p.pos] != '.' {
+		return false
+	}
+	if p.pos+1 >= len(p.src) {
+		return true
+	}
+	next := p.src[p.pos+1]
+	return next == ' ' || next == '\t' || next == '\n' || next == '\r' || next == '#'
+}
+
+func (p *turtleParser) literal() (Term, error) {
+	quote := p.peek()
+	long := strings.HasPrefix(p.src[p.pos:], strings.Repeat(string(quote), 3))
+	var lex string
+	if long {
+		p.pos += 3
+		end := strings.Index(p.src[p.pos:], strings.Repeat(string(quote), 3))
+		if end < 0 {
+			return Term{}, p.errf("unterminated long string")
+		}
+		lex = p.src[p.pos : p.pos+end]
+		p.line += strings.Count(lex, "\n")
+		p.pos += end + 3
+	} else {
+		p.pos++
+		var b strings.Builder
+		for {
+			if p.pos >= len(p.src) || p.src[p.pos] == '\n' {
+				return Term{}, p.errf("unterminated string")
+			}
+			c := p.src[p.pos]
+			if c == quote {
+				p.pos++
+				break
+			}
+			if c == '\\' {
+				p.pos++
+				if p.pos >= len(p.src) {
+					return Term{}, p.errf("dangling escape")
+				}
+				switch p.src[p.pos] {
+				case 't':
+					b.WriteByte('\t')
+				case 'n':
+					b.WriteByte('\n')
+				case 'r':
+					b.WriteByte('\r')
+				case '"':
+					b.WriteByte('"')
+				case '\'':
+					b.WriteByte('\'')
+				case '\\':
+					b.WriteByte('\\')
+				default:
+					return Term{}, p.errf("unsupported escape \\%c", p.src[p.pos])
+				}
+				p.pos++
+				continue
+			}
+			b.WriteByte(c)
+			p.pos++
+		}
+		lex = b.String()
+	}
+	// Optional @lang or ^^datatype.
+	if p.peek() == '@' {
+		p.pos++
+		start := p.pos
+		for p.pos < len(p.src) && (isPNChar(p.src[p.pos])) {
+			p.pos++
+		}
+		if p.pos == start {
+			return Term{}, p.errf("empty language tag")
+		}
+		return NewLangLiteral(lex, p.src[start:p.pos]), nil
+	}
+	if strings.HasPrefix(p.src[p.pos:], "^^") {
+		p.pos += 2
+		var dt Term
+		var err error
+		if p.peek() == '<' {
+			var iri string
+			iri, err = p.iriRef()
+			dt = NewIRI(iri)
+		} else {
+			dt, err = p.prefixedName()
+		}
+		if err != nil {
+			return Term{}, err
+		}
+		return NewTypedLiteral(lex, dt.Value), nil
+	}
+	return NewLiteral(lex), nil
+}
+
+func (p *turtleParser) numericLiteral() (Term, error) {
+	start := p.pos
+	if p.peek() == '+' || p.peek() == '-' {
+		p.pos++
+	}
+	isDouble := false
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c >= '0' && c <= '9' {
+			p.pos++
+			continue
+		}
+		if c == '.' && !p.localEndsHere() {
+			isDouble = true
+			p.pos++
+			continue
+		}
+		if c == 'e' || c == 'E' {
+			isDouble = true
+			p.pos++
+			if p.peek() == '+' || p.peek() == '-' {
+				p.pos++
+			}
+			continue
+		}
+		break
+	}
+	lex := p.src[start:p.pos]
+	if lex == "" || lex == "+" || lex == "-" {
+		return Term{}, p.errf("malformed numeric literal")
+	}
+	if isDouble {
+		return NewTypedLiteral(lex, XSDDouble), nil
+	}
+	return NewTypedLiteral(lex, XSDInteger), nil
+}
+
+func (p *turtleParser) booleanLiteral() (Term, error) {
+	const boolIRI = "http://www.w3.org/2001/XMLSchema#boolean"
+	if p.hasKeyword("true") {
+		p.pos += 4
+		return NewTypedLiteral("true", boolIRI), nil
+	}
+	p.pos += 5
+	return NewTypedLiteral("false", boolIRI), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

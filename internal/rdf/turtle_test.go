@@ -1,0 +1,196 @@
+package rdf
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleTTL = `
+@prefix ex: <http://example.org/> .
+@prefix xsd: <http://www.w3.org/2001/XMLSchema#> .
+@base <http://base.org/> .
+
+# people
+ex:alice a ex:Person ;
+    ex:name "Alice" ;
+    ex:age 30 ;
+    ex:knows ex:bob , ex:carol .
+
+ex:bob ex:name "Bob"@en ;
+    ex:height 1.85 ;
+    ex:active true .
+
+<relative> ex:knows ex:alice .
+_:b1 ex:p ex:alice .
+ex:doc ex:text """multi
+line""" .
+ex:val ex:score "9"^^xsd:integer .
+`
+
+func TestReadTurtle(t *testing.T) {
+	g, err := ReadTurtle(strings.NewReader(sampleTTL))
+	if err != nil {
+		t.Fatal(err)
+	}
+	has := func(s, p Term, o Term) bool {
+		si, ok1 := g.Dict.Lookup(s)
+		pi, ok2 := g.Dict.Lookup(p)
+		oi, ok3 := g.Dict.Lookup(o)
+		if !ok1 || !ok2 || !ok3 {
+			return false
+		}
+		for _, tr := range g.Triples {
+			if tr.S == si && tr.P == pi && tr.O == oi {
+				return true
+			}
+		}
+		return false
+	}
+	ex := func(l string) Term { return NewIRI("http://example.org/" + l) }
+	cases := []struct {
+		s, p, o Term
+	}{
+		{ex("alice"), NewIRI(RDFType), ex("Person")},
+		{ex("alice"), ex("name"), NewLiteral("Alice")},
+		{ex("alice"), ex("age"), NewTypedLiteral("30", XSDInteger)},
+		{ex("alice"), ex("knows"), ex("bob")},
+		{ex("alice"), ex("knows"), ex("carol")},
+		{ex("bob"), ex("name"), NewLangLiteral("Bob", "en")},
+		{ex("bob"), ex("height"), NewTypedLiteral("1.85", XSDDouble)},
+		{ex("bob"), ex("active"), NewTypedLiteral("true", "http://www.w3.org/2001/XMLSchema#boolean")},
+		{NewIRI("http://base.org/relative"), ex("knows"), ex("alice")},
+		{NewBlank("b1"), ex("p"), ex("alice")},
+		{ex("doc"), ex("text"), NewLiteral("multi\nline")},
+		{ex("val"), ex("score"), NewTypedLiteral("9", "http://www.w3.org/2001/XMLSchema#integer")},
+	}
+	for _, c := range cases {
+		if !has(c.s, c.p, c.o) {
+			t.Errorf("missing triple %v %v %v", c.s, c.p, c.o)
+		}
+	}
+	if g.Len() != len(cases) {
+		t.Errorf("parsed %d triples, want %d", g.Len(), len(cases))
+	}
+}
+
+func TestTurtleSPARQLStylePrefix(t *testing.T) {
+	in := "PREFIX ex: <http://e.org/>\nex:a ex:p ex:b ."
+	g, err := ReadTurtle(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestTurtleDanglingSemicolon(t *testing.T) {
+	in := "@prefix e: <u:> .\ne:a e:p e:b ; .\n"
+	g, err := ReadTurtle(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestTurtleErrors(t *testing.T) {
+	cases := []struct{ name, in, want string }{
+		{"undeclared prefix", "ex:a ex:p ex:b .", "undeclared prefix"},
+		{"bad prefix decl", "@prefix ex <u:> .", "':'"},
+		{"prefix without dot", "@prefix ex: <u:>", "terminating"},
+		{"base without dot", "@base <u:>", "terminating"},
+		{"unterminated iri", "@prefix e: <u:> .\ne:a e:p <b .", "unterminated IRI"},
+		{"unterminated string", "@prefix e: <u:> .\ne:a e:p \"x .", "unterminated string"},
+		{"unterminated long", `@prefix e: <u:> .` + "\n" + `e:a e:p """x .`, "unterminated long"},
+		{"bad escape", "@prefix e: <u:> .\ne:a e:p \"x\\q\" .", "unsupported escape"},
+		{"collection", "@prefix e: <u:> .\ne:a e:p ( e:b ) .", "not supported"},
+		{"anon blank", "@prefix e: <u:> .\ne:a e:p [ ] .", "not supported"},
+		{"anon blank subject", "[ ] <u:p> <u:o> .", "not supported"},
+		{"missing dot", "@prefix e: <u:> .\ne:a e:p e:b", `expected ';'`},
+		{"bad number", "@prefix e: <u:> .\ne:a e:p + .", "malformed numeric"},
+		{"empty blank", "_: <u:p> <u:o> .", "empty blank node"},
+		{"empty lang", "@prefix e: <u:> .\ne:a e:p \"x\"@ .", "empty language"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			_, err := ReadTurtle(strings.NewReader(c.in))
+			if err == nil || !strings.Contains(err.Error(), c.want) {
+				t.Errorf("err = %v, want mention of %q", err, c.want)
+			}
+		})
+	}
+}
+
+func TestTurtleErrorLineNumbers(t *testing.T) {
+	in := "@prefix e: <u:> .\n\n\ne:a e:p zz:b .\n"
+	_, err := ReadTurtle(strings.NewReader(in))
+	if err == nil || !strings.Contains(err.Error(), "line 4") {
+		t.Errorf("err = %v, want line 4", err)
+	}
+}
+
+func TestTurtleComments(t *testing.T) {
+	in := "# leading comment\n@prefix e: <u:> . # trailing\ne:a e:p e:b . # end\n"
+	g, err := ReadTurtle(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 1 {
+		t.Errorf("len = %d", g.Len())
+	}
+}
+
+func TestTurtleMatchesNTriples(t *testing.T) {
+	ttl := "@prefix e: <http://e/> .\ne:s e:p e:o ; e:q \"v\" .\n"
+	nt := `<http://e/s> <http://e/p> <http://e/o> .
+<http://e/s> <http://e/q> "v" .`
+	g1, err := ReadTurtle(strings.NewReader(ttl))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadNTriples(strings.NewReader(nt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g1.Len() != g2.Len() {
+		t.Fatalf("lens differ: %d vs %d", g1.Len(), g2.Len())
+	}
+	set := map[string]bool{}
+	for _, tr := range g1.Triples {
+		set[g1.Decode(tr).String()] = true
+	}
+	for _, tr := range g2.Triples {
+		if !set[g2.Decode(tr).String()] {
+			t.Errorf("missing %s", g2.Decode(tr))
+		}
+	}
+}
+
+func TestTurtleNegativeAndExponentNumbers(t *testing.T) {
+	in := "@prefix e: <u:> .\ne:a e:p -5 , 2.5E3 , +7 .\n"
+	g, err := ReadTurtle(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Len() != 3 {
+		t.Fatalf("len = %d", g.Len())
+	}
+	wants := map[Term]bool{
+		NewTypedLiteral("-5", XSDInteger):   false,
+		NewTypedLiteral("2.5E3", XSDDouble): false,
+		NewTypedLiteral("+7", XSDInteger):   false,
+	}
+	for _, tr := range g.Triples {
+		d := g.Decode(tr)
+		if _, ok := wants[d.O]; ok {
+			wants[d.O] = true
+		}
+	}
+	for term, seen := range wants {
+		if !seen {
+			t.Errorf("missing numeric literal %v", term)
+		}
+	}
+}

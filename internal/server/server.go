@@ -1,0 +1,430 @@
+// Package server implements the web-application side of the paper's system
+// architecture (Fig. 1): a JSON/HTTP API over the exploration model and the
+// query engines, plus a minimal built-in web UI that renders the bar charts.
+//
+// Sessions hold exploration state (the current bar and the undo stack);
+// chart requests pick an engine — Audit Join by default, for the paper's
+// interactive-latency goal — and a time budget for the online estimators.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"kgexplore"
+)
+
+// Server is the HTTP handler. Create with New and mount with Handler.
+type Server struct {
+	ds *kgexplore.Dataset
+
+	mu       sync.Mutex
+	sessions map[string]*session
+	nextID   int64
+
+	// MaxBudget caps per-request online-aggregation time.
+	MaxBudget time.Duration
+}
+
+type session struct {
+	state *kgexplore.ExploreState
+	stack []*kgexplore.ExploreState
+}
+
+// New creates a server over a prepared dataset.
+func New(ds *kgexplore.Dataset) *Server {
+	return &Server{
+		ds:        ds,
+		sessions:  make(map[string]*session),
+		MaxBudget: 5 * time.Second,
+	}
+}
+
+// Handler returns the HTTP routes.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /api/info", s.handleInfo)
+	mux.HandleFunc("POST /api/session", s.handleNewSession)
+	mux.HandleFunc("GET /api/session/{id}", s.handleGetSession)
+	mux.HandleFunc("POST /api/session/{id}/chart", s.handleChart)
+	mux.HandleFunc("POST /api/session/{id}/select", s.handleSelect)
+	mux.HandleFunc("POST /api/session/{id}/back", s.handleBack)
+	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+	mux.HandleFunc("GET /", s.handleIndex)
+	return mux
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// InfoResponse describes the dataset.
+type InfoResponse struct {
+	Triples    int   `json:"triples"`
+	IndexBytes int64 `json:"indexBytes"`
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, InfoResponse{
+		Triples:    s.ds.NumTriples(),
+		IndexBytes: s.ds.IndexBytes(),
+	})
+}
+
+// StateResponse describes a session's current bar.
+type StateResponse struct {
+	Session  string   `json:"session"`
+	Kind     string   `json:"kind"`
+	Category string   `json:"category"`
+	Depth    int      `json:"depth"`
+	Ops      []string `json:"ops"`
+}
+
+func (s *Server) stateResponse(id string, sess *session) StateResponse {
+	var ops []string
+	for _, op := range kgexplore.ExpansionsOf(sess.state) {
+		ops = append(ops, op.String())
+	}
+	return StateResponse{
+		Session:  id,
+		Kind:     sess.state.Kind.String(),
+		Category: s.ds.Dict().Term(sess.state.Category).Value,
+		Depth:    sess.state.Depth(),
+		Ops:      ops,
+	}
+}
+
+func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	s.nextID++
+	id := strconv.FormatInt(s.nextID, 10)
+	sess := &session{state: s.ds.Root()}
+	s.sessions[id] = sess
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+}
+
+func (s *Server) session(r *http.Request) (string, *session, error) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sess, ok := s.sessions[id]
+	if !ok {
+		return "", nil, fmt.Errorf("unknown session %q", id)
+	}
+	return id, sess, nil
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	id, sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+}
+
+// ChartRequest asks for an expansion's bar chart.
+type ChartRequest struct {
+	Op       string `json:"op"`
+	Engine   string `json:"engine"`   // aj (default), wj, ctj, lftj, baseline
+	BudgetMS int    `json:"budgetMs"` // online engines; default 300
+	TopN     int    `json:"topN"`     // 0: all bars
+}
+
+// ChartBar is one rendered bar.
+type ChartBar struct {
+	Category string  `json:"category"`
+	Count    float64 `json:"count"`
+	CI       float64 `json:"ci,omitempty"`
+}
+
+// ChartResponse is a rendered chart.
+type ChartResponse struct {
+	Op      string     `json:"op"`
+	Engine  string     `json:"engine"`
+	Millis  int64      `json:"millis"`
+	NumBars int        `json:"numBars"`
+	Bars    []ChartBar `json:"bars"`
+}
+
+func parseOp(name string) (kgexplore.ExploreOp, error) {
+	switch name {
+	case "subclass":
+		return kgexplore.OpSubclass, nil
+	case "out-property":
+		return kgexplore.OpOutProp, nil
+	case "in-property":
+		return kgexplore.OpInProp, nil
+	case "object":
+		return kgexplore.OpObject, nil
+	case "subject":
+		return kgexplore.OpSubject, nil
+	default:
+		return 0, fmt.Errorf("unknown op %q", name)
+	}
+}
+
+func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
+	_, sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req ChartRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	op, err := parseOp(req.Op)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	q, err := sess.state.Query(op)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pl, err := s.ds.Compile(q)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	counts, ci, err := s.evaluate(pl, req.Engine, req.BudgetMS)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ChartResponse{
+		Op:     req.Op,
+		Engine: engineName(req.Engine),
+		Millis: time.Since(start).Milliseconds(),
+	}
+	bars := s.ds.BarsOf(counts, ci)
+	resp.NumBars = len(bars)
+	if req.TopN > 0 && len(bars) > req.TopN {
+		bars = bars[:req.TopN]
+	}
+	for _, b := range bars {
+		resp.Bars = append(resp.Bars, ChartBar{Category: b.Category.Value, Count: b.Count, CI: b.CI})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func engineName(e string) string {
+	if e == "" {
+		return "aj"
+	}
+	return e
+}
+
+func (s *Server) evaluate(pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, error) {
+	budget := time.Duration(budgetMS) * time.Millisecond
+	if budget <= 0 {
+		budget = 300 * time.Millisecond
+	}
+	if budget > s.MaxBudget {
+		budget = s.MaxBudget
+	}
+	switch engine {
+	case "ctj":
+		res, err := s.ds.Exact(pl, kgexplore.EngineCTJ)
+		return res, nil, err
+	case "lftj":
+		res, err := s.ds.Exact(pl, kgexplore.EngineLFTJ)
+		return res, nil, err
+	case "baseline":
+		res, err := s.ds.Exact(pl, kgexplore.EngineBaseline)
+		return res, nil, err
+	case "wj":
+		r := s.ds.NewWanderJoin(pl, time.Now().UnixNano())
+		r.RunFor(budget, 128)
+		snap := r.Snapshot()
+		return snap.Estimates, snap.CI, nil
+	case "aj", "":
+		r := s.ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
+			Threshold: kgexplore.DefaultTippingThreshold,
+			Seed:      time.Now().UnixNano(),
+		})
+		r.RunFor(budget, 128)
+		snap := r.Snapshot()
+		return snap.Estimates, snap.CI, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", engine)
+	}
+}
+
+// SelectRequest clicks a bar in an expansion chart.
+type SelectRequest struct {
+	Op       string `json:"op"`
+	Category string `json:"category"`
+}
+
+func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
+	id, sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	var req SelectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	op, err := parseOp(req.Op)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	catID, ok := s.ds.Dict().LookupIRI(req.Category)
+	if !ok {
+		// Categories may be literals in principle; try a literal too.
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown category %q", req.Category))
+		return
+	}
+	next, err := sess.state.Select(op, catID)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.mu.Lock()
+	sess.stack = append(sess.stack, sess.state)
+	sess.state = next
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+}
+
+func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
+	id, sess, err := s.session(r)
+	if err != nil {
+		writeErr(w, http.StatusNotFound, err)
+		return
+	}
+	s.mu.Lock()
+	if n := len(sess.stack); n > 0 {
+		sess.state = sess.stack[n-1]
+		sess.stack = sess.stack[:n-1]
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+}
+
+// SPARQLRequest runs a Fig. 4 fragment query directly.
+type SPARQLRequest struct {
+	Query    string `json:"query"`
+	Engine   string `json:"engine"`
+	BudgetMS int    `json:"budgetMs"`
+	TopN     int    `json:"topN"`
+}
+
+func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	var req SPARQLRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	parsed, err := s.ds.ParseQuery(req.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	pl, err := s.ds.Compile(parsed.Query)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	start := time.Now()
+	counts, ci, err := s.evaluate(pl, req.Engine, req.BudgetMS)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	resp := ChartResponse{
+		Op:     "sparql",
+		Engine: engineName(req.Engine),
+		Millis: time.Since(start).Milliseconds(),
+	}
+	bars := s.ds.BarsOf(counts, ci)
+	resp.NumBars = len(bars)
+	if req.TopN > 0 && len(bars) > req.TopN {
+		bars = bars[:req.TopN]
+	}
+	for _, b := range bars {
+		label := b.Category.Value
+		if label == "" {
+			label = "(all)"
+		}
+		resp.Bars = append(resp.Bars, ChartBar{Category: label, Count: b.Count, CI: b.CI})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	w.Write([]byte(indexHTML))
+}
+
+// indexHTML is a dependency-free single-page UI over the JSON API: it shows
+// the current bar, its legal expansions, and renders chart responses as CSS
+// bar charts; clicking a bar selects it and descends.
+var indexHTML = strings.TrimSpace(`
+<!doctype html>
+<meta charset="utf-8">
+<title>kgexplore</title>
+<style>
+body{font-family:system-ui,sans-serif;margin:2rem;max-width:60rem}
+#state{margin:.5rem 0;color:#333}
+.bar{display:flex;align-items:center;margin:2px 0;cursor:pointer}
+.bar .label{width:22rem;overflow:hidden;text-overflow:ellipsis;white-space:nowrap;font-size:.85rem}
+.bar .fill{background:#4a7;height:1rem;margin-right:.5rem}
+.bar .n{font-size:.8rem;color:#555}
+button{margin-right:.4rem}
+</style>
+<h1>kgexplore</h1>
+<div id="state"></div>
+<div id="ops"></div>
+<div id="chart"></div>
+<script>
+let sid=null,lastOp=null;
+async function j(url,body){const r=await fetch(url,{method:body?'POST':'GET',body:body?JSON.stringify(body):null});return r.json()}
+async function start(){const s=await j('/api/session',{});render(s)}
+function render(s){sid=s.session;
+ document.getElementById('state').textContent=s.kind+' bar: '+s.category+' (depth '+s.depth+')';
+ const ops=document.getElementById('ops');ops.innerHTML='';
+ for(const op of s.ops){const b=document.createElement('button');b.textContent=op;
+  b.onclick=()=>chart(op);ops.appendChild(b)}
+ const back=document.createElement('button');back.textContent='back';
+ back.onclick=async()=>{render(await j('/api/session/'+sid+'/back',{}))};ops.appendChild(back)}
+async function chart(op){lastOp=op;
+ const c=await j('/api/session/'+sid+'/chart',{op:op,topN:25});
+ const div=document.getElementById('chart');div.innerHTML='<p>'+c.numBars+' bars ('+c.engine+', '+c.millis+'ms)</p>';
+ const max=Math.max(...c.bars.map(b=>b.count),1);
+ for(const b of c.bars){const row=document.createElement('div');row.className='bar';
+  row.innerHTML='<span class="label">'+b.category+'</span><span class="fill" style="width:'+(300*b.count/max)+'px"></span><span class="n">'+Math.round(b.count)+(b.ci?' ±'+b.ci.toFixed(1):'')+'</span>';
+  row.onclick=async()=>{const s=await j('/api/session/'+sid+'/select',{op:lastOp,category:b.category});
+   if(!s.error){render(s);document.getElementById('chart').innerHTML=''}};
+  div.appendChild(row)}}
+start();
+</script>
+`)

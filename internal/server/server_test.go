@@ -1,0 +1,226 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kgexplore"
+)
+
+const tinyNT = `
+<alice> <birthPlace> <paris> .
+<bob> <birthPlace> <paris> .
+<carol> <birthPlace> <lima> .
+<alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<paris> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> .
+<lima> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> .
+`
+
+func newTestServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(tinyNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ds)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func post(t *testing.T, url string, body any, out any) *http.Response {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := json.NewEncoder(&buf).Encode(body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+	}
+	return resp
+}
+
+func TestInfo(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/api/info")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var info InfoResponse
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	if info.Triples == 0 || info.IndexBytes == 0 {
+		t.Errorf("info = %+v", info)
+	}
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	ts := newTestServer(t)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	if st.Session == "" || st.Kind != "class" || st.Depth != 0 {
+		t.Fatalf("new session = %+v", st)
+	}
+	if len(st.Ops) != 3 {
+		t.Errorf("root ops = %v", st.Ops)
+	}
+
+	// Chart: subclasses of the root, exact.
+	var chart ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "subclass", Engine: "ctj"}, &chart)
+	if chart.NumBars == 0 {
+		t.Fatalf("chart = %+v", chart)
+	}
+	// Select the first bar.
+	var st2 StateResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/select",
+		SelectRequest{Op: "subclass", Category: chart.Bars[0].Category}, &st2)
+	if st2.Category != chart.Bars[0].Category {
+		t.Errorf("selected state = %+v", st2)
+	}
+	// Back.
+	var st3 StateResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/back", struct{}{}, &st3)
+	if st3.Category != st.Category {
+		t.Errorf("back state = %+v", st3)
+	}
+	// Get.
+	resp, err := http.Get(ts.URL + "/api/session/" + st.Session)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("get session status = %d", resp.StatusCode)
+	}
+}
+
+func TestChartEngines(t *testing.T) {
+	ts := newTestServer(t)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	for _, engine := range []string{"", "aj", "wj", "ctj", "lftj", "baseline"} {
+		var chart ChartResponse
+		resp := post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+			ChartRequest{Op: "out-property", Engine: engine, BudgetMS: 30}, &chart)
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("engine %q: status %d", engine, resp.StatusCode)
+		}
+		if chart.NumBars == 0 {
+			t.Errorf("engine %q: no bars", engine)
+		}
+	}
+}
+
+func TestChartTopN(t *testing.T) {
+	ts := newTestServer(t)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	var chart ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "ctj", TopN: 1}, &chart)
+	if len(chart.Bars) != 1 || chart.NumBars < 2 {
+		t.Errorf("topN: bars=%d numBars=%d", len(chart.Bars), chart.NumBars)
+	}
+}
+
+func TestSPARQLEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	var chart ChartResponse
+	resp := post(t, ts.URL+"/api/sparql", SPARQLRequest{
+		Query:  `SELECT ?c COUNT(DISTINCT ?o) WHERE { ?s <birthPlace> ?o . ?o a ?c } GROUP BY ?c`,
+		Engine: "ctj",
+	}, &chart)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if chart.NumBars != 1 || chart.Bars[0].Count != 2 {
+		t.Errorf("sparql chart = %+v, want City:2", chart)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	ts := newTestServer(t)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+
+	cases := []struct {
+		name string
+		url  string
+		body any
+	}{
+		{"unknown session", ts.URL + "/api/session/999/chart", ChartRequest{Op: "subclass"}},
+		{"bad op", ts.URL + "/api/session/" + st.Session + "/chart", ChartRequest{Op: "zap"}},
+		{"illegal op", ts.URL + "/api/session/" + st.Session + "/chart", ChartRequest{Op: "object"}},
+		{"bad engine", ts.URL + "/api/session/" + st.Session + "/chart", ChartRequest{Op: "subclass", Engine: "magic"}},
+		{"bad category", ts.URL + "/api/session/" + st.Session + "/select", SelectRequest{Op: "subclass", Category: "nope"}},
+		{"bad sparql", ts.URL + "/api/sparql", SPARQLRequest{Query: "SELECT nonsense"}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			var e errorBody
+			resp := post(t, c.url, c.body, &e)
+			if resp.StatusCode == http.StatusOK {
+				t.Errorf("status OK, want error; body=%+v", e)
+			}
+			if e.Error == "" {
+				t.Error("no error message")
+			}
+		})
+	}
+}
+
+func TestIndexPage(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	buf.ReadFrom(resp.Body)
+	if !strings.Contains(buf.String(), "kgexplore") {
+		t.Error("index page missing UI")
+	}
+	// Unknown paths 404.
+	resp2, _ := http.Get(ts.URL + "/nope")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown path status = %d", resp2.StatusCode)
+	}
+}
+
+func TestBudgetCapped(t *testing.T) {
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(tinyNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ds)
+	srv.MaxBudget = 20 * 1e6 // 20ms
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	var chart ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "subclass", Engine: "aj", BudgetMS: 10000}, &chart)
+	if chart.Millis > 2000 {
+		t.Errorf("budget cap ignored: took %dms", chart.Millis)
+	}
+}

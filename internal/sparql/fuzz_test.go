@@ -1,0 +1,42 @@
+package sparql
+
+import (
+	"testing"
+
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// FuzzParse checks the fragment parser never panics and that anything it
+// accepts validates, prints, and re-parses to the same shape.
+func FuzzParse(f *testing.F) {
+	f.Add(fig5Query)
+	f.Add(`SELECT COUNT(?x) WHERE { ?x <p> ?y }`)
+	f.Add(`SELECT ?g SUM(?x) WHERE { ?s <v> ?x . ?s <c> ?g } GROUP BY ?g`)
+	f.Add(`SELECT AVG(?x) WHERE { ?s <v> ?x }`)
+	f.Add(`select count(distinct ?x) where { ?x a <C> . }`)
+	f.Add(`SELECT COUNT(?x) WHERE { ?s ?p "lit"@en }`)
+	f.Add(`SELECT`)
+	f.Add(`SELECT COUNT(?x WHERE`)
+	f.Fuzz(func(t *testing.T, src string) {
+		d := rdf.NewDict()
+		p, err := Parse(src, d)
+		if err != nil {
+			return
+		}
+		if err := p.Query.Validate(); err != nil {
+			t.Fatalf("parser accepted an invalid query: %v\nsrc: %q", err, src)
+		}
+		printed := Print(p.Query, d, p.Names)
+		p2, err := Parse(printed, d)
+		if err != nil {
+			t.Fatalf("printed form failed to parse: %v\nprinted: %q", err, printed)
+		}
+		if len(p2.Query.Patterns) != len(p.Query.Patterns) ||
+			p2.Query.Distinct != p.Query.Distinct ||
+			p2.Query.Agg != p.Query.Agg ||
+			(p.Query.Alpha == query.NoVar) != (p2.Query.Alpha == query.NoVar) {
+			t.Fatalf("round trip changed shape:\nsrc: %q\nprinted: %q", src, printed)
+		}
+	})
+}

@@ -1,0 +1,204 @@
+package sparql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+
+	"kgexplore/internal/rdf"
+)
+
+type tokKind uint8
+
+const (
+	tokEOF tokKind = iota
+	tokKeyword
+	tokVar
+	tokIRI
+	tokLiteral
+	tokA // the `a` shorthand for rdf:type
+	tokPunct
+	tokError
+)
+
+type token struct {
+	kind tokKind
+	text string   // keyword (upper-cased), var name, IRI, punctuation, or error message
+	lit  rdf.Term // for tokLiteral
+	off  int      // byte offset in the source
+}
+
+func (t token) isKeyword(kw string) bool { return t.kind == tokKeyword && t.text == kw }
+
+func (t token) String() string {
+	switch t.kind {
+	case tokEOF:
+		return "end of input"
+	case tokKeyword:
+		return t.text
+	case tokVar:
+		return "?" + t.text
+	case tokIRI:
+		return "<" + t.text + ">"
+	case tokLiteral:
+		return t.lit.String()
+	case tokA:
+		return "a"
+	case tokPunct:
+		return fmt.Sprintf("%q", t.text)
+	default:
+		return "lex error: " + t.text
+	}
+}
+
+type lexer struct {
+	src    string
+	pos    int
+	peeked *token
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+func (l *lexer) peek() token {
+	if l.peeked == nil {
+		t := l.scan()
+		l.peeked = &t
+	}
+	return *l.peeked
+}
+
+func (l *lexer) next() token {
+	if l.peeked != nil {
+		t := *l.peeked
+		l.peeked = nil
+		return t
+	}
+	return l.scan()
+}
+
+func (l *lexer) scan() token {
+	for l.pos < len(l.src) && isSpace(l.src[l.pos]) {
+		l.pos++
+	}
+	start := l.pos
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, off: start}
+	}
+	c := l.src[l.pos]
+	switch {
+	case c == '?' || c == '$':
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.src) && isNameByte(l.src[l.pos]) {
+			l.pos++
+		}
+		if l.pos == s {
+			return token{kind: tokError, text: "empty variable name", off: start}
+		}
+		return token{kind: tokVar, text: l.src[s:l.pos], off: start}
+	case c == '<':
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			return token{kind: tokError, text: "unterminated IRI", off: start}
+		}
+		iri := l.src[l.pos+1 : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokIRI, text: iri, off: start}
+	case c == '"':
+		return l.scanLiteral(start)
+	case strings.ContainsRune("{}().", rune(c)):
+		l.pos++
+		return token{kind: tokPunct, text: string(c), off: start}
+	case isNameStart(c):
+		s := l.pos
+		for l.pos < len(l.src) && (isNameByte(l.src[l.pos]) || l.src[l.pos] == ':') {
+			l.pos++
+		}
+		word := l.src[s:l.pos]
+		if word == "a" {
+			return token{kind: tokA, off: start}
+		}
+		if word == "rdf:type" {
+			return token{kind: tokIRI, text: rdf.RDFType, off: start}
+		}
+		if word == "rdfs:subClassOf" {
+			return token{kind: tokIRI, text: rdf.RDFSSubClass, off: start}
+		}
+		return token{kind: tokKeyword, text: strings.ToUpper(word), off: start}
+	default:
+		return token{kind: tokError, text: fmt.Sprintf("unexpected character %q", c), off: start}
+	}
+}
+
+func (l *lexer) scanLiteral(start int) token {
+	l.pos++ // consume the opening quote
+	var b strings.Builder
+	for {
+		if l.pos >= len(l.src) {
+			return token{kind: tokError, text: "unterminated literal", off: start}
+		}
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			break
+		}
+		if c == '\\' {
+			l.pos++
+			if l.pos >= len(l.src) {
+				return token{kind: tokError, text: "dangling escape", off: start}
+			}
+			switch l.src[l.pos] {
+			case 'n':
+				b.WriteByte('\n')
+			case 't':
+				b.WriteByte('\t')
+			case 'r':
+				b.WriteByte('\r')
+			case '"':
+				b.WriteByte('"')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				return token{kind: tokError, text: "unknown escape in literal", off: start}
+			}
+			l.pos++
+			continue
+		}
+		b.WriteByte(c)
+		l.pos++
+	}
+	lex := b.String()
+	// Optional @lang or ^^<datatype>.
+	if l.pos < len(l.src) && l.src[l.pos] == '@' {
+		l.pos++
+		s := l.pos
+		for l.pos < len(l.src) && (isNameByte(l.src[l.pos]) || l.src[l.pos] == '-') {
+			l.pos++
+		}
+		if l.pos == s {
+			return token{kind: tokError, text: "empty language tag", off: start}
+		}
+		return token{kind: tokLiteral, lit: rdf.NewLangLiteral(lex, l.src[s:l.pos]), off: start}
+	}
+	if strings.HasPrefix(l.src[l.pos:], "^^<") {
+		l.pos += 3
+		end := strings.IndexByte(l.src[l.pos:], '>')
+		if end < 0 {
+			return token{kind: tokError, text: "unterminated datatype IRI", off: start}
+		}
+		dt := l.src[l.pos : l.pos+end]
+		l.pos += end + 1
+		return token{kind: tokLiteral, lit: rdf.NewTypedLiteral(lex, dt), off: start}
+	}
+	return token{kind: tokLiteral, lit: rdf.NewLiteral(lex), off: start}
+}
+
+func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }
+
+func isNameStart(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c))
+}
+
+func isNameByte(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}

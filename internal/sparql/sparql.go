@@ -1,0 +1,253 @@
+// Package sparql parses and prints the SPARQL fragment of the paper's
+// exploration queries (Fig. 4):
+//
+//	SELECT ?α COUNT(DISTINCT ?β) WHERE {
+//	    a1 b1 c1 . a2 b2 c2 . ... an bn cn .
+//	} GROUP BY ?α
+//
+// The grouping clause is optional (then only the count is selected), the
+// DISTINCT keyword is optional, and each term is a variable (?name), an IRI
+// (<...>), the keyword `a` (rdf:type), or a literal ("..." with optional
+// @lang or ^^<datatype>) in the object position.
+//
+// This is deliberately a fragment parser, not a SPARQL implementation: the
+// engines in this repository only evaluate Fig. 4 queries, and a parser for
+// just that shape keeps error messages precise.
+package sparql
+
+import (
+	"fmt"
+	"strings"
+
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// Parsed is the result of parsing: the query plus the variable-name table.
+type Parsed struct {
+	Query *query.Query
+	// Names maps variable names (without '?') to variable indices.
+	Names map[string]query.Var
+}
+
+// VarName returns the name of variable v, or its index as a fallback.
+func (p *Parsed) VarName(v query.Var) string {
+	for name, vv := range p.Names {
+		if vv == v {
+			return name
+		}
+	}
+	return fmt.Sprintf("v%d", v)
+}
+
+// Parse parses the fragment, interning constants into d (constants absent
+// from the data will simply match nothing).
+func Parse(src string, d *rdf.Dict) (*Parsed, error) {
+	p := &parser{lex: newLexer(src), dict: d, names: map[string]query.Var{}}
+	q, err := p.parseQuery()
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(); err != nil {
+		return nil, err
+	}
+	return &Parsed{Query: q, Names: p.names}, nil
+}
+
+type parser struct {
+	lex   *lexer
+	dict  *rdf.Dict
+	names map[string]query.Var
+}
+
+func (p *parser) varOf(name string) query.Var {
+	if v, ok := p.names[name]; ok {
+		return v
+	}
+	v := query.Var(len(p.names))
+	p.names[name] = v
+	return v
+}
+
+func (p *parser) parseQuery() (*query.Query, error) {
+	if err := p.keyword("SELECT"); err != nil {
+		return nil, err
+	}
+	q := &query.Query{Alpha: query.NoVar, Beta: query.NoVar}
+	// Optional group variable before COUNT.
+	tok := p.lex.peek()
+	if tok.kind == tokVar {
+		p.lex.next()
+		q.Alpha = p.varOf(tok.text)
+	}
+	aggTok := p.lex.next()
+	switch {
+	case aggTok.isKeyword("COUNT"):
+		q.Agg = query.AggCount
+	case aggTok.isKeyword("SUM"):
+		q.Agg = query.AggSum
+	case aggTok.isKeyword("AVG"):
+		q.Agg = query.AggAvg
+	default:
+		return nil, p.errf(aggTok, "expected COUNT, SUM or AVG, got %s", aggTok)
+	}
+	if err := p.punct("("); err != nil {
+		return nil, err
+	}
+	if p.lex.peek().isKeyword("DISTINCT") {
+		p.lex.next()
+		q.Distinct = true
+	}
+	tok = p.lex.next()
+	if tok.kind != tokVar {
+		return nil, p.errf(tok, "expected counted variable, got %s", tok)
+	}
+	q.Beta = p.varOf(tok.text)
+	if err := p.punct(")"); err != nil {
+		return nil, err
+	}
+	if err := p.keyword("WHERE"); err != nil {
+		return nil, err
+	}
+	if err := p.punct("{"); err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.lex.peek()
+		if tok.kind == tokPunct && tok.text == "}" {
+			p.lex.next()
+			break
+		}
+		if tok.kind == tokEOF {
+			return nil, p.errf(tok, "unterminated WHERE block")
+		}
+		pat, err := p.parsePattern()
+		if err != nil {
+			return nil, err
+		}
+		q.Patterns = append(q.Patterns, pat)
+		// Patterns are '.'-separated; the final dot is optional.
+		if p.lex.peek().kind == tokPunct && p.lex.peek().text == "." {
+			p.lex.next()
+		}
+	}
+	// Optional GROUP BY.
+	if p.lex.peek().isKeyword("GROUP") {
+		p.lex.next()
+		if err := p.keyword("BY"); err != nil {
+			return nil, err
+		}
+		tok := p.lex.next()
+		if tok.kind != tokVar {
+			return nil, p.errf(tok, "expected variable after GROUP BY")
+		}
+		v, ok := p.names[tok.text]
+		if !ok {
+			return nil, p.errf(tok, "GROUP BY variable ?%s not used in the query", tok.text)
+		}
+		if q.Alpha != query.NoVar && q.Alpha != v {
+			return nil, p.errf(tok, "GROUP BY ?%s does not match the selected variable", tok.text)
+		}
+		q.Alpha = v
+	} else if q.Alpha != query.NoVar {
+		return nil, p.errf(p.lex.peek(), "selected variable requires a GROUP BY clause")
+	}
+	if tok := p.lex.next(); tok.kind != tokEOF {
+		return nil, p.errf(tok, "unexpected trailing %s", tok)
+	}
+	return q, nil
+}
+
+func (p *parser) parsePattern() (query.Pattern, error) {
+	s, err := p.parseTerm(false)
+	if err != nil {
+		return query.Pattern{}, err
+	}
+	pr, err := p.parseTerm(false)
+	if err != nil {
+		return query.Pattern{}, err
+	}
+	o, err := p.parseTerm(true)
+	if err != nil {
+		return query.Pattern{}, err
+	}
+	return query.Pattern{S: s, P: pr, O: o}, nil
+}
+
+func (p *parser) parseTerm(allowLiteral bool) (query.Atom, error) {
+	tok := p.lex.next()
+	switch tok.kind {
+	case tokVar:
+		return query.V(p.varOf(tok.text)), nil
+	case tokIRI:
+		return query.C(p.dict.InternIRI(tok.text)), nil
+	case tokA:
+		return query.C(p.dict.InternIRI(rdf.RDFType)), nil
+	case tokLiteral:
+		if !allowLiteral {
+			return query.Atom{}, p.errf(tok, "literals are only allowed in the object position")
+		}
+		return query.C(p.dict.Intern(tok.lit)), nil
+	default:
+		return query.Atom{}, p.errf(tok, "expected a term, got %s", tok)
+	}
+}
+
+func (p *parser) keyword(kw string) error {
+	tok := p.lex.next()
+	if !tok.isKeyword(kw) {
+		return p.errf(tok, "expected %s, got %s", kw, tok)
+	}
+	return nil
+}
+
+func (p *parser) punct(s string) error {
+	tok := p.lex.next()
+	if tok.kind != tokPunct || tok.text != s {
+		return p.errf(tok, "expected %q, got %s", s, tok)
+	}
+	return nil
+}
+
+func (p *parser) errf(tok token, format string, args ...any) error {
+	return fmt.Errorf("sparql: offset %d: %s", tok.off, fmt.Sprintf(format, args...))
+}
+
+// Print renders a query in the fragment's concrete syntax, resolving
+// constants through the dictionary and variables through names (falling
+// back to ?vN).
+func Print(q *query.Query, d *rdf.Dict, names map[string]query.Var) string {
+	nameOf := func(v query.Var) string {
+		for n, vv := range names {
+			if vv == v {
+				return n
+			}
+		}
+		return fmt.Sprintf("v%d", v)
+	}
+	atom := func(a query.Atom) string {
+		if a.IsVar() {
+			return "?" + nameOf(a.Var)
+		}
+		return d.Term(a.ID).String()
+	}
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if q.Alpha != query.NoVar {
+		b.WriteString("?" + nameOf(q.Alpha) + " ")
+	}
+	b.WriteString(q.Agg.String())
+	b.WriteString("(")
+	if q.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	b.WriteString("?" + nameOf(q.Beta) + ") WHERE {\n")
+	for _, p := range q.Patterns {
+		fmt.Fprintf(&b, "  %s %s %s .\n", atom(p.S), atom(p.P), atom(p.O))
+	}
+	b.WriteString("}")
+	if q.Alpha != query.NoVar {
+		b.WriteString(" GROUP BY ?" + nameOf(q.Alpha))
+	}
+	return b.String()
+}

@@ -1,0 +1,191 @@
+package sparql
+
+import (
+	"strings"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+const fig5Query = `
+SELECT ?c COUNT(DISTINCT ?o) WHERE {
+  ?s <birthPlace> ?o .
+  ?s rdf:type <Person> .
+  ?o rdf:type ?c .
+} GROUP BY ?c`
+
+func TestParseFig5(t *testing.T) {
+	d := rdf.NewDict()
+	p, err := Parse(fig5Query, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := p.Query
+	if len(q.Patterns) != 3 {
+		t.Fatalf("patterns = %d, want 3", len(q.Patterns))
+	}
+	if !q.Distinct {
+		t.Error("DISTINCT not parsed")
+	}
+	if q.Alpha != p.Names["c"] || q.Beta != p.Names["o"] {
+		t.Errorf("alpha/beta = %d/%d, names=%v", q.Alpha, q.Beta, p.Names)
+	}
+	// Second pattern: ?s rdf:type <Person>.
+	ty, ok := d.LookupIRI(rdf.RDFType)
+	if !ok {
+		t.Fatal("rdf:type not interned")
+	}
+	if q.Patterns[1].P.IsVar() || q.Patterns[1].P.ID != ty {
+		t.Error("rdf:type shorthand not resolved")
+	}
+	if p.VarName(q.Alpha) != "c" {
+		t.Errorf("VarName = %q", p.VarName(q.Alpha))
+	}
+}
+
+func TestParseExecutes(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("alice", rdf.RDFType, "Person")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.Dedup()
+	p, err := Parse(fig5Query, g.Dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Careful: Parse interned <birthPlace> and <Person> literally; the
+	// graph uses the same relative IRIs, so the query matches.
+	pl, err := query.Compile(p.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	res := lftj.Evaluate(st, pl)
+	city, _ := g.Dict.LookupIRI("City")
+	if res[city] != 1 {
+		t.Errorf("res = %v, want City:1", res)
+	}
+}
+
+func TestParseVariants(t *testing.T) {
+	d := rdf.NewDict()
+	cases := []string{
+		`SELECT COUNT(?x) WHERE { ?x <p> ?y }`,                         // ungrouped, no distinct, no dot
+		`select count(distinct ?x) where { ?x a <C> . }`,               // lowercase keywords, `a`
+		`SELECT ?p COUNT(?s) WHERE { ?s ?p "lit"@en . } GROUP BY ?p`,   // lang literal object
+		`SELECT ?p COUNT(?s) WHERE { ?s ?p "4"^^<int> . } GROUP BY ?p`, // typed literal
+		`SELECT COUNT(?x) WHERE { ?c rdfs:subClassOf <D> . ?x a ?c . }`,
+		`SELECT COUNT(?x) WHERE { $x <p> $y }`, // $-variables
+	}
+	for _, src := range cases {
+		if _, err := Parse(src, d); err != nil {
+			t.Errorf("Parse(%q) failed: %v", src, err)
+		}
+	}
+}
+
+func TestParseSumAvg(t *testing.T) {
+	d := rdf.NewDict()
+	p, err := Parse(`SELECT ?g SUM(?x) WHERE { ?s <v> ?x . ?s <c> ?g } GROUP BY ?g`, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Query.Agg != query.AggSum {
+		t.Errorf("Agg = %v, want SUM", p.Query.Agg)
+	}
+	printed := Print(p.Query, d, p.Names)
+	if !strings.Contains(printed, "SUM(") {
+		t.Errorf("Print = %q", printed)
+	}
+	p, err = Parse(`SELECT AVG(?x) WHERE { ?s <v> ?x }`, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Query.Agg != query.AggAvg {
+		t.Errorf("Agg = %v, want AVG", p.Query.Agg)
+	}
+	// DISTINCT is COUNT-only.
+	if _, err := Parse(`SELECT SUM(DISTINCT ?x) WHERE { ?s <v> ?x }`, d); err == nil {
+		t.Error("SUM(DISTINCT) accepted")
+	}
+	// Unknown aggregate.
+	if _, err := Parse(`SELECT MAX(?x) WHERE { ?s <v> ?x }`, d); err == nil {
+		t.Error("MAX accepted")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := rdf.NewDict()
+	cases := []struct{ src, want string }{
+		{`COUNT(?x) WHERE { ?x <p> ?y }`, "expected SELECT"},
+		{`SELECT COUNT ?x WHERE { ?x <p> ?y }`, `expected "("`},
+		{`SELECT COUNT(<x>) WHERE { ?x <p> ?y }`, "expected counted variable"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> ?y`, "unterminated WHERE"},
+		{`SELECT COUNT(?x) WHERE { ?x <p ?y }`, "unterminated IRI"},
+		{`SELECT COUNT(?x) WHERE { "lit" <p> ?x }`, "object position"},
+		{`SELECT ?g COUNT(?x) WHERE { ?x <p> ?g }`, "requires a GROUP BY"},
+		{`SELECT ?g COUNT(?x) WHERE { ?x <p> ?g } GROUP BY ?zz`, "not used"},
+		{`SELECT ?g COUNT(?x) WHERE { ?x <p> ?g . ?x <q> ?h } GROUP BY ?h`, "does not match"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> ?y } trailing`, "trailing"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> ?y } GROUP BY <c>`, "expected variable"},
+		{`SELECT COUNT(?x) WHERE { ?x ?x ?y }`, "repeated"},
+		{`SELECT COUNT(?) WHERE { ?x <p> ?y }`, "empty variable"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> "bad`, "unterminated literal"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> "a"@ }`, "empty language"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> "a"^^<d }`, "unterminated datatype"},
+		{`SELECT COUNT(?x) WHERE { ?x <p> "a\q" }`, "unknown escape"},
+		{`SELECT COUNT(?x) WHERE { ?x # ?y }`, "unexpected character"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src, d)
+		if err == nil || !strings.Contains(err.Error(), c.want) {
+			t.Errorf("Parse(%q) err = %v, want mention of %q", c.src, err, c.want)
+		}
+	}
+}
+
+func TestPrintRoundTrip(t *testing.T) {
+	d := rdf.NewDict()
+	p, err := Parse(fig5Query, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	printed := Print(p.Query, d, p.Names)
+	p2, err := Parse(printed, d)
+	if err != nil {
+		t.Fatalf("re-parse of %q failed: %v", printed, err)
+	}
+	if len(p2.Query.Patterns) != len(p.Query.Patterns) ||
+		p2.Query.Distinct != p.Query.Distinct {
+		t.Errorf("round trip changed the query:\n%s", printed)
+	}
+	// Same constants must resolve to the same IDs.
+	for i := range p.Query.Patterns {
+		a, b := p.Query.Patterns[i], p2.Query.Patterns[i]
+		if a.P.IsVar() != b.P.IsVar() || (!a.P.IsVar() && a.P.ID != b.P.ID) {
+			t.Errorf("pattern %d predicate drifted", i)
+		}
+	}
+}
+
+func TestPrintUngrouped(t *testing.T) {
+	d := rdf.NewDict()
+	p, err := Parse(`SELECT COUNT(?x) WHERE { ?x <p> ?y }`, d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Print(p.Query, d, p.Names)
+	if strings.Contains(s, "GROUP BY") || strings.Contains(s, "DISTINCT") {
+		t.Errorf("ungrouped print = %q", s)
+	}
+}
+
+func TestVarNameFallback(t *testing.T) {
+	p := &Parsed{Names: map[string]query.Var{}}
+	if got := p.VarName(3); got != "v3" {
+		t.Errorf("fallback name = %q", got)
+	}
+}

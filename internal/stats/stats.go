@@ -1,0 +1,137 @@
+// Package stats provides the statistical helpers used by the online
+// aggregation engines and the experiment harness: per-group mean absolute
+// error as defined in the paper (§V-B), normal-approximation confidence
+// intervals (Haas 1997 style, as used by Wander Join), and Tukey box-plot
+// summaries for the all-queries figures.
+package stats
+
+import (
+	"math"
+	"sort"
+
+	"kgexplore/internal/rdf"
+)
+
+// Z95 is the standard normal quantile for two-sided 0.95 confidence.
+const Z95 = 1.959963984540054
+
+// MAE returns the paper's mean absolute error between an estimate and the
+// exact result: for each group of the exact result, |exact - est| / exact,
+// averaged over all groups. Groups missing from the estimate count with
+// est = 0. Extra estimated groups that the exact result lacks are ignored
+// (the paper averages over "all groups in the result").
+//
+// Returns 0 when the exact result has no groups.
+func MAE(est, exact map[rdf.ID]float64) float64 {
+	if len(exact) == 0 {
+		return 0
+	}
+	var sum float64
+	for g, ex := range exact {
+		e := est[g]
+		if ex != 0 {
+			sum += math.Abs(ex-e) / ex
+		} else if e != 0 {
+			sum += 1 // exact 0 but estimated nonzero: count as 100% error
+		}
+	}
+	return sum / float64(len(exact))
+}
+
+// CIHalfWidth returns the half-width of a CLT confidence interval for the
+// mean of n i.i.d. per-walk contributions with the given sums: z *
+// sqrt(var/n), where var is the population variance estimate from sum and
+// sumsq. Returns +Inf when n < 2 (no variance information yet).
+func CIHalfWidth(sum, sumsq float64, n int64, z float64) float64 {
+	if n < 2 {
+		return math.Inf(1)
+	}
+	mean := sum / float64(n)
+	variance := sumsq/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return z * math.Sqrt(variance/float64(n))
+}
+
+// Tukey summarizes a sample as a Tukey box plot: quartiles, median and the
+// most extreme values within 1.5x the interquartile range of the box (the
+// whiskers), exactly the convention of Figures 9 and 10 of the paper.
+type Tukey struct {
+	N                int
+	Min, Max         float64 // extreme observed values
+	Q1, Median, Q3   float64
+	WhiskLo, WhiskHi float64 // whisker ends (within 1.5 IQR of the box)
+}
+
+// TukeyOf computes the box-plot summary of xs. It returns a zero Tukey for
+// an empty sample.
+func TukeyOf(xs []float64) Tukey {
+	if len(xs) == 0 {
+		return Tukey{}
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	t := Tukey{
+		N:      len(s),
+		Min:    s[0],
+		Max:    s[len(s)-1],
+		Q1:     Quantile(s, 0.25),
+		Median: Quantile(s, 0.5),
+		Q3:     Quantile(s, 0.75),
+	}
+	iqr := t.Q3 - t.Q1
+	lo, hi := t.Q1-1.5*iqr, t.Q3+1.5*iqr
+	t.WhiskLo, t.WhiskHi = t.Max, t.Min
+	for _, x := range s {
+		if x >= lo && x < t.WhiskLo {
+			t.WhiskLo = x
+		}
+		if x <= hi && x > t.WhiskHi {
+			t.WhiskHi = x
+		}
+	}
+	// The quartiles are interpolated, so a whisker candidate can land
+	// inside the box when no sample sits between the fence and the box
+	// edge (or when 1.5*IQR overflows on extreme inputs); clamp to the box,
+	// as standard box plots do.
+	if t.WhiskLo > t.Q1 {
+		t.WhiskLo = t.Q1
+	}
+	if t.WhiskHi < t.Q3 {
+		t.WhiskHi = t.Q3
+	}
+	return t
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of an ascending-sorted
+// sample using linear interpolation between order statistics.
+func Quantile(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	pos := q * float64(n-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Mean returns the arithmetic mean of xs (NaN for empty).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

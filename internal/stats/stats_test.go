@@ -1,0 +1,185 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"kgexplore/internal/rdf"
+)
+
+func TestMAE(t *testing.T) {
+	exact := map[rdf.ID]float64{1: 100, 2: 200}
+	est := map[rdf.ID]float64{1: 110, 2: 150}
+	// |100-110|/100 = 0.1; |200-150|/200 = 0.25; mean 0.175.
+	if got := MAE(est, exact); math.Abs(got-0.175) > 1e-12 {
+		t.Errorf("MAE = %v, want 0.175", got)
+	}
+}
+
+func TestMAEMissingGroup(t *testing.T) {
+	exact := map[rdf.ID]float64{1: 100, 2: 50}
+	est := map[rdf.ID]float64{1: 100}
+	// group 2 estimated 0 -> error 1; mean 0.5.
+	if got := MAE(est, exact); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MAE = %v, want 0.5", got)
+	}
+}
+
+func TestMAEExtraGroupIgnored(t *testing.T) {
+	exact := map[rdf.ID]float64{1: 100}
+	est := map[rdf.ID]float64{1: 100, 9: 1e9}
+	if got := MAE(est, exact); got != 0 {
+		t.Errorf("MAE = %v, want 0 (extra estimated groups ignored)", got)
+	}
+}
+
+func TestMAEEmptyAndZero(t *testing.T) {
+	if got := MAE(map[rdf.ID]float64{1: 5}, nil); got != 0 {
+		t.Errorf("MAE with empty exact = %v, want 0", got)
+	}
+	exact := map[rdf.ID]float64{1: 0}
+	if got := MAE(map[rdf.ID]float64{1: 3}, exact); got != 1 {
+		t.Errorf("MAE with exact-zero group = %v, want 1", got)
+	}
+	if got := MAE(map[rdf.ID]float64{}, exact); got != 0 {
+		t.Errorf("MAE with both zero = %v, want 0", got)
+	}
+}
+
+func TestMAEPerfectEstimate(t *testing.T) {
+	f := func(vals []float64) bool {
+		exact := map[rdf.ID]float64{}
+		for i, v := range vals {
+			exact[rdf.ID(i)] = math.Abs(v) + 1
+		}
+		return MAE(exact, exact) == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCIHalfWidth(t *testing.T) {
+	// Constant contributions: zero variance, zero width.
+	if got := CIHalfWidth(100, 1000, 10, Z95); got != 0 {
+		t.Errorf("CI of constant sample = %v, want 0", got)
+	}
+	// n < 2: infinite.
+	if got := CIHalfWidth(5, 25, 1, Z95); !math.IsInf(got, 1) {
+		t.Errorf("CI with n=1 = %v, want +Inf", got)
+	}
+	// Known case: contributions {0, 2}: mean 1, var 1, n=2:
+	// width = z * sqrt(1/2).
+	want := Z95 * math.Sqrt(0.5)
+	if got := CIHalfWidth(2, 4, 2, Z95); math.Abs(got-want) > 1e-12 {
+		t.Errorf("CI = %v, want %v", got, want)
+	}
+}
+
+func TestCIShrinksWithN(t *testing.T) {
+	// Same mean and variance, larger n: smaller width.
+	w1 := CIHalfWidth(10, 30, 10, Z95)
+	w2 := CIHalfWidth(100, 300, 100, Z95)
+	if w2 >= w1 {
+		t.Errorf("CI did not shrink: %v -> %v", w1, w2)
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {0.25, 2}, {0.5, 3}, {0.75, 4}, {1, 5}, {0.1, 1.4},
+	}
+	for _, c := range cases {
+		if got := Quantile(s, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("Quantile of empty sample should be NaN")
+	}
+	if got := Quantile([]float64{7}, 0.9); got != 7 {
+		t.Errorf("Quantile of singleton = %v, want 7", got)
+	}
+}
+
+func TestTukeyOf(t *testing.T) {
+	// 1..11 with an outlier 100.
+	xs := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 100}
+	tk := TukeyOf(xs)
+	if tk.N != 12 || tk.Min != 1 || tk.Max != 100 {
+		t.Errorf("N/Min/Max = %d/%v/%v", tk.N, tk.Min, tk.Max)
+	}
+	if tk.Median != 6.5 {
+		t.Errorf("Median = %v, want 6.5", tk.Median)
+	}
+	// Whisker high must exclude the outlier 100.
+	if tk.WhiskHi != 11 {
+		t.Errorf("WhiskHi = %v, want 11", tk.WhiskHi)
+	}
+	if tk.WhiskLo != 1 {
+		t.Errorf("WhiskLo = %v, want 1", tk.WhiskLo)
+	}
+	if z := TukeyOf(nil); z.N != 0 {
+		t.Error("TukeyOf(nil) not zero")
+	}
+}
+
+func TestTukeyInvariants(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		tk := TukeyOf(xs)
+		return tk.Min <= tk.WhiskLo && tk.WhiskLo <= tk.Q1 &&
+			tk.Q1 <= tk.Median && tk.Median <= tk.Q3 &&
+			tk.Q3 <= tk.WhiskHi && tk.WhiskHi <= tk.Max
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	f := func(raw []float64, qa, qb float64) bool {
+		xs := raw[:0]
+		for _, v := range raw {
+			if !math.IsNaN(v) && !math.IsInf(v, 0) {
+				xs = append(xs, v)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		sort.Float64s(xs)
+		a := math.Abs(math.Mod(qa, 1))
+		b := math.Abs(math.Mod(qb, 1))
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v, want 2", got)
+	}
+	if !math.IsNaN(Mean(nil)) {
+		t.Error("Mean(nil) should be NaN")
+	}
+}

@@ -1,0 +1,58 @@
+package wj
+
+import (
+	"testing"
+
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+)
+
+// TestCICoverage checks the statistical meaning of the 0.95 confidence
+// intervals: over many independent runs, the interval around the estimate
+// should contain the exact count roughly 95% of the time (Haas 1997). We
+// use a non-distinct grouped query (the unbiased regime) and allow a
+// generous band around 0.95 since the CLT approximation is rough at small
+// n and the trials are finite.
+func TestCICoverage(t *testing.T) {
+	g := testkit.RandomGraph(21, 8, 3, 5, 70)
+	q := testkit.ChainQuery(g, []rdf.ID{8, 9}, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	exact := lftj.GroupCount(st, pl)
+	if len(exact) == 0 {
+		t.Skip("empty fixture")
+	}
+	// Pick the largest group (best CLT behaviour).
+	var target rdf.ID
+	var best int64 = -1
+	for a, n := range exact {
+		if n > best {
+			target, best = a, n
+		}
+	}
+	const trials = 200
+	const walks = 4000
+	covered := 0
+	for trial := 0; trial < trials; trial++ {
+		r := New(st, pl, int64(1000+trial))
+		r.Run(walks)
+		snap := r.Snapshot()
+		est := snap.Estimates[target]
+		hw := snap.CI[target]
+		truth := float64(exact[target])
+		if est-hw <= truth && truth <= est+hw {
+			covered++
+		}
+	}
+	frac := float64(covered) / trials
+	if frac < 0.85 || frac > 1.0 {
+		t.Errorf("CI coverage = %.3f over %d trials, want ~0.95", frac, trials)
+	}
+}

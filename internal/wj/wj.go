@@ -1,0 +1,229 @@
+// Package wj implements Wander Join (Li et al., SIGMOD 2016) for the
+// exploration-query fragment: online aggregation of grouped counts via
+// independent random walks over the candidate-set graph, with the
+// Horvitz–Thompson estimator C_wj(γ) = ∏ d_i (paper §IV-C).
+//
+// Wander Join has no unbiased estimator for COUNT(DISTINCT); following the
+// paper's experimental setup, distinct mode augments it with the technique
+// of Ripple Join (Haas & Hellerstein): samples whose (group, value) pair has
+// been seen before are rejected. This keeps duplicates from inflating the
+// count but leaves the estimator biased — the limitation Audit Join removes.
+package wj
+
+import (
+	"math/rand"
+	"time"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+)
+
+// GlobalGroup is the group key used for ungrouped queries.
+const GlobalGroup = rdf.NoID
+
+// Acc accumulates per-group walk contributions. It is shared by Wander Join
+// and Audit Join: both divide per-group contribution sums by the total
+// number of walks N (Fig. 7 line 24 of the paper) and derive CLT confidence
+// intervals from the contribution second moments.
+type Acc struct {
+	N        int64 // all walks, including rejected ones
+	Rejected int64 // walks that hit a dead end
+	Dedup    int64 // distinct-mode walks dropped as already-seen (WJ only)
+	Sum      map[rdf.ID]float64
+	SumSq    map[rdf.ID]float64
+	// Den holds denominator contributions for ratio estimators (AVG);
+	// nil unless AddRatio has been used.
+	Den map[rdf.ID]float64
+}
+
+// NewAcc returns an empty accumulator.
+func NewAcc() *Acc {
+	return &Acc{Sum: make(map[rdf.ID]float64), SumSq: make(map[rdf.ID]float64)}
+}
+
+// Add records a successful walk contribution x for group a.
+func (c *Acc) Add(a rdf.ID, x float64) {
+	c.Sum[a] += x
+	c.SumSq[a] += x * x
+}
+
+// AddRatio records a ratio-estimator contribution: num feeds the primary
+// channel, den the denominator channel (used by AVG, where the estimate is
+// the ratio of two Horvitz–Thompson estimators).
+func (c *Acc) AddRatio(a rdf.ID, num, den float64) {
+	c.Add(a, num)
+	if c.Den == nil {
+		c.Den = make(map[rdf.ID]float64)
+	}
+	c.Den[a] += den
+}
+
+// Merge folds another accumulator into c. Because walks are i.i.d., the
+// merged accumulator is exactly what a single runner would have produced
+// with the union of the walks; this is how parallel estimation combines
+// per-goroutine runners (the paper cites parallel online aggregation as
+// related work; with independent walks the combination is trivial).
+// Distinct-mode WJ accumulators must not be merged (their Ripple-style
+// dedup sets are runner-local); Audit Join accumulators always can.
+func (c *Acc) Merge(o *Acc) {
+	c.N += o.N
+	c.Rejected += o.Rejected
+	c.Dedup += o.Dedup
+	for a, v := range o.Sum {
+		c.Sum[a] += v
+	}
+	for a, v := range o.SumSq {
+		c.SumSq[a] += v
+	}
+	if o.Den != nil {
+		if c.Den == nil {
+			c.Den = make(map[rdf.ID]float64, len(o.Den))
+		}
+		for a, v := range o.Den {
+			c.Den[a] += v
+		}
+	}
+}
+
+// Result is a point-in-time snapshot of an online aggregation.
+type Result struct {
+	Estimates map[rdf.ID]float64 // per-group estimate
+	CI        map[rdf.ID]float64 // per-group 0.95 CI half-width
+	Walks     int64
+	Rejected  int64
+	Dedup     int64
+}
+
+// RejectionRate returns the fraction of walks that hit a dead end.
+func (r Result) RejectionRate() float64 {
+	if r.Walks == 0 {
+		return 0
+	}
+	return float64(r.Rejected) / float64(r.Walks)
+}
+
+// Snapshot converts the accumulator into estimates: sum/N per group, with
+// CLT confidence intervals at level z. When the denominator channel is in
+// use (AVG), the estimate is the ratio of the two channels' sums and the
+// CI is left at zero (a delta-method interval is future work, matching the
+// paper's focus on counts).
+func (c *Acc) Snapshot(z float64) Result {
+	r := Result{
+		Estimates: make(map[rdf.ID]float64, len(c.Sum)),
+		CI:        make(map[rdf.ID]float64, len(c.Sum)),
+		Walks:     c.N,
+		Rejected:  c.Rejected,
+		Dedup:     c.Dedup,
+	}
+	if c.N == 0 {
+		return r
+	}
+	for a, s := range c.Sum {
+		if c.Den != nil {
+			if d := c.Den[a]; d > 0 {
+				r.Estimates[a] = s / d
+			}
+			continue
+		}
+		r.Estimates[a] = s / float64(c.N)
+		r.CI[a] = stats.CIHalfWidth(s, c.SumSq[a], c.N, z)
+	}
+	return r
+}
+
+// Runner executes Wander Join walks over one plan. Not safe for concurrent
+// use; create one Runner per goroutine.
+type Runner struct {
+	store *index.Store
+	pl    *query.Plan
+	rng   *rand.Rand
+	acc   *Acc
+	seen  map[[2]rdf.ID]struct{} // distinct mode: (group, beta) pairs seen
+}
+
+// New creates a Runner with a deterministic random source.
+func New(store *index.Store, pl *query.Plan, seed int64) *Runner {
+	return &Runner{
+		store: store,
+		pl:    pl,
+		rng:   rand.New(rand.NewSource(seed)),
+		acc:   NewAcc(),
+		seen:  make(map[[2]rdf.ID]struct{}),
+	}
+}
+
+// Step performs one random walk, updating the estimator state.
+func (r *Runner) Step() {
+	r.acc.N++
+	b := r.pl.NewBindings()
+	prod := 1.0 // ∏ d_i
+	for i := range r.pl.Steps {
+		st := &r.pl.Steps[i]
+		sp, ok := st.ResolveSpan(r.store, b)
+		if !ok {
+			r.acc.Rejected++
+			return
+		}
+		if st.Kind == query.AccessMembership {
+			continue // d_i = 1
+		}
+		t := r.store.Sample(st.Order, sp, r.rng)
+		st.Bind(t, b)
+		prod *= float64(sp.Len())
+	}
+	q := r.pl.Query
+	a := GlobalGroup
+	if q.Alpha != query.NoVar {
+		a = b[q.Alpha]
+	}
+	switch q.Agg {
+	case query.AggSum:
+		if v, ok := r.store.Numeric(b[q.Beta]); ok {
+			r.acc.Add(a, v*prod)
+		}
+		return
+	case query.AggAvg:
+		if v, ok := r.store.Numeric(b[q.Beta]); ok {
+			r.acc.AddRatio(a, v*prod, prod)
+		}
+		return
+	}
+	if q.Distinct {
+		key := [2]rdf.ID{a, b[q.Beta]}
+		if _, dup := r.seen[key]; dup {
+			r.acc.Dedup++
+			return
+		}
+		r.seen[key] = struct{}{}
+	}
+	r.acc.Add(a, prod)
+}
+
+// Run performs n walks.
+func (r *Runner) Run(n int) {
+	for i := 0; i < n; i++ {
+		r.Step()
+	}
+}
+
+// RunFor keeps walking until the duration elapses, checking the clock every
+// batch walks. It returns the number of walks performed.
+func (r *Runner) RunFor(d time.Duration, batch int) int64 {
+	if batch <= 0 {
+		batch = 256
+	}
+	deadline := time.Now().Add(d)
+	start := r.acc.N
+	for time.Now().Before(deadline) {
+		r.Run(batch)
+	}
+	return r.acc.N - start
+}
+
+// Snapshot returns the current estimates with 0.95 confidence intervals.
+func (r *Runner) Snapshot() Result { return r.acc.Snapshot(stats.Z95) }
+
+// Acc exposes the accumulator (used by tests and the harness).
+func (r *Runner) Acc() *Acc { return r.acc }

@@ -1,0 +1,229 @@
+package wj
+
+import (
+	"math"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+func fig5(t *testing.T, distinct bool) (*query.Plan, *rdf.Graph, *index.Store) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+
+	bp, _ := g.Dict.LookupIRI("birthPlace")
+	ty, _ := g.Dict.LookupIRI(rdf.RDFType)
+	person, _ := g.Dict.LookupIRI("Person")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(bp), O: query.V(1)},
+			{S: query.V(0), P: query.C(ty), O: query.C(person)},
+			{S: query.V(1), P: query.C(ty), O: query.V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: distinct,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, g, index.Build(g)
+}
+
+func TestUnbiasedNonDistinct(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	exact := lftj.GroupCount(st, pl)
+	r := New(st, pl, 42)
+	r.Run(200000)
+	snap := r.Snapshot()
+	for a, ex := range exact {
+		got := snap.Estimates[a]
+		rel := math.Abs(got-float64(ex)) / float64(ex)
+		if rel > 0.08 {
+			t.Errorf("group %d: estimate %.2f vs exact %d (rel err %.3f)", a, got, ex, rel)
+		}
+	}
+}
+
+func TestUnbiasedNonDistinctRandomGraphs(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := testkit.RandomGraph(seed, 8, 3, 5, 60)
+		q := testkit.ChainQuery(g, []rdf.ID{8, 9}, true, false)
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.Build(g)
+		exact := lftj.GroupCount(st, pl)
+		if len(exact) == 0 {
+			continue
+		}
+		r := New(st, pl, seed*7)
+		r.Run(300000)
+		snap := r.Snapshot()
+		for a, ex := range exact {
+			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
+			if rel > 0.15 {
+				t.Errorf("seed %d group %d: %.2f vs %d (rel %.3f)",
+					seed, a, snap.Estimates[a], ex, rel)
+			}
+		}
+	}
+}
+
+func TestRejectionCounting(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, 1)
+	r.Run(50000)
+	snap := r.Snapshot()
+	// eve's walk (1/5 of starts) always dies at the Person check.
+	rate := snap.RejectionRate()
+	if rate < 0.15 || rate > 0.25 {
+		t.Errorf("rejection rate = %.3f, want ~0.2", rate)
+	}
+	if snap.Walks != 50000 {
+		t.Errorf("Walks = %d, want 50000", snap.Walks)
+	}
+}
+
+func TestDistinctDedup(t *testing.T) {
+	pl, g, st := fig5(t, true)
+	r := New(st, pl, 3)
+	r.Run(50000)
+	snap := r.Snapshot()
+	// There are only 3 (group, beta) pairs: (City,paris), (City,lima),
+	// (Capital,lima); so at most 3 walks ever contribute.
+	if snap.Dedup < 30000 {
+		t.Errorf("Dedup = %d, expected most walks deduplicated", snap.Dedup)
+	}
+	city, _ := g.Dict.LookupIRI("City")
+	if snap.Estimates[city] <= 0 {
+		t.Error("City estimate is zero despite successful samples")
+	}
+	// The Ripple-style distinct estimator is biased: with only the first
+	// occurrence counted, estimates decay as 1/N. Verify the known bias
+	// direction (far below the exact count of 2 after many walks).
+	if snap.Estimates[city] > 1 {
+		t.Errorf("City estimate %.4f; expected heavy downward bias (< 1)", snap.Estimates[city])
+	}
+}
+
+func TestCIShrinks(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, 5)
+	r.Run(1000)
+	w1 := widest(r.Snapshot().CI)
+	r.Run(99000)
+	w2 := widest(r.Snapshot().CI)
+	if !(w2 < w1) {
+		t.Errorf("CI did not shrink: %v -> %v", w1, w2)
+	}
+}
+
+func widest(ci map[rdf.ID]float64) float64 {
+	w := 0.0
+	for _, v := range ci {
+		if v > w {
+			w = v
+		}
+	}
+	return w
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r1 := New(st, pl, 99)
+	r2 := New(st, pl, 99)
+	r1.Run(10000)
+	r2.Run(10000)
+	s1, s2 := r1.Snapshot(), r2.Snapshot()
+	if s1.Rejected != s2.Rejected || len(s1.Estimates) != len(s2.Estimates) {
+		t.Fatal("same seed gave different trajectories")
+	}
+	for a, v := range s1.Estimates {
+		if s2.Estimates[a] != v {
+			t.Errorf("group %d: %v vs %v", a, v, s2.Estimates[a])
+		}
+	}
+}
+
+func TestUngroupedEstimate(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	q := *pl.Query
+	q.Alpha = query.NoVar
+	pl2, err := query.Compile(&q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := lftj.GroupCount(st, pl2)[lftj.GlobalGroup]
+	r := New(st, pl2, 11)
+	r.Run(100000)
+	got := r.Snapshot().Estimates[GlobalGroup]
+	if math.Abs(got-float64(exact))/float64(exact) > 0.08 {
+		t.Errorf("ungrouped estimate %.2f vs exact %d", got, exact)
+	}
+}
+
+func TestEmptyQueryAllRejected(t *testing.T) {
+	pl, g, st := fig5(t, false)
+	// A query on a missing predicate: every walk dies at step 0.
+	missing := g.Dict.InternIRI("never-used-predicate")
+	q := &query.Query{
+		Patterns: []query.Pattern{{S: query.V(0), P: query.C(missing), O: query.V(1)}},
+		Alpha:    query.NoVar,
+		Beta:     1,
+	}
+	pl2, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := New(st, pl2, 2)
+	r.Run(100)
+	snap := r.Snapshot()
+	if snap.Rejected != 100 || len(snap.Estimates) != 0 {
+		t.Errorf("Rejected=%d Estimates=%v, want all rejected", snap.Rejected, snap.Estimates)
+	}
+	if snap.RejectionRate() != 1 {
+		t.Errorf("rejection rate = %v, want 1", snap.RejectionRate())
+	}
+	_ = pl
+}
+
+func TestSnapshotEmpty(t *testing.T) {
+	acc := NewAcc()
+	r := acc.Snapshot(1.96)
+	if r.Walks != 0 || len(r.Estimates) != 0 || r.RejectionRate() != 0 {
+		t.Error("empty snapshot not empty")
+	}
+}
+
+func TestRunFor(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, 7)
+	n := r.RunFor(20e6, 64) // 20ms
+	if n <= 0 {
+		t.Error("RunFor performed no walks")
+	}
+	if r.Snapshot().Walks != n {
+		t.Errorf("walk accounting mismatch: %d vs %d", r.Snapshot().Walks, n)
+	}
+}

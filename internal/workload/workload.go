@@ -1,0 +1,224 @@
+// Package workload generates the paper's evaluation workload (§V-B):
+// random exploration paths that imitate users applying incremental
+// expansions. Each path starts at the root class, uniformly picks a legal
+// expansion, translates it to a chart query, and weighted-samples one of
+// the resulting groups (bars) by size — the paper's bias towards large
+// groups — for up to four steps. Chart queries with empty results are
+// discarded and the path ends.
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/explore"
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// StepRecord is one exploration step: the chart query it issued, the exact
+// result used as ground truth, and the group the simulated user selected.
+type StepRecord struct {
+	Path     int // exploration-run index
+	Step     int // 1-based step within the run
+	Op       explore.Op
+	Query    *query.Query
+	Plan     *query.Plan
+	Exact    map[rdf.ID]float64 // exact distinct counts per group
+	Selected rdf.ID             // the weighted-sampled group
+}
+
+// Generator produces exploration paths over one dataset.
+type Generator struct {
+	Store    *index.Store
+	Schema   explore.Schema
+	Seed     int64
+	MaxSteps int // steps per path; the paper uses 4
+	// MaxGroupsExact caps charts used for ground truth; 0 means no cap.
+	// (Kept for safety on huge synthetic charts; the paper has no such cap.)
+	MaxGroupsExact int
+}
+
+// Paths runs n exploration paths and returns every non-empty step record,
+// in order. The paper runs 25 paths per graph.
+func (g *Generator) Paths(n int) []StepRecord {
+	rng := rand.New(rand.NewSource(g.Seed))
+	maxSteps := g.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 4
+	}
+	var out []StepRecord
+	for p := 0; p < n; p++ {
+		state := explore.Root(g.Schema)
+		for step := 1; step <= maxSteps; step++ {
+			rec, next, ok := g.step(rng, state, p, step)
+			if !ok {
+				break
+			}
+			out = append(out, rec)
+			state = next
+		}
+	}
+	return out
+}
+
+// step tries the legal expansions of the state in random order until one
+// produces a non-empty chart; charts with empty results are ignored, per
+// the paper. Returns ok=false when every expansion is empty.
+func (g *Generator) step(rng *rand.Rand, state *explore.State, path, step int) (StepRecord, *explore.State, bool) {
+	ops := append([]explore.Op(nil), explore.Expansions(state.Kind)...)
+	rng.Shuffle(len(ops), func(i, j int) { ops[i], ops[j] = ops[j], ops[i] })
+	for _, op := range ops {
+		q, err := state.Query(op)
+		if err != nil {
+			continue
+		}
+		pl, err := query.Compile(q)
+		if err != nil {
+			continue
+		}
+		exact := ctj.Evaluate(g.Store, pl)
+		if len(exact) == 0 {
+			continue
+		}
+		sel := weightedSample(rng, exact)
+		next, err := state.Select(op, sel)
+		if err != nil {
+			continue
+		}
+		rec := StepRecord{
+			Path:     path,
+			Step:     step,
+			Op:       op,
+			Query:    q,
+			Plan:     pl,
+			Exact:    exact,
+			Selected: sel,
+		}
+		return rec, next, true
+	}
+	return StepRecord{}, nil, false
+}
+
+// weightedSample picks a group with probability proportional to its count,
+// iterating groups in sorted ID order so results are reproducible.
+func weightedSample(rng *rand.Rand, counts map[rdf.ID]float64) rdf.ID {
+	ids := make([]rdf.ID, 0, len(counts))
+	var total float64
+	for id, c := range counts {
+		ids = append(ids, id)
+		total += c
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	r := rng.Float64() * total
+	for _, id := range ids {
+		r -= counts[id]
+		if r <= 0 {
+			return id
+		}
+	}
+	return ids[len(ids)-1]
+}
+
+// Selectivity computes the paper's query selectivity (§V-B):
+//
+//	1 - (join size including filters) / (join size without filters)
+//
+// where the filters are the query's constant bindings. The unfiltered join
+// size replaces every constant with a fresh variable; both sizes are
+// computed exactly with CTJ. Queries whose unfiltered join is empty report
+// selectivity 0.
+func Selectivity(store *index.Store, q *query.Query) float64 {
+	pl, err := query.Compile(q)
+	if err != nil {
+		return 0
+	}
+	withF := ctj.Count(store, pl)
+	unfiltered := stripConstants(q)
+	plU, err := query.CompileUnchecked(unfiltered)
+	if err != nil {
+		return 0
+	}
+	withoutF := ctj.Count(store, plU)
+	if withoutF == 0 {
+		return 0
+	}
+	return 1 - float64(withF)/float64(withoutF)
+}
+
+// AvgGroupSelectivity computes the paper's per-group selectivity, averaged
+// over the groups of the exact result (each group adds its own filter
+// α = a): 1 - size(filters, α=a)/size(no filters). To bound the cost on
+// charts with very many groups, at most maxGroups groups are used (0 means
+// all), chosen deterministically by ascending group ID.
+func AvgGroupSelectivity(store *index.Store, q *query.Query, exact map[rdf.ID]float64, maxGroups int) float64 {
+	if len(exact) == 0 || q.Alpha == query.NoVar {
+		return Selectivity(store, q)
+	}
+	unfiltered := stripConstants(q)
+	plU, err := query.CompileUnchecked(unfiltered)
+	if err != nil {
+		return 0
+	}
+	withoutF := ctj.Count(store, plU)
+	if withoutF == 0 {
+		return 0
+	}
+	ids := make([]rdf.ID, 0, len(exact))
+	for id := range exact {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if maxGroups > 0 && len(ids) > maxGroups {
+		ids = ids[:maxGroups]
+	}
+	var sum float64
+	for _, a := range ids {
+		qa := bindAlpha(q, a)
+		pl, err := query.CompileUnchecked(qa)
+		if err != nil {
+			continue
+		}
+		withF := ctj.Count(store, pl)
+		sum += 1 - float64(withF)/float64(withoutF)
+	}
+	return sum / float64(len(ids))
+}
+
+// bindAlpha replaces the group variable with the constant a and drops the
+// grouping.
+func bindAlpha(q *query.Query, a rdf.ID) *query.Query {
+	nq := &query.Query{Alpha: query.NoVar, Beta: q.Beta, Distinct: q.Distinct}
+	for _, p := range q.Patterns {
+		sub := func(at query.Atom) query.Atom {
+			if at.IsVar() && at.Var == q.Alpha {
+				return query.C(a)
+			}
+			return at
+		}
+		nq.Patterns = append(nq.Patterns, query.Pattern{S: sub(p.S), P: sub(p.P), O: sub(p.O)})
+	}
+	return nq
+}
+
+// stripConstants replaces every constant atom with a fresh variable.
+func stripConstants(q *query.Query) *query.Query {
+	next := query.Var(q.NumVars())
+	nq := &query.Query{Alpha: q.Alpha, Beta: q.Beta, Distinct: q.Distinct}
+	fresh := func(a query.Atom) query.Atom {
+		if a.IsVar() {
+			return a
+		}
+		v := next
+		next++
+		return query.V(v)
+	}
+	for _, p := range q.Patterns {
+		nq.Patterns = append(nq.Patterns, query.Pattern{
+			S: fresh(p.S), P: fresh(p.P), O: fresh(p.O),
+		})
+	}
+	return nq
+}

@@ -1,0 +1,143 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/explore"
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+func smallDataset(t *testing.T) (*index.Store, explore.Schema, *rdf.Graph) {
+	t.Helper()
+	g, schema, err := kggen.Generate(kggen.DBpediaSim(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return index.Build(g), schema, g
+}
+
+func TestPathsProduceSteps(t *testing.T) {
+	st, schema, _ := smallDataset(t)
+	gen := &Generator{Store: st, Schema: schema, Seed: 1, MaxSteps: 4}
+	recs := gen.Paths(5)
+	if len(recs) == 0 {
+		t.Fatal("no steps generated")
+	}
+	paths := map[int]int{}
+	for _, r := range recs {
+		paths[r.Path]++
+		if r.Step < 1 || r.Step > 4 {
+			t.Errorf("step %d out of range", r.Step)
+		}
+		if len(r.Exact) == 0 {
+			t.Error("empty exact result recorded")
+		}
+		if _, ok := r.Exact[r.Selected]; !ok {
+			t.Error("selected group not in the chart")
+		}
+		if r.Plan == nil || r.Query == nil {
+			t.Error("missing plan/query")
+		}
+		if !r.Query.Distinct {
+			t.Error("chart query must count distinct")
+		}
+	}
+	if len(paths) != 5 {
+		t.Errorf("expected 5 paths, got %d", len(paths))
+	}
+}
+
+func TestPathsDeterministic(t *testing.T) {
+	st, schema, _ := smallDataset(t)
+	g1 := &Generator{Store: st, Schema: schema, Seed: 7, MaxSteps: 3}
+	g2 := &Generator{Store: st, Schema: schema, Seed: 7, MaxSteps: 3}
+	r1, r2 := g1.Paths(4), g2.Paths(4)
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Op != r2[i].Op || r1[i].Selected != r2[i].Selected {
+			t.Errorf("step %d differs: %v/%d vs %v/%d",
+				i, r1[i].Op, r1[i].Selected, r2[i].Op, r2[i].Selected)
+		}
+	}
+}
+
+func TestStepQueriesAreConsistent(t *testing.T) {
+	// The recorded exact result must match re-evaluating the plan.
+	st, schema, _ := smallDataset(t)
+	gen := &Generator{Store: st, Schema: schema, Seed: 3, MaxSteps: 2}
+	recs := gen.Paths(2)
+	for _, r := range recs {
+		again := ctj.Evaluate(st, r.Plan)
+		if !testkit.MapsEqual(again, r.Exact, 1e-9) {
+			t.Errorf("path %d step %d: recorded exact diverges from re-evaluation", r.Path, r.Step)
+		}
+	}
+}
+
+func TestWeightedSampleRespectsWeights(t *testing.T) {
+	st, schema, _ := smallDataset(t)
+	_ = st
+	_ = schema
+	counts := map[rdf.ID]float64{1: 1, 2: 0, 3: 9999}
+	hits := map[rdf.ID]int{}
+	rng := rand.New(rand.NewSource(5))
+	for i := 0; i < 2000; i++ {
+		hits[weightedSample(rng, counts)]++
+	}
+	if hits[3] < 1900 {
+		t.Errorf("heavy group sampled only %d/2000 times", hits[3])
+	}
+	if hits[2] > 0 {
+		t.Error("zero-weight group sampled")
+	}
+}
+
+func TestSelectivity(t *testing.T) {
+	st, schema, g := smallDataset(t)
+	// A filter-free query has selectivity 0... exploration queries always
+	// carry the closure filter; build one manually: ?x <p0> ?o with no
+	// constants except the predicate.
+	var pred rdf.ID
+	it := st.Level(index.PSO, st.FullSpan(index.PSO), 0)
+	typeID := schema.Type
+	for it.Next() {
+		if it.Key() != typeID && it.Key() != schema.SubClassOf && it.Key() != schema.TypeClosure {
+			pred = it.Key()
+			break
+		}
+	}
+	q := &query.Query{
+		Patterns: []query.Pattern{{S: query.V(0), P: query.C(pred), O: query.V(1)}},
+		Alpha:    query.NoVar,
+		Beta:     0,
+	}
+	sel := Selectivity(st, q)
+	if sel <= 0 || sel >= 1 {
+		t.Errorf("selectivity of single-predicate filter = %v, want in (0,1)", sel)
+	}
+	_ = g
+}
+
+func TestSelectivityOfWorkloadSteps(t *testing.T) {
+	st, schema, _ := smallDataset(t)
+	gen := &Generator{Store: st, Schema: schema, Seed: 11, MaxSteps: 2}
+	recs := gen.Paths(2)
+	for _, r := range recs {
+		s := Selectivity(st, r.Query)
+		if s < 0 || s > 1 {
+			t.Errorf("selectivity %v out of [0,1] for %v", s, r.Query)
+		}
+		gs := AvgGroupSelectivity(st, r.Query, r.Exact, 5)
+		if gs < 0 || gs > 1 {
+			t.Errorf("group selectivity %v out of [0,1]", gs)
+		}
+	}
+}

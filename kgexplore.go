@@ -1,0 +1,462 @@
+// Package kgexplore is a library for interactive exploration of RDF
+// knowledge graphs via online aggregation, reproducing "Exploration of
+// Knowledge Graphs via Online Aggregation" (Kalinsky, Hogan, Mishali,
+// Etsion, Kimelfeld; ICDE 2022).
+//
+// The package exposes:
+//
+//   - Dataset: an in-memory RDF graph with the four trie index orders and
+//     the materialized subclass closure the paper's engines assume;
+//   - the exploration model of §III (bar charts, five expansions) through
+//     Dataset.Root and Chart;
+//   - four query-evaluation strategies for the exploration fragment:
+//     the exact Baseline (pairwise hash joins, the paper's Virtuoso stand-
+//     in), LFTJ and CTJ (worst-case-optimal trie joins, without and with
+//     caching), and the online-aggregation estimators WanderJoin and
+//     AuditJoin — the latter being the paper's contribution;
+//   - a parser for the SPARQL fragment of Fig. 4 (Dataset.ParseQuery).
+//
+// Internal building blocks are re-exported here via type aliases so that
+// the public API is usable without importing internal packages.
+package kgexplore
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"kgexplore/internal/baseline"
+	"kgexplore/internal/core"
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/explore"
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/sparql"
+	"kgexplore/internal/wj"
+)
+
+// Re-exported data-model types.
+type (
+	// Term is a decoded RDF term (IRI, literal or blank node).
+	Term = rdf.Term
+	// ID is a dictionary-encoded term identifier.
+	ID = rdf.ID
+	// Graph is a dictionary plus encoded triples, the pre-index form.
+	Graph = rdf.Graph
+	// Dict maps terms to dense IDs and back.
+	Dict = rdf.Dict
+)
+
+// Re-exported query types.
+type (
+	// Query is an exploration query (Fig. 4 of the paper).
+	Query = query.Query
+	// Plan is a compiled query with per-step access paths.
+	Plan = query.Plan
+	// Var is a query variable index.
+	Var = query.Var
+	// Pattern is one triple pattern.
+	Pattern = query.Pattern
+	// ParsedQuery is a parsed SPARQL fragment with its variable names.
+	ParsedQuery = sparql.Parsed
+)
+
+// Re-exported exploration types.
+type (
+	// ExploreState is a selected bar in an exploration session.
+	ExploreState = explore.State
+	// ExploreOp is one of the five bar expansions.
+	ExploreOp = explore.Op
+	// BarKind is the kind of a bar/chart.
+	BarKind = explore.BarKind
+)
+
+// Exploration ops and bar kinds (Fig. 3).
+const (
+	OpSubclass = explore.OpSubclass
+	OpOutProp  = explore.OpOutProp
+	OpInProp   = explore.OpInProp
+	OpObject   = explore.OpObject
+	OpSubject  = explore.OpSubject
+
+	ClassBar   = explore.ClassBar
+	OutPropBar = explore.OutPropBar
+	InPropBar  = explore.InPropBar
+)
+
+// Re-exported engine types.
+type (
+	// WanderJoin runs Wander Join online aggregation.
+	WanderJoin = wj.Runner
+	// AuditJoin runs the paper's Audit Join online aggregation.
+	AuditJoin = core.Runner
+	// AuditJoinOptions configures AuditJoin (tipping threshold, seed).
+	AuditJoinOptions = core.Options
+	// EstimateResult is a snapshot of an online aggregation.
+	EstimateResult = wj.Result
+)
+
+// GlobalGroup is the group key of ungrouped results.
+const GlobalGroup = rdf.NoID
+
+// DefaultTippingThreshold is Audit Join's default tipping point.
+const DefaultTippingThreshold = core.DefaultThreshold
+
+// NoVar marks the absence of a variable (e.g. Query.Alpha on ungrouped
+// queries).
+const NoVar = query.NoVar
+
+// NewGraph returns an empty graph for programmatic construction.
+func NewGraph() *Graph { return rdf.NewGraph() }
+
+// ReadNTriples parses an N-Triples stream into a graph.
+func ReadNTriples(r io.Reader) (*Graph, error) { return rdf.ReadNTriples(r) }
+
+// WriteNTriples serializes a graph as N-Triples.
+func WriteNTriples(w io.Writer, g *Graph) error { return rdf.WriteNTriples(w, g) }
+
+// ReadTurtle parses a Turtle stream (the practical subset documented in the
+// rdf package) into a graph.
+func ReadTurtle(r io.Reader) (*Graph, error) { return rdf.ReadTurtle(r) }
+
+// LoadTurtle reads a Turtle stream and prepares a dataset rooted at
+// owl:Thing.
+func LoadTurtle(r io.Reader) (*Dataset, error) {
+	g, err := rdf.ReadTurtle(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g, RootThing)
+}
+
+// WriteSnapshot writes the dataset's graph (including derived closure
+// triples) in the compact binary snapshot format; LoadSnapshot restores it
+// much faster than re-parsing N-Triples.
+func (d *Dataset) WriteSnapshot(w io.Writer) error { return rdf.WriteBinary(w, d.graph) }
+
+// LoadSnapshot reads a binary snapshot written by WriteSnapshot and prepares
+// the dataset (re-materializing the closure is a no-op on snapshots that
+// already contain it).
+func LoadSnapshot(r io.Reader) (*Dataset, error) {
+	g, err := rdf.ReadBinary(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g, RootThing)
+}
+
+// Explain renders a compiled plan's access paths and cardinality estimates.
+func (d *Dataset) Explain(pl *Plan) string { return pl.Explain(d.store) }
+
+// Dataset is an indexed knowledge graph ready for exploration: the graph
+// with its subclass closure materialized, the four trie index orders, and
+// the vocabulary schema. Datasets are immutable and safe for concurrent
+// readers (individual engine runners are not; create one per goroutine).
+type Dataset struct {
+	graph  *rdf.Graph
+	store  *index.Store
+	schema explore.Schema
+}
+
+// FromGraph prepares a dataset from a graph: it materializes the subclass
+// closure under the given root class IRI (use rdf.OWLThing via RootThing for
+// the default), deduplicates, and builds the indexes. The graph must carry
+// rdf:type triples. The graph is retained and modified (closure triples are
+// added).
+func FromGraph(g *Graph, rootIRI string) (*Dataset, error) {
+	explore.MaterializeClosure(g, rootIRI)
+	schema, err := explore.SchemaOf(g.Dict, rootIRI)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{graph: g, store: index.Build(g), schema: schema}, nil
+}
+
+// RootThing is the default root class IRI (owl:Thing).
+const RootThing = rdf.OWLThing
+
+// LoadNTriples reads an N-Triples stream and prepares a dataset rooted at
+// owl:Thing.
+func LoadNTriples(r io.Reader) (*Dataset, error) {
+	g, err := rdf.ReadNTriples(r)
+	if err != nil {
+		return nil, err
+	}
+	return FromGraph(g, RootThing)
+}
+
+// LoadFile loads a dataset from a file, choosing the format by extension:
+// ".ttl" Turtle, ".kgx" binary snapshot (WriteSnapshot), anything else
+// N-Triples.
+func LoadFile(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	br := bufio.NewReaderSize(f, 1<<20)
+	switch {
+	case strings.HasSuffix(path, ".ttl"):
+		return LoadTurtle(br)
+	case strings.HasSuffix(path, ".kgx"):
+		return LoadSnapshot(br)
+	default:
+		return LoadNTriples(br)
+	}
+}
+
+// GenerateDBpediaSim builds the synthetic DBpedia-like dataset at the given
+// scale (1.0 is roughly 1.2M triples; see DESIGN.md §3).
+func GenerateDBpediaSim(scale float64) (*Dataset, error) {
+	return generate(kggen.DBpediaSim(scale))
+}
+
+// GenerateLGDSim builds the synthetic LinkedGeoData-like dataset.
+func GenerateLGDSim(scale float64) (*Dataset, error) {
+	return generate(kggen.LGDSim(scale))
+}
+
+func generate(cfg kggen.Config) (*Dataset, error) {
+	g, schema, err := kggen.Generate(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Dataset{graph: g, store: index.Build(g), schema: schema}, nil
+}
+
+// Graph returns the underlying graph (including derived closure triples).
+func (d *Dataset) Graph() *Graph { return d.graph }
+
+// Dict returns the term dictionary.
+func (d *Dataset) Dict() *Dict { return d.graph.Dict }
+
+// NumTriples returns the number of indexed triples.
+func (d *Dataset) NumTriples() int { return d.store.NumTriples() }
+
+// IndexBytes estimates the resident size of the four index orders.
+func (d *Dataset) IndexBytes() int64 { return d.store.EstimateBytes() }
+
+// Root returns the initial exploration state: the root class bar.
+func (d *Dataset) Root() *ExploreState { return explore.Root(d.schema) }
+
+// ExpansionsOf returns the legal expansions from the state's bar kind
+// (the transition system of Fig. 3).
+func ExpansionsOf(s *ExploreState) []ExploreOp { return explore.Expansions(s.Kind) }
+
+// ParseQuery parses a query in the SPARQL fragment of Fig. 4, interning
+// constants into the dataset's dictionary.
+func (d *Dataset) ParseQuery(src string) (*ParsedQuery, error) {
+	return sparql.Parse(src, d.graph.Dict)
+}
+
+// PrintQuery renders a query in the fragment's concrete syntax.
+func (d *Dataset) PrintQuery(q *Query, names map[string]Var) string {
+	return sparql.Print(q, d.graph.Dict, names)
+}
+
+// Compile plans a query for execution.
+func (d *Dataset) Compile(q *Query) (*Plan, error) { return query.Compile(q) }
+
+// ExactEngine selects one of the exact evaluation strategies.
+type ExactEngine int
+
+const (
+	// EngineCTJ is Cached Trie Join, the paper's fastest exact engine.
+	EngineCTJ ExactEngine = iota
+	// EngineLFTJ is Leapfrog Trie Join without caching.
+	EngineLFTJ
+	// EngineBaseline is the pairwise hash-join engine (Virtuoso stand-in).
+	EngineBaseline
+)
+
+func (e ExactEngine) String() string {
+	switch e {
+	case EngineCTJ:
+		return "ctj"
+	case EngineLFTJ:
+		return "lftj"
+	case EngineBaseline:
+		return "baseline"
+	default:
+		return fmt.Sprintf("ExactEngine(%d)", int(e))
+	}
+}
+
+// Exact evaluates the plan exactly with the chosen engine, returning
+// per-group counts (GlobalGroup for ungrouped queries).
+func (d *Dataset) Exact(pl *Plan, engine ExactEngine) (map[ID]float64, error) {
+	switch engine {
+	case EngineCTJ:
+		return ctj.Evaluate(d.store, pl), nil
+	case EngineLFTJ:
+		return lftj.Evaluate(d.store, pl), nil
+	case EngineBaseline:
+		return baseline.Evaluate(d.store, pl)
+	default:
+		return nil, fmt.Errorf("kgexplore: unknown engine %v", engine)
+	}
+}
+
+// AutoResult is what Auto returns: the per-group counts, whether they are
+// exact, and the CI map when they are estimates.
+type AutoResult struct {
+	Counts map[ID]float64
+	CI     map[ID]float64 // nil when exact
+	Exact  bool
+	Walks  int64 // walks performed when estimated
+}
+
+// AutoExactLimit is the estimated join size below which Auto answers
+// exactly with CTJ instead of estimating: small joins are cheaper to just
+// compute, and the answer is then precise — the hybrid strategy an
+// exploration UI wants by default.
+const AutoExactLimit = 1 << 16
+
+// Auto evaluates the plan with the strategy an interactive UI would pick:
+// exactly with CTJ when the statistics estimate the join to be small,
+// otherwise online with Audit Join under the time budget.
+func (d *Dataset) Auto(pl *Plan, budget time.Duration, seed int64) (AutoResult, error) {
+	if pl.EstimateJoinSize(d.store) <= AutoExactLimit {
+		counts := ctj.Evaluate(d.store, pl)
+		return AutoResult{Counts: counts, Exact: true}, nil
+	}
+	r := core.New(d.store, pl, core.Options{Threshold: core.DefaultThreshold, Seed: seed})
+	r.RunFor(budget, 128)
+	snap := r.Snapshot()
+	return AutoResult{Counts: snap.Estimates, CI: snap.CI, Walks: snap.Walks}, nil
+}
+
+// NewWanderJoin creates a Wander Join estimator for the plan.
+func (d *Dataset) NewWanderJoin(pl *Plan, seed int64) *WanderJoin {
+	return wj.New(d.store, pl, seed)
+}
+
+// NewAuditJoin creates an Audit Join estimator for the plan.
+func (d *Dataset) NewAuditJoin(pl *Plan, opts AuditJoinOptions) *AuditJoin {
+	return core.New(d.store, pl, opts)
+}
+
+// PathStep records one exploration interaction portably (by decoded term),
+// so a session can be replayed on another dataset.
+type PathStep = explore.PathStep
+
+// Replay applies a recorded exploration path to this dataset.
+func (d *Dataset) Replay(steps []PathStep) (*ExploreState, error) {
+	return explore.Replay(d.schema, d.graph.Dict, steps)
+}
+
+// CompareBar pairs one category's counts across two datasets.
+type CompareBar struct {
+	Category Term
+	A, B     float64 // exact counts in the two datasets (0 when absent)
+}
+
+// CompareChart replays the same exploration path on two datasets and
+// evaluates the same expansion on both (exactly, with CTJ), aligning the
+// bars by category term — the paper's "contrast multiple knowledge graphs"
+// use-case (§VI). Bars are sorted by descending A count, then B, then
+// category.
+func CompareChart(a, b *Dataset, steps []PathStep, op ExploreOp) ([]CompareBar, error) {
+	sa, err := a.Replay(steps)
+	if err != nil {
+		return nil, fmt.Errorf("dataset A: %w", err)
+	}
+	sb, err := b.Replay(steps)
+	if err != nil {
+		return nil, fmt.Errorf("dataset B: %w", err)
+	}
+	barsA, err := a.Chart(sa, op)
+	if err != nil {
+		return nil, fmt.Errorf("dataset A: %w", err)
+	}
+	barsB, err := b.Chart(sb, op)
+	if err != nil {
+		return nil, fmt.Errorf("dataset B: %w", err)
+	}
+	merged := map[Term]*CompareBar{}
+	order := []Term{}
+	for _, bar := range barsA {
+		merged[bar.Category] = &CompareBar{Category: bar.Category, A: bar.Count}
+		order = append(order, bar.Category)
+	}
+	for _, bar := range barsB {
+		if m, ok := merged[bar.Category]; ok {
+			m.B = bar.Count
+		} else {
+			merged[bar.Category] = &CompareBar{Category: bar.Category, B: bar.Count}
+			order = append(order, bar.Category)
+		}
+	}
+	out := make([]CompareBar, 0, len(order))
+	for _, term := range order {
+		out = append(out, *merged[term])
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].A != out[j].A {
+			return out[i].A > out[j].A
+		}
+		if out[i].B != out[j].B {
+			return out[i].B > out[j].B
+		}
+		return out[i].Category.Value < out[j].Category.Value
+	})
+	return out, nil
+}
+
+// Bar is one bar of a rendered chart.
+type Bar struct {
+	Category Term
+	Count    float64
+	CI       float64 // 0.95 half-width; zero for exact evaluation
+}
+
+// Chart evaluates the expansion op on the state exactly (with CTJ) and
+// returns the bars sorted by descending count — what the paper's UI
+// renders. For online aggregation, compile state.Query(op) and drive a
+// WanderJoin/AuditJoin runner directly.
+func (d *Dataset) Chart(s *ExploreState, op ExploreOp) ([]Bar, error) {
+	q, err := s.Query(op)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		return nil, err
+	}
+	return d.BarsOf(ctj.Evaluate(d.store, pl), nil), nil
+}
+
+// BarsOf converts a per-group result (and optional CI map) into bars sorted
+// by descending count, decoding group IDs through the dictionary.
+func (d *Dataset) BarsOf(counts map[ID]float64, ci map[ID]float64) []Bar {
+	bars := make([]Bar, 0, len(counts))
+	for id, c := range counts {
+		b := Bar{Count: c}
+		if id != GlobalGroup {
+			b.Category = d.graph.Dict.Term(id)
+		}
+		if ci != nil {
+			b.CI = ci[id]
+		}
+		bars = append(bars, b)
+	}
+	sortBars(bars)
+	return bars
+}
+
+// sortBars orders by descending count, then by category for determinism.
+func sortBars(bars []Bar) {
+	sort.Slice(bars, func(i, j int) bool {
+		if bars[i].Count != bars[j].Count {
+			return bars[i].Count > bars[j].Count
+		}
+		return bars[i].Category.Value < bars[j].Category.Value
+	})
+}

@@ -1,0 +1,205 @@
+package kgexplore
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+const tinyNT = `
+<alice> <birthPlace> <paris> .
+<bob> <birthPlace> <paris> .
+<carol> <birthPlace> <lima> .
+<alice> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<bob> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Person> .
+<carol> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <Robot> .
+<paris> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> .
+<lima> <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> .
+<Person> <http://www.w3.org/2000/01/rdf-schema#subClassOf> <Agent> .
+`
+
+func loadTiny(t *testing.T) *Dataset {
+	t.Helper()
+	d, err := LoadNTriples(strings.NewReader(tinyNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestLoadNTriples(t *testing.T) {
+	d := loadTiny(t)
+	if d.NumTriples() <= 9 {
+		t.Errorf("NumTriples = %d; closure triples missing?", d.NumTriples())
+	}
+	if d.IndexBytes() <= 0 {
+		t.Error("IndexBytes <= 0")
+	}
+	if d.Dict().Len() == 0 || d.Graph().Len() == 0 {
+		t.Error("accessors broken")
+	}
+}
+
+func TestParseAndExactEnginesAgree(t *testing.T) {
+	d := loadTiny(t)
+	p, err := d.ParseQuery(`
+		SELECT ?c COUNT(DISTINCT ?o) WHERE {
+			?s <birthPlace> ?o .
+			?s a <Person> .
+			?o a ?c .
+		} GROUP BY ?c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := d.Compile(p.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var results []map[ID]float64
+	for _, e := range []ExactEngine{EngineCTJ, EngineLFTJ, EngineBaseline} {
+		res, err := d.Exact(pl, e)
+		if err != nil {
+			t.Fatalf("%v: %v", e, err)
+		}
+		results = append(results, res)
+	}
+	city, _ := d.Dict().LookupIRI("City")
+	for i, res := range results {
+		if res[city] != 1 { // alice+bob born in paris; distinct places = 1
+			t.Errorf("engine %d: %v, want City:1", i, res)
+		}
+	}
+	if _, err := d.Exact(pl, ExactEngine(99)); err == nil {
+		t.Error("unknown engine accepted")
+	}
+}
+
+func TestOnlineEstimatorsConverge(t *testing.T) {
+	d := loadTiny(t)
+	p, err := d.ParseQuery(`
+		SELECT ?c COUNT(?o) WHERE {
+			?s <birthPlace> ?o .
+			?o a ?c .
+		} GROUP BY ?c`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := d.Compile(p.Query)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact, _ := d.Exact(pl, EngineCTJ)
+	wjr := d.NewWanderJoin(pl, 1)
+	ajr := d.NewAuditJoin(pl, AuditJoinOptions{Threshold: DefaultTippingThreshold, Seed: 1})
+	wjr.Run(50000)
+	ajr.Run(50000)
+	city, _ := d.Dict().LookupIRI("City")
+	for name, est := range map[string]float64{
+		"wj": wjr.Snapshot().Estimates[city],
+		"aj": ajr.Snapshot().Estimates[city],
+	} {
+		if math.Abs(est-exact[city])/exact[city] > 0.1 {
+			t.Errorf("%s estimate %.2f vs exact %.0f", name, est, exact[city])
+		}
+	}
+}
+
+func TestExplorationChart(t *testing.T) {
+	d := loadTiny(t)
+	root := d.Root()
+	bars, err := d.Chart(root, OpSubclass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct subclasses of Thing: Agent (2 persons via closure), Robot (1),
+	// City (2). Person is a subclass of Agent, not of Thing.
+	want := map[string]float64{"Agent": 2, "Robot": 1, "City": 2}
+	if len(bars) != len(want) {
+		t.Fatalf("bars = %+v", bars)
+	}
+	for _, b := range bars {
+		if want[b.Category.Value] != b.Count {
+			t.Errorf("bar %s = %v, want %v", b.Category.Value, b.Count, want[b.Category.Value])
+		}
+	}
+	// Bars sorted by descending count.
+	for i := 1; i < len(bars); i++ {
+		if bars[i].Count > bars[i-1].Count {
+			t.Error("bars not sorted")
+		}
+	}
+}
+
+func TestExplorationSelectAndFocus(t *testing.T) {
+	d := loadTiny(t)
+	root := d.Root()
+	agent, _ := d.Dict().LookupIRI("Agent")
+	s, err := root.Select(OpSubclass, agent)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := d.Compile(s.FocusQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, _ := d.Exact(pl, EngineCTJ)
+	if res[GlobalGroup] != 2 {
+		t.Errorf("agents = %v, want 2", res)
+	}
+	bars, err := d.Chart(s, OpOutProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bars) < 2 {
+		t.Errorf("out-prop bars = %+v", bars)
+	}
+}
+
+func TestGenerateDatasets(t *testing.T) {
+	d1, err := GenerateDBpediaSim(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := GenerateLGDSim(0.005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d1.NumTriples() == 0 || d2.NumTriples() == 0 {
+		t.Error("generated datasets empty")
+	}
+}
+
+func TestGraphRoundTripThroughFacade(t *testing.T) {
+	g := NewGraph()
+	g.AddIRIs("a", "p", "b")
+	var buf bytes.Buffer
+	if err := WriteNTriples(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadNTriples(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Len() != 1 {
+		t.Errorf("round trip lost triples: %d", g2.Len())
+	}
+}
+
+func TestPrintQuery(t *testing.T) {
+	d := loadTiny(t)
+	p, err := d.ParseQuery(`SELECT COUNT(?x) WHERE { ?x <birthPlace> ?y }`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := d.PrintQuery(p.Query, p.Names)
+	if !strings.Contains(s, "<birthPlace>") || !strings.Contains(s, "?x") {
+		t.Errorf("PrintQuery = %q", s)
+	}
+}
+
+func TestEngineString(t *testing.T) {
+	if EngineCTJ.String() != "ctj" || EngineLFTJ.String() != "lftj" || EngineBaseline.String() != "baseline" {
+		t.Error("engine names wrong")
+	}
+}
