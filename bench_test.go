@@ -334,7 +334,7 @@ func BenchmarkAblationTippingPoint(b *testing.B) {
 			var mae float64
 			for i := 0; i < b.N; i++ {
 				r := core.New(fixture.store, fixture.plan, core.Options{Threshold: th.v, Seed: 7})
-				r.Run(walks)
+				RunWalks(r, walks)
 				mae = stats.MAE(r.Snapshot().Estimates, fixture.exact)
 			}
 			b.ReportMetric(mae, "mae")
@@ -369,7 +369,7 @@ func BenchmarkAblationTippingOracle(b *testing.B) {
 			var mae float64
 			for i := 0; i < b.N; i++ {
 				r := core.New(fixture.store, fixture.plan, o.mk())
-				r.Run(walks)
+				RunWalks(r, walks)
 				mae = stats.MAE(r.Snapshot().Estimates, fixture.exact)
 			}
 			b.ReportMetric(mae, "mae")

@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -304,17 +305,21 @@ func (r *repl) run(pl *kgexplore.Plan) (map[kgexplore.ID]float64, map[kgexplore.
 		return res, nil, err
 	case "wj":
 		runner := r.ds.NewWanderJoin(pl, time.Now().UnixNano())
-		runner.RunFor(r.budget, 128)
-		snap := runner.Snapshot()
-		return snap.Estimates, snap.CI, nil
+		rep, err := kgexplore.Drive(context.Background(), runner, kgexplore.DriveOptions{Budget: r.budget, Batch: 128})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep.Final.Estimates, rep.Final.CI, nil
 	case "aj", "":
 		runner := r.ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
 			Threshold: kgexplore.DefaultTippingThreshold,
 			Seed:      time.Now().UnixNano(),
 		})
-		runner.RunFor(r.budget, 128)
-		snap := runner.Snapshot()
-		return snap.Estimates, snap.CI, nil
+		rep, err := kgexplore.Drive(context.Background(), runner, kgexplore.DriveOptions{Budget: r.budget, Batch: 128})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep.Final.Estimates, rep.Final.CI, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown engine %q", r.engine)
 	}

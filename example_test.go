@@ -66,7 +66,7 @@ func ExampleDataset_NewAuditJoin() {
 		Threshold: kgexplore.DefaultTippingThreshold,
 		Seed:      1,
 	})
-	aj.Run(10000)
+	kgexplore.RunWalks(aj, 10000)
 	fmt.Printf("%.1f\n", aj.Snapshot().Estimates[kgexplore.GlobalGroup])
 	// Output:
 	// 2.0

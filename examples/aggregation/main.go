@@ -59,7 +59,7 @@ func main() {
 			Threshold: kgexplore.DefaultTippingThreshold,
 			Seed:      1,
 		})
-		aj.Run(30000)
+		kgexplore.RunWalks(aj, 30000)
 		est := aj.Snapshot().Estimates
 
 		fmt.Printf("%s(?v) per region            exact    AJ estimate\n", agg)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -69,9 +70,11 @@ func main() {
 
 	fmt.Printf("%-8s %14s %14s %12s %12s\n", "t", "WJ MAE", "AJ MAE", "WJ rej", "AJ rej")
 	const interval = 100 * time.Millisecond
+	ctx := context.Background()
+	slice := kgexplore.DriveOptions{Budget: interval, Batch: 128}
 	for step := 1; step <= 10; step++ {
-		wj.RunFor(interval, 128)
-		aj.RunFor(interval, 128)
+		kgexplore.Drive(ctx, wj, slice)
+		kgexplore.Drive(ctx, aj, slice)
 		ws, as := wj.Snapshot(), aj.Snapshot()
 		fmt.Printf("%-8v %13.2f%% %13.2f%% %11.1f%% %11.1f%%\n",
 			time.Duration(step)*interval,

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -66,8 +67,8 @@ func main() {
 	var elapsed time.Duration
 	for _, budget := range []time.Duration{10, 40, 200} {
 		d := budget * time.Millisecond
-		aj.RunFor(d, 128)
-		elapsed += d
+		rep, _ := kgexplore.Drive(context.Background(), aj, kgexplore.DriveOptions{Budget: d, Batch: 128})
+		elapsed += rep.Elapsed
 		snap := aj.Snapshot()
 		fmt.Printf("  after %6v: %6d walks, mean abs error %.2f%%\n",
 			elapsed, snap.Walks, 100*mae(snap.Estimates, exact))

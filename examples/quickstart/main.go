@@ -64,12 +64,12 @@ func main() {
 
 	// Online aggregation: Wander Join vs Audit Join after 20k walks.
 	wj := ds.NewWanderJoin(plan, 1)
-	wj.Run(20000)
+	kgexplore.RunWalks(wj, 20000)
 	aj := ds.NewAuditJoin(plan, kgexplore.AuditJoinOptions{
 		Threshold: kgexplore.DefaultTippingThreshold,
 		Seed:      1,
 	})
-	aj.Run(20000)
+	kgexplore.RunWalks(aj, 20000)
 
 	fmt.Println("\nWander Join estimate (biased for DISTINCT):")
 	snap := wj.Snapshot()

@@ -81,10 +81,10 @@ func TestEstimatorsConvergeOnWorkload(t *testing.T) {
 	var ajMAEs, wjMAEs []float64
 	for _, rec := range recs {
 		ajr := core.New(st, rec.Plan, core.Options{Threshold: core.DefaultThreshold, Seed: 2})
-		ajr.Run(60000)
+		RunWalks(ajr, 60000)
 		ajMAEs = append(ajMAEs, stats.MAE(ajr.Snapshot().Estimates, rec.Exact))
 		wjr := wj.New(st, rec.Plan, 2)
-		wjr.Run(60000)
+		RunWalks(wjr, 60000)
 		wjMAEs = append(wjMAEs, stats.MAE(wjr.Snapshot().Estimates, rec.Exact))
 	}
 	ajMed := stats.TukeyOf(ajMAEs).Median
@@ -196,7 +196,7 @@ func TestSumAvgEndToEnd(t *testing.T) {
 		t.Fatalf("exact sum = %v", exact)
 	}
 	aj := ds.NewAuditJoin(pl, AuditJoinOptions{Threshold: DefaultTippingThreshold, Seed: 4})
-	aj.Run(50000)
+	RunWalks(aj, 50000)
 	est := aj.Snapshot().Estimates[GlobalGroup]
 	if math.Abs(est-exact[GlobalGroup])/exact[GlobalGroup] > 0.15 {
 		t.Errorf("AJ SUM %.1f vs exact %.1f", est, exact[GlobalGroup])

@@ -12,6 +12,7 @@
 package baseline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -64,15 +65,30 @@ func (r *relation) colOf(v query.Var) int {
 	return -1
 }
 
+// checkEvery is the number of rows processed between context checks in the
+// materialization loops: a power of two so the cancellation checkpoint is a
+// mask test on the row counter.
+const checkEvery = 1 << 13
+
 // Evaluate computes the exact per-group result of the plan.
 func (e *Engine) Evaluate(store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	return e.EvaluateCtx(context.Background(), store, pl)
+}
+
+// EvaluateCtx is Evaluate under a context: the materialization loops check
+// ctx every checkEvery rows, so long pairwise-join runs abort promptly with
+// ctx.Err() — never a partial result posing as the exact answer.
+func (e *Engine) EvaluateCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	maxRows := e.MaxRows
 	if maxRows <= 0 {
 		maxRows = DefaultMaxRows
 	}
 	cur := &relation{stride: 0}
 	for i := range pl.Steps {
-		next, err := e.joinStep(store, pl, i, cur, maxRows)
+		next, err := e.joinStep(ctx, store, pl, i, cur, maxRows)
 		if err != nil {
 			return nil, err
 		}
@@ -81,12 +97,12 @@ func (e *Engine) Evaluate(store *index.Store, pl *query.Plan) (map[rdf.ID]float6
 			break
 		}
 	}
-	return aggregate(store, cur, pl), nil
+	return aggregate(ctx, store, cur, pl)
 }
 
 // joinStep hash-joins the current intermediate with the triples matching
 // pattern i's constants.
-func (e *Engine) joinStep(store *index.Store, pl *query.Plan, i int, cur *relation, maxRows int) (*relation, error) {
+func (e *Engine) joinStep(ctx context.Context, store *index.Store, pl *query.Plan, i int, cur *relation, maxRows int) (*relation, error) {
 	st := &pl.Steps[i]
 	pat := st.Pattern
 
@@ -136,6 +152,11 @@ func (e *Engine) joinStep(store *index.Store, pl *query.Plan, i int, cur *relati
 	if i == 0 {
 		// No intermediate yet: materialize the pattern's matches.
 		for k := 0; k < span.Len(); k++ {
+			if k&(checkEvery-1) == 0 {
+				if err := ctx.Err(); err != nil {
+					return nil, err
+				}
+			}
 			tr := store.At(order, span, k)
 			if scanAll && !matchConsts(tr) {
 				continue
@@ -173,6 +194,11 @@ func (e *Engine) joinStep(store *index.Store, pl *query.Plan, i int, cur *relati
 
 	ht := make(map[key][]rdf.Triple)
 	for k := 0; k < span.Len(); k++ {
+		if k&(checkEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		tr := store.At(order, span, k)
 		if scanAll && !matchConsts(tr) {
 			continue
@@ -181,6 +207,11 @@ func (e *Engine) joinStep(store *index.Store, pl *query.Plan, i int, cur *relati
 		ht[kk] = append(ht[kk], tr)
 	}
 	for r := 0; r < cur.rows(); r++ {
+		if r&(checkEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := cur.data[r*cur.stride : (r+1)*cur.stride]
 		for _, tr := range ht[mkKeyRow(row)] {
 			if err := emit(row, tr); err != nil {
@@ -226,10 +257,10 @@ func constSpan(store *index.Store, pat query.Pattern) (index.Order, index.Span, 
 
 // aggregate applies the query's grouped aggregation (COUNT, COUNT DISTINCT,
 // SUM or AVG) to the final relation.
-func aggregate(store *index.Store, rel *relation, pl *query.Plan) map[rdf.ID]float64 {
+func aggregate(ctx context.Context, store *index.Store, rel *relation, pl *query.Plan) (map[rdf.ID]float64, error) {
 	out := make(map[rdf.ID]float64)
 	if rel.rows() == 0 {
-		return out
+		return out, nil
 	}
 	alphaCol := -1
 	if pl.Query.Alpha != query.NoVar {
@@ -242,6 +273,11 @@ func aggregate(store *index.Store, rel *relation, pl *query.Plan) map[rdf.ID]flo
 	}
 	counts := make(map[rdf.ID]float64)
 	for r := 0; r < rel.rows(); r++ {
+		if r&(checkEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		row := rel.data[r*rel.stride : (r+1)*rel.stride]
 		a := GlobalGroup
 		if alphaCol >= 0 {
@@ -269,10 +305,15 @@ func aggregate(store *index.Store, rel *relation, pl *query.Plan) map[rdf.ID]flo
 			out[a] /= counts[a]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Evaluate is a convenience wrapper using a default Engine.
 func Evaluate(store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
 	return (&Engine{}).Evaluate(store, pl)
+}
+
+// EvaluateCtx is a convenience wrapper using a default Engine.
+func EvaluateCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	return (&Engine{}).EvaluateCtx(ctx, store, pl)
 }

@@ -1,0 +1,67 @@
+package baseline
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+func densePlan(t *testing.T) (*query.Plan, *index.Store) {
+	t.Helper()
+	g := testkit.RandomGraph(1, 40, 2, 40, 6000)
+	preds := []rdf.ID{40, 41, 40}
+	q := testkit.ChainQuery(g, preds, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, testkit.BuildStore(g)
+}
+
+func TestEvaluateCtxPreCancelled(t *testing.T) {
+	pl, st := densePlan(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EvaluateCtx(ctx, st, pl)
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled EvaluateCtx returned partial result %v", res)
+	}
+}
+
+// trippingContext reports no error on its first Err() call (the upfront
+// check) and context.Canceled on every later one, so the test
+// deterministically exercises the in-run row checkpoints.
+type trippingContext struct {
+	context.Context
+	calls int
+}
+
+func (c *trippingContext) Err() error {
+	if c.calls++; c.calls > 1 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestEvaluateCtxMidRunCancel(t *testing.T) {
+	pl, st := densePlan(t)
+	start := time.Now()
+	res, err := EvaluateCtx(&trippingContext{Context: context.Background()}, st, pl)
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled from an in-run checkpoint", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled EvaluateCtx returned partial result with %d groups", len(res))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("abort took %v", elapsed)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"kgexplore/internal/exec"
 	"kgexplore/internal/index"
 	"kgexplore/internal/lftj"
 	"kgexplore/internal/query"
@@ -36,7 +37,7 @@ func TestSumUnbiased(t *testing.T) {
 		TipNever(4),
 	} {
 		r := New(st, pl, opts)
-		r.Run(200000)
+		exec.RunN(r, 200000)
 		snap := r.Snapshot()
 		for a, ex := range exact {
 			if ex == 0 {
@@ -58,7 +59,7 @@ func TestAvgConverges(t *testing.T) {
 		t.Skip("fixture produced empty result")
 	}
 	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 5})
-	r.Run(200000)
+	exec.RunN(r, 200000)
 	snap := r.Snapshot()
 	for a, ex := range exact {
 		rel := math.Abs(snap.Estimates[a]-ex) / math.Abs(ex)
@@ -77,7 +78,7 @@ func TestWJSumAlsoConverges(t *testing.T) {
 		t.Skip("fixture produced empty result")
 	}
 	r := wj.New(st, pl, 9)
-	r.Run(300000)
+	exec.RunN(r, 300000)
 	snap := r.Snapshot()
 	for a, ex := range exact {
 		if ex == 0 {
@@ -93,7 +94,7 @@ func TestWJSumAlsoConverges(t *testing.T) {
 func TestAvgCIIsZero(t *testing.T) {
 	pl, st := aggFixture(t, query.AggAvg)
 	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 5})
-	r.Run(1000)
+	exec.RunN(r, 1000)
 	for a, ci := range r.Snapshot().CI {
 		if ci != 0 {
 			t.Errorf("AVG CI for group %d = %v, want 0 (documented limitation)", a, ci)
@@ -122,7 +123,7 @@ func TestNonNumericBetaSumIsZero(t *testing.T) {
 	}
 	st := index.Build(g)
 	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 1})
-	r.Run(100)
+	exec.RunN(r, 100)
 	if est := r.Snapshot().Estimates[GlobalGroup]; est != 0 {
 		t.Errorf("SUM over IRIs = %v, want 0", est)
 	}

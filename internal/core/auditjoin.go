@@ -21,7 +21,6 @@ package core
 import (
 	"math"
 	"math/rand"
-	"time"
 
 	"kgexplore/internal/ctj"
 	"kgexplore/internal/index"
@@ -178,26 +177,10 @@ func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
 	}
 }
 
-// Run performs n walks.
-func (r *Runner) Run(n int) {
-	for i := 0; i < n; i++ {
-		r.Step()
-	}
-}
-
-// RunFor keeps walking until the duration elapses, checking the clock every
-// batch walks. It returns the number of walks performed.
-func (r *Runner) RunFor(d time.Duration, batch int) int64 {
-	if batch <= 0 {
-		batch = 256
-	}
-	deadline := time.Now().Add(d)
-	start := r.acc.N
-	for time.Now().Before(deadline) {
-		r.Run(batch)
-	}
-	return r.acc.N - start
-}
+// Walks returns the total number of walks performed, including rejected
+// ones. Together with Step and Snapshot it makes the Runner an exec.Stepper;
+// the driving loops (budgets, intervals, cancellation) live in internal/exec.
+func (r *Runner) Walks() int64 { return r.acc.N }
 
 // Snapshot returns the current estimates with 0.95 confidence intervals.
 func (r *Runner) Snapshot() wj.Result { return r.acc.Snapshot(stats.Z95) }

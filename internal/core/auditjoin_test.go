@@ -1,9 +1,12 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
+	"time"
 
+	"kgexplore/internal/exec"
 	"kgexplore/internal/index"
 	"kgexplore/internal/lftj"
 	"kgexplore/internal/query"
@@ -61,7 +64,7 @@ func TestUnbiasedNonDistinct(t *testing.T) {
 		{Threshold: 1, Seed: 4},
 	} {
 		r := New(st, pl, opts)
-		r.Run(100000)
+		exec.RunN(r, 100000)
 		snap := r.Snapshot()
 		for a, ex := range exact {
 			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
@@ -87,7 +90,7 @@ func TestUnbiasedDistinct(t *testing.T) {
 		TipAlways(7),
 	} {
 		r := New(st, pl, opts)
-		r.Run(100000)
+		exec.RunN(r, 100000)
 		snap := r.Snapshot()
 		for a, ex := range exact {
 			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
@@ -115,7 +118,7 @@ func TestUnbiasedDistinctRandomGraphs(t *testing.T) {
 			continue
 		}
 		r := New(st, pl, Options{Threshold: 4, Seed: seed * 13})
-		r.Run(200000)
+		exec.RunN(r, 200000)
 		snap := r.Snapshot()
 		for a, ex := range exact {
 			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
@@ -138,8 +141,8 @@ func TestDistinctBeatsWJ(t *testing.T) {
 	}
 	aj := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 21})
 	wjr := wj.New(st, pl, 21)
-	aj.Run(20000)
-	wjr.Run(20000)
+	exec.RunN(aj, 20000)
+	exec.RunN(wjr, 20000)
 	ajMAE := stats.MAE(aj.Snapshot().Estimates, exact)
 	wjMAE := stats.MAE(wjr.Snapshot().Estimates, exact)
 	if !(ajMAE < wjMAE/5) {
@@ -151,8 +154,8 @@ func TestTippingReducesRejections(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	never := New(st, pl, TipNever(31))
 	always := New(st, pl, TipAlways(31))
-	never.Run(20000)
-	always.Run(20000)
+	exec.RunN(never, 20000)
+	exec.RunN(always, 20000)
 	// With immediate tipping, eve's dead-end start is detected exactly and
 	// still counts as rejected, so rates match here; but tipped counts must
 	// differ drastically.
@@ -194,8 +197,8 @@ func TestRejectionLowerThanWJOnSelectiveQuery(t *testing.T) {
 	st := index.Build(g)
 	wjr := wj.New(st, pl, 77)
 	ajr := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 77})
-	wjr.Run(20000)
-	ajr.Run(20000)
+	exec.RunN(wjr, 20000)
+	exec.RunN(ajr, 20000)
 	wjRate := wjr.Snapshot().RejectionRate()
 	ajRate := ajr.Snapshot().RejectionRate()
 	// WJ rejects ~90% (only b0-bound edges survive); AJ tips after step 0
@@ -236,8 +239,8 @@ func TestDeterministicBySeed(t *testing.T) {
 	pl, _, st := fig5(t, true)
 	r1 := New(st, pl, Options{Threshold: 10, Seed: 5})
 	r2 := New(st, pl, Options{Threshold: 10, Seed: 5})
-	r1.Run(5000)
-	r2.Run(5000)
+	exec.RunN(r1, 5000)
+	exec.RunN(r2, 5000)
 	s1, s2 := r1.Snapshot(), r2.Snapshot()
 	for a, v := range s1.Estimates {
 		if s2.Estimates[a] != v {
@@ -252,7 +255,7 @@ func TestDeterministicBySeed(t *testing.T) {
 func TestCacheReuseAcrossWalks(t *testing.T) {
 	pl, _, st := fig5(t, true)
 	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 9})
-	r.Run(5000)
+	exec.RunN(r, 5000)
 	cs := r.CacheStats()
 	if cs.AggHits == 0 {
 		t.Error("no aggregate-cache reuse across 5000 walks on a 5-edge graph")
@@ -265,9 +268,9 @@ func TestCacheReuseAcrossWalks(t *testing.T) {
 func TestCIShrinks(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	r := New(st, pl, Options{Threshold: -1, Seed: 123}) // walk-like, so CI is nontrivial
-	r.Run(500)
+	exec.RunN(r, 500)
 	w1 := widest(r.Snapshot().CI)
-	r.Run(50000)
+	exec.RunN(r, 50000)
 	w2 := widest(r.Snapshot().CI)
 	if !(w2 < w1) {
 		t.Errorf("CI did not shrink: %v -> %v", w1, w2)
@@ -284,11 +287,48 @@ func widest(ci map[rdf.ID]float64) float64 {
 	return w
 }
 
-func TestRunFor(t *testing.T) {
+func TestDriveBudget(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 2})
-	n := r.RunFor(20e6, 64)
-	if n <= 0 {
-		t.Error("RunFor performed no walks")
+	rep, err := exec.Drive(context.Background(), r, exec.Options{Budget: 20 * time.Millisecond, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks <= 0 {
+		t.Error("Drive performed no walks")
+	}
+	if rep.Final.Walks != rep.Walks || r.Walks() != rep.Walks {
+		t.Errorf("walk accounting mismatch: report %d, snapshot %d, runner %d",
+			rep.Walks, rep.Final.Walks, r.Walks())
+	}
+}
+
+func TestDriveCancelMidRun(t *testing.T) {
+	// Cancelling mid-drive must return promptly with ctx.Err() and a
+	// consistent snapshot (no half-applied walks).
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 8})
+	ctx, cancel := context.WithCancel(context.Background())
+	var cancelled bool
+	rep, err := exec.Drive(ctx, r, exec.Options{
+		Budget:   10 * time.Second,
+		Interval: time.Millisecond,
+		Batch:    64,
+		OnSnapshot: func(p exec.Progress) bool {
+			if !cancelled && p.Walks > 0 {
+				cancelled = true
+				cancel()
+			}
+			return true
+		},
+	})
+	if err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if rep.Elapsed > 5*time.Second {
+		t.Errorf("cancelled drive took %v; expected prompt return", rep.Elapsed)
+	}
+	if rep.Final.Walks != r.Walks() {
+		t.Errorf("snapshot inconsistent after cancel: %d vs %d", rep.Final.Walks, r.Walks())
 	}
 }

@@ -6,6 +6,7 @@ import (
 
 	"kgexplore/internal/baseline"
 	"kgexplore/internal/ctj"
+	"kgexplore/internal/exec"
 	"kgexplore/internal/index"
 	"kgexplore/internal/lftj"
 	"kgexplore/internal/query"
@@ -101,13 +102,13 @@ func TestCyclicEstimatorsUnbiased(t *testing.T) {
 		t.Fatal("no seed produced enough triangles")
 	}
 	wjr := wj.New(st, pl, 3)
-	wjr.Run(400000)
+	exec.RunN(wjr, 400000)
 	got := wjr.Snapshot().Estimates[wj.GlobalGroup]
 	if math.Abs(got-float64(want))/float64(want) > 0.15 {
 		t.Errorf("WJ triangle estimate %.2f vs %d", got, want)
 	}
 	ajr := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 3})
-	ajr.Run(200000)
+	exec.RunN(ajr, 200000)
 	got = ajr.Snapshot().Estimates[GlobalGroup]
 	if math.Abs(got-float64(want))/float64(want) > 0.15 {
 		t.Errorf("AJ triangle estimate %.2f vs %d", got, want)
@@ -139,7 +140,7 @@ func TestCyclicDistinct(t *testing.T) {
 		t.Skip("no seed produced enough distinct apexes")
 	}
 	ajr := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 7})
-	ajr.Run(150000)
+	exec.RunN(ajr, 150000)
 	got := ajr.Snapshot().Estimates[GlobalGroup]
 	want := float64(exact[lftj.GlobalGroup])
 	if math.Abs(got-want)/want > 0.12 {

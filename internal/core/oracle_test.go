@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"kgexplore/internal/exec"
 	"kgexplore/internal/index"
 	"kgexplore/internal/lftj"
 	"kgexplore/internal/query"
@@ -87,7 +88,7 @@ func TestAJWithProbeOracleUnbiased(t *testing.T) {
 	exact := lftj.GroupDistinct(st, pl)
 	oracle := NewProbeOracle(st, pl, 3, 7)
 	r := New(st, pl, Options{Threshold: DefaultThreshold, Seed: 7, Oracle: oracle})
-	r.Run(60000)
+	exec.RunN(r, 60000)
 	snap := r.Snapshot()
 	for a, ex := range exact {
 		rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)

@@ -1,8 +1,12 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"sync"
+	"sync/atomic"
 
+	"kgexplore/internal/exec"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/stats"
@@ -10,35 +14,101 @@ import (
 )
 
 // RunParallel runs Audit Join with workers independent runners (each with
-// its own derived seed and CTJ cache), walksPerWorker walks each, and merges
-// their accumulators into one result. Because the walks are i.i.d., the
-// merged estimator is identical in distribution to a single runner with
-// workers × walksPerWorker walks; wall-clock time scales down with the
+// its own derived seed and CTJ cache) driven by the shared execution layer:
+// all workers honor the one context, so cancelling it stops every core
+// promptly, and xopts applies per worker (Budget is the shared wall-clock
+// deadline; MaxWalks caps each worker's walks). Because the walks are
+// i.i.d., the merged estimator is identical in distribution to a single
+// runner with the combined walk count; wall-clock time scales down with the
 // number of cores.
+//
+// When xopts.OnSnapshot and xopts.Interval are set, the callback receives
+// progressive *merged* snapshots: each worker publishes a clone of its
+// accumulator at every interval and one worker folds the latest clones
+// together, so the stream converges like a single estimator with workers×
+// the walk rate. Returning false from the callback stops all workers.
+//
+// The returned result merges the workers' final accumulators. The error is
+// ctx.Err() when the context ended the run early (the partial merged result
+// is still returned alongside it), nil otherwise.
 //
 // The per-worker CTJ caches are not shared (the runners are single-
 // threaded by design), so parallel runs trade some duplicated exact
 // computation for core-level parallelism.
-func RunParallel(store *index.Store, pl *query.Plan, opts Options, workers, walksPerWorker int) wj.Result {
+func RunParallel(ctx context.Context, store *index.Store, pl *query.Plan, opts Options, workers int, xopts exec.Options) (wj.Result, error) {
 	if workers < 1 {
 		workers = 1
 	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
 	runners := make([]*Runner, workers)
+	latest := make([]*wj.Acc, workers)
+	errs := make([]error, workers)
+	var mu sync.Mutex // guards latest
+	var stopped atomic.Bool
+	onSnap := xopts.OnSnapshot
+
+	mergedLocked := func() wj.Result {
+		m := wj.NewAcc()
+		for _, a := range latest {
+			if a != nil {
+				m.Merge(a)
+			}
+		}
+		return m.Snapshot(stats.Z95)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		o := opts
 		o.Seed = opts.Seed + int64(w)*1_000_003
 		runners[w] = New(store, pl, o)
+
+		wopts := xopts
+		w := w
+		// Every worker publishes its accumulator each interval; worker 0
+		// additionally reports the merged view to the caller's callback.
+		wopts.OnSnapshot = func(p exec.Progress) bool {
+			mu.Lock()
+			latest[w] = runners[w].Acc().Clone()
+			var merged wj.Result
+			if w == 0 && onSnap != nil {
+				merged = mergedLocked()
+			}
+			mu.Unlock()
+			if w == 0 && onSnap != nil {
+				p.Snapshot = merged
+				p.Walks = merged.Walks
+				if !onSnap(p) {
+					stopped.Store(true)
+					cancel()
+					return false
+				}
+			}
+			return true
+		}
+		if wopts.OnSnapshot != nil && wopts.Interval <= 0 {
+			wopts.OnSnapshot = nil // nothing to publish without a cadence
+		}
+
 		wg.Add(1)
-		go func(r *Runner) {
+		go func(r *Runner, o exec.Options, i int) {
 			defer wg.Done()
-			r.Run(walksPerWorker)
-		}(runners[w])
+			_, errs[i] = exec.Drive(ctx, r, o)
+		}(runners[w], wopts, w)
 	}
 	wg.Wait()
+
 	merged := wj.NewAcc()
 	for _, r := range runners {
 		merged.Merge(r.Acc())
 	}
-	return merged.Snapshot(stats.Z95)
+	res := merged.Snapshot(stats.Z95)
+	for _, err := range errs {
+		if err != nil && !(stopped.Load() && errors.Is(err, context.Canceled)) {
+			return res, err
+		}
+	}
+	return res, nil
 }

@@ -1,0 +1,90 @@
+package ctj
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// denseGroupedPlan builds a grouped deep chain over a dense random graph:
+// grouped, so GroupCountCtx takes the recursive (cancellable) path rather
+// than the single-count evaluator call. With distinct set the prefix
+// enumeration runs through Beta — the whole chain — so the amortized
+// cancellation checkpoints are guaranteed to fire many times.
+func denseGroupedPlan(t *testing.T, distinct bool) (*query.Plan, *index.Store) {
+	t.Helper()
+	g := testkit.RandomGraph(1, 40, 2, 40, 6000)
+	preds := []rdf.ID{40, 41, 40}
+	q := testkit.ChainQuery(g, preds, true, distinct)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, testkit.BuildStore(g)
+}
+
+func TestEvaluateCtxPreCancelled(t *testing.T) {
+	pl, st := denseGroupedPlan(t, false)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EvaluateCtx(ctx, st, pl)
+	if err != context.Canceled {
+		t.Errorf("EvaluateCtx err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled EvaluateCtx returned partial result %v", res)
+	}
+	if _, err := GroupCountCtx(ctx, st, pl); err != context.Canceled {
+		t.Errorf("GroupCountCtx err = %v", err)
+	}
+	if _, err := GroupDistinctCtx(ctx, st, pl); err != context.Canceled {
+		t.Errorf("GroupDistinctCtx err = %v", err)
+	}
+	if _, err := GroupSumCtx(ctx, st, pl); err != context.Canceled {
+		t.Errorf("GroupSumCtx err = %v", err)
+	}
+	if _, err := GroupAvgCtx(ctx, st, pl); err != context.Canceled {
+		t.Errorf("GroupAvgCtx err = %v", err)
+	}
+}
+
+// trippingContext reports no error on its first Err() call (the upfront
+// check) and context.Canceled on every later one, so a test deterministically
+// exercises the engines' in-run amortized checkpoints rather than the
+// upfront check.
+type trippingContext struct {
+	context.Context
+	calls int
+}
+
+func (c *trippingContext) Err() error {
+	if c.calls++; c.calls > 1 {
+		return context.Canceled
+	}
+	return nil
+}
+
+func TestEvaluateCtxMidRunCancel(t *testing.T) {
+	pl, st := denseGroupedPlan(t, true)
+	// Sanity: enough full assignments that the distinct prefix enumeration
+	// must pass many checkEvery-step checkpoints.
+	if n := Count(st, pl); n < checkEvery {
+		t.Fatalf("fixture too small: %d results, want >= %d", n, checkEvery)
+	}
+	start := time.Now()
+	res, err := EvaluateCtx(&trippingContext{Context: context.Background()}, st, pl)
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled from an in-run checkpoint", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled EvaluateCtx returned partial result with %d groups", len(res))
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("abort took %v", elapsed)
+	}
+}

@@ -1,10 +1,39 @@
 package ctj
 
 import (
+	"context"
+
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
 )
+
+// checkEvery is the number of prefix-enumeration visits between context
+// checks in the exact entry points: a power of two so the cancellation
+// checkpoint is a mask test.
+const checkEvery = 1 << 12
+
+// canceller amortizes ctx.Err() over the exact recursion: one check per
+// checkEvery visits (plus one upfront). Once tripped it stays tripped.
+type canceller struct {
+	ctx   context.Context
+	steps int
+	err   error
+}
+
+func newCanceller(ctx context.Context) *canceller {
+	return &canceller{ctx: ctx, err: ctx.Err()}
+}
+
+func (c *canceller) cancelled() bool {
+	if c.err != nil {
+		return true
+	}
+	if c.steps++; c.steps&(checkEvery-1) == 0 {
+		c.err = c.ctx.Err()
+	}
+	return c.err != nil
+}
 
 // Count returns the exact number of full assignments |Γ| using the cached
 // suffix recursion.
@@ -20,6 +49,17 @@ func Count(store *index.Store, pl *query.Plan) int64 {
 // prefix up to Alpha then contributes one cached suffix count, which is
 // where CTJ's caching removes LFTJ's recomputation.
 func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	out, _ := GroupCountCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupCountCtx is GroupCount under a context: a cancelled run returns
+// (nil, ctx.Err()) rather than a partial count.
+func GroupCountCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
+	cc := newCanceller(ctx)
+	if cc.cancelled() {
+		return nil, cc.err
+	}
 	out := make(map[rdf.ID]int64)
 	if pl.Query.Alpha == query.NoVar {
 		e := New(store, pl)
@@ -27,7 +67,7 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 		if n := e.count(0, b); n > 0 {
 			out[GlobalGroup] = n
 		}
-		return out
+		return out, nil
 	}
 	pl2 := reorderFor(store, pl, false)
 	e := New(store, pl2)
@@ -35,6 +75,9 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 	target := pl2.AlphaStep
 	var rec func(i int)
 	rec = func(i int) {
+		if cc.cancelled() {
+			return
+		}
 		st := &pl2.Steps[i]
 		sp, ok := st.ResolveSpan(store, b)
 		if !ok {
@@ -50,6 +93,9 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 			return
 		}
 		for t := 0; t < sp.Len(); t++ {
+			if cc.cancelled() {
+				break
+			}
 			st.Bind(store.At(st.Order, sp, t), b)
 			if i == target {
 				if n := e.SuffixCount(i, b); n > 0 {
@@ -62,7 +108,10 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 		st.Unbind(b)
 	}
 	rec(0)
-	return out
+	if cc.err != nil {
+		return nil, cc.err
+	}
+	return out, nil
 }
 
 // GroupDistinct returns the exact COUNT(DISTINCT Beta) per group. The plan
@@ -71,6 +120,16 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 // remaining steps, and the distinct (Alpha, Beta) pairs are collected in a
 // set.
 func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	out, _ := GroupDistinctCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupDistinctCtx is GroupDistinct under a context.
+func GroupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
+	cc := newCanceller(ctx)
+	if cc.cancelled() {
+		return nil, cc.err
+	}
 	pl2 := reorderFor(store, pl, true)
 	e := New(store, pl2)
 	b := pl2.NewBindings()
@@ -83,6 +142,9 @@ func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 	out := make(map[rdf.ID]int64)
 	var rec func(i int)
 	rec = func(i int) {
+		if cc.cancelled() {
+			return
+		}
 		if i > target {
 			if !e.Exists(i, b) {
 				return
@@ -108,19 +170,29 @@ func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 			return
 		}
 		for t := 0; t < sp.Len(); t++ {
+			if cc.cancelled() {
+				break
+			}
 			st.Bind(store.At(st.Order, sp, t), b)
 			rec(i + 1)
 		}
 		st.Unbind(b)
 	}
 	rec(0)
-	return out
+	if cc.err != nil {
+		return nil, cc.err
+	}
+	return out, nil
 }
 
 // groupWeighted traverses prefixes until Alpha and Beta are bound, then
 // multiplies Beta's numeric value by the cached count of suffix completions
 // — the shared machinery of GroupSum and GroupAvg.
-func groupWeighted(store *index.Store, pl *query.Plan) (sums, counts map[rdf.ID]float64) {
+func groupWeighted(ctx context.Context, store *index.Store, pl *query.Plan) (sums, counts map[rdf.ID]float64, err error) {
+	cc := newCanceller(ctx)
+	if cc.cancelled() {
+		return nil, nil, cc.err
+	}
 	pl2 := reorderFor(store, pl, true)
 	e := New(store, pl2)
 	b := pl2.NewBindings()
@@ -133,6 +205,9 @@ func groupWeighted(store *index.Store, pl *query.Plan) (sums, counts map[rdf.ID]
 	counts = make(map[rdf.ID]float64)
 	var rec func(i int)
 	rec = func(i int) {
+		if cc.cancelled() {
+			return
+		}
 		if i > target {
 			v, numeric := store.Numeric(b[beta])
 			if !numeric {
@@ -160,55 +235,93 @@ func groupWeighted(store *index.Store, pl *query.Plan) (sums, counts map[rdf.ID]
 			return
 		}
 		for t := 0; t < sp.Len(); t++ {
+			if cc.cancelled() {
+				break
+			}
 			st.Bind(store.At(st.Order, sp, t), b)
 			rec(i + 1)
 		}
 		st.Unbind(b)
 	}
 	rec(0)
-	return sums, counts
+	if cc.err != nil {
+		return nil, nil, cc.err
+	}
+	return sums, counts, nil
 }
 
 // GroupSum returns the exact SUM of Beta's numeric values per group.
 func GroupSum(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
-	sums, _ := groupWeighted(store, pl)
-	return sums
+	out, _ := GroupSumCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupSumCtx is GroupSum under a context.
+func GroupSumCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	sums, _, err := groupWeighted(ctx, store, pl)
+	if err != nil {
+		return nil, err
+	}
+	return sums, nil
 }
 
 // GroupAvg returns the exact AVG of Beta's numeric values per group, over
 // the assignments whose Beta is numeric.
 func GroupAvg(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
-	sums, counts := groupWeighted(store, pl)
+	out, _ := GroupAvgCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupAvgCtx is GroupAvg under a context.
+func GroupAvgCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	sums, counts, err := groupWeighted(ctx, store, pl)
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[rdf.ID]float64, len(sums))
 	for a, s := range sums {
 		if counts[a] > 0 {
 			out[a] = s / counts[a]
 		}
 	}
-	return out
+	return out, nil
 }
 
 // Evaluate runs the query per its aggregation function and Distinct flag,
 // returning per-group exact results as float64 for comparability with the
 // estimators.
 func Evaluate(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	out, _ := EvaluateCtx(context.Background(), store, pl)
+	return out
+}
+
+// EvaluateCtx is Evaluate under a context: long exact runs abort promptly
+// when ctx is done, returning (nil, ctx.Err()) — never a partial result
+// posing as the exact answer.
+func EvaluateCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
 	switch pl.Query.Agg {
 	case query.AggSum:
-		return GroupSum(store, pl)
+		return GroupSumCtx(ctx, store, pl)
 	case query.AggAvg:
-		return GroupAvg(store, pl)
+		return GroupAvgCtx(ctx, store, pl)
 	}
-	var raw map[rdf.ID]int64
+	var (
+		raw map[rdf.ID]int64
+		err error
+	)
 	if pl.Query.Distinct {
-		raw = GroupDistinct(store, pl)
+		raw, err = GroupDistinctCtx(ctx, store, pl)
 	} else {
-		raw = GroupCount(store, pl)
+		raw, err = GroupCountCtx(ctx, store, pl)
+	}
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[rdf.ID]float64, len(raw))
 	for k, v := range raw {
 		out[k] = float64(v)
 	}
-	return out
+	return out, nil
 }
 
 // reorderFor picks the valid, compilable pattern order that binds Alpha

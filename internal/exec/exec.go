@@ -1,0 +1,176 @@
+// Package exec is the unified streaming execution layer for the online
+// estimators: one driving loop, Drive, shared by every consumer — the
+// experiment harness, the HTTP tier, the CLI and parallel estimation —
+// instead of per-engine Run/RunFor loops.
+//
+// Drive honors context cancellation between walk batches, measures budgets
+// and snapshot pacing on the monotonic wall clock, and streams a progressive
+// snapshot to an OnSnapshot callback at each interval. This is the paper's
+// online-aggregation protocol (a 9s budget reported every 1s, §V-B) turned
+// into a reusable primitive: a chart request that a user abandons is
+// cancelled through its context and stops burning cores.
+package exec
+
+import (
+	"context"
+	"time"
+
+	"kgexplore/internal/wj"
+)
+
+// Stepper is the unit of online estimation: one random walk per Step. Both
+// wj.Runner (Wander Join) and core.Runner (Audit Join) implement it.
+// Steppers are not safe for concurrent use; Drive runs one stepper on the
+// calling goroutine.
+type Stepper interface {
+	// Step performs one walk, updating the estimator state.
+	Step()
+	// Walks returns the total number of walks performed so far.
+	Walks() int64
+	// Snapshot returns the current estimates with confidence intervals.
+	Snapshot() wj.Result
+}
+
+// DefaultBatch is the number of walks performed between clock and context
+// checks when Options.Batch is zero.
+const DefaultBatch = 256
+
+// Options configures one Drive call.
+type Options struct {
+	// Budget is the wall-clock time to run for. Zero means no time limit:
+	// Drive then runs until MaxWalks is reached or ctx is done (callers that
+	// pass neither get an endless run — only do that with a cancellable
+	// context).
+	Budget time.Duration
+	// Interval is the snapshot cadence for OnSnapshot. Zero disables
+	// intermediate snapshots (OnSnapshot then only sees the final one).
+	Interval time.Duration
+	// MaxWalks caps the number of walks performed by this call. Zero means
+	// unlimited. Drive never overshoots the cap: the last batch is clipped.
+	MaxWalks int64
+	// Batch is the number of walks between clock/context checks; it bounds
+	// cancellation latency to one batch of walks. Zero means DefaultBatch.
+	Batch int
+	// OnSnapshot, when non-nil, receives a progressive snapshot at each
+	// interval and one final snapshot (Final=true) on normal completion.
+	// Returning false stops the drive early (with a nil error). The callback
+	// runs on the driving goroutine.
+	OnSnapshot func(Progress) bool
+}
+
+// Progress is one streamed snapshot of a running drive.
+type Progress struct {
+	// Seq numbers the snapshots of one Drive call from 1.
+	Seq int
+	// Elapsed is the monotonic wall-clock time since Drive started.
+	Elapsed time.Duration
+	// Walks is the number of walks performed by this Drive call so far.
+	Walks int64
+	// Snapshot is the estimator state (its Walks field counts the stepper's
+	// lifetime walks, which exceed Progress.Walks on reused runners).
+	Snapshot wj.Result
+	// Final marks the completion snapshot.
+	Final bool
+}
+
+// Report summarizes a completed (or cancelled) Drive call.
+type Report struct {
+	// Walks is the number of walks performed by this call.
+	Walks int64
+	// Elapsed is the monotonic wall-clock duration of the call.
+	Elapsed time.Duration
+	// Snapshots is the number of OnSnapshot deliveries.
+	Snapshots int
+	// Final is the estimator snapshot at return time. It is consistent even
+	// when the drive was cancelled: steps are never interrupted mid-walk.
+	Final wj.Result
+}
+
+// Drive runs the stepper until the budget elapses, MaxWalks is reached, the
+// context is done, or OnSnapshot asks to stop. It returns ctx.Err() when the
+// context ended the run and nil otherwise; in both cases the Report carries a
+// consistent final snapshot.
+func Drive(ctx context.Context, s Stepper, opts Options) (Report, error) {
+	batch := opts.Batch
+	if batch <= 0 {
+		batch = DefaultBatch
+	}
+	start := time.Now()
+	startWalks := s.Walks()
+	var rep Report
+	finish := func(err error) (Report, error) {
+		rep.Elapsed = time.Since(start)
+		rep.Walks = s.Walks() - startWalks
+		rep.Final = s.Snapshot()
+		return rep, err
+	}
+
+	var deadline time.Time
+	if opts.Budget > 0 {
+		deadline = start.Add(opts.Budget)
+	}
+	var nextEmit time.Time
+	if opts.Interval > 0 && opts.OnSnapshot != nil {
+		nextEmit = start.Add(opts.Interval)
+	}
+	var lastEmitWalks int64 = -1
+	emit := func(final bool) bool {
+		if opts.OnSnapshot == nil {
+			return true
+		}
+		walks := s.Walks() - startWalks
+		if final && walks == lastEmitWalks {
+			return true // nothing new since the last interval snapshot
+		}
+		lastEmitWalks = walks
+		rep.Snapshots++
+		return opts.OnSnapshot(Progress{
+			Seq:      rep.Snapshots,
+			Elapsed:  time.Since(start),
+			Walks:    walks,
+			Snapshot: s.Snapshot(),
+			Final:    final,
+		})
+	}
+
+	for {
+		if err := ctx.Err(); err != nil {
+			return finish(err)
+		}
+		now := time.Now()
+		if !deadline.IsZero() && !now.Before(deadline) {
+			break
+		}
+		done := s.Walks() - startWalks
+		if opts.MaxWalks > 0 && done >= opts.MaxWalks {
+			break
+		}
+		n := batch
+		if opts.MaxWalks > 0 {
+			if rem := opts.MaxWalks - done; rem < int64(n) {
+				n = int(rem)
+			}
+		}
+		for i := 0; i < n; i++ {
+			s.Step()
+		}
+		if !nextEmit.IsZero() {
+			if now = time.Now(); !now.Before(nextEmit) {
+				if !emit(false) {
+					return finish(nil)
+				}
+				nextEmit = now.Add(opts.Interval)
+			}
+		}
+	}
+	emit(true)
+	return finish(nil)
+}
+
+// RunN performs exactly n steps. It is the bounded-count companion of Drive
+// for warmup, trial runs and tests: no clock, context or snapshots.
+func RunN(s interface{ Step() }, n int) {
+	for i := 0; i < n; i++ {
+		s.Step()
+	}
+}

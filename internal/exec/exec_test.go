@@ -1,0 +1,227 @@
+package exec
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/wj"
+)
+
+// fakeStepper counts steps; each Step can optionally sleep to simulate work.
+type fakeStepper struct {
+	n     int64
+	delay time.Duration
+}
+
+func (f *fakeStepper) Step() {
+	f.n++
+	if f.delay > 0 {
+		time.Sleep(f.delay)
+	}
+}
+func (f *fakeStepper) Walks() int64 { return f.n }
+func (f *fakeStepper) Snapshot() wj.Result {
+	return wj.Result{Walks: f.n, Estimates: map[rdf.ID]float64{wj.GlobalGroup: float64(f.n)}}
+}
+
+func TestDriveMaxWalksExact(t *testing.T) {
+	f := &fakeStepper{}
+	rep, err := Drive(context.Background(), f, Options{MaxWalks: 1000, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks != 1000 || f.n != 1000 {
+		t.Errorf("walks = %d (stepper %d), want exactly 1000", rep.Walks, f.n)
+	}
+	if rep.Final.Walks != 1000 {
+		t.Errorf("final snapshot walks = %d", rep.Final.Walks)
+	}
+}
+
+func TestDriveMaxWalksNotMultipleOfBatch(t *testing.T) {
+	f := &fakeStepper{}
+	rep, err := Drive(context.Background(), f, Options{MaxWalks: 777, Batch: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks != 777 {
+		t.Errorf("walks = %d, want 777 (last batch must be clipped)", rep.Walks)
+	}
+}
+
+func TestDriveCountsOnlyOwnWalks(t *testing.T) {
+	// A reused stepper: the report counts this call's walks, not lifetime.
+	f := &fakeStepper{}
+	RunN(f, 500)
+	rep, err := Drive(context.Background(), f, Options{MaxWalks: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks != 100 {
+		t.Errorf("walks = %d, want 100 on a reused stepper", rep.Walks)
+	}
+	if f.n != 600 {
+		t.Errorf("stepper lifetime walks = %d, want 600", f.n)
+	}
+}
+
+func TestDriveBudgetStops(t *testing.T) {
+	f := &fakeStepper{delay: 100 * time.Microsecond}
+	start := time.Now()
+	rep, err := Drive(context.Background(), f, Options{Budget: 30 * time.Millisecond, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Walks == 0 {
+		t.Error("budgeted drive performed no walks")
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("30ms budget ran for %v", elapsed)
+	}
+}
+
+func TestDriveProgressiveSnapshots(t *testing.T) {
+	f := &fakeStepper{delay: 50 * time.Microsecond}
+	var seqs []int
+	var walks []int64
+	rep, err := Drive(context.Background(), f, Options{
+		Budget:   120 * time.Millisecond,
+		Interval: 10 * time.Millisecond,
+		Batch:    16,
+		OnSnapshot: func(p Progress) bool {
+			seqs = append(seqs, p.Seq)
+			walks = append(walks, p.Walks)
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(walks) < 2 {
+		t.Fatalf("got %d snapshots, want >= 2", len(walks))
+	}
+	for i := range seqs {
+		if seqs[i] != i+1 {
+			t.Errorf("seq[%d] = %d", i, seqs[i])
+		}
+	}
+	for i := 1; i < len(walks); i++ {
+		if walks[i] <= walks[i-1] {
+			t.Errorf("snapshot walks not strictly increasing: %v", walks)
+			break
+		}
+	}
+	if rep.Snapshots != len(walks) {
+		t.Errorf("Report.Snapshots = %d, callback saw %d", rep.Snapshots, len(walks))
+	}
+}
+
+func TestDriveFinalSnapshotWithoutInterval(t *testing.T) {
+	// With no interval, OnSnapshot sees exactly one snapshot: the final one.
+	f := &fakeStepper{}
+	var got []Progress
+	_, err := Drive(context.Background(), f, Options{
+		MaxWalks:   100,
+		OnSnapshot: func(p Progress) bool { got = append(got, p); return true },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !got[0].Final || got[0].Walks != 100 {
+		t.Fatalf("final-only snapshots = %+v", got)
+	}
+}
+
+func TestDriveFinalSnapshotNotDuplicated(t *testing.T) {
+	// When the last interval snapshot already covered every walk, the final
+	// emit is suppressed so streamed walk counts stay strictly increasing.
+	f := &fakeStepper{}
+	var walks []int64
+	_, err := Drive(context.Background(), f, Options{
+		MaxWalks: 100,
+		Interval: time.Nanosecond, // emit after every batch
+		Batch:    50,
+		OnSnapshot: func(p Progress) bool {
+			walks = append(walks, p.Walks)
+			return true
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(walks); i++ {
+		if walks[i] <= walks[i-1] {
+			t.Errorf("duplicate or regressing snapshot walks: %v", walks)
+		}
+	}
+}
+
+func TestDrivePreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := &fakeStepper{}
+	rep, err := Drive(ctx, f, Options{Budget: time.Second})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if rep.Walks != 0 || f.n != 0 {
+		t.Errorf("pre-cancelled drive performed %d walks", f.n)
+	}
+}
+
+func TestDriveCancelMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	f := &fakeStepper{delay: 20 * time.Microsecond}
+	go func() {
+		time.Sleep(15 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	rep, err := Drive(ctx, f, Options{Budget: 30 * time.Second, Batch: 16})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancel took %v", elapsed)
+	}
+	if rep.Walks == 0 {
+		t.Error("cancelled drive reported no walks")
+	}
+	// The report is consistent: no step was interrupted mid-walk.
+	if rep.Final.Walks != f.n || rep.Walks != f.n {
+		t.Errorf("report walks %d / final %d vs stepper %d", rep.Walks, rep.Final.Walks, f.n)
+	}
+}
+
+func TestDriveOnSnapshotStop(t *testing.T) {
+	f := &fakeStepper{delay: 20 * time.Microsecond}
+	calls := 0
+	rep, err := Drive(context.Background(), f, Options{
+		Budget:   30 * time.Second,
+		Interval: time.Millisecond,
+		Batch:    16,
+		OnSnapshot: func(Progress) bool {
+			calls++
+			return calls < 3
+		},
+	})
+	if err != nil {
+		t.Errorf("stop via callback returned error %v", err)
+	}
+	if calls != 3 {
+		t.Errorf("callback ran %d times, want 3", calls)
+	}
+	if rep.Walks == 0 {
+		t.Error("stopped drive reported no walks")
+	}
+}
+
+func TestRunN(t *testing.T) {
+	f := &fakeStepper{}
+	RunN(f, 123)
+	if f.n != 123 {
+		t.Errorf("RunN performed %d steps", f.n)
+	}
+}

@@ -161,7 +161,7 @@ func (s *Suite) FigAllQueries(w io.Writer, distinct bool) ([]TukeyCell, error) {
 				var wjs, ajs []float64
 				var t time.Duration
 				for _, r := range runs {
-					if r.Dataset != d.Name || r.Step != step || pt >= len(r.WJ) {
+					if r.Dataset != d.Name || r.Step != step || pt >= len(r.WJ) || pt >= len(r.AJ) {
 						continue
 					}
 					wjs = append(wjs, r.WJ[pt].MAE)

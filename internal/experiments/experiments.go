@@ -17,11 +17,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"kgexplore/internal/core"
+	"kgexplore/internal/exec"
 	"kgexplore/internal/explore"
 	"kgexplore/internal/index"
 	"kgexplore/internal/kggen"
@@ -122,11 +124,9 @@ func Table1(w io.Writer, cfg Config) ([]kggen.Info, error) {
 	return infos, nil
 }
 
-// Estimator is the common surface of the two online-aggregation runners.
-type Estimator interface {
-	RunFor(d time.Duration, batch int) int64
-	Snapshot() wj.Result
-}
+// Estimator is the common surface of the two online-aggregation runners —
+// the Stepper of the shared execution layer.
+type Estimator = exec.Stepper
 
 // SeriesPoint is one snapshot of an online aggregation.
 type SeriesPoint struct {
@@ -136,21 +136,29 @@ type SeriesPoint struct {
 	Walks int64
 }
 
-// runSeries drives an estimator for the budget, snapshotting every interval.
+// runSeries drives an estimator for the budget on the shared execution
+// layer, snapshotting every interval. Each point's T is the real elapsed
+// wall-clock time at the snapshot, not the nominal sum of intervals — on a
+// loaded machine the two drift apart, and the MAE-over-time figures must
+// plot against the time actually spent.
 func runSeries(est Estimator, exact map[rdf.ID]float64, budget, interval time.Duration) []SeriesPoint {
 	var out []SeriesPoint
-	var elapsed time.Duration
-	for elapsed < budget {
-		est.RunFor(interval, 64)
-		elapsed += interval
-		snap := est.Snapshot()
+	record := func(p exec.Progress) bool {
+		snap := p.Snapshot
 		out = append(out, SeriesPoint{
-			T:     elapsed,
+			T:     p.Elapsed,
 			MAE:   stats.MAE(snap.Estimates, exact),
 			RelCI: meanRelCI(snap, exact),
 			Walks: snap.Walks,
 		})
+		return true
 	}
+	exec.Drive(context.Background(), est, exec.Options{
+		Budget:     budget,
+		Interval:   interval,
+		Batch:      64,
+		OnSnapshot: record,
+	})
 	return out
 }
 
@@ -178,7 +186,7 @@ func meanRelCI(snap wj.Result, exact map[rdf.ID]float64) float64 {
 
 // trialRunner abstracts the two online engines for walk-order selection.
 type trialRunner interface {
-	Run(n int)
+	Step()
 	Snapshot() wj.Result
 }
 
@@ -212,7 +220,7 @@ func bestOrder(pl *query.Plan, exact map[rdf.ID]float64, trials int, mk func(*qu
 
 func trialMAE(pl *query.Plan, exact map[rdf.ID]float64, trials int, mk func(*query.Plan) trialRunner) float64 {
 	r := mk(pl)
-	r.Run(trials)
+	exec.RunN(r, trials)
 	return stats.MAE(r.Snapshot().Estimates, exact)
 }
 

@@ -196,7 +196,13 @@ func printFig8Row(w io.Writer, row Fig8Row) {
 	}
 	fmt.Fprintf(w, "  ctj:      %v\n", row.CTJTime.Round(time.Microsecond))
 	fmt.Fprintf(w, "  %-10s %12s %12s %12s %12s\n", "t", "WJ MAE", "WJ relCI", "AJ MAE", "AJ relCI")
-	for i := range row.WJ {
+	// Wall-clock-driven snapshots: the two engines' series can differ in
+	// length by a point, so print the paired prefix.
+	n := len(row.WJ)
+	if len(row.AJ) < n {
+		n = len(row.AJ)
+	}
+	for i := 0; i < n; i++ {
 		fmt.Fprintf(w, "  %-10v %11.2f%% %11.2f%% %11.2f%% %11.2f%%\n",
 			row.WJ[i].T, 100*row.WJ[i].MAE, 100*row.WJ[i].RelCI,
 			100*row.AJ[i].MAE, 100*row.AJ[i].RelCI)

@@ -1,0 +1,45 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/wj"
+)
+
+// slowStepper simulates an estimator whose walks are expensive: each Step
+// takes ~1ms, so a 64-walk batch far overshoots a 10ms snapshot interval.
+type slowStepper struct{ n int64 }
+
+func (s *slowStepper) Step() {
+	s.n++
+	time.Sleep(time.Millisecond)
+}
+func (s *slowStepper) Walks() int64 { return s.n }
+func (s *slowStepper) Snapshot() wj.Result {
+	return wj.Result{Walks: s.n, Estimates: map[rdf.ID]float64{wj.GlobalGroup: float64(s.n)}}
+}
+
+func TestRunSeriesReportsRealElapsedTime(t *testing.T) {
+	// Regression test for timestamp drift: SeriesPoint.T used to be the
+	// nominal sum of intervals (10ms, 20ms, ...). With 1ms walks and a
+	// 64-walk batch, each snapshot actually lands >= ~60ms in; the recorded
+	// T must reflect that wall-clock reality, not the nominal schedule.
+	const interval = 10 * time.Millisecond
+	pts := runSeries(&slowStepper{}, map[rdf.ID]float64{wj.GlobalGroup: 1}, 200*time.Millisecond, interval)
+	if len(pts) == 0 {
+		t.Fatal("no series points")
+	}
+	if pts[0].T < 3*interval {
+		t.Errorf("first point T = %v: nominal-interval timestamp, want real elapsed (>= %v)", pts[0].T, 3*interval)
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].T <= pts[i-1].T {
+			t.Errorf("series time not increasing: %v then %v", pts[i-1].T, pts[i].T)
+		}
+		if pts[i].Walks <= pts[i-1].Walks {
+			t.Errorf("series walks not increasing: %+v", pts)
+		}
+	}
+}

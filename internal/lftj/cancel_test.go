@@ -1,0 +1,91 @@
+package lftj
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// densePlan builds a deep chain query over a dense random graph so that the
+// enumeration is guaranteed to pass many checkEvery-step cancellation
+// checkpoints.
+func densePlan(t *testing.T) (*query.Plan, *index.Store) {
+	t.Helper()
+	g := testkit.RandomGraph(1, 40, 2, 40, 6000)
+	preds := []rdf.ID{40, 41, 40}
+	q := testkit.ChainQuery(g, preds, false, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pl, testkit.BuildStore(g)
+}
+
+func TestEvaluateCtxPreCancelled(t *testing.T) {
+	pl, g := fig5Fixture(t)
+	st := testkit.BuildStore(g)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := EvaluateCtx(ctx, st, pl)
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if res != nil {
+		t.Errorf("cancelled EvaluateCtx returned partial result %v", res)
+	}
+	if _, err := GroupCountCtx(ctx, st, pl); err != context.Canceled {
+		t.Errorf("GroupCountCtx err = %v", err)
+	}
+	if _, err := GroupDistinctCtx(ctx, st, pl); err != context.Canceled {
+		t.Errorf("GroupDistinctCtx err = %v", err)
+	}
+}
+
+func TestEnumerateCtxMidRunCancel(t *testing.T) {
+	pl, st := densePlan(t)
+	// Sanity: the fixture must enumerate far past one checkEvery window so
+	// the post-cancel checkpoint is guaranteed to fire.
+	if n := Count(st, pl); n < checkEvery {
+		t.Fatalf("fixture too small: %d results, want >= %d", n, checkEvery)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	results := 0
+	start := time.Now()
+	err := EnumerateCtx(ctx, st, pl, func(query.Bindings) bool {
+		results++
+		if results == 1 {
+			cancel() // cancel from inside the enumeration, like a dying client
+		}
+		return true
+	})
+	if err != context.Canceled {
+		t.Errorf("err = %v, want context.Canceled", err)
+	}
+	if results == 0 {
+		t.Error("callback never ran")
+	}
+	// The abort is amortized: at most one checkEvery window of extra steps.
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("cancel took %v", elapsed)
+	}
+}
+
+func TestEvaluateCtxMidRunDeadline(t *testing.T) {
+	pl, st := densePlan(t)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Millisecond)
+	defer cancel()
+	// Burn the deadline so the enumeration is guaranteed to observe it.
+	time.Sleep(2 * time.Millisecond)
+	res, err := EvaluateCtx(ctx, st, pl)
+	if err != context.DeadlineExceeded {
+		t.Errorf("err = %v, want context.DeadlineExceeded", err)
+	}
+	if res != nil {
+		t.Errorf("expired EvaluateCtx returned partial result with %d groups", len(res))
+	}
+}

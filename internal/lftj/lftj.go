@@ -11,6 +11,8 @@
 package lftj
 
 import (
+	"context"
+
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
@@ -19,13 +21,38 @@ import (
 // GlobalGroup is the map key used for ungrouped queries (Alpha == NoVar).
 const GlobalGroup = rdf.NoID
 
+// checkEvery is the number of enumeration steps between context checks: a
+// power of two so the cancellation checkpoint is a mask test on the hot
+// backtracking path.
+const checkEvery = 1 << 12
+
 // Enumerate performs the backtracking join and invokes cb once per full
 // assignment. cb must not retain the bindings slice. If cb returns false the
 // enumeration stops early.
 func Enumerate(store *index.Store, pl *query.Plan, cb func(query.Bindings) bool) {
+	EnumerateCtx(context.Background(), store, pl, cb)
+}
+
+// EnumerateCtx is Enumerate with a cancellation checkpoint every checkEvery
+// backtracking steps: long enumerations abort promptly when ctx is done and
+// the context's error is returned. A nil error means the enumeration ran to
+// completion (or cb stopped it).
+func EnumerateCtx(ctx context.Context, store *index.Store, pl *query.Plan, cb func(query.Bindings) bool) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	b := pl.NewBindings()
+	var (
+		err   error
+		steps int
+	)
 	var rec func(i int) bool
 	rec = func(i int) bool {
+		if steps++; steps&(checkEvery-1) == 0 {
+			if err = ctx.Err(); err != nil {
+				return false
+			}
+		}
 		if i == len(pl.Steps) {
 			return cb(b)
 		}
@@ -47,6 +74,7 @@ func Enumerate(store *index.Store, pl *query.Plan, cb func(query.Bindings) bool)
 		return true
 	}
 	rec(0)
+	return err
 }
 
 // Count returns the exact number of full assignments |Γ|.
@@ -63,9 +91,16 @@ func Count(store *index.Store, pl *query.Plan) int64 {
 // assignments for each value of Alpha. For ungrouped queries the single
 // count is under GlobalGroup.
 func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	out, _ := GroupCountCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupCountCtx is GroupCount under a context: a cancelled enumeration
+// returns (nil, ctx.Err()) rather than a partial count.
+func GroupCountCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
 	out := make(map[rdf.ID]int64)
 	alpha := pl.Query.Alpha
-	Enumerate(store, pl, func(b query.Bindings) bool {
+	err := EnumerateCtx(ctx, store, pl, func(b query.Bindings) bool {
 		key := GlobalGroup
 		if alpha != query.NoVar {
 			key = b[alpha]
@@ -73,16 +108,25 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 		out[key]++
 		return true
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GroupDistinct returns the exact COUNT(DISTINCT Beta) per group. For
 // ungrouped queries the single count is under GlobalGroup.
 func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
+	out, _ := GroupDistinctCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupDistinctCtx is GroupDistinct under a context.
+func GroupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
 	seen := make(map[uint64]struct{})
 	out := make(map[rdf.ID]int64)
 	alpha, beta := pl.Query.Alpha, pl.Query.Beta
-	Enumerate(store, pl, func(b query.Bindings) bool {
+	err := EnumerateCtx(ctx, store, pl, func(b query.Bindings) bool {
 		a := GlobalGroup
 		if alpha != query.NoVar {
 			a = b[alpha]
@@ -94,16 +138,25 @@ func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 		}
 		return true
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GroupSum returns the exact SUM of Beta's numeric values per group.
 // Assignments whose Beta is not numeric contribute nothing; groups with no
 // numeric assignment at all are omitted (consistently across engines).
 func GroupSum(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	out, _ := GroupSumCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupSumCtx is GroupSum under a context.
+func GroupSumCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
 	out := make(map[rdf.ID]float64)
 	alpha, beta := pl.Query.Alpha, pl.Query.Beta
-	Enumerate(store, pl, func(b query.Bindings) bool {
+	err := EnumerateCtx(ctx, store, pl, func(b query.Bindings) bool {
 		if v, ok := store.Numeric(b[beta]); ok {
 			a := GlobalGroup
 			if alpha != query.NoVar {
@@ -113,17 +166,26 @@ func GroupSum(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
 		}
 		return true
 	})
-	return out
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // GroupAvg returns the exact AVG of Beta's numeric values per group,
 // averaged over the assignments whose Beta is numeric. Groups with no
 // numeric assignment are omitted.
 func GroupAvg(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	out, _ := GroupAvgCtx(context.Background(), store, pl)
+	return out
+}
+
+// GroupAvgCtx is GroupAvg under a context.
+func GroupAvgCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
 	sums := make(map[rdf.ID]float64)
 	counts := make(map[rdf.ID]float64)
 	alpha, beta := pl.Query.Alpha, pl.Query.Beta
-	Enumerate(store, pl, func(b query.Bindings) bool {
+	err := EnumerateCtx(ctx, store, pl, func(b query.Bindings) bool {
 		if v, ok := store.Numeric(b[beta]); ok {
 			a := GlobalGroup
 			if alpha != query.NoVar {
@@ -134,32 +196,49 @@ func GroupAvg(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
 		}
 		return true
 	})
+	if err != nil {
+		return nil, err
+	}
 	out := make(map[rdf.ID]float64, len(sums))
 	for a, s := range sums {
 		out[a] = s / counts[a]
 	}
-	return out
+	return out, nil
 }
 
 // Evaluate runs the query per its aggregation function and Distinct flag,
 // returning exact per-group results as float64 for comparability with the
 // estimators.
 func Evaluate(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
+	out, _ := EvaluateCtx(context.Background(), store, pl)
+	return out
+}
+
+// EvaluateCtx is Evaluate under a context: long exact enumerations abort
+// promptly when ctx is done, returning (nil, ctx.Err()) — never a partial
+// result posing as the exact answer.
+func EvaluateCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
 	switch pl.Query.Agg {
 	case query.AggSum:
-		return GroupSum(store, pl)
+		return GroupSumCtx(ctx, store, pl)
 	case query.AggAvg:
-		return GroupAvg(store, pl)
+		return GroupAvgCtx(ctx, store, pl)
 	}
-	var raw map[rdf.ID]int64
+	var (
+		raw map[rdf.ID]int64
+		err error
+	)
 	if pl.Query.Distinct {
-		raw = GroupDistinct(store, pl)
+		raw, err = GroupDistinctCtx(ctx, store, pl)
 	} else {
-		raw = GroupCount(store, pl)
+		raw, err = GroupCountCtx(ctx, store, pl)
+	}
+	if err != nil {
+		return nil, err
 	}
 	out := make(map[rdf.ID]float64, len(raw))
 	for k, v := range raw {
 		out[k] = float64(v)
 	}
-	return out
+	return out, nil
 }

@@ -5,9 +5,14 @@
 // Sessions hold exploration state (the current bar and the undo stack);
 // chart requests pick an engine — Audit Join by default, for the paper's
 // interactive-latency goal — and a time budget for the online estimators.
+// Every engine call runs under the request's context, so an abandoned
+// request stops computing; `?stream=1` on the chart endpoints switches to
+// Server-Sent Events with a progressive snapshot per interval — online
+// aggregation over the wire.
 package server
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -23,25 +28,68 @@ import (
 type Server struct {
 	ds *kgexplore.Dataset
 
-	mu       sync.Mutex
-	sessions map[string]*session
-	nextID   int64
+	mu        sync.Mutex
+	sessions  map[string]*session
+	nextID    int64
+	lastSweep time.Time
 
 	// MaxBudget caps per-request online-aggregation time.
 	MaxBudget time.Duration
+	// SessionTTL is how long an untouched session survives; expired
+	// sessions are removed by a lazy sweep on session traffic.
+	SessionTTL time.Duration
+	// MaxSessions caps live sessions; creating one beyond the cap evicts
+	// the least recently used session.
+	MaxSessions int
+
+	// now is the clock, overridable in tests.
+	now func() time.Time
 }
 
 type session struct {
-	state *kgexplore.ExploreState
-	stack []*kgexplore.ExploreState
+	state    *kgexplore.ExploreState
+	stack    []*kgexplore.ExploreState
+	lastUsed time.Time
 }
 
 // New creates a server over a prepared dataset.
 func New(ds *kgexplore.Dataset) *Server {
 	return &Server{
-		ds:        ds,
-		sessions:  make(map[string]*session),
-		MaxBudget: 5 * time.Second,
+		ds:          ds,
+		sessions:    make(map[string]*session),
+		MaxBudget:   5 * time.Second,
+		SessionTTL:  30 * time.Minute,
+		MaxSessions: 10_000,
+		now:         time.Now,
+	}
+}
+
+// sweepLocked drops sessions idle past SessionTTL. It runs at most once per
+// quarter TTL so session traffic stays O(1) amortized; callers hold s.mu.
+func (s *Server) sweepLocked(now time.Time) {
+	if s.SessionTTL <= 0 || now.Sub(s.lastSweep) < s.SessionTTL/4 {
+		return
+	}
+	s.lastSweep = now
+	for id, sess := range s.sessions {
+		if now.Sub(sess.lastUsed) > s.SessionTTL {
+			delete(s.sessions, id)
+		}
+	}
+}
+
+// evictOldestLocked removes the least recently used session; callers hold
+// s.mu and have already swept.
+func (s *Server) evictOldestLocked() {
+	var oldest string
+	var oldestT time.Time
+	for id, sess := range s.sessions {
+		if oldest == "" || sess.lastUsed.Before(oldestT) {
+			oldest, oldestT = id, sess.lastUsed
+		}
+	}
+	if oldest != "" {
+		delete(s.sessions, oldest)
 	}
 }
 
@@ -110,10 +158,15 @@ func (s *Server) stateResponse(id string, sess *session) StateResponse {
 }
 
 func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
+	now := s.now()
 	s.mu.Lock()
+	s.sweepLocked(now)
+	if s.MaxSessions > 0 && len(s.sessions) >= s.MaxSessions {
+		s.evictOldestLocked()
+	}
 	s.nextID++
 	id := strconv.FormatInt(s.nextID, 10)
-	sess := &session{state: s.ds.Root()}
+	sess := &session{state: s.ds.Root(), lastUsed: now}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
@@ -121,12 +174,15 @@ func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Server) session(r *http.Request) (string, *session, error) {
 	id := r.PathValue("id")
+	now := s.now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.sweepLocked(now)
 	sess, ok := s.sessions[id]
 	if !ok {
 		return "", nil, fmt.Errorf("unknown session %q", id)
 	}
+	sess.lastUsed = now
 	return id, sess, nil
 }
 
@@ -141,10 +197,11 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 
 // ChartRequest asks for an expansion's bar chart.
 type ChartRequest struct {
-	Op       string `json:"op"`
-	Engine   string `json:"engine"`   // aj (default), wj, ctj, lftj, baseline
-	BudgetMS int    `json:"budgetMs"` // online engines; default 300
-	TopN     int    `json:"topN"`     // 0: all bars
+	Op         string `json:"op"`
+	Engine     string `json:"engine"`     // aj (default), wj, ctj, lftj, baseline
+	BudgetMS   int    `json:"budgetMs"`   // online engines; default 300
+	IntervalMS int    `json:"intervalMs"` // stream mode snapshot cadence; default 100
+	TopN       int    `json:"topN"`       // 0: all bars
 }
 
 // ChartBar is one rendered bar.
@@ -154,13 +211,16 @@ type ChartBar struct {
 	CI       float64 `json:"ci,omitempty"`
 }
 
-// ChartResponse is a rendered chart.
+// ChartResponse is a rendered chart. In stream mode each SSE event carries
+// one ChartResponse; Walks and Final track the estimator's progress.
 type ChartResponse struct {
 	Op      string     `json:"op"`
 	Engine  string     `json:"engine"`
 	Millis  int64      `json:"millis"`
 	NumBars int        `json:"numBars"`
 	Bars    []ChartBar `json:"bars"`
+	Walks   int64      `json:"walks,omitempty"`
+	Final   bool       `json:"final,omitempty"`
 }
 
 func parseOp(name string) (kgexplore.ExploreOp, error) {
@@ -206,25 +266,18 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
+	if r.URL.Query().Get("stream") == "1" {
+		s.streamChart(w, r, req.Op, pl, req)
+		return
+	}
 	start := time.Now()
-	counts, ci, err := s.evaluate(pl, req.Engine, req.BudgetMS)
+	counts, ci, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := ChartResponse{
-		Op:     req.Op,
-		Engine: engineName(req.Engine),
-		Millis: time.Since(start).Milliseconds(),
-	}
-	bars := s.ds.BarsOf(counts, ci)
-	resp.NumBars = len(bars)
-	if req.TopN > 0 && len(bars) > req.TopN {
-		bars = bars[:req.TopN]
-	}
-	for _, b := range bars {
-		resp.Bars = append(resp.Bars, ChartBar{Category: b.Category.Value, Count: b.Count, CI: b.CI})
-	}
+	resp := s.chartResponse(req.Op, engineName(req.Engine), counts, ci, req.TopN)
+	resp.Millis = time.Since(start).Milliseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -235,7 +288,26 @@ func engineName(e string) string {
 	return e
 }
 
-func (s *Server) evaluate(pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, error) {
+// chartResponse renders per-group counts as sorted, truncated bars.
+func (s *Server) chartResponse(op, engine string, counts, ci map[kgexplore.ID]float64, topN int) ChartResponse {
+	resp := ChartResponse{Op: op, Engine: engine}
+	bars := s.ds.BarsOf(counts, ci)
+	resp.NumBars = len(bars)
+	if topN > 0 && len(bars) > topN {
+		bars = bars[:topN]
+	}
+	for _, b := range bars {
+		label := b.Category.Value
+		if label == "" && op == "sparql" {
+			label = "(all)"
+		}
+		resp.Bars = append(resp.Bars, ChartBar{Category: label, Count: b.Count, CI: b.CI})
+	}
+	return resp
+}
+
+// clampBudget applies the default and the server-wide cap.
+func (s *Server) clampBudget(budgetMS int) time.Duration {
 	budget := time.Duration(budgetMS) * time.Millisecond
 	if budget <= 0 {
 		budget = 300 * time.Millisecond
@@ -243,32 +315,93 @@ func (s *Server) evaluate(pl *kgexplore.Plan, engine string, budgetMS int) (map[
 	if budget > s.MaxBudget {
 		budget = s.MaxBudget
 	}
+	return budget
+}
+
+// onlineRunner builds the estimator for an online engine name.
+func (s *Server) onlineRunner(pl *kgexplore.Plan, engine string) (kgexplore.Stepper, bool) {
 	switch engine {
-	case "ctj":
-		res, err := s.ds.Exact(pl, kgexplore.EngineCTJ)
-		return res, nil, err
-	case "lftj":
-		res, err := s.ds.Exact(pl, kgexplore.EngineLFTJ)
-		return res, nil, err
-	case "baseline":
-		res, err := s.ds.Exact(pl, kgexplore.EngineBaseline)
-		return res, nil, err
 	case "wj":
-		r := s.ds.NewWanderJoin(pl, time.Now().UnixNano())
-		r.RunFor(budget, 128)
-		snap := r.Snapshot()
-		return snap.Estimates, snap.CI, nil
+		return s.ds.NewWanderJoin(pl, time.Now().UnixNano()), true
 	case "aj", "":
-		r := s.ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
+		return s.ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
 			Threshold: kgexplore.DefaultTippingThreshold,
 			Seed:      time.Now().UnixNano(),
-		})
-		r.RunFor(budget, 128)
-		snap := r.Snapshot()
-		return snap.Estimates, snap.CI, nil
+		}), true
 	default:
+		return nil, false
+	}
+}
+
+func (s *Server) evaluate(ctx context.Context, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, error) {
+	switch engine {
+	case "ctj":
+		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
+		return res, nil, err
+	case "lftj":
+		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineLFTJ)
+		return res, nil, err
+	case "baseline":
+		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineBaseline)
+		return res, nil, err
+	}
+	r, ok := s.onlineRunner(pl, engine)
+	if !ok {
 		return nil, nil, fmt.Errorf("unknown engine %q", engine)
 	}
+	rep, err := kgexplore.Drive(ctx, r, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
+	if err != nil {
+		return nil, nil, err
+	}
+	return rep.Final.Estimates, rep.Final.CI, nil
+}
+
+// streamChart answers a `?stream=1` chart request with Server-Sent Events:
+// one ChartResponse per snapshot interval, each strictly further along than
+// the last, and a Final event when the budget elapses. Closing the
+// connection cancels the run through the request context.
+func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, op string, pl *kgexplore.Plan, req ChartRequest) {
+	engine := engineName(req.Engine)
+	runner, ok := s.onlineRunner(pl, req.Engine)
+	if !ok {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeErr(w, http.StatusInternalServerError, fmt.Errorf("streaming unsupported by this connection"))
+		return
+	}
+	interval := time.Duration(req.IntervalMS) * time.Millisecond
+	if interval <= 0 {
+		interval = 100 * time.Millisecond
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	flusher.Flush()
+
+	send := func(p kgexplore.DriveProgress) bool {
+		resp := s.chartResponse(op, engine, p.Snapshot.Estimates, p.Snapshot.CI, req.TopN)
+		resp.Millis = p.Elapsed.Milliseconds()
+		resp.Walks = p.Walks
+		resp.Final = p.Final
+		data, err := json.Marshal(resp)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "data: %s\n\n", data); err != nil {
+			return false
+		}
+		flusher.Flush()
+		return true
+	}
+	kgexplore.Drive(r.Context(), runner, kgexplore.DriveOptions{
+		Budget:     s.clampBudget(req.BudgetMS),
+		Interval:   interval,
+		Batch:      128,
+		OnSnapshot: send,
+	})
 }
 
 // SelectRequest clicks a bar in an expansion chart.
@@ -351,28 +484,13 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, err := s.evaluate(pl, req.Engine, req.BudgetMS)
+	counts, ci, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := ChartResponse{
-		Op:     "sparql",
-		Engine: engineName(req.Engine),
-		Millis: time.Since(start).Milliseconds(),
-	}
-	bars := s.ds.BarsOf(counts, ci)
-	resp.NumBars = len(bars)
-	if req.TopN > 0 && len(bars) > req.TopN {
-		bars = bars[:req.TopN]
-	}
-	for _, b := range bars {
-		label := b.Category.Value
-		if label == "" {
-			label = "(all)"
-		}
-		resp.Bars = append(resp.Bars, ChartBar{Category: label, Count: b.Count, CI: b.CI})
-	}
+	resp := s.chartResponse("sparql", engineName(req.Engine), counts, ci, req.TopN)
+	resp.Millis = time.Since(start).Milliseconds()
 	writeJSON(w, http.StatusOK, resp)
 }
 

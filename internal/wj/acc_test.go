@@ -37,8 +37,8 @@ func TestMergeMatchesCombinedRun(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	a := New(st, pl, 1)
 	b := New(st, pl, 2)
-	a.Run(20000)
-	b.Run(20000)
+	runN(a, 20000)
+	runN(b, 20000)
 	merged := NewAcc()
 	merged.Merge(a.Acc())
 	merged.Merge(b.Acc())
@@ -63,6 +63,57 @@ func TestMergeMatchesCombinedRun(t *testing.T) {
 	}
 }
 
+func TestMergeRefusesDistinctAccumulators(t *testing.T) {
+	// Distinct-mode WJ dedup sets are runner-local: merging two such
+	// accumulators would double-count duplicates across runners, so Merge
+	// must refuse loudly rather than return a silently wrong estimate.
+	pl, _, st := fig5(t, true)
+	a := New(st, pl, 1)
+	b := New(st, pl, 2)
+	runN(a, 100)
+	runN(b, 100)
+	if !a.Acc().Distinct || !b.Acc().Distinct {
+		t.Fatal("distinct-mode runners should mark their accumulators")
+	}
+	for _, pair := range [][2]*Acc{
+		{NewAcc(), a.Acc()}, // distinct on the merged-in side
+		{a.Acc().Clone(), NewAcc()}, // distinct on the receiving side
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("Merge on a distinct-mode accumulator did not panic")
+				}
+			}()
+			pair[0].Merge(pair[1])
+		}()
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	r := New(st, pl, 4)
+	runN(r, 5000)
+	orig := r.Acc()
+	c := orig.Clone()
+	if c.N != orig.N || c.Rejected != orig.Rejected {
+		t.Fatal("clone counters differ")
+	}
+	for g, v := range orig.Sum {
+		if c.Sum[g] != v {
+			t.Fatalf("clone Sum[%d] = %v, want %v", g, c.Sum[g], v)
+		}
+	}
+	// Mutating the clone must not touch the original.
+	for g := range c.Sum {
+		c.Sum[g] += 1000
+		if orig.Sum[g] == c.Sum[g] {
+			t.Fatal("clone shares Sum map with original")
+		}
+		break
+	}
+}
+
 func TestAvgModeThroughRunner(t *testing.T) {
 	// A chain ending at numeric literals evaluated as AVG through WJ.
 	g := testkit.RandomGraph(8, 8, 3, 5, 70)
@@ -78,7 +129,7 @@ func TestAvgModeThroughRunner(t *testing.T) {
 		t.Skip("empty fixture")
 	}
 	r := New(st, pl, 3)
-	r.Run(300000)
+	runN(r, 300000)
 	snap := r.Snapshot()
 	for a, ex := range exact {
 		rel := math.Abs(snap.Estimates[a]-ex) / math.Abs(ex)

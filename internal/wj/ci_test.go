@@ -42,7 +42,7 @@ func TestCICoverage(t *testing.T) {
 	covered := 0
 	for trial := 0; trial < trials; trial++ {
 		r := New(st, pl, int64(1000+trial))
-		r.Run(walks)
+		runN(r, walks)
 		snap := r.Snapshot()
 		est := snap.Estimates[target]
 		hw := snap.CI[target]

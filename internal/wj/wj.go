@@ -12,7 +12,6 @@ package wj
 
 import (
 	"math/rand"
-	"time"
 
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
@@ -36,6 +35,11 @@ type Acc struct {
 	// Den holds denominator contributions for ratio estimators (AVG);
 	// nil unless AddRatio has been used.
 	Den map[rdf.ID]float64
+	// Distinct marks a distinct-mode Wander Join accumulator, whose
+	// Ripple-style dedup set is runner-local; Merge refuses such
+	// accumulators. Audit Join accumulators never set it (their distinct
+	// estimator is per-walk unbiased and merges freely).
+	Distinct bool
 }
 
 // NewAcc returns an empty accumulator.
@@ -66,8 +70,12 @@ func (c *Acc) AddRatio(a rdf.ID, num, den float64) {
 // per-goroutine runners (the paper cites parallel online aggregation as
 // related work; with independent walks the combination is trivial).
 // Distinct-mode WJ accumulators must not be merged (their Ripple-style
-// dedup sets are runner-local); Audit Join accumulators always can.
+// dedup sets are runner-local, so merged sums double-count duplicates);
+// Merge panics on them. Audit Join accumulators always can be merged.
 func (c *Acc) Merge(o *Acc) {
+	if c.Distinct || o.Distinct {
+		panic("wj: Merge on a distinct-mode Wander Join accumulator: per-runner dedup sets make merged counts meaningless")
+	}
 	c.N += o.N
 	c.Rejected += o.Rejected
 	c.Dedup += o.Dedup
@@ -85,6 +93,33 @@ func (c *Acc) Merge(o *Acc) {
 			c.Den[a] += v
 		}
 	}
+}
+
+// Clone returns a deep copy of the accumulator. Parallel estimation uses
+// clones to publish a worker's state across goroutines: the worker copies
+// under its own control, so the original is never read concurrently.
+func (c *Acc) Clone() *Acc {
+	o := &Acc{
+		N:        c.N,
+		Rejected: c.Rejected,
+		Dedup:    c.Dedup,
+		Sum:      make(map[rdf.ID]float64, len(c.Sum)),
+		SumSq:    make(map[rdf.ID]float64, len(c.SumSq)),
+		Distinct: c.Distinct,
+	}
+	for a, v := range c.Sum {
+		o.Sum[a] = v
+	}
+	for a, v := range c.SumSq {
+		o.SumSq[a] = v
+	}
+	if c.Den != nil {
+		o.Den = make(map[rdf.ID]float64, len(c.Den))
+		for a, v := range c.Den {
+			o.Den[a] = v
+		}
+	}
+	return o
 }
 
 // Result is a point-in-time snapshot of an online aggregation.
@@ -145,11 +180,15 @@ type Runner struct {
 
 // New creates a Runner with a deterministic random source.
 func New(store *index.Store, pl *query.Plan, seed int64) *Runner {
+	acc := NewAcc()
+	// Distinct-mode walks depend on this runner's dedup set; mark the
+	// accumulator so it cannot be merged into another (see Acc.Merge).
+	acc.Distinct = pl.Query.Distinct
 	return &Runner{
 		store: store,
 		pl:    pl,
 		rng:   rand.New(rand.NewSource(seed)),
-		acc:   NewAcc(),
+		acc:   acc,
 		seen:  make(map[[2]rdf.ID]struct{}),
 	}
 }
@@ -201,26 +240,10 @@ func (r *Runner) Step() {
 	r.acc.Add(a, prod)
 }
 
-// Run performs n walks.
-func (r *Runner) Run(n int) {
-	for i := 0; i < n; i++ {
-		r.Step()
-	}
-}
-
-// RunFor keeps walking until the duration elapses, checking the clock every
-// batch walks. It returns the number of walks performed.
-func (r *Runner) RunFor(d time.Duration, batch int) int64 {
-	if batch <= 0 {
-		batch = 256
-	}
-	deadline := time.Now().Add(d)
-	start := r.acc.N
-	for time.Now().Before(deadline) {
-		r.Run(batch)
-	}
-	return r.acc.N - start
-}
+// Walks returns the total number of walks performed, including rejected
+// ones. Together with Step and Snapshot it makes the Runner an exec.Stepper;
+// the driving loops (budgets, intervals, cancellation) live in internal/exec.
+func (r *Runner) Walks() int64 { return r.acc.N }
 
 // Snapshot returns the current estimates with 0.95 confidence intervals.
 func (r *Runner) Snapshot() Result { return r.acc.Snapshot(stats.Z95) }

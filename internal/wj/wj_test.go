@@ -11,6 +11,14 @@ import (
 	"kgexplore/internal/testkit"
 )
 
+// runN performs n walks. The driving loops live in internal/exec, which
+// imports this package — in-package tests use this local helper instead.
+func runN(r *Runner, n int) {
+	for i := 0; i < n; i++ {
+		r.Step()
+	}
+}
+
 func fig5(t *testing.T, distinct bool) (*query.Plan, *rdf.Graph, *index.Store) {
 	t.Helper()
 	g := rdf.NewGraph()
@@ -53,7 +61,7 @@ func TestUnbiasedNonDistinct(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	exact := lftj.GroupCount(st, pl)
 	r := New(st, pl, 42)
-	r.Run(200000)
+	runN(r, 200000)
 	snap := r.Snapshot()
 	for a, ex := range exact {
 		got := snap.Estimates[a]
@@ -78,7 +86,7 @@ func TestUnbiasedNonDistinctRandomGraphs(t *testing.T) {
 			continue
 		}
 		r := New(st, pl, seed*7)
-		r.Run(300000)
+		runN(r, 300000)
 		snap := r.Snapshot()
 		for a, ex := range exact {
 			rel := math.Abs(snap.Estimates[a]-float64(ex)) / float64(ex)
@@ -93,7 +101,7 @@ func TestUnbiasedNonDistinctRandomGraphs(t *testing.T) {
 func TestRejectionCounting(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	r := New(st, pl, 1)
-	r.Run(50000)
+	runN(r, 50000)
 	snap := r.Snapshot()
 	// eve's walk (1/5 of starts) always dies at the Person check.
 	rate := snap.RejectionRate()
@@ -108,7 +116,7 @@ func TestRejectionCounting(t *testing.T) {
 func TestDistinctDedup(t *testing.T) {
 	pl, g, st := fig5(t, true)
 	r := New(st, pl, 3)
-	r.Run(50000)
+	runN(r, 50000)
 	snap := r.Snapshot()
 	// There are only 3 (group, beta) pairs: (City,paris), (City,lima),
 	// (Capital,lima); so at most 3 walks ever contribute.
@@ -130,9 +138,9 @@ func TestDistinctDedup(t *testing.T) {
 func TestCIShrinks(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	r := New(st, pl, 5)
-	r.Run(1000)
+	runN(r, 1000)
 	w1 := widest(r.Snapshot().CI)
-	r.Run(99000)
+	runN(r, 99000)
 	w2 := widest(r.Snapshot().CI)
 	if !(w2 < w1) {
 		t.Errorf("CI did not shrink: %v -> %v", w1, w2)
@@ -153,8 +161,8 @@ func TestDeterministicBySeed(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	r1 := New(st, pl, 99)
 	r2 := New(st, pl, 99)
-	r1.Run(10000)
-	r2.Run(10000)
+	runN(r1, 10000)
+	runN(r2, 10000)
 	s1, s2 := r1.Snapshot(), r2.Snapshot()
 	if s1.Rejected != s2.Rejected || len(s1.Estimates) != len(s2.Estimates) {
 		t.Fatal("same seed gave different trajectories")
@@ -176,7 +184,7 @@ func TestUngroupedEstimate(t *testing.T) {
 	}
 	exact := lftj.GroupCount(st, pl2)[lftj.GlobalGroup]
 	r := New(st, pl2, 11)
-	r.Run(100000)
+	runN(r, 100000)
 	got := r.Snapshot().Estimates[GlobalGroup]
 	if math.Abs(got-float64(exact))/float64(exact) > 0.08 {
 		t.Errorf("ungrouped estimate %.2f vs exact %d", got, exact)
@@ -197,7 +205,7 @@ func TestEmptyQueryAllRejected(t *testing.T) {
 		t.Fatal(err)
 	}
 	r := New(st, pl2, 2)
-	r.Run(100)
+	runN(r, 100)
 	snap := r.Snapshot()
 	if snap.Rejected != 100 || len(snap.Estimates) != 0 {
 		t.Errorf("Rejected=%d Estimates=%v, want all rejected", snap.Rejected, snap.Estimates)
@@ -216,14 +224,17 @@ func TestSnapshotEmpty(t *testing.T) {
 	}
 }
 
-func TestRunFor(t *testing.T) {
+func TestWalksAccounting(t *testing.T) {
 	pl, _, st := fig5(t, false)
 	r := New(st, pl, 7)
-	n := r.RunFor(20e6, 64) // 20ms
-	if n <= 0 {
-		t.Error("RunFor performed no walks")
+	if r.Walks() != 0 {
+		t.Errorf("fresh runner Walks = %d, want 0", r.Walks())
 	}
-	if r.Snapshot().Walks != n {
-		t.Errorf("walk accounting mismatch: %d vs %d", r.Snapshot().Walks, n)
+	runN(r, 1234)
+	if r.Walks() != 1234 {
+		t.Errorf("Walks = %d, want 1234", r.Walks())
+	}
+	if r.Snapshot().Walks != r.Walks() {
+		t.Errorf("walk accounting mismatch: %d vs %d", r.Snapshot().Walks, r.Walks())
 	}
 }

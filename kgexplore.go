@@ -22,6 +22,7 @@ package kgexplore
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -32,6 +33,7 @@ import (
 	"kgexplore/internal/baseline"
 	"kgexplore/internal/core"
 	"kgexplore/internal/ctj"
+	"kgexplore/internal/exec"
 	"kgexplore/internal/explore"
 	"kgexplore/internal/index"
 	"kgexplore/internal/kggen"
@@ -102,6 +104,35 @@ type (
 	// EstimateResult is a snapshot of an online aggregation.
 	EstimateResult = wj.Result
 )
+
+// Re-exported streaming-execution types (internal/exec): both WanderJoin and
+// AuditJoin are Steppers, and Drive is the single driving loop behind every
+// budgeted run.
+type (
+	// Stepper is the unit of online estimation: one walk per Step.
+	Stepper = exec.Stepper
+	// DriveOptions configures one Drive call (budget, snapshot interval,
+	// walk cap, batch size, streaming callback).
+	DriveOptions = exec.Options
+	// DriveProgress is one streamed snapshot of a running drive.
+	DriveProgress = exec.Progress
+	// DriveReport summarizes a completed (or cancelled) drive.
+	DriveReport = exec.Report
+)
+
+// Drive runs an online estimator under the given options, honoring ctx:
+// cancelling the context stops the run between walk batches and still
+// returns a consistent report. See DriveOptions for budgets, walk caps and
+// streaming snapshots.
+func Drive(ctx context.Context, s Stepper, opts DriveOptions) (DriveReport, error) {
+	return exec.Drive(ctx, s, opts)
+}
+
+// RunWalks performs exactly n walks on an estimator — the bounded-count
+// companion of Drive for warmup and deterministic runs.
+func RunWalks(s Stepper, n int) {
+	exec.RunN(s, n)
+}
 
 // GlobalGroup is the group key of ungrouped results.
 const GlobalGroup = rdf.NoID
@@ -292,13 +323,20 @@ func (e ExactEngine) String() string {
 // Exact evaluates the plan exactly with the chosen engine, returning
 // per-group counts (GlobalGroup for ungrouped queries).
 func (d *Dataset) Exact(pl *Plan, engine ExactEngine) (map[ID]float64, error) {
+	return d.ExactCtx(context.Background(), pl, engine)
+}
+
+// ExactCtx is Exact under a context: every engine checks ctx periodically
+// inside its enumeration loops, so a long exact run aborts promptly with
+// ctx.Err() when the caller goes away.
+func (d *Dataset) ExactCtx(ctx context.Context, pl *Plan, engine ExactEngine) (map[ID]float64, error) {
 	switch engine {
 	case EngineCTJ:
-		return ctj.Evaluate(d.store, pl), nil
+		return ctj.EvaluateCtx(ctx, d.store, pl)
 	case EngineLFTJ:
-		return lftj.Evaluate(d.store, pl), nil
+		return lftj.EvaluateCtx(ctx, d.store, pl)
 	case EngineBaseline:
-		return baseline.Evaluate(d.store, pl)
+		return baseline.EvaluateCtx(ctx, d.store, pl)
 	default:
 		return nil, fmt.Errorf("kgexplore: unknown engine %v", engine)
 	}
@@ -323,14 +361,24 @@ const AutoExactLimit = 1 << 16
 // exactly with CTJ when the statistics estimate the join to be small,
 // otherwise online with Audit Join under the time budget.
 func (d *Dataset) Auto(pl *Plan, budget time.Duration, seed int64) (AutoResult, error) {
+	return d.AutoCtx(context.Background(), pl, budget, seed)
+}
+
+// AutoCtx is Auto under a context: a cancelled exact branch returns
+// ctx.Err(); a cancelled estimation branch returns the estimate accumulated
+// so far alongside ctx.Err().
+func (d *Dataset) AutoCtx(ctx context.Context, pl *Plan, budget time.Duration, seed int64) (AutoResult, error) {
 	if pl.EstimateJoinSize(d.store) <= AutoExactLimit {
-		counts := ctj.Evaluate(d.store, pl)
+		counts, err := ctj.EvaluateCtx(ctx, d.store, pl)
+		if err != nil {
+			return AutoResult{}, err
+		}
 		return AutoResult{Counts: counts, Exact: true}, nil
 	}
 	r := core.New(d.store, pl, core.Options{Threshold: core.DefaultThreshold, Seed: seed})
-	r.RunFor(budget, 128)
-	snap := r.Snapshot()
-	return AutoResult{Counts: snap.Estimates, CI: snap.CI, Walks: snap.Walks}, nil
+	rep, err := exec.Drive(ctx, r, exec.Options{Budget: budget, Batch: 128})
+	snap := rep.Final
+	return AutoResult{Counts: snap.Estimates, CI: snap.CI, Walks: snap.Walks}, err
 }
 
 // NewWanderJoin creates a Wander Join estimator for the plan.

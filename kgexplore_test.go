@@ -92,8 +92,8 @@ func TestOnlineEstimatorsConverge(t *testing.T) {
 	exact, _ := d.Exact(pl, EngineCTJ)
 	wjr := d.NewWanderJoin(pl, 1)
 	ajr := d.NewAuditJoin(pl, AuditJoinOptions{Threshold: DefaultTippingThreshold, Seed: 1})
-	wjr.Run(50000)
-	ajr.Run(50000)
+	RunWalks(wjr, 50000)
+	RunWalks(ajr, 50000)
 	city, _ := d.Dict().LookupIRI("City")
 	for name, est := range map[string]float64{
 		"wj": wjr.Snapshot().Estimates[city],
