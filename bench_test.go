@@ -225,6 +225,7 @@ func BenchmarkFig11RejectionRates(b *testing.B) {
 func BenchmarkSampleTimeWJ(b *testing.B) {
 	loadFixture(b)
 	r := wj.New(fixture.store, fixture.plan, 1)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Step()
@@ -236,6 +237,39 @@ func BenchmarkSampleTimeWJ(b *testing.B) {
 func BenchmarkSampleTimeAJ(b *testing.B) {
 	loadFixture(b)
 	r := core.New(fixture.store, fixture.plan, core.Options{Threshold: core.DefaultThreshold, Seed: 1})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+	}
+}
+
+// BenchmarkSampleTimeWJAlloc measures the steady-state allocation profile of
+// a Wander Join walk: the runner is warmed first so one-time growth (the
+// accumulator maps, the distinct dedup set) is excluded and allocs/op must
+// read 0 — the walk loop itself allocates nothing.
+func BenchmarkSampleTimeWJAlloc(b *testing.B) {
+	loadFixture(b)
+	r := wj.New(fixture.store, fixture.plan, 1)
+	for i := 0; i < 20_000; i++ {
+		r.Step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Step()
+	}
+}
+
+// BenchmarkSampleTimeAJAlloc is the Audit Join counterpart: warmed past the
+// CTJ cache build-up so allocs/op reflects only the recurring walk work.
+func BenchmarkSampleTimeAJAlloc(b *testing.B) {
+	loadFixture(b)
+	r := core.New(fixture.store, fixture.plan, core.Options{Threshold: core.DefaultThreshold, Seed: 1})
+	for i := 0; i < 20_000; i++ {
+		r.Step()
+	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		r.Step()
@@ -426,13 +460,45 @@ func BenchmarkSnapshotIO(b *testing.B) {
 	b.SetBytes(int64(buf.Len()))
 }
 
-// BenchmarkIndexBuild measures building the four trie orders.
+// BenchmarkIndexBuild measures building the four trie orders (radix-sorted,
+// one goroutine per order).
 func BenchmarkIndexBuild(b *testing.B) {
 	loadFixture(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		index.Build(fixture.graph)
 	}
+}
+
+var benchSpanSink int
+
+// BenchmarkSpanL1 measures the dense direct-indexed level-1 span lookup.
+func BenchmarkSpanL1(b *testing.B) {
+	loadFixture(b)
+	st := fixture.store
+	nd := rdf.ID(fixture.graph.Dict.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += st.SpanL1(index.SPO, rdf.ID(i)%nd).Len()
+	}
+	benchSpanSink = acc
+}
+
+// BenchmarkSpanL2 measures the packed-key level-2 hash span lookup.
+func BenchmarkSpanL2(b *testing.B) {
+	loadFixture(b)
+	st := fixture.store
+	nd := rdf.ID(fixture.graph.Dict.Len())
+	b.ReportAllocs()
+	b.ResetTimer()
+	acc := 0
+	for i := 0; i < b.N; i++ {
+		acc += st.SpanL2(index.PSO, rdf.ID(i)%nd, rdf.ID(i*7)%nd).Len()
+	}
+	benchSpanSink = acc
 }
 
 // BenchmarkTrieSeek measures LFTJ-style leapfrog seeks across a level.

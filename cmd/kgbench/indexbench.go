@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/rdf"
+)
+
+// indexBenchResult is one microbenchmark row of BENCH_index.json.
+type indexBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// indexBenchReport is the BENCH_index.json schema: the fixture description
+// plus the measured storage-layer microbenchmarks. Committed as a baseline so
+// regressions show up in review diffs.
+type indexBenchReport struct {
+	Dataset    string             `json:"dataset"`
+	Scale      float64            `json:"scale"`
+	Triples    int                `json:"triples"`
+	GoMaxProcs int                `json:"gomaxprocs"`
+	GoVersion  string             `json:"go_version"`
+	Results    []indexBenchResult `json:"results"`
+}
+
+// runIndexBench measures the storage-layer microbenchmarks (index build and
+// span lookups) on a DBpedia-sim fixture and writes the JSON report; a
+// human-readable summary goes to w. It uses testing.Benchmark, so the timings
+// are self-calibrating like `go test -bench`.
+func runIndexBench(w io.Writer, outPath string, scale float64) error {
+	cfg := kggen.DBpediaSim(scale)
+	g, _, err := kggen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	st := index.Build(g)
+	report := indexBenchReport{
+		Dataset:    cfg.Name,
+		Scale:      scale,
+		Triples:    g.Len(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+
+	record := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		report.Results = append(report.Results, indexBenchResult{
+			Name:        name,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(w, "%-24s %14.1f ns/op %8d B/op %6d allocs/op\n",
+			name, float64(r.T.Nanoseconds())/float64(r.N), r.AllocedBytesPerOp(), r.AllocsPerOp())
+	}
+
+	record("IndexBuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			index.Build(g)
+		}
+	})
+	nd := rdf.ID(g.Dict.Len())
+	record("SpanL1", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc int
+		for i := 0; i < b.N; i++ {
+			acc += st.SpanL1(index.SPO, rdf.ID(i)%nd).Len()
+		}
+		sinkInt = acc
+	})
+	record("SpanL2", func(b *testing.B) {
+		b.ReportAllocs()
+		var acc int
+		for i := 0; i < b.N; i++ {
+			acc += st.SpanL2(index.PSO, rdf.ID(i)%nd, rdf.ID(i*7)%nd).Len()
+		}
+		sinkInt = acc
+	})
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%s scale %g, %d triples)\n", outPath, cfg.Name, scale, g.Len())
+	return nil
+}
+
+// sinkInt defeats dead-code elimination in the lookup benchmarks.
+var sinkInt int

@@ -37,6 +37,8 @@ func main() {
 		thresh   = flag.Float64("threshold", 0, "override Audit Join tipping threshold")
 		nobase   = flag.Bool("skip-baseline", false, "skip the baseline engine in Fig. 8")
 		csvDir   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+		idxBench = flag.Bool("indexbench", false, "run the storage-layer microbenchmarks and write -benchout")
+		benchOut = flag.String("benchout", "BENCH_index.json", "output path for -indexbench")
 	)
 	flag.Parse()
 
@@ -153,6 +155,12 @@ func main() {
 			if _, _, err := suite.SampleTimes(w); err != nil {
 				fail(err)
 			}
+		}
+	}
+	if *idxBench {
+		any = true
+		if err := runIndexBench(w, *benchOut, *scale); err != nil {
+			fail(err)
 		}
 	}
 	if !any {

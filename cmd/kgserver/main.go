@@ -31,6 +31,7 @@ func main() {
 	scale := flag.Float64("scale", 0.05, "scale for -gen")
 	load := flag.String("load", "", "load an N-Triples file instead of generating")
 	addr := flag.String("addr", ":8080", "listen address")
+	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var (
@@ -50,6 +51,10 @@ func main() {
 	}
 
 	srv := server.New(ds)
+	srv.EnablePprof = *pprofOn
+	if *pprofOn {
+		fmt.Fprintf(os.Stderr, "kgserver: pprof enabled at /debug/pprof/\n")
+	}
 	fmt.Fprintf(os.Stderr, "kgserver: %d triples indexed; listening on %s\n", ds.NumTriples(), *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)

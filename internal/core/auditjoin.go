@@ -61,36 +61,58 @@ type Runner struct {
 	eval   *ctj.Evaluator
 	oracle TippingOracle
 
+	// b is the per-walk binding buffer and static the pre-resolved spans of
+	// constant-bound steps; together they keep Step allocation-free.
+	b      query.Bindings
+	static []query.StaticSpan
+	// perGroup and perGroupND are finish-time aggregation scratch, reused
+	// across walks.
+	perGroup   map[rdf.ID]float64
+	perGroupND map[rdf.ID]numDen
+
 	tipped int64 // walks that ended in a partial exact computation
 }
+
+type numDen struct{ num, den float64 }
 
 // New creates a Runner. A non-positive Threshold in opts is kept as given
 // (zero disables tipping except on empty suffixes).
 func New(store *index.Store, pl *query.Plan, opts Options) *Runner {
 	oracle := opts.Oracle
 	if oracle == nil {
-		oracle = StatsOracle{Store: store, Plan: pl}
+		oracle = NewStatsOracle(store, pl)
 	}
 	return &Runner{
-		store:  store,
-		pl:     pl,
-		opts:   opts,
-		rng:    rand.New(rand.NewSource(opts.Seed)),
-		acc:    wj.NewAcc(),
-		eval:   ctj.New(store, pl),
-		oracle: oracle,
+		store:      store,
+		pl:         pl,
+		opts:       opts,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		acc:        wj.NewAcc(),
+		eval:       ctj.New(store, pl),
+		oracle:     oracle,
+		b:          pl.NewBindings(),
+		static:     pl.ResolveStatic(store),
+		perGroup:   make(map[rdf.ID]float64),
+		perGroupND: make(map[rdf.ID]numDen),
 	}
 }
 
 // Step performs one Audit Join walk (Fig. 7 of the paper).
 func (r *Runner) Step() {
 	r.acc.N++
-	b := r.pl.NewBindings()
+	b := r.b
+	b.Reset()
 	prodD := 1.0 // ∏_{j<=i} d_j = 1/Pr(δ)
 	last := len(r.pl.Steps) - 1
 	for i := range r.pl.Steps {
 		st := &r.pl.Steps[i]
-		sp, ok := st.ResolveSpan(r.store, b)
+		var sp index.Span
+		var ok bool
+		if st.Static {
+			sp, ok = r.static[i].Span, r.static[i].OK
+		} else {
+			sp, ok = st.ResolveSpan(r.store, b)
+		}
 		if !ok {
 			r.acc.Rejected++
 			return
@@ -124,7 +146,8 @@ func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
 	if r.pl.Query.Distinct {
 		// C_a += Σ_b Pr(δ,(a,b)) / (Pr(δ)·Pr(a,b)); the entry's P is
 		// Pr(δ,(a,b))/Pr(δ), so the prefix probability cancels.
-		perGroup := make(map[rdf.ID]float64, len(agg))
+		perGroup := r.perGroup
+		clear(perGroup)
 		for _, e := range agg {
 			pab := r.eval.PathProbAB(e.A, e.B)
 			if pab > 0 {
@@ -140,7 +163,8 @@ func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
 	case query.AggSum:
 		// C_a += Σ_b v(b) · |Γ_δ with (a,b)| × ∏ d_j — the same unbiasedness
 		// argument as Prop. IV.1 with paths weighted by v(β(γ)).
-		perGroup := make(map[rdf.ID]float64, len(agg))
+		perGroup := r.perGroup
+		clear(perGroup)
 		for _, e := range agg {
 			if v, ok := r.store.Numeric(e.B); ok {
 				perGroup[e.A] += v * float64(e.N) * prodD
@@ -152,8 +176,8 @@ func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
 	case query.AggAvg:
 		// Ratio of two unbiased estimators: weighted sum over numeric-β
 		// paths divided by their count.
-		type nd struct{ num, den float64 }
-		perGroup := make(map[rdf.ID]nd, len(agg))
+		perGroup := r.perGroupND
+		clear(perGroup)
 		for _, e := range agg {
 			if v, ok := r.store.Numeric(e.B); ok {
 				cur := perGroup[e.A]
@@ -167,7 +191,8 @@ func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
 		}
 	default:
 		// C_a += |Γ_δ with α=a| × ∏ d_j.
-		perGroup := make(map[rdf.ID]float64, len(agg))
+		perGroup := r.perGroup
+		clear(perGroup)
 		for _, e := range agg {
 			perGroup[e.A] += float64(e.N) * prodD
 		}

@@ -26,10 +26,25 @@ type TippingOracle interface {
 type StatsOracle struct {
 	Store *index.Store
 	Plan  *query.Plan
+
+	// est is the precomputed walk-specialized estimator; NewStatsOracle
+	// sets it. A zero-value StatsOracle stays valid and recomputes the
+	// statistics composition on every call.
+	est *query.SuffixEstimator
+}
+
+// NewStatsOracle returns a StatsOracle with the statistics factors
+// precomputed once per (store, plan), so the per-step tipping check on the
+// walk hot path reduces to a few multiplies.
+func NewStatsOracle(store *index.Store, pl *query.Plan) StatsOracle {
+	return StatsOracle{Store: store, Plan: pl, est: pl.NewSuffixEstimator(store)}
 }
 
 // EstimateSuffix implements TippingOracle.
 func (o StatsOracle) EstimateSuffix(i int, b query.Bindings) float64 {
+	if o.est != nil {
+		return o.est.Estimate(i, b)
+	}
 	return o.Plan.EstimateSuffixSize(o.Store, i, b)
 }
 

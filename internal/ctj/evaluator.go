@@ -77,7 +77,10 @@ type Evaluator struct {
 	countCache map[ckey]int64
 	aggCache   map[ckey][]SuffixGroup
 	existCache map[ckey]bool
-	probCache  map[[2]rdf.ID]float64 // (a,b) -> Pr(a,b); b-only under (NoID, b)
+	// probCache maps probKey(a, b) -> Pr(a,b); b-only entries live under
+	// probKey(NoID, b). The packed uint64 key hits the runtime's fast64
+	// map path, which the [2]rdf.ID struct key does not.
+	probCache map[uint64]float64
 
 	// probsMaterialized: probCache holds every reachable pair already.
 	// probDecided: the materialize-or-lazy decision has been made.
@@ -97,7 +100,7 @@ func New(store *index.Store, pl *query.Plan) *Evaluator {
 		countCache: make(map[ckey]int64),
 		aggCache:   make(map[ckey][]SuffixGroup),
 		existCache: make(map[ckey]bool),
-		probCache:  make(map[[2]rdf.ID]float64),
+		probCache:  make(map[uint64]float64),
 	}
 	firstBound := make([]int, pl.NumVars())
 	for v := range firstBound {
@@ -158,6 +161,9 @@ func (e *Evaluator) key(step int, b query.Bindings, extra ...rdf.ID) ckey {
 	return k
 }
 
+// probKey packs a (group, counted) value pair into the probCache key.
+func probKey(a, b rdf.ID) uint64 { return uint64(a)<<32 | uint64(b) }
+
 // stepWidth returns the walk candidate-set size d for a resolved step: the
 // span length, or 1 for a satisfied membership step.
 func stepWidth(st *query.Step, sp index.Span) int {
@@ -191,8 +197,9 @@ func (e *Evaluator) count(j int, b query.Bindings) int64 {
 		if st.Kind == query.AccessMembership {
 			n = e.count(j+1, b)
 		} else {
-			for t := 0; t < sp.Len(); t++ {
-				st.Bind(e.store.At(st.Order, sp, t), b)
+			ts := e.store.Triples(st.Order)
+			for t := sp.Lo; t < sp.Hi; t++ {
+				st.Bind(ts[t], b)
 				n += e.count(j+1, b)
 			}
 			st.Unbind(b)
@@ -221,8 +228,9 @@ func (e *Evaluator) Exists(j int, b query.Bindings) bool {
 		if st.Kind == query.AccessMembership {
 			found = e.Exists(j+1, b)
 		} else {
-			for t := 0; t < sp.Len() && !found; t++ {
-				st.Bind(e.store.At(st.Order, sp, t), b)
+			ts := e.store.Triples(st.Order)
+			for t := sp.Lo; t < sp.Hi && !found; t++ {
+				st.Bind(ts[t], b)
 				found = e.Exists(j+1, b)
 			}
 			st.Unbind(b)

@@ -20,7 +20,7 @@ const probMaterializeLimit = 1 << 20
 // leading to the sampled b, summing up their probabilities, and caching the
 // results").
 func (e *Evaluator) PathProbB(b rdf.ID) float64 {
-	key := [2]rdf.ID{rdf.NoID, b}
+	key := probKey(rdf.NoID, b)
 	if p, ok := e.probCache[key]; ok {
 		e.stats.ProbHits++
 		return p
@@ -41,7 +41,7 @@ func (e *Evaluator) PathProbAB(a, b rdf.ID) float64 {
 	if e.pl.Query.Alpha == query.NoVar || a == GlobalGroup {
 		return e.PathProbB(b)
 	}
-	key := [2]rdf.ID{a, b}
+	key := probKey(a, b)
 	if p, ok := e.probCache[key]; ok {
 		e.stats.ProbHits++
 		return p
@@ -88,9 +88,9 @@ func (e *Evaluator) materializeProbs() {
 				a = b[alpha]
 			}
 			bb := b[beta]
-			e.probCache[[2]rdf.ID{rdf.NoID, bb}] += prob
+			e.probCache[probKey(rdf.NoID, bb)] += prob
 			if alpha != query.NoVar {
-				e.probCache[[2]rdf.ID{a, bb}] += prob
+				e.probCache[probKey(a, bb)] += prob
 			}
 			return
 		}
@@ -104,8 +104,9 @@ func (e *Evaluator) materializeProbs() {
 			return
 		}
 		p := prob / float64(sp.Len())
-		for t := 0; t < sp.Len(); t++ {
-			st.Bind(e.store.At(st.Order, sp, t), b)
+		ts := e.store.Triples(st.Order)
+		for t := sp.Lo; t < sp.Hi; t++ {
+			st.Bind(ts[t], b)
 			rec(j+1, p)
 		}
 		st.Unbind(b)
@@ -156,8 +157,9 @@ func (e *Evaluator) pathProb(presets map[query.Var]rdf.ID) float64 {
 			rec(j + 1)
 			return
 		}
-		for t := 0; t < sp.Len(); t++ {
-			st.Bind(e.store.At(st.Order, sp, t), b)
+		ts := e.store.Triples(st.Order)
+		for t := sp.Lo; t < sp.Hi; t++ {
+			st.Bind(ts[t], b)
 			rec(j + 1)
 		}
 		st.Unbind(b)

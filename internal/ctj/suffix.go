@@ -28,8 +28,9 @@ func (e *Evaluator) EnumerateSuffix(i int, b query.Bindings, cb func(b query.Bin
 			return
 		}
 		p := prob / float64(sp.Len())
-		for t := 0; t < sp.Len(); t++ {
-			st.Bind(e.store.At(st.Order, sp, t), b)
+		ts := e.store.Triples(st.Order)
+		for t := sp.Lo; t < sp.Hi; t++ {
+			st.Bind(ts[t], b)
 			rec(j+1, p)
 		}
 		st.Unbind(b)

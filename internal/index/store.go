@@ -3,19 +3,29 @@
 // pso, pos), exactly the orders the paper maintains for its exploration
 // queries.
 //
-// Each order keeps one permuted, sorted slice of encoded triples plus hash
-// levels mapping prefixes to contiguous spans. This is the paper's "hybrid
-// hashtable/trie" structure: the hash levels give O(1) candidate-set lookup
-// and uniform sampling for the random walks of Wander Join and Audit Join,
-// while the sorted spans act as tries with O(log n) seeks for Leapfrog Trie
-// Join and Cached Trie Join.
+// Each order keeps one permuted, sorted slice of encoded triples plus
+// prefix-to-span levels. This is the paper's "hybrid hashtable/trie"
+// structure: the levels give O(1) candidate-set lookup and uniform sampling
+// for the random walks of Wander Join and Audit Join, while the sorted spans
+// act as tries with O(log n) seeks for Leapfrog Trie Join and Cached Trie
+// Join. Because dictionary IDs are dense, level 1 is a direct-indexed
+// []Span array rather than a hash map; level 2 (PSO/POS pair lookup) packs
+// the (v0, v1) pair into a single uint64 map key.
+//
+// Build constructs the four orders concurrently — one goroutine per order,
+// each sorting its permuted copy with an LSD radix sort (rdf.SortTriples) —
+// plus a goroutine for the numeric-literal precompute, and computes the
+// per-predicate statistics in parallel chunks over the predicate ID space.
 package index
 
 import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
 	"sort"
+	"sync"
+	"unsafe"
 
 	"kgexplore/internal/rdf"
 )
@@ -105,14 +115,19 @@ func (s Span) Len() int { return s.Hi - s.Lo }
 // Empty reports whether the span contains no triples.
 func (s Span) Empty() bool { return s.Hi <= s.Lo }
 
-type pair [2]rdf.ID
+// packPair packs a level-2 lookup pair into one uint64 map key, keeping the
+// l2 lookup on the runtime's fast uint64 map path.
+func packPair(v0, v1 rdf.ID) uint64 { return uint64(v0)<<32 | uint64(v1) }
 
 // orderIndex is one fully materialized index order.
 type orderIndex struct {
 	order   Order
 	triples []rdf.Triple // sorted by the order's permutation
-	l1      map[rdf.ID]Span
-	l2      map[pair]Span // only populated for PSO and POS
+	// l1 is direct-indexed by the level-0 ID (the zero Span is empty, so
+	// absent keys need no presence bit); ndv1 counts its non-empty entries.
+	l1   []Span
+	ndv1 int
+	l2   map[uint64]Span // only populated for PSO and POS
 }
 
 // PredStat holds the per-predicate statistics the tipping-point estimator
@@ -139,29 +154,52 @@ type Store struct {
 	orders [numOrders]orderIndex
 	stats  Stats
 
+	// predStats is the dense mirror of stats.Preds, indexed by predicate ID;
+	// the join-size estimator reads it on every Audit Join walk step.
+	predStats []PredStat
+
 	// numeric[i] is the parsed numeric value of term i (NaN when the term
 	// is not a numeric literal), precomputed for the SUM/AVG aggregates.
 	numeric []float64
 }
 
 // Build indexes the graph. The graph should be deduplicated; Build sorts four
-// permuted copies of the triples and constructs the hash levels and
-// statistics. The graph's triple slice is not retained.
+// permuted copies of the triples and constructs the span levels and
+// statistics. The four orders are built concurrently (one goroutine each,
+// radix-sorting), overlapped with the numeric-literal precompute; the
+// per-predicate statistics then run in parallel chunks. The graph's triple
+// slice is not retained.
 func Build(g *rdf.Graph) *Store {
 	st := &Store{dict: g.Dict}
+	dictLen := g.Dict.Len()
+	var wg sync.WaitGroup
 	for o := Order(0); o < numOrders; o++ {
-		st.orders[o] = buildOrder(o, g.Triples)
+		wg.Add(1)
+		go func(o Order) {
+			defer wg.Done()
+			st.orders[o] = buildOrder(o, g.Triples, dictLen)
+		}(o)
 	}
-	st.buildStats()
-	st.numeric = make([]float64, g.Dict.Len())
-	for i := range st.numeric {
-		if v, ok := rdf.NumericValue(g.Dict.Term(rdf.ID(i))); ok {
-			st.numeric[i] = v
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		st.numeric = buildNumeric(g.Dict)
+	}()
+	wg.Wait()
+	st.buildStats(dictLen)
+	return st
+}
+
+func buildNumeric(d *rdf.Dict) []float64 {
+	numeric := make([]float64, d.Len())
+	for i := range numeric {
+		if v, ok := rdf.NumericValue(d.Term(rdf.ID(i))); ok {
+			numeric[i] = v
 		} else {
-			st.numeric[i] = math.NaN()
+			numeric[i] = math.NaN()
 		}
 	}
-	return st
+	return numeric
 }
 
 // Numeric returns the numeric value of a term and whether the term is a
@@ -177,22 +215,22 @@ func (st *Store) Numeric(id rdf.ID) (float64, bool) {
 	return v, true
 }
 
-func buildOrder(o Order, src []rdf.Triple) orderIndex {
+func buildOrder(o Order, src []rdf.Triple, dictLen int) orderIndex {
 	ts := make([]rdf.Triple, len(src))
 	copy(ts, src)
 	p := perms[o]
-	sort.Slice(ts, func(i, j int) bool {
-		a, b := ts[i], ts[j]
-		if v0, w0 := field(a, p[0]), field(b, p[0]); v0 != w0 {
-			return v0 < w0
+	rdf.SortTriples(ts, uint8(p[0]), uint8(p[1]), uint8(p[2]))
+	// Dictionary IDs are dense, so the level-0 key space is [0, dictLen);
+	// tolerate callers that index triples with IDs beyond the dictionary
+	// (ts is sorted, so the maximum key is at the end).
+	n := dictLen
+	if len(ts) > 0 {
+		if maxKey := int(field(ts[len(ts)-1], p[0])); maxKey+1 > n {
+			n = maxKey + 1
 		}
-		if v1, w1 := field(a, p[1]), field(b, p[1]); v1 != w1 {
-			return v1 < w1
-		}
-		return field(a, p[2]) < field(b, p[2])
-	})
-	oi := orderIndex{order: o, triples: ts, l1: make(map[rdf.ID]Span)}
-	// Build level-1 spans.
+	}
+	oi := orderIndex{order: o, triples: ts, l1: make([]Span, n)}
+	// Build level-1 spans over the dense ID space.
 	for i := 0; i < len(ts); {
 		k := field(ts[i], p[0])
 		j := i + 1
@@ -200,39 +238,85 @@ func buildOrder(o Order, src []rdf.Triple) orderIndex {
 			j++
 		}
 		oi.l1[k] = Span{i, j}
+		oi.ndv1++
 		i = j
 	}
 	// Level-2 hash spans are needed only where random walks look up a pair:
 	// (p,s) via PSO and (p,o) via POS.
 	if o == PSO || o == POS {
-		oi.l2 = make(map[pair]Span)
+		oi.l2 = make(map[uint64]Span)
 		for i := 0; i < len(ts); {
-			k := pair{field(ts[i], p[0]), field(ts[i], p[1])}
+			v0, v1 := field(ts[i], p[0]), field(ts[i], p[1])
 			j := i + 1
-			for j < len(ts) && field(ts[j], p[0]) == k[0] && field(ts[j], p[1]) == k[1] {
+			for j < len(ts) && field(ts[j], p[0]) == v0 && field(ts[j], p[1]) == v1 {
 				j++
 			}
-			oi.l2[k] = Span{i, j}
+			oi.l2[packPair(v0, v1)] = Span{i, j}
 			i = j
 		}
 	}
 	return oi
 }
 
-func (st *Store) buildStats() {
+// buildStats derives the dataset-wide and per-predicate statistics. The
+// per-predicate pass (ndv counting over every predicate's PSO and POS spans)
+// is chunked over the dense predicate ID space across GOMAXPROCS workers;
+// each worker writes disjoint entries of the dense predStats array.
+func (st *Store) buildStats(dictLen int) {
 	st.stats = Stats{
 		Triples: len(st.orders[SPO].triples),
-		NdvS:    len(st.orders[SPO].l1),
-		NdvP:    len(st.orders[PSO].l1),
-		NdvO:    len(st.orders[OPS].l1),
-		Preds:   make(map[rdf.ID]PredStat, len(st.orders[PSO].l1)),
+		NdvS:    st.orders[SPO].ndv1,
+		NdvP:    st.orders[PSO].ndv1,
+		NdvO:    st.orders[OPS].ndv1,
+		Preds:   make(map[rdf.ID]PredStat, st.orders[PSO].ndv1),
 	}
-	for p, sp := range st.orders[PSO].l1 {
-		stat := PredStat{Count: sp.Len()}
-		// Distinct subjects: count level-2 runs within the PSO span.
-		stat.NdvS = countRuns(st.orders[PSO].triples[sp.Lo:sp.Hi], S)
-		stat.NdvO = countRuns(st.orders[POS].triples[st.orders[POS].l1[p].Lo:st.orders[POS].l1[p].Hi], O)
-		st.stats.Preds[p] = stat
+	// The predicate key space is the PSO level-1 array (at least dictLen;
+	// larger when triples carry out-of-dictionary IDs).
+	nPred := len(st.orders[PSO].l1)
+	st.predStats = make([]PredStat, nPred)
+	pso, pos := &st.orders[PSO], &st.orders[POS]
+	workers := runtime.GOMAXPROCS(0)
+	if workers > 1 && nPred >= 2 {
+		var wg sync.WaitGroup
+		chunk := (nPred + workers - 1) / workers
+		for w := 0; w < workers; w++ {
+			lo, hi := w*chunk, (w+1)*chunk
+			if hi > nPred {
+				hi = nPred
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				st.buildPredStats(pso, pos, lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	} else {
+		st.buildPredStats(pso, pos, 0, nPred)
+	}
+	for p, sp := range pso.l1 {
+		if !sp.Empty() {
+			st.stats.Preds[rdf.ID(p)] = st.predStats[p]
+		}
+	}
+}
+
+// buildPredStats fills predStats for predicate IDs in [lo, hi).
+func (st *Store) buildPredStats(pso, pos *orderIndex, lo, hi int) {
+	for p := lo; p < hi; p++ {
+		sp := pso.l1[p]
+		if sp.Empty() {
+			continue
+		}
+		osp := pos.l1[p]
+		st.predStats[p] = PredStat{
+			Count: sp.Len(),
+			NdvS:  countRuns(pso.triples[sp.Lo:sp.Hi], S),
+			NdvO:  countRuns(pos.triples[osp.Lo:osp.Hi], O),
+		}
 	}
 }
 
@@ -257,6 +341,16 @@ func (st *Store) Dict() *rdf.Dict { return st.dict }
 // Stats returns dataset-wide statistics.
 func (st *Store) Stats() Stats { return st.stats }
 
+// PredStatOf returns the per-predicate statistics for p: a direct array read
+// on the hot tipping-point path (stats.Preds holds the same data under map
+// lookup for enumeration-style consumers).
+func (st *Store) PredStatOf(p rdf.ID) PredStat {
+	if int(p) >= len(st.predStats) {
+		return PredStat{}
+	}
+	return st.predStats[p]
+}
+
 // NumTriples returns the total number of indexed triples.
 func (st *Store) NumTriples() int { return st.stats.Triples }
 
@@ -269,17 +363,25 @@ func (st *Store) FullSpan(o Order) Span { return Span{0, len(st.orders[o].triple
 
 // SpanL1 returns the span of triples whose level-0 value equals v in the
 // given order: e.g. SpanL1(SPO, s) is the span of all triples with subject s.
-func (st *Store) SpanL1(o Order, v rdf.ID) Span { return st.orders[o].l1[v] }
+// The lookup is a direct array index over the dense ID space.
+func (st *Store) SpanL1(o Order, v rdf.ID) Span {
+	l1 := st.orders[o].l1
+	if int(v) >= len(l1) {
+		return Span{}
+	}
+	return l1[v]
+}
 
 // SpanL2 returns the span of triples whose level-0 and level-1 values equal
-// v0 and v1. For PSO and POS it is a hash lookup (O(1)); for the other
-// orders it falls back to binary search within the level-1 span (O(log n)).
+// v0 and v1. For PSO and POS it is a packed-key hash lookup (O(1)); for the
+// other orders it falls back to binary search within the level-1 span
+// (O(log n)).
 func (st *Store) SpanL2(o Order, v0, v1 rdf.ID) Span {
 	oi := &st.orders[o]
 	if oi.l2 != nil {
-		return oi.l2[pair{v0, v1}]
+		return oi.l2[packPair(v0, v1)]
 	}
-	outer := oi.l1[v0]
+	outer := st.SpanL1(o, v0)
 	if outer.Empty() {
 		return Span{}
 	}
@@ -310,13 +412,21 @@ func (st *Store) At(o Order, sp Span, i int) rdf.Triple {
 }
 
 // EstimateBytes returns an estimate of the resident size of the four index
-// orders, used to report the "index memory" figures of the paper.
+// orders, used to report the "index memory" figures of the paper. Sizes are
+// computed from the actual element sizes and level lengths: the triple
+// slices, the dense level-1 arrays, and the level-2 hash entries (packed
+// uint64 key + span, ignoring map bucket overhead).
 func (st *Store) EstimateBytes() int64 {
+	const (
+		tripleSize = int64(unsafe.Sizeof(rdf.Triple{}))
+		spanSize   = int64(unsafe.Sizeof(Span{}))
+		l2KeySize  = int64(unsafe.Sizeof(uint64(0)))
+	)
 	var b int64
 	for o := Order(0); o < numOrders; o++ {
-		b += int64(len(st.orders[o].triples)) * 12
-		b += int64(len(st.orders[o].l1)) * 24
-		b += int64(len(st.orders[o].l2)) * 28
+		b += int64(len(st.orders[o].triples)) * tripleSize
+		b += int64(len(st.orders[o].l1)) * spanSize
+		b += int64(len(st.orders[o].l2)) * (l2KeySize + spanSize)
 	}
 	return b
 }

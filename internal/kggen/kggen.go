@@ -115,6 +115,16 @@ func Generate(cfg Config) (*rdf.Graph, explore.Schema, error) {
 	rng := rand.New(rand.NewSource(cfg.Seed))
 	g := rdf.NewGraph()
 
+	// Reserve capacity for everything Generate appends (classes, up to
+	// maxTypes type triples per entity, and the property edges) so ingest
+	// never regrows the triple slice. MaterializeClosure appends more, but
+	// from a slice already sized in the right ballpark.
+	reserveMax := cfg.TypesPerEntityMax
+	if reserveMax < 1 {
+		reserveMax = 1
+	}
+	g.Triples = make([]rdf.Triple, 0, cfg.NumClasses+cfg.NumEntities*reserveMax+cfg.NumEdges)
+
 	// Intern vocabulary up front so IDs are stable and compact.
 	classes := make([]rdf.ID, cfg.NumClasses)
 	for i := range classes {

@@ -64,8 +64,9 @@ func EnumerateCtx(ctx context.Context, store *index.Store, pl *query.Plan, cb fu
 		if st.Kind == query.AccessMembership {
 			return rec(i + 1)
 		}
-		for k := 0; k < sp.Len(); k++ {
-			st.Bind(store.At(st.Order, sp, k), b)
+		ts := store.Triples(st.Order)
+		for k := sp.Lo; k < sp.Hi; k++ {
+			st.Bind(ts[k], b)
 			if !rec(i + 1) {
 				return false
 			}

@@ -65,7 +65,7 @@ func PatternVarNdv(store *index.Store, p Pattern, pos index.Pos) int {
 		return card
 	}
 	if pConst {
-		ps := stats.Preds[p.P.ID]
+		ps := store.PredStatOf(p.P.ID)
 		switch pos {
 		case index.S:
 			return ps.NdvS
@@ -139,6 +139,91 @@ func (pl *Plan) EstimateSuffixSize(store *index.Store, i int, b Bindings) float6
 			}
 		}
 		est *= f
+		if est == 0 {
+			return 0
+		}
+	}
+	return est
+}
+
+// SuffixEstimator is the walk-specialized, precomputed form of
+// EstimateSuffixSize. Pattern cardinalities and ndv divisors are
+// binding-independent, so they are folded into one factor per step at
+// construction; at walk time only the steps adjacent to the prefix (all join
+// variables bound) still need a span lookup. The estimator relies on the
+// walk invariant that after step i exactly the variables first bound by
+// steps 0..i are set — true for every Wander/Audit Join walk prefix, where
+// Audit Join calls it on every step.
+type SuffixEstimator struct {
+	store *index.Store
+	pl    *Plan
+	// factor[j] is card(G_j) / ∏ max(ndv_here, ndv_binding_site) — the
+	// statistics contribution of step j when it is not prefix-adjacent.
+	// A zero factor means card == 0, so the whole suffix estimate is 0.
+	factor []float64
+	// adjFrom[j] is the earliest prefix end i at which all of step j's join
+	// variables are bound; len(pl.Steps) when step j has no join variables
+	// (the statistics branch then always applies).
+	adjFrom []int
+}
+
+// NewSuffixEstimator precomputes the statistics factors of every step.
+func (pl *Plan) NewSuffixEstimator(store *index.Store) *SuffixEstimator {
+	n := len(pl.Steps)
+	e := &SuffixEstimator{store: store, pl: pl, factor: make([]float64, n), adjFrom: make([]int, n)}
+	firstBound := make([]int, pl.nvars)
+	for i := range pl.Steps {
+		for _, vp := range pl.Steps[i].NewVars {
+			firstBound[vp.Var] = i
+		}
+	}
+	for j := range pl.Steps {
+		st := &pl.Steps[j]
+		e.adjFrom[j] = n
+		if len(st.JoinVars) > 0 {
+			e.adjFrom[j] = 0
+			for _, jv := range st.JoinVars {
+				if fb := firstBound[jv.Var]; fb > e.adjFrom[j] {
+					e.adjFrom[j] = fb
+				}
+			}
+		}
+		f := float64(PatternCard(store, st.Pattern))
+		for _, jv := range st.JoinVars {
+			ndvHere := PatternVarNdv(store, st.Pattern, jv.Pos)
+			ndvThere := pl.ndvAtBindingSite(store, jv.Var)
+			d := ndvHere
+			if ndvThere > d {
+				d = ndvThere
+			}
+			if d > 0 {
+				f /= float64(d)
+			}
+		}
+		e.factor[j] = f
+	}
+	return e
+}
+
+// Estimate returns the estimated number of full paths extending a walk
+// prefix that has just completed step i under bindings b. It computes
+// exactly EstimateSuffixSize, with the statistics branches reduced to one
+// precomputed multiply per step.
+func (e *SuffixEstimator) Estimate(i int, b Bindings) float64 {
+	est := 1.0
+	for j := i + 1; j < len(e.pl.Steps); j++ {
+		if e.adjFrom[j] <= i {
+			st := &e.pl.Steps[j]
+			sp, ok := st.ResolveSpan(e.store, b)
+			if !ok {
+				return 0
+			}
+			if st.Kind != AccessMembership {
+				est *= float64(sp.Len())
+			}
+			continue
+		}
+		est *= e.factor[j]
 		if est == 0 {
 			return 0
 		}

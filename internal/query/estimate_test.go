@@ -1,6 +1,7 @@
 package query
 
 import (
+	"math/rand"
 	"testing"
 
 	"kgexplore/internal/index"
@@ -138,5 +139,39 @@ func TestEstimateJoinSizePositive(t *testing.T) {
 	// alice/bob->paris(City), carol/dave->lima(City,Capital) = 2+4 = 6.
 	if est <= 0 || est > 30 {
 		t.Errorf("EstimateJoinSize = %v, want a positive value near 6", est)
+	}
+}
+
+// TestSuffixEstimatorMatchesEstimateSuffixSize drives random walks over the
+// running-example plan and checks, at every prefix, that the precomputed
+// SuffixEstimator returns exactly what the per-call EstimateSuffixSize
+// computes. The walk loop binds variables the same way the runners do, so the
+// estimator's static-adjacency precomputation is exercised under its real
+// invariant.
+func TestSuffixEstimatorMatchesEstimateSuffixSize(t *testing.T) {
+	st, d := testData(t)
+	pl, err := Compile(birthPlaceQuery(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	est := pl.NewSuffixEstimator(st)
+	rng := rand.New(rand.NewSource(11))
+	for walk := 0; walk < 500; walk++ {
+		b := pl.NewBindings()
+		for i := range pl.Steps {
+			stp := &pl.Steps[i]
+			sp, ok := stp.ResolveSpan(st, b)
+			if !ok {
+				break
+			}
+			if stp.Kind != AccessMembership {
+				stp.Bind(st.Sample(stp.Order, sp, rng), b)
+			}
+			got := est.Estimate(i, b)
+			want := pl.EstimateSuffixSize(st, i, b)
+			if got != want {
+				t.Fatalf("walk %d step %d: Estimate = %g, EstimateSuffixSize = %g (b=%v)", walk, i, got, want, b)
+			}
+		}
 	}
 }

@@ -48,6 +48,13 @@ type Step struct {
 	// candidate set given the bindings.
 	Kind  AccessKind
 	Order index.Order
+	// Key0 and Key1 are the pattern atoms at the order's trie levels 0 and 1,
+	// hoisted out of the per-walk resolution loop at compile time.
+	Key0, Key1 Atom
+	// Static reports that the step's bound positions are all constants, so
+	// its candidate set is independent of the bindings and can be resolved
+	// once per (plan, store) with ResolveStatic.
+	Static bool
 	// NewVars lists variables first bound by this step, with their position.
 	NewVars []VarPos
 	// JoinVars lists this step's variables already bound by earlier steps.
@@ -139,6 +146,9 @@ func compile(q *Query) (*Plan, error) {
 			return nil, fmt.Errorf("query: pattern %d (%s): %w", i, p, err)
 		}
 		st.Kind, st.Order = kind, order
+		levels := order.Levels()
+		st.Key0, st.Key1 = p.Atom(levels[0]), p.Atom(levels[1])
+		st.Static = len(st.JoinVars) == 0
 		for _, vp := range st.NewVars {
 			bound[vp.Var] = true
 		}
@@ -222,10 +232,16 @@ type Bindings []rdf.ID
 // NewBindings returns a binding array for the plan with all slots clear.
 func (pl *Plan) NewBindings() Bindings {
 	b := make(Bindings, pl.nvars)
+	b.Reset()
+	return b
+}
+
+// Reset clears every slot, so walk runners can reuse one binding buffer
+// instead of allocating per walk.
+func (b Bindings) Reset() {
 	for i := range b {
 		b[i] = rdf.NoID
 	}
-	return b
 }
 
 // atomValue resolves an atom to a concrete ID under the bindings. The atom
@@ -242,18 +258,15 @@ func atomValue(a Atom, b Bindings) rdf.ID {
 // positions. For AccessMembership the span has length 0 or 1 (conceptually);
 // the bool reports whether the fully bound triple exists.
 func (st *Step) ResolveSpan(store *index.Store, b Bindings) (index.Span, bool) {
-	levels := st.Order.Levels()
 	switch st.Kind {
 	case AccessFull:
 		sp := store.FullSpan(st.Order)
 		return sp, !sp.Empty()
 	case AccessL1:
-		sp := store.SpanL1(st.Order, atomValue(st.Pattern.Atom(levels[0]), b))
+		sp := store.SpanL1(st.Order, atomValue(st.Key0, b))
 		return sp, !sp.Empty()
 	case AccessL2:
-		sp := store.SpanL2(st.Order,
-			atomValue(st.Pattern.Atom(levels[0]), b),
-			atomValue(st.Pattern.Atom(levels[1]), b))
+		sp := store.SpanL2(st.Order, atomValue(st.Key0, b), atomValue(st.Key1, b))
 		return sp, !sp.Empty()
 	default: // AccessMembership
 		tr := rdf.Triple{
@@ -266,6 +279,32 @@ func (st *Step) ResolveSpan(store *index.Store, b Bindings) (index.Span, bool) {
 		}
 		return index.Span{}, false
 	}
+}
+
+// StaticSpan is the pre-resolved candidate set of a Static step: Span and OK
+// are exactly what ResolveSpan would return for any bindings. Entries for
+// non-static steps are zero and must not be consulted.
+type StaticSpan struct {
+	Span index.Span
+	OK   bool
+}
+
+// ResolveStatic pre-resolves every Static step of the plan against the
+// store, hoisting the span lookups (and membership checks) of
+// constant-bound steps out of the per-walk loop. Walk runners call this once
+// at construction and consult the result instead of ResolveSpan for steps
+// with Static set.
+func (pl *Plan) ResolveStatic(store *index.Store) []StaticSpan {
+	out := make([]StaticSpan, len(pl.Steps))
+	for i := range pl.Steps {
+		st := &pl.Steps[i]
+		if !st.Static {
+			continue
+		}
+		sp, ok := st.ResolveSpan(store, nil)
+		out[i] = StaticSpan{Span: sp, OK: ok}
+	}
+	return out
 }
 
 // Bind records the values a triple gives to the step's new variables.

@@ -1,9 +1,6 @@
 package rdf
 
-import (
-	"fmt"
-	"sort"
-)
+import "fmt"
 
 // ID is a dictionary-encoded term identifier. IDs are dense, starting at 0,
 // assigned in first-seen order. The zero value is a valid ID (the first
@@ -112,18 +109,11 @@ func (g *Graph) AddEncoded(t Triple) { g.Triples = append(g.Triples, t) }
 func (g *Graph) Len() int { return len(g.Triples) }
 
 // Dedup sorts the triples in (S,P,O) order and removes duplicates, returning
-// the number of duplicates removed.
+// the number of duplicates removed. The sort is the radix sort of
+// SortTriples, so repeated dedup passes during ingest stay O(n) rather than
+// O(n log n).
 func (g *Graph) Dedup() int {
-	sort.Slice(g.Triples, func(i, j int) bool {
-		a, b := g.Triples[i], g.Triples[j]
-		if a.S != b.S {
-			return a.S < b.S
-		}
-		if a.P != b.P {
-			return a.P < b.P
-		}
-		return a.O < b.O
-	})
+	SortTriples(g.Triples, FieldS, FieldP, FieldO)
 	n := len(g.Triples)
 	out := g.Triples[:0]
 	var prev Triple

@@ -1,0 +1,96 @@
+package rdf
+
+import "sort"
+
+// Field selectors for SortTriples: the triple position used as a sort key.
+const (
+	FieldS uint8 = iota
+	FieldP
+	FieldO
+)
+
+// smallSortCutoff is the slice length below which the comparator sort wins:
+// counting passes have fixed per-key overhead that only pays off in bulk.
+const smallSortCutoff = 64
+
+// SortTriples sorts ts lexicographically by the three selected fields
+// (p0 primary, p1 secondary, p2 tertiary).
+//
+// Dictionary IDs are dense, so the sort runs as an LSD radix sort: three
+// stable counting passes keyed directly on the ID value — O(n + maxID) per
+// pass with sequential counting-bucket access, instead of the O(n log n)
+// interface-comparator calls of sort.Slice. When the ID space is sparse
+// relative to n (huge counts array for few triples) or n is tiny, it falls
+// back to a comparator sort.
+func SortTriples(ts []Triple, p0, p1, p2 uint8) {
+	n := len(ts)
+	if n < 2 {
+		return
+	}
+	var max ID
+	for _, t := range ts {
+		if v := fieldOf(t, p0); v > max {
+			max = v
+		}
+		if v := fieldOf(t, p1); v > max {
+			max = v
+		}
+		if v := fieldOf(t, p2); v > max {
+			max = v
+		}
+	}
+	if n < smallSortCutoff || uint64(max) > uint64(64*n)+1024 {
+		comparatorSort(ts, p0, p1, p2)
+		return
+	}
+	tmp := make([]Triple, n)
+	counts := make([]uint32, int(max)+1)
+	countingPass(ts, tmp, p2, counts)
+	countingPass(tmp, ts, p1, counts)
+	countingPass(ts, tmp, p0, counts)
+	copy(ts, tmp)
+}
+
+// countingPass stably sorts src into dst by the selected field.
+func countingPass(src, dst []Triple, pos uint8, counts []uint32) {
+	for i := range counts {
+		counts[i] = 0
+	}
+	for _, t := range src {
+		counts[fieldOf(t, pos)]++
+	}
+	var sum uint32
+	for i, c := range counts {
+		counts[i] = sum
+		sum += c
+	}
+	for _, t := range src {
+		k := fieldOf(t, pos)
+		dst[counts[k]] = t
+		counts[k]++
+	}
+}
+
+func comparatorSort(ts []Triple, p0, p1, p2 uint8) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if v, w := fieldOf(a, p0), fieldOf(b, p0); v != w {
+			return v < w
+		}
+		if v, w := fieldOf(a, p1), fieldOf(b, p1); v != w {
+			return v < w
+		}
+		return fieldOf(a, p2) < fieldOf(b, p2)
+	})
+}
+
+func fieldOf(t Triple, pos uint8) ID {
+	switch pos {
+	case FieldS:
+		return t.S
+	case FieldP:
+		return t.P
+	default:
+		return t.O
+	}
+}

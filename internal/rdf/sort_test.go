@@ -1,0 +1,107 @@
+package rdf
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+// refSort is the comparator ordering SortTriples must reproduce.
+func refSort(ts []Triple, p0, p1, p2 uint8) {
+	sort.Slice(ts, func(i, j int) bool {
+		a, b := ts[i], ts[j]
+		if x, y := fieldOf(a, p0), fieldOf(b, p0); x != y {
+			return x < y
+		}
+		if x, y := fieldOf(a, p1), fieldOf(b, p1); x != y {
+			return x < y
+		}
+		return fieldOf(a, p2) < fieldOf(b, p2)
+	})
+}
+
+func randomTriples(rng *rand.Rand, n int, maxID ID) []Triple {
+	ts := make([]Triple, n)
+	for i := range ts {
+		ts[i] = Triple{
+			S: ID(rng.Intn(int(maxID) + 1)),
+			P: ID(rng.Intn(int(maxID) + 1)),
+			O: ID(rng.Intn(int(maxID) + 1)),
+		}
+	}
+	return ts
+}
+
+// TestSortTriplesMatchesReference exercises both the radix path (dense IDs,
+// large n) and the comparator fallback (tiny n, sparse IDs) against
+// sort.Slice, over every permutation of the three key fields.
+func TestSortTriplesMatchesReference(t *testing.T) {
+	perms := [][3]uint8{
+		{FieldS, FieldP, FieldO}, {FieldS, FieldO, FieldP},
+		{FieldP, FieldS, FieldO}, {FieldP, FieldO, FieldS},
+		{FieldO, FieldS, FieldP}, {FieldO, FieldP, FieldS},
+	}
+	cases := []struct {
+		name  string
+		n     int
+		maxID ID
+	}{
+		{"empty", 0, 10},
+		{"single", 1, 10},
+		{"tiny-comparator", 16, 1000},
+		{"boundary", smallSortCutoff, 50},
+		{"dense-radix", 5000, 800},
+		{"sparse-fallback", 200, 1 << 24}, // max far above 64n: comparator path
+		{"duplicates", 3000, 7},           // long runs of equal keys
+	}
+	for _, tc := range cases {
+		rng := rand.New(rand.NewSource(42))
+		for _, p := range perms {
+			got := randomTriples(rng, tc.n, tc.maxID)
+			want := append([]Triple(nil), got...)
+			SortTriples(got, p[0], p[1], p[2])
+			refSort(want, p[0], p[1], p[2])
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%s perm %v: triple %d = %v, want %v", tc.name, p, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+// TestSortTriplesNoIDKeys checks that NoID (the all-ones sentinel) never
+// reaches the counting path's counts array, whose size is derived from the
+// maximum ID: the sparse-max guard must route such inputs to the comparator.
+func TestSortTriplesNoIDKeys(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	ts := randomTriples(rng, 1000, 50)
+	ts[500].P = NoID
+	want := append([]Triple(nil), ts...)
+	SortTriples(ts, FieldP, FieldS, FieldO)
+	refSort(want, FieldP, FieldS, FieldO)
+	for i := range want {
+		if ts[i] != want[i] {
+			t.Fatalf("triple %d = %v, want %v", i, ts[i], want[i])
+		}
+	}
+	if last := ts[len(ts)-1]; last.P != NoID {
+		t.Fatalf("NoID predicate not sorted last: %v", last)
+	}
+}
+
+// TestSortTriplesStableOnEqualKeys verifies full-key ties keep their input
+// order (the LSD passes must each be stable for the composition to be a
+// correct three-key sort, and Dedup relies on equal triples ending adjacent).
+func TestSortTriplesStableOnEqualKeys(t *testing.T) {
+	ts := []Triple{{2, 1, 1}, {1, 1, 1}, {1, 1, 1}, {2, 1, 1}, {1, 1, 1}}
+	SortTriples(ts, FieldS, FieldP, FieldO)
+	for i := 1; i < len(ts); i++ {
+		if fieldOf(ts[i-1], FieldS) > fieldOf(ts[i], FieldS) {
+			t.Fatalf("not sorted at %d: %v", i, ts)
+		}
+	}
+	if ts[0].S != 1 || ts[1].S != 1 || ts[2].S != 1 || ts[3].S != 2 || ts[4].S != 2 {
+		t.Fatalf("unexpected order: %v", ts)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -41,6 +42,10 @@ type Server struct {
 	// MaxSessions caps live sessions; creating one beyond the cap evicts
 	// the least recently used session.
 	MaxSessions int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the handler.
+	// Off by default: the profiling endpoints expose internals and should
+	// only be reachable when explicitly requested (kgserver -pprof).
+	EnablePprof bool
 
 	// now is the clock, overridable in tests.
 	now func() time.Time
@@ -104,6 +109,17 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/session/{id}/back", s.handleBack)
 	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
 	mux.HandleFunc("GET /", s.handleIndex)
+	if s.EnablePprof {
+		// Method-qualified so the patterns compose with "GET /" above under
+		// the 1.22 mux precedence rules; POST /debug/pprof/symbol is the one
+		// pprof endpoint that accepts both methods.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("POST /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 

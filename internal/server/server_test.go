@@ -224,3 +224,36 @@ func TestBudgetCapped(t *testing.T) {
 		t.Errorf("budget cap ignored: took %dms", chart.Millis)
 	}
 }
+
+func TestPprofDisabledByDefault(t *testing.T) {
+	ts := newTestServer(t)
+	resp, err := http.Get(ts.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("/debug/pprof/ reachable without EnablePprof")
+	}
+}
+
+func TestPprofEnabled(t *testing.T) {
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(tinyNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := New(ds)
+	srv.EnablePprof = true
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s: status %d, want 200", path, resp.StatusCode)
+		}
+	}
+}

@@ -175,7 +175,13 @@ type Runner struct {
 	pl    *query.Plan
 	rng   *rand.Rand
 	acc   *Acc
-	seen  map[[2]rdf.ID]struct{} // distinct mode: (group, beta) pairs seen
+	seen  map[uint64]struct{} // distinct mode: packed (group, beta) pairs seen
+
+	// b is the per-walk binding buffer and static the pre-resolved spans of
+	// constant-bound steps; together they keep Step allocation-free at
+	// steady state.
+	b      query.Bindings
+	static []query.StaticSpan
 }
 
 // New creates a Runner with a deterministic random source.
@@ -185,22 +191,31 @@ func New(store *index.Store, pl *query.Plan, seed int64) *Runner {
 	// accumulator so it cannot be merged into another (see Acc.Merge).
 	acc.Distinct = pl.Query.Distinct
 	return &Runner{
-		store: store,
-		pl:    pl,
-		rng:   rand.New(rand.NewSource(seed)),
-		acc:   acc,
-		seen:  make(map[[2]rdf.ID]struct{}),
+		store:  store,
+		pl:     pl,
+		rng:    rand.New(rand.NewSource(seed)),
+		acc:    acc,
+		seen:   make(map[uint64]struct{}),
+		b:      pl.NewBindings(),
+		static: pl.ResolveStatic(store),
 	}
 }
 
 // Step performs one random walk, updating the estimator state.
 func (r *Runner) Step() {
 	r.acc.N++
-	b := r.pl.NewBindings()
+	b := r.b
+	b.Reset()
 	prod := 1.0 // ∏ d_i
 	for i := range r.pl.Steps {
 		st := &r.pl.Steps[i]
-		sp, ok := st.ResolveSpan(r.store, b)
+		var sp index.Span
+		var ok bool
+		if st.Static {
+			sp, ok = r.static[i].Span, r.static[i].OK
+		} else {
+			sp, ok = st.ResolveSpan(r.store, b)
+		}
 		if !ok {
 			r.acc.Rejected++
 			return
@@ -230,7 +245,7 @@ func (r *Runner) Step() {
 		return
 	}
 	if q.Distinct {
-		key := [2]rdf.ID{a, b[q.Beta]}
+		key := uint64(a)<<32 | uint64(b[q.Beta])
 		if _, dup := r.seen[key]; dup {
 			r.acc.Dedup++
 			return
