@@ -39,6 +39,9 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 		idxBench = flag.Bool("indexbench", false, "run the storage-layer microbenchmarks and write -benchout")
 		benchOut = flag.String("benchout", "BENCH_index.json", "output path for -indexbench")
+		parBench = flag.Bool("parallelbench", false, "run the parallel Audit Join shared-cache benchmark and write -parallelout")
+		parOut   = flag.String("parallelout", "BENCH_parallel.json", "output path for -parallelbench")
+		parWalks = flag.Int64("parallelwalks", 1000, "walks per worker in -parallelbench")
 	)
 	flag.Parse()
 
@@ -160,6 +163,12 @@ func main() {
 	if *idxBench {
 		any = true
 		if err := runIndexBench(w, *benchOut, *scale); err != nil {
+			fail(err)
+		}
+	}
+	if *parBench {
+		any = true
+		if err := runParallelBench(w, *parOut, *scale, *seed, *parWalks); err != nil {
 			fail(err)
 		}
 	}

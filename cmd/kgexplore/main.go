@@ -30,6 +30,9 @@ type repl struct {
 	budget time.Duration // for the online engines
 	topN   int
 	out    *bufio.Writer
+	// lastCache holds the CTJ cache stats of the most recent aj run, printed
+	// under the chart; nil after other engines.
+	lastCache *kgexplore.CTJCacheStats
 }
 
 func main() {
@@ -254,6 +257,7 @@ func (r *repl) chart(opName string) {
 	fmt.Fprintf(r.out, "%v chart: %d bars (%s, %v)\n",
 		op, len(bars), r.engine, time.Since(start).Round(time.Millisecond))
 	r.printBars(bars)
+	r.printCacheStats()
 }
 
 func (r *repl) printBars(bars []kgexplore.Bar) {
@@ -285,6 +289,22 @@ func (r *repl) printBars(bars []kgexplore.Bar) {
 	}
 }
 
+// printCacheStats summarizes the CTJ session caches of the last aj run: how
+// much of the walk finishing work was served from cache versus computed.
+func (r *repl) printCacheStats() {
+	cs := r.lastCache
+	if cs == nil {
+		return
+	}
+	mat := ""
+	if cs.ProbMaterialized {
+		mat = ", probs materialized"
+	}
+	fmt.Fprintf(r.out, "  ctj cache: agg %d/%d prob %d/%d count %d/%d exist %d/%d hits/misses%s\n",
+		cs.AggHits, cs.AggMisses, cs.ProbHits, cs.ProbMisses,
+		cs.CountHits, cs.CountMisses, cs.ExistHits, cs.ExistMisses, mat)
+}
+
 func trunc(s string, n int) string {
 	if len(s) <= n {
 		return s
@@ -293,6 +313,7 @@ func trunc(s string, n int) string {
 }
 
 func (r *repl) run(pl *kgexplore.Plan) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, error) {
+	r.lastCache = nil
 	switch r.engine {
 	case "ctj":
 		res, err := r.ds.Exact(pl, kgexplore.EngineCTJ)
@@ -319,6 +340,8 @@ func (r *repl) run(pl *kgexplore.Plan) (map[kgexplore.ID]float64, map[kgexplore.
 		if err != nil {
 			return nil, nil, err
 		}
+		cs := runner.CacheStats()
+		r.lastCache = &cs
 		return rep.Final.Estimates, rep.Final.CI, nil
 	default:
 		return nil, nil, fmt.Errorf("unknown engine %q", r.engine)
@@ -370,6 +393,7 @@ func (r *repl) sparql(src string) {
 	bars := r.ds.BarsOf(counts, ci)
 	fmt.Fprintf(r.out, "%d groups (%s, %v)\n", len(bars), r.engine, time.Since(start).Round(time.Millisecond))
 	r.printBars(bars)
+	r.printCacheStats()
 	var total float64
 	for _, b := range bars {
 		total += b.Count

@@ -48,6 +48,16 @@ type Options struct {
 	// Oracle estimates suffix sizes for the tipping decision; nil uses the
 	// paper's PostgreSQL-style StatsOracle.
 	Oracle TippingOracle
+	// Shared, when non-nil, makes the runner's CTJ session read and write
+	// this concurrency-safe shared cache instead of private maps, so several
+	// runners (parallel workers, or successive server requests for the same
+	// plan signature) populate one cache. The runner itself remains
+	// single-threaded.
+	Shared *ctj.SharedCache
+	// NoSharedCache forces private per-worker caches in RunParallel, which
+	// otherwise constructs one shared cache per run. It exists for the
+	// shared-vs-private ablation in kgbench and has no effect on a plain New.
+	NoSharedCache bool
 }
 
 // Runner executes Audit Join over one plan. It owns a CTJ evaluation
@@ -82,13 +92,17 @@ func New(store *index.Store, pl *query.Plan, opts Options) *Runner {
 	if oracle == nil {
 		oracle = NewStatsOracle(store, pl)
 	}
+	eval := ctj.New(store, pl)
+	if opts.Shared != nil {
+		eval = ctj.NewShared(store, pl, opts.Shared)
+	}
 	return &Runner{
 		store:      store,
 		pl:         pl,
 		opts:       opts,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
 		acc:        wj.NewAcc(),
-		eval:       ctj.New(store, pl),
+		eval:       eval,
 		oracle:     oracle,
 		b:          pl.NewBindings(),
 		static:     pl.ResolveStatic(store),
@@ -216,8 +230,13 @@ func (r *Runner) Acc() *wj.Acc { return r.acc }
 // Tipped returns the number of walks terminated by the tipping point.
 func (r *Runner) Tipped() int64 { return r.tipped }
 
-// CacheStats exposes the CTJ session's cache statistics.
+// CacheStats exposes the CTJ session's cache statistics: the hits and misses
+// this runner observed, whether its cache is private or shared.
 func (r *Runner) CacheStats() ctj.CacheStats { return r.eval.Stats() }
+
+// SharedCache returns the shared CTJ cache the runner writes to, or nil when
+// it uses a private single-threaded cache.
+func (r *Runner) SharedCache() *ctj.SharedCache { return r.eval.Shared() }
 
 // TipAlways returns options that tip at the first step (the "all exact"
 // extreme); useful in tests and ablations.

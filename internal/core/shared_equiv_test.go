@@ -1,0 +1,196 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/exec"
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/wj"
+)
+
+// resultsIdentical demands byte-identical estimator output: the shared cache
+// must change only where values are computed, never what any walk observes,
+// so the estimates and intervals agree exactly — no epsilon.
+func resultsIdentical(t *testing.T, label string, got, want wj.Result) {
+	t.Helper()
+	if got.Walks != want.Walks || got.Rejected != want.Rejected {
+		t.Errorf("%s: walks/rejected = %d/%d, want %d/%d",
+			label, got.Walks, got.Rejected, want.Walks, want.Rejected)
+	}
+	if len(got.Estimates) != len(want.Estimates) {
+		t.Errorf("%s: %d groups, want %d", label, len(got.Estimates), len(want.Estimates))
+		return
+	}
+	for a, v := range want.Estimates {
+		if gv, ok := got.Estimates[a]; !ok || gv != v {
+			t.Errorf("%s: group %d estimate %v, want exactly %v", label, a, gv, v)
+		}
+		if got.CI[a] != want.CI[a] {
+			t.Errorf("%s: group %d CI %v, want exactly %v", label, a, got.CI[a], want.CI[a])
+		}
+	}
+}
+
+// TestSharedCacheEquivalenceProperty is the walk-for-walk equivalence
+// property of the shared cache: at a fixed seed the walk trajectories depend
+// only on the random source and the index spans, so an Audit Join run with
+// the shared concurrent cache must produce exactly the same estimates as one
+// with private per-worker caches — for every seed, grouping, and worker
+// count.
+func TestSharedCacheEquivalenceProperty(t *testing.T) {
+	for seed := int64(1); seed <= 4; seed++ {
+		g := testkit.RandomGraph(seed, 20, 2, 12, 300)
+		q := testkit.ChainQuery(g, []rdf.ID{20, 21}, seed%2 == 0, true)
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		st := index.Build(g)
+		for _, workers := range []int{1, 3} {
+			opts := Options{Threshold: DefaultThreshold, Seed: 100 + seed}
+			xopts := exec.Options{MaxWalks: 400}
+
+			shared, sstats, err := RunParallelStats(context.Background(), st, pl, opts, workers, xopts)
+			if err != nil {
+				t.Fatalf("seed %d workers %d shared: %v", seed, workers, err)
+			}
+			popts := opts
+			popts.NoSharedCache = true
+			private, pstats, err := RunParallelStats(context.Background(), st, pl, popts, workers, xopts)
+			if err != nil {
+				t.Fatalf("seed %d workers %d private: %v", seed, workers, err)
+			}
+
+			if !sstats.SharedUsed || pstats.SharedUsed {
+				t.Fatalf("seed %d workers %d: SharedUsed = %v/%v, want true/false",
+					seed, workers, sstats.SharedUsed, pstats.SharedUsed)
+			}
+			resultsIdentical(t, "shared vs private", shared, private)
+			if want := int64(workers) * xopts.MaxWalks; shared.Walks != want {
+				t.Errorf("seed %d workers %d: %d walks, want %d", seed, workers, shared.Walks, want)
+			}
+		}
+	}
+}
+
+// TestSharedCacheDeduplicatesAcrossWorkers checks the perf claim behind the
+// shared cache: the merged shared miss counts of a multi-worker run stay at
+// the single-worker level, while private per-worker caches repay the misses
+// once per worker.
+func TestSharedCacheDeduplicatesAcrossWorkers(t *testing.T) {
+	g := testkit.RandomGraph(3, 20, 2, 12, 300)
+	q := testkit.ChainQuery(g, []rdf.ID{20, 21}, true, true)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	misses := func(cs ctj.CacheStats) int64 {
+		return cs.CountMisses + cs.AggMisses + cs.ExistMisses + cs.ProbMisses
+	}
+
+	run := func(workers int, noShared bool) ParallelStats {
+		opts := Options{Threshold: DefaultThreshold, Seed: 7, NoSharedCache: noShared}
+		_, ps, err := RunParallelStats(context.Background(), st, pl, opts, workers,
+			exec.Options{MaxWalks: 400})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ps
+	}
+
+	base := misses(run(1, false).Shared)
+	shared4 := misses(run(4, false).Shared)
+	var private4 int64
+	for _, cs := range run(4, true).PerWorker {
+		private4 += misses(cs)
+	}
+	if base == 0 {
+		t.Fatal("single-worker run recorded no misses; fixture too small")
+	}
+	// Workers walk different prefixes, so the 4-worker run may touch more
+	// distinct keys than one worker — but never four times as many, whereas
+	// private caches recompute every shared key per worker.
+	if shared4 >= private4 {
+		t.Errorf("shared 4-worker misses %d not below private 4-worker misses %d", shared4, private4)
+	}
+	if shared4 < base {
+		t.Errorf("shared 4-worker misses %d below single-worker misses %d", shared4, base)
+	}
+}
+
+// TestRunParallelFinalSnapshotWithoutInterval regresses the merged-snapshot
+// starvation fix: with Interval zero no worker ever publishes a progressive
+// clone, so the final snapshot must be rebuilt from the quiescent runners —
+// before the fix it merged four nil accumulators into an empty result.
+func TestRunParallelFinalSnapshotWithoutInterval(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	var got []exec.Progress
+	res, err := RunParallel(context.Background(), st, pl,
+		Options{Threshold: DefaultThreshold, Seed: 5}, 4, exec.Options{
+			MaxWalks: 50,
+			OnSnapshot: func(p exec.Progress) bool {
+				got = append(got, p)
+				return true
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d snapshots without an interval, want exactly the final one", len(got))
+	}
+	if !got[0].Final {
+		t.Error("only snapshot is not marked Final")
+	}
+	if got[0].Walks != res.Walks || res.Walks != 4*50 {
+		t.Errorf("final snapshot walks %d, result walks %d, want both 200", got[0].Walks, res.Walks)
+	}
+	if len(got[0].Snapshot.Estimates) == 0 {
+		t.Error("final snapshot has no estimates (merged from nil clones?)")
+	}
+}
+
+// TestRunParallelSnapshotsOutliveWorkers: workers that exhaust MaxWalks exit
+// on their own schedule, yet the publisher goroutine must keep the merged
+// stream flowing and deliver one complete Final snapshot — publishing is not
+// tied to worker 0 (or any worker) staying alive.
+func TestRunParallelSnapshotsOutliveWorkers(t *testing.T) {
+	pl, _, st := fig5(t, false)
+	var walks []int64
+	var finals int
+	res, err := RunParallel(context.Background(), st, pl,
+		Options{Threshold: DefaultThreshold, Seed: 9}, 4, exec.Options{
+			MaxWalks: 20_000,
+			Interval: time.Millisecond,
+			Batch:    64,
+			OnSnapshot: func(p exec.Progress) bool {
+				walks = append(walks, p.Walks)
+				if p.Final {
+					finals++
+				}
+				return true
+			},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if finals != 1 {
+		t.Errorf("%d Final snapshots, want 1", finals)
+	}
+	if last := walks[len(walks)-1]; last != res.Walks || res.Walks != 4*20_000 {
+		t.Errorf("last snapshot walks %d, result walks %d, want both 80000", last, res.Walks)
+	}
+	for i := 1; i < len(walks); i++ {
+		if walks[i] < walks[i-1] {
+			t.Errorf("merged walks regressed at %d: %v", i, walks)
+			break
+		}
+	}
+}

@@ -87,6 +87,11 @@ type Evaluator struct {
 	probsMaterialized bool
 	probDecided       bool
 
+	// shared, when non-nil, replaces the private maps above with the
+	// concurrency-safe SharedCache: all cache reads and writes route through
+	// it, so several evaluators (one per goroutine) populate one cache.
+	shared *SharedCache
+
 	stats CacheStats
 }
 
@@ -132,8 +137,27 @@ func New(store *index.Store, pl *query.Plan) *Evaluator {
 	return e
 }
 
-// Stats returns a snapshot of the cache statistics.
+// NewShared creates an evaluation session that reads and writes the given
+// shared cache instead of private maps. The evaluator itself is still
+// single-threaded — create one per goroutine — but any number of evaluators
+// over plans with the same Signature may share one cache concurrently.
+// Binding a cache to a structurally different plan panics.
+func NewShared(store *index.Store, pl *query.Plan, sc *SharedCache) *Evaluator {
+	sc.Bind(pl)
+	e := New(store, pl)
+	e.shared = sc
+	return e
+}
+
+// Stats returns a snapshot of this session's cache statistics: the hits and
+// misses observed by this evaluator, whether the cache is private or shared.
+// For the merged view across all evaluators of a shared cache, use
+// SharedCache.Stats.
 func (e *Evaluator) Stats() CacheStats { return e.stats }
+
+// Shared returns the shared cache the session writes to, or nil when the
+// session uses private single-threaded maps.
+func (e *Evaluator) Shared() *SharedCache { return e.shared }
 
 // Plan returns the plan this session evaluates.
 func (e *Evaluator) Plan() *query.Plan { return e.pl }
@@ -185,11 +209,22 @@ func (e *Evaluator) count(j int, b query.Bindings) int64 {
 		return 1
 	}
 	k := e.key(j, b)
+	if e.shared != nil {
+		return e.sharedCount(k, j, b)
+	}
 	if n, ok := e.countCache[k]; ok {
 		e.stats.CountHits++
 		return n
 	}
 	e.stats.CountMisses++
+	n := e.computeCount(j, b)
+	e.countCache[k] = n
+	return n
+}
+
+// computeCount is the uncached body of the count recursion; deeper boundaries
+// re-enter count and hence the cache.
+func (e *Evaluator) computeCount(j int, b query.Bindings) int64 {
 	st := &e.pl.Steps[j]
 	sp, ok := st.ResolveSpan(e.store, b)
 	var n int64
@@ -205,7 +240,6 @@ func (e *Evaluator) count(j int, b query.Bindings) int64 {
 			st.Unbind(b)
 		}
 	}
-	e.countCache[k] = n
 	return n
 }
 
@@ -216,11 +250,21 @@ func (e *Evaluator) Exists(j int, b query.Bindings) bool {
 		return true
 	}
 	k := e.key(j, b)
+	if e.shared != nil {
+		return e.sharedExists(k, j, b)
+	}
 	if v, ok := e.existCache[k]; ok {
 		e.stats.ExistHits++
 		return v
 	}
 	e.stats.ExistMisses++
+	found := e.computeExists(j, b)
+	e.existCache[k] = found
+	return found
+}
+
+// computeExists is the uncached body of the existence recursion.
+func (e *Evaluator) computeExists(j int, b query.Bindings) bool {
 	st := &e.pl.Steps[j]
 	sp, ok := st.ResolveSpan(e.store, b)
 	found := false
@@ -236,6 +280,5 @@ func (e *Evaluator) Exists(j int, b query.Bindings) bool {
 			st.Unbind(b)
 		}
 	}
-	e.existCache[k] = found
 	return found
 }

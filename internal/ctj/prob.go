@@ -21,6 +21,11 @@ const probMaterializeLimit = 1 << 20
 // results").
 func (e *Evaluator) PathProbB(b rdf.ID) float64 {
 	key := probKey(rdf.NoID, b)
+	if e.shared != nil {
+		return e.sharedProb(key, func() float64 {
+			return e.pathProb(map[query.Var]rdf.ID{e.pl.Query.Beta: b})
+		})
+	}
 	if p, ok := e.probCache[key]; ok {
 		e.stats.ProbHits++
 		return p
@@ -42,6 +47,11 @@ func (e *Evaluator) PathProbAB(a, b rdf.ID) float64 {
 		return e.PathProbB(b)
 	}
 	key := probKey(a, b)
+	if e.shared != nil {
+		return e.sharedProb(key, func() float64 {
+			return e.pathProb(map[query.Var]rdf.ID{e.pl.Query.Alpha: a, e.pl.Query.Beta: b})
+		})
+	}
 	if p, ok := e.probCache[key]; ok {
 		e.stats.ProbHits++
 		return p
@@ -74,10 +84,22 @@ func (e *Evaluator) maybeMaterializeProbs() bool {
 	return true
 }
 
-// materializeProbs enumerates the full join once, accumulating the walk
-// probability ∏ 1/d_j of every path into Pr(a,b) and Pr(b). The d_j come
-// for free: they are the very span lengths the enumeration descends into.
+// materializeProbs enumerates the full join once into the private cache. The
+// one-pass enumeration is the cache-fill work, so it is accounted as a single
+// ProbMiss: per-worker miss counts then reflect who actually paid for the
+// probabilities (each private evaluator once; with a shared cache, one worker
+// per run), instead of hiding the pass behind the ProbMaterialized flag.
 func (e *Evaluator) materializeProbs() {
+	e.materializeProbsInto(e.probCache)
+	e.stats.ProbMisses++
+	e.stats.ProbMaterialized = true
+}
+
+// materializeProbsInto enumerates the full join once, accumulating the walk
+// probability ∏ 1/d_j of every path into Pr(a,b) and Pr(b) entries of m. The
+// d_j come for free: they are the very span lengths the enumeration descends
+// into. Shared caches materialize into a fresh map and publish it atomically.
+func (e *Evaluator) materializeProbsInto(m map[uint64]float64) {
 	alpha, beta := e.pl.Query.Alpha, e.pl.Query.Beta
 	b := e.pl.NewBindings()
 	var rec func(j int, prob float64)
@@ -88,9 +110,9 @@ func (e *Evaluator) materializeProbs() {
 				a = b[alpha]
 			}
 			bb := b[beta]
-			e.probCache[probKey(rdf.NoID, bb)] += prob
+			m[probKey(rdf.NoID, bb)] += prob
 			if alpha != query.NoVar {
-				e.probCache[probKey(a, bb)] += prob
+				m[probKey(a, bb)] += prob
 			}
 			return
 		}
@@ -112,7 +134,6 @@ func (e *Evaluator) materializeProbs() {
 		st.Unbind(b)
 	}
 	rec(0, 1)
-	e.stats.ProbMaterialized = true
 }
 
 // pathProb sums walk probabilities over all full paths whose variable

@@ -1,0 +1,269 @@
+package ctj
+
+import (
+	"sync"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// sharedFixture builds a random chain query with enough distinct prefixes to
+// give concurrent evaluators real key traffic, plus the list of step-0
+// bindings (one per matching triple) that drive the probes.
+func sharedFixture(t *testing.T) (*query.Plan, *index.Store, []query.Bindings) {
+	t.Helper()
+	g := testkit.RandomGraph(9, 10, 2, 8, 140)
+	q := testkit.ChainQuery(g, []rdf.ID{10, 11}, true, true)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	st0 := &pl.Steps[0]
+	b := pl.NewBindings()
+	sp, ok := st0.ResolveSpan(st, b)
+	if !ok || sp.Len() == 0 {
+		t.Fatal("fixture has no step-0 triples")
+	}
+	ts := st.Triples(st0.Order)
+	var prefixes []query.Bindings
+	for i := sp.Lo; i < sp.Hi; i++ {
+		pb := pl.NewBindings()
+		st0.Bind(ts[i], pb)
+		prefixes = append(prefixes, pb)
+	}
+	return pl, st, prefixes
+}
+
+// copyPrefixes deep-copies the binding slices: evaluators mutate bindings
+// during recursion (Bind/Unbind), so concurrent probes must not share them.
+func copyPrefixes(prefixes []query.Bindings) []query.Bindings {
+	out := make([]query.Bindings, len(prefixes))
+	for i, p := range prefixes {
+		out[i] = append(query.Bindings(nil), p...)
+	}
+	return out
+}
+
+// probeResult captures everything an Audit Join walk reads at one prefix:
+// the suffix count, existence, the aggregated suffix groups, and the path
+// probabilities of each group's (A, B) pair.
+type probeResult struct {
+	count  int64
+	exists bool
+	agg    []SuffixGroup
+	probs  []float64
+}
+
+func probeAll(e *Evaluator, prefixes []query.Bindings) []probeResult {
+	out := make([]probeResult, len(prefixes))
+	for i, b := range prefixes {
+		r := probeResult{
+			count:  e.SuffixCount(0, b),
+			exists: e.Exists(1, b),
+			agg:    e.SuffixAgg(0, b),
+		}
+		for _, g := range r.agg {
+			r.probs = append(r.probs, e.PathProbAB(g.A, g.B))
+		}
+		out[i] = r
+	}
+	return out
+}
+
+func probesEqual(t *testing.T, label string, got, want []probeResult) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d probe results, want %d", label, len(got), len(want))
+	}
+	for i := range want {
+		g, w := got[i], want[i]
+		if g.count != w.count || g.exists != w.exists {
+			t.Errorf("%s: prefix %d: count/exists = %d/%v, want %d/%v",
+				label, i, g.count, g.exists, w.count, w.exists)
+			continue
+		}
+		if len(g.agg) != len(w.agg) {
+			t.Errorf("%s: prefix %d: %d agg groups, want %d", label, i, len(g.agg), len(w.agg))
+			continue
+		}
+		for j := range w.agg {
+			if g.agg[j] != w.agg[j] {
+				t.Errorf("%s: prefix %d group %d: %+v, want %+v", label, i, j, g.agg[j], w.agg[j])
+			}
+			if g.probs[j] != w.probs[j] {
+				t.Errorf("%s: prefix %d group %d: prob %v, want %v", label, i, j, g.probs[j], w.probs[j])
+			}
+		}
+	}
+}
+
+// TestSharedEvaluatorMatchesPrivate checks, single-threaded, that an
+// evaluator routed through a SharedCache returns byte-identical results to
+// one with private maps, and that a second evaluator on the same cache runs
+// entirely warm.
+func TestSharedEvaluatorMatchesPrivate(t *testing.T) {
+	pl, st, prefixes := sharedFixture(t)
+	priv := New(st, pl)
+	want := probeAll(priv, copyPrefixes(prefixes))
+
+	sc := NewSharedCache()
+	e1 := NewShared(st, pl, sc)
+	probesEqual(t, "cold shared", probeAll(e1, copyPrefixes(prefixes)), want)
+
+	e2 := NewShared(st, pl, sc)
+	probesEqual(t, "warm shared", probeAll(e2, copyPrefixes(prefixes)), want)
+	cs := e2.Stats()
+	if m := cs.CountMisses + cs.AggMisses + cs.ExistMisses + cs.ProbMisses; m != 0 {
+		t.Errorf("warm evaluator recorded %d misses, want 0 (%+v)", m, cs)
+	}
+	if h := cs.CountHits + cs.AggHits + cs.ExistHits + cs.ProbHits; h == 0 {
+		t.Error("warm evaluator recorded no hits")
+	}
+
+	// Single-flight means the merged shared miss counts match a single
+	// private evaluator exactly: each distinct key is computed once.
+	ps, ss := priv.Stats(), sc.Stats()
+	if ss.CountMisses != ps.CountMisses || ss.AggMisses != ps.AggMisses ||
+		ss.ExistMisses != ps.ExistMisses || ss.ProbMisses != ps.ProbMisses {
+		t.Errorf("shared misses %+v, want same as private %+v", ss, ps)
+	}
+	if ss.ProbMaterialized != ps.ProbMaterialized {
+		t.Errorf("ProbMaterialized: shared %v, private %v", ss.ProbMaterialized, ps.ProbMaterialized)
+	}
+}
+
+// runConcurrentProbes spawns one NewShared evaluator per goroutine, each
+// probing its slice of prefixes, and checks every result against the private
+// oracle. Exercised with -race in CI.
+func runConcurrentProbes(t *testing.T, lazyProbs bool, slice func(worker int, prefixes []query.Bindings) []query.Bindings) {
+	t.Helper()
+	pl, st, prefixes := sharedFixture(t)
+	priv := New(st, pl)
+	if lazyProbs {
+		priv.probDecided = true // decision made: stay lazy
+	}
+	want := probeAll(priv, copyPrefixes(prefixes))
+
+	sc := NewSharedCache()
+	if lazyProbs {
+		sc.probDecided = true
+	}
+	const workers = 8
+	got := make([][]probeResult, workers)
+	mine := make([][]query.Bindings, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		e := NewShared(st, pl, sc)
+		mine[w] = slice(w, copyPrefixes(prefixes))
+		wg.Add(1)
+		go func(w int, e *Evaluator) {
+			defer wg.Done()
+			got[w] = probeAll(e, mine[w])
+		}(w, e)
+	}
+	wg.Wait()
+
+	for w := 0; w < workers; w++ {
+		// Recover which oracle entries this worker's slice corresponds to by
+		// matching prefix identity (slices preserve order).
+		wantW := make([]probeResult, 0, len(mine[w]))
+		j := 0
+		for _, b := range mine[w] {
+			for ; j < len(prefixes); j++ {
+				if prefixes[j][0] == b[0] && prefixes[j][1] == b[1] {
+					wantW = append(wantW, want[j])
+					j++
+					break
+				}
+			}
+		}
+		if len(wantW) != len(mine[w]) {
+			t.Fatalf("worker %d: matched %d oracle entries for %d prefixes", w, len(wantW), len(mine[w]))
+		}
+		probesEqual(t, "worker", got[w], wantW)
+	}
+
+	// Every distinct key is computed at most once across all workers
+	// (single-flight); since the workers' union covers every prefix the
+	// private oracle saw, the merged miss counts match it exactly.
+	ps, ss := priv.Stats(), sc.Stats()
+	if ss.CountMisses != ps.CountMisses || ss.AggMisses != ps.AggMisses ||
+		ss.ExistMisses != ps.ExistMisses {
+		t.Errorf("shared misses %+v, want same as private %+v", ss, ps)
+	}
+	if ss.ProbMisses > ps.ProbMisses {
+		t.Errorf("shared prob misses %d exceed private %d", ss.ProbMisses, ps.ProbMisses)
+	}
+}
+
+// TestSharedConcurrentIdenticalKeys hammers one cache with 8 evaluators all
+// probing the same prefixes: maximal key contention, every worker racing the
+// others on every single-flight slot.
+func TestSharedConcurrentIdenticalKeys(t *testing.T) {
+	runConcurrentProbes(t, false, func(_ int, prefixes []query.Bindings) []query.Bindings {
+		return prefixes
+	})
+}
+
+// TestSharedConcurrentDisjointKeys partitions the prefixes across 8
+// evaluators: workers collide only on the deeper shared suffix keys.
+func TestSharedConcurrentDisjointKeys(t *testing.T) {
+	runConcurrentProbes(t, false, func(w int, prefixes []query.Bindings) []query.Bindings {
+		var out []query.Bindings
+		for i := w; i < len(prefixes); i += 8 {
+			out = append(out, prefixes[i])
+		}
+		return out
+	})
+}
+
+// TestSharedConcurrentLazyProbs repeats the identical-keys hammer with
+// probability materialization disabled, racing workers through the lazy
+// per-pair single-flight path production uses above probMaterializeLimit.
+func TestSharedConcurrentLazyProbs(t *testing.T) {
+	runConcurrentProbes(t, true, func(_ int, prefixes []query.Bindings) []query.Bindings {
+		return prefixes
+	})
+}
+
+// TestSharedBindRejectsDifferentPlan: a cache bound to one plan signature
+// must refuse a structurally different plan instead of serving wrong values.
+func TestSharedBindRejectsDifferentPlan(t *testing.T) {
+	pl, st, _ := sharedFixture(t)
+	g2 := testkit.RandomGraph(9, 10, 2, 8, 140)
+	q2 := testkit.ChainQuery(g2, []rdf.ID{10}, false, false)
+	pl2, err := query.Compile(q2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := NewSharedCache()
+	NewShared(st, pl, sc)
+	defer func() {
+		if recover() == nil {
+			t.Error("NewShared with a different plan signature did not panic")
+		}
+	}()
+	NewShared(st, pl2, sc)
+}
+
+// TestSharedKeyHashSpreads sanity-checks the shard hash: the step-0 keys of
+// the fixture should not all collapse onto one stripe.
+func TestSharedKeyHashSpreads(t *testing.T) {
+	_, _, prefixes := sharedFixture(t)
+	used := map[int]bool{}
+	for _, b := range prefixes {
+		k := ckey{step: 1}
+		for j := range k.vals {
+			k.vals[j] = rdf.NoID
+		}
+		copy(k.vals[:], b)
+		used[shardIdx(k.hash())] = true
+	}
+	if len(prefixes) >= 8 && len(used) < 2 {
+		t.Errorf("%d distinct keys all hashed to one of %d shards", len(prefixes), numShards)
+	}
+}

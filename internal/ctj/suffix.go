@@ -55,11 +55,25 @@ func (e *Evaluator) SuffixAgg(i int, b query.Bindings) []SuffixGroup {
 		bBound = b[beta]
 	}
 	k := e.key(i+1, b, aBound, bBound)
+	if e.shared != nil {
+		return e.sharedSuffixAgg(k, i, b)
+	}
 	if agg, ok := e.aggCache[k]; ok {
 		e.stats.AggHits++
 		return agg
 	}
 	e.stats.AggMisses++
+	agg := e.computeSuffixAgg(i, b)
+	e.aggCache[k] = agg
+	return agg
+}
+
+// computeSuffixAgg is the uncached enumeration-and-aggregation body of
+// SuffixAgg. The returned slice is treated as immutable once cached (shared
+// caches publish it across goroutines).
+func (e *Evaluator) computeSuffixAgg(i int, b query.Bindings) []SuffixGroup {
+	alpha := e.pl.Query.Alpha
+	beta := e.pl.Query.Beta
 
 	type akey struct{ a, b rdf.ID }
 	accum := make(map[akey]*SuffixGroup)
@@ -83,6 +97,5 @@ func (e *Evaluator) SuffixAgg(i int, b query.Bindings) []SuffixGroup {
 	for _, key := range order {
 		agg = append(agg, *accum[key])
 	}
-	e.aggCache[k] = agg
 	return agg
 }

@@ -342,6 +342,33 @@ func (q *Query) ValidOrders() [][]int {
 	return out
 }
 
+// Signature returns a canonical identifier of the query's compiled shape:
+// the pattern list in order (variables by index, constants by dictionary ID)
+// plus Alpha, Beta, Distinct and Agg. Compilation is deterministic, so two
+// queries with equal signatures yield plans with identical steps — and hence
+// identical CTJ cache keys. Shared CTJ caches and the server's cross-request
+// warm-start key on this. Constants are dictionary IDs, so signatures are
+// only comparable against the same dataset.
+func (q *Query) Signature() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "a%d b%d", q.Alpha, q.Beta)
+	if q.Distinct {
+		b.WriteString(" distinct")
+	}
+	fmt.Fprintf(&b, " g%d", q.Agg)
+	for _, p := range q.Patterns {
+		b.WriteByte('|')
+		for _, a := range []Atom{p.S, p.P, p.O} {
+			if a.IsVar() {
+				fmt.Fprintf(&b, "?%d,", a.Var)
+			} else {
+				fmt.Fprintf(&b, "#%d,", a.ID)
+			}
+		}
+	}
+	return b.String()
+}
+
 func (q *Query) String() string {
 	var b strings.Builder
 	b.WriteString("SELECT ")

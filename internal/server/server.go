@@ -33,6 +33,12 @@ type Server struct {
 	sessions  map[string]*session
 	nextID    int64
 	lastSweep time.Time
+	// planCaches is the warm-start LRU: one shared CTJ cache per plan
+	// signature, handed to every aj run of that plan. The eLinda exploration
+	// workflow re-issues overlapping queries as the user expands bars, so
+	// successive requests reuse suffix counts and Pr(b) sums computed by
+	// earlier ones. Guarded by mu; bounded by MaxPlanCaches.
+	planCaches map[string]*planCache
 
 	// MaxBudget caps per-request online-aggregation time.
 	MaxBudget time.Duration
@@ -46,6 +52,10 @@ type Server struct {
 	// Off by default: the profiling endpoints expose internals and should
 	// only be reachable when explicitly requested (kgserver -pprof).
 	EnablePprof bool
+	// MaxPlanCaches caps the warm-start LRU of shared CTJ caches (one per
+	// plan signature); creating one beyond the cap evicts the least recently
+	// used cache. Zero or negative disables cross-request warm starts.
+	MaxPlanCaches int
 
 	// now is the clock, overridable in tests.
 	now func() time.Time
@@ -57,16 +67,66 @@ type session struct {
 	lastUsed time.Time
 }
 
+// planCache is one warm-start entry: the shared CTJ cache for a plan
+// signature plus its LRU timestamp.
+type planCache struct {
+	cache    *kgexplore.SharedCTJCache
+	lastUsed time.Time
+}
+
 // New creates a server over a prepared dataset.
 func New(ds *kgexplore.Dataset) *Server {
 	return &Server{
-		ds:          ds,
-		sessions:    make(map[string]*session),
-		MaxBudget:   5 * time.Second,
-		SessionTTL:  30 * time.Minute,
-		MaxSessions: 10_000,
-		now:         time.Now,
+		ds:            ds,
+		sessions:      make(map[string]*session),
+		planCaches:    make(map[string]*planCache),
+		MaxBudget:     5 * time.Second,
+		SessionTTL:    30 * time.Minute,
+		MaxSessions:   10_000,
+		MaxPlanCaches: 256,
+		now:           time.Now,
 	}
+}
+
+// sharedCacheFor returns the warm-start cache for the plan's signature,
+// creating it (and evicting the least recently used entry over the cap) on
+// first sight. Concurrent requests for the same signature share one cache —
+// that is the point: the cache type is concurrency-safe.
+func (s *Server) sharedCacheFor(pl *kgexplore.Plan) *kgexplore.SharedCTJCache {
+	if s.MaxPlanCaches <= 0 {
+		return nil
+	}
+	sig := pl.Query.Signature()
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.planCaches[sig]
+	if !ok {
+		for len(s.planCaches) >= s.MaxPlanCaches {
+			var oldest string
+			var oldestT time.Time
+			for k, pc := range s.planCaches {
+				if oldest == "" || pc.lastUsed.Before(oldestT) {
+					oldest, oldestT = k, pc.lastUsed
+				}
+			}
+			delete(s.planCaches, oldest)
+		}
+		e = &planCache{cache: kgexplore.NewSharedCTJCache()}
+		s.planCaches[sig] = e
+	}
+	e.lastUsed = now
+	return e.cache
+}
+
+// InvalidateShared drops every warm-start cache. This is the invalidation
+// hook for dataset changes: cache keys embed dictionary IDs, so a server
+// whose backing data is swapped or re-loaded must call this before serving
+// the new dataset.
+func (s *Server) InvalidateShared() {
+	s.mu.Lock()
+	s.planCaches = make(map[string]*planCache)
+	s.mu.Unlock()
 }
 
 // sweepLocked drops sessions idle past SessionTTL. It runs at most once per
@@ -228,15 +288,68 @@ type ChartBar struct {
 }
 
 // ChartResponse is a rendered chart. In stream mode each SSE event carries
-// one ChartResponse; Walks and Final track the estimator's progress.
+// one ChartResponse; Walks and Final track the estimator's progress. Cache
+// reports CTJ cache effectiveness for aj runs (on the final event in stream
+// mode).
 type ChartResponse struct {
-	Op      string     `json:"op"`
-	Engine  string     `json:"engine"`
-	Millis  int64      `json:"millis"`
-	NumBars int        `json:"numBars"`
-	Bars    []ChartBar `json:"bars"`
-	Walks   int64      `json:"walks,omitempty"`
-	Final   bool       `json:"final,omitempty"`
+	Op      string           `json:"op"`
+	Engine  string           `json:"engine"`
+	Millis  int64            `json:"millis"`
+	NumBars int              `json:"numBars"`
+	Bars    []ChartBar       `json:"bars"`
+	Walks   int64            `json:"walks,omitempty"`
+	Final   bool             `json:"final,omitempty"`
+	Cache   *ChartCacheStats `json:"cache,omitempty"`
+}
+
+// CacheStatsBody mirrors ctj.CacheStats for the JSON payload.
+type CacheStatsBody struct {
+	CountHits        int64 `json:"countHits"`
+	CountMisses      int64 `json:"countMisses"`
+	AggHits          int64 `json:"aggHits"`
+	AggMisses        int64 `json:"aggMisses"`
+	ExistHits        int64 `json:"existHits"`
+	ExistMisses      int64 `json:"existMisses"`
+	ProbHits         int64 `json:"probHits"`
+	ProbMisses       int64 `json:"probMisses"`
+	ProbMaterialized bool  `json:"probMaterialized,omitempty"`
+}
+
+// ChartCacheStats makes CTJ cache effectiveness observable per request: Run
+// is what this request's runner saw; Shared is the merged cross-request view
+// of the warm-start cache, when one was used.
+type ChartCacheStats struct {
+	Run    CacheStatsBody  `json:"run"`
+	Shared *CacheStatsBody `json:"shared,omitempty"`
+}
+
+func cacheBody(cs kgexplore.CTJCacheStats) CacheStatsBody {
+	return CacheStatsBody{
+		CountHits:        cs.CountHits,
+		CountMisses:      cs.CountMisses,
+		AggHits:          cs.AggHits,
+		AggMisses:        cs.AggMisses,
+		ExistHits:        cs.ExistHits,
+		ExistMisses:      cs.ExistMisses,
+		ProbHits:         cs.ProbHits,
+		ProbMisses:       cs.ProbMisses,
+		ProbMaterialized: cs.ProbMaterialized,
+	}
+}
+
+// cacheStatsOf extracts the cache payload from a finished (or quiescent)
+// online runner; nil for engines without CTJ caches.
+func cacheStatsOf(r kgexplore.Stepper) *ChartCacheStats {
+	aj, ok := r.(*kgexplore.AuditJoin)
+	if !ok {
+		return nil
+	}
+	out := &ChartCacheStats{Run: cacheBody(aj.CacheStats())}
+	if sc := aj.SharedCache(); sc != nil {
+		b := cacheBody(sc.Stats())
+		out.Shared = &b
+	}
+	return out
 }
 
 func parseOp(name string) (kgexplore.ExploreOp, error) {
@@ -287,13 +400,14 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := s.chartResponse(req.Op, engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
+	resp.Cache = cache
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -334,7 +448,10 @@ func (s *Server) clampBudget(budgetMS int) time.Duration {
 	return budget
 }
 
-// onlineRunner builds the estimator for an online engine name.
+// onlineRunner builds the estimator for an online engine name. aj runners
+// are attached to the warm-start cache of their plan signature, so repeated
+// expansions of overlapping queries reuse prior suffix counts and Pr(b)
+// sums.
 func (s *Server) onlineRunner(pl *kgexplore.Plan, engine string) (kgexplore.Stepper, bool) {
 	switch engine {
 	case "wj":
@@ -343,33 +460,34 @@ func (s *Server) onlineRunner(pl *kgexplore.Plan, engine string) (kgexplore.Step
 		return s.ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
 			Threshold: kgexplore.DefaultTippingThreshold,
 			Seed:      time.Now().UnixNano(),
+			Shared:    s.sharedCacheFor(pl),
 		}), true
 	default:
 		return nil, false
 	}
 }
 
-func (s *Server) evaluate(ctx context.Context, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, error) {
+func (s *Server) evaluate(ctx context.Context, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
 	switch engine {
 	case "ctj":
 		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
-		return res, nil, err
+		return res, nil, nil, err
 	case "lftj":
 		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineLFTJ)
-		return res, nil, err
+		return res, nil, nil, err
 	case "baseline":
 		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineBaseline)
-		return res, nil, err
+		return res, nil, nil, err
 	}
 	r, ok := s.onlineRunner(pl, engine)
 	if !ok {
-		return nil, nil, fmt.Errorf("unknown engine %q", engine)
+		return nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
 	}
 	rep, err := kgexplore.Drive(ctx, r, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, nil, err
 	}
-	return rep.Final.Estimates, rep.Final.CI, nil
+	return rep.Final.Estimates, rep.Final.CI, cacheStatsOf(r), nil
 }
 
 // streamChart answers a `?stream=1` chart request with Server-Sent Events:
@@ -402,6 +520,11 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, op string, 
 		resp.Millis = p.Elapsed.Milliseconds()
 		resp.Walks = p.Walks
 		resp.Final = p.Final
+		if p.Final {
+			// The callback runs on the driving goroutine between walks, so
+			// the runner is quiescent and its stats are consistent.
+			resp.Cache = cacheStatsOf(runner)
+		}
 		data, err := json.Marshal(resp)
 		if err != nil {
 			return false
@@ -500,13 +623,14 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := s.chartResponse("sparql", engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
+	resp.Cache = cache
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -99,11 +99,36 @@ type (
 	WanderJoin = wj.Runner
 	// AuditJoin runs the paper's Audit Join online aggregation.
 	AuditJoin = core.Runner
-	// AuditJoinOptions configures AuditJoin (tipping threshold, seed).
+	// AuditJoinOptions configures AuditJoin (tipping threshold, seed, shared
+	// cache).
 	AuditJoinOptions = core.Options
 	// EstimateResult is a snapshot of an online aggregation.
 	EstimateResult = wj.Result
+	// CTJCacheStats reports CTJ cache effectiveness (hits and misses per
+	// cache kind); AuditJoin.CacheStats returns one per runner and
+	// SharedCTJCache.Stats the merged view.
+	CTJCacheStats = ctj.CacheStats
+	// SharedCTJCache is a concurrency-safe CTJ cache (lock-striped, with
+	// per-key single-flight) shared by several AuditJoin runners over plans
+	// with the same Signature: parallel workers of one run, or successive
+	// requests for the same exploration query.
+	SharedCTJCache = ctj.SharedCache
+	// AuditJoinParallelStats reports per-worker and merged shared-cache
+	// statistics of a RunAuditJoinParallel call.
+	AuditJoinParallelStats = core.ParallelStats
 )
+
+// NewSharedCTJCache returns an empty shared CTJ cache; pass it via
+// AuditJoinOptions.Shared to warm-start runners across calls.
+func NewSharedCTJCache() *SharedCTJCache { return ctj.NewSharedCache() }
+
+// RunAuditJoinParallel runs Audit Join with the given number of parallel
+// workers over one shared CTJ cache (see core.RunParallel): walks divide
+// across cores while cached suffix aggregates and path probabilities are
+// computed once per run, not once per worker.
+func (d *Dataset) RunAuditJoinParallel(ctx context.Context, pl *Plan, opts AuditJoinOptions, workers int, xopts DriveOptions) (EstimateResult, AuditJoinParallelStats, error) {
+	return core.RunParallelStats(ctx, d.store, pl, opts, workers, xopts)
+}
 
 // Re-exported streaming-execution types (internal/exec): both WanderJoin and
 // AuditJoin are Steppers, and Drive is the single driving loop behind every
