@@ -39,9 +39,11 @@ func main() {
 		csvDir   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
 		idxBench = flag.Bool("indexbench", false, "run the storage-layer microbenchmarks and write -benchout")
 		benchOut = flag.String("benchout", "BENCH_index.json", "output path for -indexbench")
-		parBench = flag.Bool("parallelbench", false, "run the parallel Audit Join shared-cache benchmark and write -parallelout")
-		parOut   = flag.String("parallelout", "BENCH_parallel.json", "output path for -parallelbench")
-		parWalks = flag.Int64("parallelwalks", 1000, "walks per worker in -parallelbench")
+		parBench  = flag.Bool("parallelbench", false, "run the parallel Audit Join shared-cache benchmark and write -parallelout")
+		parOut    = flag.String("parallelout", "BENCH_parallel.json", "output path for -parallelbench")
+		parWalks  = flag.Int64("parallelwalks", 1000, "walks per worker in -parallelbench")
+		snapBench = flag.Bool("snapbench", false, "run the startup-path benchmark (build vs snapshot loads) and write -snapout")
+		snapOut   = flag.String("snapout", "BENCH_startup.json", "output path for -snapbench")
 	)
 	flag.Parse()
 
@@ -169,6 +171,12 @@ func main() {
 	if *parBench {
 		any = true
 		if err := runParallelBench(w, *parOut, *scale, *seed, *parWalks); err != nil {
+			fail(err)
+		}
+	}
+	if *snapBench {
+		any = true
+		if err := runSnapBench(w, *snapOut, *scale); err != nil {
 			fail(err)
 		}
 	}

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/snap"
+)
+
+// snapBenchResult is one startup-path measurement of BENCH_startup.json.
+type snapBenchResult struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// snapBenchReport is the BENCH_startup.json schema: how fast a ready-to-query
+// store materializes from scratch (index.Build) versus from a snapshot (copy
+// load, mmap load). Committed as a baseline so regressions show up in review
+// diffs.
+type snapBenchReport struct {
+	Dataset       string            `json:"dataset"`
+	Scale         float64           `json:"scale"`
+	Triples       int               `json:"triples"`
+	SnapshotBytes int64             `json:"snapshot_bytes"`
+	GoMaxProcs    int               `json:"gomaxprocs"`
+	GoVersion     string            `json:"go_version"`
+	Results       []snapBenchResult `json:"results"`
+	// CopyLoadSpeedup and MmapLoadSpeedup are IndexBuild time over load
+	// time: how many times faster a server reaches ready via each snapshot
+	// path.
+	CopyLoadSpeedup float64 `json:"copy_load_speedup"`
+	MmapLoadSpeedup float64 `json:"mmap_load_speedup"`
+}
+
+// runSnapBench measures the three ways to materialize a queryable store —
+// building from the graph, copy-loading a snapshot, and mmap'ing one — plus
+// the snapshot write, and records the load speedups over the build baseline.
+func runSnapBench(w io.Writer, outPath string, scale float64) error {
+	cfg := kggen.DBpediaSim(scale)
+	g, _, err := kggen.Generate(cfg)
+	if err != nil {
+		return err
+	}
+	st := index.Build(g)
+	dir, err := os.MkdirTemp("", "kgsnapbench")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	path := filepath.Join(dir, "store.kgs")
+	if err := snap.WriteFile(path, st, &snap.Meta{Source: cfg.Name}); err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	report := snapBenchReport{
+		Dataset:       cfg.Name,
+		Scale:         scale,
+		Triples:       g.Len(),
+		SnapshotBytes: fi.Size(),
+		GoMaxProcs:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+	}
+
+	record := func(name string, fn func(b *testing.B)) float64 {
+		r := testing.Benchmark(fn)
+		ns := float64(r.T.Nanoseconds()) / float64(r.N)
+		report.Results = append(report.Results, snapBenchResult{
+			Name:        name,
+			NsPerOp:     ns,
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		})
+		fmt.Fprintf(w, "%-24s %14.1f ns/op %8d B/op %6d allocs/op\n",
+			name, ns, r.AllocedBytesPerOp(), r.AllocsPerOp())
+		return ns
+	}
+
+	buildNs := record("IndexBuild", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			index.Build(g)
+		}
+	})
+	record("SnapshotWrite", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := snap.WriteFile(path, st, nil); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	copyNs := record("SnapshotCopyLoad", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, err := snap.LoadFile(path, snap.Options{Mode: snap.ModeCopy})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l.Close()
+		}
+	})
+	mmapNs := record("SnapshotMmapLoad", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			l, err := snap.LoadFile(path, snap.Options{Mode: snap.ModeAuto})
+			if err != nil {
+				b.Fatal(err)
+			}
+			l.Close()
+		}
+	})
+
+	report.CopyLoadSpeedup = buildNs / copyNs
+	report.MmapLoadSpeedup = buildNs / mmapNs
+	fmt.Fprintf(w, "startup speedup over IndexBuild: copy %.1fx, mmap %.1fx\n",
+		report.CopyLoadSpeedup, report.MmapLoadSpeedup)
+
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(outPath, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "wrote %s (%s scale %g, %d triples, %d snapshot bytes)\n",
+		outPath, cfg.Name, scale, g.Len(), fi.Size())
+	return nil
+}

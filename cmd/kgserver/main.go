@@ -6,6 +6,7 @@
 //
 //	kgserver -gen dbpedia -scale 0.1 -addr :8080
 //	kgserver -load data.nt -addr :8080
+//	kgserver -snapshot data.kgs -addr :8080      # mmap'ed store snapshot
 //
 // Then open http://localhost:8080/ for the UI, or use the API:
 //
@@ -13,6 +14,13 @@
 //	curl -X POST localhost:8080/api/session/1/chart -d '{"op":"subclass"}'
 //	curl -X POST localhost:8080/api/sparql \
 //	     -d '{"query":"SELECT ?c COUNT(DISTINCT ?o) WHERE { ?s <p> ?o . ?o a ?c } GROUP BY ?c"}'
+//
+// With -admin, the served store can be hot-swapped without a restart:
+//
+//	curl -X POST localhost:8080/admin/swap -d '{"path":"new.kgs"}'
+//
+// GET /healthz reports liveness plus store provenance (source, load mode,
+// triple count, swap count).
 package main
 
 import (
@@ -20,6 +28,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"time"
 
 	"kgexplore"
 
@@ -29,33 +38,56 @@ import (
 func main() {
 	gen := flag.String("gen", "dbpedia", "generate a synthetic dataset: dbpedia or lgd")
 	scale := flag.Float64("scale", 0.05, "scale for -gen")
-	load := flag.String("load", "", "load an N-Triples file instead of generating")
+	load := flag.String("load", "", "load an N-Triples/Turtle/.kgx file instead of generating")
+	snapshot := flag.String("snapshot", "", "serve a store snapshot (.kgs, see kgsnap) instead of generating")
+	snapMode := flag.String("snapmode", "mmap", "how to load -snapshot: mmap (zero-copy) or copy (verified)")
 	addr := flag.String("addr", ":8080", "listen address")
+	adminOn := flag.Bool("admin", false, "expose POST /admin/swap for hot-swapping the served store")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	var (
-		ds  *kgexplore.Dataset
-		err error
+		ds     *kgexplore.Dataset
+		prov   server.Provenance
+		closer interface{ Close() error }
+		err    error
 	)
+	start := time.Now()
 	switch {
+	case *snapshot != "":
+		ds, prov, closer, err = server.LoadDataset(*snapshot, *snapMode != "copy")
 	case *load != "":
-		ds, err = kgexplore.LoadFile(*load)
+		ds, prov, closer, err = server.LoadDataset(*load, false)
 	case *gen == "lgd":
 		ds, err = kgexplore.GenerateLGDSim(*scale)
+		prov = server.Provenance{Source: fmt.Sprintf("lgd-sim@%g", *scale), Kind: "generated"}
 	default:
 		ds, err = kgexplore.GenerateDBpediaSim(*scale)
+		prov = server.Provenance{Source: fmt.Sprintf("dbpedia-sim@%g", *scale), Kind: "generated"}
 	}
 	if err != nil {
 		fatal(err)
 	}
+	if prov.Triples == 0 {
+		prov.Triples = ds.NumTriples()
+		prov.LoadMillis = time.Since(start).Milliseconds()
+	}
 
-	srv := server.New(ds)
+	srv := server.NewWithProvenance(ds, prov, closer)
 	srv.EnablePprof = *pprofOn
+	srv.EnableAdmin = *adminOn
 	if *pprofOn {
 		fmt.Fprintf(os.Stderr, "kgserver: pprof enabled at /debug/pprof/\n")
 	}
-	fmt.Fprintf(os.Stderr, "kgserver: %d triples indexed; listening on %s\n", ds.NumTriples(), *addr)
+	if *adminOn {
+		fmt.Fprintf(os.Stderr, "kgserver: admin hot-swap enabled at POST /admin/swap\n")
+	}
+	mode := prov.Kind
+	if prov.Mmap {
+		mode += "/mmap"
+	}
+	fmt.Fprintf(os.Stderr, "kgserver: %d triples ready in %dms (%s from %s); listening on %s\n",
+		ds.NumTriples(), prov.LoadMillis, mode, prov.Source, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
 		fatal(err)
 	}

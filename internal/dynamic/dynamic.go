@@ -16,6 +16,7 @@ import (
 
 	"kgexplore/internal/index"
 	"kgexplore/internal/rdf"
+	"kgexplore/internal/snap"
 )
 
 // Store is an updatable triple store. All methods are safe for concurrent
@@ -30,14 +31,22 @@ type Store struct {
 	// Rebuilds counts how many times a snapshot was rebuilt (observability
 	// and tests).
 	rebuilds int
+	// persistPath, when set, makes every rebuild write the new snapshot to
+	// disk (atomically) so a restart can skip the initial Build.
+	persistPath string
+	persistSrc  string
+	persistErr  error
 }
 
-// New wraps a graph (which is retained and modified on Apply) into an
-// updatable store.
+// New wraps a graph into an updatable store. The dictionary is retained and
+// grows with interned terms; the triple slice is copied, because applyLocked
+// compacts it in place and the caller's slice may be read-only (a graph view
+// over an mmap'ed store snapshot).
 func New(g *rdf.Graph) *Store {
+	own := &rdf.Graph{Dict: g.Dict, Triples: append([]rdf.Triple(nil), g.Triples...)}
 	return &Store{
-		graph:   g,
-		current: index.Build(g),
+		graph:   own,
+		current: index.Build(own),
 		dels:    make(map[rdf.Triple]bool),
 	}
 }
@@ -113,6 +122,28 @@ func (s *Store) Snapshot() *index.Store {
 	return s.current
 }
 
+// SetPersist makes every subsequent rebuild write the fresh store to path as
+// a store snapshot (see internal/snap), atomically, while still holding the
+// update lock — so the file on disk always corresponds to a snapshot some
+// reader could have observed. source is recorded as provenance in the
+// snapshot's metadata. An empty path disables persistence.
+func (s *Store) SetPersist(path, source string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.persistPath = path
+	s.persistSrc = source
+	s.persistErr = nil
+}
+
+// PersistErr returns the error of the most recent persistence attempt, or
+// nil. Persistence failures never fail the rebuild itself — the in-memory
+// snapshot is already consistent — so they are surfaced here instead.
+func (s *Store) PersistErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.persistErr
+}
+
 // applyLocked folds the delta into the graph and rebuilds the indexes.
 func (s *Store) applyLocked() {
 	if len(s.dels) > 0 {
@@ -130,4 +161,7 @@ func (s *Store) applyLocked() {
 	s.dels = make(map[rdf.Triple]bool)
 	s.current = index.Build(s.graph)
 	s.rebuilds++
+	if s.persistPath != "" {
+		s.persistErr = snap.WriteFile(s.persistPath, s.current, &snap.Meta{Source: s.persistSrc})
+	}
 }

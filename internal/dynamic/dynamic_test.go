@@ -1,12 +1,15 @@
 package dynamic
 
 import (
+	"os"
+	"path/filepath"
 	"sync"
 	"testing"
 
 	"kgexplore/internal/ctj"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
+	"kgexplore/internal/snap"
 )
 
 func base(t *testing.T) (*Store, rdf.ID) {
@@ -122,6 +125,62 @@ func TestOldSnapshotsStayValid(t *testing.T) {
 	_ = s.Snapshot()
 	if old.NumTriples() != n {
 		t.Error("old snapshot mutated by update")
+	}
+}
+
+func TestPersistAfterRebuild(t *testing.T) {
+	s, p := base(t)
+	path := filepath.Join(t.TempDir(), "store.kgs")
+	s.SetPersist(path, "dynamic-test")
+	if _, err := os.Stat(path); !os.IsNotExist(err) {
+		t.Fatalf("snapshot written before any rebuild: %v", err)
+	}
+	d := s.Dict()
+	s.Add(rdf.Triple{S: d.InternIRI("c"), P: p, O: d.InternIRI("d")})
+	want := s.Snapshot()
+	if err := s.PersistErr(); err != nil {
+		t.Fatalf("persist: %v", err)
+	}
+	l, err := snap.LoadFile(path, snap.Options{Mode: snap.ModeCopy})
+	if err != nil {
+		t.Fatalf("load persisted snapshot: %v", err)
+	}
+	if l.Meta.Source != "dynamic-test" {
+		t.Errorf("source = %q", l.Meta.Source)
+	}
+	if l.Store.NumTriples() != want.NumTriples() {
+		t.Errorf("persisted %d triples, want %d", l.Store.NumTriples(), want.NumTriples())
+	}
+	// A failing path is reported via PersistErr, not a failed rebuild.
+	s.SetPersist(filepath.Join(path, "not-a-dir", "x.kgs"), "")
+	s.Add(rdf.Triple{S: d.InternIRI("e"), P: p, O: d.InternIRI("f")})
+	if got := s.Snapshot(); got == nil {
+		t.Fatal("rebuild failed alongside persistence")
+	}
+	if s.PersistErr() == nil {
+		t.Error("unreportable persist path produced no error")
+	}
+}
+
+// TestNewCopiesTriples pins the mmap-safety contract: applyLocked compacts
+// the graph's triple slice in place, so New must not retain the caller's
+// backing array (it may be a read-only mapping).
+func TestNewCopiesTriples(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("b", "p", "c")
+	g.Dedup()
+	orig := append([]rdf.Triple(nil), g.Triples...)
+	s := New(g)
+	p, _ := g.Dict.LookupIRI("p")
+	a, _ := g.Dict.LookupIRI("a")
+	b, _ := g.Dict.LookupIRI("b")
+	s.Delete(rdf.Triple{S: a, P: p, O: b})
+	s.Snapshot()
+	for i, tr := range g.Triples {
+		if tr != orig[i] {
+			t.Fatalf("caller's triple slice mutated at %d: %v != %v", i, tr, orig[i])
+		}
 	}
 }
 

@@ -1,0 +1,143 @@
+package index
+
+import (
+	"fmt"
+
+	"kgexplore/internal/rdf"
+)
+
+// This file is the index side of the snapshot subsystem (internal/snap):
+// Parts decomposes a built Store into the raw arrays a snapshot writer
+// serializes, and Restore reassembles a Store from loaded (or mmap-aliased)
+// arrays without re-sorting or re-deriving anything.
+
+// OrderParts is the raw material of one index order.
+type OrderParts struct {
+	// Triples is the order's permuted, sorted triple slice.
+	Triples []rdf.Triple
+	// L1 is the dense level-1 span array; NDV1 counts its non-empty entries.
+	L1   []Span
+	NDV1 int
+	// L2Keys/L2Spans are the packed level-2 pairs in ascending key order;
+	// nil for orders without a level-2 index (SPO, OPS).
+	L2Keys  []uint64
+	L2Spans []Span
+}
+
+// Parts decomposes the store into its snapshot-serializable arrays. The
+// returned slices alias the store's internal state and must not be modified.
+// Level-2 hash maps are re-derived as packed sorted arrays by a linear scan
+// over the already-sorted triples, so the output is deterministic (map
+// iteration order never leaks into a snapshot).
+func (st *Store) Parts() Parts {
+	p := Parts{
+		Dict:      st.dict,
+		PredStats: st.predStats,
+		Numeric:   st.numeric,
+	}
+	for o := Order(0); o < numOrders; o++ {
+		oi := &st.orders[o]
+		op := OrderParts{Triples: oi.triples, L1: oi.l1, NDV1: oi.ndv1}
+		switch {
+		case oi.l2keys != nil:
+			op.L2Keys, op.L2Spans = oi.l2keys, oi.l2spans
+		case oi.l2 != nil:
+			op.L2Keys, op.L2Spans = packL2(o, oi.triples)
+		}
+		p.Orders[o] = op
+	}
+	return p
+}
+
+// packL2 regenerates the packed level-2 arrays from a sorted triple slice —
+// the same grouping loop buildOrder runs, emitting sorted arrays instead of
+// a hash map. Keys come out ascending because the triples are sorted by
+// (level-0, level-1) and packPair is monotone in that ordering.
+func packL2(o Order, ts []rdf.Triple) ([]uint64, []Span) {
+	p := perms[o]
+	var keys []uint64
+	var spans []Span
+	for i := 0; i < len(ts); {
+		v0, v1 := field(ts[i], p[0]), field(ts[i], p[1])
+		j := i + 1
+		for j < len(ts) && field(ts[j], p[0]) == v0 && field(ts[j], p[1]) == v1 {
+			j++
+		}
+		keys = append(keys, packPair(v0, v1))
+		spans = append(spans, Span{i, j})
+		i = j
+	}
+	return keys, spans
+}
+
+// Parts is a decomposed Store: everything a snapshot must carry to rebuild
+// one without re-running Build.
+type Parts struct {
+	Dict      *rdf.Dict
+	Orders    [4]OrderParts
+	PredStats []PredStat
+	Numeric   []float64
+
+	// EagerL2Maps converts the packed level-2 arrays back into hash maps on
+	// Restore, recovering the O(1) lookup of a built store. Copy loads set
+	// it; mmap loads keep the packed arrays, which alias the mapping and
+	// serve lookups by binary search.
+	EagerL2Maps bool
+}
+
+// Restore reassembles a Store from parts, retaining every slice as-is (the
+// slices may alias a read-only mmap region). It validates cross-array
+// consistency so a structurally corrupt snapshot fails here rather than
+// panicking mid-query, but it does not verify sortedness or span contents;
+// checksums are the snapshot layer's job.
+func Restore(p Parts) (*Store, error) {
+	if p.Dict == nil {
+		return nil, fmt.Errorf("index: restore without dictionary")
+	}
+	st := &Store{dict: p.Dict, predStats: p.PredStats, numeric: p.Numeric}
+	n := len(p.Orders[SPO].Triples)
+	for o := Order(0); o < numOrders; o++ {
+		op := p.Orders[o]
+		if len(op.Triples) != n {
+			return nil, fmt.Errorf("index: order %v has %d triples, %v has %d", o, len(op.Triples), SPO, n)
+		}
+		if len(op.L2Keys) != len(op.L2Spans) {
+			return nil, fmt.Errorf("index: order %v has %d level-2 keys but %d spans", o, len(op.L2Keys), len(op.L2Spans))
+		}
+		oi := orderIndex{
+			order:   o,
+			triples: op.Triples,
+			l1:      op.L1,
+			ndv1:    op.NDV1,
+			l2keys:  op.L2Keys,
+			l2spans: op.L2Spans,
+		}
+		if p.EagerL2Maps && op.L2Keys != nil {
+			oi.l2 = make(map[uint64]Span, len(op.L2Keys))
+			for i, k := range op.L2Keys {
+				oi.l2[k] = op.L2Spans[i]
+			}
+			oi.l2keys, oi.l2spans = nil, nil
+		}
+		st.orders[o] = oi
+	}
+	if len(p.Numeric) != p.Dict.Len() {
+		return nil, fmt.Errorf("index: numeric cache has %d entries for %d terms", len(p.Numeric), p.Dict.Len())
+	}
+	if len(p.PredStats) < len(st.orders[PSO].l1) {
+		return nil, fmt.Errorf("index: predicate stats cover %d IDs, level-1 has %d", len(p.PredStats), len(st.orders[PSO].l1))
+	}
+	st.stats = Stats{
+		Triples: n,
+		NdvS:    st.orders[SPO].ndv1,
+		NdvP:    st.orders[PSO].ndv1,
+		NdvO:    st.orders[OPS].ndv1,
+		Preds:   make(map[rdf.ID]PredStat, st.orders[PSO].ndv1),
+	}
+	for pid, sp := range st.orders[PSO].l1 {
+		if !sp.Empty() {
+			st.stats.Preds[rdf.ID(pid)] = st.predStats[pid]
+		}
+	}
+	return st, nil
+}

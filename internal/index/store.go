@@ -128,6 +128,13 @@ type orderIndex struct {
 	l1   []Span
 	ndv1 int
 	l2   map[uint64]Span // only populated for PSO and POS
+	// l2keys/l2spans are the packed alternative to l2 used by snapshot-
+	// restored stores: packPair keys in ascending order with their spans,
+	// looked up by binary search. Because the arrays can alias a read-only
+	// mmap region directly, an mmap load needs no hash-map rebuild. At most
+	// one of l2 and l2keys is set.
+	l2keys  []uint64
+	l2spans []Span
 }
 
 // PredStat holds the per-predicate statistics the tipping-point estimator
@@ -373,13 +380,22 @@ func (st *Store) SpanL1(o Order, v rdf.ID) Span {
 }
 
 // SpanL2 returns the span of triples whose level-0 and level-1 values equal
-// v0 and v1. For PSO and POS it is a packed-key hash lookup (O(1)); for the
-// other orders it falls back to binary search within the level-1 span
-// (O(log n)).
+// v0 and v1. For PSO and POS it is a packed-key hash lookup (O(1)) on built
+// stores and a binary search over the packed key array on snapshot-restored
+// stores; for the other orders it falls back to binary search within the
+// level-1 span (O(log n)).
 func (st *Store) SpanL2(o Order, v0, v1 rdf.ID) Span {
 	oi := &st.orders[o]
 	if oi.l2 != nil {
 		return oi.l2[packPair(v0, v1)]
+	}
+	if len(oi.l2keys) > 0 {
+		k := packPair(v0, v1)
+		i := sort.Search(len(oi.l2keys), func(i int) bool { return oi.l2keys[i] >= k })
+		if i < len(oi.l2keys) && oi.l2keys[i] == k {
+			return oi.l2spans[i]
+		}
+		return Span{}
 	}
 	outer := st.SpanL1(o, v0)
 	if outer.Empty() {
@@ -427,6 +443,7 @@ func (st *Store) EstimateBytes() int64 {
 		b += int64(len(st.orders[o].triples)) * tripleSize
 		b += int64(len(st.orders[o].l1)) * spanSize
 		b += int64(len(st.orders[o].l2)) * (l2KeySize + spanSize)
+		b += int64(len(st.orders[o].l2keys)) * (l2KeySize + spanSize)
 	}
 	return b
 }

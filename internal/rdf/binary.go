@@ -5,6 +5,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 )
 
@@ -57,8 +58,37 @@ func WriteBinary(w io.Writer, g *Graph) error {
 	return bw.Flush()
 }
 
-// ReadBinary reads a graph snapshot written by WriteBinary.
+// minTermBytes and minTripleBytes are the smallest possible encodings of one
+// term (kind byte plus three zero-length varints) and one triple (three
+// u32s). They bound how many records a snapshot of known size can possibly
+// hold, so hostile headers are rejected before any decoding work.
+const (
+	minTermBytes   = 4
+	minTripleBytes = 12
+)
+
+// inputSize reports the total size of the input when the reader exposes one
+// (bytes.Reader, strings.Reader, os.File, ...). Size-oblivious readers
+// return ok=false and fall back to incremental EOF detection.
+func inputSize(r io.Reader) (int64, bool) {
+	switch v := r.(type) {
+	case interface{ Size() int64 }:
+		return v.Size(), true
+	case interface{ Stat() (os.FileInfo, error) }:
+		if fi, err := v.Stat(); err == nil && fi.Mode().IsRegular() {
+			return fi.Size(), true
+		}
+	}
+	return 0, false
+}
+
+// ReadBinary reads a graph snapshot written by WriteBinary. Counts declared
+// by the header are validated against the input size when the reader exposes
+// one, so a hostile header cannot trigger large preallocations or long
+// decode loops; out-of-range triple IDs are rejected rather than silently
+// building a corrupt dictionary.
 func ReadBinary(r io.Reader) (*Graph, error) {
+	total, totalKnown := inputSize(r)
 	br := bufio.NewReader(r)
 	magic := make([]byte, len(binaryMagic))
 	if _, err := io.ReadFull(br, magic); err != nil {
@@ -107,6 +137,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	if err != nil {
 		return nil, fmt.Errorf("rdf: reading term count: %w", err)
 	}
+	if totalKnown && int64(termCount)*minTermBytes > total {
+		return nil, fmt.Errorf("rdf: term count %d exceeds what %d input bytes can hold", termCount, total)
+	}
 	for i := uint32(0); i < termCount; i++ {
 		kind, err := br.ReadByte()
 		if err != nil {
@@ -135,6 +168,9 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 	tripleCount, err := readU32()
 	if err != nil {
 		return nil, fmt.Errorf("rdf: reading triple count: %w", err)
+	}
+	if totalKnown && int64(tripleCount)*minTripleBytes > total {
+		return nil, fmt.Errorf("rdf: triple count %d exceeds what %d input bytes can hold", tripleCount, total)
 	}
 	// Cap the preallocation: a corrupt count must fail on EOF, not OOM.
 	prealloc := tripleCount

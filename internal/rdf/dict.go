@@ -1,6 +1,9 @@
 package rdf
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // ID is a dictionary-encoded term identifier. IDs are dense, starting at 0,
 // assigned in first-seen order. The zero value is a valid ID (the first
@@ -14,18 +17,45 @@ const NoID = ID(^uint32(0))
 //
 // Dict is not safe for concurrent mutation; build it single-threaded (or
 // behind a lock) and then share it freely for lookups, which are read-only.
+//
+// The reverse map is built lazily on the first Intern or Lookup (guarded by
+// a sync.Once, so concurrent first Lookups are safe): a dictionary restored
+// from a store snapshot pays for term hashing only if something actually
+// resolves terms by value.
 type Dict struct {
-	terms []Term
-	ids   map[Term]ID
+	terms   []Term
+	ids     map[Term]ID
+	idsOnce sync.Once
 }
 
 // NewDict returns an empty dictionary.
 func NewDict() *Dict {
-	return &Dict{ids: make(map[Term]ID)}
+	return &Dict{}
+}
+
+// DictFromTerms wraps an already-deduplicated term slice, which is retained
+// (term i gets ID i). The reverse map is deferred until first use; callers
+// that only ever resolve IDs to terms never pay for it. This is the
+// snapshot-load constructor.
+func DictFromTerms(terms []Term) *Dict {
+	return &Dict{terms: terms}
+}
+
+// ensureIDs builds the reverse map from the term slice on first use.
+func (d *Dict) ensureIDs() {
+	d.idsOnce.Do(func() {
+		d.ids = make(map[Term]ID, len(d.terms))
+		for i, t := range d.terms {
+			if _, dup := d.ids[t]; !dup {
+				d.ids[t] = ID(i)
+			}
+		}
+	})
 }
 
 // Intern returns the ID for t, assigning a fresh one if t is new.
 func (d *Dict) Intern(t Term) ID {
+	d.ensureIDs()
 	if id, ok := d.ids[t]; ok {
 		return id
 	}
@@ -40,6 +70,7 @@ func (d *Dict) InternIRI(iri string) ID { return d.Intern(NewIRI(iri)) }
 
 // Lookup returns the ID for t and whether t has been interned.
 func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.ensureIDs()
 	id, ok := d.ids[t]
 	return id, ok
 }

@@ -69,6 +69,11 @@ func FuzzReadBinary(f *testing.F) {
 	f.Add([]byte("KGX1"))
 	f.Add([]byte("KGX1\x00\x00\x00\x00\x00\x00\x00\x00"))
 	f.Add([]byte{})
+	// Hostile headers: counts far larger than the input can hold must be
+	// rejected up front (inputSize bound), not ground through.
+	f.Add([]byte("KGX1\xff\xff\xff\xff"))
+	f.Add([]byte("KGX1\x00\x00\x00\x00\xff\xff\xff\xff"))
+	f.Add([]byte("KGX1\x01\x00\x00\x00\x00\x00\x00\x00\x00\x01\x00\x00\x00\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff\xff"))
 	f.Fuzz(func(t *testing.T, in []byte) {
 		g, err := ReadBinary(bytes.NewReader(in))
 		if err != nil {

@@ -15,19 +15,64 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/pprof"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"kgexplore"
 )
 
+// Provenance records where a served store came from, for /healthz and swap
+// responses.
+type Provenance struct {
+	// Source is the file path or generator spec the store came from.
+	Source string `json:"source"`
+	// Kind is how it was materialized: "parsed" (text formats or graph
+	// snapshots, through index.Build), "snapshot" (store snapshot, no
+	// build), or "generated".
+	Kind string `json:"kind"`
+	// Mmap is set on zero-copy snapshot loads.
+	Mmap bool `json:"mmap,omitempty"`
+	// Triples is the store's triple count at load time.
+	Triples int `json:"triples"`
+	// LoadMillis is how long the load (parse+build, or snapshot read) took.
+	LoadMillis int64 `json:"loadMillis"`
+}
+
+// epoch is one served dataset generation. Requests acquire the current epoch
+// for their whole run, so a hot swap never frees a store out from under an
+// in-flight query: the old epoch's closer (an mmap'ed snapshot, typically)
+// runs only when the server reference and every request reference are gone.
+type epoch struct {
+	ds     *kgexplore.Dataset
+	prov   Provenance
+	closer io.Closer
+	refs   atomic.Int64 // starts at 1 for the server's own reference
+}
+
+func newEpoch(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) *epoch {
+	e := &epoch{ds: ds, prov: prov, closer: closer}
+	e.refs.Store(1)
+	return e
+}
+
+// release drops one reference; the last one out closes the backing store.
+func (e *epoch) release() {
+	if e.refs.Add(-1) == 0 && e.closer != nil {
+		e.closer.Close()
+	}
+}
+
 // Server is the HTTP handler. Create with New and mount with Handler.
 type Server struct {
-	ds *kgexplore.Dataset
+	// cur is the serving epoch; guarded by mu, swapped atomically by Swap.
+	cur   *epoch
+	swaps int
 
 	mu        sync.Mutex
 	sessions  map[string]*session
@@ -56,6 +101,13 @@ type Server struct {
 	// plan signature); creating one beyond the cap evicts the least recently
 	// used cache. Zero or negative disables cross-request warm starts.
 	MaxPlanCaches int
+	// EnableAdmin mounts the mutating admin endpoints (POST /admin/swap).
+	// Off by default: swapping the served store is an operator action
+	// (kgserver -admin).
+	EnableAdmin bool
+	// RebuildsFn, when set, reports dynamic-store rebuild counts in
+	// /healthz (wired to dynamic.Store.Rebuilds by the embedding process).
+	RebuildsFn func() int
 
 	// now is the clock, overridable in tests.
 	now func() time.Time
@@ -74,10 +126,19 @@ type planCache struct {
 	lastUsed time.Time
 }
 
-// New creates a server over a prepared dataset.
+// New creates a server over a prepared dataset. Use NewWithProvenance to
+// record where the dataset came from (and, for mmap'ed snapshot loads, the
+// closer that Swap releases once the epoch drains).
 func New(ds *kgexplore.Dataset) *Server {
+	return NewWithProvenance(ds, Provenance{Kind: "parsed", Triples: ds.NumTriples()}, nil)
+}
+
+// NewWithProvenance creates a server over a prepared dataset with explicit
+// store provenance. closer, if non-nil, is closed when the dataset's epoch
+// fully drains after a Swap (never while any request still uses it).
+func NewWithProvenance(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) *Server {
 	return &Server{
-		ds:            ds,
+		cur:           newEpoch(ds, prov, closer),
 		sessions:      make(map[string]*session),
 		planCaches:    make(map[string]*planCache),
 		MaxBudget:     5 * time.Second,
@@ -86,6 +147,41 @@ func New(ds *kgexplore.Dataset) *Server {
 		MaxPlanCaches: 256,
 		now:           time.Now,
 	}
+}
+
+// acquire pins the current epoch for one request. The caller must release
+// it when done (defer e.release()).
+func (s *Server) acquire() *epoch {
+	s.mu.Lock()
+	e := s.cur
+	e.refs.Add(1)
+	s.mu.Unlock()
+	return e
+}
+
+// Swap atomically replaces the served dataset: new requests see the new
+// epoch immediately; sessions and warm-start caches are dropped (their
+// exploration states and cache keys embed the old dictionary's IDs); the old
+// store stays alive until the last in-flight request releases it, at which
+// point its closer (if any) runs. Safe to call concurrently with request
+// traffic — that is its purpose.
+func (s *Server) Swap(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) {
+	ne := newEpoch(ds, prov, closer)
+	s.mu.Lock()
+	old := s.cur
+	s.cur = ne
+	s.sessions = make(map[string]*session)
+	s.planCaches = make(map[string]*planCache)
+	s.swaps++
+	s.mu.Unlock()
+	old.release()
+}
+
+// Swaps returns how many times the served store has been hot-swapped.
+func (s *Server) Swaps() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.swaps
 }
 
 // sharedCacheFor returns the warm-start cache for the plan's signature,
@@ -168,6 +264,10 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/session/{id}/select", s.handleSelect)
 	mux.HandleFunc("POST /api/session/{id}/back", s.handleBack)
 	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.EnableAdmin {
+		mux.HandleFunc("POST /admin/swap", s.handleAdminSwap)
+	}
 	mux.HandleFunc("GET /", s.handleIndex)
 	if s.EnablePprof {
 		// Method-qualified so the patterns compose with "GET /" above under
@@ -204,10 +304,103 @@ type InfoResponse struct {
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
+	e := s.acquire()
+	defer e.release()
 	writeJSON(w, http.StatusOK, InfoResponse{
-		Triples:    s.ds.NumTriples(),
-		IndexBytes: s.ds.IndexBytes(),
+		Triples:    e.ds.NumTriples(),
+		IndexBytes: e.ds.IndexBytes(),
 	})
+}
+
+// HealthResponse is the /healthz payload: liveness plus store provenance,
+// so an operator can see at a glance what data is being served, how it got
+// there, and how often it has been replaced.
+type HealthResponse struct {
+	Status   string     `json:"status"`
+	Store    Provenance `json:"store"`
+	Swaps    int        `json:"swaps"`
+	Rebuilds int        `json:"rebuilds,omitempty"`
+	Sessions int        `json:"sessions"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	e := s.acquire()
+	defer e.release()
+	s.mu.Lock()
+	swaps, nsess := s.swaps, len(s.sessions)
+	s.mu.Unlock()
+	resp := HealthResponse{Status: "ok", Store: e.prov, Swaps: swaps, Sessions: nsess}
+	if s.RebuildsFn != nil {
+		resp.Rebuilds = s.RebuildsFn()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// SwapRequest asks the server to replace its dataset from a file. Paths
+// ending in ".kgs" load as store snapshots (mmap'ed unless mode is "copy");
+// anything else goes through the parsing loader.
+type SwapRequest struct {
+	Path string `json:"path"`
+	Mode string `json:"mode"` // "", "mmap", "copy" (snapshot paths only)
+}
+
+// SwapResponse reports the dataset now being served.
+type SwapResponse struct {
+	Store Provenance `json:"store"`
+	Swaps int        `json:"swaps"`
+}
+
+func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
+	var req SwapRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	if req.Path == "" {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing path"))
+		return
+	}
+	ds, prov, closer, err := LoadDataset(req.Path, req.Mode != "copy")
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	s.Swap(ds, prov, closer)
+	writeJSON(w, http.StatusOK, SwapResponse{Store: prov, Swaps: s.Swaps()})
+}
+
+// LoadDataset loads a dataset for serving, dispatching on the path: ".kgs"
+// store snapshots skip index building entirely (zero-copy mmap when
+// mmapSnapshots is set and the platform supports it), everything else goes
+// through kgexplore.LoadFile. Returns the provenance and, for snapshot
+// loads, the closer that must run once the dataset is drained.
+func LoadDataset(path string, mmapSnapshots bool) (*kgexplore.Dataset, Provenance, io.Closer, error) {
+	start := time.Now()
+	if strings.HasSuffix(path, ".kgs") {
+		ss, err := kgexplore.LoadStoreSnapshotFile(path, mmapSnapshots)
+		if err != nil {
+			return nil, Provenance{}, nil, err
+		}
+		prov := Provenance{
+			Source:     path,
+			Kind:       "snapshot",
+			Mmap:       ss.Mmap,
+			Triples:    ss.Dataset.NumTriples(),
+			LoadMillis: time.Since(start).Milliseconds(),
+		}
+		return ss.Dataset, prov, ss, nil
+	}
+	ds, err := kgexplore.LoadFile(path)
+	if err != nil {
+		return nil, Provenance{}, nil, err
+	}
+	prov := Provenance{
+		Source:     path,
+		Kind:       "parsed",
+		Triples:    ds.NumTriples(),
+		LoadMillis: time.Since(start).Milliseconds(),
+	}
+	return ds, prov, nil, nil
 }
 
 // StateResponse describes a session's current bar.
@@ -219,7 +412,7 @@ type StateResponse struct {
 	Ops      []string `json:"ops"`
 }
 
-func (s *Server) stateResponse(id string, sess *session) StateResponse {
+func stateResponse(ds *kgexplore.Dataset, id string, sess *session) StateResponse {
 	var ops []string
 	for _, op := range kgexplore.ExpansionsOf(sess.state) {
 		ops = append(ops, op.String())
@@ -227,7 +420,7 @@ func (s *Server) stateResponse(id string, sess *session) StateResponse {
 	return StateResponse{
 		Session:  id,
 		Kind:     sess.state.Kind.String(),
-		Category: s.ds.Dict().Term(sess.state.Category).Value,
+		Category: ds.Dict().Term(sess.state.Category).Value,
 		Depth:    sess.state.Depth(),
 		Ops:      ops,
 	}
@@ -242,13 +435,20 @@ func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
 	}
 	s.nextID++
 	id := strconv.FormatInt(s.nextID, 10)
-	sess := &session{state: s.ds.Root(), lastUsed: now}
+	e := s.cur
+	e.refs.Add(1)
+	sess := &session{state: e.ds.Root(), lastUsed: now}
 	s.sessions[id] = sess
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+	defer e.release()
+	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
 }
 
-func (s *Server) session(r *http.Request) (string, *session, error) {
+// acquireSession resolves a session AND pins the serving epoch under one
+// lock acquisition. Sessions are cleared on Swap, so a session that resolves
+// is always from the same epoch as the returned dataset — exploration states
+// never mix dictionary IDs across stores.
+func (s *Server) acquireSession(r *http.Request) (*epoch, string, *session, error) {
 	id := r.PathValue("id")
 	now := s.now()
 	s.mu.Lock()
@@ -256,19 +456,22 @@ func (s *Server) session(r *http.Request) (string, *session, error) {
 	s.sweepLocked(now)
 	sess, ok := s.sessions[id]
 	if !ok {
-		return "", nil, fmt.Errorf("unknown session %q", id)
+		return nil, "", nil, fmt.Errorf("unknown session %q", id)
 	}
 	sess.lastUsed = now
-	return id, sess, nil
+	e := s.cur
+	e.refs.Add(1)
+	return e, id, sess, nil
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	id, sess, err := s.session(r)
+	e, id, sess, err := s.acquireSession(r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+	defer e.release()
+	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
 }
 
 // ChartRequest asks for an expansion's bar chart.
@@ -370,11 +573,12 @@ func parseOp(name string) (kgexplore.ExploreOp, error) {
 }
 
 func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
-	_, sess, err := s.session(r)
+	e, _, sess, err := s.acquireSession(r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	defer e.release()
 	var req ChartRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -390,22 +594,22 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	pl, err := s.ds.Compile(q)
+	pl, err := e.ds.Compile(q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if r.URL.Query().Get("stream") == "1" {
-		s.streamChart(w, r, req.Op, pl, req)
+		s.streamChart(w, r, e.ds, req.Op, pl, req)
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, err := s.evaluate(r.Context(), e.ds, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := s.chartResponse(req.Op, engineName(req.Engine), counts, ci, req.TopN)
+	resp := chartResponse(e.ds, req.Op, engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
 	resp.Cache = cache
 	writeJSON(w, http.StatusOK, resp)
@@ -419,9 +623,9 @@ func engineName(e string) string {
 }
 
 // chartResponse renders per-group counts as sorted, truncated bars.
-func (s *Server) chartResponse(op, engine string, counts, ci map[kgexplore.ID]float64, topN int) ChartResponse {
+func chartResponse(ds *kgexplore.Dataset, op, engine string, counts, ci map[kgexplore.ID]float64, topN int) ChartResponse {
 	resp := ChartResponse{Op: op, Engine: engine}
-	bars := s.ds.BarsOf(counts, ci)
+	bars := ds.BarsOf(counts, ci)
 	resp.NumBars = len(bars)
 	if topN > 0 && len(bars) > topN {
 		bars = bars[:topN]
@@ -452,12 +656,12 @@ func (s *Server) clampBudget(budgetMS int) time.Duration {
 // are attached to the warm-start cache of their plan signature, so repeated
 // expansions of overlapping queries reuse prior suffix counts and Pr(b)
 // sums.
-func (s *Server) onlineRunner(pl *kgexplore.Plan, engine string) (kgexplore.Stepper, bool) {
+func (s *Server) onlineRunner(ds *kgexplore.Dataset, pl *kgexplore.Plan, engine string) (kgexplore.Stepper, bool) {
 	switch engine {
 	case "wj":
-		return s.ds.NewWanderJoin(pl, time.Now().UnixNano()), true
+		return ds.NewWanderJoin(pl, time.Now().UnixNano()), true
 	case "aj", "":
-		return s.ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
+		return ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
 			Threshold: kgexplore.DefaultTippingThreshold,
 			Seed:      time.Now().UnixNano(),
 			Shared:    s.sharedCacheFor(pl),
@@ -467,19 +671,19 @@ func (s *Server) onlineRunner(pl *kgexplore.Plan, engine string) (kgexplore.Step
 	}
 }
 
-func (s *Server) evaluate(ctx context.Context, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
+func (s *Server) evaluate(ctx context.Context, ds *kgexplore.Dataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
 	switch engine {
 	case "ctj":
-		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
+		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
 		return res, nil, nil, err
 	case "lftj":
-		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineLFTJ)
+		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineLFTJ)
 		return res, nil, nil, err
 	case "baseline":
-		res, err := s.ds.ExactCtx(ctx, pl, kgexplore.EngineBaseline)
+		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineBaseline)
 		return res, nil, nil, err
 	}
-	r, ok := s.onlineRunner(pl, engine)
+	r, ok := s.onlineRunner(ds, pl, engine)
 	if !ok {
 		return nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
 	}
@@ -494,9 +698,9 @@ func (s *Server) evaluate(ctx context.Context, pl *kgexplore.Plan, engine string
 // one ChartResponse per snapshot interval, each strictly further along than
 // the last, and a Final event when the budget elapses. Closing the
 // connection cancels the run through the request context.
-func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, op string, pl *kgexplore.Plan, req ChartRequest) {
+func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, ds *kgexplore.Dataset, op string, pl *kgexplore.Plan, req ChartRequest) {
 	engine := engineName(req.Engine)
-	runner, ok := s.onlineRunner(pl, req.Engine)
+	runner, ok := s.onlineRunner(ds, pl, req.Engine)
 	if !ok {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
 		return
@@ -516,7 +720,7 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, op string, 
 	flusher.Flush()
 
 	send := func(p kgexplore.DriveProgress) bool {
-		resp := s.chartResponse(op, engine, p.Snapshot.Estimates, p.Snapshot.CI, req.TopN)
+		resp := chartResponse(ds, op, engine, p.Snapshot.Estimates, p.Snapshot.CI, req.TopN)
 		resp.Millis = p.Elapsed.Milliseconds()
 		resp.Walks = p.Walks
 		resp.Final = p.Final
@@ -550,11 +754,12 @@ type SelectRequest struct {
 }
 
 func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
-	id, sess, err := s.session(r)
+	e, id, sess, err := s.acquireSession(r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	defer e.release()
 	var req SelectRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -565,7 +770,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	catID, ok := s.ds.Dict().LookupIRI(req.Category)
+	catID, ok := e.ds.Dict().LookupIRI(req.Category)
 	if !ok {
 		// Categories may be literals in principle; try a literal too.
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown category %q", req.Category))
@@ -580,22 +785,23 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	sess.stack = append(sess.stack, sess.state)
 	sess.state = next
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
 }
 
 func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
-	id, sess, err := s.session(r)
+	e, id, sess, err := s.acquireSession(r)
 	if err != nil {
 		writeErr(w, http.StatusNotFound, err)
 		return
 	}
+	defer e.release()
 	s.mu.Lock()
 	if n := len(sess.stack); n > 0 {
 		sess.state = sess.stack[n-1]
 		sess.stack = sess.stack[:n-1]
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, s.stateResponse(id, sess))
+	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
 }
 
 // SPARQLRequest runs a Fig. 4 fragment query directly.
@@ -607,28 +813,30 @@ type SPARQLRequest struct {
 }
 
 func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
+	e := s.acquire()
+	defer e.release()
 	var req SPARQLRequest
 	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	parsed, err := s.ds.ParseQuery(req.Query)
+	parsed, err := e.ds.ParseQuery(req.Query)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	pl, err := s.ds.Compile(parsed.Query)
+	pl, err := e.ds.Compile(parsed.Query)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, err := s.evaluate(r.Context(), pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, err := s.evaluate(r.Context(), e.ds, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := s.chartResponse("sparql", engineName(req.Engine), counts, ci, req.TopN)
+	resp := chartResponse(e.ds, "sparql", engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
 	resp.Cache = cache
 	writeJSON(w, http.StatusOK, resp)

@@ -1,0 +1,58 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// FuzzLoadBytes: the copy loader must never panic on arbitrary input, and
+// anything it accepts must be a structurally sound store (every span within
+// the triple arrays), because queries index through spans unchecked.
+func FuzzLoadBytes(f *testing.F) {
+	g := rdf.NewGraph()
+	g.AddIRIs("a", "p", "b")
+	g.AddIRIs("b", "p", "c")
+	g.Dedup()
+	var buf bytes.Buffer
+	if err := Write(&buf, index.Build(g), &Meta{Source: "seed"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte(headerMagic))
+	f.Add([]byte(headerMagic + "\x01\x00\x0c\x10\x18\x00\x00\x00"))
+	// A file that is all footer: hostile table offsets and counts.
+	foot := make([]byte, headerSize+footerSize)
+	copy(foot, headerMagic)
+	binary.LittleEndian.PutUint16(foot[8:], formatVersion)
+	foot[10], foot[11], foot[12] = diskTripleSize, diskSpanSize, diskPredStatSize
+	binary.LittleEndian.PutUint64(foot[headerSize:], ^uint64(0))
+	binary.LittleEndian.PutUint32(foot[headerSize+8:], ^uint32(0))
+	binary.LittleEndian.PutUint64(foot[headerSize+16:], uint64(len(foot)))
+	copy(foot[headerSize+24:], footerMagic)
+	f.Add(foot)
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		l, err := LoadBytes(in)
+		if err != nil {
+			return
+		}
+		st := l.Store
+		n := st.NumTriples()
+		for o := index.Order(0); o < 4; o++ {
+			if len(st.Triples(o)) != n {
+				t.Fatalf("accepted store with ragged orders: %v has %d of %d", o, len(st.Triples(o)), n)
+			}
+			for v := rdf.ID(0); int(v) < st.Dict().Len(); v++ {
+				sp := st.SpanL1(o, v)
+				if sp.Lo < 0 || sp.Hi < sp.Lo || sp.Hi > n {
+					t.Fatalf("accepted store with wild span %v", sp)
+				}
+			}
+		}
+	})
+}

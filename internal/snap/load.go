@@ -1,0 +1,453 @@
+package snap
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"os"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// Mode selects how LoadFile materializes the store.
+type Mode int
+
+const (
+	// ModeAuto picks mmap when the platform and architecture support
+	// zero-copy aliasing, and falls back to a copy load otherwise.
+	ModeAuto Mode = iota
+	// ModeCopy reads and verifies the whole file and decodes every section
+	// into private memory. Portable and self-contained: Close is a no-op.
+	ModeCopy
+	// ModeMmap maps the file and aliases the index arrays directly over the
+	// mapping. Fails on platforms without mmap support or with an
+	// incompatible native layout.
+	ModeMmap
+)
+
+// Options configures a load.
+type Options struct {
+	Mode Mode
+	// Verify forces full payload-checksum verification even on mmap loads
+	// (copy loads always verify). It reads every page of the file.
+	Verify bool
+}
+
+// Loaded is a loaded snapshot: the restored store plus the resources backing
+// it. For mmap loads the store's slices alias the mapping, so the store must
+// not be used after Close; copy loads have no backing resources and Close is
+// a no-op.
+type Loaded struct {
+	Store *index.Store
+	Meta  Meta
+	// Mmap reports whether the store aliases a live mapping.
+	Mmap    bool
+	mapping []byte
+}
+
+// Close releases the mapping, if any. The store is invalid afterwards for
+// mmap loads; the caller is responsible for draining every reader first (see
+// the server's epoch refcounting).
+func (l *Loaded) Close() error {
+	if l.mapping == nil {
+		return nil
+	}
+	m := l.mapping
+	l.mapping = nil
+	return munmap(m)
+}
+
+// LoadFile loads a snapshot file.
+func LoadFile(path string, opts Options) (*Loaded, error) {
+	switch opts.Mode {
+	case ModeCopy:
+		return loadFileCopy(path)
+	case ModeMmap:
+		if !mmapSupported {
+			return nil, fmt.Errorf("snap: mmap loading unsupported on this platform")
+		}
+		if !nativeAliasOK {
+			return nil, fmt.Errorf("snap: native layout incompatible with zero-copy aliasing")
+		}
+		return loadFileMmap(path, opts)
+	default:
+		if mmapSupported && nativeAliasOK {
+			return loadFileMmap(path, opts)
+		}
+		return loadFileCopy(path)
+	}
+}
+
+func loadFileCopy(path string) (*Loaded, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadBytes(data)
+}
+
+func loadFileMmap(path string, opts Options) (*Loaded, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	data, err := mmapFile(f, fi.Size())
+	if err != nil {
+		return nil, err
+	}
+	l, err := load(data, true, opts.Verify)
+	if err != nil {
+		munmap(data)
+		return nil, err
+	}
+	l.mapping = data
+	l.Mmap = true
+	return l, nil
+}
+
+// LoadBytes performs a copy load from an in-memory snapshot image: every
+// checksum is verified and the resulting store shares no memory with data.
+// This is the fuzzing entry point.
+func LoadBytes(data []byte) (*Loaded, error) {
+	return load(data, false, true)
+}
+
+// file is a parsed snapshot image: the raw bytes plus the validated section
+// table.
+type file struct {
+	data     []byte
+	sections map[uint32]sectionEntry
+}
+
+// parseFile validates the header, footer and section table. Structural
+// bounds are fully checked here so later section access cannot run off the
+// image; payload checksums are the caller's choice.
+func parseFile(data []byte, verifyPayloads bool) (*file, error) {
+	if len(data) < headerSize+footerSize {
+		return nil, fmt.Errorf("snap: file too short (%d bytes)", len(data))
+	}
+	if string(data[:8]) != headerMagic {
+		return nil, fmt.Errorf("snap: not a store snapshot (bad magic)")
+	}
+	if v := binary.LittleEndian.Uint16(data[8:10]); v != formatVersion {
+		return nil, fmt.Errorf("snap: unsupported format version %d (want %d)", v, formatVersion)
+	}
+	if data[10] != diskTripleSize || data[11] != diskSpanSize || data[12] != diskPredStatSize {
+		return nil, fmt.Errorf("snap: unexpected element sizes %d/%d/%d in header", data[10], data[11], data[12])
+	}
+	foot := data[len(data)-footerSize:]
+	if string(foot[24:]) != footerMagic {
+		return nil, fmt.Errorf("snap: truncated snapshot (bad footer magic)")
+	}
+	if sz := binary.LittleEndian.Uint64(foot[16:24]); sz != uint64(len(data)) {
+		return nil, fmt.Errorf("snap: footer says %d bytes, file has %d", sz, len(data))
+	}
+	tableOff := binary.LittleEndian.Uint64(foot[0:8])
+	count := binary.LittleEndian.Uint32(foot[8:12])
+	wantCRC := binary.LittleEndian.Uint32(foot[12:16])
+	tableLen := uint64(count) * entrySize
+	if tableOff > uint64(len(data)-footerSize) || tableLen > uint64(len(data)-footerSize)-tableOff {
+		return nil, fmt.Errorf("snap: section table out of bounds")
+	}
+	table := data[tableOff : tableOff+tableLen]
+	if crc := crc32.Checksum(table, crcTable); crc != wantCRC {
+		return nil, fmt.Errorf("snap: section table checksum mismatch")
+	}
+	f := &file{data: data, sections: make(map[uint32]sectionEntry, count)}
+	for i := uint32(0); i < count; i++ {
+		row := table[i*entrySize:]
+		e := sectionEntry{
+			kind:  binary.LittleEndian.Uint32(row[0:4]),
+			crc:   binary.LittleEndian.Uint32(row[4:8]),
+			off:   binary.LittleEndian.Uint64(row[8:16]),
+			size:  binary.LittleEndian.Uint64(row[16:24]),
+			count: binary.LittleEndian.Uint64(row[24:32]),
+		}
+		if e.off%sectionAlign != 0 {
+			return nil, fmt.Errorf("snap: section %s misaligned at %d", fmtKind(e.kind), e.off)
+		}
+		if e.off > uint64(len(data)) || e.size > uint64(len(data))-e.off {
+			return nil, fmt.Errorf("snap: section %s out of bounds", fmtKind(e.kind))
+		}
+		if _, dup := f.sections[e.kind]; dup {
+			return nil, fmt.Errorf("snap: duplicate section %s", fmtKind(e.kind))
+		}
+		if verifyPayloads {
+			if crc := crc32.Checksum(data[e.off:e.off+e.size], crcTable); crc != e.crc {
+				return nil, fmt.Errorf("snap: section %s checksum mismatch", fmtKind(e.kind))
+			}
+		}
+		f.sections[e.kind] = e
+	}
+	return f, nil
+}
+
+// section returns a required section's entry, validating its element count
+// against the declared byte size.
+func (f *file) section(kind uint32, elemSize int) (sectionEntry, error) {
+	e, ok := f.sections[kind]
+	if !ok {
+		return sectionEntry{}, fmt.Errorf("snap: missing section %s", fmtKind(kind))
+	}
+	if e.count > math.MaxUint64/uint64(elemSize) || e.count*uint64(elemSize) != e.size {
+		return sectionEntry{}, fmt.Errorf("snap: section %s declares %d elements in %d bytes", fmtKind(kind), e.count, e.size)
+	}
+	return e, nil
+}
+
+func (f *file) payload(e sectionEntry) []byte { return f.data[e.off : e.off+e.size] }
+
+// load parses and restores a snapshot image. alias=true wires the store
+// directly over data (mmap); alias=false decodes into private memory and
+// bounds-checks every span so hostile images cannot produce a store that
+// panics later.
+func load(data []byte, alias, verifyPayloads bool) (*Loaded, error) {
+	f, err := parseFile(data, verifyPayloads)
+	if err != nil {
+		return nil, err
+	}
+
+	metaEntry, ok := f.sections[secMeta]
+	if !ok {
+		return nil, fmt.Errorf("snap: missing section meta")
+	}
+	var meta Meta
+	if err := json.Unmarshal(f.payload(metaEntry), &meta); err != nil {
+		return nil, fmt.Errorf("snap: meta section: %w", err)
+	}
+	if meta.DictLen < 0 || meta.Triples < 0 {
+		return nil, fmt.Errorf("snap: negative counts in meta")
+	}
+
+	dictEntry, ok := f.sections[secDict]
+	if !ok {
+		return nil, fmt.Errorf("snap: missing section dict")
+	}
+	if dictEntry.count != uint64(meta.DictLen) {
+		return nil, fmt.Errorf("snap: dict section has %d terms, meta says %d", dictEntry.count, meta.DictLen)
+	}
+	terms, err := decodeTerms(f.payload(dictEntry), meta.DictLen, alias)
+	if err != nil {
+		return nil, err
+	}
+
+	parts := index.Parts{
+		Dict:        rdf.DictFromTerms(terms),
+		EagerL2Maps: !alias,
+	}
+	for o := index.Order(0); o < 4; o++ {
+		var op index.OrderParts
+		if op.Triples, err = loadTyped[rdf.Triple](f, secTriples+uint32(o), diskTripleSize, alias, decodeTriples); err != nil {
+			return nil, err
+		}
+		if op.L1, err = loadTyped[index.Span](f, secL1+uint32(o), diskSpanSize, alias, decodeSpans); err != nil {
+			return nil, err
+		}
+		if o == index.PSO || o == index.POS {
+			// The level-2 sections are omitted for empty stores; Restore
+			// distinguishes "no level-2" (nil) from "empty level-2"
+			// (non-nil, zero length), so default to the latter.
+			op.L2Keys, op.L2Spans = []uint64{}, []index.Span{}
+			if _, present := f.sections[secL2Keys+uint32(o)]; present {
+				if op.L2Keys, err = loadTyped[uint64](f, secL2Keys+uint32(o), 8, alias, decodeU64s); err != nil {
+					return nil, err
+				}
+				if op.L2Spans, err = loadTyped[index.Span](f, secL2Spans+uint32(o), diskSpanSize, alias, decodeSpans); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if op.NDV1 = meta.NDV1[o]; op.NDV1 < 0 || op.NDV1 > len(op.L1) {
+			return nil, fmt.Errorf("snap: order %v ndv1 %d out of range", o, op.NDV1)
+		}
+		if !alias {
+			if err := checkSpans(op, meta.Triples); err != nil {
+				return nil, fmt.Errorf("snap: order %v: %w", o, err)
+			}
+		}
+		parts.Orders[o] = op
+	}
+	if parts.PredStats, err = loadTyped[index.PredStat](f, secPredStats, diskPredStatSize, alias, decodePredStats); err != nil {
+		return nil, err
+	}
+	if parts.Numeric, err = loadTyped[float64](f, secNumeric, 8, alias, decodeFloats); err != nil {
+		return nil, err
+	}
+
+	st, err := index.Restore(parts)
+	if err != nil {
+		return nil, err
+	}
+	if st.NumTriples() != meta.Triples {
+		return nil, fmt.Errorf("snap: meta says %d triples, sections hold %d", meta.Triples, st.NumTriples())
+	}
+	return &Loaded{Store: st, Meta: meta}, nil
+}
+
+// loadTyped materializes one array section: a zero-copy alias over the image
+// when alias is set, otherwise a portable decode into private memory.
+func loadTyped[T any](f *file, kind uint32, elemSize int, alias bool, decode func([]byte, int) []T) ([]T, error) {
+	e, err := f.section(kind, elemSize)
+	if err != nil {
+		return nil, err
+	}
+	if alias {
+		return aliasSlice[T](f.data, e.off, e.count), nil
+	}
+	return decode(f.payload(e), int(e.count)), nil
+}
+
+func decodeTriples(b []byte, n int) []rdf.Triple {
+	out := make([]rdf.Triple, n)
+	if nativeAliasOK {
+		copy(rawBytes(out, diskTripleSize), b)
+		return out
+	}
+	for i := range out {
+		row := b[i*diskTripleSize:]
+		out[i] = rdf.Triple{
+			S: rdf.ID(binary.LittleEndian.Uint32(row[0:4])),
+			P: rdf.ID(binary.LittleEndian.Uint32(row[4:8])),
+			O: rdf.ID(binary.LittleEndian.Uint32(row[8:12])),
+		}
+	}
+	return out
+}
+
+func decodeSpans(b []byte, n int) []index.Span {
+	out := make([]index.Span, n)
+	if nativeAliasOK {
+		copy(rawBytes(out, diskSpanSize), b)
+		return out
+	}
+	for i := range out {
+		row := b[i*diskSpanSize:]
+		out[i] = index.Span{
+			Lo: int(int64(binary.LittleEndian.Uint64(row[0:8]))),
+			Hi: int(int64(binary.LittleEndian.Uint64(row[8:16]))),
+		}
+	}
+	return out
+}
+
+func decodeU64s(b []byte, n int) []uint64 {
+	out := make([]uint64, n)
+	if nativeAliasOK {
+		copy(rawBytes(out, 8), b)
+		return out
+	}
+	for i := range out {
+		out[i] = binary.LittleEndian.Uint64(b[i*8:])
+	}
+	return out
+}
+
+func decodePredStats(b []byte, n int) []index.PredStat {
+	out := make([]index.PredStat, n)
+	if nativeAliasOK {
+		copy(rawBytes(out, diskPredStatSize), b)
+		return out
+	}
+	for i := range out {
+		row := b[i*diskPredStatSize:]
+		out[i] = index.PredStat{
+			Count: int(int64(binary.LittleEndian.Uint64(row[0:8]))),
+			NdvS:  int(int64(binary.LittleEndian.Uint64(row[8:16]))),
+			NdvO:  int(int64(binary.LittleEndian.Uint64(row[16:24]))),
+		}
+	}
+	return out
+}
+
+func decodeFloats(b []byte, n int) []float64 {
+	out := make([]float64, n)
+	if nativeAliasOK {
+		copy(rawBytes(out, 8), b)
+		return out
+	}
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(b[i*8:]))
+	}
+	return out
+}
+
+// decodeTerms parses the dictionary section. alias=true keeps term strings
+// pointing into the image (zero-copy, mmap); alias=false copies them so the
+// image can be released.
+func decodeTerms(b []byte, n int, alias bool) ([]rdf.Term, error) {
+	terms := make([]rdf.Term, 0, n)
+	off := 0
+	str := func() (string, error) {
+		if off+4 > len(b) {
+			return "", fmt.Errorf("snap: dict section truncated")
+		}
+		l := int(binary.LittleEndian.Uint32(b[off:]))
+		off += 4
+		if l < 0 || off+l > len(b) {
+			return "", fmt.Errorf("snap: dict string runs past section end")
+		}
+		raw := b[off : off+l]
+		off += l
+		if alias {
+			return aliasString(raw), nil
+		}
+		return string(raw), nil
+	}
+	for i := 0; i < n; i++ {
+		if off >= len(b) {
+			return nil, fmt.Errorf("snap: dict section holds fewer than %d terms", n)
+		}
+		kind := rdf.TermKind(b[off])
+		off++
+		if kind > rdf.BlankNode {
+			return nil, fmt.Errorf("snap: term %d has invalid kind %d", i, kind)
+		}
+		var t rdf.Term
+		t.Kind = kind
+		var err error
+		if t.Value, err = str(); err != nil {
+			return nil, err
+		}
+		if t.Datatype, err = str(); err != nil {
+			return nil, err
+		}
+		if t.Lang, err = str(); err != nil {
+			return nil, err
+		}
+		terms = append(terms, t)
+	}
+	return terms, nil
+}
+
+// checkSpans bounds-checks every span of a copy-loaded order against the
+// triple count, so hostile images fail at load rather than panicking inside
+// a query.
+func checkSpans(op index.OrderParts, triples int) error {
+	if len(op.Triples) != triples {
+		return fmt.Errorf("has %d triples, meta says %d", len(op.Triples), triples)
+	}
+	for _, sp := range op.L1 {
+		if sp.Lo < 0 || sp.Hi < sp.Lo || sp.Hi > triples {
+			return fmt.Errorf("level-1 span [%d,%d) out of bounds", sp.Lo, sp.Hi)
+		}
+	}
+	var prev uint64
+	for i, sp := range op.L2Spans {
+		if sp.Lo < 0 || sp.Hi < sp.Lo || sp.Hi > triples {
+			return fmt.Errorf("level-2 span [%d,%d) out of bounds", sp.Lo, sp.Hi)
+		}
+		if i > 0 && op.L2Keys[i] <= prev {
+			return fmt.Errorf("level-2 keys not strictly ascending")
+		}
+		prev = op.L2Keys[i]
+	}
+	return nil
+}

@@ -1,0 +1,18 @@
+//go:build !(linux || darwin)
+
+package snap
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported is false here: ModeAuto degrades to a copy load and
+// ModeMmap reports an explicit error.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, fmt.Errorf("snap: mmap loading unsupported on this platform")
+}
+
+func munmap(data []byte) error { return nil }

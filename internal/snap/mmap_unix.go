@@ -1,0 +1,30 @@
+//go:build linux || darwin
+
+package snap
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mmapSupported gates the zero-copy load path; platforms without it fall
+// back to copy loads (see mmap_stub.go).
+const mmapSupported = true
+
+// mmapFile maps the file read-only and shared, so the pages are backed by
+// the page cache and shared across processes serving the same snapshot.
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("snap: cannot mmap %d-byte file", size)
+	}
+	data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, fmt.Errorf("snap: mmap: %w", err)
+	}
+	return data, nil
+}
+
+func munmap(data []byte) error {
+	return syscall.Munmap(data)
+}

@@ -1,0 +1,58 @@
+package snap
+
+import (
+	"fmt"
+	"unsafe"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// nativeAliasOK reports whether this machine's in-memory layout of the
+// aliased element types coincides with the on-disk format: little-endian,
+// 64-bit ints, and the expected struct sizes (no padding surprises). When it
+// holds, the writer emits raw slice bytes and the mmap loader casts mapped
+// bytes straight to typed slices; when it does not, both sides fall back to
+// portable element-by-element encoding, and mmap loads degrade to copy
+// loads.
+var nativeAliasOK = func() bool {
+	probe := uint16(0x0102)
+	littleEndian := *(*byte)(unsafe.Pointer(&probe)) == 0x02
+	return littleEndian &&
+		unsafe.Sizeof(int(0)) == 8 &&
+		unsafe.Sizeof(rdf.Triple{}) == diskTripleSize &&
+		unsafe.Sizeof(index.Span{}) == diskSpanSize &&
+		unsafe.Sizeof(index.PredStat{}) == diskPredStatSize
+}()
+
+// rawBytes exposes a slice's backing array as bytes. Only valid when
+// nativeAliasOK; elemSize documents (and asserts) the expected stride.
+func rawBytes[T any](s []T, elemSize int) []byte {
+	if len(s) == 0 {
+		return nil
+	}
+	if sz := int(unsafe.Sizeof(s[0])); sz != elemSize {
+		panic(fmt.Sprintf("snap: element size %d, format says %d", sz, elemSize))
+	}
+	return unsafe.Slice((*byte)(unsafe.Pointer(&s[0])), len(s)*elemSize)
+}
+
+// aliasSlice reinterprets a byte range of data as a []T without copying.
+// The caller guarantees bounds and element-size agreement (checked by
+// sectionOf); alignment is guaranteed by the 64-byte section alignment and
+// the page alignment of mmap regions.
+func aliasSlice[T any](data []byte, off, count uint64) []T {
+	if count == 0 {
+		return nil
+	}
+	return unsafe.Slice((*T)(unsafe.Pointer(&data[off])), count)
+}
+
+// aliasString reinterprets a byte range as a string without copying. Safe
+// only while the backing region stays mapped; the mmap loader's contract.
+func aliasString(b []byte) string {
+	if len(b) == 0 {
+		return ""
+	}
+	return unsafe.String(&b[0], len(b))
+}

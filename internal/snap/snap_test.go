@@ -1,0 +1,258 @@
+package snap
+
+import (
+	"bytes"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kgexplore/internal/core"
+	"kgexplore/internal/exec"
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// roundTrip writes st and loads it back in both modes, returning the loaded
+// stores (copy first). Cleanup closes the mmap load.
+func roundTrip(t *testing.T, st *index.Store) (*index.Store, *index.Store) {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "store.kgs")
+	if err := WriteFile(path, st, &Meta{Source: "test"}); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	cp, err := LoadFile(path, Options{Mode: ModeCopy})
+	if err != nil {
+		t.Fatalf("copy load: %v", err)
+	}
+	if cp.Mmap {
+		t.Error("copy load reports Mmap")
+	}
+	mm, err := LoadFile(path, Options{Mode: ModeAuto, Verify: true})
+	if err != nil {
+		t.Fatalf("mmap load: %v", err)
+	}
+	if mmapSupported && nativeAliasOK && !mm.Mmap {
+		t.Error("auto load did not mmap on a supported platform")
+	}
+	t.Cleanup(func() { mm.Close() })
+	return cp.Store, mm.Store
+}
+
+// sameStore compares every observable of the two stores over the full dense
+// ID space and a sweep of level-2 pairs.
+func sameStore(t *testing.T, name string, want, got *index.Store) {
+	t.Helper()
+	ws, gs := want.Stats(), got.Stats()
+	if ws.Triples != gs.Triples || ws.NdvS != gs.NdvS || ws.NdvP != gs.NdvP || ws.NdvO != gs.NdvO {
+		t.Errorf("%s: stats %+v, want %+v", name, gs, ws)
+	}
+	if len(ws.Preds) != len(gs.Preds) {
+		t.Errorf("%s: %d pred stats, want %d", name, len(gs.Preds), len(ws.Preds))
+	}
+	for p, wps := range ws.Preds {
+		if gps := gs.Preds[p]; gps != wps {
+			t.Errorf("%s: pred %d stat %+v, want %+v", name, p, gps, wps)
+		}
+	}
+	n := rdf.ID(want.Dict().Len())
+	for o := index.Order(0); o < 4; o++ {
+		if wt, gt := want.Triples(o), got.Triples(o); len(wt) != len(gt) {
+			t.Fatalf("%s: order %v has %d triples, want %d", name, o, len(gt), len(wt))
+		}
+		for i, tr := range want.Triples(o) {
+			if got.Triples(o)[i] != tr {
+				t.Fatalf("%s: order %v triple %d = %v, want %v", name, o, i, got.Triples(o)[i], tr)
+			}
+		}
+		for v := rdf.ID(0); v < n; v++ {
+			if w, g := want.SpanL1(o, v), got.SpanL1(o, v); w != g {
+				t.Errorf("%s: SpanL1(%v, %d) = %v, want %v", name, o, v, g, w)
+			}
+			// Sweep a deterministic sample of level-2 pairs, including
+			// hits (derived from actual triples) and misses.
+			sp := want.SpanL1(o, v)
+			if !sp.Empty() {
+				tr := want.At(o, sp, 0)
+				p1 := o.Levels()[1]
+				if w, g := want.SpanL2(o, v, index.Field(tr, p1)), got.SpanL2(o, v, index.Field(tr, p1)); w != g {
+					t.Errorf("%s: SpanL2(%v, %d, hit) = %v, want %v", name, o, v, g, w)
+				}
+			}
+			if w, g := want.SpanL2(o, v, v+1), got.SpanL2(o, v, v+1); w != g {
+				t.Errorf("%s: SpanL2(%v, %d, probe) = %v, want %v", name, o, v, g, w)
+			}
+		}
+	}
+	for v := rdf.ID(0); v < n; v++ {
+		wv, wok := want.Numeric(v)
+		gv, gok := got.Numeric(v)
+		if wok != gok || (wok && wv != gv) {
+			t.Errorf("%s: Numeric(%d) = %v,%v want %v,%v", name, v, gv, gok, wv, wok)
+		}
+		if want.Dict().Term(v) != got.Dict().Term(v) {
+			t.Errorf("%s: term %d = %v, want %v", name, v, got.Dict().Term(v), want.Dict().Term(v))
+		}
+	}
+	if want.EstimateBytes() <= 0 || got.EstimateBytes() <= 0 {
+		t.Errorf("%s: EstimateBytes want %d got %d, both must be positive", name, want.EstimateBytes(), got.EstimateBytes())
+	}
+}
+
+func TestRoundTripEquivalence(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		graph *rdf.Graph
+	}{
+		{"random-small", testkit.RandomGraph(1, 30, 5, 20, 300)},
+		{"random-medium", testkit.RandomGraph(7, 200, 12, 150, 4000)},
+		{"single-triple", func() *rdf.Graph {
+			g := rdf.NewGraph()
+			g.AddIRIs("s", "p", "o")
+			g.Dedup()
+			return g
+		}()},
+		{"literals", func() *rdf.Graph {
+			g := rdf.NewGraph()
+			g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewTypedLiteral("3.5", rdf.XSDDouble))
+			g.Add(rdf.NewIRI("s"), rdf.NewIRI("p"), rdf.NewLangLiteral("hi", "en"))
+			g.Add(rdf.NewBlank("b"), rdf.NewIRI("p"), rdf.NewLiteral("x"))
+			g.Dedup()
+			return g
+		}()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			st := index.Build(tc.graph)
+			cp, mm := roundTrip(t, st)
+			sameStore(t, "copy", st, cp)
+			sameStore(t, "mmap", st, mm)
+		})
+	}
+}
+
+func TestRoundTripEmptyStore(t *testing.T) {
+	g := rdf.NewGraph()
+	g.Dict.InternIRI("lonely") // a term with no triples
+	st := index.Build(g)
+	cp, mm := roundTrip(t, st)
+	sameStore(t, "copy", st, cp)
+	sameStore(t, "mmap", st, mm)
+}
+
+// TestAuditJoinEquality drives the same seeded Audit Join run on the built
+// and the snapshot-loaded stores: the estimates must be identical because
+// the sorted arrays (and hence every sampled walk) are byte-identical.
+func TestAuditJoinEquality(t *testing.T) {
+	g := testkit.RandomGraph(42, 120, 8, 90, 2500)
+	st := index.Build(g)
+	p0 := rdf.ID(120) // first predicate ID per RandomGraph layout
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(p0), O: query.V(1)},
+			{S: query.V(1), P: query.C(p0 + 1), O: query.V(2)},
+		},
+		Alpha: query.NoVar,
+		Beta:  2,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(s *index.Store) map[rdf.ID]float64 {
+		r := core.New(s, pl, core.Options{Threshold: core.DefaultThreshold, Seed: 99})
+		exec.RunN(r, 3000)
+		return r.Snapshot().Estimates
+	}
+	want := run(st)
+	cp, mm := roundTrip(t, st)
+	for name, s := range map[string]*index.Store{"copy": cp, "mmap": mm} {
+		got := run(s)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d groups, want %d", name, len(got), len(want))
+		}
+		for gid, w := range want {
+			if g := got[gid]; math.Abs(g-w) > 1e-9*math.Max(1, math.Abs(w)) {
+				t.Errorf("%s: group %d estimate %g, want %g", name, gid, g, w)
+			}
+		}
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	g := testkit.RandomGraph(3, 20, 4, 15, 150)
+	st := index.Build(g)
+	var buf bytes.Buffer
+	if err := Write(&buf, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	if _, err := LoadBytes(data); err != nil {
+		t.Fatalf("pristine image rejected: %v", err)
+	}
+	// Flip one byte in the middle of the payload region: a checksum must
+	// catch it on copy loads.
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	if _, err := LoadBytes(corrupt); err == nil {
+		t.Error("corrupted image loaded without error")
+	}
+	// Truncations must be rejected via the footer, not panic.
+	for _, cut := range []int{1, footerSize, len(data) / 2, len(data) - headerSize} {
+		if _, err := LoadBytes(data[:len(data)-cut]); err == nil {
+			t.Errorf("truncation by %d accepted", cut)
+		}
+	}
+	if _, err := LoadBytes([]byte("KGSNAP1\nnope")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestVerifyOptionOnMmap(t *testing.T) {
+	if !mmapSupported || !nativeAliasOK {
+		t.Skip("no mmap on this platform")
+	}
+	g := testkit.RandomGraph(5, 20, 4, 15, 150)
+	st := index.Build(g)
+	path := filepath.Join(t.TempDir(), "store.kgs")
+	if err := WriteFile(path, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt a payload byte but fix nothing else: the unverified mmap load
+	// must still succeed structurally, the verified one must fail.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[sectionAlign+len(data)/3] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path, Options{Mode: ModeMmap, Verify: true}); err == nil {
+		t.Error("verified mmap load accepted corrupt payload")
+	}
+}
+
+func TestDictLookupAfterLoad(t *testing.T) {
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "knows", "bob")
+	g.Dedup()
+	st := index.Build(g)
+	cp, mm := roundTrip(t, st)
+	for name, s := range map[string]*index.Store{"copy": cp, "mmap": mm} {
+		id, ok := s.Dict().LookupIRI("alice")
+		if !ok {
+			t.Fatalf("%s: alice not found", name)
+		}
+		if got := s.Dict().Term(id); got.Value != "alice" {
+			t.Errorf("%s: term %d = %v", name, id, got)
+		}
+		// Interning new terms after a load must keep working (dictionary
+		// only grows; IDs stay stable).
+		nid := s.Dict().InternIRI("carol")
+		if int(nid) != s.Dict().Len()-1 {
+			t.Errorf("%s: new term got ID %d, dict len %d", name, nid, s.Dict().Len())
+		}
+	}
+}

@@ -40,6 +40,7 @@ import (
 	"kgexplore/internal/lftj"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
+	"kgexplore/internal/snap"
 	"kgexplore/internal/sparql"
 	"kgexplore/internal/wj"
 )
@@ -208,6 +209,69 @@ func LoadSnapshot(r io.Reader) (*Dataset, error) {
 	return FromGraph(g, RootThing)
 }
 
+// FromStore prepares a dataset from an already-built index store — the
+// snapshot-load path, where re-running Build would defeat the point. The
+// store must contain the materialized subclass closure (stores built through
+// FromGraph or written by kgsnap do). The dataset's graph view aliases the
+// store's SPO order, which is exactly the deduplicated (S,P,O)-sorted triple
+// set.
+func FromStore(st *index.Store, rootIRI string) (*Dataset, error) {
+	schema, err := explore.SchemaOf(st.Dict(), rootIRI)
+	if err != nil {
+		return nil, err
+	}
+	g := &rdf.Graph{Dict: st.Dict(), Triples: st.Triples(index.SPO)}
+	return &Dataset{graph: g, store: st, schema: schema}, nil
+}
+
+// StoreSnapshot is a dataset loaded from a store snapshot (see
+// internal/snap): the prepared dataset plus the resources backing it. For
+// mmap loads the index arrays alias the mapping, so the dataset must not be
+// used after Close; Close on copy loads is a no-op.
+type StoreSnapshot struct {
+	Dataset *Dataset
+	// Mmap reports whether the load was zero-copy over a live mapping.
+	Mmap bool
+	// Source is the provenance string recorded when the snapshot was
+	// written.
+	Source string
+	loaded *snap.Loaded
+}
+
+// Close releases the snapshot's mapping, if any. Every reader of the
+// dataset must be drained first.
+func (s *StoreSnapshot) Close() error { return s.loaded.Close() }
+
+// WriteStoreSnapshotFile writes the dataset's fully built index store as a
+// store snapshot (atomic temp-file-and-rename): dictionary, the four sorted
+// orders, span levels, statistics and the numeric cache. Loading it skips
+// index.Build entirely, unlike the graph-level WriteSnapshot.
+func (d *Dataset) WriteStoreSnapshotFile(path, source string) error {
+	return snap.WriteFile(path, d.store, &snap.Meta{Source: source, CreatedUnix: time.Now().Unix()})
+}
+
+// LoadStoreSnapshotFile loads a store snapshot written by
+// WriteStoreSnapshotFile or kgsnap. With mmap true the index arrays alias
+// the file mapping (zero-copy, page-cache-bounded startup, falling back to a
+// copy load on platforms without mmap); with mmap false the snapshot is
+// fully verified and copied into private memory.
+func LoadStoreSnapshotFile(path string, mmap bool) (*StoreSnapshot, error) {
+	mode := snap.ModeCopy
+	if mmap {
+		mode = snap.ModeAuto
+	}
+	l, err := snap.LoadFile(path, snap.Options{Mode: mode})
+	if err != nil {
+		return nil, err
+	}
+	ds, err := FromStore(l.Store, RootThing)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	return &StoreSnapshot{Dataset: ds, Mmap: l.Mmap, Source: l.Meta.Source, loaded: l}, nil
+}
+
 // Explain renders a compiled plan's access paths and cardinality estimates.
 func (d *Dataset) Explain(pl *Plan) string { return pl.Explain(d.store) }
 
@@ -249,9 +313,17 @@ func LoadNTriples(r io.Reader) (*Dataset, error) {
 }
 
 // LoadFile loads a dataset from a file, choosing the format by extension:
-// ".ttl" Turtle, ".kgx" binary snapshot (WriteSnapshot), anything else
-// N-Triples.
+// ".ttl" Turtle, ".kgx" binary graph snapshot (WriteSnapshot), ".kgs" store
+// snapshot (loaded in copy mode; use LoadStoreSnapshotFile for the mmap
+// fast path), anything else N-Triples.
 func LoadFile(path string) (*Dataset, error) {
+	if strings.HasSuffix(path, ".kgs") {
+		ss, err := LoadStoreSnapshotFile(path, false)
+		if err != nil {
+			return nil, err
+		}
+		return ss.Dataset, nil
+	}
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
