@@ -20,30 +20,33 @@ import (
 
 func main() {
 	var (
-		all      = flag.Bool("all", false, "run every experiment")
-		table1   = flag.Bool("table1", false, "Table I: dataset information")
-		fig8     = flag.Bool("fig8", false, "Fig. 8: six selected queries")
-		fig9     = flag.Bool("fig9", false, "Fig. 9: all queries, distinct")
-		fig10    = flag.Bool("fig10", false, "Fig. 10: all queries, no distinct")
-		fig11    = flag.Bool("fig11", false, "Fig. 11: rejection rates")
-		stime    = flag.Bool("sampletime", false, "average sample times (§V-C)")
-		full     = flag.Bool("full", false, "use the paper's 9s x 1s protocol and 25 paths")
-		scale    = flag.Float64("scale", 0.05, "dataset scale factor")
-		budget   = flag.Duration("budget", 0, "override online-aggregation budget per query")
-		interval = flag.Duration("interval", 0, "override snapshot interval")
-		paths    = flag.Int("paths", 0, "override exploration paths per dataset")
-		steps    = flag.Int("steps", 0, "override max exploration steps per path")
-		seed     = flag.Int64("seed", 1, "random seed")
-		thresh   = flag.Float64("threshold", 0, "override Audit Join tipping threshold")
-		nobase   = flag.Bool("skip-baseline", false, "skip the baseline engine in Fig. 8")
-		csvDir   = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
-		idxBench = flag.Bool("indexbench", false, "run the storage-layer microbenchmarks and write -benchout")
-		benchOut = flag.String("benchout", "BENCH_index.json", "output path for -indexbench")
-		parBench  = flag.Bool("parallelbench", false, "run the parallel Audit Join shared-cache benchmark and write -parallelout")
-		parOut    = flag.String("parallelout", "BENCH_parallel.json", "output path for -parallelbench")
-		parWalks  = flag.Int64("parallelwalks", 1000, "walks per worker in -parallelbench")
-		snapBench = flag.Bool("snapbench", false, "run the startup-path benchmark (build vs snapshot loads) and write -snapout")
-		snapOut   = flag.String("snapout", "BENCH_startup.json", "output path for -snapbench")
+		all        = flag.Bool("all", false, "run every experiment")
+		table1     = flag.Bool("table1", false, "Table I: dataset information")
+		fig8       = flag.Bool("fig8", false, "Fig. 8: six selected queries")
+		fig9       = flag.Bool("fig9", false, "Fig. 9: all queries, distinct")
+		fig10      = flag.Bool("fig10", false, "Fig. 10: all queries, no distinct")
+		fig11      = flag.Bool("fig11", false, "Fig. 11: rejection rates")
+		stime      = flag.Bool("sampletime", false, "average sample times (§V-C)")
+		full       = flag.Bool("full", false, "use the paper's 9s x 1s protocol and 25 paths")
+		scale      = flag.Float64("scale", 0.05, "dataset scale factor")
+		budget     = flag.Duration("budget", 0, "override online-aggregation budget per query")
+		interval   = flag.Duration("interval", 0, "override snapshot interval")
+		paths      = flag.Int("paths", 0, "override exploration paths per dataset")
+		steps      = flag.Int("steps", 0, "override max exploration steps per path")
+		seed       = flag.Int64("seed", 1, "random seed")
+		thresh     = flag.Float64("threshold", 0, "override Audit Join tipping threshold")
+		nobase     = flag.Bool("skip-baseline", false, "skip the baseline engine in Fig. 8")
+		csvDir     = flag.String("csvdir", "", "also write machine-readable CSVs into this directory")
+		idxBench   = flag.Bool("indexbench", false, "run the storage-layer microbenchmarks and write -benchout")
+		benchOut   = flag.String("benchout", "BENCH_index.json", "output path for -indexbench")
+		parBench   = flag.Bool("parallelbench", false, "run the parallel Audit Join shared-cache benchmark and write -parallelout")
+		parOut     = flag.String("parallelout", "BENCH_parallel.json", "output path for -parallelbench")
+		parWalks   = flag.Int64("parallelwalks", 1000, "walks per worker in -parallelbench")
+		snapBench  = flag.Bool("snapbench", false, "run the startup-path benchmark (build vs snapshot loads) and write -snapout")
+		snapOut    = flag.String("snapout", "BENCH_startup.json", "output path for -snapbench")
+		shardBench = flag.Bool("shardbench", false, "run the sharded scatter-gather benchmark and write -shardout")
+		shardOut   = flag.String("shardout", "BENCH_shard.json", "output path for -shardbench")
+		shardWalks = flag.Int64("shardwalks", 200000, "total walks per shard count in -shardbench")
 	)
 	flag.Parse()
 
@@ -177,6 +180,12 @@ func main() {
 	if *snapBench {
 		any = true
 		if err := runSnapBench(w, *snapOut, *scale); err != nil {
+			fail(err)
+		}
+	}
+	if *shardBench {
+		any = true
+		if err := runShardBench(w, *shardOut, *scale, *seed, *shardWalks); err != nil {
 			fail(err)
 		}
 	}

@@ -7,6 +7,8 @@
 //	kgserver -gen dbpedia -scale 0.1 -addr :8080
 //	kgserver -load data.nt -addr :8080
 //	kgserver -snapshot data.kgs -addr :8080      # mmap'ed store snapshot
+//	kgserver -snapshot data.kgm -addr :8080      # sharded store set (kgsnap shard)
+//	kgserver -gen dbpedia -shards 4 -addr :8080  # shard in-process, scatter-gather aj
 //
 // Then open http://localhost:8080/ for the UI, or use the API:
 //
@@ -28,6 +30,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"kgexplore"
@@ -42,9 +45,16 @@ func main() {
 	snapshot := flag.String("snapshot", "", "serve a store snapshot (.kgs, see kgsnap) instead of generating")
 	snapMode := flag.String("snapmode", "mmap", "how to load -snapshot: mmap (zero-copy) or copy (verified)")
 	addr := flag.String("addr", ":8080", "listen address")
+	shards := flag.Int("shards", 0, "shard the dataset in-process into N shards and serve scatter-gather Audit Join")
+	partitioner := flag.String("partitioner", "", "partitioner for -shards (default "+kgexplore.DefaultPartitioner+")")
 	adminOn := flag.Bool("admin", false, "expose POST /admin/swap for hot-swapping the served store")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	if *snapshot != "" && strings.HasSuffix(*snapshot, ".kgm") {
+		serveSharded(*snapshot, *snapMode, *addr, *adminOn, *pprofOn)
+		return
+	}
 
 	var (
 		ds     *kgexplore.Dataset
@@ -73,7 +83,19 @@ func main() {
 		prov.LoadMillis = time.Since(start).Milliseconds()
 	}
 
-	srv := server.NewWithProvenance(ds, prov, closer)
+	var srv *server.Server
+	if *shards > 0 {
+		sds, err := ds.BuildSharded(*shards, *partitioner)
+		if err != nil {
+			fatal(err)
+		}
+		prov.Kind = "sharded"
+		prov.Shards = sds.NumShards()
+		prov.LoadMillis = time.Since(start).Milliseconds()
+		srv = server.NewSharded(sds, prov)
+	} else {
+		srv = server.NewWithProvenance(ds, prov, closer)
+	}
 	srv.EnablePprof = *pprofOn
 	srv.EnableAdmin = *adminOn
 	if *pprofOn {
@@ -86,9 +108,30 @@ func main() {
 	if prov.Mmap {
 		mode += "/mmap"
 	}
+	if prov.Shards > 0 {
+		mode += fmt.Sprintf("/%d-shards", prov.Shards)
+	}
 	fmt.Fprintf(os.Stderr, "kgserver: %d triples ready in %dms (%s from %s); listening on %s\n",
-		ds.NumTriples(), prov.LoadMillis, mode, prov.Source, *addr)
+		prov.Triples, prov.LoadMillis, mode, prov.Source, *addr)
 	if err := http.ListenAndServe(*addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// serveSharded serves a shard set from its .kgm manifest (kgsnap shard):
+// per-shard .kgs snapshots are mmap'ed unless -snapmode=copy, and charts run
+// scatter-gather Audit Join.
+func serveSharded(path, snapMode, addr string, adminOn, pprofOn bool) {
+	sds, prov, err := server.LoadShardedDataset(path, snapMode != "copy")
+	if err != nil {
+		fatal(err)
+	}
+	srv := server.NewSharded(sds, prov)
+	srv.EnablePprof = pprofOn
+	srv.EnableAdmin = adminOn
+	fmt.Fprintf(os.Stderr, "kgserver: %d triples in %d shards ready in %dms (sharded from %s); listening on %s\n",
+		prov.Triples, prov.Shards, prov.LoadMillis, prov.Source, addr)
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
 		fatal(err)
 	}
 }

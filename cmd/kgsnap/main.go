@@ -7,14 +7,16 @@
 //
 //	kgsnap build -load data.nt -out data.kgs
 //	kgsnap build -gen dbpedia -scale 0.1 -out dbpedia.kgs
-//	kgsnap info data.kgs
-//	kgsnap verify data.kgs
+//	kgsnap shard -gen dbpedia -scale 0.1 -shards 4 -out dbpedia.kgm
+//	kgsnap info data.kgs     # also accepts .kgm shard manifests
+//	kgsnap verify data.kgs   # .kgm: checksums + partition placement scan
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"kgexplore"
@@ -29,6 +31,8 @@ func main() {
 	switch os.Args[1] {
 	case "build":
 		build(os.Args[2:])
+	case "shard":
+		shardBuild(os.Args[2:])
 	case "info":
 		inspect(os.Args[2:], false)
 	case "verify":
@@ -41,8 +45,9 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   kgsnap build -load FILE | -gen dbpedia|lgd [-scale S]  -out FILE.kgs
-  kgsnap info FILE.kgs     # header, metadata and section table
-  kgsnap verify FILE.kgs   # full checksum + structural verification
+  kgsnap shard -load FILE | -gen dbpedia|lgd [-scale S] -shards K [-partitioner P] -out FILE.kgm
+  kgsnap info FILE.kgs|FILE.kgm     # header, metadata and section table
+  kgsnap verify FILE.kgs|FILE.kgm   # full checksum + structural verification
 `)
 	os.Exit(2)
 }
@@ -63,25 +68,8 @@ func build(args []string) {
 		usage()
 	}
 
-	var (
-		ds     *kgexplore.Dataset
-		source string
-		err    error
-	)
 	start := time.Now()
-	switch {
-	case *load != "":
-		source = *load
-		ds, err = kgexplore.LoadFile(*load)
-	case *gen == "lgd":
-		source = fmt.Sprintf("lgd-sim@%g", *scale)
-		ds, err = kgexplore.GenerateLGDSim(*scale)
-	case *gen == "dbpedia":
-		source = fmt.Sprintf("dbpedia-sim@%g", *scale)
-		ds, err = kgexplore.GenerateDBpediaSim(*scale)
-	default:
-		usage()
-	}
+	ds, source, err := loadInput(*load, *gen, *scale)
 	if err != nil {
 		fatal(err)
 	}
@@ -100,11 +88,112 @@ func build(args []string) {
 		time.Since(start).Round(time.Millisecond))
 }
 
+// loadInput resolves the shared -load/-gen flags of build and shard.
+func loadInput(load, gen string, scale float64) (*kgexplore.Dataset, string, error) {
+	switch {
+	case load != "":
+		ds, err := kgexplore.LoadFile(load)
+		return ds, load, err
+	case gen == "lgd":
+		ds, err := kgexplore.GenerateLGDSim(scale)
+		return ds, fmt.Sprintf("lgd-sim@%g", scale), err
+	case gen == "dbpedia":
+		ds, err := kgexplore.GenerateDBpediaSim(scale)
+		return ds, fmt.Sprintf("dbpedia-sim@%g", scale), err
+	}
+	usage()
+	return nil, "", nil
+}
+
+func shardBuild(args []string) {
+	fs := flag.NewFlagSet("shard", flag.ExitOnError)
+	load := fs.String("load", "", "input dataset (N-Triples, Turtle, .kgx, .kgs)")
+	gen := fs.String("gen", "", "generate a synthetic dataset instead: dbpedia or lgd")
+	scale := fs.Float64("scale", 0.05, "scale for -gen")
+	shards := fs.Int("shards", 4, "number of shards")
+	partitioner := fs.String("partitioner", "", "partitioner (default "+kgexplore.DefaultPartitioner+")")
+	out := fs.String("out", "", "output manifest path (.kgm); shard .kgs files land next to it")
+	fs.Parse(args)
+	if *out == "" || (*load == "") == (*gen == "") {
+		usage()
+	}
+
+	start := time.Now()
+	ds, source, err := loadInput(*load, *gen, *scale)
+	if err != nil {
+		fatal(err)
+	}
+	sds, err := ds.BuildSharded(*shards, *partitioner)
+	if err != nil {
+		fatal(err)
+	}
+	built := time.Since(start)
+
+	start = time.Now()
+	m, err := sds.WriteShardedSnapshots(*out, source)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kgsnap: %d triples in %d shards (%s) built in %v, written to %s in %v\n",
+		sds.NumTriples(), m.Shards, m.Partitioner, built.Round(time.Millisecond), *out,
+		time.Since(start).Round(time.Millisecond))
+}
+
+// shardInspect prints (info) or deep-checks (verify) a shard manifest. For
+// verify that means every shard's checksums plus the partition placement
+// scan — a set that fails must not be served.
+func shardInspect(path string, verify bool) {
+	start := time.Now()
+	var (
+		m   kgexplore.ShardManifest
+		err error
+	)
+	if verify {
+		m, err = kgexplore.VerifyShardSet(path)
+	} else {
+		sds, lerr := kgexplore.LoadShardedDataset(path, true)
+		if lerr == nil {
+			sds.Close()
+		}
+		m, err = kgexplore.ReadShardManifest(path)
+		if err == nil && lerr != nil {
+			err = lerr
+		}
+	}
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+	elapsed := time.Since(start)
+
+	total := 0
+	for _, f := range m.Files {
+		total += f.Triples
+	}
+	fmt.Printf("%s: shard manifest, format v%d\n", path, m.Version)
+	fmt.Printf("  shards:      %d\n", m.Shards)
+	fmt.Printf("  partitioner: %s\n", m.Partitioner)
+	fmt.Printf("  triples:     %d\n", total)
+	fmt.Printf("  source:      %s\n", orDash(m.Source))
+	if m.CreatedUnix != 0 {
+		fmt.Printf("  created:     %s\n", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
+	}
+	for i, f := range m.Files {
+		fmt.Printf("  shard %2d:    %s (%d triples)\n", i, f.Path, f.Triples)
+	}
+	if verify {
+		fmt.Printf("  verified:    checksums and partition placement OK (%v)\n", elapsed.Round(time.Millisecond))
+	}
+}
+
 func inspect(args []string, verify bool) {
 	if len(args) != 1 {
 		usage()
 	}
 	path := args[0]
+	if strings.HasSuffix(path, ".kgm") {
+		shardInspect(path, verify)
+		return
+	}
 	start := time.Now()
 	// verify: a copy load checks every section checksum and all span bounds.
 	// info: an unverified mmap load (if available) only reads the metadata.

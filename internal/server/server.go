@@ -34,29 +34,55 @@ type Provenance struct {
 	Source string `json:"source"`
 	// Kind is how it was materialized: "parsed" (text formats or graph
 	// snapshots, through index.Build), "snapshot" (store snapshot, no
-	// build), or "generated".
+	// build), "generated", or "sharded" (a shard-set manifest).
 	Kind string `json:"kind"`
 	// Mmap is set on zero-copy snapshot loads.
 	Mmap bool `json:"mmap,omitempty"`
 	// Triples is the store's triple count at load time.
 	Triples int `json:"triples"`
+	// Shards is the shard count for sharded stores (0 for monolithic).
+	Shards int `json:"shards,omitempty"`
 	// LoadMillis is how long the load (parse+build, or snapshot read) took.
 	LoadMillis int64 `json:"loadMillis"`
+}
+
+// backend is what the handlers need from a served store, satisfied by both
+// *kgexplore.Dataset and *kgexplore.ShardedDataset. Engine dispatch (which
+// differs between the two) lives in evaluate/streamChart, not here.
+type backend interface {
+	NumTriples() int
+	IndexBytes() int64
+	Dict() *kgexplore.Dict
+	Root() *kgexplore.ExploreState
+	ParseQuery(string) (*kgexplore.ParsedQuery, error)
+	Compile(*kgexplore.Query) (*kgexplore.Plan, error)
+	BarsOf(map[kgexplore.ID]float64, map[kgexplore.ID]float64) []kgexplore.Bar
 }
 
 // epoch is one served dataset generation. Requests acquire the current epoch
 // for their whole run, so a hot swap never frees a store out from under an
 // in-flight query: the old epoch's closer (an mmap'ed snapshot, typically)
 // runs only when the server reference and every request reference are gone.
+// Exactly one of ds/sds is non-nil; be always is.
 type epoch struct {
-	ds     *kgexplore.Dataset
+	be     backend
+	ds     *kgexplore.Dataset        // monolithic store, nil when sharded
+	sds    *kgexplore.ShardedDataset // shard set, nil when monolithic
 	prov   Provenance
 	closer io.Closer
 	refs   atomic.Int64 // starts at 1 for the server's own reference
 }
 
 func newEpoch(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) *epoch {
-	e := &epoch{ds: ds, prov: prov, closer: closer}
+	e := &epoch{be: ds, ds: ds, prov: prov, closer: closer}
+	e.refs.Store(1)
+	return e
+}
+
+func newShardedEpoch(sds *kgexplore.ShardedDataset, prov Provenance) *epoch {
+	// The shard set owns its snapshot mappings; closing it is the epoch
+	// drain action.
+	e := &epoch{be: sds, sds: sds, prov: prov, closer: sds}
 	e.refs.Store(1)
 	return e
 }
@@ -120,10 +146,14 @@ type session struct {
 }
 
 // planCache is one warm-start entry: the shared CTJ cache for a plan
-// signature plus its LRU timestamp.
+// signature (monolithic aj runs) or the per-shard suffix caches (sharded
+// scatter-gather runs), plus its LRU timestamp. Both kinds key on the plan
+// signature and are dropped wholesale on Swap, since their keys embed the
+// epoch's dictionary IDs.
 type planCache struct {
-	cache    *kgexplore.SharedCTJCache
-	lastUsed time.Time
+	cache       *kgexplore.SharedCTJCache
+	shardCaches []*kgexplore.ShardCache
+	lastUsed    time.Time
 }
 
 // New creates a server over a prepared dataset. Use NewWithProvenance to
@@ -137,8 +167,18 @@ func New(ds *kgexplore.Dataset) *Server {
 // store provenance. closer, if non-nil, is closed when the dataset's epoch
 // fully drains after a Swap (never while any request still uses it).
 func NewWithProvenance(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) *Server {
+	return newServer(newEpoch(ds, prov, closer))
+}
+
+// NewSharded creates a server over a sharded dataset; chart requests then
+// run scatter-gather Audit Join instead of the monolithic engines.
+func NewSharded(sds *kgexplore.ShardedDataset, prov Provenance) *Server {
+	return newServer(newShardedEpoch(sds, prov))
+}
+
+func newServer(e *epoch) *Server {
 	return &Server{
-		cur:           newEpoch(ds, prov, closer),
+		cur:           e,
 		sessions:      make(map[string]*session),
 		planCaches:    make(map[string]*planCache),
 		MaxBudget:     5 * time.Second,
@@ -166,7 +206,18 @@ func (s *Server) acquire() *epoch {
 // point its closer (if any) runs. Safe to call concurrently with request
 // traffic — that is its purpose.
 func (s *Server) Swap(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) {
-	ne := newEpoch(ds, prov, closer)
+	s.swapEpoch(newEpoch(ds, prov, closer))
+}
+
+// SwapSharded hot-swaps the served store for a shard set, with the same
+// epoch semantics as Swap: the old store (sharded or not) drains before its
+// closer runs, and the new one serves immediately. A server can swap freely
+// between monolithic and sharded epochs.
+func (s *Server) SwapSharded(sds *kgexplore.ShardedDataset, prov Provenance) {
+	s.swapEpoch(newShardedEpoch(sds, prov))
+}
+
+func (s *Server) swapEpoch(ne *epoch) {
 	s.mu.Lock()
 	old := s.cur
 	s.cur = ne
@@ -198,21 +249,50 @@ func (s *Server) sharedCacheFor(pl *kgexplore.Plan) *kgexplore.SharedCTJCache {
 	defer s.mu.Unlock()
 	e, ok := s.planCaches[sig]
 	if !ok {
-		for len(s.planCaches) >= s.MaxPlanCaches {
-			var oldest string
-			var oldestT time.Time
-			for k, pc := range s.planCaches {
-				if oldest == "" || pc.lastUsed.Before(oldestT) {
-					oldest, oldestT = k, pc.lastUsed
-				}
-			}
-			delete(s.planCaches, oldest)
-		}
 		e = &planCache{cache: kgexplore.NewSharedCTJCache()}
-		s.planCaches[sig] = e
+		s.insertPlanCacheLocked(sig, e)
 	}
 	e.lastUsed = now
 	return e.cache
+}
+
+// shardCachesFor is sharedCacheFor's sharded counterpart: the warm
+// per-shard suffix caches for the plan's signature, shared by every
+// scatter-gather run of that plan within the epoch.
+func (s *Server) shardCachesFor(pl *kgexplore.Plan, k int) []*kgexplore.ShardCache {
+	if s.MaxPlanCaches <= 0 {
+		return nil
+	}
+	sig := pl.Query.Signature()
+	now := s.now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.planCaches[sig]
+	if !ok {
+		e = &planCache{}
+		s.insertPlanCacheLocked(sig, e)
+	}
+	if len(e.shardCaches) != k {
+		e.shardCaches = kgexplore.NewShardCaches(k)
+	}
+	e.lastUsed = now
+	return e.shardCaches
+}
+
+// insertPlanCacheLocked adds a warm-start entry, evicting the least
+// recently used one over the cap; callers hold s.mu.
+func (s *Server) insertPlanCacheLocked(sig string, e *planCache) {
+	for len(s.planCaches) >= s.MaxPlanCaches {
+		var oldest string
+		var oldestT time.Time
+		for k, pc := range s.planCaches {
+			if oldest == "" || pc.lastUsed.Before(oldestT) {
+				oldest, oldestT = k, pc.lastUsed
+			}
+		}
+		delete(s.planCaches, oldest)
+	}
+	s.planCaches[sig] = e
 }
 
 // InvalidateShared drops every warm-start cache. This is the invalidation
@@ -301,15 +381,20 @@ func writeErr(w http.ResponseWriter, code int, err error) {
 type InfoResponse struct {
 	Triples    int   `json:"triples"`
 	IndexBytes int64 `json:"indexBytes"`
+	Shards     int   `json:"shards,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	e := s.acquire()
 	defer e.release()
-	writeJSON(w, http.StatusOK, InfoResponse{
-		Triples:    e.ds.NumTriples(),
-		IndexBytes: e.ds.IndexBytes(),
-	})
+	resp := InfoResponse{
+		Triples:    e.be.NumTriples(),
+		IndexBytes: e.be.IndexBytes(),
+	}
+	if e.sds != nil {
+		resp.Shards = e.sds.NumShards()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // HealthResponse is the /healthz payload: liveness plus store provenance,
@@ -319,6 +404,7 @@ type HealthResponse struct {
 	Status   string     `json:"status"`
 	Store    Provenance `json:"store"`
 	Swaps    int        `json:"swaps"`
+	Shards   int        `json:"shards,omitempty"`
 	Rebuilds int        `json:"rebuilds,omitempty"`
 	Sessions int        `json:"sessions"`
 }
@@ -330,6 +416,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	swaps, nsess := s.swaps, len(s.sessions)
 	s.mu.Unlock()
 	resp := HealthResponse{Status: "ok", Store: e.prov, Swaps: swaps, Sessions: nsess}
+	if e.sds != nil {
+		resp.Shards = e.sds.NumShards()
+	}
 	if s.RebuildsFn != nil {
 		resp.Rebuilds = s.RebuildsFn()
 	}
@@ -338,7 +427,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 
 // SwapRequest asks the server to replace its dataset from a file. Paths
 // ending in ".kgs" load as store snapshots (mmap'ed unless mode is "copy");
-// anything else goes through the parsing loader.
+// paths ending in ".kgm" load as sharded store sets; anything else goes
+// through the parsing loader.
 type SwapRequest struct {
 	Path string `json:"path"`
 	Mode string `json:"mode"` // "", "mmap", "copy" (snapshot paths only)
@@ -360,6 +450,16 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing path"))
 		return
 	}
+	if strings.HasSuffix(req.Path, ".kgm") {
+		sds, prov, err := LoadShardedDataset(req.Path, req.Mode != "copy")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		s.SwapSharded(sds, prov)
+		writeJSON(w, http.StatusOK, SwapResponse{Store: prov, Swaps: s.Swaps()})
+		return
+	}
 	ds, prov, closer, err := LoadDataset(req.Path, req.Mode != "copy")
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
@@ -367,6 +467,25 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 	}
 	s.Swap(ds, prov, closer)
 	writeJSON(w, http.StatusOK, SwapResponse{Store: prov, Swaps: s.Swaps()})
+}
+
+// LoadShardedDataset loads a shard set for serving from its .kgm manifest,
+// returning it with the provenance a sharded epoch records.
+func LoadShardedDataset(path string, mmap bool) (*kgexplore.ShardedDataset, Provenance, error) {
+	start := time.Now()
+	sds, err := kgexplore.LoadShardedDataset(path, mmap)
+	if err != nil {
+		return nil, Provenance{}, err
+	}
+	prov := Provenance{
+		Source:     path,
+		Kind:       "sharded",
+		Mmap:       mmap,
+		Triples:    sds.NumTriples(),
+		Shards:     sds.NumShards(),
+		LoadMillis: time.Since(start).Milliseconds(),
+	}
+	return sds, prov, nil
 }
 
 // LoadDataset loads a dataset for serving, dispatching on the path: ".kgs"
@@ -412,7 +531,7 @@ type StateResponse struct {
 	Ops      []string `json:"ops"`
 }
 
-func stateResponse(ds *kgexplore.Dataset, id string, sess *session) StateResponse {
+func stateResponse(ds backend, id string, sess *session) StateResponse {
 	var ops []string
 	for _, op := range kgexplore.ExpansionsOf(sess.state) {
 		ops = append(ops, op.String())
@@ -437,11 +556,11 @@ func (s *Server) handleNewSession(w http.ResponseWriter, _ *http.Request) {
 	id := strconv.FormatInt(s.nextID, 10)
 	e := s.cur
 	e.refs.Add(1)
-	sess := &session{state: e.ds.Root(), lastUsed: now}
+	sess := &session{state: e.be.Root(), lastUsed: now}
 	s.sessions[id] = sess
 	s.mu.Unlock()
 	defer e.release()
-	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
+	writeJSON(w, http.StatusOK, stateResponse(e.be, id, sess))
 }
 
 // acquireSession resolves a session AND pins the serving epoch under one
@@ -471,7 +590,7 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	defer e.release()
-	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
+	writeJSON(w, http.StatusOK, stateResponse(e.be, id, sess))
 }
 
 // ChartRequest asks for an expansion's bar chart.
@@ -502,6 +621,7 @@ type ChartResponse struct {
 	Bars    []ChartBar       `json:"bars"`
 	Walks   int64            `json:"walks,omitempty"`
 	Final   bool             `json:"final,omitempty"`
+	Shards  int              `json:"shards,omitempty"`
 	Cache   *ChartCacheStats `json:"cache,omitempty"`
 }
 
@@ -594,22 +714,22 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	pl, err := e.ds.Compile(q)
+	pl, err := e.be.Compile(q)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	if r.URL.Query().Get("stream") == "1" {
-		s.streamChart(w, r, e.ds, req.Op, pl, req)
+		s.streamChart(w, r, e, req.Op, pl, req)
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, err := s.evaluate(r.Context(), e.ds, pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := chartResponse(e.ds, req.Op, engineName(req.Engine), counts, ci, req.TopN)
+	resp := chartResponse(e, req.Op, engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
 	resp.Cache = cache
 	writeJSON(w, http.StatusOK, resp)
@@ -623,9 +743,12 @@ func engineName(e string) string {
 }
 
 // chartResponse renders per-group counts as sorted, truncated bars.
-func chartResponse(ds *kgexplore.Dataset, op, engine string, counts, ci map[kgexplore.ID]float64, topN int) ChartResponse {
+func chartResponse(e *epoch, op, engine string, counts, ci map[kgexplore.ID]float64, topN int) ChartResponse {
 	resp := ChartResponse{Op: op, Engine: engine}
-	bars := ds.BarsOf(counts, ci)
+	if e.sds != nil {
+		resp.Shards = e.sds.NumShards()
+	}
+	bars := e.be.BarsOf(counts, ci)
 	resp.NumBars = len(bars)
 	if topN > 0 && len(bars) > topN {
 		bars = bars[:topN]
@@ -671,7 +794,11 @@ func (s *Server) onlineRunner(ds *kgexplore.Dataset, pl *kgexplore.Plan, engine 
 	}
 }
 
-func (s *Server) evaluate(ctx context.Context, ds *kgexplore.Dataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
+func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
+	if e.sds != nil {
+		return s.evaluateSharded(ctx, e.sds, pl, engine, budgetMS)
+	}
+	ds := e.ds
 	switch engine {
 	case "ctj":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
@@ -694,16 +821,67 @@ func (s *Server) evaluate(ctx context.Context, ds *kgexplore.Dataset, pl *kgexpl
 	return rep.Final.Estimates, rep.Final.CI, cacheStatsOf(r), nil
 }
 
+// scatterOptions maps an online engine name onto scatter-gather settings:
+// aj tips at the default threshold; wj never tips (pure random walks, the
+// Wander Join analog). Both share the plan's warm per-shard caches.
+func (s *Server) scatterOptions(sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string) (kgexplore.ShardScatterOptions, bool) {
+	opts := kgexplore.ShardScatterOptions{
+		Seed:   time.Now().UnixNano(),
+		Caches: s.shardCachesFor(pl, sds.NumShards()),
+	}
+	switch engine {
+	case "aj", "":
+		opts.Threshold = kgexplore.DefaultTippingThreshold
+	case "wj":
+		opts.Threshold = -1
+	default:
+		return opts, false
+	}
+	return opts, true
+}
+
+// evaluateSharded answers a chart request over a sharded epoch: exact
+// engines run the resolver-backed enumeration over all shards; online
+// engines run scatter-gather Audit Join with stratified merging.
+func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
+	switch engine {
+	case "ctj", "lftj", "baseline":
+		res, err := sds.ExactCtx(ctx, pl)
+		return res, nil, nil, err
+	}
+	opts, ok := s.scatterOptions(sds, pl, engine)
+	if !ok {
+		return nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
+	}
+	res, _, err := sds.RunScatter(ctx, pl, opts, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return res.Estimates, res.CI, nil, nil
+}
+
 // streamChart answers a `?stream=1` chart request with Server-Sent Events:
 // one ChartResponse per snapshot interval, each strictly further along than
 // the last, and a Final event when the budget elapses. Closing the
 // connection cancels the run through the request context.
-func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, ds *kgexplore.Dataset, op string, pl *kgexplore.Plan, req ChartRequest) {
+func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, op string, pl *kgexplore.Plan, req ChartRequest) {
 	engine := engineName(req.Engine)
-	runner, ok := s.onlineRunner(ds, pl, req.Engine)
-	if !ok {
-		writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
-		return
+	var runner kgexplore.Stepper
+	var scatterOpts kgexplore.ShardScatterOptions
+	if e.sds != nil {
+		var ok bool
+		scatterOpts, ok = s.scatterOptions(e.sds, pl, req.Engine)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
+			return
+		}
+	} else {
+		var ok bool
+		runner, ok = s.onlineRunner(e.ds, pl, req.Engine)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
+			return
+		}
 	}
 	flusher, ok := w.(http.Flusher)
 	if !ok {
@@ -720,11 +898,11 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, ds *kgexplo
 	flusher.Flush()
 
 	send := func(p kgexplore.DriveProgress) bool {
-		resp := chartResponse(ds, op, engine, p.Snapshot.Estimates, p.Snapshot.CI, req.TopN)
+		resp := chartResponse(e, op, engine, p.Snapshot.Estimates, p.Snapshot.CI, req.TopN)
 		resp.Millis = p.Elapsed.Milliseconds()
 		resp.Walks = p.Walks
 		resp.Final = p.Final
-		if p.Final {
+		if p.Final && runner != nil {
 			// The callback runs on the driving goroutine between walks, so
 			// the runner is quiescent and its stats are consistent.
 			resp.Cache = cacheStatsOf(runner)
@@ -739,12 +917,17 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, ds *kgexplo
 		flusher.Flush()
 		return true
 	}
-	kgexplore.Drive(r.Context(), runner, kgexplore.DriveOptions{
+	xopts := kgexplore.DriveOptions{
 		Budget:     s.clampBudget(req.BudgetMS),
 		Interval:   interval,
 		Batch:      128,
 		OnSnapshot: send,
-	})
+	}
+	if e.sds != nil {
+		e.sds.RunScatter(r.Context(), pl, scatterOpts, xopts)
+		return
+	}
+	kgexplore.Drive(r.Context(), runner, xopts)
 }
 
 // SelectRequest clicks a bar in an expansion chart.
@@ -770,7 +953,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	catID, ok := e.ds.Dict().LookupIRI(req.Category)
+	catID, ok := e.be.Dict().LookupIRI(req.Category)
 	if !ok {
 		// Categories may be literals in principle; try a literal too.
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("unknown category %q", req.Category))
@@ -785,7 +968,7 @@ func (s *Server) handleSelect(w http.ResponseWriter, r *http.Request) {
 	sess.stack = append(sess.stack, sess.state)
 	sess.state = next
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
+	writeJSON(w, http.StatusOK, stateResponse(e.be, id, sess))
 }
 
 func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
@@ -801,7 +984,7 @@ func (s *Server) handleBack(w http.ResponseWriter, r *http.Request) {
 		sess.stack = sess.stack[:n-1]
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, stateResponse(e.ds, id, sess))
+	writeJSON(w, http.StatusOK, stateResponse(e.be, id, sess))
 }
 
 // SPARQLRequest runs a Fig. 4 fragment query directly.
@@ -820,23 +1003,23 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	parsed, err := e.ds.ParseQuery(req.Query)
+	parsed, err := e.be.ParseQuery(req.Query)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	pl, err := e.ds.Compile(parsed.Query)
+	pl, err := e.be.Compile(parsed.Query)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, err := s.evaluate(r.Context(), e.ds, pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	resp := chartResponse(e.ds, "sparql", engineName(req.Engine), counts, ci, req.TopN)
+	resp := chartResponse(e, "sparql", engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
 	resp.Cache = cache
 	writeJSON(w, http.StatusOK, resp)

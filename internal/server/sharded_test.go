@@ -1,0 +1,223 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kgexplore"
+)
+
+func readAll(t *testing.T, r io.Reader) string {
+	t.Helper()
+	data, err := io.ReadAll(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(data)
+}
+
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func shardedTestDataset(t *testing.T, k int) *kgexplore.ShardedDataset {
+	t.Helper()
+	ds := testDataset(t)
+	sds, err := ds.BuildSharded(k, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sds
+}
+
+func newShardedTestServer(t *testing.T, k int) (*Server, *httptest.Server) {
+	t.Helper()
+	sds := shardedTestDataset(t, k)
+	srv := NewSharded(sds, Provenance{
+		Source: "tinyNT", Kind: "sharded", Triples: sds.NumTriples(), Shards: k,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func TestShardedHealthzReportsShards(t *testing.T) {
+	_, ts := newShardedTestServer(t, 4)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Shards != 4 || h.Store.Kind != "sharded" || h.Store.Shards != 4 {
+		t.Fatalf("healthz missing shard info: %+v", h)
+	}
+}
+
+// TestShardedChartEngines drives every engine name through a sharded epoch:
+// aj and wj run scatter-gather, the exact names run the resolver-backed
+// union, and all of them agree with the exact counts on the tiny fixture.
+func TestShardedChartEngines(t *testing.T) {
+	_, ts := newShardedTestServer(t, 2)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+
+	var exact ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "ctj"}, &exact)
+	if exact.NumBars == 0 {
+		t.Fatal("exact sharded chart returned no bars")
+	}
+	if exact.Shards != 2 {
+		t.Fatalf("chart payload missing shard count: %+v", exact)
+	}
+	want := map[string]float64{}
+	for _, b := range exact.Bars {
+		want[b.Category] = b.Count
+	}
+	for _, engine := range []string{"aj", "wj", "lftj", "baseline", ""} {
+		var c ChartResponse
+		resp := post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+			ChartRequest{Op: "out-property", Engine: engine, BudgetMS: 200}, &c)
+		if resp.StatusCode != 200 {
+			t.Fatalf("engine %q: status %d", engine, resp.StatusCode)
+		}
+		if c.Shards != 2 {
+			t.Fatalf("engine %q: chart payload missing shard count: %+v", engine, c)
+		}
+		// The fixture join is tiny, so even the estimators converge on it.
+		for _, b := range c.Bars {
+			if ex, ok := want[b.Category]; ok && b.Count < ex/2 {
+				t.Errorf("engine %q: bar %q = %.1f, exact %.1f", engine, b.Category, b.Count, ex)
+			}
+		}
+	}
+	var bad errorBody
+	resp := post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "nope"}, &bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine accepted: %d", resp.StatusCode)
+	}
+}
+
+func TestShardedStreamChart(t *testing.T) {
+	_, ts := newShardedTestServer(t, 2)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+
+	body := strings.NewReader(`{"op":"out-property","engine":"aj","budgetMs":80,"intervalMs":10}`)
+	resp, err := http.Post(ts.URL+"/api/session/"+st.Session+"/chart?stream=1", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []ChartResponse
+	for _, line := range strings.Split(readAll(t, resp.Body), "\n") {
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var c ChartResponse
+			if err := json.Unmarshal([]byte(data), &c); err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, c)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	last := events[len(events)-1]
+	if !last.Final {
+		t.Fatalf("last event not final: %+v", last)
+	}
+	if last.Shards != 2 || last.Walks == 0 {
+		t.Fatalf("final sharded event incomplete: %+v", last)
+	}
+}
+
+// TestSwapShardedRoundtrip hot-swaps monolithic → sharded (via a .kgm on
+// disk through the admin endpoint) and back, checking provenance and that
+// requests keep working across both directions.
+func TestSwapShardedRoundtrip(t *testing.T) {
+	ds := testDataset(t)
+	srv := New(ds)
+	srv.EnableAdmin = true
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+
+	dir := t.TempDir()
+	manifest := filepath.Join(dir, "set.kgm")
+	sds := shardedTestDataset(t, 2)
+	if _, err := sds.WriteShardedSnapshots(manifest, "tinyNT"); err != nil {
+		t.Fatal(err)
+	}
+	sds.Close()
+
+	var sw SwapResponse
+	resp := post(t, ts.URL+"/admin/swap", SwapRequest{Path: manifest}, &sw)
+	if resp.StatusCode != 200 {
+		t.Fatalf("swap to sharded: status %d", resp.StatusCode)
+	}
+	if sw.Store.Kind != "sharded" || sw.Store.Shards != 2 {
+		t.Fatalf("swap provenance: %+v", sw.Store)
+	}
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	var c ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "aj", BudgetMS: 100}, &c)
+	if c.NumBars == 0 || c.Shards != 2 {
+		t.Fatalf("chart after swap to sharded: %+v", c)
+	}
+
+	// A corrupt manifest must be rejected and leave the sharded epoch serving.
+	var bad errorBody
+	resp = post(t, ts.URL+"/admin/swap", SwapRequest{Path: filepath.Join(dir, "missing.kgm")}, &bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("missing manifest accepted: %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Shards != 2 {
+		t.Fatalf("failed swap disturbed the serving epoch: %+v", h)
+	}
+}
+
+func TestShardCachesForWarmStart(t *testing.T) {
+	sds := shardedTestDataset(t, 2)
+	srv := NewSharded(sds, Provenance{Kind: "sharded", Shards: 2})
+	q, err := sds.Root().Query(kgexplore.OpOutProp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pl, err := sds.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1 := srv.shardCachesFor(pl, 2)
+	c2 := srv.shardCachesFor(pl, 2)
+	if len(c1) != 2 || len(c2) != 2 || c1[0] != c2[0] {
+		t.Fatal("same signature must share the per-shard caches")
+	}
+	srv.InvalidateShared()
+	if c3 := srv.shardCachesFor(pl, 2); c3[0] == c1[0] {
+		t.Fatal("InvalidateShared must discard shard caches")
+	}
+}

@@ -1,0 +1,239 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"kgexplore/internal/exec"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/wj"
+)
+
+func execOptsN(n int64) exec.Options {
+	return exec.Options{MaxWalks: n, Batch: 64}
+}
+
+// shardCounts is the acceptance grid: the stratified estimator must agree
+// with the monolithic one at every K.
+var shardCounts = []int{1, 2, 4, 8}
+
+// TestStratifiedGroupedCountEquivalence is the seeded equivalence property
+// test: for every shard count K, merged grouped-COUNT estimates must (a)
+// average out to the exact LFTJ answer across seeded runs — the K-shard
+// estimator is unbiased like the 1-shard one — and (b) produce confidence
+// intervals that cover the exact answer at no less than a conservative
+// fraction of the nominal 0.95 rate.
+func TestStratifiedGroupedCountEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(42, 50, 4, 40, 700)
+	q := testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := testkit.BuildStore(g)
+	exact := lftj.GroupCount(st, pl)
+	if len(exact) == 0 {
+		t.Skip("empty fixture")
+	}
+
+	const (
+		runs  = 6
+		walks = 4000
+	)
+	for _, k := range shardCounts {
+		s := buildSet(t, g, k)
+		sums := make(map[rdf.ID]float64)
+		covered, totalCI := 0, 0
+		for r := 0; r < runs; r++ {
+			sc, err := NewScatter(s, pl, ScatterOptions{Seed: int64(1000*k + r)})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec.RunN(sc, walks)
+			snap := sc.Snapshot()
+			for a := range exact {
+				sums[a] += snap.Estimates[a]
+				ci := snap.CI[a]
+				if math.IsInf(ci, 1) {
+					continue
+				}
+				totalCI++
+				if math.Abs(snap.Estimates[a]-float64(exact[a])) <= ci+1e-9 {
+					covered++
+				}
+			}
+		}
+		for a, ex := range exact {
+			mean := sums[a] / runs
+			rel := math.Abs(mean-float64(ex)) / float64(ex)
+			if rel > 0.15 {
+				t.Errorf("K=%d group %d: mean estimate %.1f vs exact %d (rel %.3f)", k, a, mean, ex, rel)
+			}
+		}
+		if totalCI > 0 {
+			rate := float64(covered) / float64(totalCI)
+			if rate < 0.7 {
+				t.Errorf("K=%d: CI covered exact in %.0f%% of cases, want >= 70%% (nominal 95%%)", k, 100*rate)
+			}
+		}
+	}
+}
+
+// TestStratifiedOwnedDistinctEquivalence: the owned-variable
+// COUNT(DISTINCT) estimator must be unbiased vs. the exact answer at every
+// shard count.
+func TestStratifiedOwnedDistinctEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(17, 40, 4, 30, 500)
+	q, pl := ownedDistinctQuery(t, 40, 41)
+	if !Owned(pl) {
+		t.Fatal("fixture query should be owned")
+	}
+	exact := testkit.BruteForce(g, q)
+	if len(exact) == 0 {
+		t.Skip("empty fixture")
+	}
+
+	const (
+		runs  = 6
+		walks = 4000
+	)
+	for _, k := range shardCounts {
+		s := buildSet(t, g, k)
+		sums := make(map[rdf.ID]float64)
+		for r := 0; r < runs; r++ {
+			res, sstats, err := RunScatter(context.Background(), s, pl,
+				ScatterOptions{Seed: int64(7000*k + r)}, execOptsN(walks))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !sstats.OwnedDistinct || sstats.ExactFallback {
+				t.Fatalf("K=%d: owned distinct did not take the stratified path (%+v)", k, sstats)
+			}
+			for a := range exact {
+				sums[a] += res.Estimates[a]
+			}
+		}
+		for a, ex := range exact {
+			mean := sums[a] / runs
+			rel := math.Abs(mean-ex) / ex
+			if rel > 0.15 {
+				t.Errorf("K=%d group %d: mean distinct estimate %.2f vs exact %.0f (rel %.3f)", k, a, mean, ex, rel)
+			}
+		}
+	}
+}
+
+// TestScatterAllocationProportional checks the stratified allocation rule:
+// with MaxWalks fixed, per-stratum walk counts track root cardinalities.
+func TestScatterAllocationProportional(t *testing.T) {
+	g := testkit.RandomGraph(23, 40, 4, 30, 600)
+	q := testkit.ChainQuery(g, []rdf.ID{40, 41}, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSet(t, g, 4)
+	const walks = 8000
+	_, sstats, err := RunScatter(context.Background(), s, pl, ScatterOptions{Seed: 3}, execOptsN(walks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, ps := range sstats.PerShard {
+		total += ps.RootCard
+	}
+	if total == 0 {
+		t.Skip("empty root")
+	}
+	for k, ps := range sstats.PerShard {
+		if ps.RootCard == 0 {
+			if ps.Walks != 0 {
+				t.Errorf("shard %d: empty stratum performed %d walks", k, ps.Walks)
+			}
+			continue
+		}
+		want := float64(walks) * float64(ps.RootCard) / float64(total)
+		if math.Abs(float64(ps.Walks)-want) > want/2+float64(execOptsN(0).Batch)+1 {
+			t.Errorf("shard %d: %d walks, want ≈ %.0f (card %d/%d)", k, ps.Walks, want, ps.RootCard, total)
+		}
+	}
+}
+
+// TestScatterMatchesAvgAndSum drives SUM and AVG through the scatter path
+// against the brute-force oracle.
+func TestScatterMatchesAvgAndSum(t *testing.T) {
+	g := testkit.RandomGraph(8, 8, 3, 5, 70) // object half numeric literals
+	for _, agg := range []query.AggFunc{query.AggSum, query.AggAvg} {
+		q := testkit.ChainQuery(g, []rdf.ID{8, 9}, true, false)
+		q.Agg = agg
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		exact := testkit.BruteForce(g, q)
+		if len(exact) == 0 {
+			continue
+		}
+		s := buildSet(t, g, 2)
+		sc, err := NewScatter(s, pl, ScatterOptions{Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec.RunN(sc, 200000)
+		snap := sc.Snapshot()
+		for a, ex := range exact {
+			rel := math.Abs(snap.Estimates[a]-ex) / math.Abs(ex)
+			if rel > 0.2 {
+				t.Errorf("agg=%v group %d: %.3f vs %.3f", agg, a, snap.Estimates[a], ex)
+			}
+		}
+	}
+}
+
+// TestWalkerMergePlusStratifiedEqualsScatter pins the algebra RunScatter
+// relies on: pooling same-stratum walkers with Merge and then combining
+// strata with MergeStratified matches the walk-weighted stratified math.
+func TestWalkerMergePlusStratifiedEqualsScatter(t *testing.T) {
+	g := testkit.RandomGraph(31, 30, 3, 25, 400)
+	q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := buildSet(t, g, 2)
+	var accs []*wj.Acc
+	for k := 0; k < s.K(); k++ {
+		cache := NewCache()
+		m := wj.NewAcc()
+		for j := 0; j < 2; j++ {
+			w, err := NewWalker(s, pl, k, WalkerOptions{Seed: int64(10*k + j), Cache: cache})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if w.RootCard() == 0 {
+				continue
+			}
+			exec.RunN(w, 2000)
+			m.Merge(w.Acc())
+		}
+		if m.N > 0 {
+			accs = append(accs, m)
+		}
+	}
+	res := wj.MergeStratified(accs, stats.Z95)
+	// Manual stratified math over the same accumulators.
+	for a := range res.Estimates {
+		var want float64
+		for _, c := range accs {
+			want += c.Sum[a] / float64(c.N)
+		}
+		if math.Abs(res.Estimates[a]-want) > 1e-9 {
+			t.Fatalf("group %d: MergeStratified %v, manual %v", a, res.Estimates[a], want)
+		}
+	}
+}

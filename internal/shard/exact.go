@@ -1,0 +1,83 @@
+package shard
+
+import (
+	"context"
+
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/wj"
+)
+
+// Exact evaluates the plan exactly over the whole sharded set by
+// resolver-backed backtracking enumeration — the sharded analog of a full
+// LFTJ pass, with the owner fast path pruning bound-subject steps to one
+// shard. It is the documented fallback for COUNT(DISTINCT) plans whose
+// distinct variable the partition key does not own: the per-shard distinct
+// sets cannot be merged by addition, so the union is computed exactly.
+func (s *Set) Exact(pl *query.Plan) map[rdf.ID]float64 {
+	res, _ := s.ExactCtx(context.Background(), pl)
+	return res
+}
+
+// ExactCtx is Exact with cooperative cancellation: the enumeration checks
+// ctx every few thousand result rows and returns ctx.Err with a nil map
+// when it fires.
+func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64, error) {
+	r := newResolver(s, pl)
+	q := pl.Query
+	b := pl.NewBindings()
+	counts := make(map[rdf.ID]float64)
+	var den map[rdf.ID]float64
+	if q.Agg == query.AggAvg {
+		den = make(map[rdf.ID]float64)
+	}
+	var seen map[uint64]struct{}
+	if q.Distinct {
+		seen = make(map[uint64]struct{})
+	}
+	rows := 0
+	err := r.enumerate(0, b, func() error {
+		rows++
+		if rows%4096 == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		a := wj.GlobalGroup
+		if q.Alpha != query.NoVar {
+			a = b[q.Alpha]
+		}
+		switch q.Agg {
+		case query.AggSum:
+			if v, ok := s.Numeric(b[q.Beta]); ok {
+				counts[a] += v
+			}
+		case query.AggAvg:
+			if v, ok := s.Numeric(b[q.Beta]); ok {
+				counts[a] += v
+				den[a]++
+			}
+		default:
+			if q.Distinct {
+				key := wj.DistinctKey(a, b[q.Beta])
+				if _, dup := seen[key]; dup {
+					return nil
+				}
+				seen[key] = struct{}{}
+			}
+			counts[a]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if q.Agg == query.AggAvg {
+		for a, d := range den {
+			if d > 0 {
+				counts[a] /= d
+			}
+		}
+	}
+	return counts, nil
+}

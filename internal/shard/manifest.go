@@ -1,0 +1,245 @@
+package shard
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/snap"
+)
+
+// ManifestVersion is the current manifest format version; loads require it.
+const ManifestVersion = 1
+
+// ManifestSuffix is the conventional file extension for shard manifests.
+const ManifestSuffix = ".kgm"
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// ShardFile describes one shard snapshot, path relative to the manifest.
+type ShardFile struct {
+	Path    string `json:"path"`
+	Triples int    `json:"triples"`
+	DictLen int    `json:"dict_len"`
+}
+
+// Manifest describes a complete shard set: the partitioning configuration
+// that produced it and the per-shard snapshot files. A manifest is the unit
+// of loading — either every listed shard loads and validates, or the load
+// fails and nothing is kept.
+type Manifest struct {
+	Version     int         `json:"version"`
+	Partitioner string      `json:"partitioner"`
+	Shards      int         `json:"shards"`
+	Files       []ShardFile `json:"files"`
+	Source      string      `json:"source,omitempty"`
+	CreatedUnix int64       `json:"created_unix,omitempty"`
+	// ConfigHash authenticates the partitioning configuration (version,
+	// partitioner name, shard count) against accidental edits: a shard set
+	// reinterpreted under the wrong partitioner would silently break the
+	// stratification, so loads recompute and compare.
+	ConfigHash uint32 `json:"config_hash"`
+}
+
+func (m *Manifest) computeConfigHash() uint32 {
+	s := fmt.Sprintf("v%d|%s|%d", m.Version, m.Partitioner, m.Shards)
+	return crc32.Checksum([]byte(s), crcTable)
+}
+
+// Validate checks the manifest's internal consistency. It does not touch
+// the shard files; Load and Verify do.
+func (m *Manifest) Validate() error {
+	if m.Version != ManifestVersion {
+		return fmt.Errorf("shard: manifest version %d, want %d", m.Version, ManifestVersion)
+	}
+	if m.Shards < 1 {
+		return fmt.Errorf("shard: manifest shard count %d < 1", m.Shards)
+	}
+	if _, err := PartitionerByName(m.Partitioner); err != nil || m.Partitioner == "" {
+		return fmt.Errorf("shard: manifest names unknown partitioner %q", m.Partitioner)
+	}
+	if len(m.Files) != m.Shards {
+		return fmt.Errorf("shard: manifest lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+	if m.ConfigHash != m.computeConfigHash() {
+		return fmt.Errorf("shard: manifest config hash %08x does not match configuration (want %08x)",
+			m.ConfigHash, m.computeConfigHash())
+	}
+	dictLen := -1
+	for i, f := range m.Files {
+		if f.Path == "" {
+			return fmt.Errorf("shard: manifest file %d has no path", i)
+		}
+		if filepath.IsAbs(f.Path) || strings.Contains(f.Path, "..") {
+			return fmt.Errorf("shard: manifest file %d path %q escapes the manifest directory", i, f.Path)
+		}
+		if dictLen == -1 {
+			dictLen = f.DictLen
+		} else if f.DictLen != dictLen {
+			return fmt.Errorf("shard: manifest file %d dict length %d differs from %d (shards must share one dictionary)",
+				i, f.DictLen, dictLen)
+		}
+	}
+	return nil
+}
+
+// ReadManifest reads and validates a manifest file.
+func ReadManifest(path string) (Manifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	if err := m.Validate(); err != nil {
+		return Manifest{}, fmt.Errorf("shard: manifest %s: %w", path, err)
+	}
+	return m, nil
+}
+
+// WriteManifest writes a manifest atomically (temp file + rename), filling
+// in the config hash.
+func WriteManifest(path string, m Manifest) error {
+	m.ConfigHash = m.computeConfigHash()
+	if err := m.Validate(); err != nil {
+		return err
+	}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, ".kgm-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// WriteSet writes every shard of s as a .kgs snapshot next to path
+// (shard-0000.kgs, shard-0001.kgs, ...) and then the manifest at path. The
+// manifest lands last, so a crash mid-write never leaves a manifest naming
+// missing shards.
+func WriteSet(path string, s *Set, source string) (Manifest, error) {
+	dir := filepath.Dir(path)
+	m := Manifest{
+		Version:     ManifestVersion,
+		Partitioner: s.part.Name(),
+		Shards:      s.K(),
+		Source:      source,
+		CreatedUnix: time.Now().Unix(),
+	}
+	for i, st := range s.stores {
+		name := fmt.Sprintf("shard-%04d.kgs", i)
+		meta := &snap.Meta{
+			Source:      fmt.Sprintf("%s#%d/%d", source, i, s.K()),
+			CreatedUnix: m.CreatedUnix,
+		}
+		if err := snap.WriteFile(filepath.Join(dir, name), st, meta); err != nil {
+			return Manifest{}, fmt.Errorf("shard: writing shard %d: %w", i, err)
+		}
+		m.Files = append(m.Files, ShardFile{
+			Path:    name,
+			Triples: st.NumTriples(),
+			DictLen: s.dict.Len(),
+		})
+	}
+	if err := WriteManifest(path, m); err != nil {
+		return Manifest{}, err
+	}
+	return m, nil
+}
+
+// LoadOptions configure Load.
+type LoadOptions struct {
+	// Mmap selects zero-copy snapshot loads; otherwise each shard is a
+	// verified copy load.
+	Mmap bool
+	// Verify forces full payload checksum verification even under Mmap.
+	Verify bool
+}
+
+// Load loads a manifest and every shard it names. The load is atomic at
+// the set level: any failure — a missing or corrupt shard, a count that
+// disagrees with the manifest — closes whatever was already mapped and
+// returns an error, never a partial set.
+func Load(path string, opts LoadOptions) (*Set, error) {
+	m, err := ReadManifest(path)
+	if err != nil {
+		return nil, err
+	}
+	part, err := PartitionerByName(m.Partitioner)
+	if err != nil {
+		return nil, err
+	}
+	dir := filepath.Dir(path)
+	sopts := snap.Options{Mode: snap.ModeCopy, Verify: true}
+	if opts.Mmap {
+		sopts = snap.Options{Mode: snap.ModeAuto, Verify: opts.Verify}
+	}
+	s := &Set{part: part}
+	for i, f := range m.Files {
+		l, err := snap.LoadFile(filepath.Join(dir, f.Path), sopts)
+		if err != nil {
+			s.Close()
+			return nil, fmt.Errorf("shard: loading shard %d (%s): %w", i, f.Path, err)
+		}
+		if l.Meta.Triples != f.Triples || l.Meta.DictLen != f.DictLen {
+			l.Close()
+			s.Close()
+			return nil, fmt.Errorf("shard: shard %d (%s) has %d triples / %d terms, manifest says %d / %d",
+				i, f.Path, l.Meta.Triples, l.Meta.DictLen, f.Triples, f.DictLen)
+		}
+		s.stores = append(s.stores, l.Store)
+		s.closers = append(s.closers, l)
+	}
+	s.dict = s.stores[0].Dict()
+	return s, nil
+}
+
+// Verify fully checks a shard set: the manifest, every shard snapshot's
+// checksums, and — the property everything downstream rests on — that every
+// triple sits in the shard its subject hashes to. Returns the manifest on
+// success; any failure means the set must not be served.
+func Verify(path string) (Manifest, error) {
+	m, err := ReadManifest(path)
+	if err != nil {
+		return Manifest{}, err
+	}
+	s, err := Load(path, LoadOptions{Mmap: false, Verify: true})
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer s.Close()
+	for i, st := range s.stores {
+		for _, t := range st.Triples(index.SPO) {
+			if own := s.Owner(t.S); own != i {
+				return Manifest{}, fmt.Errorf(
+					"shard: shard %d holds a triple whose subject %d belongs to shard %d (partitioner %s)",
+					i, t.S, own, m.Partitioner)
+			}
+		}
+	}
+	return m, nil
+}

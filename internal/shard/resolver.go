@@ -1,0 +1,144 @@
+package shard
+
+import (
+	"math/rand"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// subspan is one shard's slice of a gathered candidate set.
+type subspan struct {
+	shard int
+	span  index.Span
+}
+
+// resolver resolves plan steps against the WHOLE sharded set. A step's
+// candidate set under the current bindings is the disjoint union of the
+// per-shard spans, so sampling a triple uniformly from the gathered
+// subspans with d = Σ span lengths reproduces exactly the distribution a
+// monolithic store would give — the property that keeps every stratum's
+// Horvitz–Thompson estimate unbiased even though continuation triples live
+// on other shards than the root.
+//
+// When the step's subject is bound (a constant, or a join variable already
+// bound by the prefix), only the shard owning that subject can hold
+// matching triples; the resolver consults it alone. This is the scatter
+// fast path, not an approximation: every other shard's span is empty by
+// the partition invariant.
+type resolver struct {
+	set *Set
+	pl  *query.Plan
+	// static[k][i] caches shard k's span for constant-bound step i.
+	static [][]query.StaticSpan
+}
+
+func newResolver(set *Set, pl *query.Plan) *resolver {
+	r := &resolver{set: set, pl: pl, static: make([][]query.StaticSpan, set.K())}
+	for k, st := range set.stores {
+		r.static[k] = pl.ResolveStatic(st)
+	}
+	return r
+}
+
+func atomVal(a query.Atom, b query.Bindings) rdf.ID {
+	if a.IsVar() {
+		return b[a.Var]
+	}
+	return a.ID
+}
+
+// spanOn resolves step i on shard k alone.
+func (r *resolver) spanOn(k, i int, b query.Bindings) (index.Span, bool) {
+	st := &r.pl.Steps[i]
+	if st.Static {
+		ss := r.static[k][i]
+		return ss.Span, ss.OK
+	}
+	return st.ResolveSpan(r.set.stores[k], b)
+}
+
+// resolve gathers step i's candidate set under b: the non-empty per-shard
+// subspans (appended to buf) and the total width d. ok is false when the
+// set is empty. Membership steps gather no spans and report d = 1 when the
+// triple exists. Pass a reused buf[:0] on hot paths and nil where a fresh
+// slice is fine (recursive enumeration).
+func (r *resolver) resolve(i int, b query.Bindings, buf []subspan) ([]subspan, int, bool) {
+	st := &r.pl.Steps[i]
+	if st.Kind == query.AccessMembership {
+		t := rdf.Triple{
+			S: atomVal(st.Pattern.S, b),
+			P: atomVal(st.Pattern.P, b),
+			O: atomVal(st.Pattern.O, b),
+		}
+		if r.set.stores[r.set.Owner(t.S)].Contains(t) {
+			return buf, 1, true
+		}
+		return buf, 0, false
+	}
+	if st.Bound[index.S] {
+		// Owner fast path: the subject is pinned, so the partition invariant
+		// empties every other shard's span.
+		k := r.set.Owner(atomVal(st.Pattern.S, b))
+		sp, ok := r.spanOn(k, i, b)
+		if !ok {
+			return buf, 0, false
+		}
+		return append(buf, subspan{k, sp}), sp.Len(), true
+	}
+	total := 0
+	for k := range r.set.stores {
+		sp, ok := r.spanOn(k, i, b)
+		if !ok {
+			continue
+		}
+		buf = append(buf, subspan{k, sp})
+		total += sp.Len()
+	}
+	return buf, total, total > 0
+}
+
+// sample draws a triple uniformly from a gathered candidate set.
+func (r *resolver) sample(st *query.Step, subs []subspan, total int, rng *rand.Rand) rdf.Triple {
+	n := rng.Intn(total)
+	for _, ss := range subs {
+		if l := ss.span.Len(); n < l {
+			return r.set.stores[ss.shard].At(st.Order, ss.span, n)
+		} else {
+			n -= l
+		}
+	}
+	panic("shard: sample index beyond gathered spans")
+}
+
+// enumerate visits every extension of the current bindings through steps
+// j..last, calling visit at each full binding. Backtracking is in-place on
+// b; visit's error aborts the recursion (used for context cancellation).
+func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error {
+	if j == len(r.pl.Steps) {
+		return visit()
+	}
+	st := &r.pl.Steps[j]
+	subs, _, ok := r.resolve(j, b, nil)
+	if !ok {
+		return nil
+	}
+	if st.Kind == query.AccessMembership {
+		return r.enumerate(j+1, b, visit)
+	}
+	for _, ss := range subs {
+		store := r.set.stores[ss.shard]
+		for n := 0; n < ss.span.Len(); n++ {
+			t := store.At(st.Order, ss.span, n)
+			st.Bind(t, b)
+			if err := r.enumerate(j+1, b, visit); err != nil {
+				st.Unbind(b)
+				return err
+			}
+		}
+		// NewVars are overwritten by the next Bind; clear only on exit.
+		st.Unbind(b)
+	}
+	return nil
+}

@@ -1,0 +1,415 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"kgexplore/internal/core"
+	"kgexplore/internal/exec"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+)
+
+// ScatterOptions configure a scatter-gather run.
+type ScatterOptions struct {
+	// Threshold is the Audit Join tipping point (core.Options semantics:
+	// negative never tips, +Inf always tips). Callers normally pass
+	// core.DefaultThreshold.
+	Threshold float64
+	// Seed is the base seed; each walker derives its own via
+	// core.WorkerSeed, so runs are reproducible.
+	Seed int64
+	// WorkersPerShard sizes each stratum's walker pool (default 1).
+	WorkersPerShard int
+	// Caches, when non-nil with one entry per shard, warm-starts the
+	// per-stratum suffix caches across requests (the server's reuse hook).
+	// Entries must not be shared between strata: cached root counts are
+	// stratum-local.
+	Caches []*Cache
+}
+
+// ShardRunStats reports one stratum's share of a scatter-gather run.
+type ShardRunStats struct {
+	RootCard int   `json:"root_card"`
+	Walks    int64 `json:"walks"`
+	Tipped   int64 `json:"tipped"`
+}
+
+// ScatterStats reports a whole run: per-stratum allocation and walk
+// counts, the summed suffix-cache traffic, and which distinct path ran.
+type ScatterStats struct {
+	PerShard []ShardRunStats `json:"per_shard"`
+	Cache    CacheStats      `json:"cache"`
+	// OwnedDistinct marks a COUNT(DISTINCT) served by the stratified
+	// owned-variable estimator; ExactFallback marks one served by the
+	// exact union (Set.Exact) because the partition key does not own the
+	// distinct variable.
+	OwnedDistinct bool `json:"owned_distinct,omitempty"`
+	ExactFallback bool `json:"exact_fallback,omitempty"`
+}
+
+// Scatter is the shard-merging driver as a single exec.Stepper: Step runs
+// one walk on a stratum chosen by smooth weighted round-robin with weights
+// proportional to root cardinality (deterministic stratified allocation),
+// and Snapshot stratified-merges the per-stratum accumulators. One
+// exec.Drive over a Scatter therefore preserves budgets, cancellation and
+// progressive snapshots with no scatter-specific driving code; RunScatter
+// adds per-stratum worker pools on top for parallel serving.
+type Scatter struct {
+	walkers []*Walker
+	weights []float64
+	credit  []float64
+	totalW  float64
+}
+
+// NewScatter builds one walker per non-empty stratum. Distinct plans whose
+// variable the partition key does not own fail with ErrDistinctNotOwned.
+func NewScatter(set *Set, pl *query.Plan, opts ScatterOptions) (*Scatter, error) {
+	s := &Scatter{}
+	for k := 0; k < set.K(); k++ {
+		w, err := NewWalker(set, pl, k, WalkerOptions{
+			Threshold: opts.Threshold,
+			Seed:      core.WorkerSeed(opts.Seed, k),
+			Cache:     cacheFor(opts.Caches, k),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if w.RootCard() == 0 && set.K() > 1 {
+			continue // empty stratum contributes exactly zero
+		}
+		s.walkers = append(s.walkers, w)
+		s.weights = append(s.weights, float64(w.RootCard()))
+		s.totalW += float64(w.RootCard())
+	}
+	if len(s.walkers) == 0 {
+		// Every stratum is empty. Keep one walker so Step still advances the
+		// walk counter (its walks all reject) and drivers terminate.
+		w, err := NewWalker(set, pl, 0, WalkerOptions{Threshold: opts.Threshold, Seed: opts.Seed})
+		if err != nil {
+			return nil, err
+		}
+		s.walkers = append(s.walkers, w)
+		s.weights = append(s.weights, 1)
+		s.totalW = 1
+	}
+	if s.totalW == 0 {
+		for i := range s.weights {
+			s.weights[i] = 1
+		}
+		s.totalW = float64(len(s.weights))
+	}
+	s.credit = make([]float64, len(s.walkers))
+	return s, nil
+}
+
+func cacheFor(caches []*Cache, k int) *Cache {
+	if k < len(caches) {
+		return caches[k]
+	}
+	return nil
+}
+
+// Step walks the stratum with the highest accumulated credit — over time
+// each stratum receives walks in proportion to its root cardinality.
+func (s *Scatter) Step() {
+	best := 0
+	for i := range s.walkers {
+		s.credit[i] += s.weights[i]
+		if s.credit[i] > s.credit[best] {
+			best = i
+		}
+	}
+	s.credit[best] -= s.totalW
+	s.walkers[best].Step()
+}
+
+// Walks sums the stratum walk counts.
+func (s *Scatter) Walks() int64 {
+	var n int64
+	for _, w := range s.walkers {
+		n += w.Walks()
+	}
+	return n
+}
+
+// Snapshot returns the stratified-merged estimate with combined CIs.
+func (s *Scatter) Snapshot() wj.Result {
+	accs := make([]*wj.Acc, len(s.walkers))
+	for i, w := range s.walkers {
+		accs[i] = w.Acc()
+	}
+	return wj.MergeStratified(accs, stats.Z95)
+}
+
+// RunScatter runs Audit Join scatter-gather over a sharded set: each
+// stratum gets its own walker pool sharing one stratum cache, walks are
+// allocated proportionally to per-shard root cardinality, and the merged
+// progressive snapshots (and the final result) combine the strata with
+// wj.MergeStratified — globally unbiased estimates with CIs summed in
+// quadrature. xopts applies per worker except MaxWalks, which is the TOTAL
+// walk budget split across strata by the allocation rule; Budget remains
+// the shared wall-clock deadline and cancelling ctx stops every walker.
+//
+// COUNT(DISTINCT) plans run the stratified owned-variable estimator when
+// Owned(pl) holds; otherwise the run degrades to the exact union
+// (Set.ExactCtx), reported via ScatterStats.ExactFallback, with a single
+// final snapshot so progressive consumers still complete.
+func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptions, xopts exec.Options) (wj.Result, ScatterStats, error) {
+	K := set.K()
+	sstats := ScatterStats{PerShard: make([]ShardRunStats, K)}
+
+	if pl.Query.Distinct && !Owned(pl) {
+		sstats.ExactFallback = true
+		counts, err := set.ExactCtx(ctx, pl)
+		res := wj.Result{Estimates: counts, CI: make(map[rdf.ID]float64)}
+		if res.Estimates == nil {
+			res.Estimates = make(map[rdf.ID]float64)
+		}
+		if err == nil && xopts.OnSnapshot != nil {
+			xopts.OnSnapshot(exec.Progress{Seq: 1, Snapshot: res, Final: true})
+		}
+		return res, sstats, err
+	}
+	sstats.OwnedDistinct = pl.Query.Distinct
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	wps := opts.WorkersPerShard
+	if wps < 1 {
+		wps = 1
+	}
+	caches := opts.Caches
+	if len(caches) != K {
+		caches = make([]*Cache, K)
+	}
+	for k := range caches {
+		if caches[k] == nil {
+			caches[k] = NewCache()
+		}
+	}
+
+	// Build the pools and read the per-stratum root cardinalities that
+	// drive the allocation.
+	walkers := make([][]*Walker, K)
+	cards := make([]int, K)
+	total := 0
+	widx := 0
+	for k := 0; k < K; k++ {
+		walkers[k] = make([]*Walker, wps)
+		for j := 0; j < wps; j++ {
+			w, err := NewWalker(set, pl, k, WalkerOptions{
+				Threshold: opts.Threshold,
+				Seed:      core.WorkerSeed(opts.Seed, widx),
+				Cache:     caches[k],
+			})
+			if err != nil {
+				return wj.Result{}, sstats, err
+			}
+			walkers[k][j] = w
+			widx++
+		}
+		cards[k] = walkers[k][0].RootCard()
+		sstats.PerShard[k].RootCard = cards[k]
+		total += cards[k]
+	}
+	finish := func() wj.Result {
+		accs := make([]*wj.Acc, 0, K)
+		for k := 0; k < K; k++ {
+			if cards[k] == 0 {
+				continue
+			}
+			m := wj.NewAcc()
+			for _, w := range walkers[k] {
+				m.Merge(w.Acc())
+				sstats.PerShard[k].Tipped += w.Tipped()
+			}
+			sstats.PerShard[k].Walks = m.N
+			accs = append(accs, m)
+		}
+		for k := 0; k < K; k++ {
+			cs := caches[k].Stats()
+			sstats.Cache.Hits += cs.Hits
+			sstats.Cache.Misses += cs.Misses
+		}
+		return wj.MergeStratified(accs, stats.Z95)
+	}
+	if total == 0 {
+		// Empty root pattern everywhere: the exact answer is zero.
+		res := finish()
+		if xopts.OnSnapshot != nil {
+			xopts.OnSnapshot(exec.Progress{Seq: 1, Snapshot: res, Final: true})
+		}
+		return res, sstats, nil
+	}
+
+	// Proportional allocation. MaxWalks is the total budget: stratum k gets
+	// ⌈MaxWalks·card_k/total⌉ (at least one walk per non-empty stratum so no
+	// stratum is silently dropped), split over its pool. In pure
+	// budget-driven runs the same proportions are approximated by scaling
+	// each pool's batch size, so strata advance at cardinality-proportional
+	// rates between deadline checks.
+	base := xopts.Batch
+	if base <= 0 {
+		base = exec.DefaultBatch
+	}
+	active := 0
+	for k := 0; k < K; k++ {
+		if cards[k] > 0 {
+			active++
+		}
+	}
+	perWorker := make([]exec.Options, K)
+	for k := 0; k < K; k++ {
+		if cards[k] == 0 {
+			continue
+		}
+		o := xopts
+		o.OnSnapshot = nil
+		share := float64(cards[k]) / float64(total)
+		if xopts.MaxWalks > 0 {
+			quota := int64(float64(xopts.MaxWalks)*share + 0.5)
+			if quota < 1 {
+				quota = 1
+			}
+			pw := quota / int64(wps)
+			if pw < 1 {
+				pw = 1
+			}
+			o.MaxWalks = pw
+		}
+		b := int(float64(base) * share * float64(active))
+		if b < 1 {
+			b = 1
+		}
+		if b > 8192 {
+			b = 8192
+		}
+		o.Batch = b
+		perWorker[k] = o
+	}
+
+	// Publisher mirroring core.RunParallelStats: workers publish clones at
+	// their own cadence; a dedicated goroutine folds the latest clones into
+	// merged progressive snapshots.
+	latest := make([][]*wj.Acc, K)
+	for k := range latest {
+		latest[k] = make([]*wj.Acc, wps)
+	}
+	var mu sync.Mutex // guards latest
+	var stopped atomic.Bool
+	onSnap := xopts.OnSnapshot
+
+	mergedLocked := func() wj.Result {
+		accs := make([]*wj.Acc, 0, K)
+		for k := 0; k < K; k++ {
+			var m *wj.Acc
+			for _, a := range latest[k] {
+				if a == nil {
+					continue
+				}
+				if m == nil {
+					m = wj.NewAcc()
+				}
+				m.Merge(a)
+			}
+			if m != nil {
+				accs = append(accs, m)
+			}
+		}
+		return wj.MergeStratified(accs, stats.Z95)
+	}
+	start := time.Now()
+	seq := 0
+	publish := func(final bool) bool {
+		mu.Lock()
+		merged := mergedLocked()
+		mu.Unlock()
+		seq++
+		ok := onSnap(exec.Progress{
+			Seq:      seq,
+			Elapsed:  time.Since(start),
+			Walks:    merged.Walks,
+			Snapshot: merged,
+			Final:    final,
+		})
+		if !ok {
+			stopped.Store(true)
+			cancel()
+		}
+		return ok
+	}
+	pubStop := make(chan struct{})
+	var pubWG sync.WaitGroup
+	if onSnap != nil && xopts.Interval > 0 {
+		pubWG.Add(1)
+		go func() {
+			defer pubWG.Done()
+			ticker := time.NewTicker(xopts.Interval)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-pubStop:
+					return
+				case <-ticker.C:
+					if !publish(false) {
+						return
+					}
+				}
+			}
+		}()
+	}
+
+	errs := make([]error, K*wps)
+	var wg sync.WaitGroup
+	for k := 0; k < K; k++ {
+		if cards[k] == 0 {
+			continue
+		}
+		for j := 0; j < wps; j++ {
+			o := perWorker[k]
+			if onSnap != nil && xopts.Interval > 0 {
+				k, j := k, j
+				o.OnSnapshot = func(exec.Progress) bool {
+					mu.Lock()
+					latest[k][j] = walkers[k][j].Acc().Clone()
+					mu.Unlock()
+					return true
+				}
+				o.Interval = xopts.Interval
+			}
+			wg.Add(1)
+			go func(w *Walker, o exec.Options, e int) {
+				defer wg.Done()
+				_, errs[e] = exec.Drive(ctx, w, o)
+			}(walkers[k][j], o, k*wps+j)
+		}
+	}
+	wg.Wait()
+	close(pubStop)
+	pubWG.Wait()
+
+	res := finish()
+	for _, err := range errs {
+		if err != nil && !(stopped.Load() && errors.Is(err, context.Canceled)) {
+			return res, sstats, err
+		}
+	}
+	if onSnap != nil && !stopped.Load() {
+		seq++
+		onSnap(exec.Progress{
+			Seq:      seq,
+			Elapsed:  time.Since(start),
+			Walks:    res.Walks,
+			Snapshot: res,
+			Final:    true,
+		})
+	}
+	return res, sstats, nil
+}

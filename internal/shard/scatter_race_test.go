@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"kgexplore/internal/exec"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+func raceFixture(t *testing.T) (*Set, *query.Plan) {
+	t.Helper()
+	g := testkit.RandomGraph(61, 60, 4, 50, 2000)
+	q := testkit.ChainQuery(g, []rdf.ID{60, 61}, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return buildSet(t, g, 4), pl
+}
+
+// TestScatterCancellationUnderLoad cancels a multi-worker scatter-gather
+// mid-flight and checks the contract: a context error, plus a merged
+// partial result that is still usable. Run with -race this also exercises
+// the shared per-stratum caches and the publisher under concurrent
+// shutdown.
+func TestScatterCancellationUnderLoad(t *testing.T) {
+	s, pl := raceFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	var published atomic.Int64
+	var once sync.Once
+	opts := exec.Options{
+		Interval: time.Millisecond,
+		Batch:    32,
+		OnSnapshot: func(p exec.Progress) bool {
+			published.Add(1)
+			// Cancel externally as soon as real progress is visible.
+			once.Do(cancel)
+			return true
+		},
+	}
+	res, sstats, err := RunScatter(ctx, s, pl, ScatterOptions{Seed: 2, WorkersPerShard: 3}, opts)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if published.Load() == 0 {
+		t.Fatal("no snapshot published before cancellation")
+	}
+	// The partial result must still be a coherent merge.
+	if res.Walks == 0 {
+		t.Fatal("cancelled run reports zero walks despite published snapshots")
+	}
+	walks := int64(0)
+	for _, ps := range sstats.PerShard {
+		walks += ps.Walks
+	}
+	if walks != res.Walks {
+		t.Fatalf("per-shard walks %d disagree with merged result %d", walks, res.Walks)
+	}
+}
+
+// TestScatterSnapshotStop stops the run from the snapshot callback
+// (consumer-initiated stop). That is a clean termination, not an error.
+func TestScatterSnapshotStop(t *testing.T) {
+	s, pl := raceFixture(t)
+	var seen atomic.Int64
+	opts := exec.Options{
+		Interval: time.Millisecond,
+		Batch:    32,
+		OnSnapshot: func(p exec.Progress) bool {
+			return seen.Add(1) < 3
+		},
+	}
+	res, _, err := RunScatter(context.Background(), s, pl, ScatterOptions{Seed: 4, WorkersPerShard: 2}, opts)
+	if err != nil {
+		t.Fatalf("consumer stop must not be an error: %v", err)
+	}
+	if res.Walks == 0 {
+		t.Fatal("stopped run lost its partial result")
+	}
+}
+
+// TestScatterConcurrentRunsShareCaches runs several scatter-gathers over
+// the same warm cache set concurrently — the server's steady state. Under
+// -race this validates the cache's synchronization end to end.
+func TestScatterConcurrentRunsShareCaches(t *testing.T) {
+	s, pl := raceFixture(t)
+	caches := make([]*Cache, s.K())
+	for i := range caches {
+		caches[i] = NewCache()
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, 4)
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			_, _, err := RunScatter(context.Background(), s, pl,
+				ScatterOptions{Seed: int64(100 + r), WorkersPerShard: 2, Caches: caches},
+				exec.Options{MaxWalks: 3000, Batch: 64})
+			if err != nil {
+				errs <- err
+			}
+		}(r)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	hits := int64(0)
+	for _, c := range caches {
+		st := c.Stats()
+		hits += st.Hits
+	}
+	if hits == 0 {
+		t.Fatal("warm shared caches recorded no hits across concurrent runs")
+	}
+}
+
+// TestScatterImmediateCancellation: a context cancelled before the run
+// starts must surface promptly and leave an empty-but-valid result.
+func TestScatterImmediateCancellation(t *testing.T) {
+	s, pl := raceFixture(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := RunScatter(ctx, s, pl, ScatterOptions{Seed: 9, WorkersPerShard: 2}, exec.Options{MaxWalks: 100000})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}

@@ -1,0 +1,461 @@
+package shard
+
+import (
+	"errors"
+	"math/rand"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+)
+
+// ErrDistinctNotOwned reports a COUNT(DISTINCT) plan whose distinct
+// variable is not owned by the partition key; per-stratum estimation would
+// double-count values across shards, so callers must use Set.Exact (which
+// RunScatter does automatically).
+var ErrDistinctNotOwned = errors.New(
+	"shard: COUNT(DISTINCT) with a distinct variable the partition key does not own; fall back to Set.Exact")
+
+// Owned reports whether COUNT(DISTINCT) over this plan can be estimated
+// stratum-locally. The condition is ownership of the distinct variable by
+// the partition key: β is the SUBJECT of the root pattern, so every
+// distinct (group, β-value) pair is witnessed only by root triples in the
+// shard that β's value hashes to, and per-stratum distinct estimates sum
+// without cross-shard double counting. The subject-restricted root access
+// must also be servable by the four index orders (it is not when the root
+// has a constant object but a variable predicate), because the estimator
+// needs the EXACT per-value root count n_v, not an estimate.
+func Owned(pl *query.Plan) bool {
+	q := pl.Query
+	if !q.Distinct {
+		return false
+	}
+	st0 := &pl.Steps[0]
+	s := st0.Pattern.S
+	if !s.IsVar() || s.Var != q.Beta {
+		return false
+	}
+	mask := st0.Bound
+	mask[index.S] = true
+	_, _, err := query.AccessFor(mask)
+	return err == nil
+}
+
+// WalkerOptions configure one stratum walker.
+type WalkerOptions struct {
+	// Threshold is the Audit Join tipping point, with core.Options
+	// semantics: estimated suffix sizes at or below it switch the walk to
+	// the exact finish. Negative never tips (pure Wander Join sampling);
+	// +Inf always tips.
+	Threshold float64
+	// Seed seeds the walker's private random source.
+	Seed int64
+	// Cache is the stratum's shared suffix cache; nil creates a private
+	// one. All walkers of one stratum's pool should share a Cache.
+	Cache *Cache
+}
+
+// Walker runs stratified Audit Join walks for ONE stratum of a sharded
+// set: stratum k covers exactly the join paths whose root triple lives in
+// shard k. The root step samples from shard k's root span alone (d_1 = that
+// span's length); every later step resolves and samples over the union of
+// all shards through the resolver, so the stratum's Horvitz–Thompson
+// estimate is unbiased for the stratum total. Tipped walks finish exactly
+// by a resolver-backed suffix enumeration memoized in the stratum Cache —
+// the sharded counterpart of Audit Join's CTJ finish.
+//
+// A Walker is an exec.Stepper; it is not safe for concurrent use — create
+// one per goroutine and share the Cache.
+type Walker struct {
+	set     *Set
+	pl      *query.Plan
+	stratum int
+	res     *resolver
+	oracle  *suffixOracle
+	cache   *Cache
+	thresh  float64
+	rng     *rand.Rand
+	acc     *wj.Acc
+
+	// b is the walk binding buffer, gb the enumeration scratch buffer
+	// (owned-distinct group computation must not disturb a walk in
+	// progress), subBuf the reusable span-gather buffer.
+	b      query.Bindings
+	gb     query.Bindings
+	subBuf []subspan
+
+	// iface[i] lists the interface variables of boundary i (ctj's cache-key
+	// discipline): bound before i, used at or after i.
+	iface [][]query.Var
+
+	rootSpan index.Span
+	rootLen  int
+
+	// owned-distinct state (see Owned): the access for the root pattern
+	// restricted to one subject value.
+	owned    bool
+	ownKind  query.AccessKind
+	ownOrder index.Order
+
+	perGroup   map[rdf.ID]float64
+	perGroupND map[rdf.ID]numDen
+
+	tipped int64
+}
+
+type numDen struct{ num, den float64 }
+
+// NewWalker creates the stratum walker. It fails with ErrDistinctNotOwned
+// for distinct plans the stratified estimator cannot serve.
+func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walker, error) {
+	if pl.Query.Distinct && !Owned(pl) {
+		return nil, ErrDistinctNotOwned
+	}
+	cache := opts.Cache
+	if cache == nil {
+		cache = NewCache()
+	}
+	res := newResolver(set, pl)
+	w := &Walker{
+		set:        set,
+		pl:         pl,
+		stratum:    stratum,
+		res:        res,
+		oracle:     newSuffixOracle(res),
+		cache:      cache,
+		thresh:     opts.Threshold,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		acc:        wj.NewAcc(),
+		b:          pl.NewBindings(),
+		gb:         pl.NewBindings(),
+		perGroup:   make(map[rdf.ID]float64),
+		perGroupND: make(map[rdf.ID]numDen),
+	}
+
+	// Root span of this stratum. Step 0 has no join variables, so it is
+	// always static.
+	st0 := &pl.Steps[0]
+	ss := res.static[stratum][0]
+	if !st0.Static {
+		ss.Span, ss.OK = st0.ResolveSpan(set.stores[stratum], pl.NewBindings())
+	}
+	if ss.OK {
+		w.rootSpan = ss.Span
+		if st0.Kind == query.AccessMembership {
+			w.rootLen = 1
+		} else {
+			w.rootLen = ss.Span.Len()
+		}
+	}
+
+	// ctj-style interface variables for suffix-cache keys.
+	n := len(pl.Steps)
+	firstBound := make([]int, pl.NumVars())
+	lastUse := make([]int, pl.NumVars())
+	for v := range firstBound {
+		firstBound[v], lastUse[v] = -1, -1
+	}
+	for i, st := range pl.Steps {
+		for _, a := range []query.Atom{st.Pattern.S, st.Pattern.P, st.Pattern.O} {
+			if a.IsVar() {
+				if firstBound[a.Var] == -1 {
+					firstBound[a.Var] = i
+				}
+				lastUse[a.Var] = i
+			}
+		}
+	}
+	w.iface = make([][]query.Var, n+1)
+	for i := 0; i <= n; i++ {
+		for v := 0; v < pl.NumVars(); v++ {
+			if firstBound[v] >= 0 && firstBound[v] < i && lastUse[v] >= i {
+				w.iface[i] = append(w.iface[i], query.Var(v))
+			}
+		}
+	}
+
+	if pl.Query.Distinct {
+		w.owned = true
+		mask := st0.Bound
+		mask[index.S] = true
+		kind, order, err := query.AccessFor(mask)
+		if err != nil {
+			return nil, ErrDistinctNotOwned // unreachable: Owned checked above
+		}
+		w.ownKind, w.ownOrder = kind, order
+	}
+	return w, nil
+}
+
+// RootCard returns the stratum's root-pattern cardinality — the weight the
+// proportional walk allocation uses.
+func (w *Walker) RootCard() int { return w.rootLen }
+
+// Step performs one stratified walk.
+func (w *Walker) Step() {
+	w.acc.N++
+	if w.rootLen == 0 {
+		// Empty stratum: its true total is zero, every walk rejects. The
+		// driver normally allocates no walks here.
+		w.acc.Rejected++
+		return
+	}
+	if w.owned {
+		w.stepOwned()
+		return
+	}
+	b := w.b
+	b.Reset()
+	st0 := &w.pl.Steps[0]
+	prodD := 1.0
+	if st0.Kind != query.AccessMembership {
+		t := w.set.stores[w.stratum].At(st0.Order, w.rootSpan, w.rng.Intn(w.rootLen))
+		st0.Bind(t, b)
+		prodD = float64(w.rootLen)
+	}
+	last := len(w.pl.Steps) - 1
+	for i := 0; ; i++ {
+		if i > 0 {
+			st := &w.pl.Steps[i]
+			subs, total, ok := w.res.resolve(i, b, w.subBuf[:0])
+			w.subBuf = subs[:0]
+			if !ok {
+				w.acc.Rejected++
+				return
+			}
+			if st.Kind != query.AccessMembership {
+				t := w.res.sample(st, subs, total, w.rng)
+				st.Bind(t, b)
+				prodD *= float64(total)
+			}
+		}
+		if i == last {
+			w.finish(i, b, prodD)
+			return
+		}
+		if w.oracle.EstimateSuffix(i, b) <= w.thresh {
+			w.tipped++
+			w.finish(i, b, prodD)
+			return
+		}
+	}
+}
+
+// stepOwned is the owned-distinct walk: sample a root triple uniformly
+// from the stratum root span, look up (memoized) the distinct groups
+// reachable from its subject v and the exact count n_v of root triples
+// with that subject, and credit rootLen/n_v to each group. Summed over
+// walks and divided by N this is unbiased for the stratum's per-group
+// distinct count: each subject is drawn with probability n_v/rootLen and
+// contributes rootLen/n_v once per group it reaches.
+func (w *Walker) stepOwned() {
+	st0 := &w.pl.Steps[0]
+	t := w.set.stores[w.stratum].At(st0.Order, w.rootSpan, w.rng.Intn(w.rootLen))
+	groups, nv := w.groupsOf(t.S)
+	if len(groups) == 0 || nv == 0 {
+		w.acc.Rejected++
+		return
+	}
+	x := float64(w.rootLen) / float64(nv)
+	for _, a := range groups {
+		w.acc.Add(a, x)
+	}
+}
+
+func (w *Walker) groupsOf(v rdf.ID) ([]rdf.ID, int) {
+	if ge, ok := w.cache.getGroups(v); ok {
+		return ge.groups, ge.rootN
+	}
+	ge := w.cache.putGroups(v, w.computeGroups(v))
+	return ge.groups, ge.rootN
+}
+
+// rootSpanFor resolves the root pattern restricted to subject v on the
+// stratum store — the n_v lookup. Exact by construction: Owned rejected
+// the one access combination the orders cannot serve.
+func (w *Walker) rootSpanFor(v rdf.ID) (index.Span, int) {
+	st := w.set.stores[w.stratum]
+	p := w.pl.Steps[0].Pattern
+	switch w.ownKind {
+	case query.AccessL1:
+		sp := st.SpanL1(index.SPO, v)
+		return sp, sp.Len()
+	case query.AccessL2:
+		sp := st.SpanL2(index.PSO, p.P.ID, v)
+		return sp, sp.Len()
+	default: // membership: predicate and object constant
+		if st.Contains(rdf.Triple{S: v, P: p.P.ID, O: p.O.ID}) {
+			return index.Span{}, 1
+		}
+		return index.Span{}, 0
+	}
+}
+
+func (w *Walker) computeGroups(v rdf.ID) groupEntry {
+	sp, n := w.rootSpanFor(v)
+	if n == 0 {
+		return groupEntry{}
+	}
+	st0 := &w.pl.Steps[0]
+	store := w.set.stores[w.stratum]
+	q := w.pl.Query
+	b := w.gb
+	b.Reset()
+	seen := make(map[rdf.ID]struct{})
+	visit := func() error {
+		a := wj.GlobalGroup
+		if q.Alpha != query.NoVar {
+			a = b[q.Alpha]
+		}
+		seen[a] = struct{}{}
+		return nil
+	}
+	if w.ownKind == query.AccessMembership {
+		st0.Bind(rdf.Triple{S: v, P: st0.Pattern.P.ID, O: st0.Pattern.O.ID}, b)
+		_ = w.res.enumerate(1, b, visit)
+	} else {
+		for i := 0; i < sp.Len(); i++ {
+			st0.Bind(store.At(w.ownOrder, sp, i), b)
+			_ = w.res.enumerate(1, b, visit)
+		}
+	}
+	st0.Unbind(b)
+	groups := make([]rdf.ID, 0, len(seen))
+	for a := range seen {
+		groups = append(groups, a)
+	}
+	return groupEntry{groups: groups, rootN: n}
+}
+
+// finish completes a walk exactly: enumerate (or fetch from the stratum
+// cache) the suffix aggregation beyond step i and credit each group with
+// its path count scaled by the sampled prefix's inverse probability ∏ d_j —
+// core.Runner's finish over the resolver instead of a single-store CTJ.
+func (w *Walker) finish(i int, b query.Bindings, prodD float64) {
+	agg := w.suffixAgg(i, b)
+	if len(agg) == 0 {
+		w.acc.Rejected++
+		return
+	}
+	switch w.pl.Query.Agg {
+	case query.AggSum:
+		clear(w.perGroup)
+		for _, e := range agg {
+			if v, ok := w.set.Numeric(e.b); ok {
+				w.perGroup[e.a] += v * float64(e.n) * prodD
+			}
+		}
+		for a, x := range w.perGroup {
+			w.acc.Add(a, x)
+		}
+	case query.AggAvg:
+		clear(w.perGroupND)
+		for _, e := range agg {
+			if v, ok := w.set.Numeric(e.b); ok {
+				cur := w.perGroupND[e.a]
+				cur.num += v * float64(e.n) * prodD
+				cur.den += float64(e.n) * prodD
+				w.perGroupND[e.a] = cur
+			}
+		}
+		for a, x := range w.perGroupND {
+			w.acc.AddRatio(a, x.num, x.den)
+		}
+	default: // COUNT
+		clear(w.perGroup)
+		for _, e := range agg {
+			w.perGroup[e.a] += float64(e.n) * prodD
+		}
+		for a, x := range w.perGroup {
+			w.acc.Add(a, x)
+		}
+	}
+}
+
+func (w *Walker) suffixAgg(i int, b query.Bindings) []suffixEntry {
+	k, ok := w.aggKeyAt(i+1, b)
+	if !ok {
+		return w.computeSuffixAgg(i, b)
+	}
+	if agg, hit := w.cache.getAgg(k); hit {
+		return agg
+	}
+	return w.cache.putAgg(k, w.computeSuffixAgg(i, b))
+}
+
+// aggKeyAt builds the cache key for boundary step: the interface variable
+// values plus the already-bound α/β (ctj.SuffixAgg's key discipline). ok is
+// false when the values do not fit the fixed key, in which case the caller
+// computes uncached.
+func (w *Walker) aggKeyAt(step int, b query.Bindings) (aggKey, bool) {
+	q := w.pl.Query
+	k := aggKey{step: int8(step)}
+	i := 0
+	for _, v := range w.iface[step] {
+		if i >= maxIfaceVals {
+			return k, false
+		}
+		k.vals[i] = b[v]
+		i++
+	}
+	for _, v := range []query.Var{q.Alpha, q.Beta} {
+		if i >= maxIfaceVals {
+			return k, false
+		}
+		if v != query.NoVar {
+			k.vals[i] = b[v]
+		} else {
+			k.vals[i] = rdf.NoID
+		}
+		i++
+	}
+	for ; i < maxIfaceVals; i++ {
+		k.vals[i] = rdf.NoID
+	}
+	return k, true
+}
+
+func (w *Walker) computeSuffixAgg(i int, b query.Bindings) []suffixEntry {
+	q := w.pl.Query
+	type akey struct{ a, b rdf.ID }
+	idx := make(map[akey]int)
+	var out []suffixEntry
+	_ = w.res.enumerate(i+1, b, func() error {
+		a, bb := rdf.NoID, rdf.NoID
+		if q.Alpha != query.NoVar {
+			a = b[q.Alpha]
+		}
+		if q.Beta != query.NoVar {
+			bb = b[q.Beta]
+		}
+		ak := akey{a, bb}
+		if j, ok := idx[ak]; ok {
+			out[j].n++
+			return nil
+		}
+		idx[ak] = len(out)
+		out = append(out, suffixEntry{a: a, b: bb, n: 1})
+		return nil
+	})
+	return out
+}
+
+// Walks returns the number of walks performed; with Step and Snapshot it
+// makes the Walker an exec.Stepper.
+func (w *Walker) Walks() int64 { return w.acc.N }
+
+// Snapshot returns the STRATUM estimate (sum/N over this stratum's walks)
+// with 0.95 intervals. Global results come from merging stratum
+// accumulators with wj.MergeStratified.
+func (w *Walker) Snapshot() wj.Result { return w.acc.Snapshot(stats.Z95) }
+
+// Acc exposes the stratum accumulator.
+func (w *Walker) Acc() *wj.Acc { return w.acc }
+
+// Tipped returns how many walks switched to the exact finish.
+func (w *Walker) Tipped() int64 { return w.tipped }
+
+// Cache returns the stratum suffix cache in use.
+func (w *Walker) Cache() *Cache { return w.cache }

@@ -63,30 +63,139 @@ func TestMergeMatchesCombinedRun(t *testing.T) {
 	}
 }
 
-func TestMergeRefusesDistinctAccumulators(t *testing.T) {
-	// Distinct-mode WJ dedup sets are runner-local: merging two such
-	// accumulators would double-count duplicates across runners, so Merge
-	// must refuse loudly rather than return a silently wrong estimate.
+func TestMergeDistinctAccumulators(t *testing.T) {
+	// Distinct-mode accumulators used to panic on Merge (runner-local dedup
+	// sets); the dedup state now lives in Acc.Vals, so Merge must union the
+	// value sets — and must NOT panic on the distinct+distinct case.
 	pl, _, st := fig5(t, true)
 	a := New(st, pl, 1)
 	b := New(st, pl, 2)
-	runN(a, 100)
-	runN(b, 100)
+	runN(a, 2000)
+	runN(b, 2000)
 	if !a.Acc().Distinct || !b.Acc().Distinct {
 		t.Fatal("distinct-mode runners should mark their accumulators")
 	}
+
+	merged := a.Acc().Clone()
+	func() {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Fatalf("Merge of two distinct accumulators panicked: %v", r)
+			}
+		}()
+		merged.Merge(b.Acc())
+	}()
+
+	if merged.N != a.Acc().N+b.Acc().N {
+		t.Fatalf("merged N = %d", merged.N)
+	}
+	// The merged value set is the union of the two sides' sets, each pair
+	// counted once in Sum.
+	union := map[uint64]struct{}{}
+	for k := range a.Acc().Vals {
+		union[k] = struct{}{}
+	}
+	for k := range b.Acc().Vals {
+		union[k] = struct{}{}
+	}
+	if len(merged.Vals) != len(union) {
+		t.Fatalf("merged value set has %d pairs, union has %d", len(merged.Vals), len(union))
+	}
+	for k, mv := range merged.Vals {
+		av, aok := a.Acc().Vals[k]
+		bv, bok := b.Acc().Vals[k]
+		wantHits := av.Hits + bv.Hits
+		if mv.Hits != wantHits {
+			t.Fatalf("pair %d: merged hits %d, want %d", k, mv.Hits, wantHits)
+		}
+		switch {
+		case aok && bok:
+			// Reconciled contribution: hit-weighted mean of the two sides.
+			want := (av.Contribution*float64(av.Hits) + bv.Contribution*float64(bv.Hits)) / float64(wantHits)
+			if math.Abs(mv.Contribution-want) > 1e-9 {
+				t.Fatalf("pair %d: contribution %v, want %v", k, mv.Contribution, want)
+			}
+		case aok:
+			if mv.Contribution != av.Contribution {
+				t.Fatalf("pair %d: contribution changed with no counterpart", k)
+			}
+		case bok:
+			if mv.Contribution != bv.Contribution {
+				t.Fatalf("pair %d: contribution changed with no counterpart", k)
+			}
+		}
+	}
+	// Sum must equal exactly one reconciled contribution per surviving pair.
+	perGroup := map[rdf.ID]float64{}
+	for k, v := range merged.Vals {
+		perGroup[rdf.ID(k>>32)] += v.Contribution
+	}
+	for g, want := range perGroup {
+		if math.Abs(merged.Sum[g]-want) > 1e-6 {
+			t.Fatalf("group %d: merged Sum %v, want %v", g, merged.Sum[g], want)
+		}
+	}
+	// Dedup accounting: every collapsed first sight became a duplicate.
+	both := int64(0)
+	for k := range a.Acc().Vals {
+		if _, ok := b.Acc().Vals[k]; ok {
+			both++
+		}
+	}
+	if want := a.Acc().Dedup + b.Acc().Dedup + both; merged.Dedup != want {
+		t.Fatalf("merged Dedup = %d, want %d", merged.Dedup, want)
+	}
+}
+
+func TestMergeStillRefusesMixedModes(t *testing.T) {
+	// Distinct and non-distinct accumulators estimate different quantities;
+	// merging them silently would be a bug, so the mode-mismatch panic stays.
+	pl, _, st := fig5(t, true)
+	a := New(st, pl, 1)
+	runN(a, 100)
 	for _, pair := range [][2]*Acc{
-		{NewAcc(), a.Acc()}, // distinct on the merged-in side
+		{NewAcc(), a.Acc()},         // distinct on the merged-in side
 		{a.Acc().Clone(), NewAcc()}, // distinct on the receiving side
 	} {
 		func() {
 			defer func() {
 				if recover() == nil {
-					t.Error("Merge on a distinct-mode accumulator did not panic")
+					t.Error("Merge of mixed-mode accumulators did not panic")
 				}
 			}()
 			pair[0].Merge(pair[1])
 		}()
+	}
+}
+
+func TestMergeStratifiedSumsStrata(t *testing.T) {
+	// Two strata with known per-walk contributions: the merged estimate is
+	// the sum of the stratum means and the CI combines variances in
+	// quadrature.
+	a := NewAcc()
+	a.N = 4
+	a.Add(1, 2)
+	a.Add(1, 2)
+	a.Add(1, 6)
+	a.Add(1, 6) // mean 4, var 4, var of mean 1
+	b := NewAcc()
+	b.N = 2
+	b.Add(1, 10)
+	b.Add(1, 16) // mean 13, var 9, var of mean 4.5
+	r := MergeStratified([]*Acc{a, b}, 2)
+	if got := r.Estimates[1]; math.Abs(got-17) > 1e-9 {
+		t.Fatalf("stratified estimate = %v, want 17", got)
+	}
+	if want := 2 * math.Sqrt(1+4.5); math.Abs(r.CI[1]-want) > 1e-9 {
+		t.Fatalf("stratified CI = %v, want %v", r.CI[1], want)
+	}
+	if r.Walks != 6 {
+		t.Fatalf("walks = %d", r.Walks)
+	}
+	// An empty stratum (no walks: its true total is zero) changes nothing.
+	r2 := MergeStratified([]*Acc{a, b, NewAcc()}, 2)
+	if r2.Estimates[1] != r.Estimates[1] || r2.CI[1] != r.CI[1] {
+		t.Fatal("empty stratum altered the merged result")
 	}
 }
 

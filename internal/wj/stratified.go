@@ -1,0 +1,73 @@
+package wj
+
+import (
+	"math"
+
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+)
+
+// MergeStratified combines the accumulators of independent strata into one
+// Result. Unlike Merge — which pools i.i.d. walks over the same population —
+// the inputs here sample disjoint sub-populations (e.g. the shards of a
+// partitioned store), so the global estimator is the SUM of per-stratum
+// estimators, not a pooled mean:
+//
+//	est[a] = Σ_k Sum_k[a]/N_k
+//
+// Per-stratum means are independent, so their variances add, giving the
+// merged interval
+//
+//	CI[a] = z·sqrt(Σ_k var̂_k[a]/N_k)
+//
+// where var̂_k is the per-stratum sample variance of walk contributions. A
+// stratum with N_k = 0 (it performed no walks, e.g. its root span is empty —
+// its true total is zero) contributes nothing. Ratio estimators (AVG) merge
+// as the ratio of the two channels' stratum sums, Σ_k num̂_k / Σ_k den̂_k,
+// with the CI left at zero exactly as in Acc.Snapshot. A stratum with fewer
+// than two walks yields an infinite interval, matching stats.CIHalfWidth.
+func MergeStratified(accs []*Acc, z float64) Result {
+	r := Result{
+		Estimates: make(map[rdf.ID]float64),
+		CI:        make(map[rdf.ID]float64),
+	}
+	ratio := false
+	var num, den map[rdf.ID]float64
+	varSum := make(map[rdf.ID]float64)
+	for _, c := range accs {
+		if c == nil || c.N == 0 {
+			continue
+		}
+		r.Walks += c.N
+		r.Rejected += c.Rejected
+		r.Dedup += c.Dedup
+		n := float64(c.N)
+		if c.Den != nil && !ratio {
+			ratio = true
+			num = make(map[rdf.ID]float64)
+			den = make(map[rdf.ID]float64)
+		}
+		for a, s := range c.Sum {
+			if c.Den != nil {
+				num[a] += s / n
+				den[a] += c.Den[a] / n
+				continue
+			}
+			r.Estimates[a] += s / n
+			hw := stats.CIHalfWidth(s, c.SumSq[a], c.N, 1) // sqrt(var̂/N)
+			varSum[a] += hw * hw
+		}
+	}
+	if ratio {
+		for a, nv := range num {
+			if d := den[a]; d > 0 {
+				r.Estimates[a] = nv / d
+			}
+		}
+		return r
+	}
+	for a, v := range varSum {
+		r.CI[a] = z * math.Sqrt(v)
+	}
+	return r
+}

@@ -8,6 +8,9 @@
 // of Ripple Join (Haas & Hellerstein): samples whose (group, value) pair has
 // been seen before are rejected. This keeps duplicates from inflating the
 // count but leaves the estimator biased — the limitation Audit Join removes.
+// Distinct-mode accumulators carry their dedup state (the per-pair first
+// contribution and hit count) so that Merge can union two of them into what
+// a single runner over the combined walks would have produced.
 package wj
 
 import (
@@ -35,11 +38,30 @@ type Acc struct {
 	// Den holds denominator contributions for ratio estimators (AVG);
 	// nil unless AddRatio has been used.
 	Den map[rdf.ID]float64
-	// Distinct marks a distinct-mode Wander Join accumulator, whose
-	// Ripple-style dedup set is runner-local; Merge refuses such
-	// accumulators. Audit Join accumulators never set it (their distinct
-	// estimator is per-walk unbiased and merges freely).
+	// Distinct marks a distinct-mode Wander Join accumulator. Its dedup
+	// state lives in Vals, keyed by packed (group, value) pairs, which makes
+	// the accumulator self-contained: Merge unions the value sets of two
+	// distinct accumulators instead of double-counting duplicates. Audit
+	// Join accumulators never set it (their distinct estimator is per-walk
+	// unbiased and merges freely).
 	Distinct bool
+	// Vals is the distinct-mode value set: for every (group, value) pair
+	// seen, the contribution currently credited to Sum and the number of
+	// walks that reached the pair. Nil outside distinct mode.
+	Vals map[uint64]DistinctVal
+}
+
+// DistinctVal is one entry of a distinct-mode value set: the ∏d_i
+// contribution currently credited for the (group, value) pair, and how many
+// walks hit the pair (the first sight plus every dedup'd repeat).
+type DistinctVal struct {
+	Contribution float64
+	Hits         int64
+}
+
+// DistinctKey packs a (group, value) pair into a Vals key.
+func DistinctKey(a, beta rdf.ID) uint64 {
+	return uint64(a)<<32 | uint64(beta)
 }
 
 // NewAcc returns an empty accumulator.
@@ -69,16 +91,26 @@ func (c *Acc) AddRatio(a rdf.ID, num, den float64) {
 // with the union of the walks; this is how parallel estimation combines
 // per-goroutine runners (the paper cites parallel online aggregation as
 // related work; with independent walks the combination is trivial).
-// Distinct-mode WJ accumulators must not be merged (their Ripple-style
-// dedup sets are runner-local, so merged sums double-count duplicates);
-// Merge panics on them. Audit Join accumulators always can be merged.
+//
+// Distinct-mode accumulators merge by value-set union: a (group, value)
+// pair seen on only one side keeps its contribution; a pair seen on both
+// sides collapses into one — its contribution is reconciled to the
+// hit-count-weighted mean of the two sides' recorded contributions and the
+// redundant first sight is counted as a dedup, which is what a single
+// runner over the combined walk stream would have recorded (up to which
+// walk happened to arrive first). Mixing a distinct and a non-distinct
+// accumulator is a programming error and still panics.
 func (c *Acc) Merge(o *Acc) {
-	if c.Distinct || o.Distinct {
-		panic("wj: Merge on a distinct-mode Wander Join accumulator: per-runner dedup sets make merged counts meaningless")
+	if c.Distinct != o.Distinct {
+		panic("wj: Merge of a distinct-mode and a non-distinct accumulator: the estimators are incompatible")
 	}
 	c.N += o.N
 	c.Rejected += o.Rejected
 	c.Dedup += o.Dedup
+	if c.Distinct {
+		c.mergeDistinct(o)
+		return
+	}
 	for a, v := range o.Sum {
 		c.Sum[a] += v
 	}
@@ -93,6 +125,50 @@ func (c *Acc) Merge(o *Acc) {
 			c.Den[a] += v
 		}
 	}
+}
+
+// mergeDistinct unions o's value set into c, keeping Sum/SumSq consistent
+// with exactly one contribution per surviving (group, value) pair.
+func (c *Acc) mergeDistinct(o *Acc) {
+	if c.Vals == nil && len(o.Vals) > 0 {
+		c.Vals = make(map[uint64]DistinctVal, len(o.Vals))
+	}
+	for key, ov := range o.Vals {
+		a := rdf.ID(key >> 32)
+		cv, seen := c.Vals[key]
+		if !seen {
+			c.Vals[key] = ov
+			c.Sum[a] += ov.Contribution
+			c.SumSq[a] += ov.Contribution * ov.Contribution
+			continue
+		}
+		rec := (cv.Contribution*float64(cv.Hits) + ov.Contribution*float64(ov.Hits)) /
+			float64(cv.Hits+ov.Hits)
+		c.Sum[a] += rec - cv.Contribution
+		c.SumSq[a] += rec*rec - cv.Contribution*cv.Contribution
+		c.Vals[key] = DistinctVal{Contribution: rec, Hits: cv.Hits + ov.Hits}
+		c.Dedup++ // o's first sight of the pair collapses into a duplicate
+	}
+}
+
+// AddDistinct records a distinct-mode walk that reached (group a, value
+// beta) with contribution x. The first walk to reach a pair credits its
+// contribution; repeats are counted as dedups. Returns whether the walk was
+// a first sight.
+func (c *Acc) AddDistinct(a, beta rdf.ID, x float64) bool {
+	if c.Vals == nil {
+		c.Vals = make(map[uint64]DistinctVal)
+	}
+	key := DistinctKey(a, beta)
+	if dv, dup := c.Vals[key]; dup {
+		dv.Hits++
+		c.Vals[key] = dv
+		c.Dedup++
+		return false
+	}
+	c.Vals[key] = DistinctVal{Contribution: x, Hits: 1}
+	c.Add(a, x)
+	return true
 }
 
 // Clone returns a deep copy of the accumulator. Parallel estimation uses
@@ -117,6 +193,12 @@ func (c *Acc) Clone() *Acc {
 		o.Den = make(map[rdf.ID]float64, len(c.Den))
 		for a, v := range c.Den {
 			o.Den[a] = v
+		}
+	}
+	if c.Vals != nil {
+		o.Vals = make(map[uint64]DistinctVal, len(c.Vals))
+		for k, v := range c.Vals {
+			o.Vals[k] = v
 		}
 	}
 	return o
@@ -175,7 +257,6 @@ type Runner struct {
 	pl    *query.Plan
 	rng   *rand.Rand
 	acc   *Acc
-	seen  map[uint64]struct{} // distinct mode: packed (group, beta) pairs seen
 
 	// b is the per-walk binding buffer and static the pre-resolved spans of
 	// constant-bound steps; together they keep Step allocation-free at
@@ -187,15 +268,14 @@ type Runner struct {
 // New creates a Runner with a deterministic random source.
 func New(store *index.Store, pl *query.Plan, seed int64) *Runner {
 	acc := NewAcc()
-	// Distinct-mode walks depend on this runner's dedup set; mark the
-	// accumulator so it cannot be merged into another (see Acc.Merge).
+	// Distinct-mode dedup state lives in the accumulator itself (Acc.Vals),
+	// so merging two runners' accumulators unions their value sets.
 	acc.Distinct = pl.Query.Distinct
 	return &Runner{
 		store:  store,
 		pl:     pl,
 		rng:    rand.New(rand.NewSource(seed)),
 		acc:    acc,
-		seen:   make(map[uint64]struct{}),
 		b:      pl.NewBindings(),
 		static: pl.ResolveStatic(store),
 	}
@@ -245,12 +325,8 @@ func (r *Runner) Step() {
 		return
 	}
 	if q.Distinct {
-		key := uint64(a)<<32 | uint64(b[q.Beta])
-		if _, dup := r.seen[key]; dup {
-			r.acc.Dedup++
-			return
-		}
-		r.seen[key] = struct{}{}
+		r.acc.AddDistinct(a, b[q.Beta], prod)
+		return
 	}
 	r.acc.Add(a, prod)
 }

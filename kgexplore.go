@@ -581,11 +581,17 @@ func (d *Dataset) Chart(s *ExploreState, op ExploreOp) ([]Bar, error) {
 // BarsOf converts a per-group result (and optional CI map) into bars sorted
 // by descending count, decoding group IDs through the dictionary.
 func (d *Dataset) BarsOf(counts map[ID]float64, ci map[ID]float64) []Bar {
+	return barsOf(d.graph.Dict, counts, ci)
+}
+
+// barsOf is the dictionary-parameterized core of BarsOf, shared by Dataset
+// and ShardedDataset.
+func barsOf(dict *Dict, counts map[ID]float64, ci map[ID]float64) []Bar {
 	bars := make([]Bar, 0, len(counts))
 	for id, c := range counts {
 		b := Bar{Count: c}
 		if id != GlobalGroup {
-			b.Category = d.graph.Dict.Term(id)
+			b.Category = dict.Term(id)
 		}
 		if ci != nil {
 			b.CI = ci[id]
