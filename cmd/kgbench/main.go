@@ -47,6 +47,9 @@ func main() {
 		shardBench = flag.Bool("shardbench", false, "run the sharded scatter-gather benchmark and write -shardout")
 		shardOut   = flag.String("shardout", "BENCH_shard.json", "output path for -shardbench")
 		shardWalks = flag.Int64("shardwalks", 200000, "total walks per shard count in -shardbench")
+		estBench   = flag.Bool("estbench", false, "run the cardinality-estimator benchmark (q-error and walks-to-target-CI, both estimators) and write -estout")
+		estOut     = flag.String("estout", "BENCH_estimate.json", "output path for -estbench")
+		estPaths   = flag.Int("estpaths", 12, "exploration paths in -estbench")
 	)
 	flag.Parse()
 
@@ -186,6 +189,12 @@ func main() {
 	if *shardBench {
 		any = true
 		if err := runShardBench(w, *shardOut, *scale, *seed, *shardWalks); err != nil {
+			fail(err)
+		}
+	}
+	if *estBench {
+		any = true
+		if err := runEstBench(w, *estOut, *scale, *seed, *estPaths); err != nil {
 			fail(err)
 		}
 	}

@@ -41,6 +41,8 @@ func main() {
 	load := flag.String("load", "", "load an N-Triples file")
 	engine := flag.String("engine", "aj", "default engine: aj, wj, ctj, lftj, baseline")
 	budget := flag.Duration("budget", 300*time.Millisecond, "time budget for online engines")
+	estimator := flag.String("estimator", "", "cardinality estimator: "+
+		kgexplore.EstimatorSpan+" (default) or "+kgexplore.EstimatorSummary)
 	flag.Parse()
 
 	var (
@@ -59,6 +61,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if *estimator != "" {
+		if err := ds.UseEstimator(*estimator); err != nil {
+			fatal(err)
+		}
 	}
 
 	r := &repl{
@@ -142,6 +149,14 @@ func (r *repl) dispatch(line string) {
 			}
 		}
 		fmt.Fprintf(r.out, "budget: %v\n", r.budget)
+	case "estimator":
+		if len(args) == 1 {
+			if err := r.ds.UseEstimator(args[0]); err != nil {
+				fmt.Fprintln(r.out, err)
+				return
+			}
+		}
+		fmt.Fprintf(r.out, "estimator: %s\n", r.ds.EstimatorName())
 	case "sparql":
 		r.sparql(strings.TrimSpace(strings.TrimPrefix(line, "sparql")))
 	case "explain":
@@ -170,6 +185,7 @@ func (r *repl) help() {
   back                      pop the exploration stack
   engine <aj|wj|ctj|lftj|baseline>
   budget <duration>         e.g. 500ms (online engines)
+  estimator [span|summary]  show or switch the cardinality estimator
   sparql SELECT ...         run a Fig. 4 fragment query
   explain <op>              show the expansion query's plan and estimates
   save <file.kgx>           write a binary snapshot of the dataset

@@ -49,10 +49,12 @@ func main() {
 	partitioner := flag.String("partitioner", "", "partitioner for -shards (default "+kgexplore.DefaultPartitioner+")")
 	adminOn := flag.Bool("admin", false, "expose POST /admin/swap for hot-swapping the served store")
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
+	estimator := flag.String("estimator", "", "cardinality estimator: "+
+		kgexplore.EstimatorSpan+" (default) or "+kgexplore.EstimatorSummary)
 	flag.Parse()
 
 	if *snapshot != "" && strings.HasSuffix(*snapshot, ".kgm") {
-		serveSharded(*snapshot, *snapMode, *addr, *adminOn, *pprofOn)
+		serveSharded(*snapshot, *snapMode, *addr, *estimator, *adminOn, *pprofOn)
 		return
 	}
 
@@ -89,13 +91,24 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
+		if *estimator != "" {
+			if err := sds.UseEstimator(*estimator); err != nil {
+				fatal(err)
+			}
+		}
 		prov.Kind = "sharded"
 		prov.Shards = sds.NumShards()
 		prov.LoadMillis = time.Since(start).Milliseconds()
 		srv = server.NewSharded(sds, prov)
 	} else {
+		if *estimator != "" {
+			if err := ds.UseEstimator(*estimator); err != nil {
+				fatal(err)
+			}
+		}
 		srv = server.NewWithProvenance(ds, prov, closer)
 	}
+	srv.Estimator = *estimator
 	srv.EnablePprof = *pprofOn
 	srv.EnableAdmin = *adminOn
 	if *pprofOn {
@@ -121,12 +134,18 @@ func main() {
 // serveSharded serves a shard set from its .kgm manifest (kgsnap shard):
 // per-shard .kgs snapshots are mmap'ed unless -snapmode=copy, and charts run
 // scatter-gather Audit Join.
-func serveSharded(path, snapMode, addr string, adminOn, pprofOn bool) {
+func serveSharded(path, snapMode, addr, estimator string, adminOn, pprofOn bool) {
 	sds, prov, err := server.LoadShardedDataset(path, snapMode != "copy")
 	if err != nil {
 		fatal(err)
 	}
+	if estimator != "" {
+		if err := sds.UseEstimator(estimator); err != nil {
+			fatal(err)
+		}
+	}
 	srv := server.NewSharded(sds, prov)
+	srv.Estimator = estimator
 	srv.EnablePprof = pprofOn
 	srv.EnableAdmin = adminOn
 	fmt.Fprintf(os.Stderr, "kgserver: %d triples in %d shards ready in %dms (sharded from %s); listening on %s\n",

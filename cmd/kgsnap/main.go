@@ -44,7 +44,7 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  kgsnap build -load FILE | -gen dbpedia|lgd [-scale S]  -out FILE.kgs
+  kgsnap build -load FILE | -gen dbpedia|lgd [-scale S] [-nosummary] -out FILE.kgs
   kgsnap shard -load FILE | -gen dbpedia|lgd [-scale S] -shards K [-partitioner P] -out FILE.kgm
   kgsnap info FILE.kgs|FILE.kgm     # header, metadata and section table
   kgsnap verify FILE.kgs|FILE.kgm   # full checksum + structural verification
@@ -63,6 +63,7 @@ func build(args []string) {
 	gen := fs.String("gen", "", "generate a synthetic dataset instead: dbpedia or lgd")
 	scale := fs.Float64("scale", 0.05, "scale for -gen")
 	out := fs.String("out", "", "output snapshot path (.kgs)")
+	noSummary := fs.Bool("nosummary", false, "omit the typed graph summary section (writes a v1 snapshot for pre-v2 readers)")
 	fs.Parse(args)
 	if *out == "" || (*load == "") == (*gen == "") {
 		usage()
@@ -76,7 +77,8 @@ func build(args []string) {
 	built := time.Since(start)
 
 	start = time.Now()
-	if err := ds.WriteStoreSnapshotFile(*out, source); err != nil {
+	opts := kgexplore.StoreSnapshotOptions{OmitSummary: *noSummary}
+	if err := ds.WriteStoreSnapshotFileOpts(*out, source, opts); err != nil {
 		fatal(err)
 	}
 	st, err := os.Stat(*out)
@@ -213,7 +215,7 @@ func inspect(args []string, verify bool) {
 		fatal(err)
 	}
 	m := l.Meta
-	fmt.Printf("%s: store snapshot, format v%d\n", path, snap.FormatVersion)
+	fmt.Printf("%s: store snapshot, format v%d\n", path, l.FormatVersion)
 	fmt.Printf("  size:     %d bytes\n", fi.Size())
 	fmt.Printf("  source:   %s\n", orDash(m.Source))
 	if m.CreatedUnix != 0 {
@@ -222,6 +224,13 @@ func inspect(args []string, verify bool) {
 	fmt.Printf("  triples:  %d\n", m.Triples)
 	fmt.Printf("  terms:    %d\n", m.DictLen)
 	fmt.Printf("  ndv1:     spo=%d ops=%d pso=%d pos=%d\n", m.NDV1[0], m.NDV1[1], m.NDV1[2], m.NDV1[3])
+	if l.HasSummary() {
+		s := l.Store.Summary() // persisted in the file, not rebuilt
+		fmt.Printf("  summary:  %d buckets, %d edges, %d bytes, built in %dms\n",
+			s.NumBuckets, len(s.Edges), l.SummaryBytes, s.BuildMillis)
+	} else {
+		fmt.Printf("  summary:  none (pre-v2 snapshot; built lazily when the summary estimator is used)\n")
+	}
 	if verify {
 		fmt.Printf("  verified: all checksums and span bounds OK (%v)\n", elapsed.Round(time.Millisecond))
 	} else {

@@ -1,0 +1,190 @@
+// Package card is the unified cardinality-estimation layer. Every
+// estimation consumer — the query planner's EXPLAIN and variable-order
+// selection, Audit Join's tipping oracle, CTJ's suffix estimation, and the
+// sharded scatter's budget allocation — routes through the Estimator
+// interface here instead of reading index statistics directly.
+//
+// Two implementations ship:
+//
+//   - SpanStats ("span", the default): the exact-span/per-predicate logic
+//     the engines used before this layer existed, extracted verbatim. Its
+//     multi-pattern estimates compose PostgreSQL's independence rule
+//     |G_j| / max(ndv_here, ndv_there) per join variable (paper §IV-D).
+//   - GraphSummary ("summary"): a typed graph summary in the style of
+//     Stefanoni et al. — nodes bucketed by characteristic predicate set,
+//     triple multiplicities recorded between buckets — which replaces the
+//     independence divisors with conditional fan-outs where the query shape
+//     allows, and falls back to SpanStats everywhere else.
+//
+// Estimates carry a confidence grade so consumers can gate decisions on
+// estimate quality (ctj only reorders variable orders on high-confidence
+// join sizes, which is what keeps SpanStats plan-identical to the
+// pre-refactor planner).
+package card
+
+import (
+	"fmt"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+)
+
+// Est is a cardinality estimate with a confidence signal; the alias keeps
+// card estimators directly usable where the query layer expects its own
+// minimal Estimator interface.
+type Est = query.Est
+
+// Confidence grades, ordered by estimate quality.
+const (
+	// ConfExact marks an exact span lookup (or membership check).
+	ConfExact = 1.0
+	// ConfConditional marks composition under graph-summary conditional
+	// fan-outs: approximate, but aware of predicate correlation.
+	ConfConditional = 0.7
+	// ConfComposed marks composition under the per-join-variable
+	// independence rule over exact per-pattern spans.
+	ConfComposed = 0.4
+	// ConfIndependence marks the S+O-bound single-pattern estimate
+	// |G_s|·|G_o|/N, the weakest signal the layer emits.
+	ConfIndependence = 0.3
+)
+
+// Estimator names, accepted by ByName and the -estimator flags.
+const (
+	EstimatorSpan    = "span"
+	EstimatorSummary = "summary"
+)
+
+// Suffix estimates |Γ_δ| — the number of full paths extending a walk prefix
+// that has just completed step i under bindings b. It is the precomputed,
+// per-plan form consumed on every Audit Join walk step by the tipping
+// oracle.
+type Suffix interface {
+	Estimate(i int, b query.Bindings) float64
+}
+
+// SpanResolver abstracts how a Suffix resolves the exact width of a
+// prefix-adjacent step's candidate set: a single store resolves spans
+// directly (StoreResolver); the sharded engine unions subspans across
+// shards. Membership steps report width 1 when the fully bound triple
+// exists.
+type SpanResolver interface {
+	ResolveWidth(step int, b query.Bindings) (width float64, ok bool)
+}
+
+// Estimator is the full estimation contract. It subsumes query.Estimator
+// (PatternCard, JoinSize), so any Estimator can drive Plan.Explain and the
+// ctj planner directly.
+type Estimator interface {
+	query.Estimator
+
+	// Name returns the registry name ("span", "summary").
+	Name() string
+	// PatternVarNdv estimates the number of distinct values the variable at
+	// pos takes within the constant-restricted pattern.
+	PatternVarNdv(p query.Pattern, pos index.Pos) float64
+	// RootCount returns the number of level-0 walk roots of the plan — the
+	// quantity shard budget allocation splits on. Both shipped estimators
+	// answer it exactly (confidence 1), keeping budget splits
+	// estimator-invariant.
+	RootCount(pl *query.Plan) Est
+	// NewSuffix precomputes the per-step suffix factors for a plan. The
+	// resolver supplies exact candidate-set widths for prefix-adjacent
+	// steps.
+	NewSuffix(pl *query.Plan, res SpanResolver) Suffix
+	// Scope returns an estimator of the same kind over a different store
+	// set (e.g. one stratum of a shard set).
+	Scope(stores ...*index.Store) Estimator
+}
+
+// ByName constructs the named estimator over the stores. The empty name
+// selects the default (span statistics).
+func ByName(name string, stores ...*index.Store) (Estimator, error) {
+	switch name {
+	case "", EstimatorSpan:
+		return NewSpanStats(stores...), nil
+	case EstimatorSummary:
+		return NewGraphSummary(stores...), nil
+	default:
+		return nil, fmt.Errorf("card: unknown estimator %q (have %q, %q)", name, EstimatorSpan, EstimatorSummary)
+	}
+}
+
+// StoreResolver resolves candidate-set widths against a single store — the
+// SpanResolver every unsharded consumer uses.
+type StoreResolver struct {
+	Store *index.Store
+	Plan  *query.Plan
+}
+
+func (r StoreResolver) ResolveWidth(step int, b query.Bindings) (float64, bool) {
+	st := &r.Plan.Steps[step]
+	sp, ok := st.ResolveSpan(r.Store, b)
+	if !ok {
+		return 0, false
+	}
+	if st.Kind == query.AccessMembership {
+		return 1, true
+	}
+	return float64(sp.Len()), true
+}
+
+// suffix is the shared Suffix implementation: per-step statistics factors
+// precomputed at construction (by SpanStats or GraphSummary), exact widths
+// resolved live for steps adjacent to the prefix. It mirrors the walk
+// invariant that after step i exactly the variables first bound by steps
+// 0..i are set.
+type suffix struct {
+	pl  *query.Plan
+	res SpanResolver
+	// factor[j] is the statistics contribution of step j when it is not
+	// prefix-adjacent; zero propagates an empty-suffix verdict.
+	factor []float64
+	// adjFrom[j] is the earliest prefix end i at which all of step j's join
+	// variables are bound; len(pl.Steps) when step j has none.
+	adjFrom []int
+}
+
+func (e *suffix) Estimate(i int, b query.Bindings) float64 {
+	est := 1.0
+	for j := i + 1; j < len(e.pl.Steps); j++ {
+		if e.adjFrom[j] <= i {
+			w, ok := e.res.ResolveWidth(j, b)
+			if !ok {
+				return 0
+			}
+			est *= w
+			continue
+		}
+		est *= e.factor[j]
+		if est == 0 {
+			return 0
+		}
+	}
+	return est
+}
+
+// adjacencyFrom computes adjFrom for a plan (see suffix).
+func adjacencyFrom(pl *query.Plan) []int {
+	n := len(pl.Steps)
+	firstBound := make([]int, pl.NumVars())
+	for i := range pl.Steps {
+		for _, vp := range pl.Steps[i].NewVars {
+			firstBound[vp.Var] = i
+		}
+	}
+	adjFrom := make([]int, n)
+	for j := range pl.Steps {
+		st := &pl.Steps[j]
+		adjFrom[j] = n
+		if len(st.JoinVars) > 0 {
+			adjFrom[j] = 0
+			for _, jv := range st.JoinVars {
+				if fb := firstBound[jv.Var]; fb > adjFrom[j] {
+					adjFrom[j] = fb
+				}
+			}
+		}
+	}
+	return adjFrom
+}

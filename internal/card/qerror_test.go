@@ -1,0 +1,152 @@
+// The q-error harness lives in an external test package: it drives the
+// estimators through the committed workload generator, whose ground-truth
+// evaluator (internal/ctj) itself depends on internal/card.
+package card_test
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"kgexplore/internal/card"
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/workload"
+)
+
+// qerr is the standard cardinality-estimation error metric:
+// max(est/actual, actual/est), 1 for a perfect estimate.
+func qerr(est, actual float64) float64 {
+	if est <= 0 || actual <= 0 {
+		return math.Inf(1)
+	}
+	return math.Max(est/actual, actual/est)
+}
+
+func median(xs []float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}
+
+// TestQErrorHarness compares both estimators' whole-plan join-size estimates
+// against exact CTJ counts over the paper's exploration workload (§V-B).
+// Every estimate over a non-empty join must be positive and finite, and on
+// the multi-pattern subset — where the summary's conditional fan-outs apply —
+// the summary estimator must not be worse than span statistics in the median.
+func TestQErrorHarness(t *testing.T) {
+	g, schema, err := kggen.Generate(kggen.DBpediaSim(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(g)
+	gen := &workload.Generator{Store: st, Schema: schema, Seed: 42, MaxSteps: 4}
+	recs := gen.Paths(12)
+	if len(recs) == 0 {
+		t.Fatal("workload generated no steps")
+	}
+
+	span := card.NewSpanStats(st)
+	summary := card.NewGraphSummary(st)
+	var spanQ, sumQ []float64
+	multi := 0
+	for _, r := range recs {
+		actual := float64(ctj.Count(st, r.Plan))
+		if actual == 0 {
+			continue // workload discards empty charts; defensive
+		}
+		qs := qerr(span.JoinSize(r.Plan).Value, actual)
+		qg := qerr(summary.JoinSize(r.Plan).Value, actual)
+		if math.IsInf(qs, 1) {
+			t.Errorf("span estimated a non-empty join (%g rows) as empty: %v", actual, r.Query)
+		}
+		if math.IsInf(qg, 1) {
+			t.Errorf("summary estimated a non-empty join (%g rows) as empty: %v", actual, r.Query)
+		}
+		if len(r.Plan.Steps) < 2 {
+			continue // single patterns are exact for both; nothing to compare
+		}
+		multi++
+		spanQ = append(spanQ, qs)
+		sumQ = append(sumQ, qg)
+	}
+	if multi == 0 {
+		t.Fatal("workload produced no multi-pattern steps")
+	}
+	ms, mg := median(spanQ), median(sumQ)
+	t.Logf("multi-pattern steps: %d; median q-error span=%.3f summary=%.3f", multi, ms, mg)
+	if mg > ms {
+		t.Errorf("summary median q-error %.3f worse than span %.3f", mg, ms)
+	}
+}
+
+// TestEstimatorsExactOnServableSpans is the property test of the estimation
+// contract: on every single-pattern constant mask the four maintained orders
+// can serve (all but S+O-bound), both estimators return the exact match count
+// with ConfExact — for present and absent constants alike.
+func TestEstimatorsExactOnServableSpans(t *testing.T) {
+	for _, seed := range []int64{5, 13, 29} {
+		g := testkit.RandomGraph(seed, 40, 5, 30, 500)
+		st := index.Build(g)
+		rng := rand.New(rand.NewSource(seed))
+		ests := []card.Estimator{card.NewSpanStats(st), card.NewGraphSummary(st)}
+
+		for trial := 0; trial < 60; trial++ {
+			// Half the trials use an existing triple's constants, half random
+			// IDs (often absent), so zero counts are exercised too.
+			var s, p, o rdf.ID
+			if trial%2 == 0 {
+				tr := g.Triples[rng.Intn(len(g.Triples))]
+				s, p, o = tr.S, tr.P, tr.O
+			} else {
+				s, p, o = rdf.ID(rng.Intn(80)), rdf.ID(rng.Intn(80)), rdf.ID(rng.Intn(80))
+			}
+			atom := func(c bool, id rdf.ID, v query.Var) query.Atom {
+				if c {
+					return query.C(id)
+				}
+				return query.V(v)
+			}
+			for mask := 0; mask < 8; mask++ {
+				sC, pC, oC := mask&4 != 0, mask&2 != 0, mask&1 != 0
+				if sC && oC && !pC {
+					continue // the one unservable mask; graded ConfIndependence
+				}
+				pat := query.Pattern{
+					S: atom(sC, s, 0),
+					P: atom(pC, p, 1),
+					O: atom(oC, o, 2),
+				}
+				var want float64
+				for _, tr := range g.Triples {
+					if (!sC || tr.S == s) && (!pC || tr.P == p) && (!oC || tr.O == o) {
+						want++
+					}
+				}
+				for _, est := range ests {
+					got := est.PatternCard(pat)
+					if got.Value != want {
+						t.Fatalf("seed %d mask %03b: %s PatternCard(%v) = %v, exact %v",
+							seed, mask, est.Name(), pat, got.Value, want)
+					}
+					if got.Confidence != card.ConfExact {
+						t.Fatalf("seed %d mask %03b: %s confidence = %v, want exact",
+							seed, mask, est.Name(), got.Confidence)
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,222 @@
+package card
+
+import (
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// SpanStats is the default estimator: exact span lookups per pattern,
+// PostgreSQL's independence rule per join variable for multi-pattern
+// composition. Over several stores (a shard set) all statistics are summed
+// set-level totals. The arithmetic is kept operation-for-operation identical
+// to the pre-refactor query/ctj/shard code so plans, tip decisions and
+// budget splits are unchanged — the one deliberate difference is the
+// S+O-bound pattern estimate, which is float-valued (it used to round to
+// int, collapsing estimates below 0.5 to a false "empty suffix").
+type SpanStats struct {
+	stores []*index.Store
+}
+
+// NewSpanStats returns the span-statistics estimator over the stores.
+func NewSpanStats(stores ...*index.Store) *SpanStats {
+	return &SpanStats{stores: stores}
+}
+
+func (s *SpanStats) Name() string { return EstimatorSpan }
+
+func (s *SpanStats) Scope(stores ...*index.Store) Estimator { return NewSpanStats(stores...) }
+
+// PatternCard returns the number of triples matching the pattern's constant
+// positions — an exact O(1) span lookup per store for every constant
+// combination the exploration fragment produces. The S+O-bound combination
+// is not servable by the four maintained orders; it gets the independence
+// estimate |G_s|·|G_o|/N, clamped to ≥1 when both spans are non-empty so a
+// rare-but-possible pair never reads as an empty suffix.
+func (s *SpanStats) PatternCard(p query.Pattern) Est {
+	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
+	var v float64
+	conf := ConfExact
+	clamp := false
+	for _, store := range s.stores {
+		switch {
+		case !sConst && !pConst && !oConst:
+			v += float64(store.NumTriples())
+		case sConst && !pConst && !oConst:
+			v += float64(store.SpanL1(index.SPO, p.S.ID).Len())
+		case !sConst && pConst && !oConst:
+			v += float64(store.SpanL1(index.PSO, p.P.ID).Len())
+		case !sConst && !pConst && oConst:
+			v += float64(store.SpanL1(index.OPS, p.O.ID).Len())
+		case sConst && pConst && !oConst:
+			v += float64(store.SpanL2(index.PSO, p.P.ID, p.S.ID).Len())
+		case !sConst && pConst && oConst:
+			v += float64(store.SpanL2(index.POS, p.P.ID, p.O.ID).Len())
+		case sConst && !pConst && oConst:
+			conf = ConfIndependence
+			n := store.NumTriples()
+			if n == 0 {
+				continue
+			}
+			gs := store.SpanL1(index.SPO, p.S.ID).Len()
+			gro := store.SpanL1(index.OPS, p.O.ID).Len()
+			if gs > 0 && gro > 0 {
+				clamp = true
+			}
+			v += float64(gs) * float64(gro) / float64(n)
+		default: // all constant
+			if store.Contains(rdf.Triple{S: p.S.ID, P: p.P.ID, O: p.O.ID}) {
+				v++
+			}
+		}
+	}
+	if clamp && v < 1 {
+		v = 1
+	}
+	return Est{Value: v, Confidence: conf}
+}
+
+// PatternVarNdv estimates the number of distinct values the variable at pos
+// takes within the constant-restricted pattern: exact where the statistics
+// allow (predicate-level ndv, two-constant spans), span lengths as upper
+// bounds otherwise. Summed over stores and clamped to the pattern
+// cardinality (set-level ndv statistics are not maintained).
+func (s *SpanStats) PatternVarNdv(p query.Pattern, pos index.Pos) float64 {
+	var n float64
+	for _, store := range s.stores {
+		n += storeVarNdv(store, p, pos)
+	}
+	if card := s.PatternCard(p).Value; n > card {
+		n = card
+	}
+	return n
+}
+
+// storeVarNdv is the single-store ndv estimate (the pre-refactor
+// query.PatternVarNdv, float-valued).
+func storeVarNdv(store *index.Store, p query.Pattern, pos index.Pos) float64 {
+	one := SpanStats{stores: []*index.Store{store}}
+	card := one.PatternCard(p).Value
+	if card == 0 {
+		return 0
+	}
+	stats := store.Stats()
+	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
+	nConst := 0
+	for _, c := range []bool{sConst, pConst, oConst} {
+		if c {
+			nConst++
+		}
+	}
+	// With two constants, the free position's values are all distinct
+	// (triples are unique), so ndv == card.
+	if nConst >= 2 {
+		return card
+	}
+	if pConst {
+		ps := store.PredStatOf(p.P.ID)
+		switch pos {
+		case index.S:
+			return float64(ps.NdvS)
+		case index.O:
+			return float64(ps.NdvO)
+		}
+		return 1 // the predicate itself
+	}
+	if nConst == 0 {
+		switch pos {
+		case index.S:
+			return float64(stats.NdvS)
+		case index.P:
+			return float64(stats.NdvP)
+		default:
+			return float64(stats.NdvO)
+		}
+	}
+	// One non-predicate constant (subject or object bound, e.g. the
+	// ?x ?p ?o patterns of property expansions): no per-entity ndv
+	// statistics are kept, so bound by the span length.
+	return card
+}
+
+// RootCount returns the exact number of level-0 walk roots of the plan:
+// the width of step 0's static candidate set, summed over stores.
+func (s *SpanStats) RootCount(pl *query.Plan) Est {
+	st := &pl.Steps[0]
+	var v float64
+	for _, store := range s.stores {
+		sp, ok := st.ResolveSpan(store, nil)
+		if !ok {
+			continue
+		}
+		if st.Kind == query.AccessMembership {
+			v++
+		} else {
+			v += float64(sp.Len())
+		}
+	}
+	return Est{Value: v, Confidence: ConfExact}
+}
+
+// JoinSize estimates the total join size |Γ| by composing the independence
+// rule over all steps, with no bindings.
+func (s *SpanStats) JoinSize(pl *query.Plan) Est {
+	first := s.PatternCard(pl.Steps[0].Pattern)
+	est := first.Value
+	conf := first.Confidence
+	for j := 1; j < len(pl.Steps); j++ {
+		est *= s.stepFactor(pl, j)
+		if conf > ConfComposed {
+			conf = ConfComposed
+		}
+	}
+	return Est{Value: est, Confidence: conf}
+}
+
+// stepFactor is step j's statistics contribution to a composed estimate:
+// card(G_j) / ∏ max(ndv_here, ndv_binding_site) over its join variables.
+func (s *SpanStats) stepFactor(pl *query.Plan, j int) float64 {
+	st := &pl.Steps[j]
+	f := s.PatternCard(st.Pattern).Value
+	for _, jv := range st.JoinVars {
+		ndvHere := s.PatternVarNdv(st.Pattern, jv.Pos)
+		ndvThere := s.ndvAtBindingSite(pl, jv.Var)
+		d := ndvHere
+		if ndvThere > d {
+			d = ndvThere
+		}
+		if d > 0 {
+			f /= d
+		}
+	}
+	return f
+}
+
+// ndvAtBindingSite returns the pattern-level ndv of variable v at the step
+// that first binds it.
+func (s *SpanStats) ndvAtBindingSite(pl *query.Plan, v query.Var) float64 {
+	for i := range pl.Steps {
+		for _, vp := range pl.Steps[i].NewVars {
+			if vp.Var == v {
+				return s.PatternVarNdv(pl.Steps[i].Pattern, vp.Pos)
+			}
+		}
+	}
+	return 1
+}
+
+// factors precomputes every step's stepFactor, the binding-independent part
+// of suffix estimation.
+func (s *SpanStats) factors(pl *query.Plan) []float64 {
+	factor := make([]float64, len(pl.Steps))
+	for j := range pl.Steps {
+		factor[j] = s.stepFactor(pl, j)
+	}
+	return factor
+}
+
+// NewSuffix precomputes the walk-time suffix estimator: statistics factors
+// folded per step, exact widths via res for prefix-adjacent steps.
+func (s *SpanStats) NewSuffix(pl *query.Plan, res SpanResolver) Suffix {
+	return &suffix{pl: pl, res: res, factor: s.factors(pl), adjFrom: adjacencyFrom(pl)}
+}

@@ -1,0 +1,443 @@
+package card
+
+import (
+	"math/rand"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// testData is the running-example fixture (people, birth places, types)
+// shared with the query package's tests.
+func testData(t *testing.T) (*index.Store, *rdf.Dict) {
+	t.Helper()
+	g := rdf.NewGraph()
+	g.AddIRIs("alice", "birthPlace", "paris")
+	g.AddIRIs("bob", "birthPlace", "paris")
+	g.AddIRIs("carol", "birthPlace", "lima")
+	g.AddIRIs("dave", "birthPlace", "lima")
+	g.AddIRIs("eve", "birthPlace", "rome")
+	for _, s := range []string{"alice", "bob", "carol", "dave"} {
+		g.AddIRIs(s, rdf.RDFType, "Person")
+	}
+	g.AddIRIs("eve", rdf.RDFType, "Robot")
+	g.AddIRIs("paris", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "City")
+	g.AddIRIs("rome", rdf.RDFType, "City")
+	g.AddIRIs("lima", rdf.RDFType, "Capital")
+	g.Dedup()
+	return index.Build(g), g.Dict
+}
+
+// birthPlaceQuery is the query of Fig. 5: SELECT ?c COUNT(DISTINCT ?o)
+// WHERE { ?s birthPlace ?o . ?s type Person . ?o type ?c } GROUP BY ?c.
+func birthPlaceQuery(t *testing.T, d *rdf.Dict) *query.Query {
+	t.Helper()
+	bp, _ := d.LookupIRI("birthPlace")
+	ty, _ := d.LookupIRI(rdf.RDFType)
+	person, _ := d.LookupIRI("Person")
+	return &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(bp), O: query.V(1)},
+			{S: query.V(0), P: query.C(ty), O: query.C(person)},
+			{S: query.V(1), P: query.C(ty), O: query.V(2)},
+		},
+		Alpha:    2,
+		Beta:     1,
+		Distinct: true,
+	}
+}
+
+func TestPatternCard(t *testing.T) {
+	st, d := testData(t)
+	s := NewSpanStats(st)
+	bp, _ := d.LookupIRI("birthPlace")
+	ty, _ := d.LookupIRI(rdf.RDFType)
+	alice, _ := d.LookupIRI("alice")
+	paris, _ := d.LookupIRI("paris")
+	person, _ := d.LookupIRI("Person")
+
+	cases := []struct {
+		name string
+		p    query.Pattern
+		want float64
+		conf float64
+	}{
+		{"all vars", query.Pattern{S: query.V(0), P: query.V(1), O: query.V(2)}, float64(st.NumTriples()), ConfExact},
+		{"p const", query.Pattern{S: query.V(0), P: query.C(bp), O: query.V(1)}, 5, ConfExact},
+		{"s const", query.Pattern{S: query.C(alice), P: query.V(0), O: query.V(1)}, 2, ConfExact},
+		{"o const", query.Pattern{S: query.V(0), P: query.V(1), O: query.C(paris)}, 2, ConfExact},
+		{"sp const", query.Pattern{S: query.C(alice), P: query.C(bp), O: query.V(0)}, 1, ConfExact},
+		{"po const", query.Pattern{S: query.V(0), P: query.C(ty), O: query.C(person)}, 4, ConfExact},
+		{"spo present", query.Pattern{S: query.C(alice), P: query.C(bp), O: query.C(paris)}, 1, ConfExact},
+		{"spo absent", query.Pattern{S: query.C(alice), P: query.C(bp), O: query.C(person)}, 0, ConfExact},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := s.PatternCard(c.p)
+			if got.Value != c.want {
+				t.Errorf("PatternCard = %v, want %v", got.Value, c.want)
+			}
+			if got.Confidence != c.conf {
+				t.Errorf("Confidence = %v, want %v", got.Confidence, c.conf)
+			}
+		})
+	}
+}
+
+// TestPatternCardSOClamp checks the S+O-bound estimate: float-valued, graded
+// ConfIndependence, clamped to >= 1 when both spans are non-empty (a
+// rare-but-possible pair must not read as an empty suffix), and exactly 0
+// when either span is empty (then no match provably exists).
+func TestPatternCardSOClamp(t *testing.T) {
+	st, d := testData(t)
+	s := NewSpanStats(st)
+	alice, _ := d.LookupIRI("alice")
+	paris, _ := d.LookupIRI("paris")
+	bp, _ := d.LookupIRI("birthPlace")
+
+	got := s.PatternCard(query.Pattern{S: query.C(alice), P: query.V(0), O: query.C(paris)})
+	// |G_alice|=2, |G_->paris|=2, N=12: raw estimate 1/3, clamped to 1.
+	if got.Value != 1 {
+		t.Errorf("clamped S+O estimate = %v, want 1", got.Value)
+	}
+	if got.Confidence != ConfIndependence {
+		t.Errorf("S+O confidence = %v, want %v", got.Confidence, ConfIndependence)
+	}
+	// birthPlace never occurs as an object: provably empty, no clamp.
+	got = s.PatternCard(query.Pattern{S: query.C(alice), P: query.V(0), O: query.C(bp)})
+	if got.Value != 0 {
+		t.Errorf("provably-empty S+O estimate = %v, want 0", got.Value)
+	}
+}
+
+func TestPatternVarNdv(t *testing.T) {
+	st, d := testData(t)
+	s := NewSpanStats(st)
+	bp, _ := d.LookupIRI("birthPlace")
+	ty, _ := d.LookupIRI(rdf.RDFType)
+	person, _ := d.LookupIRI("Person")
+	alice, _ := d.LookupIRI("alice")
+
+	p := query.Pattern{S: query.V(0), P: query.C(bp), O: query.V(1)}
+	if got := s.PatternVarNdv(p, index.S); got != 5 {
+		t.Errorf("ndv(s | birthPlace) = %v, want 5", got)
+	}
+	if got := s.PatternVarNdv(p, index.O); got != 3 {
+		t.Errorf("ndv(o | birthPlace) = %v, want 3", got)
+	}
+	p2 := query.Pattern{S: query.V(0), P: query.C(ty), O: query.C(person)}
+	if got := s.PatternVarNdv(p2, index.S); got != 4 {
+		t.Errorf("ndv(s | type Person) = %v, want 4", got)
+	}
+	p3 := query.Pattern{S: query.C(alice), P: query.V(0), O: query.V(1)}
+	if got := s.PatternVarNdv(p3, index.P); got != 2 {
+		t.Errorf("ndv(p | alice) = %v, want 2", got)
+	}
+	p4 := query.Pattern{S: query.V(0), P: query.V(1), O: query.V(2)}
+	stats := st.Stats()
+	if got := s.PatternVarNdv(p4, index.P); got != float64(stats.NdvP) {
+		t.Errorf("global ndv(p) = %v, want %d", got, stats.NdvP)
+	}
+	if got := s.PatternVarNdv(p4, index.S); got != float64(stats.NdvS) {
+		t.Errorf("global ndv(s) = %v, want %d", got, stats.NdvS)
+	}
+	if got := s.PatternVarNdv(p4, index.O); got != float64(stats.NdvO) {
+		t.Errorf("global ndv(o) = %v, want %d", got, stats.NdvO)
+	}
+	if got := s.PatternVarNdv(query.Pattern{S: query.V(0), P: query.C(rdf.ID(9999)), O: query.V(1)}, index.S); got != 0 {
+		t.Errorf("ndv over empty pattern = %v, want 0", got)
+	}
+}
+
+func TestSuffixAdjacentExact(t *testing.T) {
+	st, d := testData(t)
+	pl, err := query.Compile(birthPlaceQuery(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	suf := NewSpanStats(st).NewSuffix(pl, StoreResolver{Store: st, Plan: pl})
+	b := pl.NewBindings()
+	alice, _ := d.LookupIRI("alice")
+	paris, _ := d.LookupIRI("paris")
+	b[0], b[1] = alice, paris
+	// After step 0 with (alice, paris): step 1 membership (1 way) and step 2
+	// resolves exactly (paris has 1 type), so the estimate is exact: 1.
+	if got := suf.Estimate(0, b); got != 1 {
+		t.Errorf("Estimate = %v, want 1", got)
+	}
+	carol, _ := d.LookupIRI("carol")
+	lima, _ := d.LookupIRI("lima")
+	b[0], b[1] = carol, lima
+	if got := suf.Estimate(0, b); got != 2 {
+		t.Errorf("Estimate(carol) = %v, want 2", got)
+	}
+	eve, _ := d.LookupIRI("eve")
+	rome, _ := d.LookupIRI("rome")
+	b[0], b[1] = eve, rome
+	if got := suf.Estimate(0, b); got != 0 {
+		t.Errorf("Estimate(eve) = %v, want 0", got)
+	}
+	if got := suf.Estimate(len(pl.Steps)-1, b); got != 1 {
+		t.Errorf("Estimate at last step = %v, want 1", got)
+	}
+}
+
+func TestJoinSizePositive(t *testing.T) {
+	st, d := testData(t)
+	pl, _ := query.Compile(birthPlaceQuery(t, d))
+	est := NewSpanStats(st).JoinSize(pl)
+	// Exact join size is 6; the composed estimate should land nearby.
+	if est.Value <= 0 || est.Value > 30 {
+		t.Errorf("JoinSize = %v, want a positive value near 6", est.Value)
+	}
+	if est.Confidence != ConfComposed {
+		t.Errorf("multi-pattern JoinSize confidence = %v, want %v", est.Confidence, ConfComposed)
+	}
+}
+
+func TestRootCountExact(t *testing.T) {
+	st, d := testData(t)
+	pl, _ := query.Compile(birthPlaceQuery(t, d))
+	for _, est := range []Estimator{NewSpanStats(st), NewGraphSummary(st)} {
+		rc := est.RootCount(pl)
+		if rc.Value != 5 { // the five birthPlace triples
+			t.Errorf("%s RootCount = %v, want 5", est.Name(), rc.Value)
+		}
+		if rc.Confidence != ConfExact {
+			t.Errorf("%s RootCount confidence = %v, want exact", est.Name(), rc.Confidence)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	st, _ := testData(t)
+	for name, want := range map[string]string{
+		"":        EstimatorSpan,
+		"span":    EstimatorSpan,
+		"summary": EstimatorSummary,
+	} {
+		est, err := ByName(name, st)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if est.Name() != want {
+			t.Errorf("ByName(%q).Name() = %q, want %q", name, est.Name(), want)
+		}
+	}
+	if _, err := ByName("nope", st); err == nil {
+		t.Error("ByName accepted an unknown estimator")
+	}
+}
+
+// ---- pre-refactor reference implementation ----
+//
+// The functions below are the estimation code that lived in internal/query
+// before the card layer existed, kept verbatim (int-valued) as the
+// equivalence oracle: SpanStats must reproduce its pattern cardinalities,
+// ndv estimates and suffix estimates bit-for-bit on every mask the compiled
+// plans produce (the S+O-bound mask is the one documented difference and is
+// not reachable from compiled plans).
+
+func refPatternCard(store *index.Store, p query.Pattern) int {
+	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
+	switch {
+	case !sConst && !pConst && !oConst:
+		return store.NumTriples()
+	case sConst && !pConst && !oConst:
+		return store.SpanL1(index.SPO, p.S.ID).Len()
+	case !sConst && pConst && !oConst:
+		return store.SpanL1(index.PSO, p.P.ID).Len()
+	case !sConst && !pConst && oConst:
+		return store.SpanL1(index.OPS, p.O.ID).Len()
+	case sConst && pConst && !oConst:
+		return store.SpanL2(index.PSO, p.P.ID, p.S.ID).Len()
+	case !sConst && pConst && oConst:
+		return store.SpanL2(index.POS, p.P.ID, p.O.ID).Len()
+	case sConst && !pConst && oConst:
+		n := store.NumTriples()
+		if n == 0 {
+			return 0
+		}
+		est := float64(store.SpanL1(index.SPO, p.S.ID).Len()) *
+			float64(store.SpanL1(index.OPS, p.O.ID).Len()) / float64(n)
+		return int(est + 0.5)
+	default:
+		if store.Contains(rdf.Triple{S: p.S.ID, P: p.P.ID, O: p.O.ID}) {
+			return 1
+		}
+		return 0
+	}
+}
+
+func refPatternVarNdv(store *index.Store, p query.Pattern, pos index.Pos) int {
+	card := refPatternCard(store, p)
+	if card == 0 {
+		return 0
+	}
+	stats := store.Stats()
+	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
+	nConst := 0
+	for _, c := range []bool{sConst, pConst, oConst} {
+		if c {
+			nConst++
+		}
+	}
+	if nConst >= 2 {
+		return card
+	}
+	if pConst {
+		ps := store.PredStatOf(p.P.ID)
+		switch pos {
+		case index.S:
+			return ps.NdvS
+		case index.O:
+			return ps.NdvO
+		}
+		return 1
+	}
+	if nConst == 0 {
+		switch pos {
+		case index.S:
+			return stats.NdvS
+		case index.P:
+			return stats.NdvP
+		default:
+			return stats.NdvO
+		}
+	}
+	return card
+}
+
+func refNdvAtBindingSite(store *index.Store, pl *query.Plan, v query.Var) int {
+	for s := range pl.Steps {
+		for _, vp := range pl.Steps[s].NewVars {
+			if vp.Var == v {
+				return refPatternVarNdv(store, pl.Steps[s].Pattern, vp.Pos)
+			}
+		}
+	}
+	return 1
+}
+
+func refEstimateSuffixSize(store *index.Store, pl *query.Plan, i int, b query.Bindings) float64 {
+	est := 1.0
+	for j := i + 1; j < len(pl.Steps); j++ {
+		st := &pl.Steps[j]
+		adjacent := true
+		for _, jv := range st.JoinVars {
+			if b[jv.Var] == rdf.NoID {
+				adjacent = false
+			}
+		}
+		if adjacent && len(st.JoinVars) > 0 {
+			sp, ok := st.ResolveSpan(store, b)
+			if !ok {
+				return 0
+			}
+			if st.Kind != query.AccessMembership {
+				est *= float64(sp.Len())
+			}
+			continue
+		}
+		card := float64(refPatternCard(store, st.Pattern))
+		if card == 0 {
+			return 0
+		}
+		f := card
+		for _, jv := range st.JoinVars {
+			ndvHere := refPatternVarNdv(store, st.Pattern, jv.Pos)
+			ndvThere := refNdvAtBindingSite(store, pl, jv.Var)
+			d := ndvHere
+			if ndvThere > d {
+				d = ndvThere
+			}
+			if d > 0 {
+				f /= float64(d)
+			}
+		}
+		est *= f
+		if est == 0 {
+			return 0
+		}
+	}
+	return est
+}
+
+func refEstimateJoinSize(store *index.Store, pl *query.Plan) float64 {
+	est := float64(refPatternCard(store, pl.Steps[0].Pattern))
+	for j := 1; j < len(pl.Steps); j++ {
+		st := &pl.Steps[j]
+		f := float64(refPatternCard(store, st.Pattern))
+		for _, jv := range st.JoinVars {
+			ndvHere := refPatternVarNdv(store, st.Pattern, jv.Pos)
+			ndvThere := refNdvAtBindingSite(store, pl, jv.Var)
+			d := ndvHere
+			if ndvThere > d {
+				d = ndvThere
+			}
+			if d > 0 {
+				f /= float64(d)
+			}
+		}
+		est *= f
+	}
+	return est
+}
+
+// TestSpanStatsMatchesReference drives random walks over compiled plans on
+// random graphs and checks at every prefix that SpanStats' suffix estimate
+// is bit-identical to the pre-refactor EstimateSuffixSize — the property
+// that keeps Audit Join's tip decisions unchanged by the refactor. Join
+// sizes and pattern statistics are compared the same way.
+func TestSpanStatsMatchesReference(t *testing.T) {
+	for _, seed := range []int64{3, 7, 11} {
+		g := testkit.RandomGraph(seed, 30, 4, 25, 400)
+		st := index.Build(g)
+		q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := NewSpanStats(st)
+
+		for _, step := range pl.Steps {
+			p := step.Pattern
+			if got, want := s.PatternCard(p).Value, float64(refPatternCard(st, p)); got != want {
+				t.Fatalf("seed %d: PatternCard(%v) = %v, ref %v", seed, p, got, want)
+			}
+			for _, pos := range []index.Pos{index.S, index.P, index.O} {
+				if got, want := s.PatternVarNdv(p, pos), float64(refPatternVarNdv(st, p, pos)); got != want {
+					t.Fatalf("seed %d: PatternVarNdv(%v, %v) = %v, ref %v", seed, p, pos, got, want)
+				}
+			}
+		}
+		if got, want := s.JoinSize(pl).Value, refEstimateJoinSize(st, pl); got != want {
+			t.Fatalf("seed %d: JoinSize = %v, ref %v", seed, got, want)
+		}
+
+		suf := s.NewSuffix(pl, StoreResolver{Store: st, Plan: pl})
+		rng := rand.New(rand.NewSource(seed))
+		for walk := 0; walk < 300; walk++ {
+			b := pl.NewBindings()
+			for i := range pl.Steps {
+				stp := &pl.Steps[i]
+				sp, ok := stp.ResolveSpan(st, b)
+				if !ok {
+					break
+				}
+				if stp.Kind != query.AccessMembership {
+					stp.Bind(st.Sample(stp.Order, sp, rng), b)
+				}
+				got := suf.Estimate(i, b)
+				want := refEstimateSuffixSize(st, pl, i, b)
+				if got != want {
+					t.Fatalf("seed %d walk %d step %d: Estimate = %g, ref = %g (b=%v)", seed, walk, i, got, want, b)
+				}
+			}
+		}
+	}
+}

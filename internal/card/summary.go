@@ -1,0 +1,281 @@
+package card
+
+import (
+	"sync"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// GraphSummary estimates over the typed graph summary (index.Summary):
+// nodes bucketed by characteristic predicate set, triple multiplicities
+// between buckets. Single-pattern estimates stay exact span lookups
+// (delegated to SpanStats — the summary cannot beat an exact span). Its
+// value is in multi-pattern composition: for chain-shaped joins it replaces
+// the independence divisor max(ndv_here, ndv_there) with a conditional
+// fan-out computed per bucket, which captures predicate correlation ("nodes
+// reached via q rarely have p at all") that span statistics cannot see.
+//
+// Over a shard set the per-shard summaries are merged (characteristic sets
+// unioned, counts summed); see index.MergeSummaries for the approximation
+// this introduces on edge-target buckets.
+//
+// The merged summary and its aggregates are built lazily on first
+// multi-pattern use, so consumers that only need exact paths (root counts,
+// single patterns) never pay for a summary build on pre-v2 snapshots.
+type GraphSummary struct {
+	stores []*index.Store
+	span   *SpanStats
+
+	once sync.Once
+	sum  *index.Summary
+	// out[pb]/in[pb] count triples with predicate pb.p leaving/entering
+	// bucket pb.b; gp is the per-predicate total.
+	out, in map[predBucket]float64
+	gp      map[rdf.ID]float64
+}
+
+type predBucket struct {
+	p rdf.ID
+	b int32
+}
+
+// NewGraphSummary returns the summary estimator over the stores. The
+// underlying summaries are taken from the stores (snapshot-restored or
+// built lazily).
+func NewGraphSummary(stores ...*index.Store) *GraphSummary {
+	return &GraphSummary{stores: stores, span: NewSpanStats(stores...)}
+}
+
+func (g *GraphSummary) Name() string { return EstimatorSummary }
+
+func (g *GraphSummary) Scope(stores ...*index.Store) Estimator { return NewGraphSummary(stores...) }
+
+// Summary exposes the merged summary (building it if needed), for
+// diagnostics such as `kgsnap info`.
+func (g *GraphSummary) Summary() *index.Summary {
+	g.init()
+	return g.sum
+}
+
+func (g *GraphSummary) init() {
+	g.once.Do(func() {
+		sums := make([]*index.Summary, len(g.stores))
+		for i, st := range g.stores {
+			sums[i] = st.Summary()
+		}
+		g.sum = index.MergeSummaries(sums)
+		g.out = make(map[predBucket]float64)
+		g.in = make(map[predBucket]float64)
+		g.gp = make(map[rdf.ID]float64)
+		for _, e := range g.sum.Edges {
+			c := float64(e.Count)
+			g.out[predBucket{e.Pred, e.From}] += c
+			g.in[predBucket{e.Pred, e.To}] += c
+			g.gp[e.Pred] += c
+		}
+	})
+}
+
+// Exact single-pattern paths delegate to span statistics.
+func (g *GraphSummary) PatternCard(p query.Pattern) Est { return g.span.PatternCard(p) }
+
+func (g *GraphSummary) PatternVarNdv(p query.Pattern, pos index.Pos) float64 {
+	return g.span.PatternVarNdv(p, pos)
+}
+
+func (g *GraphSummary) RootCount(pl *query.Plan) Est { return g.span.RootCount(pl) }
+
+// condFactor computes the conditional fan-out of step j: the expected
+// number of extensions per prefix path, conditioned on how the step's join
+// variable was produced. It applies to pure fan-out steps — constant
+// predicate p, exactly one join variable at S or O, the remaining position
+// an unbound variable — whose join variable was first bound at S or O of a
+// constant-predicate pattern q. Then
+//
+//	factor = Σ_b P(bucket = b | produced by q) · deg_p(b)
+//
+// where deg_p(b) is the average number of p-edges leaving (join var at S)
+// or entering (join var at O) a bucket-b node. Shapes outside this return
+// ok=false and the caller falls back to the independence factor.
+func (g *GraphSummary) condFactor(pl *query.Plan, j int) (float64, bool) {
+	st := &pl.Steps[j]
+	if len(st.JoinVars) != 1 || st.Pattern.P.IsVar() || len(st.NewVars) != 1 {
+		return 0, false
+	}
+	jv := st.JoinVars[0]
+	if jv.Pos == index.P || st.NewVars[0].Pos == index.P {
+		return 0, false
+	}
+	site, sitePos, ok := bindingSite(pl, jv.Var)
+	if !ok || sitePos == index.P {
+		return 0, false
+	}
+	sp := &pl.Steps[site].Pattern
+	if sp.P.IsVar() {
+		return 0, false
+	}
+	q, p := sp.P.ID, st.Pattern.P.ID
+
+	// dist(b): triple counts of q broken down by the bucket the join
+	// variable's value lands in. When the binding site's other end is a
+	// constant, condition on that constant's bucket too (e.g. for
+	// (?x type C) the distribution narrows to type-edges into C's bucket).
+	var distOf func(b int32) float64
+	switch sitePos {
+	case index.O:
+		if !sp.S.IsVar() {
+			from := g.bucketOfNode(sp.S.ID)
+			distOf = func(b int32) float64 { return g.edgeCount(q, from, b) }
+		} else {
+			distOf = func(b int32) float64 { return g.in[predBucket{q, b}] }
+		}
+	default: // index.S
+		if !sp.O.IsVar() {
+			to := g.bucketOfNode(sp.O.ID)
+			distOf = func(b int32) float64 { return g.edgeCount(q, b, to) }
+		} else {
+			distOf = func(b int32) float64 { return g.out[predBucket{q, b}] }
+		}
+	}
+
+	var total, est float64
+	for b := int32(0); b < int32(g.sum.NumBuckets); b++ {
+		w := distOf(b)
+		if w == 0 {
+			continue
+		}
+		total += w
+		nodes := float64(g.sum.BucketNodes[b])
+		if nodes == 0 {
+			continue
+		}
+		var deg float64
+		if jv.Pos == index.S {
+			deg = g.out[predBucket{p, b}] / nodes
+		} else {
+			deg = g.in[predBucket{p, b}] / nodes
+		}
+		est += w * deg
+	}
+	if total == 0 {
+		// The summary says the binding site produces nothing; the suffix
+		// estimate is genuinely 0.
+		return 0, true
+	}
+	return est / total, true
+}
+
+// edgeCount returns the summary count of (from, p, to) triples. Edges are
+// sorted by (Pred, From, To); a linear scan suffices because condFactor runs
+// once per (plan, step), not per walk.
+func (g *GraphSummary) edgeCount(p rdf.ID, from, to int32) float64 {
+	for _, e := range g.sum.Edges {
+		if e.Pred == p && e.From == from && e.To == to {
+			return float64(e.Count)
+		}
+	}
+	return 0
+}
+
+// bucketOfNode finds the bucket of a concrete node: its characteristic set
+// is read from whichever store holds its out-edges (exactly one under
+// subject-hash partitioning) and looked up among the summary's buckets.
+// Nodes with no out-edges are leaves (bucket 0).
+func (g *GraphSummary) bucketOfNode(id rdf.ID) int32 {
+	var preds []rdf.ID
+	for _, store := range g.stores {
+		sp := store.SpanL1(index.SPO, id)
+		if sp.Empty() {
+			continue
+		}
+		ts := store.Triples(index.SPO)
+		for i := sp.Lo; i < sp.Hi; i++ {
+			p := ts[i].P
+			if len(preds) == 0 || p != preds[len(preds)-1] {
+				preds = append(preds, p)
+			}
+		}
+		break
+	}
+	if len(preds) == 0 {
+		return 0
+	}
+	for b := 1; b < g.sum.NumBuckets; b++ {
+		if predsEqual(g.sum.CharSet(b), preds) {
+			return int32(b)
+		}
+	}
+	return 0
+}
+
+func predsEqual(a, b []rdf.ID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// bindingSite locates the step and position where v is first bound.
+func bindingSite(pl *query.Plan, v query.Var) (step int, pos index.Pos, ok bool) {
+	for i := range pl.Steps {
+		for _, vp := range pl.Steps[i].NewVars {
+			if vp.Var == v {
+				return i, vp.Pos, true
+			}
+		}
+	}
+	return 0, 0, false
+}
+
+// JoinSize composes the whole-plan estimate: exact first-pattern
+// cardinality, then per step the conditional fan-out where available and
+// the independence factor otherwise. Confidence is ConfConditional only
+// when every joining step got a conditional factor.
+func (g *GraphSummary) JoinSize(pl *query.Plan) Est {
+	if len(pl.Steps) == 1 {
+		return g.span.PatternCard(pl.Steps[0].Pattern)
+	}
+	g.init()
+	first := g.span.PatternCard(pl.Steps[0].Pattern)
+	est := first.Value
+	conf := first.Confidence
+	allCond := true
+	for j := 1; j < len(pl.Steps); j++ {
+		if f, ok := g.condFactor(pl, j); ok {
+			est *= f
+			continue
+		}
+		if len(pl.Steps[j].JoinVars) > 0 {
+			allCond = false
+		}
+		est *= g.span.stepFactor(pl, j)
+	}
+	lim := ConfConditional
+	if !allCond {
+		lim = ConfComposed
+	}
+	if conf > lim {
+		conf = lim
+	}
+	return Est{Value: est, Confidence: conf}
+}
+
+// NewSuffix precomputes suffix factors like SpanStats, with conditional
+// fan-outs substituted wherever the step shape allows.
+func (g *GraphSummary) NewSuffix(pl *query.Plan, res SpanResolver) Suffix {
+	g.init()
+	factor := g.span.factors(pl)
+	for j := range pl.Steps {
+		if f, ok := g.condFactor(pl, j); ok {
+			factor[j] = f
+		}
+	}
+	return &suffix{pl: pl, res: res, factor: factor, adjFrom: adjacencyFrom(pl)}
+}

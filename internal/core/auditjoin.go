@@ -22,6 +22,7 @@ import (
 	"math"
 	"math/rand"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/ctj"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
@@ -48,6 +49,10 @@ type Options struct {
 	// Oracle estimates suffix sizes for the tipping decision; nil uses the
 	// paper's PostgreSQL-style StatsOracle.
 	Oracle TippingOracle
+	// Estimator selects the cardinality estimator behind the default oracle
+	// and the CTJ session's planning decisions; nil uses span statistics
+	// (card.NewSpanStats). Ignored by the oracle when Oracle is set.
+	Estimator card.Estimator
 	// Shared, when non-nil, makes the runner's CTJ session read and write
 	// this concurrency-safe shared cache instead of private maps, so several
 	// runners (parallel workers, or successive server requests for the same
@@ -81,6 +86,7 @@ type Runner struct {
 	perGroupND map[rdf.ID]numDen
 
 	tipped int64 // walks that ended in a partial exact computation
+	diag   TipDiag
 }
 
 type numDen struct{ num, den float64 }
@@ -90,11 +96,18 @@ type numDen struct{ num, den float64 }
 func New(store *index.Store, pl *query.Plan, opts Options) *Runner {
 	oracle := opts.Oracle
 	if oracle == nil {
-		oracle = NewStatsOracle(store, pl)
+		est := opts.Estimator
+		if est == nil {
+			est = card.NewSpanStats(store)
+		}
+		oracle = NewCardOracle(est, store, pl)
 	}
 	eval := ctj.New(store, pl)
 	if opts.Shared != nil {
 		eval = ctj.NewShared(store, pl, opts.Shared)
+	}
+	if opts.Estimator != nil {
+		eval.SetEstimator(opts.Estimator)
 	}
 	return &Runner{
 		store:      store,
@@ -137,12 +150,12 @@ func (r *Runner) Step() {
 			prodD *= float64(sp.Len())
 		}
 		if i == last {
-			r.finish(i, b, prodD)
+			r.finish(i, b, prodD, 0, false)
 			return
 		}
-		if r.oracle.EstimateSuffix(i, b) <= r.opts.Threshold {
+		if est := r.oracle.EstimateSuffix(i, b); est <= r.opts.Threshold {
 			r.tipped++
-			r.finish(i, b, prodD)
+			r.finish(i, b, prodD, est, true)
 			return
 		}
 	}
@@ -150,9 +163,18 @@ func (r *Runner) Step() {
 
 // finish terminates a walk at prefix δ ending after step i: it aggregates
 // the completions of δ exactly (via the cached CTJ suffix aggregate; for a
-// full path this is the path itself) and updates the estimator.
-func (r *Runner) finish(i int, b query.Bindings, prodD float64) {
+// full path this is the path itself) and updates the estimator. When the
+// walk tipped, the oracle's estimate is scored against the exact suffix
+// size the aggregate reveals for free.
+func (r *Runner) finish(i int, b query.Bindings, prodD, tipEst float64, tipped bool) {
 	agg := r.eval.SuffixAgg(i, b)
+	if tipped {
+		var actual float64
+		for _, e := range agg {
+			actual += float64(e.N)
+		}
+		r.diag.Observe(tipEst, actual)
+	}
 	if len(agg) == 0 {
 		r.acc.Rejected++
 		return
@@ -229,6 +251,10 @@ func (r *Runner) Acc() *wj.Acc { return r.acc }
 
 // Tipped returns the number of walks terminated by the tipping point.
 func (r *Runner) Tipped() int64 { return r.tipped }
+
+// TipDiag returns the estimate-vs-actual diagnostics accumulated at this
+// runner's tipping decisions.
+func (r *Runner) TipDiag() TipDiag { return r.diag }
 
 // CacheStats exposes the CTJ session's cache statistics: the hits and misses
 // this runner observed, whether its cache is private or shared.

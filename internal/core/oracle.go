@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 )
@@ -20,32 +21,31 @@ type TippingOracle interface {
 	EstimateSuffix(i int, b query.Bindings) float64
 }
 
-// StatsOracle is the paper's estimator: the first remaining step resolved
-// exactly, later steps composed with per-pattern statistics
-// (query.Plan.EstimateSuffixSize).
+// StatsOracle is the statistics oracle: the first remaining step resolved
+// exactly, later steps composed from the cardinality-estimation layer's
+// precomputed per-step factors (card.Estimator.NewSuffix). The paper's
+// PostgreSQL-style estimator is NewStatsOracle; NewCardOracle accepts any
+// card estimator, e.g. the typed graph summary.
 type StatsOracle struct {
-	Store *index.Store
-	Plan  *query.Plan
-
-	// est is the precomputed walk-specialized estimator; NewStatsOracle
-	// sets it. A zero-value StatsOracle stays valid and recomputes the
-	// statistics composition on every call.
-	est *query.SuffixEstimator
+	suffix card.Suffix
 }
 
-// NewStatsOracle returns a StatsOracle with the statistics factors
-// precomputed once per (store, plan), so the per-step tipping check on the
-// walk hot path reduces to a few multiplies.
+// NewStatsOracle returns the paper's estimator — span statistics — with the
+// composition factors precomputed once per (store, plan), so the per-step
+// tipping check on the walk hot path reduces to a few multiplies.
 func NewStatsOracle(store *index.Store, pl *query.Plan) StatsOracle {
-	return StatsOracle{Store: store, Plan: pl, est: pl.NewSuffixEstimator(store)}
+	return NewCardOracle(card.NewSpanStats(store), store, pl)
+}
+
+// NewCardOracle builds the tipping oracle from an arbitrary cardinality
+// estimator.
+func NewCardOracle(est card.Estimator, store *index.Store, pl *query.Plan) StatsOracle {
+	return StatsOracle{suffix: est.NewSuffix(pl, card.StoreResolver{Store: store, Plan: pl})}
 }
 
 // EstimateSuffix implements TippingOracle.
 func (o StatsOracle) EstimateSuffix(i int, b query.Bindings) float64 {
-	if o.est != nil {
-		return o.est.Estimate(i, b)
-	}
-	return o.Plan.EstimateSuffixSize(o.Store, i, b)
+	return o.suffix.Estimate(i, b)
 }
 
 // ProbeOracle estimates the suffix size by running a few cheap

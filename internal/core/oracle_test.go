@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/exec"
 	"kgexplore/internal/index"
 	"kgexplore/internal/lftj"
@@ -12,15 +13,21 @@ import (
 	"kgexplore/internal/testkit"
 )
 
-func TestStatsOracleMatchesPlanEstimate(t *testing.T) {
+func TestStatsOracleMatchesCardSuffix(t *testing.T) {
+	// NewStatsOracle must wire up exactly the span-statistics suffix from
+	// internal/card over a single-store resolver.
 	pl, _, st := fig5(t, false)
-	o := StatsOracle{Store: st, Plan: pl}
+	o := NewStatsOracle(st, pl)
+	suf := card.NewSpanStats(st).NewSuffix(pl, card.StoreResolver{Store: st, Plan: pl})
 	b := pl.NewBindings()
 	alice, _ := dictLookup(t, st, "alice")
 	paris, _ := dictLookup(t, st, "paris")
 	b[0], b[1] = alice, paris
-	if got, want := o.EstimateSuffix(0, b), pl.EstimateSuffixSize(st, 0, b); got != want {
-		t.Errorf("StatsOracle = %v, plan = %v", got, want)
+	if got, want := o.EstimateSuffix(0, b), suf.Estimate(0, b); got != want {
+		t.Errorf("StatsOracle = %v, card suffix = %v", got, want)
+	}
+	if want := 1.0; o.EstimateSuffix(0, b) != want {
+		t.Errorf("EstimateSuffix(alice,paris) = %v, want %v", o.EstimateSuffix(0, b), want)
 	}
 }
 

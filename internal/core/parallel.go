@@ -42,6 +42,10 @@ type ParallelStats struct {
 	Shared ctj.CacheStats
 	// SharedUsed reports whether the workers shared one CTJ cache.
 	SharedUsed bool
+	// Tips merges the workers' estimate-vs-actual tipping diagnostics.
+	Tips TipDiag
+	// Tipped totals the walks terminated by the tipping point.
+	Tipped int64
 }
 
 // RunParallel runs Audit Join with workers independent runners (each with
@@ -201,6 +205,8 @@ func RunParallelStats(ctx context.Context, store *index.Store, pl *query.Plan, o
 	for i, r := range runners {
 		merged.Merge(r.Acc())
 		pstats.PerWorker[i] = r.CacheStats()
+		pstats.Tips.Merge(r.TipDiag())
+		pstats.Tipped += r.Tipped()
 	}
 	if opts.Shared != nil {
 		pstats.Shared = opts.Shared.Stats()

@@ -18,6 +18,7 @@ package ctj
 import (
 	"fmt"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
@@ -92,7 +93,29 @@ type Evaluator struct {
 	// it, so several evaluators (one per goroutine) populate one cache.
 	shared *SharedCache
 
+	// est is the cardinality estimator behind the session's planning
+	// decisions (the probability materialize-or-lazy choice); lazily
+	// defaulted to span statistics.
+	est query.Estimator
+
 	stats CacheStats
+}
+
+// SetEstimator routes this session's planning decisions through the given
+// cardinality estimator (see internal/card). A nil estimator is ignored;
+// the default is span statistics.
+func (e *Evaluator) SetEstimator(est query.Estimator) {
+	if est != nil {
+		e.est = est
+	}
+}
+
+// estimator returns the session's estimator, defaulting lazily.
+func (e *Evaluator) estimator() query.Estimator {
+	if e.est == nil {
+		e.est = card.NewSpanStats(e.store)
+	}
+	return e.est
 }
 
 // New creates an evaluation session for the plan.

@@ -3,6 +3,7 @@ package ctj
 import (
 	"context"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
@@ -56,6 +57,10 @@ func GroupCount(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 // GroupCountCtx is GroupCount under a context: a cancelled run returns
 // (nil, ctx.Err()) rather than a partial count.
 func GroupCountCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
+	return groupCountCtx(ctx, store, pl, nil)
+}
+
+func groupCountCtx(ctx context.Context, store *index.Store, pl *query.Plan, est query.Estimator) (map[rdf.ID]int64, error) {
 	cc := newCanceller(ctx)
 	if cc.cancelled() {
 		return nil, cc.err
@@ -63,14 +68,16 @@ func GroupCountCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map
 	out := make(map[rdf.ID]int64)
 	if pl.Query.Alpha == query.NoVar {
 		e := New(store, pl)
+		e.SetEstimator(est)
 		b := pl.NewBindings()
 		if n := e.count(0, b); n > 0 {
 			out[GlobalGroup] = n
 		}
 		return out, nil
 	}
-	pl2 := reorderFor(store, pl, false)
+	pl2 := reorderFor(store, est, pl, false)
 	e := New(store, pl2)
+	e.SetEstimator(est)
 	b := pl2.NewBindings()
 	target := pl2.AlphaStep
 	var rec func(i int)
@@ -126,12 +133,17 @@ func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 
 // GroupDistinctCtx is GroupDistinct under a context.
 func GroupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
+	return groupDistinctCtx(ctx, store, pl, nil)
+}
+
+func groupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan, est query.Estimator) (map[rdf.ID]int64, error) {
 	cc := newCanceller(ctx)
 	if cc.cancelled() {
 		return nil, cc.err
 	}
-	pl2 := reorderFor(store, pl, true)
+	pl2 := reorderFor(store, est, pl, true)
 	e := New(store, pl2)
+	e.SetEstimator(est)
 	b := pl2.NewBindings()
 	alpha, beta := pl2.Query.Alpha, pl2.Query.Beta
 	target := pl2.BetaStep
@@ -188,13 +200,14 @@ func GroupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan) (
 // groupWeighted traverses prefixes until Alpha and Beta are bound, then
 // multiplies Beta's numeric value by the cached count of suffix completions
 // — the shared machinery of GroupSum and GroupAvg.
-func groupWeighted(ctx context.Context, store *index.Store, pl *query.Plan) (sums, counts map[rdf.ID]float64, err error) {
+func groupWeighted(ctx context.Context, store *index.Store, pl *query.Plan, est query.Estimator) (sums, counts map[rdf.ID]float64, err error) {
 	cc := newCanceller(ctx)
 	if cc.cancelled() {
 		return nil, nil, cc.err
 	}
-	pl2 := reorderFor(store, pl, true)
+	pl2 := reorderFor(store, est, pl, true)
 	e := New(store, pl2)
+	e.SetEstimator(est)
 	b := pl2.NewBindings()
 	alpha, beta := pl2.Query.Alpha, pl2.Query.Beta
 	target := pl2.BetaStep
@@ -258,7 +271,7 @@ func GroupSum(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
 
 // GroupSumCtx is GroupSum under a context.
 func GroupSumCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
-	sums, _, err := groupWeighted(ctx, store, pl)
+	sums, _, err := groupWeighted(ctx, store, pl, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -274,7 +287,7 @@ func GroupAvg(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
 
 // GroupAvgCtx is GroupAvg under a context.
 func GroupAvgCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
-	sums, counts, err := groupWeighted(ctx, store, pl)
+	sums, counts, err := groupWeighted(ctx, store, pl, nil)
 	if err != nil {
 		return nil, err
 	}
@@ -299,20 +312,41 @@ func Evaluate(store *index.Store, pl *query.Plan) map[rdf.ID]float64 {
 // when ctx is done, returning (nil, ctx.Err()) — never a partial result
 // posing as the exact answer.
 func EvaluateCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]float64, error) {
+	return EvaluateCtxEst(ctx, store, pl, nil)
+}
+
+// EvaluateCtxEst is EvaluateCtx with the cardinality estimator behind the
+// order selection and the session's planning decisions made explicit; nil
+// selects span statistics.
+func EvaluateCtxEst(ctx context.Context, store *index.Store, pl *query.Plan, est query.Estimator) (map[rdf.ID]float64, error) {
 	switch pl.Query.Agg {
 	case query.AggSum:
-		return GroupSumCtx(ctx, store, pl)
+		sums, _, err := groupWeighted(ctx, store, pl, est)
+		if err != nil {
+			return nil, err
+		}
+		return sums, nil
 	case query.AggAvg:
-		return GroupAvgCtx(ctx, store, pl)
+		sums, counts, err := groupWeighted(ctx, store, pl, est)
+		if err != nil {
+			return nil, err
+		}
+		out := make(map[rdf.ID]float64, len(sums))
+		for a, s := range sums {
+			if counts[a] > 0 {
+				out[a] = s / counts[a]
+			}
+		}
+		return out, nil
 	}
 	var (
 		raw map[rdf.ID]int64
 		err error
 	)
 	if pl.Query.Distinct {
-		raw, err = GroupDistinctCtx(ctx, store, pl)
+		raw, err = groupDistinctCtx(ctx, store, pl, est)
 	} else {
-		raw, err = GroupCountCtx(ctx, store, pl)
+		raw, err = groupCountCtx(ctx, store, pl, est)
 	}
 	if err != nil {
 		return nil, err
@@ -325,12 +359,21 @@ func EvaluateCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[r
 }
 
 // reorderFor picks the valid, compilable pattern order that binds Alpha
-// (and, if needBeta, Beta) at the earliest step; ties favor the original
-// order. Exact results are order-invariant, so this is purely a cost choice.
-func reorderFor(store *index.Store, pl *query.Plan, needBeta bool) *query.Plan {
+// (and, if needBeta, Beta) at the earliest step. Exact results are
+// order-invariant, so this is purely a cost choice. Positional ties are
+// broken by the estimator's join size, but only when the estimate carries
+// better-than-independence confidence (> 0.5): the graph summary's
+// conditional estimates qualify; span statistics' composed estimates do
+// not, so the span default keeps exactly the pre-refactor order (original
+// order first among ties).
+func reorderFor(store *index.Store, est query.Estimator, pl *query.Plan, needBeta bool) *query.Plan {
+	if est == nil {
+		est = card.NewSpanStats(store)
+	}
 	q := pl.Query
 	best := pl
 	bestScore := orderScore(pl, needBeta)
+	bestJoin := -1.0 // best's join size, computed lazily on the first tie
 	for _, ord := range q.ValidOrders() {
 		q2, err := q.Reorder(ord)
 		if err != nil {
@@ -340,8 +383,23 @@ func reorderFor(store *index.Store, pl *query.Plan, needBeta bool) *query.Plan {
 		if err != nil {
 			continue
 		}
-		if s := orderScore(pl2, needBeta); s < bestScore {
-			best, bestScore = pl2, s
+		s := orderScore(pl2, needBeta)
+		if s > bestScore {
+			continue
+		}
+		if s < bestScore {
+			best, bestScore, bestJoin = pl2, s, -1
+			continue
+		}
+		js := est.JoinSize(pl2)
+		if js.Confidence <= 0.5 {
+			continue
+		}
+		if bestJoin < 0 {
+			bestJoin = est.JoinSize(best).Value
+		}
+		if js.Value < bestJoin {
+			best, bestJoin = pl2, js.Value
 		}
 	}
 	return best

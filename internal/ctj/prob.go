@@ -76,7 +76,7 @@ func (e *Evaluator) maybeMaterializeProbs() bool {
 		return false
 	}
 	e.probDecided = true
-	if e.pl.EstimateJoinSize(e.store) > probMaterializeLimit {
+	if e.estimator().JoinSize(e.pl).Value > probMaterializeLimit {
 		return false
 	}
 	e.materializeProbs()

@@ -258,7 +258,7 @@ func (e *Evaluator) sharedMaybeMaterialize() bool {
 		return false
 	}
 	sc.probDecided = true
-	if e.pl.EstimateJoinSize(e.store) > probMaterializeLimit {
+	if e.estimator().JoinSize(e.pl).Value > probMaterializeLimit {
 		return false
 	}
 	m := make(map[uint64]float64)

@@ -109,7 +109,7 @@ func TestDenseSpansMatchMapReference(t *testing.T) {
 	}
 }
 
-// TestSuffixEstimatorMatchesReference is in internal/query; here we pin the
+// TestSpanStatsMatchesReference is in internal/card; here we pin the
 // remaining store invariant the estimators rely on: every order sees the
 // same triple multiset.
 func TestOrdersSameMultiset(t *testing.T) {

@@ -34,6 +34,7 @@ func (st *Store) Parts() Parts {
 		Dict:      st.dict,
 		PredStats: st.predStats,
 		Numeric:   st.numeric,
+		Summary:   st.summary,
 	}
 	for o := Order(0); o < numOrders; o++ {
 		oi := &st.orders[o]
@@ -78,6 +79,10 @@ type Parts struct {
 	PredStats []PredStat
 	Numeric   []float64
 
+	// Summary is the typed graph summary; nil for pre-v2 snapshots, in which
+	// case the restored store rebuilds it lazily on first use.
+	Summary *Summary
+
 	// EagerL2Maps converts the packed level-2 arrays back into hash maps on
 	// Restore, recovering the O(1) lookup of a built store. Copy loads set
 	// it; mmap loads keep the packed arrays, which alias the mapping and
@@ -94,7 +99,7 @@ func Restore(p Parts) (*Store, error) {
 	if p.Dict == nil {
 		return nil, fmt.Errorf("index: restore without dictionary")
 	}
-	st := &Store{dict: p.Dict, predStats: p.PredStats, numeric: p.Numeric}
+	st := &Store{dict: p.Dict, predStats: p.PredStats, numeric: p.Numeric, summary: p.Summary}
 	n := len(p.Orders[SPO].Triples)
 	for o := Order(0); o < numOrders; o++ {
 		op := p.Orders[o]

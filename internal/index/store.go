@@ -168,6 +168,11 @@ type Store struct {
 	// numeric[i] is the parsed numeric value of term i (NaN when the term
 	// is not a numeric literal), precomputed for the SUM/AVG aggregates.
 	numeric []float64
+
+	// summary is the typed graph summary (see summary.go), restored from a
+	// v2 snapshot or built lazily on first use via Summary().
+	summaryOnce sync.Once
+	summary     *Summary
 }
 
 // Build indexes the graph. The graph should be deduplicated; Build sorts four

@@ -1,0 +1,335 @@
+package index
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"kgexplore/internal/rdf"
+)
+
+// This file implements the typed graph summary behind the "summary"
+// cardinality estimator (internal/card): nodes bucketed by characteristic
+// predicate set — the set of distinct outgoing predicates, in the style of
+// Stefanoni et al.'s RDF summarisation — with triple multiplicities recorded
+// between buckets. The summary answers conditional fan-out questions
+// ("how many p-edges leave a node that was reached as the object of a
+// q-edge?") that per-predicate statistics can only approximate under
+// independence assumptions.
+//
+// The data structure lives here, next to PredStat, so snapshots can persist
+// it (Parts/Restore) without the index layer depending on the estimators.
+
+// SummaryEdge is one row of the bucket-to-bucket multiplicity table: the
+// number of triples with predicate Pred whose subject is in bucket From and
+// whose object is in bucket To.
+type SummaryEdge struct {
+	Pred     rdf.ID
+	From, To int32
+	Count    int64
+}
+
+// Summary is the typed graph summary. Bucket 0 is the leaf bucket: nodes
+// with no outgoing edges (objects that never appear as subjects, literals).
+// Buckets 1.. group subject nodes by characteristic predicate set.
+type Summary struct {
+	// NumBuckets counts all buckets including the leaf bucket.
+	NumBuckets int
+	// BucketNodes[b] is the number of nodes in bucket b.
+	BucketNodes []int64
+	// CharSetOff/CharSetPreds encode each bucket's characteristic set:
+	// bucket b's predicates are CharSetPreds[CharSetOff[b]:CharSetOff[b+1]],
+	// ascending. The leaf bucket has the empty set.
+	CharSetOff   []int32
+	CharSetPreds []rdf.ID
+	// Edges is the multiplicity table, sorted by (Pred, From, To).
+	Edges []SummaryEdge
+	// BuildMillis records how long the summary build took, surfaced by
+	// `kgsnap info`.
+	BuildMillis int64
+}
+
+// CharSet returns bucket b's characteristic predicate set (ascending).
+func (s *Summary) CharSet(b int) []rdf.ID {
+	return s.CharSetPreds[s.CharSetOff[b]:s.CharSetOff[b+1]]
+}
+
+// BuildSummary derives the typed summary from a built (or restored) store.
+// The construction is deterministic: buckets are numbered in first-encounter
+// order over ascending subject IDs, so two builds of the same store produce
+// identical summaries up to the recorded BuildMillis wall time.
+func BuildSummary(st *Store) *Summary {
+	start := time.Now()
+	spo := &st.orders[SPO]
+	ops := &st.orders[OPS]
+	nIDs := len(spo.l1)
+	ts := spo.triples
+
+	bucketOf := make([]int32, nIDs)
+	buckets := map[string]int32{"": 0}
+	charSets := [][]rdf.ID{nil}
+	counts := []int64{0}
+	var keyBuf []byte
+	var predBuf []rdf.ID
+	for s := 0; s < nIDs; s++ {
+		sp := spo.l1[s]
+		if sp.Empty() {
+			continue
+		}
+		keyBuf = keyBuf[:0]
+		predBuf = predBuf[:0]
+		var prev rdf.ID
+		for i := sp.Lo; i < sp.Hi; i++ {
+			// SPO is sorted by (s, p, o), so the subject's predicates appear
+			// as runs; collecting run heads yields the ascending charset.
+			p := ts[i].P
+			if len(predBuf) == 0 || p != prev {
+				predBuf = append(predBuf, p)
+				keyBuf = append(keyBuf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+				prev = p
+			}
+		}
+		id, ok := buckets[string(keyBuf)]
+		if !ok {
+			id = int32(len(charSets))
+			buckets[string(keyBuf)] = id
+			charSets = append(charSets, append([]rdf.ID(nil), predBuf...))
+			counts = append(counts, 0)
+		}
+		bucketOf[s] = id
+		counts[id]++
+	}
+
+	// Leaf bucket: nodes that appear as objects but never as subjects.
+	for o := range ops.l1 {
+		if ops.l1[o].Empty() {
+			continue
+		}
+		if o >= nIDs || spo.l1[o].Empty() {
+			counts[0]++
+		}
+	}
+
+	type ekey struct {
+		p        rdf.ID
+		from, to int32
+	}
+	em := make(map[ekey]int64)
+	for s := 0; s < nIDs; s++ {
+		sp := spo.l1[s]
+		if sp.Empty() {
+			continue
+		}
+		from := bucketOf[s]
+		for i := sp.Lo; i < sp.Hi; i++ {
+			t := ts[i]
+			var to int32
+			if int(t.O) < nIDs {
+				to = bucketOf[t.O]
+			}
+			em[ekey{t.P, from, to}]++
+		}
+	}
+	edges := make([]SummaryEdge, 0, len(em))
+	for k, c := range em {
+		edges = append(edges, SummaryEdge{Pred: k.p, From: k.from, To: k.to, Count: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+
+	sum := &Summary{
+		NumBuckets:  len(charSets),
+		BucketNodes: counts,
+		CharSetOff:  make([]int32, 1, len(charSets)+1),
+		Edges:       edges,
+	}
+	for _, cs := range charSets {
+		sum.CharSetPreds = append(sum.CharSetPreds, cs...)
+		sum.CharSetOff = append(sum.CharSetOff, int32(len(sum.CharSetPreds)))
+	}
+	sum.BuildMillis = time.Since(start).Milliseconds()
+	return sum
+}
+
+// Summary returns the store's typed graph summary, building it on first use
+// when the store was not restored with one (pre-v2 snapshots, fresh builds).
+// Safe for concurrent callers.
+func (st *Store) Summary() *Summary {
+	st.summaryOnce.Do(func() {
+		if st.summary == nil {
+			st.summary = BuildSummary(st)
+		}
+	})
+	return st.summary
+}
+
+// EncodeU64 flattens the summary into a []uint64 image, the form the
+// snapshot layer persists (one checksummed section of u64 elements):
+//
+//	[0] NumBuckets  [1] len(CharSetPreds)  [2] len(Edges)  [3] BuildMillis
+//	then BucketNodes, CharSetOff (NumBuckets+1), CharSetPreds,
+//	then per edge: Pred, From<<32|To, Count.
+func (s *Summary) EncodeU64() []uint64 {
+	out := make([]uint64, 0, 4+s.NumBuckets+(s.NumBuckets+1)+len(s.CharSetPreds)+3*len(s.Edges))
+	out = append(out, uint64(s.NumBuckets), uint64(len(s.CharSetPreds)), uint64(len(s.Edges)), uint64(s.BuildMillis))
+	for _, c := range s.BucketNodes {
+		out = append(out, uint64(c))
+	}
+	for _, o := range s.CharSetOff {
+		out = append(out, uint64(o))
+	}
+	for _, p := range s.CharSetPreds {
+		out = append(out, uint64(p))
+	}
+	for _, e := range s.Edges {
+		out = append(out, uint64(e.Pred), uint64(uint32(e.From))<<32|uint64(uint32(e.To)), uint64(e.Count))
+	}
+	return out
+}
+
+// DecodeSummary parses an EncodeU64 image, validating structure (lengths,
+// offset monotonicity, bucket bounds) so corrupt images fail at load rather
+// than panicking inside an estimate. The result shares no memory with data.
+func DecodeSummary(data []uint64) (*Summary, error) {
+	if len(data) < 4 {
+		return nil, fmt.Errorf("index: summary image too short (%d words)", len(data))
+	}
+	nb, np, ne := int(data[0]), int(data[1]), int(data[2])
+	if nb < 1 || np < 0 || ne < 0 {
+		return nil, fmt.Errorf("index: summary header counts %d/%d/%d invalid", nb, np, ne)
+	}
+	want := 4 + nb + (nb + 1) + np + 3*ne
+	if len(data) != want {
+		return nil, fmt.Errorf("index: summary image has %d words, header implies %d", len(data), want)
+	}
+	s := &Summary{
+		NumBuckets:   nb,
+		BuildMillis:  int64(data[3]),
+		BucketNodes:  make([]int64, nb),
+		CharSetOff:   make([]int32, nb+1),
+		CharSetPreds: make([]rdf.ID, np),
+		Edges:        make([]SummaryEdge, ne),
+	}
+	off := 4
+	for i := range s.BucketNodes {
+		s.BucketNodes[i] = int64(data[off+i])
+		if s.BucketNodes[i] < 0 {
+			return nil, fmt.Errorf("index: summary bucket %d has negative node count", i)
+		}
+	}
+	off += nb
+	for i := range s.CharSetOff {
+		s.CharSetOff[i] = int32(data[off+i])
+	}
+	off += nb + 1
+	if s.CharSetOff[0] != 0 || int(s.CharSetOff[nb]) != np {
+		return nil, fmt.Errorf("index: summary charset offsets do not cover the predicate array")
+	}
+	for i := 1; i <= nb; i++ {
+		if s.CharSetOff[i] < s.CharSetOff[i-1] {
+			return nil, fmt.Errorf("index: summary charset offsets not monotone")
+		}
+	}
+	for i := range s.CharSetPreds {
+		s.CharSetPreds[i] = rdf.ID(data[off+i])
+	}
+	off += np
+	for i := range s.Edges {
+		packed := data[off+3*i+1]
+		e := SummaryEdge{
+			Pred:  rdf.ID(data[off+3*i]),
+			From:  int32(uint32(packed >> 32)),
+			To:    int32(uint32(packed)),
+			Count: int64(data[off+3*i+2]),
+		}
+		if int(e.From) >= nb || int(e.To) >= nb || e.From < 0 || e.To < 0 || e.Count < 0 {
+			return nil, fmt.Errorf("index: summary edge %d out of bucket range", i)
+		}
+		s.Edges[i] = e
+	}
+	return s, nil
+}
+
+// MergeSummaries combines per-shard summaries into one set-level summary by
+// unioning characteristic sets and summing node and edge counts. Under
+// subject-hash partitioning every subject's out-edges live in one shard, so
+// subject-bucket node counts partition exactly; edge TARGET buckets are
+// shard-local approximations (a node that is a subject in another shard
+// looks like a leaf to this one), which only blurs conditional fan-outs —
+// never the per-predicate totals.
+func MergeSummaries(sums []*Summary) *Summary {
+	if len(sums) == 1 {
+		return sums[0]
+	}
+	type bkey = string
+	keyOf := func(s *Summary, b int32) bkey {
+		cs := s.CharSet(int(b))
+		buf := make([]byte, 0, 4*len(cs))
+		for _, p := range cs {
+			buf = append(buf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+		return bkey(buf)
+	}
+	buckets := map[bkey]int32{"": 0}
+	charSets := [][]rdf.ID{nil}
+	counts := []int64{0}
+	remap := make([][]int32, len(sums))
+	for si, s := range sums {
+		remap[si] = make([]int32, s.NumBuckets)
+		for b := 0; b < s.NumBuckets; b++ {
+			k := keyOf(s, int32(b))
+			id, ok := buckets[k]
+			if !ok {
+				id = int32(len(charSets))
+				buckets[k] = id
+				charSets = append(charSets, append([]rdf.ID(nil), s.CharSet(b)...))
+				counts = append(counts, 0)
+			}
+			remap[si][b] = id
+			counts[id] += s.BucketNodes[b]
+		}
+	}
+	type ekey struct {
+		p        rdf.ID
+		from, to int32
+	}
+	em := make(map[ekey]int64)
+	for si, s := range sums {
+		for _, e := range s.Edges {
+			em[ekey{e.Pred, remap[si][e.From], remap[si][e.To]}] += e.Count
+		}
+	}
+	edges := make([]SummaryEdge, 0, len(em))
+	for k, c := range em {
+		edges = append(edges, SummaryEdge{Pred: k.p, From: k.from, To: k.to, Count: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	out := &Summary{
+		NumBuckets:  len(charSets),
+		BucketNodes: counts,
+		CharSetOff:  make([]int32, 1, len(charSets)+1),
+		Edges:       edges,
+	}
+	for _, cs := range charSets {
+		out.CharSetPreds = append(out.CharSetPreds, cs...)
+		out.CharSetOff = append(out.CharSetOff, int32(len(out.CharSetPreds)))
+	}
+	return out
+}

@@ -1,0 +1,195 @@
+package index
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"kgexplore/internal/rdf"
+)
+
+// The buildTestGraph fixture (store_test.go) has a fully hand-checkable
+// summary. Interned IDs: a=0, knows=1, b=2, c=3, d=4, type=5, Person=6,
+// Robot=7, name=8, "A"=9. Characteristic sets: a -> {knows, type, name},
+// b, c -> {knows, type}; d, Person, Robot and "A" are leaves.
+func TestBuildSummaryFixture(t *testing.T) {
+	st := Build(buildTestGraph())
+	s := st.Summary()
+	if s.NumBuckets != 3 {
+		t.Fatalf("NumBuckets = %d, want 3", s.NumBuckets)
+	}
+	if got, want := s.BucketNodes, []int64{4, 1, 2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("BucketNodes = %v, want %v", got, want)
+	}
+	if got := s.CharSet(0); len(got) != 0 {
+		t.Errorf("leaf charset = %v, want empty", got)
+	}
+	if got, want := s.CharSet(1), []rdf.ID{1, 5, 8}; !reflect.DeepEqual(got, want) {
+		t.Errorf("bucket 1 charset = %v, want %v", got, want)
+	}
+	if got, want := s.CharSet(2), []rdf.ID{1, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("bucket 2 charset = %v, want %v", got, want)
+	}
+	wantEdges := []SummaryEdge{
+		{Pred: 1, From: 1, To: 2, Count: 2}, // a knows b, a knows c
+		{Pred: 1, From: 2, To: 0, Count: 1}, // c knows d
+		{Pred: 1, From: 2, To: 2, Count: 1}, // b knows c
+		{Pred: 5, From: 1, To: 0, Count: 1}, // a type Person
+		{Pred: 5, From: 2, To: 0, Count: 2}, // b type Person, c type Robot
+		{Pred: 8, From: 1, To: 0, Count: 1}, // a name "A"
+	}
+	if !reflect.DeepEqual(s.Edges, wantEdges) {
+		t.Errorf("Edges = %v\nwant %v", s.Edges, wantEdges)
+	}
+	// Summary() must memoize: a second call returns the same object.
+	if st.Summary() != s {
+		t.Error("Summary() rebuilt on second call")
+	}
+}
+
+// summaryRandomGraph feeds randomGraph (store_test.go) from a seeded stream.
+func summaryRandomGraph(seed int64, n int) *rdf.Graph {
+	raw := make([]byte, 3*n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(raw)
+	return randomGraph(raw)
+}
+
+func TestBuildSummaryDeterministic(t *testing.T) {
+	g := summaryRandomGraph(41, 800)
+	a := BuildSummary(Build(g))
+	b := BuildSummary(Build(g))
+	a.BuildMillis, b.BuildMillis = 0, 0
+	if !reflect.DeepEqual(a, b) {
+		t.Error("two builds of the same store produced different summaries")
+	}
+}
+
+func TestSummaryEncodeDecodeRoundTrip(t *testing.T) {
+	for name, g := range map[string]*rdf.Graph{
+		"fixture": buildTestGraph(),
+		"random":  summaryRandomGraph(17, 1200),
+		"empty":   func() *rdf.Graph { g := rdf.NewGraph(); g.Dedup(); return g }(),
+	} {
+		want := BuildSummary(Build(g))
+		img := want.EncodeU64()
+		got, err := DecodeSummary(img)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		// Compare via re-encoding: decode normalizes nil slices to empty, so
+		// DeepEqual on the structs is too strict for degenerate stores.
+		if !reflect.DeepEqual(got.EncodeU64(), img) {
+			t.Errorf("%s: round trip changed the summary:\n got %+v\nwant %+v", name, got, want)
+		}
+		if got.NumBuckets != want.NumBuckets || got.BuildMillis != want.BuildMillis {
+			t.Errorf("%s: header fields changed: %+v vs %+v", name, got, want)
+		}
+	}
+}
+
+func TestDecodeSummaryRejectsCorrupt(t *testing.T) {
+	img := BuildSummary(Build(buildTestGraph())).EncodeU64()
+	mutate := func(fn func(m []uint64) []uint64) []uint64 {
+		m := append([]uint64(nil), img...)
+		return fn(m)
+	}
+	cases := map[string][]uint64{
+		"empty":     nil,
+		"too short": img[:3],
+		"truncated": img[:len(img)-1],
+		"trailing":  append(append([]uint64(nil), img...), 0),
+		"zero buckets": mutate(func(m []uint64) []uint64 {
+			m[0] = 0
+			return m
+		}),
+		"length mismatch": mutate(func(m []uint64) []uint64 {
+			m[1]++ // claims one more charset predicate than present
+			return m
+		}),
+		"negative node count": mutate(func(m []uint64) []uint64 {
+			m[4] = ^uint64(0)
+			return m
+		}),
+		"offsets not covering": mutate(func(m []uint64) []uint64 {
+			m[4+int(m[0])] = 1 // CharSetOff[0] must be 0
+			return m
+		}),
+		"offsets not monotone": mutate(func(m []uint64) []uint64 {
+			nb := int(m[0])
+			m[4+nb+1], m[4+nb+2] = m[4+nb+2], m[4+nb+1]
+			return m
+		}),
+		"edge bucket out of range": mutate(func(m []uint64) []uint64 {
+			nb, np := int(m[0]), int(m[1])
+			edge0 := 4 + nb + (nb + 1) + np
+			m[edge0+1] = uint64(nb) << 32 // From = NumBuckets
+			return m
+		}),
+	}
+	for name, data := range cases {
+		if _, err := DecodeSummary(data); err == nil {
+			t.Errorf("%s: corrupt image decoded without error", name)
+		}
+	}
+}
+
+// TestMergeSummaries splits the fixture by subject across two stores sharing
+// one dictionary (the shard layout) and checks the merged summary keeps the
+// exact per-predicate totals and the union of characteristic sets.
+func TestMergeSummaries(t *testing.T) {
+	whole := rdf.NewGraph()
+	left := rdf.NewGraph()
+	right := rdf.NewGraph()
+	left.Dict, right.Dict = whole.Dict, whole.Dict
+	add := func(g *rdf.Graph, s, p, o string) {
+		whole.AddIRIs(s, p, o)
+		g.AddIRIs(s, p, o)
+	}
+	// Subjects a, b on the left shard; c on the right.
+	add(left, "a", "knows", "b")
+	add(left, "a", "knows", "c")
+	add(left, "b", "knows", "c")
+	add(right, "c", "knows", "d")
+	add(left, "a", "type", "Person")
+	add(left, "b", "type", "Person")
+	add(right, "c", "type", "Robot")
+	for _, g := range []*rdf.Graph{whole, left, right} {
+		g.Dedup()
+	}
+
+	sl, sr := BuildSummary(Build(left)), BuildSummary(Build(right))
+	merged := MergeSummaries([]*Summary{sl, sr})
+	want := BuildSummary(Build(whole))
+
+	predTotal := func(s *Summary) map[rdf.ID]int64 {
+		m := make(map[rdf.ID]int64)
+		for _, e := range s.Edges {
+			m[e.Pred] += e.Count
+		}
+		return m
+	}
+	if got, exp := predTotal(merged), predTotal(want); !reflect.DeepEqual(got, exp) {
+		t.Errorf("merged per-predicate totals %v, want %v", got, exp)
+	}
+	// Subject buckets partition exactly under subject hashing, so the merged
+	// non-leaf bucket populations must match the whole-graph summary's.
+	nodesByCharset := func(s *Summary) map[string]int64 {
+		m := make(map[string]int64)
+		for b := 1; b < s.NumBuckets; b++ {
+			key := ""
+			for _, p := range s.CharSet(b) {
+				key += string(rune(p)) + ","
+			}
+			m[key] += s.BucketNodes[b]
+		}
+		return m
+	}
+	if got, exp := nodesByCharset(merged), nodesByCharset(want); !reflect.DeepEqual(got, exp) {
+		t.Errorf("merged subject buckets %v, want %v", got, exp)
+	}
+	// A single summary merges to itself.
+	if MergeSummaries([]*Summary{sl}) != sl {
+		t.Error("single-summary merge did not return its input")
+	}
+}

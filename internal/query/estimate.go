@@ -1,270 +1,30 @@
 package query
 
-import (
-	"kgexplore/internal/index"
-	"kgexplore/internal/rdf"
-)
+// The cardinality-estimation implementations live in internal/card; this
+// file declares only the minimal contract the planner layer consumes, so
+// query (the bottom of the dependency stack, below card) can render EXPLAIN
+// output and ctj can pick variable orders without importing the estimators.
 
-// PatternCard returns the exact number of triples matching the pattern's
-// constant positions, ignoring variables. This is an O(1) span lookup for
-// every constant combination that the exploration fragment produces.
-func PatternCard(store *index.Store, p Pattern) int {
-	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
-	switch {
-	case !sConst && !pConst && !oConst:
-		return store.NumTriples()
-	case sConst && !pConst && !oConst:
-		return store.SpanL1(index.SPO, p.S.ID).Len()
-	case !sConst && pConst && !oConst:
-		return store.SpanL1(index.PSO, p.P.ID).Len()
-	case !sConst && !pConst && oConst:
-		return store.SpanL1(index.OPS, p.O.ID).Len()
-	case sConst && pConst && !oConst:
-		return store.SpanL2(index.PSO, p.P.ID, p.S.ID).Len()
-	case !sConst && pConst && oConst:
-		return store.SpanL2(index.POS, p.P.ID, p.O.ID).Len()
-	case sConst && !pConst && oConst:
-		// Not servable exactly by the four orders; use the independence
-		// estimate |G_s| * |G_o| / N.
-		n := store.NumTriples()
-		if n == 0 {
-			return 0
-		}
-		est := float64(store.SpanL1(index.SPO, p.S.ID).Len()) *
-			float64(store.SpanL1(index.OPS, p.O.ID).Len()) / float64(n)
-		return int(est + 0.5)
-	default: // all constant
-		if store.Contains(rdf.Triple{S: p.S.ID, P: p.P.ID, O: p.O.ID}) {
-			return 1
-		}
-		return 0
-	}
-}
-
-// PatternVarNdv estimates the number of distinct values the variable at
-// position pos takes within the constant-restricted pattern. Exact where the
-// statistics allow (predicate-level ndv, two-constant spans); otherwise the
-// span length is used as an upper bound, matching the coarse statistics
-// PostgreSQL-style estimation relies on (paper §IV-D).
-func PatternVarNdv(store *index.Store, p Pattern, pos index.Pos) int {
-	card := PatternCard(store, p)
-	if card == 0 {
-		return 0
-	}
-	stats := store.Stats()
-	sConst, pConst, oConst := !p.S.IsVar(), !p.P.IsVar(), !p.O.IsVar()
-	nConst := 0
-	for _, c := range []bool{sConst, pConst, oConst} {
-		if c {
-			nConst++
-		}
-	}
-	// With two constants, the free position's values are all distinct
-	// (triples are unique), so ndv == card.
-	if nConst >= 2 {
-		return card
-	}
-	if pConst {
-		ps := store.PredStatOf(p.P.ID)
-		switch pos {
-		case index.S:
-			return ps.NdvS
-		case index.O:
-			return ps.NdvO
-		}
-		return 1 // the predicate itself
-	}
-	if nConst == 0 {
-		switch pos {
-		case index.S:
-			return stats.NdvS
-		case index.P:
-			return stats.NdvP
-		default:
-			return stats.NdvO
-		}
-	}
-	// One non-predicate constant (subject or object bound, e.g. the
-	// ?x ?p ?o patterns of property expansions): no per-entity ndv
-	// statistics are kept, so bound by the span length.
-	return card
-}
-
-// EstimateSuffixSize estimates the number of full paths extending a prefix
-// that has just completed step i (0-based) under bindings b, i.e. the
-// estimated |Γ_δ| that Audit Join's tipping point compares against its
-// threshold. The first remaining step is resolved exactly (one O(1) span
-// lookup); later steps compose PostgreSQL's rule
+// Est is a cardinality estimate paired with a confidence signal.
 //
-//	|G_j| / max(ndv_left(join var), ndv_right(join var))
-//
-// where ndv_left is 1 for the step adjacent to the prefix (a single value is
-// bound) and the pattern-level ndv otherwise.
-func (pl *Plan) EstimateSuffixSize(store *index.Store, i int, b Bindings) float64 {
-	est := 1.0
-	for j := i + 1; j < len(pl.Steps); j++ {
-		st := &pl.Steps[j]
-		adjacent := true // whether all of st's join vars are bound in b
-		for _, jv := range st.JoinVars {
-			if b[jv.Var] == rdf.NoID {
-				adjacent = false
-			}
-		}
-		if adjacent && len(st.JoinVars) > 0 {
-			sp, ok := st.ResolveSpan(store, b)
-			if !ok {
-				return 0
-			}
-			if st.Kind == AccessMembership {
-				est *= 1
-			} else {
-				est *= float64(sp.Len())
-			}
-			continue
-		}
-		card := float64(PatternCard(store, st.Pattern))
-		if card == 0 {
-			return 0
-		}
-		f := card
-		for _, jv := range st.JoinVars {
-			ndvHere := PatternVarNdv(store, st.Pattern, jv.Pos)
-			ndvThere := pl.ndvAtBindingSite(store, jv.Var)
-			d := ndvHere
-			if ndvThere > d {
-				d = ndvThere
-			}
-			if d > 0 {
-				f /= float64(d)
-			}
-		}
-		est *= f
-		if est == 0 {
-			return 0
-		}
-	}
-	return est
+// Value is the estimated count (float-valued: sub-unit estimates are
+// meaningful and must not collapse to zero). Confidence grades how the
+// estimate was derived, on (0, 1]: 1 means an exact span lookup, lower
+// values mark composition under conditional-fan-out or independence
+// assumptions. Consumers use it to gate decisions that should only follow
+// estimates of a given quality (e.g. ctj's variable-order tie-breaking).
+type Est struct {
+	Value      float64
+	Confidence float64
 }
 
-// SuffixEstimator is the walk-specialized, precomputed form of
-// EstimateSuffixSize. Pattern cardinalities and ndv divisors are
-// binding-independent, so they are folded into one factor per step at
-// construction; at walk time only the steps adjacent to the prefix (all join
-// variables bound) still need a span lookup. The estimator relies on the
-// walk invariant that after step i exactly the variables first bound by
-// steps 0..i are set — true for every Wander/Audit Join walk prefix, where
-// Audit Join calls it on every step.
-type SuffixEstimator struct {
-	store *index.Store
-	pl    *Plan
-	// factor[j] is card(G_j) / ∏ max(ndv_here, ndv_binding_site) — the
-	// statistics contribution of step j when it is not prefix-adjacent.
-	// A zero factor means card == 0, so the whole suffix estimate is 0.
-	factor []float64
-	// adjFrom[j] is the earliest prefix end i at which all of step j's join
-	// variables are bound; len(pl.Steps) when step j has no join variables
-	// (the statistics branch then always applies).
-	adjFrom []int
-}
-
-// NewSuffixEstimator precomputes the statistics factors of every step.
-func (pl *Plan) NewSuffixEstimator(store *index.Store) *SuffixEstimator {
-	n := len(pl.Steps)
-	e := &SuffixEstimator{store: store, pl: pl, factor: make([]float64, n), adjFrom: make([]int, n)}
-	firstBound := make([]int, pl.nvars)
-	for i := range pl.Steps {
-		for _, vp := range pl.Steps[i].NewVars {
-			firstBound[vp.Var] = i
-		}
-	}
-	for j := range pl.Steps {
-		st := &pl.Steps[j]
-		e.adjFrom[j] = n
-		if len(st.JoinVars) > 0 {
-			e.adjFrom[j] = 0
-			for _, jv := range st.JoinVars {
-				if fb := firstBound[jv.Var]; fb > e.adjFrom[j] {
-					e.adjFrom[j] = fb
-				}
-			}
-		}
-		f := float64(PatternCard(store, st.Pattern))
-		for _, jv := range st.JoinVars {
-			ndvHere := PatternVarNdv(store, st.Pattern, jv.Pos)
-			ndvThere := pl.ndvAtBindingSite(store, jv.Var)
-			d := ndvHere
-			if ndvThere > d {
-				d = ndvThere
-			}
-			if d > 0 {
-				f /= float64(d)
-			}
-		}
-		e.factor[j] = f
-	}
-	return e
-}
-
-// Estimate returns the estimated number of full paths extending a walk
-// prefix that has just completed step i under bindings b. It computes
-// exactly EstimateSuffixSize, with the statistics branches reduced to one
-// precomputed multiply per step.
-func (e *SuffixEstimator) Estimate(i int, b Bindings) float64 {
-	est := 1.0
-	for j := i + 1; j < len(e.pl.Steps); j++ {
-		if e.adjFrom[j] <= i {
-			st := &e.pl.Steps[j]
-			sp, ok := st.ResolveSpan(e.store, b)
-			if !ok {
-				return 0
-			}
-			if st.Kind != AccessMembership {
-				est *= float64(sp.Len())
-			}
-			continue
-		}
-		est *= e.factor[j]
-		if est == 0 {
-			return 0
-		}
-	}
-	return est
-}
-
-// ndvAtBindingSite returns the pattern-level ndv of variable v at the step
-// that first binds it.
-func (pl *Plan) ndvAtBindingSite(store *index.Store, v Var) int {
-	for s := range pl.Steps {
-		for _, vp := range pl.Steps[s].NewVars {
-			if vp.Var == v {
-				return PatternVarNdv(store, pl.Steps[s].Pattern, vp.Pos)
-			}
-		}
-	}
-	return 1
-}
-
-// EstimateJoinSize estimates the total join size |Γ| of the whole query by
-// composing the PostgreSQL rule over all steps, with no bindings. Exposed
-// for diagnostics and for the workload generator's selectivity reporting.
-func (pl *Plan) EstimateJoinSize(store *index.Store) float64 {
-	est := float64(PatternCard(store, pl.Steps[0].Pattern))
-	for j := 1; j < len(pl.Steps); j++ {
-		st := &pl.Steps[j]
-		card := float64(PatternCard(store, st.Pattern))
-		f := card
-		for _, jv := range st.JoinVars {
-			ndvHere := PatternVarNdv(store, st.Pattern, jv.Pos)
-			ndvThere := pl.ndvAtBindingSite(store, jv.Var)
-			d := ndvHere
-			if ndvThere > d {
-				d = ndvThere
-			}
-			if d > 0 {
-				f /= float64(d)
-			}
-		}
-		est *= f
-	}
-	return est
+// Estimator is the slice of internal/card's estimator interface that the
+// query layer itself consumes: per-pattern cardinalities and whole-plan join
+// sizes for EXPLAIN and planning. card.Estimator satisfies it.
+type Estimator interface {
+	// PatternCard estimates the number of triples matching the pattern's
+	// constant positions, ignoring variables.
+	PatternCard(p Pattern) Est
+	// JoinSize estimates the total join size |Γ| of the plan.
+	JoinSize(pl *Plan) Est
 }

@@ -188,9 +188,9 @@ func accessPath(b [3]bool) (AccessKind, index.Order, error) {
 }
 
 // Explain renders the plan's access paths and statistics-based estimates —
-// the EXPLAIN view of a compiled exploration query. The store provides the
-// cardinalities; pass nil to print structure only.
-func (pl *Plan) Explain(store *index.Store) string {
+// the EXPLAIN view of a compiled exploration query. The estimator provides
+// the cardinalities (see internal/card); pass nil to print structure only.
+func (pl *Plan) Explain(est Estimator) string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "plan for %s\n", pl.Query)
 	for i := range pl.Steps {
@@ -214,13 +214,14 @@ func (pl *Plan) Explain(store *index.Store) string {
 				fmt.Fprintf(&b, "?%d@%s", nv.Var, nv.Pos)
 			}
 		}
-		if store != nil {
-			fmt.Fprintf(&b, " |G_i|=%d", PatternCard(store, st.Pattern))
+		if est != nil {
+			fmt.Fprintf(&b, " |G_i|=%.0f", est.PatternCard(st.Pattern).Value)
 		}
 		b.WriteByte('\n')
 	}
-	if store != nil {
-		fmt.Fprintf(&b, "  estimated join size: %.1f\n", pl.EstimateJoinSize(store))
+	if est != nil {
+		js := est.JoinSize(pl)
+		fmt.Fprintf(&b, "  estimated join size: %.1f (confidence %.1f)\n", js.Value, js.Confidence)
 	}
 	return b.String()
 }

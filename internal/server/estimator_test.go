@@ -1,0 +1,117 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+
+	"kgexplore"
+)
+
+// newEstimatorServer serves tinyNT with the named cardinality estimator.
+func newEstimatorServer(t *testing.T, estimator string) (*Server, *httptest.Server) {
+	t.Helper()
+	ds := loadNT(t, tinyNT)
+	if estimator != "" {
+		if err := ds.UseEstimator(estimator); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := New(ds)
+	srv.Estimator = estimator
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+func getHealth(t *testing.T, url string) HealthResponse {
+	t.Helper()
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+// TestEstimatorSurfaced pins the diagnostics contract of the estimation
+// layer: /healthz and chart payloads name the active estimator, and an Audit
+// Join run feeds estimate-vs-actual tipping observations into both.
+func TestEstimatorSurfaced(t *testing.T) {
+	for _, estimator := range []string{"", kgexplore.EstimatorSummary} {
+		wantName := estimator
+		if wantName == "" {
+			wantName = kgexplore.EstimatorSpan
+		}
+		t.Run(wantName, func(t *testing.T) {
+			_, ts := newEstimatorServer(t, estimator)
+			if h := getHealth(t, ts.URL); h.Estimator != wantName {
+				t.Errorf("healthz estimator = %q, want %q", h.Estimator, wantName)
+			}
+
+			var st StateResponse
+			post(t, ts.URL+"/api/session", struct{}{}, &st)
+			var chart ChartResponse
+			post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+				ChartRequest{Op: "out-property", Engine: "aj", BudgetMS: 50}, &chart)
+			if chart.Estimator != wantName {
+				t.Errorf("chart estimator = %q, want %q", chart.Estimator, wantName)
+			}
+			// Every walk on this tiny graph tips immediately, so the run must
+			// have produced tipping diagnostics.
+			if chart.Tips == nil || chart.Tips.Tips == 0 {
+				t.Fatalf("aj chart carried no tipping diagnostics: %+v", chart.Tips)
+			}
+			if chart.Tips.SumActual <= 0 {
+				t.Errorf("tips sumActual = %v", chart.Tips.SumActual)
+			}
+
+			h := getHealth(t, ts.URL)
+			if h.Tips == nil || h.Tips.Tips < chart.Tips.Tips {
+				t.Errorf("healthz tips = %+v, chart reported %d", h.Tips, chart.Tips.Tips)
+			}
+		})
+	}
+}
+
+// TestExactEnginesCarryNoTips: tipping diagnostics are an online-engine
+// concept; exact evaluations must not fabricate them.
+func TestExactEnginesCarryNoTips(t *testing.T) {
+	_, ts := newEstimatorServer(t, "")
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	var chart ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "ctj"}, &chart)
+	if chart.Tips != nil {
+		t.Errorf("exact engine reported tips: %+v", chart.Tips)
+	}
+}
+
+// TestSwapKeepsEstimator: a server started with -estimator must apply the
+// same selection to stores installed by admin hot-swap.
+func TestSwapKeepsEstimator(t *testing.T) {
+	srv, ts := newEstimatorServer(t, kgexplore.EstimatorSummary)
+	srv.EnableAdmin = true
+	ts2 := httptest.NewServer(srv.Handler()) // handler built after EnableAdmin
+	defer ts2.Close()
+
+	path := filepath.Join(t.TempDir(), "alt.kgs")
+	if err := loadNT(t, altNT).WriteStoreSnapshotFile(path, "alt"); err != nil {
+		t.Fatal(err)
+	}
+	var swap SwapResponse
+	resp := post(t, ts2.URL+"/admin/swap", SwapRequest{Path: path}, &swap)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("swap status %d", resp.StatusCode)
+	}
+	if h := getHealth(t, ts.URL); h.Estimator != kgexplore.EstimatorSummary {
+		t.Errorf("estimator after swap = %q, want %q", h.Estimator, kgexplore.EstimatorSummary)
+	}
+}

@@ -57,6 +57,7 @@ type backend interface {
 	ParseQuery(string) (*kgexplore.ParsedQuery, error)
 	Compile(*kgexplore.Query) (*kgexplore.Plan, error)
 	BarsOf(map[kgexplore.ID]float64, map[kgexplore.ID]float64) []kgexplore.Bar
+	EstimatorName() string
 }
 
 // epoch is one served dataset generation. Requests acquire the current epoch
@@ -134,6 +135,15 @@ type Server struct {
 	// RebuildsFn, when set, reports dynamic-store rebuild counts in
 	// /healthz (wired to dynamic.Store.Rebuilds by the embedding process).
 	RebuildsFn func() int
+	// Estimator, when set, is applied (Dataset.UseEstimator) to every
+	// dataset installed by an admin swap, so a server started with
+	// -estimator keeps its selection across hot swaps. The initial dataset's
+	// estimator is the embedding process's job (kgserver sets both).
+	Estimator string
+
+	// tipDiag accumulates estimate-vs-actual tipping diagnostics across
+	// every Audit Join run this process served, for /healthz; guarded by mu.
+	tipDiag kgexplore.TipDiagnostics
 
 	// now is the clock, overridable in tests.
 	now func() time.Time
@@ -401,21 +411,32 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 // so an operator can see at a glance what data is being served, how it got
 // there, and how often it has been replaced.
 type HealthResponse struct {
-	Status   string     `json:"status"`
-	Store    Provenance `json:"store"`
-	Swaps    int        `json:"swaps"`
-	Shards   int        `json:"shards,omitempty"`
-	Rebuilds int        `json:"rebuilds,omitempty"`
-	Sessions int        `json:"sessions"`
+	Status    string     `json:"status"`
+	Store     Provenance `json:"store"`
+	Swaps     int        `json:"swaps"`
+	Shards    int        `json:"shards,omitempty"`
+	Rebuilds  int        `json:"rebuilds,omitempty"`
+	Sessions  int        `json:"sessions"`
+	Estimator string     `json:"estimator"`
+	// Tips aggregates estimate-vs-actual tipping diagnostics over every
+	// Audit Join run served since startup; absent until a walk tips.
+	Tips *TipDiagBody `json:"tips,omitempty"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	e := s.acquire()
 	defer e.release()
 	s.mu.Lock()
-	swaps, nsess := s.swaps, len(s.sessions)
+	swaps, nsess, tips := s.swaps, len(s.sessions), s.tipDiag
 	s.mu.Unlock()
-	resp := HealthResponse{Status: "ok", Store: e.prov, Swaps: swaps, Sessions: nsess}
+	resp := HealthResponse{
+		Status:    "ok",
+		Store:     e.prov,
+		Swaps:     swaps,
+		Sessions:  nsess,
+		Estimator: e.be.EstimatorName(),
+		Tips:      tipBody(tips),
+	}
 	if e.sds != nil {
 		resp.Shards = e.sds.NumShards()
 	}
@@ -423,6 +444,38 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 		resp.Rebuilds = s.RebuildsFn()
 	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// TipDiagBody is the JSON form of the tipping diagnostics: how many walks
+// tipped, and how the oracle's suffix estimates compared with the exact
+// suffix sizes CTJ computed at those decisions.
+type TipDiagBody struct {
+	Tips        int64   `json:"tips"`
+	MeanQError  float64 `json:"meanQError,omitempty"`
+	SumEstimate float64 `json:"sumEstimate"`
+	SumActual   float64 `json:"sumActual"`
+}
+
+func tipBody(d kgexplore.TipDiagnostics) *TipDiagBody {
+	if d.Tips == 0 {
+		return nil
+	}
+	return &TipDiagBody{
+		Tips:        d.Tips,
+		MeanQError:  d.MeanQError(),
+		SumEstimate: d.SumEstimate,
+		SumActual:   d.SumActual,
+	}
+}
+
+// observeTips folds one run's tipping diagnostics into the /healthz totals.
+func (s *Server) observeTips(d kgexplore.TipDiagnostics) {
+	if d.Tips == 0 {
+		return
+	}
+	s.mu.Lock()
+	s.tipDiag.Merge(d)
+	s.mu.Unlock()
 }
 
 // SwapRequest asks the server to replace its dataset from a file. Paths
@@ -456,6 +509,13 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, err)
 			return
 		}
+		if s.Estimator != "" {
+			if err := sds.UseEstimator(s.Estimator); err != nil {
+				sds.Close()
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
 		s.SwapSharded(sds, prov)
 		writeJSON(w, http.StatusOK, SwapResponse{Store: prov, Swaps: s.Swaps()})
 		return
@@ -464,6 +524,15 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
+	}
+	if s.Estimator != "" {
+		if err := ds.UseEstimator(s.Estimator); err != nil {
+			if closer != nil {
+				closer.Close()
+			}
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
 	}
 	s.Swap(ds, prov, closer)
 	writeJSON(w, http.StatusOK, SwapResponse{Store: prov, Swaps: s.Swaps()})
@@ -623,6 +692,11 @@ type ChartResponse struct {
 	Final   bool             `json:"final,omitempty"`
 	Shards  int              `json:"shards,omitempty"`
 	Cache   *ChartCacheStats `json:"cache,omitempty"`
+	// Estimator names the cardinality estimator behind the run's planning
+	// and tipping decisions; Tips reports its estimate-vs-actual accuracy at
+	// this run's tipping decisions (final responses of online engines only).
+	Estimator string       `json:"estimator,omitempty"`
+	Tips      *TipDiagBody `json:"tips,omitempty"`
 }
 
 // CacheStatsBody mirrors ctj.CacheStats for the JSON payload.
@@ -724,7 +798,7 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, tips, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -732,6 +806,7 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 	resp := chartResponse(e, req.Op, engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
 	resp.Cache = cache
+	resp.Tips = tips
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -744,7 +819,7 @@ func engineName(e string) string {
 
 // chartResponse renders per-group counts as sorted, truncated bars.
 func chartResponse(e *epoch, op, engine string, counts, ci map[kgexplore.ID]float64, topN int) ChartResponse {
-	resp := ChartResponse{Op: op, Engine: engine}
+	resp := ChartResponse{Op: op, Engine: engine, Estimator: e.be.EstimatorName()}
 	if e.sds != nil {
 		resp.Shards = e.sds.NumShards()
 	}
@@ -794,7 +869,7 @@ func (s *Server) onlineRunner(ds *kgexplore.Dataset, pl *kgexplore.Plan, engine 
 	}
 }
 
-func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
+func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, *TipDiagBody, error) {
 	if e.sds != nil {
 		return s.evaluateSharded(ctx, e.sds, pl, engine, budgetMS)
 	}
@@ -802,23 +877,35 @@ func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, eng
 	switch engine {
 	case "ctj":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
-		return res, nil, nil, err
+		return res, nil, nil, nil, err
 	case "lftj":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineLFTJ)
-		return res, nil, nil, err
+		return res, nil, nil, nil, err
 	case "baseline":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineBaseline)
-		return res, nil, nil, err
+		return res, nil, nil, nil, err
 	}
 	r, ok := s.onlineRunner(ds, pl, engine)
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
+		return nil, nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
 	}
 	rep, err := kgexplore.Drive(ctx, r, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return rep.Final.Estimates, rep.Final.CI, cacheStatsOf(r), nil
+	return rep.Final.Estimates, rep.Final.CI, cacheStatsOf(r), s.tipStatsOf(r), nil
+}
+
+// tipStatsOf extracts one quiescent runner's tipping diagnostics and folds
+// them into the /healthz totals.
+func (s *Server) tipStatsOf(r kgexplore.Stepper) *TipDiagBody {
+	aj, ok := r.(*kgexplore.AuditJoin)
+	if !ok {
+		return nil
+	}
+	d := aj.TipDiag()
+	s.observeTips(d)
+	return tipBody(d)
 }
 
 // scatterOptions maps an online engine name onto scatter-gather settings:
@@ -843,21 +930,22 @@ func (s *Server) scatterOptions(sds *kgexplore.ShardedDataset, pl *kgexplore.Pla
 // evaluateSharded answers a chart request over a sharded epoch: exact
 // engines run the resolver-backed enumeration over all shards; online
 // engines run scatter-gather Audit Join with stratified merging.
-func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, error) {
+func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, *TipDiagBody, error) {
 	switch engine {
 	case "ctj", "lftj", "baseline":
 		res, err := sds.ExactCtx(ctx, pl)
-		return res, nil, nil, err
+		return res, nil, nil, nil, err
 	}
 	opts, ok := s.scatterOptions(sds, pl, engine)
 	if !ok {
-		return nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
+		return nil, nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
 	}
-	res, _, err := sds.RunScatter(ctx, pl, opts, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
+	res, stats, err := sds.RunScatter(ctx, pl, opts, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
 	if err != nil {
-		return nil, nil, nil, err
+		return nil, nil, nil, nil, err
 	}
-	return res.Estimates, res.CI, nil, nil
+	s.observeTips(stats.Tips)
+	return res.Estimates, res.CI, nil, tipBody(stats.Tips), nil
 }
 
 // streamChart answers a `?stream=1` chart request with Server-Sent Events:
@@ -906,6 +994,7 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, o
 			// The callback runs on the driving goroutine between walks, so
 			// the runner is quiescent and its stats are consistent.
 			resp.Cache = cacheStatsOf(runner)
+			resp.Tips = s.tipStatsOf(runner)
 		}
 		data, err := json.Marshal(resp)
 		if err != nil {
@@ -924,7 +1013,12 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, o
 		OnSnapshot: send,
 	}
 	if e.sds != nil {
-		e.sds.RunScatter(r.Context(), pl, scatterOpts, xopts)
+		// The final SSE event has already been sent from inside the scatter
+		// drive, so per-request tips can't ride on it; they still reach the
+		// process-wide /healthz totals.
+		if _, stats, err := e.sds.RunScatter(r.Context(), pl, scatterOpts, xopts); err == nil {
+			s.observeTips(stats.Tips)
+		}
 		return
 	}
 	kgexplore.Drive(r.Context(), runner, xopts)
@@ -1014,7 +1108,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
+	counts, ci, cache, tips, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
@@ -1022,6 +1116,7 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	resp := chartResponse(e, "sparql", engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
 	resp.Cache = cache
+	resp.Tips = tips
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -9,6 +9,7 @@ import (
 
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
+	"kgexplore/internal/snap"
 	"kgexplore/internal/testkit"
 )
 
@@ -164,6 +165,29 @@ func TestManifestCorruption(t *testing.T) {
 					t.Fatal(err)
 				}
 			},
+		},
+		{
+			name: "corrupted summary section in a shard",
+			corrupt: func(t *testing.T, path string) {
+				p := filepath.Join(filepath.Dir(path), "shard-0001.kgs")
+				in, err := snap.Inspect(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				sec, ok := in.Section("summary")
+				if !ok {
+					t.Fatal("shard snapshot has no summary section")
+				}
+				data, err := os.ReadFile(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				data[sec.Off+sec.Size/2] ^= 0x20
+				if err := os.WriteFile(p, data, 0o644); err != nil {
+					t.Fatal(err)
+				}
+			},
+			wantSub: "summary",
 		},
 		{
 			name: "triple count mismatch",

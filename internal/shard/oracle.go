@@ -1,121 +1,36 @@
 package shard
 
 import (
-	"kgexplore/internal/index"
+	"kgexplore/internal/card"
 	"kgexplore/internal/query"
 )
 
-// Set-level statistics: the disjoint partition makes per-shard sums exact
-// for cardinalities and a safe upper bound for ndv (subjects never repeat
-// across shards, so their sums are exact too; predicate/object ndv sums
-// may overcount, which only makes the tipping oracle tip EARLIER — a
-// performance knob, never a bias).
+// The sharded tipping oracle is the card.Suffix of the run's estimator over
+// ALL shard stores: the disjoint partition makes set-level sums exact for
+// cardinalities and a safe upper bound for ndv (subjects never repeat across
+// shards, so their sums are exact too; predicate/object ndv sums may
+// overcount, which only makes the oracle tip EARLIER — a performance knob,
+// never a bias). Prefix-adjacent steps are resolved exactly through the
+// resolver: the total candidate width across shards.
 
-func (s *Set) patternCard(p query.Pattern) int {
-	n := 0
-	for _, st := range s.stores {
-		n += query.PatternCard(st, p)
-	}
-	return n
-}
-
-func (s *Set) patternVarNdv(p query.Pattern, pos index.Pos) int {
-	n := 0
-	for _, st := range s.stores {
-		n += query.PatternVarNdv(st, p, pos)
-	}
-	if card := s.patternCard(p); n > card {
-		n = card
-	}
-	return n
-}
-
-// suffixOracle is the sharded mirror of query.SuffixEstimator: it
-// implements core's TippingOracle shape over set-level statistics, with the
-// prefix-adjacent branch resolved through the resolver (total candidate
-// width across shards).
-type suffixOracle struct {
+// resolverWidth adapts the set resolver to card.SpanResolver. The resolver
+// already reports width 1 for a satisfied membership step, matching the
+// single-store StoreResolver convention.
+type resolverWidth struct {
 	res *resolver
-	// factor[j] is the set-level card(G_j) / ∏ max(ndv_here, ndv_site)
-	// statistics contribution of step j when it is not prefix-adjacent.
-	factor []float64
-	// adjFrom[j] is the earliest prefix end at which all of step j's join
-	// variables are bound; len(Steps) when it has none.
-	adjFrom []int
 }
 
-func newSuffixOracle(res *resolver) *suffixOracle {
-	pl := res.pl
-	n := len(pl.Steps)
-	e := &suffixOracle{res: res, factor: make([]float64, n), adjFrom: make([]int, n)}
-	firstBound := make([]int, pl.NumVars())
-	for i := range pl.Steps {
-		for _, vp := range pl.Steps[i].NewVars {
-			firstBound[vp.Var] = i
-		}
-	}
-	set := res.set
-	ndvAtSite := func(v query.Var) int {
-		for s := range pl.Steps {
-			for _, vp := range pl.Steps[s].NewVars {
-				if vp.Var == v {
-					return set.patternVarNdv(pl.Steps[s].Pattern, vp.Pos)
-				}
-			}
-		}
-		return 1
-	}
-	for j := range pl.Steps {
-		st := &pl.Steps[j]
-		e.adjFrom[j] = n
-		if len(st.JoinVars) > 0 {
-			e.adjFrom[j] = 0
-			for _, jv := range st.JoinVars {
-				if fb := firstBound[jv.Var]; fb > e.adjFrom[j] {
-					e.adjFrom[j] = fb
-				}
-			}
-		}
-		f := float64(set.patternCard(st.Pattern))
-		for _, jv := range st.JoinVars {
-			ndvHere := set.patternVarNdv(st.Pattern, jv.Pos)
-			ndvThere := ndvAtSite(jv.Var)
-			d := ndvHere
-			if ndvThere > d {
-				d = ndvThere
-			}
-			if d > 0 {
-				f /= float64(d)
-			}
-		}
-		e.factor[j] = f
-	}
-	return e
-}
-
-// EstimateSuffix estimates the number of full paths extending a walk prefix
-// that has just completed step i under bindings b — query.SuffixEstimator
-// semantics over the union of shards.
-func (e *suffixOracle) EstimateSuffix(i int, b query.Bindings) float64 {
-	pl := e.res.pl
-	est := 1.0
+func (rw resolverWidth) ResolveWidth(step int, b query.Bindings) (float64, bool) {
 	var buf [8]subspan
-	for j := i + 1; j < len(pl.Steps); j++ {
-		if e.adjFrom[j] <= i {
-			_, total, ok := e.res.resolve(j, b, buf[:0])
-			if !ok {
-				return 0
-			}
-			st := &pl.Steps[j]
-			if st.Kind != query.AccessMembership {
-				est *= float64(total)
-			}
-			continue
-		}
-		est *= e.factor[j]
-		if est == 0 {
-			return 0
-		}
+	_, total, ok := rw.res.resolve(step, b, buf[:0])
+	return float64(total), ok
+}
+
+// setEstimator resolves the run's estimator: the caller's choice, or span
+// statistics over the whole set by default.
+func setEstimator(set *Set, est card.Estimator) card.Estimator {
+	if est != nil {
+		return est
 	}
-	return est
+	return card.NewSpanStats(set.stores...)
 }

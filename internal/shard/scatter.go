@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/core"
 	"kgexplore/internal/exec"
 	"kgexplore/internal/query"
@@ -31,6 +32,9 @@ type ScatterOptions struct {
 	// Entries must not be shared between strata: cached root counts are
 	// stratum-local.
 	Caches []*Cache
+	// Estimator drives every walker's tipping oracle and the per-stratum
+	// allocation weights; nil selects span statistics over the whole set.
+	Estimator card.Estimator
 }
 
 // ShardRunStats reports one stratum's share of a scatter-gather run.
@@ -41,10 +45,15 @@ type ShardRunStats struct {
 }
 
 // ScatterStats reports a whole run: per-stratum allocation and walk
-// counts, the summed suffix-cache traffic, and which distinct path ran.
+// counts, the summed suffix-cache traffic, merged tipping diagnostics,
+// and which distinct path ran.
 type ScatterStats struct {
 	PerShard []ShardRunStats `json:"per_shard"`
 	Cache    CacheStats      `json:"cache"`
+	// Estimator names the cardinality estimator the run used.
+	Estimator string `json:"estimator,omitempty"`
+	// Tips merges every walker's estimate-vs-actual tipping diagnostics.
+	Tips core.TipDiag `json:"tips"`
 	// OwnedDistinct marks a COUNT(DISTINCT) served by the stratified
 	// owned-variable estimator; ExactFallback marks one served by the
 	// exact union (Set.Exact) because the partition key does not own the
@@ -70,12 +79,14 @@ type Scatter struct {
 // NewScatter builds one walker per non-empty stratum. Distinct plans whose
 // variable the partition key does not own fail with ErrDistinctNotOwned.
 func NewScatter(set *Set, pl *query.Plan, opts ScatterOptions) (*Scatter, error) {
+	est := setEstimator(set, opts.Estimator)
 	s := &Scatter{}
 	for k := 0; k < set.K(); k++ {
 		w, err := NewWalker(set, pl, k, WalkerOptions{
 			Threshold: opts.Threshold,
 			Seed:      core.WorkerSeed(opts.Seed, k),
 			Cache:     cacheFor(opts.Caches, k),
+			Estimator: est,
 		})
 		if err != nil {
 			return nil, err
@@ -90,7 +101,7 @@ func NewScatter(set *Set, pl *query.Plan, opts ScatterOptions) (*Scatter, error)
 	if len(s.walkers) == 0 {
 		// Every stratum is empty. Keep one walker so Step still advances the
 		// walk counter (its walks all reject) and drivers terminate.
-		w, err := NewWalker(set, pl, 0, WalkerOptions{Threshold: opts.Threshold, Seed: opts.Seed})
+		w, err := NewWalker(set, pl, 0, WalkerOptions{Threshold: opts.Threshold, Seed: opts.Seed, Estimator: est})
 		if err != nil {
 			return nil, err
 		}
@@ -162,7 +173,8 @@ func (s *Scatter) Snapshot() wj.Result {
 // final snapshot so progressive consumers still complete.
 func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptions, xopts exec.Options) (wj.Result, ScatterStats, error) {
 	K := set.K()
-	sstats := ScatterStats{PerShard: make([]ShardRunStats, K)}
+	est := setEstimator(set, opts.Estimator)
+	sstats := ScatterStats{PerShard: make([]ShardRunStats, K), Estimator: est.Name()}
 
 	if pl.Query.Distinct && !Owned(pl) {
 		sstats.ExactFallback = true
@@ -208,6 +220,7 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 				Threshold: opts.Threshold,
 				Seed:      core.WorkerSeed(opts.Seed, widx),
 				Cache:     caches[k],
+				Estimator: est,
 			})
 			if err != nil {
 				return wj.Result{}, sstats, err
@@ -229,6 +242,7 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 			for _, w := range walkers[k] {
 				m.Merge(w.Acc())
 				sstats.PerShard[k].Tipped += w.Tipped()
+				sstats.Tips.Merge(w.TipDiag())
 			}
 			sstats.PerShard[k].Walks = m.N
 			accs = append(accs, m)

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
 	"kgexplore/internal/testkit"
@@ -174,9 +175,10 @@ func TestDistinctFallbackIsExact(t *testing.T) {
 }
 
 func TestSuffixOracleMatchesMonolith(t *testing.T) {
-	// At K=1 the set-level oracle must agree with query.SuffixEstimator on
-	// the initial (no bindings beyond the root) estimates; at K>1 the sums
-	// stay within rounding of the monolith because cardinalities add.
+	// At K=1 the set-level oracle must agree with the single-store suffix
+	// estimator on the initial (no bindings beyond the root) estimates; at
+	// K>1 the sums stay within rounding of the monolith because
+	// cardinalities add.
 	g := testkit.RandomGraph(13, 30, 3, 25, 400)
 	q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
 	pl, err := query.Compile(q)
@@ -184,7 +186,7 @@ func TestSuffixOracleMatchesMonolith(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := testkit.BuildStore(g)
-	mono := pl.NewSuffixEstimator(st)
+	mono := card.NewSpanStats(st).NewSuffix(pl, card.StoreResolver{Store: st, Plan: pl})
 	b := pl.NewBindings()
 	b.Reset()
 	// Bind the root from the full store and compare suffix estimates.
@@ -197,8 +199,9 @@ func TestSuffixOracleMatchesMonolith(t *testing.T) {
 	want := mono.Estimate(0, b)
 
 	s := buildSet(t, g, 4)
-	or := newSuffixOracle(newResolver(s, pl))
-	got := or.EstimateSuffix(0, b)
+	est := setEstimator(s, nil)
+	or := est.NewSuffix(pl, resolverWidth{newResolver(s, pl)})
+	got := or.Estimate(0, b)
 	if want == 0 {
 		if got != 0 {
 			t.Fatalf("oracle %v, monolith 0", got)

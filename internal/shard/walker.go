@@ -4,6 +4,8 @@ import (
 	"errors"
 	"math/rand"
 
+	"kgexplore/internal/card"
+	"kgexplore/internal/core"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
@@ -55,6 +57,11 @@ type WalkerOptions struct {
 	// Cache is the stratum's shared suffix cache; nil creates a private
 	// one. All walkers of one stratum's pool should share a Cache.
 	Cache *Cache
+	// Estimator drives the tipping oracle and the stratum's root-cardinality
+	// weight; nil selects span statistics over the whole set. Root counts are
+	// exact under every shipped estimator, so walk allocation does not depend
+	// on the choice.
+	Estimator card.Estimator
 }
 
 // Walker runs stratified Audit Join walks for ONE stratum of a sharded
@@ -73,7 +80,7 @@ type Walker struct {
 	pl      *query.Plan
 	stratum int
 	res     *resolver
-	oracle  *suffixOracle
+	oracle  card.Suffix
 	cache   *Cache
 	thresh  float64
 	rng     *rand.Rand
@@ -92,6 +99,9 @@ type Walker struct {
 
 	rootSpan index.Span
 	rootLen  int
+	// rootCard is the stratum weight reported to the scatter allocator,
+	// answered by the estimator (exactly, for both shipped estimators).
+	rootCard int
 
 	// owned-distinct state (see Owned): the access for the root pattern
 	// restricted to one subject value.
@@ -103,6 +113,7 @@ type Walker struct {
 	perGroupND map[rdf.ID]numDen
 
 	tipped int64
+	diag   core.TipDiag
 }
 
 type numDen struct{ num, den float64 }
@@ -118,12 +129,13 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 		cache = NewCache()
 	}
 	res := newResolver(set, pl)
+	est := setEstimator(set, opts.Estimator)
 	w := &Walker{
 		set:        set,
 		pl:         pl,
 		stratum:    stratum,
 		res:        res,
-		oracle:     newSuffixOracle(res),
+		oracle:     est.NewSuffix(pl, resolverWidth{res}),
 		cache:      cache,
 		thresh:     opts.Threshold,
 		rng:        rand.New(rand.NewSource(opts.Seed)),
@@ -149,6 +161,11 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 			w.rootLen = ss.Span.Len()
 		}
 	}
+	// The allocator weight comes from the estimator scoped to this stratum's
+	// store, not from the span directly: both shipped estimators answer root
+	// counts exactly, so this equals rootLen while keeping every budget
+	// decision behind the card layer.
+	w.rootCard = int(est.Scope(set.stores[stratum]).RootCount(pl).Value)
 
 	// ctj-style interface variables for suffix-cache keys.
 	n := len(pl.Steps)
@@ -190,8 +207,8 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 }
 
 // RootCard returns the stratum's root-pattern cardinality — the weight the
-// proportional walk allocation uses.
-func (w *Walker) RootCard() int { return w.rootLen }
+// proportional walk allocation uses — as answered by the estimator.
+func (w *Walker) RootCard() int { return w.rootCard }
 
 // Step performs one stratified walk.
 func (w *Walker) Step() {
@@ -232,12 +249,12 @@ func (w *Walker) Step() {
 			}
 		}
 		if i == last {
-			w.finish(i, b, prodD)
+			w.finish(i, b, prodD, 0, false)
 			return
 		}
-		if w.oracle.EstimateSuffix(i, b) <= w.thresh {
+		if est := w.oracle.Estimate(i, b); est <= w.thresh {
 			w.tipped++
-			w.finish(i, b, prodD)
+			w.finish(i, b, prodD, est, true)
 			return
 		}
 	}
@@ -333,8 +350,18 @@ func (w *Walker) computeGroups(v rdf.ID) groupEntry {
 // cache) the suffix aggregation beyond step i and credit each group with
 // its path count scaled by the sampled prefix's inverse probability ∏ d_j —
 // core.Runner's finish over the resolver instead of a single-store CTJ.
-func (w *Walker) finish(i int, b query.Bindings, prodD float64) {
+// Tipped walks additionally record the oracle's estimate against the exact
+// suffix size the aggregation just computed (free estimate-vs-actual
+// diagnostics, mirroring core.Runner).
+func (w *Walker) finish(i int, b query.Bindings, prodD, tipEst float64, tipped bool) {
 	agg := w.suffixAgg(i, b)
+	if tipped {
+		var actual float64
+		for _, e := range agg {
+			actual += float64(e.n)
+		}
+		w.diag.Observe(tipEst, actual)
+	}
 	if len(agg) == 0 {
 		w.acc.Rejected++
 		return
@@ -456,6 +483,9 @@ func (w *Walker) Acc() *wj.Acc { return w.acc }
 
 // Tipped returns how many walks switched to the exact finish.
 func (w *Walker) Tipped() int64 { return w.tipped }
+
+// TipDiag returns the walker's estimate-vs-actual tipping diagnostics.
+func (w *Walker) TipDiag() core.TipDiag { return w.diag }
 
 // Cache returns the stratum suffix cache in use.
 func (w *Walker) Cache() *Cache { return w.cache }

@@ -43,10 +43,19 @@ type Options struct {
 type Loaded struct {
 	Store *index.Store
 	Meta  Meta
+	// FormatVersion is the version stamped in the file's header (1 or 2),
+	// as opposed to snap.FormatVersion, the version the writer produces.
+	FormatVersion int
+	// SummaryBytes is the on-disk size of the graph-summary section; zero
+	// for version-1 files, where Store.Summary() rebuilds it on first use.
+	SummaryBytes int64
 	// Mmap reports whether the store aliases a live mapping.
 	Mmap    bool
 	mapping []byte
 }
+
+// HasSummary reports whether the snapshot carried a persisted graph summary.
+func (l *Loaded) HasSummary() bool { return l.SummaryBytes > 0 }
 
 // Close releases the mapping, if any. The store is invalid afterwards for
 // mmap loads; the caller is responsible for draining every reader first (see
@@ -124,6 +133,7 @@ func LoadBytes(data []byte) (*Loaded, error) {
 // table.
 type file struct {
 	data     []byte
+	version  uint16
 	sections map[uint32]sectionEntry
 }
 
@@ -137,8 +147,10 @@ func parseFile(data []byte, verifyPayloads bool) (*file, error) {
 	if string(data[:8]) != headerMagic {
 		return nil, fmt.Errorf("snap: not a store snapshot (bad magic)")
 	}
-	if v := binary.LittleEndian.Uint16(data[8:10]); v != formatVersion {
-		return nil, fmt.Errorf("snap: unsupported format version %d (want %d)", v, formatVersion)
+	version := binary.LittleEndian.Uint16(data[8:10])
+	if version < minFormatVersion || version > formatVersion {
+		return nil, fmt.Errorf("snap: unsupported format version %d (want %d..%d)",
+			version, minFormatVersion, formatVersion)
 	}
 	if data[10] != diskTripleSize || data[11] != diskSpanSize || data[12] != diskPredStatSize {
 		return nil, fmt.Errorf("snap: unexpected element sizes %d/%d/%d in header", data[10], data[11], data[12])
@@ -161,7 +173,7 @@ func parseFile(data []byte, verifyPayloads bool) (*file, error) {
 	if crc := crc32.Checksum(table, crcTable); crc != wantCRC {
 		return nil, fmt.Errorf("snap: section table checksum mismatch")
 	}
-	f := &file{data: data, sections: make(map[uint32]sectionEntry, count)}
+	f := &file{data: data, version: version, sections: make(map[uint32]sectionEntry, count)}
 	for i := uint32(0); i < count; i++ {
 		row := table[i*entrySize:]
 		e := sectionEntry{
@@ -281,6 +293,22 @@ func load(data []byte, alias, verifyPayloads bool) (*Loaded, error) {
 	if parts.Numeric, err = loadTyped[float64](f, secNumeric, 8, alias, decodeFloats); err != nil {
 		return nil, err
 	}
+	var summaryBytes int64
+	if e, present := f.sections[secSummary]; present {
+		// The summary is tiny relative to the index arrays, and DecodeSummary
+		// copies while validating structure, so even mmap loads decode it
+		// into private memory (the alias only backs the transient u64 view).
+		words, err := loadTyped[uint64](f, secSummary, 8, alias, decodeU64s)
+		if err != nil {
+			return nil, err
+		}
+		sum, err := index.DecodeSummary(words)
+		if err != nil {
+			return nil, fmt.Errorf("snap: summary section: %w", err)
+		}
+		parts.Summary = sum
+		summaryBytes = int64(e.size)
+	}
 
 	st, err := index.Restore(parts)
 	if err != nil {
@@ -289,7 +317,7 @@ func load(data []byte, alias, verifyPayloads bool) (*Loaded, error) {
 	if st.NumTriples() != meta.Triples {
 		return nil, fmt.Errorf("snap: meta says %d triples, sections hold %d", meta.Triples, st.NumTriples())
 	}
-	return &Loaded{Store: st, Meta: meta}, nil
+	return &Loaded{Store: st, Meta: meta, FormatVersion: int(f.version), SummaryBytes: summaryBytes}, nil
 }
 
 // loadTyped materializes one array section: a zero-copy alias over the image

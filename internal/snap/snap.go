@@ -16,7 +16,7 @@
 //
 //	offset 0:   header (16 bytes)
 //	              [8]byte magic "KGSNAP1\n"
-//	              u16 format version (currently 1)
+//	              u16 format version (currently 2; 1 still loads)
 //	              u8 triple size (12), u8 span size (16), u8 predstat size (24)
 //	              [3]byte zero
 //	offset 64:  sections, each aligned to a 64-byte boundary
@@ -32,7 +32,11 @@
 // never seeks. Section kinds cover the meta JSON, the dictionary, and per
 // order the sorted triples, the dense level-1 spans and the packed level-2
 // key/span arrays, plus the per-predicate statistics and the numeric-literal
-// cache.
+// cache. Format version 2 adds one optional section: the typed graph summary
+// behind the "summary" cardinality estimator (index.Summary, encoded as u64
+// words), so the estimator's build cost is paid at snapshot time rather than
+// on the serving path. Version-1 files carry no summary and still load; the
+// restored store rebuilds it lazily on first use.
 //
 // Copy loads verify every section checksum and re-encode into private
 // memory; mmap loads verify the header, footer and table, alias everything
@@ -61,7 +65,10 @@ const FormatVersion = formatVersion
 const (
 	headerMagic   = "KGSNAP1\n"
 	footerMagic   = "KGSNAPE\n"
-	formatVersion = 1
+	formatVersion = 2
+	// minFormatVersion is the oldest version Load still accepts. Version 1
+	// predates the graph-summary section and differs in nothing else.
+	minFormatVersion = 1
 
 	headerSize = 16
 	footerSize = 32
@@ -89,6 +96,7 @@ const (
 	secL2Spans   = 40 // 42, 43
 	secPredStats = 50
 	secNumeric   = 51
+	secSummary   = 60 // v2+: typed graph summary, u64 words (index.Summary)
 )
 
 // crcTable is the Castagnoli polynomial, hardware-accelerated on amd64 and
@@ -167,10 +175,32 @@ func (cw *countingWriter) pad() {
 	}
 }
 
+// WriteOptions configure Write.
+type WriteOptions struct {
+	// OmitSummary drops the graph-summary section and stamps the file as
+	// format version 1 — byte-compatible with pre-v2 writers. It exists for
+	// backward-compatibility tests and for callers that will never use the
+	// summary estimator and want neither the build time nor the bytes.
+	OmitSummary bool
+}
+
 // Write serializes the store as a snapshot. meta may be nil; counts are
 // filled in either way. The writer streams strictly forward (no seeking), so
 // w can be a pipe or a compressing writer as well as a file.
 func Write(w io.Writer, st *index.Store, meta *Meta) error {
+	return WriteOpts(w, st, meta, WriteOptions{})
+}
+
+// WriteOpts is Write with explicit options.
+func WriteOpts(w io.Writer, st *index.Store, meta *Meta, wo WriteOptions) error {
+	version := uint16(formatVersion)
+	if wo.OmitSummary {
+		version = 1
+	} else {
+		// Force the summary build before Parts() snapshots the field, so v2
+		// files always carry it (lazy rebuild is the v1-load path only).
+		st.Summary()
+	}
 	parts := st.Parts()
 	m := Meta{}
 	if meta != nil {
@@ -188,7 +218,7 @@ func Write(w io.Writer, st *index.Store, meta *Meta) error {
 
 	cw := &countingWriter{bw: bufio.NewWriterSize(w, 1<<20)}
 	cw.write([]byte(headerMagic))
-	cw.u16(formatVersion)
+	cw.u16(version)
 	cw.write([]byte{diskTripleSize, diskSpanSize, diskPredStatSize, 0, 0, 0})
 
 	var table []sectionEntry
@@ -215,6 +245,10 @@ func Write(w io.Writer, st *index.Store, meta *Meta) error {
 	}
 	section(secPredStats, len(parts.PredStats), func() { writePredStats(cw, parts.PredStats) })
 	section(secNumeric, len(parts.Numeric), func() { writeFloats(cw, parts.Numeric) })
+	if !wo.OmitSummary {
+		img := parts.Summary.EncodeU64()
+		section(secSummary, len(img), func() { writeU64s(cw, img) })
+	}
 
 	cw.pad()
 	tableOff := cw.off
@@ -241,13 +275,19 @@ func Write(w io.Writer, st *index.Store, meta *Meta) error {
 // WriteFile writes the snapshot atomically: to a temp file in the target
 // directory, synced, then renamed over path.
 func WriteFile(path string, st *index.Store, meta *Meta) error {
+	return WriteFileOpts(path, st, meta, WriteOptions{})
+}
+
+// WriteFileOpts is WriteFile with explicit WriteOptions (kgsnap build
+// -nosummary stamps version-1 snapshots for pre-v2 readers).
+func WriteFileOpts(path string, st *index.Store, meta *Meta, wo WriteOptions) error {
 	f, err := os.CreateTemp(dirOf(path), ".snap-*")
 	if err != nil {
 		return err
 	}
 	tmp := f.Name()
 	defer os.Remove(tmp) // no-op after the rename succeeds
-	if err := Write(f, st, meta); err != nil {
+	if err := WriteOpts(f, st, meta, wo); err != nil {
 		f.Close()
 		return err
 	}
@@ -360,6 +400,8 @@ func fmtKind(kind uint32) string {
 		return "predstats"
 	case kind == secNumeric:
 		return "numeric"
+	case kind == secSummary:
+		return "summary"
 	default:
 		return fmt.Sprintf("kind(%d)", kind)
 	}

@@ -1,0 +1,184 @@
+package snap
+
+import (
+	"bytes"
+	"encoding/binary"
+	"hash/crc32"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/testkit"
+)
+
+// TestSummaryRoundTrip checks that a v2 snapshot carries the typed graph
+// summary and both load modes restore it verbatim — no lazy rebuild.
+func TestSummaryRoundTrip(t *testing.T) {
+	g := testkit.RandomGraph(21, 40, 5, 30, 600)
+	st := index.Build(g)
+	want := st.Summary() // forces the build the writer would force anyway
+
+	path := filepath.Join(t.TempDir(), "store.kgs")
+	if err := WriteFile(path, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	in, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.FormatVersion != FormatVersion {
+		t.Errorf("Inspect version %d, want %d", in.FormatVersion, FormatVersion)
+	}
+	sec, ok := in.Section("summary")
+	if !ok {
+		t.Fatalf("v2 snapshot lacks a summary section: %+v", in.Sections)
+	}
+	if int(sec.Count) != len(want.EncodeU64()) {
+		t.Errorf("summary section holds %d words, encoding has %d", sec.Count, len(want.EncodeU64()))
+	}
+
+	for _, mode := range []Mode{ModeCopy, ModeAuto} {
+		l, err := LoadFile(path, Options{Mode: mode})
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if l.FormatVersion != FormatVersion {
+			t.Errorf("mode %v: FormatVersion = %d, want %d", mode, l.FormatVersion, FormatVersion)
+		}
+		if !l.HasSummary() || l.SummaryBytes != int64(sec.Size) {
+			t.Errorf("mode %v: SummaryBytes = %d, want %d", mode, l.SummaryBytes, sec.Size)
+		}
+		got := l.Store.Summary()
+		if !reflect.DeepEqual(got.EncodeU64(), want.EncodeU64()) {
+			t.Errorf("mode %v: restored summary differs from built one", mode)
+		}
+		l.Close()
+	}
+}
+
+// TestV1BackwardCompat pins the compatibility contract: OmitSummary writes a
+// version-1 file, which loads under the current reader with no summary
+// section, and the restored store rebuilds the summary lazily on first use.
+func TestV1BackwardCompat(t *testing.T) {
+	g := testkit.RandomGraph(23, 30, 4, 25, 400)
+	st := index.Build(g)
+
+	var buf bytes.Buffer
+	if err := WriteOpts(&buf, st, nil, WriteOptions{OmitSummary: true}); err != nil {
+		t.Fatal(err)
+	}
+	in, err := InspectBytes(buf.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.FormatVersion != 1 {
+		t.Errorf("OmitSummary wrote version %d, want 1", in.FormatVersion)
+	}
+	if _, ok := in.Section("summary"); ok {
+		t.Error("OmitSummary still wrote a summary section")
+	}
+
+	l, err := LoadBytes(buf.Bytes())
+	if err != nil {
+		t.Fatalf("v1 image rejected: %v", err)
+	}
+	if l.FormatVersion != 1 || l.HasSummary() {
+		t.Errorf("v1 load: FormatVersion=%d HasSummary=%v", l.FormatVersion, l.HasSummary())
+	}
+	want := index.BuildSummary(st)
+	got := l.Store.Summary() // lazy rebuild path
+	got.BuildMillis, want.BuildMillis = 0, 0
+	if !reflect.DeepEqual(got.EncodeU64(), want.EncodeU64()) {
+		t.Error("lazily rebuilt summary differs from a direct build")
+	}
+
+	// A v1 file must be byte-identical in its shared prefix semantics: the
+	// same store written with and without the summary differs only by the
+	// version stamp and the extra section.
+	var v2 bytes.Buffer
+	if err := Write(&v2, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	if v2.Len() <= buf.Len() {
+		t.Errorf("v2 file (%d bytes) not larger than v1 (%d bytes)", v2.Len(), buf.Len())
+	}
+}
+
+// TestUnknownVersionRejected guards the version window: a header from the
+// future must fail loudly, not misparse.
+func TestUnknownVersionRejected(t *testing.T) {
+	g := testkit.RandomGraph(27, 10, 2, 8, 40)
+	var buf bytes.Buffer
+	if err := Write(&buf, index.Build(g), nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[8] = 99 // format version u16 little-endian low byte
+	if _, err := LoadBytes(data); err == nil {
+		t.Error("future format version accepted")
+	}
+	if _, err := InspectBytes(data); err == nil {
+		t.Error("Inspect accepted a future format version")
+	}
+}
+
+// TestSummaryCorruptionDetected flips bytes inside the summary section:
+// checksum verification (copy loads, verified mmap loads) must reject the
+// image, and the error must name the section.
+func TestSummaryCorruptionDetected(t *testing.T) {
+	g := testkit.RandomGraph(31, 30, 4, 25, 400)
+	st := index.Build(g)
+	var buf bytes.Buffer
+	if err := Write(&buf, st, nil); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	in, err := InspectBytes(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sec, ok := in.Section("summary")
+	if !ok {
+		t.Fatal("no summary section")
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[sec.Off+sec.Size/2] ^= 0x10
+	_, err = LoadBytes(corrupt)
+	if err == nil {
+		t.Fatal("corrupted summary section loaded without error")
+	}
+	if want := "summary"; !bytes.Contains([]byte(err.Error()), []byte(want)) {
+		t.Errorf("error %q does not name the %s section", err, want)
+	}
+
+	// Structural corruption that keeps the checksum intact: rewrite the
+	// header word so DecodeSummary's validation, not the CRC, must catch it.
+	structural := append([]byte(nil), data...)
+	for i := 0; i < 8; i++ {
+		structural[int(sec.Off)+i] = 0xff // NumBuckets := 2^64-1
+	}
+	fixCRC(t, structural, sec)
+	if _, err := LoadBytes(structural); err == nil {
+		t.Error("structurally corrupt summary loaded without error")
+	}
+}
+
+// fixCRC recomputes one section's checksum in the table and the table's
+// checksum in the footer, so a test can make payload edits that only
+// structural validation can catch.
+func fixCRC(t *testing.T, data []byte, sec SectionInfo) {
+	t.Helper()
+	foot := data[len(data)-footerSize:]
+	tableOff := binary.LittleEndian.Uint64(foot[0:8])
+	count := int(binary.LittleEndian.Uint32(foot[8:12]))
+	for i := 0; i < count; i++ {
+		row := data[tableOff+uint64(i*entrySize):]
+		if binary.LittleEndian.Uint64(row[8:16]) == sec.Off {
+			crc := crc32.Checksum(data[sec.Off:sec.Off+sec.Size], crcTable)
+			binary.LittleEndian.PutUint32(row[4:8], crc)
+		}
+	}
+	table := data[tableOff : tableOff+uint64(count*entrySize)]
+	binary.LittleEndian.PutUint32(foot[12:16], crc32.Checksum(table, crcTable))
+}

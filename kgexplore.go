@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"kgexplore/internal/baseline"
+	"kgexplore/internal/card"
 	"kgexplore/internal/core"
 	"kgexplore/internal/ctj"
 	"kgexplore/internal/exec"
@@ -117,7 +118,54 @@ type (
 	// AuditJoinParallelStats reports per-worker and merged shared-cache
 	// statistics of a RunAuditJoinParallel call.
 	AuditJoinParallelStats = core.ParallelStats
+	// CardEstimator is the unified cardinality-estimation interface
+	// (internal/card): every planning, tipping and budget decision routes
+	// through one of its implementations.
+	CardEstimator = card.Estimator
+	// TipDiagnostics aggregates estimate-vs-actual observations at Audit
+	// Join tipping points.
+	TipDiagnostics = core.TipDiag
 )
+
+// Estimator names accepted by UseEstimator and the -estimator flags.
+const (
+	// EstimatorSpan is the default: exact span statistics composed under
+	// per-join-variable independence.
+	EstimatorSpan = card.EstimatorSpan
+	// EstimatorSummary is the typed graph summary: conditional fan-outs
+	// between characteristic-set buckets where the query shape allows.
+	EstimatorSummary = card.EstimatorSummary
+)
+
+// EstimatorByName constructs a named cardinality estimator over the
+// dataset's store ("" selects the default span statistics).
+func (d *Dataset) EstimatorByName(name string) (CardEstimator, error) {
+	return card.ByName(name, d.store)
+}
+
+// UseEstimator switches the dataset's planning, tipping and auto-mode
+// decisions to the named cardinality estimator. Call it during setup, before
+// the dataset is shared across goroutines.
+func (d *Dataset) UseEstimator(name string) error {
+	est, err := card.ByName(name, d.store)
+	if err != nil {
+		return err
+	}
+	d.est = est
+	return nil
+}
+
+// EstimatorName reports which cardinality estimator the dataset uses.
+func (d *Dataset) EstimatorName() string { return d.estimator().Name() }
+
+// estimator returns the configured estimator, defaulting to span statistics
+// (constructed fresh — SpanStats is stateless, so this never races).
+func (d *Dataset) estimator() CardEstimator {
+	if d.est != nil {
+		return d.est
+	}
+	return card.NewSpanStats(d.store)
+}
 
 // NewSharedCTJCache returns an empty shared CTJ cache; pass it via
 // AuditJoinOptions.Shared to warm-start runners across calls.
@@ -128,6 +176,9 @@ func NewSharedCTJCache() *SharedCTJCache { return ctj.NewSharedCache() }
 // across cores while cached suffix aggregates and path probabilities are
 // computed once per run, not once per worker.
 func (d *Dataset) RunAuditJoinParallel(ctx context.Context, pl *Plan, opts AuditJoinOptions, workers int, xopts DriveOptions) (EstimateResult, AuditJoinParallelStats, error) {
+	if opts.Estimator == nil {
+		opts.Estimator = d.est
+	}
 	return core.RunParallelStats(ctx, d.store, pl, opts, workers, xopts)
 }
 
@@ -247,7 +298,24 @@ func (s *StoreSnapshot) Close() error { return s.loaded.Close() }
 // orders, span levels, statistics and the numeric cache. Loading it skips
 // index.Build entirely, unlike the graph-level WriteSnapshot.
 func (d *Dataset) WriteStoreSnapshotFile(path, source string) error {
-	return snap.WriteFile(path, d.store, &snap.Meta{Source: source, CreatedUnix: time.Now().Unix()})
+	return d.WriteStoreSnapshotFileOpts(path, source, StoreSnapshotOptions{})
+}
+
+// StoreSnapshotOptions controls WriteStoreSnapshotFileOpts.
+type StoreSnapshotOptions struct {
+	// OmitSummary writes a version-1 snapshot without the typed graph
+	// summary section — byte-compatible with pre-v2 readers, at the cost of
+	// a lazy summary rebuild if the file is later served with -estimator
+	// summary.
+	OmitSummary bool
+}
+
+// WriteStoreSnapshotFileOpts is WriteStoreSnapshotFile with explicit options
+// (kgsnap build -nosummary).
+func (d *Dataset) WriteStoreSnapshotFileOpts(path, source string, o StoreSnapshotOptions) error {
+	return snap.WriteFileOpts(path, d.store,
+		&snap.Meta{Source: source, CreatedUnix: time.Now().Unix()},
+		snap.WriteOptions{OmitSummary: o.OmitSummary})
 }
 
 // LoadStoreSnapshotFile loads a store snapshot written by
@@ -272,8 +340,9 @@ func LoadStoreSnapshotFile(path string, mmap bool) (*StoreSnapshot, error) {
 	return &StoreSnapshot{Dataset: ds, Mmap: l.Mmap, Source: l.Meta.Source, loaded: l}, nil
 }
 
-// Explain renders a compiled plan's access paths and cardinality estimates.
-func (d *Dataset) Explain(pl *Plan) string { return pl.Explain(d.store) }
+// Explain renders a compiled plan's access paths and cardinality estimates
+// under the dataset's estimator.
+func (d *Dataset) Explain(pl *Plan) string { return pl.Explain(d.estimator()) }
 
 // Dataset is an indexed knowledge graph ready for exploration: the graph
 // with its subclass closure materialized, the four trie index orders, and
@@ -283,6 +352,9 @@ type Dataset struct {
 	graph  *rdf.Graph
 	store  *index.Store
 	schema explore.Schema
+	// est is the configured cardinality estimator; nil means the default
+	// span statistics (see UseEstimator).
+	est card.Estimator
 }
 
 // FromGraph prepares a dataset from a graph: it materializes the subclass
@@ -429,7 +501,7 @@ func (d *Dataset) Exact(pl *Plan, engine ExactEngine) (map[ID]float64, error) {
 func (d *Dataset) ExactCtx(ctx context.Context, pl *Plan, engine ExactEngine) (map[ID]float64, error) {
 	switch engine {
 	case EngineCTJ:
-		return ctj.EvaluateCtx(ctx, d.store, pl)
+		return ctj.EvaluateCtxEst(ctx, d.store, pl, d.est)
 	case EngineLFTJ:
 		return lftj.EvaluateCtx(ctx, d.store, pl)
 	case EngineBaseline:
@@ -465,14 +537,14 @@ func (d *Dataset) Auto(pl *Plan, budget time.Duration, seed int64) (AutoResult, 
 // ctx.Err(); a cancelled estimation branch returns the estimate accumulated
 // so far alongside ctx.Err().
 func (d *Dataset) AutoCtx(ctx context.Context, pl *Plan, budget time.Duration, seed int64) (AutoResult, error) {
-	if pl.EstimateJoinSize(d.store) <= AutoExactLimit {
-		counts, err := ctj.EvaluateCtx(ctx, d.store, pl)
+	if d.estimator().JoinSize(pl).Value <= AutoExactLimit {
+		counts, err := ctj.EvaluateCtxEst(ctx, d.store, pl, d.est)
 		if err != nil {
 			return AutoResult{}, err
 		}
 		return AutoResult{Counts: counts, Exact: true}, nil
 	}
-	r := core.New(d.store, pl, core.Options{Threshold: core.DefaultThreshold, Seed: seed})
+	r := core.New(d.store, pl, core.Options{Threshold: core.DefaultThreshold, Seed: seed, Estimator: d.est})
 	rep, err := exec.Drive(ctx, r, exec.Options{Budget: budget, Batch: 128})
 	snap := rep.Final
 	return AutoResult{Counts: snap.Estimates, CI: snap.CI, Walks: snap.Walks}, err
@@ -483,8 +555,13 @@ func (d *Dataset) NewWanderJoin(pl *Plan, seed int64) *WanderJoin {
 	return wj.New(d.store, pl, seed)
 }
 
-// NewAuditJoin creates an Audit Join estimator for the plan.
+// NewAuditJoin creates an Audit Join estimator for the plan. The dataset's
+// configured cardinality estimator drives the tipping oracle unless the
+// options name one explicitly.
 func (d *Dataset) NewAuditJoin(pl *Plan, opts AuditJoinOptions) *AuditJoin {
+	if opts.Estimator == nil {
+		opts.Estimator = d.est
+	}
 	return core.New(d.store, pl, opts)
 }
 
@@ -575,7 +652,11 @@ func (d *Dataset) Chart(s *ExploreState, op ExploreOp) ([]Bar, error) {
 	if err != nil {
 		return nil, err
 	}
-	return d.BarsOf(ctj.Evaluate(d.store, pl), nil), nil
+	counts, err := ctj.EvaluateCtxEst(context.Background(), d.store, pl, d.est)
+	if err != nil {
+		return nil, err
+	}
+	return d.BarsOf(counts, nil), nil
 }
 
 // BarsOf converts a per-group result (and optional CI map) into bars sorted

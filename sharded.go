@@ -3,7 +3,9 @@ package kgexplore
 import (
 	"context"
 
+	"kgexplore/internal/card"
 	"kgexplore/internal/explore"
+	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/shard"
 	"kgexplore/internal/sparql"
@@ -51,6 +53,34 @@ func NewShardCaches(k int) []*ShardCache {
 type ShardedDataset struct {
 	set    *shard.Set
 	schema explore.Schema
+	// est is the configured cardinality estimator over all shard stores; nil
+	// means the default span statistics (see UseEstimator).
+	est card.Estimator
+}
+
+// UseEstimator switches the sharded dataset's tipping and budget decisions
+// to the named cardinality estimator, constructed over all shard stores.
+// Call it during setup, before the dataset is shared across goroutines.
+func (d *ShardedDataset) UseEstimator(name string) error {
+	stores := make([]*index.Store, d.set.K())
+	for i := range stores {
+		stores[i] = d.set.Store(i)
+	}
+	est, err := card.ByName(name, stores...)
+	if err != nil {
+		return err
+	}
+	d.est = est
+	return nil
+}
+
+// EstimatorName reports which cardinality estimator the sharded dataset
+// uses.
+func (d *ShardedDataset) EstimatorName() string {
+	if d.est != nil {
+		return d.est.Name()
+	}
+	return EstimatorSpan
 }
 
 func newShardedDataset(set *shard.Set) (*ShardedDataset, error) {
@@ -158,6 +188,9 @@ func (d *ShardedDataset) ExactCtx(ctx context.Context, pl *Plan) (map[ID]float64
 // one walker per shard, stepped round-robin weighted by root cardinality.
 // Drive it with Drive or RunWalks; Snapshot merges the strata.
 func (d *ShardedDataset) NewScatter(pl *Plan, opts ShardScatterOptions) (*ShardScatter, error) {
+	if opts.Estimator == nil {
+		opts.Estimator = d.est
+	}
 	return shard.NewScatter(d.set, pl, opts)
 }
 
@@ -169,6 +202,9 @@ func (d *ShardedDataset) NewScatter(pl *Plan, opts ShardScatterOptions) (*ShardS
 // owned by the partition key fall back to the exact union (see
 // ShardScatterStats.ExactFallback).
 func (d *ShardedDataset) RunScatter(ctx context.Context, pl *Plan, opts ShardScatterOptions, xopts DriveOptions) (EstimateResult, ShardScatterStats, error) {
+	if opts.Estimator == nil {
+		opts.Estimator = d.est
+	}
 	return shard.RunScatter(ctx, d.set, pl, opts, xopts)
 }
 
