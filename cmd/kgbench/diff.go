@@ -1,0 +1,150 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// runDiff compares two kgbench JSON reports metric by metric and returns the
+// number of regressions past the relative threshold. Metrics whose names
+// encode a direction (walks_per_sec, *_err, *_ns, ...) regress only when they
+// move the bad way; directionless metrics are printed when they move but
+// never fail the diff. Intended for CI: kgbench -diff old.json new.json
+// exits non-zero when regressions > 0.
+func runDiff(w io.Writer, oldPath, newPath string, threshold float64) (int, error) {
+	oldM, err := loadFlat(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newM, err := loadFlat(newPath)
+	if err != nil {
+		return 0, err
+	}
+
+	keys := make([]string, 0, len(oldM))
+	for k := range oldM {
+		if _, ok := newM[k]; ok {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return 0, fmt.Errorf("diff: %s and %s share no numeric metrics", oldPath, newPath)
+	}
+
+	regressions := 0
+	moved := 0
+	for _, k := range keys {
+		ov, nv := oldM[k], newM[k]
+		rel := relChange(ov, nv)
+		if math.Abs(rel) <= threshold {
+			continue
+		}
+		moved++
+		switch dir := metricDirection(k); {
+		case dir > 0 && nv > ov: // higher is worse
+			regressions++
+			fmt.Fprintf(w, "REGRESSION %-50s %14.4g -> %-14.4g (%+.0f%%)\n", k, ov, nv, rel*100)
+		case dir < 0 && nv < ov: // lower is worse
+			regressions++
+			fmt.Fprintf(w, "REGRESSION %-50s %14.4g -> %-14.4g (%+.0f%%)\n", k, ov, nv, rel*100)
+		case dir != 0:
+			fmt.Fprintf(w, "improved   %-50s %14.4g -> %-14.4g (%+.0f%%)\n", k, ov, nv, rel*100)
+		default:
+			fmt.Fprintf(w, "changed    %-50s %14.4g -> %-14.4g (%+.0f%%)\n", k, ov, nv, rel*100)
+		}
+	}
+	fmt.Fprintf(w, "diff: %d shared metrics, %d moved past %.0f%%, %d regressions\n",
+		len(keys), moved, threshold*100, regressions)
+	return regressions, nil
+}
+
+// relChange is (new-old)/|old|; a metric appearing from zero counts as a
+// full-threshold move in the sign of the new value.
+func relChange(ov, nv float64) float64 {
+	if ov == 0 {
+		if nv == 0 {
+			return 0
+		}
+		return math.Copysign(math.Inf(1), nv)
+	}
+	return (nv - ov) / math.Abs(ov)
+}
+
+// metricDirection classifies a metric path by its last segment: +1 when a
+// higher value is a regression (errors, latencies, traffic, retries), -1
+// when a lower value is (throughput, ratios, cache hits), 0 when the
+// direction is unknown (configuration echoes like scale, seed, triples).
+func metricDirection(key string) int {
+	seg := key
+	if i := strings.LastIndexByte(seg, '.'); i >= 0 {
+		seg = seg[i+1:]
+	}
+	seg = strings.ToLower(seg)
+	switch {
+	case strings.Contains(seg, "err"),
+		strings.HasSuffix(seg, "_ns"),
+		strings.HasSuffix(seg, "millis"),
+		strings.Contains(seg, "bytes"),
+		strings.Contains(seg, "misses"),
+		strings.Contains(seg, "retries"),
+		strings.Contains(seg, "rejected"),
+		strings.Contains(seg, "walks_to_target"):
+		return 1
+	case strings.Contains(seg, "per_sec"),
+		strings.Contains(seg, "ratio"),
+		strings.Contains(seg, "hits"):
+		return -1
+	}
+	return 0
+}
+
+// loadFlat reads a JSON report and flattens it to dotted-path -> number,
+// e.g. rows.1.walks_per_sec. Non-numeric leaves are dropped.
+func loadFlat(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var v any
+	if err := json.Unmarshal(data, &v); err != nil {
+		return nil, fmt.Errorf("diff: %s: %w", path, err)
+	}
+	out := map[string]float64{}
+	flattenJSON("", v, out)
+	return out, nil
+}
+
+func flattenJSON(prefix string, v any, out map[string]float64) {
+	switch t := v.(type) {
+	case map[string]any:
+		for k, c := range t {
+			flattenJSON(joinPath(prefix, k), c, out)
+		}
+	case []any:
+		for i, c := range t {
+			flattenJSON(joinPath(prefix, strconv.Itoa(i)), c, out)
+		}
+	case float64:
+		out[prefix] = t
+	case bool:
+		if t {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+func joinPath(prefix, key string) string {
+	if prefix == "" {
+		return key
+	}
+	return prefix + "." + key
+}

@@ -50,8 +50,30 @@ func main() {
 		estBench   = flag.Bool("estbench", false, "run the cardinality-estimator benchmark (q-error and walks-to-target-CI, both estimators) and write -estout")
 		estOut     = flag.String("estout", "BENCH_estimate.json", "output path for -estbench")
 		estPaths   = flag.Int("estpaths", 12, "exploration paths in -estbench")
+		distBench  = flag.Bool("distbench", false, "run the distributed scatter-gather benchmark over spawned kgworker processes and write -distout")
+		distOut    = flag.String("distout", "BENCH_dist.json", "output path for -distbench")
+		distWalks  = flag.Int64("distwalks", 100000, "total walks per fleet width in -distbench")
+		distWorker = flag.String("distworker", "", "prebuilt kgworker binary for -distbench (default: go build it)")
+		diffMode   = flag.Bool("diff", false, "compare two kgbench JSON reports (kgbench -diff old.json new.json); exit 1 on regressions past -diffthreshold")
+		diffThresh = flag.Float64("diffthreshold", 0.25, "relative regression threshold for -diff")
 	)
 	flag.Parse()
+
+	if *diffMode {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "kgbench: -diff needs exactly two report paths: kgbench -diff old.json new.json")
+			os.Exit(2)
+		}
+		regressions, err := runDiff(os.Stdout, flag.Arg(0), flag.Arg(1), *diffThresh)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgbench: %v\n", err)
+			os.Exit(1)
+		}
+		if regressions > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	writeCSV := func(name string, fn func(w *os.File) error) {
 		if *csvDir == "" {
@@ -195,6 +217,12 @@ func main() {
 	if *estBench {
 		any = true
 		if err := runEstBench(w, *estOut, *scale, *seed, *estPaths); err != nil {
+			fail(err)
+		}
+	}
+	if *distBench {
+		any = true
+		if err := runDistBench(w, *distOut, *scale, *seed, *distWalks, *distWorker); err != nil {
 			fail(err)
 		}
 	}

@@ -9,6 +9,10 @@
 //	kgserver -snapshot data.kgs -addr :8080      # mmap'ed store snapshot
 //	kgserver -snapshot data.kgm -addr :8080      # sharded store set (kgsnap shard)
 //	kgserver -gen dbpedia -shards 4 -addr :8080  # shard in-process, scatter-gather aj
+//	kgserver -snapshot data.kgm -workers a:7070,b:7070 -addr :8080
+//	                                             # distributed: scatter over a kgworker fleet
+//	kgserver -snapshot data.kgm -workers manifest -addr :8080
+//	                                             # fleet addresses from the manifest (kgsnap shard -workers)
 //
 // Then open http://localhost:8080/ for the UI, or use the API:
 //
@@ -26,6 +30,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net/http"
@@ -51,8 +56,17 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	estimator := flag.String("estimator", "", "cardinality estimator: "+
 		kgexplore.EstimatorSpan+" (default) or "+kgexplore.EstimatorSummary)
+	workers := flag.String("workers", "", "comma-separated kgworker addresses (requires -snapshot FILE.kgm); "+
+		`"manifest" uses the addresses recorded in the manifest`)
 	flag.Parse()
 
+	if *workers != "" {
+		if *snapshot == "" || !strings.HasSuffix(*snapshot, ".kgm") {
+			fatal(fmt.Errorf("-workers requires -snapshot pointing at a .kgm shard manifest"))
+		}
+		serveDist(*snapshot, *workers, *addr, *estimator, *adminOn, *pprofOn)
+		return
+	}
 	if *snapshot != "" && strings.HasSuffix(*snapshot, ".kgm") {
 		serveSharded(*snapshot, *snapMode, *addr, *estimator, *adminOn, *pprofOn)
 		return
@@ -150,6 +164,44 @@ func serveSharded(path, snapMode, addr, estimator string, adminOn, pprofOn bool)
 	srv.EnableAdmin = adminOn
 	fmt.Fprintf(os.Stderr, "kgserver: %d triples in %d shards ready in %dms (sharded from %s); listening on %s\n",
 		prov.Triples, prov.Shards, prov.LoadMillis, prov.Source, addr)
+	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
+		fatal(err)
+	}
+}
+
+// serveDist serves a shard set through a kgworker fleet: the coordinator
+// scatters chart runs across the workers, /healthz polls their stats, and
+// with -admin POST /admin/swap performs the epoch-coordinated fleet-wide
+// hot swap.
+func serveDist(manifest, workers, addr, estimator string, adminOn, pprofOn bool) {
+	var addrs []string // nil = the manifest's recorded placement
+	if workers != "manifest" {
+		addrs = strings.Split(workers, ",")
+	}
+	start := time.Now()
+	dds, err := kgexplore.DialDistDataset(context.Background(), manifest, addrs)
+	if err != nil {
+		fatal(err)
+	}
+	if estimator != "" {
+		if err := dds.UseEstimator(estimator); err != nil {
+			fatal(err)
+		}
+	}
+	prov := server.Provenance{
+		Source:     manifest,
+		Kind:       "distributed",
+		Triples:    dds.NumTriples(),
+		Shards:     dds.NumShards(),
+		Workers:    len(dds.Workers()),
+		LoadMillis: time.Since(start).Milliseconds(),
+	}
+	srv := server.NewDist(dds, prov)
+	srv.Estimator = estimator
+	srv.EnablePprof = pprofOn
+	srv.EnableAdmin = adminOn
+	fmt.Fprintf(os.Stderr, "kgserver: %d triples in %d shards across %d workers ready in %dms (distributed from %s); listening on %s\n",
+		prov.Triples, prov.Shards, prov.Workers, prov.LoadMillis, manifest, addr)
 	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
 		fatal(err)
 	}

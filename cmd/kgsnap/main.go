@@ -45,7 +45,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   kgsnap build -load FILE | -gen dbpedia|lgd [-scale S] [-nosummary] -out FILE.kgs
-  kgsnap shard -load FILE | -gen dbpedia|lgd [-scale S] -shards K [-partitioner P] -out FILE.kgm
+  kgsnap shard -load FILE | -gen dbpedia|lgd [-scale S] -shards K [-partitioner P] [-workers A,B,...] -out FILE.kgm
   kgsnap info FILE.kgs|FILE.kgm     # header, metadata and section table
   kgsnap verify FILE.kgs|FILE.kgm   # full checksum + structural verification
 `)
@@ -114,6 +114,7 @@ func shardBuild(args []string) {
 	scale := fs.Float64("scale", 0.05, "scale for -gen")
 	shards := fs.Int("shards", 4, "number of shards")
 	partitioner := fs.String("partitioner", "", "partitioner (default "+kgexplore.DefaultPartitioner+")")
+	workers := fs.String("workers", "", "comma-separated kgworker addresses, one per shard, recorded as placement metadata")
 	out := fs.String("out", "", "output manifest path (.kgm); shard .kgs files land next to it")
 	fs.Parse(args)
 	if *out == "" || (*load == "") == (*gen == "") {
@@ -135,6 +136,11 @@ func shardBuild(args []string) {
 	m, err := sds.WriteShardedSnapshots(*out, source)
 	if err != nil {
 		fatal(err)
+	}
+	if *workers != "" {
+		if m, err = kgexplore.SetShardWorkers(*out, strings.Split(*workers, ",")); err != nil {
+			fatal(err)
+		}
 	}
 	fmt.Printf("kgsnap: %d triples in %d shards (%s) built in %v, written to %s in %v\n",
 		sds.NumTriples(), m.Shards, m.Partitioner, built.Round(time.Millisecond), *out,
@@ -180,7 +186,11 @@ func shardInspect(path string, verify bool) {
 		fmt.Printf("  created:     %s\n", time.Unix(m.CreatedUnix, 0).UTC().Format(time.RFC3339))
 	}
 	for i, f := range m.Files {
-		fmt.Printf("  shard %2d:    %s (%d triples)\n", i, f.Path, f.Triples)
+		worker := ""
+		if i < len(m.Workers) {
+			worker = "  @ " + m.Workers[i]
+		}
+		fmt.Printf("  shard %2d:    %s (%d triples)%s\n", i, f.Path, f.Triples, worker)
 	}
 	if verify {
 		fmt.Printf("  verified:    checksums and partition placement OK (%v)\n", elapsed.Round(time.Millisecond))

@@ -1,0 +1,93 @@
+// Command kgworker serves one shard of a .kgm shard set as a network
+// service: walk execution for its strata, span resolution for peers'
+// cross-shard steps, the exact CTJ fallback, health stats, and the
+// epoch-coordinated hot swap. A kgserver -workers fleet (or any
+// dist.Coordinator) scatters stratified Audit Join runs across kgworkers
+// and gathers the merged confidence intervals.
+//
+// Placement: by default the worker loads the WHOLE set (replicate) — on a
+// single box the mmap'ed snapshots share the page cache between workers,
+// so this costs address space, not memory, and it lets the coordinator
+// re-allocate a lost worker's stratum to any survivor. With -own the
+// worker loads only its own shard and resolves cross-shard steps through
+// the peer workers named by -peers (or the manifest's workers list).
+//
+// Usage:
+//
+//	kgworker -manifest data.kgm -shard 0 -addr :7070
+//	kgworker -manifest data.kgm -shard 1 -addr :0            # prints the port
+//	kgworker -manifest data.kgm -shard 2 -own -peers a:1,b:2,c:3,d:4
+//
+// The worker trusts its peers (see internal/dist's trust model): deploy it
+// on an isolated network, never on a public address.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+
+	"kgexplore/internal/dist"
+)
+
+func main() {
+	manifest := flag.String("manifest", "", "shard manifest path (.kgm)")
+	shardN := flag.Int("shard", 0, "shard index this worker serves")
+	addr := flag.String("addr", "127.0.0.1:0", "listen address (use :0 to pick a free port, printed on stdout)")
+	own := flag.Bool("own", false, "load only the own shard; resolve cross-shard steps via -peers")
+	peers := flag.String("peers", "", "comma-separated worker addresses, one per shard (with -own; default: the manifest's workers list)")
+	copyLoad := flag.Bool("copy", false, "verified copy loads instead of mmap")
+	flag.Parse()
+	if *manifest == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := dist.WorkerOptions{
+		Manifest: *manifest,
+		Shard:    *shardN,
+		Own:      *own,
+		Copy:     *copyLoad,
+	}
+	if *peers != "" {
+		opts.Peers = strings.Split(*peers, ",")
+	}
+	w, err := dist.NewWorker(opts)
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fatal(err)
+	}
+	// The resolved address line is machine-readable on purpose: kgbench
+	// -distbench and scripts scrape it to learn the picked port under :0.
+	fmt.Printf("kgworker: listening on %s\n", ln.Addr())
+	placement := "replicate"
+	if *own {
+		placement = "own"
+	}
+	fmt.Printf("kgworker: serving shard %d of %s (%s placement)\n", *shardN, *manifest, placement)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Println("kgworker: shutting down")
+		w.Close()
+	}()
+
+	if err := w.Serve(ln); err != nil && !errors.Is(err, net.ErrClosed) {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "kgworker: %v\n", err)
+	os.Exit(1)
+}

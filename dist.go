@@ -1,0 +1,240 @@
+package kgexplore
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"kgexplore/internal/card"
+	"kgexplore/internal/dist"
+	"kgexplore/internal/explore"
+	"kgexplore/internal/query"
+	"kgexplore/internal/shard"
+	"kgexplore/internal/snap"
+	"kgexplore/internal/sparql"
+)
+
+// Re-exported distributed scatter-gather types (internal/dist).
+type (
+	// DistRunOptions configure one distributed scatter-gather run.
+	DistRunOptions = dist.RunOptions
+	// DistRunStats extends the scatter statistics with distribution
+	// telemetry: which worker served each stratum, retries, wire bytes.
+	DistRunStats = dist.RunStats
+	// DistRetryRecord documents one stratum re-allocation after worker loss.
+	DistRetryRecord = dist.RetryRecord
+	// DistWorkerHealth is one fleet member's health snapshot.
+	DistWorkerHealth = dist.WorkerHealth
+	// DistWorkerStats is a worker's self-reported statistics.
+	DistWorkerStats = dist.WorkerStats
+)
+
+// DistDataset is the distributed counterpart of ShardedDataset: the shards
+// live in kgworker processes reached over the wire, and online aggregation
+// runs as coordinator-driven scatter-gather with stratified budget
+// allocation, progressive merged snapshots, and stratum re-allocation on
+// worker loss. Exploration (parsing, compiling, charts) runs locally against
+// the shared dictionary, loaded once from the first shard's snapshot —
+// every shard of a set carries the full dictionary.
+//
+// Like its in-process siblings, a DistDataset is safe for concurrent
+// readers once constructed; Close releases the local dictionary mapping
+// (the workers own their stores).
+type DistDataset struct {
+	co     *dist.Coordinator
+	dict   *Dict
+	schema explore.Schema
+	local  *snap.Loaded
+
+	manifest   ShardManifest
+	triples    int
+	indexBytes int64
+	// estimator is the cardinality estimator name sent to workers with
+	// every run ("" = span statistics); workers construct it over their own
+	// stores.
+	estimator string
+}
+
+// DialDistDataset connects a coordinator to a kgworker fleet serving the
+// shard set described by manifestPath. workers lists the fleet addresses;
+// nil falls back to the manifest's recorded placement (kgsnap shard
+// -workers). The manifest must be readable locally — the shared dictionary
+// is loaded from the first shard's snapshot — and the fleet must agree with
+// it on shard count and dictionary length.
+func DialDistDataset(ctx context.Context, manifestPath string, workers []string) (*DistDataset, error) {
+	m, err := shard.ReadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if workers == nil {
+		workers = m.Workers
+	}
+	if len(workers) == 0 {
+		return nil, fmt.Errorf("kgexplore: no worker addresses given and manifest %s records none", manifestPath)
+	}
+	co, err := dist.Dial(ctx, workers)
+	if err != nil {
+		return nil, err
+	}
+	d, err := newDistLocal(co, manifestPath, m)
+	if err != nil {
+		return nil, err
+	}
+	return d, nil
+}
+
+// newDistLocal builds the local half of a DistDataset — dictionary, schema,
+// manifest bookkeeping — over an already-dialed coordinator.
+func newDistLocal(co *dist.Coordinator, manifestPath string, m ShardManifest) (*DistDataset, error) {
+	if co.K() != m.Shards {
+		return nil, fmt.Errorf("kgexplore: fleet serves %d shards, manifest %s describes %d", co.K(), manifestPath, m.Shards)
+	}
+	dir := filepath.Dir(manifestPath)
+	l, err := snap.LoadFile(filepath.Join(dir, m.Files[0].Path), snap.Options{Mode: snap.ModeAuto})
+	if err != nil {
+		return nil, fmt.Errorf("kgexplore: loading shared dictionary from shard 0: %w", err)
+	}
+	dict := l.Store.Dict()
+	if dict.Len() != co.DictLen() {
+		l.Close()
+		return nil, fmt.Errorf("kgexplore: local dictionary has %d terms, fleet reports %d — manifest and fleet serve different sets",
+			dict.Len(), co.DictLen())
+	}
+	schema, err := explore.SchemaOf(dict, RootThing)
+	if err != nil {
+		l.Close()
+		return nil, err
+	}
+	d := &DistDataset{co: co, dict: dict, schema: schema, local: l, manifest: m}
+	for _, f := range m.Files {
+		d.triples += f.Triples
+		if fi, err := os.Stat(filepath.Join(dir, f.Path)); err == nil {
+			d.indexBytes += fi.Size()
+		}
+	}
+	return d, nil
+}
+
+// Close releases the local dictionary mapping. The workers' stores are
+// theirs to close.
+func (d *DistDataset) Close() error { return d.local.Close() }
+
+// NumShards returns the fleet's shard count K.
+func (d *DistDataset) NumShards() int { return d.co.K() }
+
+// NumTriples returns the total triple count across shards, per the manifest.
+func (d *DistDataset) NumTriples() int { return d.triples }
+
+// IndexBytes reports the on-disk size of the shard snapshots the fleet
+// serves (the local stat of the manifest's files; 0 for files not present
+// on this machine).
+func (d *DistDataset) IndexBytes() int64 { return d.indexBytes }
+
+// Workers returns the fleet's worker addresses.
+func (d *DistDataset) Workers() []string { return d.co.Workers() }
+
+// Dict returns the shared term dictionary.
+func (d *DistDataset) Dict() *Dict { return d.dict }
+
+// Root returns the initial exploration state: the root class bar.
+func (d *DistDataset) Root() *ExploreState { return explore.Root(d.schema) }
+
+// ParseQuery parses a query in the SPARQL fragment of Fig. 4. Constants are
+// interned into the shared dictionary, which the fleet's workers share by
+// construction — interning can only find existing terms or append new ones
+// that no worker-side plan will ever resolve, so it stays coherent.
+func (d *DistDataset) ParseQuery(src string) (*ParsedQuery, error) {
+	return sparql.Parse(src, d.dict)
+}
+
+// Compile plans a query for execution (the same planner the workers run;
+// the plan's Query travels over the wire and is re-planned worker-side).
+func (d *DistDataset) Compile(q *Query) (*Plan, error) { return query.Compile(q) }
+
+// BarsOf converts a per-group result (and optional CI map) into bars sorted
+// by descending count, decoding group IDs through the shared dictionary.
+func (d *DistDataset) BarsOf(counts map[ID]float64, ci map[ID]float64) []Bar {
+	return barsOf(d.dict, counts, ci)
+}
+
+// UseEstimator switches the fleet's tipping and budget decisions to the
+// named cardinality estimator. The name is validated locally and sent with
+// every run; each worker constructs the estimator over its own stores.
+func (d *DistDataset) UseEstimator(name string) error {
+	if _, err := card.ByName(name, d.local.Store); err != nil {
+		return err
+	}
+	d.estimator = name
+	return nil
+}
+
+// EstimatorName reports which cardinality estimator the fleet's runs use.
+func (d *DistDataset) EstimatorName() string {
+	if d.estimator != "" {
+		return d.estimator
+	}
+	return EstimatorSpan
+}
+
+// RunDist executes one distributed scatter-gather Audit Join over the
+// fleet, with shard.RunScatter's contract: xopts.MaxWalks is the total walk
+// budget split across strata proportionally to root cardinality,
+// progressive snapshots merge all strata through xopts.OnSnapshot, and the
+// final CIs merge with stratified variance. On worker loss the lost stratum
+// re-runs on a survivor (see DistRunStats.Reallocations).
+func (d *DistDataset) RunDist(ctx context.Context, pl *Plan, opts DistRunOptions, xopts DriveOptions) (EstimateResult, DistRunStats, error) {
+	if opts.Estimator == "" {
+		opts.Estimator = d.estimator
+	}
+	return d.co.Run(ctx, pl.Query, opts, xopts)
+}
+
+// ExactCtx evaluates the plan exactly on one worker (replicate workers hold
+// the whole set; own-placement workers reach peers through their hybrid
+// resolver), retrying on worker loss, with cooperative cancellation.
+func (d *DistDataset) ExactCtx(ctx context.Context, pl *Plan) (map[ID]float64, error) {
+	return d.co.Exact(ctx, pl.Query, 0)
+}
+
+// Health polls every worker's stats in parallel. A worker previously marked
+// down that answers rejoins the coordinator's live pool.
+func (d *DistDataset) Health(ctx context.Context) []DistWorkerHealth {
+	return d.co.Health(ctx)
+}
+
+// Retries returns the fleet-lifetime count of stratum re-allocations after
+// worker loss.
+func (d *DistDataset) Retries() int64 { return d.co.Retries() }
+
+// TotalRuns returns the fleet-lifetime distributed run count.
+func (d *DistDataset) TotalRuns() int64 { return d.co.TotalRuns() }
+
+// SwapAll hot-swaps the whole fleet to a new manifest with epoch
+// coordination — every worker prepares the new set, the swap aborts
+// all-or-nothing if any preparation fails or the prepared epochs disagree,
+// then all commit and drain their old epochs. The manifest path must be
+// valid on every worker's filesystem and locally (the shared dictionary is
+// reloaded from the new set's first shard).
+//
+// On success it returns a NEW DistDataset over the same coordinator; the
+// old one keeps answering dictionary lookups for in-flight requests and
+// must be Closed once they drain. If the fleet commits but the local
+// reload fails, the error is returned and the old DistDataset is stale —
+// its dictionary no longer matches the fleet — so the caller should retry
+// the local load or stop serving.
+func (d *DistDataset) SwapAll(ctx context.Context, manifestPath string, mmap bool) (*DistDataset, error) {
+	m, err := shard.ReadManifest(manifestPath)
+	if err != nil {
+		return nil, err
+	}
+	if err := d.co.SwapAll(ctx, manifestPath, mmap); err != nil {
+		return nil, err
+	}
+	nd, err := newDistLocal(d.co, manifestPath, m)
+	if err != nil {
+		return nil, fmt.Errorf("kgexplore: fleet swapped but the local reload failed (old dictionary is stale): %w", err)
+	}
+	nd.estimator = d.estimator
+	return nd, nil
+}

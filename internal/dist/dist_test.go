@@ -1,0 +1,573 @@
+package dist
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"kgexplore/internal/exec"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/shard"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/wj"
+)
+
+// writeFixtureSet shards the graph K ways and writes the .kgm set into a
+// temp dir, returning the manifest path.
+func writeFixtureSet(t *testing.T, g *rdf.Graph, k int) string {
+	t.Helper()
+	part, err := shard.PartitionerByName("")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := shard.Build(g, k, part)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "set.kgm")
+	if _, err := shard.WriteSet(path, s, "dist-fixture"); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// startWorker brings up one in-process worker on a loopback port.
+func startWorker(t *testing.T, opts WorkerOptions) (*Worker, string) {
+	t.Helper()
+	w, err := NewWorker(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go w.Serve(ln)
+	t.Cleanup(func() { w.Close() })
+	return w, ln.Addr().String()
+}
+
+// startFleet starts n replicate-placement workers over one manifest.
+func startFleet(t *testing.T, manifest string, n, k int) ([]*Worker, []string) {
+	t.Helper()
+	workers := make([]*Worker, n)
+	addrs := make([]string, n)
+	for i := range workers {
+		workers[i], addrs[i] = startWorker(t, WorkerOptions{Manifest: manifest, Shard: i % k})
+	}
+	return workers, addrs
+}
+
+func mustDial(t *testing.T, addrs []string) *Coordinator {
+	t.Helper()
+	c, err := Dial(context.Background(), addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func resultsEqual(a, b wj.Result, eps float64) bool {
+	return testkit.MapsEqual(a.Estimates, b.Estimates, eps) && testkit.MapsEqual(a.CI, b.CI, eps)
+}
+
+// TestDistributedEquivalence is the seeded equivalence acceptance test:
+// distributed Audit Join over N ∈ {1,2,4} localhost workers must produce
+// the SAME estimates as in-process RunScatter on the same .kgm — the
+// coordinator replicates RunScatter's seed derivation and quota math, so a
+// MaxWalks-driven run is bit-identical, not merely statistically close.
+func TestDistributedEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(42, 50, 4, 40, 700)
+	q := testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false)
+	const K = 4
+
+	manifest := writeFixtureSet(t, g, K)
+	set, err := shard.Load(manifest, shard.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, wps := range []int{1, 2} {
+		xo := exec.Options{MaxWalks: 4000, Batch: 64}
+		want, wantStats, err := shard.RunScatter(context.Background(), set, pl,
+			shard.ScatterOptions{Seed: 42, WorkersPerShard: wps}, xo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, n := range []int{1, 2, 4} {
+			_, addrs := startFleet(t, manifest, n, K)
+			c := mustDial(t, addrs)
+			got, gotStats, err := c.Run(context.Background(), q,
+				RunOptions{Seed: 42, WorkersPerShard: wps}, xo)
+			if err != nil {
+				t.Fatalf("wps=%d N=%d: %v", wps, n, err)
+			}
+			if !resultsEqual(got, want, 0) {
+				t.Fatalf("wps=%d N=%d: distributed %v ± %v, in-process %v ± %v",
+					wps, n, got.Estimates, got.CI, want.Estimates, want.CI)
+			}
+			if got.Walks != want.Walks {
+				t.Fatalf("wps=%d N=%d: %d walks, in-process did %d", wps, n, got.Walks, want.Walks)
+			}
+			if gotStats.Retries != 0 || len(gotStats.Reallocations) != 0 {
+				t.Fatalf("wps=%d N=%d: unexpected retries %+v", wps, n, gotStats.Reallocations)
+			}
+			if !reflect.DeepEqual(perShardWalks(gotStats.ScatterStats), perShardWalks(wantStats)) {
+				t.Fatalf("wps=%d N=%d: per-shard walks %v, in-process %v",
+					wps, n, perShardWalks(gotStats.ScatterStats), perShardWalks(wantStats))
+			}
+		}
+	}
+}
+
+func perShardWalks(s shard.ScatterStats) []int64 {
+	out := make([]int64, len(s.PerShard))
+	for i, ps := range s.PerShard {
+		out[i] = ps.Walks
+	}
+	return out
+}
+
+// TestDistributedOwnedDistinctEquivalence covers the COUNT(DISTINCT)
+// stratified path over the wire, including the distinct-mode accumulator
+// codec.
+func TestDistributedOwnedDistinctEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(17, 40, 4, 30, 500)
+	const K = 2
+	// s -p40-> x -p41-> y grouped by s, distinct y, beta owned by subject:
+	// reuse the shard package's fixture shape — a chain whose distinct
+	// variable is the root subject is always owned.
+	q := testkit.ChainQuery(g, []rdf.ID{40, 41}, true, false)
+	q.Distinct = true
+	q.Beta = 0 // distinct over the root subject: owned by the partition key
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !shard.Owned(pl) {
+		t.Skip("fixture not owned; skipping")
+	}
+
+	manifest := writeFixtureSet(t, g, K)
+	set, err := shard.Load(manifest, shard.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	xo := exec.Options{MaxWalks: 3000, Batch: 64}
+	want, wantStats, err := shard.RunScatter(context.Background(), set, pl,
+		shard.ScatterOptions{Seed: 7}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !wantStats.OwnedDistinct {
+		t.Fatal("fixture did not take the owned-distinct path")
+	}
+
+	_, addrs := startFleet(t, manifest, 2, K)
+	c := mustDial(t, addrs)
+	got, gotStats, err := c.Run(context.Background(), q, RunOptions{Seed: 7}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotStats.OwnedDistinct || gotStats.ExactFallback {
+		t.Fatalf("distributed run took the wrong distinct path: %+v", gotStats.ScatterStats)
+	}
+	if !resultsEqual(got, want, 0) {
+		t.Fatalf("distributed %v ± %v, in-process %v ± %v", got.Estimates, got.CI, want.Estimates, want.CI)
+	}
+}
+
+// TestDistributedExactFallback covers the not-owned COUNT(DISTINCT) path:
+// the coordinator delegates the exact union to one worker.
+func TestDistributedExactFallback(t *testing.T) {
+	g := testkit.RandomGraph(11, 30, 3, 25, 350)
+	q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, true)
+	want := testkit.BruteForce(g, q)
+	const K = 2
+
+	manifest := writeFixtureSet(t, g, K)
+	_, addrs := startFleet(t, manifest, 2, K)
+	c := mustDial(t, addrs)
+	got, gotStats, err := c.Run(context.Background(), q, RunOptions{}, exec.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !gotStats.ExactFallback {
+		t.Fatalf("expected the exact fallback, got %+v", gotStats.ScatterStats)
+	}
+	if !testkit.MapsEqual(got.Estimates, want, 1e-9) {
+		t.Fatalf("exact fallback %v, want %v", got.Estimates, want)
+	}
+}
+
+// TestWorkerLossRetry is the failure-injection acceptance test: killing
+// one of four workers mid-run must still complete with a valid estimate
+// and CI, with the retry surfaced in the run stats.
+func TestWorkerLossRetry(t *testing.T) {
+	g := testkit.RandomGraph(5, 50, 4, 40, 800)
+	q := testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false)
+	const K = 4
+
+	manifest := writeFixtureSet(t, g, K)
+	workers, addrs := startFleet(t, manifest, 4, K)
+	// Worker 2 dies right after its first streamed snapshot.
+	workers[2].SetFaults(Faults{KillAfterSnaps: 1, Stratum: -1})
+
+	c := mustDial(t, addrs)
+	// Budget-driven (no MaxWalks): every stratum keeps walking well past
+	// the first snapshot tick, so the kill fault is guaranteed to fire.
+	xo := exec.Options{Budget: 400 * time.Millisecond, Batch: 64, Interval: 5 * time.Millisecond}
+	got, rstats, err := c.Run(context.Background(), q, RunOptions{Seed: 9}, xo)
+	if err != nil {
+		t.Fatalf("run did not survive the worker loss: %v", err)
+	}
+	if rstats.Retries < 1 || len(rstats.Reallocations) < 1 {
+		t.Fatalf("worker loss not recorded: retries=%d reallocations=%v", rstats.Retries, rstats.Reallocations)
+	}
+	rec := rstats.Reallocations[0]
+	if rec.From != addrs[2] {
+		t.Fatalf("reallocation records loss of %s, killed %s", rec.From, addrs[2])
+	}
+	if rec.To == addrs[2] || rec.To == "" {
+		t.Fatalf("stratum re-allocated to %q", rec.To)
+	}
+	for a, est := range got.Estimates {
+		if math.IsNaN(est) || math.IsInf(est, 0) {
+			t.Fatalf("group %d estimate %v after retry", a, est)
+		}
+		if ci := got.CI[a]; math.IsNaN(ci) || math.IsInf(ci, 0) {
+			t.Fatalf("group %d CI %v after retry", a, ci)
+		}
+	}
+	// The retried run must still be statistically sound: compare against
+	// the exact answer loosely (400k walks over a tiny graph).
+	exact := testkit.BruteForce(g, q)
+	for a, ex := range exact {
+		if ex < 20 {
+			continue // tiny groups are noisy
+		}
+		rel := math.Abs(got.Estimates[a]-ex) / ex
+		if rel > 0.25 {
+			t.Errorf("group %d: estimate %.1f vs exact %.0f after retry (rel %.3f)", a, got.Estimates[a], ex, rel)
+		}
+	}
+	// The fleet's health view shows the dead worker.
+	health := c.Health(context.Background())
+	downs := 0
+	for _, h := range health {
+		if !h.Up {
+			downs++
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("health reports %d workers down, want 1: %+v", downs, health)
+	}
+}
+
+// TestWorkerHangStallDetection: a worker that silently stops streaming
+// (no crash, connection held open) must be detected by the stall timeout
+// and its stratum re-allocated.
+func TestWorkerHangStallDetection(t *testing.T) {
+	g := testkit.RandomGraph(13, 40, 4, 30, 600)
+	q := testkit.ChainQuery(g, []rdf.ID{40, 41}, true, false)
+	const K = 2
+
+	manifest := writeFixtureSet(t, g, K)
+	workers, addrs := startFleet(t, manifest, 2, K)
+	workers[0].SetFaults(Faults{HangAfterSnaps: 1, Stratum: -1})
+
+	c := mustDial(t, addrs)
+	xo := exec.Options{Budget: 400 * time.Millisecond, Batch: 64, Interval: 5 * time.Millisecond}
+	start := time.Now()
+	_, rstats, err := c.Run(context.Background(), q,
+		RunOptions{Seed: 3, StallTimeout: 250 * time.Millisecond}, xo)
+	if err != nil {
+		t.Fatalf("run did not survive the hang: %v", err)
+	}
+	if rstats.Retries < 1 {
+		t.Fatalf("hang not detected: %+v", rstats.Reallocations)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("stall detection took %v", elapsed)
+	}
+}
+
+// TestCancellationUnderLoad exercises the cancellation path with -race:
+// progressive snapshots flowing, OnSnapshot pulling the plug, and the
+// fleet remaining serviceable afterwards.
+func TestCancellationUnderLoad(t *testing.T) {
+	g := testkit.RandomGraph(29, 50, 4, 40, 800)
+	q := testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false)
+	const K = 2
+
+	manifest := writeFixtureSet(t, g, K)
+	_, addrs := startFleet(t, manifest, 2, K)
+	c := mustDial(t, addrs)
+
+	snaps := 0
+	xo := exec.Options{
+		Budget:   20 * time.Second,
+		Interval: 3 * time.Millisecond,
+		Batch:    32,
+		OnSnapshot: func(p exec.Progress) bool {
+			snaps++
+			return snaps < 3
+		},
+	}
+	start := time.Now()
+	_, _, err := c.Run(context.Background(), q, RunOptions{Seed: 1}, xo)
+	if err != nil {
+		t.Fatalf("early stop returned %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("early stop took %v", elapsed)
+	}
+	if snaps < 3 {
+		t.Fatalf("only %d snapshots before the stop", snaps)
+	}
+
+	// Parent-context cancellation also unwinds cleanly.
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Millisecond)
+	defer cancel()
+	_, _, err = c.Run(ctx, q, RunOptions{Seed: 2},
+		exec.Options{Budget: 20 * time.Second, Interval: 3 * time.Millisecond})
+	if err == nil {
+		t.Fatal("cancelled run returned no error")
+	}
+
+	// The fleet still serves after both aborts.
+	got, _, err := c.Run(context.Background(), q, RunOptions{Seed: 3}, exec.Options{MaxWalks: 500, Batch: 64})
+	if err != nil {
+		t.Fatalf("fleet unserviceable after cancellations: %v", err)
+	}
+	if got.Walks == 0 {
+		t.Fatal("follow-up run did no walks")
+	}
+}
+
+// TestOwnPlacementEquivalence exercises the literal one-shard-per-worker
+// deployment: each worker holds only its own shard and resolves cross-shard
+// steps through peer View RPCs. With tipping disabled the walk stream is a
+// pure function of the resolver, so the distributed result must equal the
+// in-process one exactly — every span served over the wire must match the
+// local one.
+func TestOwnPlacementEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(31, 40, 4, 30, 500)
+	q := testkit.ChainQuery(g, []rdf.ID{40, 41}, true, false)
+	const K = 2
+
+	manifest := writeFixtureSet(t, g, K)
+	set, err := shard.Load(manifest, shard.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Own placement needs peer addresses before the workers exist: listen
+	// first, construct with the full peer list, then serve.
+	lns := make([]net.Listener, K)
+	peers := make([]string, K)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	for i := 0; i < K; i++ {
+		w, err := NewWorker(WorkerOptions{Manifest: manifest, Shard: i, Own: true, Peers: peers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go w.Serve(lns[i])
+		t.Cleanup(func() { w.Close() })
+	}
+
+	xo := exec.Options{MaxWalks: 1500, Batch: 64}
+	want, _, err := shard.RunScatter(context.Background(), set, pl,
+		shard.ScatterOptions{Seed: 12, Threshold: -1}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c := mustDial(t, peers)
+	got, rstats, err := c.Run(context.Background(), q, RunOptions{Seed: 12, Threshold: -1}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, want, 0) {
+		t.Fatalf("own-placement %v ± %v, in-process %v ± %v", got.Estimates, got.CI, want.Estimates, want.CI)
+	}
+	// Both strata must have been pinned to their owning workers.
+	if rstats.StratumWorkers[0] != peers[0] || rstats.StratumWorkers[1] != peers[1] {
+		t.Fatalf("own placement served strata from %v, want %v", rstats.StratumWorkers, peers)
+	}
+}
+
+// TestFleetSwap drives the epoch-coordinated hot swap: prepare+commit on
+// every worker, with queries before and after answering from the old and
+// new sets respectively, and an aborted swap leaving the fleet untouched.
+func TestFleetSwap(t *testing.T) {
+	g := testkit.RandomGraph(42, 50, 4, 40, 700)
+	q := testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false)
+	const K = 2
+
+	oldManifest := writeFixtureSet(t, g, K)
+	// The new set: same graph resharded 3 ways (same dictionary, different
+	// epoch config), so queries stay valid across the swap.
+	newManifest := writeFixtureSet(t, g, 3)
+
+	_, addrs := startFleet(t, manifestCopy(t, oldManifest), 2, K)
+	c := mustDial(t, addrs)
+
+	before, _, err := c.Run(context.Background(), q, RunOptions{Seed: 5}, exec.Options{MaxWalks: 1000, Batch: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Walks == 0 {
+		t.Fatal("pre-swap run did no walks")
+	}
+
+	// A failed prepare must leave the fleet serving the old epoch.
+	if err := c.SwapAll(context.Background(), filepath.Join(t.TempDir(), "missing.kgm"), true); err == nil {
+		t.Fatal("swap to a missing manifest succeeded")
+	}
+	mid, _, err := c.Run(context.Background(), q, RunOptions{Seed: 5}, exec.Options{MaxWalks: 1000, Batch: 64})
+	if err != nil {
+		t.Fatalf("fleet unserviceable after aborted swap: %v", err)
+	}
+	if !resultsEqual(mid, before, 0) {
+		t.Fatal("aborted swap changed the serving epoch")
+	}
+
+	if err := c.SwapAll(context.Background(), newManifest, true); err != nil {
+		t.Fatal(err)
+	}
+	if c.K() != 3 {
+		t.Fatalf("post-swap shard count %d, want 3", c.K())
+	}
+	after, _, err := c.Run(context.Background(), q, RunOptions{Seed: 5}, exec.Options{MaxWalks: 1000, Batch: 64})
+	if err != nil {
+		t.Fatalf("post-swap run: %v", err)
+	}
+	if after.Walks == 0 {
+		t.Fatal("post-swap run did no walks")
+	}
+	for _, h := range c.Health(context.Background()) {
+		if !h.Up {
+			t.Fatalf("worker %s down after swap: %s", h.Addr, h.Err)
+		}
+		if h.Stats.Epoch != 1 {
+			t.Fatalf("worker %s epoch %d after one swap, want 1", h.Addr, h.Stats.Epoch)
+		}
+		if h.Stats.Swaps != 1 {
+			t.Fatalf("worker %s swap count %d, want 1", h.Addr, h.Stats.Swaps)
+		}
+	}
+}
+
+// manifestCopy returns the manifest path unchanged; it exists to make the
+// swap test read as "the fleet was started on the old set".
+func manifestCopy(t *testing.T, path string) string {
+	t.Helper()
+	return path
+}
+
+// TestAccCodecRoundTrip is the wire-codec property test: random
+// accumulators — plain, denominator-bearing, distinct-mode — must survive
+// appendAcc → decodeAcc bit-exactly.
+func TestAccCodecRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 300; trial++ {
+		a := wj.NewAcc()
+		a.N = rng.Int63n(1000)
+		a.Rejected = rng.Int63n(100)
+		a.Dedup = rng.Int63n(50)
+		for i := rng.Intn(8); i > 0; i-- {
+			id := rdf.ID(rng.Intn(100))
+			a.Sum[id] = rng.NormFloat64() * 1000
+			a.SumSq[id] = rng.Float64() * 1e6
+		}
+		switch rng.Intn(3) {
+		case 1:
+			a.Den = make(map[rdf.ID]float64)
+			for i := rng.Intn(5); i > 0; i-- {
+				a.Den[rdf.ID(rng.Intn(100))] = rng.Float64() * 100
+			}
+		case 2:
+			a.Distinct = true
+			a.Vals = make(map[uint64]wj.DistinctVal)
+			for i := rng.Intn(8); i > 0; i-- {
+				a.Vals[wj.DistinctKey(rdf.ID(rng.Intn(50)), rdf.ID(rng.Intn(50)))] =
+					wj.DistinctVal{Contribution: rng.Float64() * 10, Hits: rng.Int63n(20) + 1}
+			}
+		}
+		b := appendAcc(nil, a)
+		rb := rbuf{b: b}
+		got, err := decodeAcc(&rb)
+		if err != nil {
+			t.Fatalf("trial %d: decode: %v", trial, err)
+		}
+		if len(rb.b) != 0 {
+			t.Fatalf("trial %d: %d trailing bytes", trial, len(rb.b))
+		}
+		if !accEqual(a, got) {
+			t.Fatalf("trial %d: round trip mismatch:\n in: %+v\nout: %+v", trial, a, got)
+		}
+	}
+}
+
+func accEqual(a, b *wj.Acc) bool {
+	if a.N != b.N || a.Rejected != b.Rejected || a.Dedup != b.Dedup || a.Distinct != b.Distinct {
+		return false
+	}
+	if !reflect.DeepEqual(normMap(a.Sum), normMap(b.Sum)) || !reflect.DeepEqual(normMap(a.SumSq), normMap(b.SumSq)) {
+		return false
+	}
+	if (a.Den == nil) != (b.Den == nil) || !reflect.DeepEqual(normMap(a.Den), normMap(b.Den)) {
+		return false
+	}
+	if a.Distinct && !reflect.DeepEqual(a.Vals, b.Vals) {
+		return false
+	}
+	return true
+}
+
+// normMap treats nil and empty as equal.
+func normMap(m map[rdf.ID]float64) map[rdf.ID]float64 {
+	if len(m) == 0 {
+		return map[rdf.ID]float64{}
+	}
+	return m
+}
+
+// TestMixedFleetRejected: Dial must refuse a fleet whose workers serve
+// different shard sets.
+func TestMixedFleetRejected(t *testing.T) {
+	g := testkit.RandomGraph(8, 30, 3, 25, 300)
+	m2 := writeFixtureSet(t, g, 2)
+	m3 := writeFixtureSet(t, g, 3)
+	_, a2 := startWorker(t, WorkerOptions{Manifest: m2, Shard: 0})
+	_, a3 := startWorker(t, WorkerOptions{Manifest: m3, Shard: 0})
+	if _, err := Dial(context.Background(), []string{a2, a3}); err == nil {
+		t.Fatal("mixed fleet accepted")
+	}
+}

@@ -1,0 +1,235 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kgexplore"
+
+	"kgexplore/internal/dist"
+)
+
+// writeDistManifest writes the tiny fixture as a k-shard set on disk and
+// returns the manifest path.
+func writeDistManifest(t *testing.T, k int) string {
+	t.Helper()
+	manifest := filepath.Join(t.TempDir(), "set.kgm")
+	sds := shardedTestDataset(t, k)
+	if _, err := sds.WriteShardedSnapshots(manifest, "tinyNT"); err != nil {
+		t.Fatal(err)
+	}
+	sds.Close()
+	return manifest
+}
+
+// startDistFleet spins n in-process replicate workers over the manifest and
+// returns their addresses.
+func startDistFleet(t *testing.T, manifest string, n int) []string {
+	t.Helper()
+	addrs := make([]string, n)
+	for i := range addrs {
+		w, err := dist.NewWorker(dist.WorkerOptions{Manifest: manifest, Shard: i})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			w.Close()
+			t.Fatal(err)
+		}
+		go w.Serve(ln)
+		t.Cleanup(func() { w.Close() })
+		addrs[i] = ln.Addr().String()
+	}
+	return addrs
+}
+
+func newDistTestServer(t *testing.T, k, n int) (*Server, *httptest.Server, string) {
+	t.Helper()
+	manifest := writeDistManifest(t, k)
+	addrs := startDistFleet(t, manifest, n)
+	dds, err := kgexplore.DialDistDataset(context.Background(), manifest, addrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := NewDist(dds, Provenance{
+		Source: manifest, Kind: "distributed",
+		Triples: dds.NumTriples(), Shards: k, Workers: n,
+	})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts, manifest
+}
+
+func TestDistHealthzReportsFleet(t *testing.T) {
+	_, ts, _ := newDistTestServer(t, 2, 2)
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.Status != "ok" || h.Store.Kind != "distributed" || h.Shards != 2 {
+		t.Fatalf("healthz = %+v", h)
+	}
+	if len(h.Workers) != 2 {
+		t.Fatalf("healthz lists %d workers, want 2: %+v", len(h.Workers), h.Workers)
+	}
+	for _, wh := range h.Workers {
+		if !wh.Up || wh.Stats == nil || wh.Stats.Triples == 0 {
+			t.Fatalf("worker health incomplete: %+v", wh)
+		}
+	}
+
+	var info InfoResponse
+	getJSON(t, ts.URL+"/api/info", &info)
+	if info.Shards != 2 || info.Workers != 2 || info.Triples == 0 {
+		t.Fatalf("info = %+v", info)
+	}
+}
+
+// TestDistChartEngines drives every engine name through a distributed
+// epoch: aj and wj scatter over the fleet, the exact names run on one
+// worker, and all agree with the exact counts on the tiny fixture. The aj
+// payload must carry the distribution telemetry.
+func TestDistChartEngines(t *testing.T) {
+	_, ts, _ := newDistTestServer(t, 2, 2)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+
+	var exact ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "ctj"}, &exact)
+	if exact.NumBars == 0 || exact.Shards != 2 {
+		t.Fatalf("exact distributed chart: %+v", exact)
+	}
+	want := map[string]float64{}
+	for _, b := range exact.Bars {
+		want[b.Category] = b.Count
+	}
+	for _, engine := range []string{"aj", "wj", "lftj", "baseline", ""} {
+		var c ChartResponse
+		resp := post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+			ChartRequest{Op: "out-property", Engine: engine, BudgetMS: 200}, &c)
+		if resp.StatusCode != 200 {
+			t.Fatalf("engine %q: status %d", engine, resp.StatusCode)
+		}
+		if c.Shards != 2 {
+			t.Fatalf("engine %q: chart payload missing shard count: %+v", engine, c)
+		}
+		switch engine {
+		case "aj", "wj", "":
+			if c.Dist == nil || len(c.Dist.StratumWorkers) != 2 {
+				t.Fatalf("engine %q: missing distribution telemetry: %+v", engine, c.Dist)
+			}
+			if c.Dist.WireInBytes == 0 || c.Dist.WireOutBytes == 0 {
+				t.Fatalf("engine %q: zero wire bytes: %+v", engine, c.Dist)
+			}
+		}
+		for _, b := range c.Bars {
+			if ex, ok := want[b.Category]; ok && b.Count < ex/2 {
+				t.Errorf("engine %q: bar %q = %.1f, exact %.1f", engine, b.Category, b.Count, ex)
+			}
+		}
+	}
+	var bad errorBody
+	resp := post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "nope"}, &bad)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown engine accepted: %d", resp.StatusCode)
+	}
+
+	var h HealthResponse
+	getJSON(t, ts.URL+"/healthz", &h)
+	if h.DistRuns == 0 {
+		t.Fatalf("healthz did not count distributed runs: %+v", h)
+	}
+}
+
+func TestDistStreamChart(t *testing.T) {
+	_, ts, _ := newDistTestServer(t, 2, 2)
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+
+	body := strings.NewReader(`{"op":"out-property","engine":"aj","budgetMs":80,"intervalMs":10}`)
+	resp, err := http.Post(ts.URL+"/api/session/"+st.Session+"/chart?stream=1", "application/json", body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("content type %q", ct)
+	}
+	var events []ChartResponse
+	for _, line := range strings.Split(readAll(t, resp.Body), "\n") {
+		if data, ok := strings.CutPrefix(line, "data: "); ok {
+			var c ChartResponse
+			if err := json.Unmarshal([]byte(data), &c); err != nil {
+				t.Fatal(err)
+			}
+			events = append(events, c)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no SSE events")
+	}
+	last := events[len(events)-1]
+	if !last.Final || last.Shards != 2 || last.Walks == 0 {
+		t.Fatalf("final distributed event incomplete: %+v", last)
+	}
+}
+
+// TestDistAdminSwap exercises the fleet-wide hot swap through the admin
+// endpoint: a bad path must leave the fleet and the serving epoch
+// untouched, a .kgs path must be refused outright, and a valid manifest
+// (with a different shard count) must swap every worker and the local
+// epoch together.
+func TestDistAdminSwap(t *testing.T) {
+	srv, ts, _ := newDistTestServer(t, 2, 2)
+	srv.EnableAdmin = true
+	ts2 := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts2.Close)
+	_ = ts
+
+	var bad errorBody
+	if resp := post(t, ts2.URL+"/admin/swap", SwapRequest{Path: "/nonexistent.kgm"}, &bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("swap to missing manifest: status %d", resp.StatusCode)
+	}
+	if resp := post(t, ts2.URL+"/admin/swap", SwapRequest{Path: "/data.kgs"}, &bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-manifest path accepted on a distributed epoch: status %d", resp.StatusCode)
+	}
+	var h HealthResponse
+	getJSON(t, ts2.URL+"/healthz", &h)
+	if h.Shards != 2 || h.Swaps != 0 {
+		t.Fatalf("failed swaps disturbed the epoch: %+v", h)
+	}
+
+	next := writeDistManifest(t, 3)
+	var sw SwapResponse
+	if resp := post(t, ts2.URL+"/admin/swap", SwapRequest{Path: next}, &sw); resp.StatusCode != http.StatusOK {
+		t.Fatalf("fleet swap: status %d (%+v)", resp.StatusCode, sw)
+	}
+	if sw.Store.Kind != "distributed" || sw.Store.Shards != 3 || sw.Swaps != 1 {
+		t.Fatalf("swap response = %+v", sw)
+	}
+	getJSON(t, ts2.URL+"/healthz", &h)
+	if h.Shards != 3 || len(h.Workers) != 2 {
+		t.Fatalf("healthz after swap = %+v", h)
+	}
+	for _, wh := range h.Workers {
+		if !wh.Up || wh.Stats == nil || wh.Stats.Epoch != 1 || wh.Stats.Swaps != 1 {
+			t.Fatalf("worker did not advance its epoch: %+v", wh)
+		}
+	}
+	// The swapped fleet answers charts with the new shard count.
+	var st StateResponse
+	post(t, ts2.URL+"/api/session", struct{}{}, &st)
+	var c ChartResponse
+	post(t, ts2.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "aj", BudgetMS: 100}, &c)
+	if c.NumBars == 0 || c.Shards != 3 {
+		t.Fatalf("chart after fleet swap: %+v", c)
+	}
+}

@@ -42,13 +42,16 @@ type Provenance struct {
 	Triples int `json:"triples"`
 	// Shards is the shard count for sharded stores (0 for monolithic).
 	Shards int `json:"shards,omitempty"`
+	// Workers is the fleet size for distributed stores (0 otherwise).
+	Workers int `json:"workers,omitempty"`
 	// LoadMillis is how long the load (parse+build, or snapshot read) took.
 	LoadMillis int64 `json:"loadMillis"`
 }
 
-// backend is what the handlers need from a served store, satisfied by both
-// *kgexplore.Dataset and *kgexplore.ShardedDataset. Engine dispatch (which
-// differs between the two) lives in evaluate/streamChart, not here.
+// backend is what the handlers need from a served store, satisfied by
+// *kgexplore.Dataset, *kgexplore.ShardedDataset and *kgexplore.DistDataset.
+// Engine dispatch (which differs between them) lives in
+// evaluate/streamChart, not here.
 type backend interface {
 	NumTriples() int
 	IndexBytes() int64
@@ -64,11 +67,12 @@ type backend interface {
 // for their whole run, so a hot swap never frees a store out from under an
 // in-flight query: the old epoch's closer (an mmap'ed snapshot, typically)
 // runs only when the server reference and every request reference are gone.
-// Exactly one of ds/sds is non-nil; be always is.
+// Exactly one of ds/sds/dds is non-nil; be always is.
 type epoch struct {
 	be     backend
-	ds     *kgexplore.Dataset        // monolithic store, nil when sharded
-	sds    *kgexplore.ShardedDataset // shard set, nil when monolithic
+	ds     *kgexplore.Dataset        // monolithic store, nil otherwise
+	sds    *kgexplore.ShardedDataset // in-process shard set, nil otherwise
+	dds    *kgexplore.DistDataset    // distributed worker fleet, nil otherwise
 	prov   Provenance
 	closer io.Closer
 	refs   atomic.Int64 // starts at 1 for the server's own reference
@@ -84,6 +88,15 @@ func newShardedEpoch(sds *kgexplore.ShardedDataset, prov Provenance) *epoch {
 	// The shard set owns its snapshot mappings; closing it is the epoch
 	// drain action.
 	e := &epoch{be: sds, sds: sds, prov: prov, closer: sds}
+	e.refs.Store(1)
+	return e
+}
+
+func newDistEpoch(dds *kgexplore.DistDataset, prov Provenance) *epoch {
+	// Closing the dist dataset releases only the LOCAL dictionary mapping;
+	// the workers own their stores, and the shared coordinator survives
+	// swaps (the successor epoch holds it).
+	e := &epoch{be: dds, dds: dds, prov: prov, closer: dds}
 	e.refs.Store(1)
 	return e
 }
@@ -186,6 +199,14 @@ func NewSharded(sds *kgexplore.ShardedDataset, prov Provenance) *Server {
 	return newServer(newShardedEpoch(sds, prov))
 }
 
+// NewDist creates a server over a distributed dataset: chart requests run
+// coordinator-driven scatter-gather over the kgworker fleet, /healthz
+// reports per-worker stats, and /admin/swap (with EnableAdmin) performs the
+// epoch-coordinated fleet-wide hot swap.
+func NewDist(dds *kgexplore.DistDataset, prov Provenance) *Server {
+	return newServer(newDistEpoch(dds, prov))
+}
+
 func newServer(e *epoch) *Server {
 	return &Server{
 		cur:           e,
@@ -225,6 +246,14 @@ func (s *Server) Swap(ds *kgexplore.Dataset, prov Provenance, closer io.Closer) 
 // between monolithic and sharded epochs.
 func (s *Server) SwapSharded(sds *kgexplore.ShardedDataset, prov Provenance) {
 	s.swapEpoch(newShardedEpoch(sds, prov))
+}
+
+// SwapDist hot-swaps the served store for a distributed dataset, with the
+// same epoch semantics as Swap. A distributed admin swap uses this after
+// DistDataset.SwapAll has re-pointed the fleet: the new epoch shares the
+// coordinator, and draining the old one closes only its local dictionary.
+func (s *Server) SwapDist(dds *kgexplore.DistDataset, prov Provenance) {
+	s.swapEpoch(newDistEpoch(dds, prov))
 }
 
 func (s *Server) swapEpoch(ne *epoch) {
@@ -392,6 +421,7 @@ type InfoResponse struct {
 	Triples    int   `json:"triples"`
 	IndexBytes int64 `json:"indexBytes"`
 	Shards     int   `json:"shards,omitempty"`
+	Workers    int   `json:"workers,omitempty"`
 }
 
 func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
@@ -403,6 +433,10 @@ func (s *Server) handleInfo(w http.ResponseWriter, _ *http.Request) {
 	}
 	if e.sds != nil {
 		resp.Shards = e.sds.NumShards()
+	}
+	if e.dds != nil {
+		resp.Shards = e.dds.NumShards()
+		resp.Workers = len(e.dds.Workers())
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -421,9 +455,17 @@ type HealthResponse struct {
 	// Tips aggregates estimate-vs-actual tipping diagnostics over every
 	// Audit Join run served since startup; absent until a walk tips.
 	Tips *TipDiagBody `json:"tips,omitempty"`
+	// Workers carries the live per-worker health of a distributed epoch:
+	// each fleet member's reachability and self-reported stats (triples,
+	// epoch, runs, walks, wire bytes, swaps).
+	Workers []kgexplore.DistWorkerHealth `json:"workers,omitempty"`
+	// DistRetries counts fleet-lifetime stratum re-allocations after worker
+	// loss; DistRuns counts distributed runs (distributed epochs only).
+	DistRetries int64 `json:"distRetries,omitempty"`
+	DistRuns    int64 `json:"distRuns,omitempty"`
 }
 
-func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	e := s.acquire()
 	defer e.release()
 	s.mu.Lock()
@@ -439,6 +481,18 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	}
 	if e.sds != nil {
 		resp.Shards = e.sds.NumShards()
+	}
+	if e.dds != nil {
+		resp.Shards = e.dds.NumShards()
+		resp.Workers = e.dds.Health(r.Context())
+		resp.DistRetries = e.dds.Retries()
+		resp.DistRuns = e.dds.TotalRuns()
+		for _, wh := range resp.Workers {
+			if !wh.Up {
+				resp.Status = "degraded"
+				break
+			}
+		}
 	}
 	if s.RebuildsFn != nil {
 		resp.Rebuilds = s.RebuildsFn()
@@ -503,6 +557,43 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, fmt.Errorf("missing path"))
 		return
 	}
+	e := s.acquire()
+	if e.dds != nil {
+		// A distributed epoch swaps the FLEET, not the local process: every
+		// worker prepares the new manifest, the swap aborts all-or-nothing
+		// on any failure, then all commit and drain. The new local epoch
+		// shares the coordinator; draining the old one closes only its
+		// local dictionary mapping.
+		defer e.release()
+		if !strings.HasSuffix(req.Path, ".kgm") {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("distributed epochs swap whole shard sets: path must be a .kgm manifest"))
+			return
+		}
+		ndds, err := e.dds.SwapAll(r.Context(), req.Path, req.Mode != "copy")
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		if s.Estimator != "" {
+			if err := ndds.UseEstimator(s.Estimator); err != nil {
+				ndds.Close()
+				writeErr(w, http.StatusBadRequest, err)
+				return
+			}
+		}
+		prov := Provenance{
+			Source:  req.Path,
+			Kind:    "distributed",
+			Mmap:    req.Mode != "copy",
+			Triples: ndds.NumTriples(),
+			Shards:  ndds.NumShards(),
+			Workers: len(ndds.Workers()),
+		}
+		s.SwapDist(ndds, prov)
+		writeJSON(w, http.StatusOK, SwapResponse{Store: prov, Swaps: s.Swaps()})
+		return
+	}
+	e.release()
 	if strings.HasSuffix(req.Path, ".kgm") {
 		sds, prov, err := LoadShardedDataset(req.Path, req.Mode != "copy")
 		if err != nil {
@@ -697,6 +788,34 @@ type ChartResponse struct {
 	// this run's tipping decisions (final responses of online engines only).
 	Estimator string       `json:"estimator,omitempty"`
 	Tips      *TipDiagBody `json:"tips,omitempty"`
+	// Dist reports a distributed run's telemetry: which worker delivered
+	// each stratum, re-allocations after worker loss, and wire traffic
+	// (non-stream responses of online engines over distributed epochs).
+	Dist *DistChartBody `json:"dist,omitempty"`
+}
+
+// DistChartBody is the per-request distribution telemetry of one
+// coordinator-driven scatter-gather run.
+type DistChartBody struct {
+	// StratumWorkers[k] is the address that delivered stratum k ("" for
+	// empty strata).
+	StratumWorkers []string `json:"stratumWorkers"`
+	// Retries counts worker-loss re-allocations within this run;
+	// Reallocations details each one.
+	Retries       int                         `json:"retries,omitempty"`
+	Reallocations []kgexplore.DistRetryRecord `json:"reallocations,omitempty"`
+	WireInBytes   int64                       `json:"wireInBytes"`
+	WireOutBytes  int64                       `json:"wireOutBytes"`
+}
+
+func distBody(stats kgexplore.DistRunStats) *DistChartBody {
+	return &DistChartBody{
+		StratumWorkers: stats.StratumWorkers,
+		Retries:        stats.Retries,
+		Reallocations:  stats.Reallocations,
+		WireInBytes:    stats.WireInBytes,
+		WireOutBytes:   stats.WireOutBytes,
+	}
 }
 
 // CacheStatsBody mirrors ctj.CacheStats for the JSON payload.
@@ -798,15 +917,16 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, tips, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
+	counts, ci, extras, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := chartResponse(e, req.Op, engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
-	resp.Cache = cache
-	resp.Tips = tips
+	resp.Cache = extras.cache
+	resp.Tips = extras.tips
+	resp.Dist = extras.dist
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -822,6 +942,9 @@ func chartResponse(e *epoch, op, engine string, counts, ci map[kgexplore.ID]floa
 	resp := ChartResponse{Op: op, Engine: engine, Estimator: e.be.EstimatorName()}
 	if e.sds != nil {
 		resp.Shards = e.sds.NumShards()
+	}
+	if e.dds != nil {
+		resp.Shards = e.dds.NumShards()
 	}
 	bars := e.be.BarsOf(counts, ci)
 	resp.NumBars = len(bars)
@@ -869,31 +992,43 @@ func (s *Server) onlineRunner(ds *kgexplore.Dataset, pl *kgexplore.Plan, engine 
 	}
 }
 
-func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, *TipDiagBody, error) {
+// chartExtras carries the engine-specific telemetry a chart response
+// attaches beside the bars: CTJ cache stats (monolithic aj), tipping
+// diagnostics (online engines) and distribution telemetry (dist epochs).
+type chartExtras struct {
+	cache *ChartCacheStats
+	tips  *TipDiagBody
+	dist  *DistChartBody
+}
+
+func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, chartExtras, error) {
 	if e.sds != nil {
 		return s.evaluateSharded(ctx, e.sds, pl, engine, budgetMS)
+	}
+	if e.dds != nil {
+		return s.evaluateDist(ctx, e.dds, pl, engine, budgetMS)
 	}
 	ds := e.ds
 	switch engine {
 	case "ctj":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineCTJ)
-		return res, nil, nil, nil, err
+		return res, nil, chartExtras{}, err
 	case "lftj":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineLFTJ)
-		return res, nil, nil, nil, err
+		return res, nil, chartExtras{}, err
 	case "baseline":
 		res, err := ds.ExactCtx(ctx, pl, kgexplore.EngineBaseline)
-		return res, nil, nil, nil, err
+		return res, nil, chartExtras{}, err
 	}
 	r, ok := s.onlineRunner(ds, pl, engine)
 	if !ok {
-		return nil, nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
+		return nil, nil, chartExtras{}, fmt.Errorf("unknown engine %q", engine)
 	}
 	rep, err := kgexplore.Drive(ctx, r, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, chartExtras{}, err
 	}
-	return rep.Final.Estimates, rep.Final.CI, cacheStatsOf(r), s.tipStatsOf(r), nil
+	return rep.Final.Estimates, rep.Final.CI, chartExtras{cache: cacheStatsOf(r), tips: s.tipStatsOf(r)}, nil
 }
 
 // tipStatsOf extracts one quiescent runner's tipping diagnostics and folds
@@ -930,22 +1065,61 @@ func (s *Server) scatterOptions(sds *kgexplore.ShardedDataset, pl *kgexplore.Pla
 // evaluateSharded answers a chart request over a sharded epoch: exact
 // engines run the resolver-backed enumeration over all shards; online
 // engines run scatter-gather Audit Join with stratified merging.
-func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, *ChartCacheStats, *TipDiagBody, error) {
+func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, chartExtras, error) {
 	switch engine {
 	case "ctj", "lftj", "baseline":
 		res, err := sds.ExactCtx(ctx, pl)
-		return res, nil, nil, nil, err
+		return res, nil, chartExtras{}, err
 	}
 	opts, ok := s.scatterOptions(sds, pl, engine)
 	if !ok {
-		return nil, nil, nil, nil, fmt.Errorf("unknown engine %q", engine)
+		return nil, nil, chartExtras{}, fmt.Errorf("unknown engine %q", engine)
 	}
 	res, stats, err := sds.RunScatter(ctx, pl, opts, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
 	if err != nil {
-		return nil, nil, nil, nil, err
+		return nil, nil, chartExtras{}, err
 	}
 	s.observeTips(stats.Tips)
-	return res.Estimates, res.CI, nil, tipBody(stats.Tips), nil
+	return res.Estimates, res.CI, chartExtras{tips: tipBody(stats.Tips)}, nil
+}
+
+// distOptions maps an online engine name onto distributed run settings,
+// mirroring scatterOptions: aj tips at the default threshold, wj never
+// tips. Worker-side suffix caches warm up per worker process, so there is
+// no coordinator-side cache to thread through.
+func (s *Server) distOptions(dds *kgexplore.DistDataset, engine string) (kgexplore.DistRunOptions, bool) {
+	opts := kgexplore.DistRunOptions{Seed: time.Now().UnixNano()}
+	switch engine {
+	case "aj", "":
+		opts.Threshold = kgexplore.DefaultTippingThreshold
+	case "wj":
+		opts.Threshold = -1
+	default:
+		return opts, false
+	}
+	return opts, true
+}
+
+// evaluateDist answers a chart request over a distributed epoch: exact
+// engines run on one worker (they hold the full set or reach peers through
+// their hybrid resolver); online engines run coordinator-driven
+// scatter-gather with stratified merging and worker-loss re-allocation.
+func (s *Server) evaluateDist(ctx context.Context, dds *kgexplore.DistDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, chartExtras, error) {
+	switch engine {
+	case "ctj", "lftj", "baseline":
+		res, err := dds.ExactCtx(ctx, pl)
+		return res, nil, chartExtras{}, err
+	}
+	opts, ok := s.distOptions(dds, engine)
+	if !ok {
+		return nil, nil, chartExtras{}, fmt.Errorf("unknown engine %q", engine)
+	}
+	res, stats, err := dds.RunDist(ctx, pl, opts, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
+	if err != nil {
+		return nil, nil, chartExtras{}, err
+	}
+	s.observeTips(stats.Tips)
+	return res.Estimates, res.CI, chartExtras{tips: tipBody(stats.Tips), dist: distBody(stats)}, nil
 }
 
 // streamChart answers a `?stream=1` chart request with Server-Sent Events:
@@ -956,14 +1130,23 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, o
 	engine := engineName(req.Engine)
 	var runner kgexplore.Stepper
 	var scatterOpts kgexplore.ShardScatterOptions
-	if e.sds != nil {
+	var distOpts kgexplore.DistRunOptions
+	switch {
+	case e.sds != nil:
 		var ok bool
 		scatterOpts, ok = s.scatterOptions(e.sds, pl, req.Engine)
 		if !ok {
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
 			return
 		}
-	} else {
+	case e.dds != nil:
+		var ok bool
+		distOpts, ok = s.distOptions(e.dds, req.Engine)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
+			return
+		}
+	default:
 		var ok bool
 		runner, ok = s.onlineRunner(e.ds, pl, req.Engine)
 		if !ok {
@@ -1017,6 +1200,14 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, o
 		// drive, so per-request tips can't ride on it; they still reach the
 		// process-wide /healthz totals.
 		if _, stats, err := e.sds.RunScatter(r.Context(), pl, scatterOpts, xopts); err == nil {
+			s.observeTips(stats.Tips)
+		}
+		return
+	}
+	if e.dds != nil {
+		// Same trailing-stats caveat as the sharded drive: tips and retry
+		// telemetry reach /healthz, not the final SSE event.
+		if _, stats, err := e.dds.RunDist(r.Context(), pl, distOpts, xopts); err == nil {
 			s.observeTips(stats.Tips)
 		}
 		return
@@ -1108,15 +1299,16 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	start := time.Now()
-	counts, ci, cache, tips, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
+	counts, ci, extras, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
 	resp := chartResponse(e, "sparql", engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
-	resp.Cache = cache
-	resp.Tips = tips
+	resp.Cache = extras.cache
+	resp.Tips = extras.tips
+	resp.Dist = extras.dist
 	writeJSON(w, http.StatusOK, resp)
 }
 

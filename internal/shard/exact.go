@@ -23,7 +23,10 @@ func (s *Set) Exact(pl *query.Plan) map[rdf.ID]float64 {
 // ctx every few thousand result rows and returns ctx.Err with a nil map
 // when it fires.
 func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64, error) {
-	r := newResolver(s, pl)
+	r, err := newResolver(s, pl)
+	if err != nil {
+		return nil, err
+	}
 	q := pl.Query
 	b := pl.NewBindings()
 	counts := make(map[rdf.ID]float64)
@@ -36,7 +39,7 @@ func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64,
 		seen = make(map[uint64]struct{})
 	}
 	rows := 0
-	err := r.enumerate(0, b, func() error {
+	err = r.enumerate(0, b, func() error {
 		rows++
 		if rows%4096 == 0 {
 			if err := ctx.Err(); err != nil {
@@ -70,6 +73,10 @@ func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64,
 		return nil
 	})
 	if err != nil {
+		return nil, err
+	}
+	if err := r.viewErr(); err != nil {
+		// A remote shard failed mid-enumeration; the counts are incomplete.
 		return nil, err
 	}
 	if q.Agg == query.AggAvg {

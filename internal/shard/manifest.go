@@ -44,6 +44,12 @@ type Manifest struct {
 	// reinterpreted under the wrong partitioner would silently break the
 	// stratification, so loads recompute and compare.
 	ConfigHash uint32 `json:"config_hash"`
+	// Workers, when present, records worker-address placement: Workers[k]
+	// is the network address of the kgworker serving shard k. Deployment
+	// metadata, not data identity — it is deliberately NOT part of
+	// ConfigHash, so re-pointing a set at new worker addresses does not
+	// invalidate the snapshots.
+	Workers []string `json:"workers,omitempty"`
 }
 
 func (m *Manifest) computeConfigHash() uint32 {
@@ -65,6 +71,16 @@ func (m *Manifest) Validate() error {
 	}
 	if len(m.Files) != m.Shards {
 		return fmt.Errorf("shard: manifest lists %d files for %d shards", len(m.Files), m.Shards)
+	}
+	if len(m.Workers) != 0 {
+		if len(m.Workers) != m.Shards {
+			return fmt.Errorf("shard: manifest lists %d worker addresses for %d shards", len(m.Workers), m.Shards)
+		}
+		for i, addr := range m.Workers {
+			if addr == "" {
+				return fmt.Errorf("shard: manifest worker %d has an empty address", i)
+			}
+		}
 	}
 	if m.ConfigHash != m.computeConfigHash() {
 		return fmt.Errorf("shard: manifest config hash %08x does not match configuration (want %08x)",

@@ -255,3 +255,44 @@ func TestVerifyCatchesMisplacedTriples(t *testing.T) {
 		t.Fatalf("unexpected Verify error: %v", err)
 	}
 }
+
+// TestManifestWorkersPlacement pins the worker-placement field: a valid
+// per-shard address list round-trips, a wrong-length or empty-address list
+// fails validation, and the addresses stay OUT of the config hash so
+// re-pointing a set at new workers never invalidates the snapshots.
+func TestManifestWorkersPlacement(t *testing.T) {
+	g := testkit.RandomGraph(37, 20, 3, 15, 200)
+	path, _ := writeFixtureSet(t, g, 2)
+	m, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash := m.ConfigHash
+
+	m.Workers = []string{"10.0.0.1:7070", "10.0.0.2:7070"}
+	if err := WriteManifest(path, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Workers) != 2 || got.Workers[1] != "10.0.0.2:7070" {
+		t.Fatalf("workers did not round-trip: %v", got.Workers)
+	}
+	if got.ConfigHash != hash {
+		t.Fatalf("adding workers changed the config hash %08x -> %08x", hash, got.ConfigHash)
+	}
+	if _, err := Load(path, LoadOptions{}); err != nil {
+		t.Fatalf("set with workers failed to load: %v", err)
+	}
+
+	m.Workers = []string{"only-one:7070"}
+	if err := WriteManifest(path, m); err == nil {
+		t.Fatal("accepted 1 worker address for 2 shards")
+	}
+	m.Workers = []string{"a:1", ""}
+	if err := WriteManifest(path, m); err == nil {
+		t.Fatal("accepted an empty worker address")
+	}
+}

@@ -14,9 +14,14 @@ type subspan struct {
 	span  index.Span
 }
 
-// resolver resolves plan steps against the WHOLE sharded set. A step's
-// candidate set under the current bindings is the disjoint union of the
-// per-shard spans, so sampling a triple uniformly from the gathered
+// enumBatch is the remote Read batch size of enumerate: large enough to
+// amortize a round trip, small enough to keep per-depth buffers cheap.
+const enumBatch = 1024
+
+// resolver resolves plan steps against the WHOLE sharded set through one
+// View per shard (local store access or a remote worker over the wire). A
+// step's candidate set under the current bindings is the disjoint union of
+// the per-shard spans, so sampling a triple uniformly from the gathered
 // subspans with d = Σ span lengths reproduces exactly the distribution a
 // monolithic store would give — the property that keeps every stratum's
 // Horvitz–Thompson estimate unbiased even though continuation triples live
@@ -28,18 +33,20 @@ type subspan struct {
 // fast path, not an approximation: every other shard's span is empty by
 // the partition invariant.
 type resolver struct {
-	set *Set
-	pl  *query.Plan
-	// static[k][i] caches shard k's span for constant-bound step i.
-	static [][]query.StaticSpan
+	set   *Set
+	pl    *query.Plan
+	views []View
+	// enumBufs[j] is depth j's batch buffer for remote enumeration; depth
+	// j+1's recursion never touches depth j's buffer, so reuse is safe.
+	enumBufs [][]rdf.Triple
 }
 
-func newResolver(set *Set, pl *query.Plan) *resolver {
-	r := &resolver{set: set, pl: pl, static: make([][]query.StaticSpan, set.K())}
-	for k, st := range set.stores {
-		r.static[k] = pl.ResolveStatic(st)
+func newResolver(set *Set, pl *query.Plan) (*resolver, error) {
+	views, err := set.viewsFor(pl)
+	if err != nil {
+		return nil, err
 	}
-	return r
+	return &resolver{set: set, pl: pl, views: views}, nil
 }
 
 func atomVal(a query.Atom, b query.Bindings) rdf.ID {
@@ -47,16 +54,6 @@ func atomVal(a query.Atom, b query.Bindings) rdf.ID {
 		return b[a.Var]
 	}
 	return a.ID
-}
-
-// spanOn resolves step i on shard k alone.
-func (r *resolver) spanOn(k, i int, b query.Bindings) (index.Span, bool) {
-	st := &r.pl.Steps[i]
-	if st.Static {
-		ss := r.static[k][i]
-		return ss.Span, ss.OK
-	}
-	return st.ResolveSpan(r.set.stores[k], b)
 }
 
 // resolve gathers step i's candidate set under b: the non-empty per-shard
@@ -72,7 +69,7 @@ func (r *resolver) resolve(i int, b query.Bindings, buf []subspan) ([]subspan, i
 			P: atomVal(st.Pattern.P, b),
 			O: atomVal(st.Pattern.O, b),
 		}
-		if r.set.stores[r.set.Owner(t.S)].Contains(t) {
+		if r.views[r.set.Owner(t.S)].Contains(t) {
 			return buf, 1, true
 		}
 		return buf, 0, false
@@ -81,15 +78,15 @@ func (r *resolver) resolve(i int, b query.Bindings, buf []subspan) ([]subspan, i
 		// Owner fast path: the subject is pinned, so the partition invariant
 		// empties every other shard's span.
 		k := r.set.Owner(atomVal(st.Pattern.S, b))
-		sp, ok := r.spanOn(k, i, b)
+		sp, ok := r.views[k].Resolve(i, b)
 		if !ok {
 			return buf, 0, false
 		}
 		return append(buf, subspan{k, sp}), sp.Len(), true
 	}
 	total := 0
-	for k := range r.set.stores {
-		sp, ok := r.spanOn(k, i, b)
+	for k := range r.views {
+		sp, ok := r.views[k].Resolve(i, b)
 		if !ok {
 			continue
 		}
@@ -99,12 +96,12 @@ func (r *resolver) resolve(i int, b query.Bindings, buf []subspan) ([]subspan, i
 	return buf, total, total > 0
 }
 
-// sample draws a triple uniformly from a gathered candidate set.
-func (r *resolver) sample(st *query.Step, subs []subspan, total int, rng *rand.Rand) rdf.Triple {
+// sample draws a triple uniformly from a gathered candidate set of step i.
+func (r *resolver) sample(i int, subs []subspan, total int, rng *rand.Rand) rdf.Triple {
 	n := rng.Intn(total)
 	for _, ss := range subs {
 		if l := ss.span.Len(); n < l {
-			return r.set.stores[ss.shard].At(st.Order, ss.span, n)
+			return r.views[ss.shard].At(i, ss.span, n)
 		} else {
 			n -= l
 		}
@@ -115,6 +112,8 @@ func (r *resolver) sample(st *query.Step, subs []subspan, total int, rng *rand.R
 // enumerate visits every extension of the current bindings through steps
 // j..last, calling visit at each full binding. Backtracking is in-place on
 // b; visit's error aborts the recursion (used for context cancellation).
+// Local shards read triple by triple (alloc-free); remote shards read in
+// enumBatch batches to amortize round trips.
 func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error {
 	if j == len(r.pl.Steps) {
 		return visit()
@@ -128,17 +127,55 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 		return r.enumerate(j+1, b, visit)
 	}
 	for _, ss := range subs {
-		store := r.set.stores[ss.shard]
-		for n := 0; n < ss.span.Len(); n++ {
-			t := store.At(st.Order, ss.span, n)
-			st.Bind(t, b)
-			if err := r.enumerate(j+1, b, visit); err != nil {
-				st.Unbind(b)
-				return err
+		v := r.views[ss.shard]
+		if lv, isLocal := v.(*localView); isLocal {
+			ord := st.Order
+			for n := 0; n < ss.span.Len(); n++ {
+				t := lv.store.At(ord, ss.span, n)
+				st.Bind(t, b)
+				if err := r.enumerate(j+1, b, visit); err != nil {
+					st.Unbind(b)
+					return err
+				}
+			}
+		} else {
+			for off := 0; off < ss.span.Len(); {
+				batch := v.Read(j, ss.span, off, enumBatch, r.enumBuf(j))
+				if len(batch) == 0 {
+					break // remote failure: sticky error via viewErr
+				}
+				r.enumBufs[j] = batch[:0]
+				for _, t := range batch {
+					st.Bind(t, b)
+					if err := r.enumerate(j+1, b, visit); err != nil {
+						st.Unbind(b)
+						return err
+					}
+				}
+				off += len(batch)
 			}
 		}
 		// NewVars are overwritten by the next Bind; clear only on exit.
 		st.Unbind(b)
+	}
+	return nil
+}
+
+// enumBuf returns depth j's reusable batch buffer.
+func (r *resolver) enumBuf(j int) []rdf.Triple {
+	for len(r.enumBufs) <= j {
+		r.enumBufs = append(r.enumBufs, nil)
+	}
+	return r.enumBufs[j][:0]
+}
+
+// viewErr returns the first sticky error any remote view recorded, nil for
+// fully local sets.
+func (r *resolver) viewErr() error {
+	for _, v := range r.views {
+		if err := viewErr(v); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -60,6 +60,10 @@ type ScatterStats struct {
 	// distinct variable.
 	OwnedDistinct bool `json:"owned_distinct,omitempty"`
 	ExactFallback bool `json:"exact_fallback,omitempty"`
+	// Retries counts stratum re-allocations after worker loss. In-process
+	// runs never retry; distributed runs (internal/dist) record each lost
+	// worker's stratum being re-run on a survivor here.
+	Retries int `json:"retries,omitempty"`
 }
 
 // Scatter is the shard-merging driver as a single exec.Stepper: Step runs

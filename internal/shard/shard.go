@@ -86,12 +86,16 @@ func mix32(x uint32) uint32 {
 	return x
 }
 
-// Set is a sharded store: K disjoint index.Store values over one shared
-// dictionary. All shards see the full dictionary (term IDs, numeric-literal
-// cache), so bindings and group keys are directly comparable across shards.
+// Set is a sharded store: K disjoint shards over one shared dictionary.
+// All shards see the full dictionary (term IDs, numeric-literal cache), so
+// bindings and group keys are directly comparable across shards. Shards are
+// normally in-process index.Store values (Build, Load); a Set assembled
+// with NewHybrid may instead hold some shards as Remote providers served
+// over the wire — stores[k] is nil there and remotes[k] answers for it.
 // Read-only after construction and safe for concurrent use.
 type Set struct {
 	stores  []*index.Store
+	remotes []Remote
 	part    Partitioner
 	dict    *rdf.Dict
 	closers []io.Closer
@@ -132,7 +136,7 @@ func Build(g *rdf.Graph, k int, part Partitioner) (*Set, error) {
 // K returns the shard count.
 func (s *Set) K() int { return len(s.stores) }
 
-// Store returns shard i's index.
+// Store returns shard i's index, nil when the shard is remote.
 func (s *Set) Store(i int) *index.Store { return s.stores[i] }
 
 // Dict returns the shared dictionary.
@@ -144,32 +148,43 @@ func (s *Set) Partitioner() Partitioner { return s.part }
 // Owner returns the shard owning subject id.
 func (s *Set) Owner(id rdf.ID) int { return s.part.Shard(id, len(s.stores)) }
 
-// NumTriples sums the shard triple counts.
+// NumTriples sums the shard triple counts (in-process shards only; a
+// hybrid set does not know its remote shards' sizes).
 func (s *Set) NumTriples() int {
 	n := 0
 	for _, st := range s.stores {
-		n += st.NumTriples()
+		if st != nil {
+			n += st.NumTriples()
+		}
 	}
 	return n
 }
 
-// EstimateBytes sums the shard index footprints.
+// EstimateBytes sums the shard index footprints (in-process shards only).
 func (s *Set) EstimateBytes() int64 {
 	var n int64
 	for _, st := range s.stores {
-		n += st.EstimateBytes()
+		if st != nil {
+			n += st.EstimateBytes()
+		}
 	}
 	return n
 }
 
 // Numeric reads the shared numeric-literal cache. Every shard carries the
-// full dictionary, so shard 0's cache serves all of them.
+// full dictionary, so any in-process shard's cache serves all of them.
 func (s *Set) Numeric(id rdf.ID) (float64, bool) {
-	return s.stores[0].Numeric(id)
+	for _, st := range s.stores {
+		if st != nil {
+			return st.Numeric(id)
+		}
+	}
+	return 0, false
 }
 
-// Close releases resources held by loaded shard snapshots (mmap mappings).
-// Sets produced by Build hold none and Close is a no-op.
+// Close releases resources held by loaded shard snapshots (mmap mappings)
+// and by remote shard providers. Sets produced by Build hold none and
+// Close is a no-op.
 func (s *Set) Close() error {
 	var first error
 	for _, c := range s.closers {
@@ -178,5 +193,14 @@ func (s *Set) Close() error {
 		}
 	}
 	s.closers = nil
+	for _, r := range s.remotes {
+		if r == nil {
+			continue
+		}
+		if err := r.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	s.remotes = nil
 	return first
 }

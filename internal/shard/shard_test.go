@@ -200,7 +200,11 @@ func TestSuffixOracleMatchesMonolith(t *testing.T) {
 
 	s := buildSet(t, g, 4)
 	est := setEstimator(s, nil)
-	or := est.NewSuffix(pl, resolverWidth{newResolver(s, pl)})
+	res, err := newResolver(s, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	or := est.NewSuffix(pl, resolverWidth{res})
 	got := or.Estimate(0, b)
 	if want == 0 {
 		if got != 0 {

@@ -2,6 +2,7 @@ package shard
 
 import (
 	"errors"
+	"fmt"
 	"math/rand"
 
 	"kgexplore/internal/card"
@@ -124,11 +125,19 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 	if pl.Query.Distinct && !Owned(pl) {
 		return nil, ErrDistinctNotOwned
 	}
+	if set.stores[stratum] == nil {
+		// Root sampling, the owned-distinct n_v lookup and the allocation
+		// weight all need direct store access; later steps may be remote.
+		return nil, fmt.Errorf("shard: stratum %d is not local to this process", stratum)
+	}
 	cache := opts.Cache
 	if cache == nil {
 		cache = NewCache()
 	}
-	res := newResolver(set, pl)
+	res, err := newResolver(set, pl)
+	if err != nil {
+		return nil, err
+	}
 	est := setEstimator(set, opts.Estimator)
 	w := &Walker{
 		set:        set,
@@ -147,12 +156,11 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 	}
 
 	// Root span of this stratum. Step 0 has no join variables, so it is
-	// always static.
+	// always static; the stratum view absorbs the static-span cache either
+	// way.
 	st0 := &pl.Steps[0]
-	ss := res.static[stratum][0]
-	if !st0.Static {
-		ss.Span, ss.OK = st0.ResolveSpan(set.stores[stratum], pl.NewBindings())
-	}
+	var ss query.StaticSpan
+	ss.Span, ss.OK = res.views[stratum].Resolve(0, pl.NewBindings())
 	if ss.OK {
 		w.rootSpan = ss.Span
 		if st0.Kind == query.AccessMembership {
@@ -243,7 +251,7 @@ func (w *Walker) Step() {
 				return
 			}
 			if st.Kind != query.AccessMembership {
-				t := w.res.sample(st, subs, total, w.rng)
+				t := w.res.sample(i, subs, total, w.rng)
 				st.Bind(t, b)
 				prodD *= float64(total)
 			}
@@ -489,3 +497,10 @@ func (w *Walker) TipDiag() core.TipDiag { return w.diag }
 
 // Cache returns the stratum suffix cache in use.
 func (w *Walker) Cache() *Cache { return w.cache }
+
+// ViewErr returns the first sticky error a remote shard view recorded, nil
+// for fully local sets. Remote views cannot fail a walk in flight (their
+// resolutions degrade to empty, rejecting the walk), so drivers over
+// hybrid sets must check this after a run and discard the results on
+// error.
+func (w *Walker) ViewErr() error { return w.res.viewErr() }

@@ -24,8 +24,14 @@ import (
 // stratum with N_k = 0 (it performed no walks, e.g. its root span is empty —
 // its true total is zero) contributes nothing. Ratio estimators (AVG) merge
 // as the ratio of the two channels' stratum sums, Σ_k num̂_k / Σ_k den̂_k,
-// with the CI left at zero exactly as in Acc.Snapshot. A stratum with fewer
-// than two walks yields an infinite interval, matching stats.CIHalfWidth.
+// with the CI left at zero exactly as in Acc.Snapshot.
+//
+// Degenerate strata never poison the merged interval: a stratum with a
+// single completed walk has no variance information, so its variance term
+// falls back to the square of its estimate (conservatively wide but
+// finite), and non-finite per-stratum terms — which a distributed run
+// could in principle receive from a buggy worker — degrade the same way
+// instead of propagating NaN/Inf into every group's CI.
 func MergeStratified(accs []*Acc, z float64) Result {
 	r := Result{
 		Estimates: make(map[rdf.ID]float64),
@@ -55,6 +61,14 @@ func MergeStratified(accs []*Acc, z float64) Result {
 			}
 			r.Estimates[a] += s / n
 			hw := stats.CIHalfWidth(s, c.SumSq[a], c.N, 1) // sqrt(var̂/N)
+			if math.IsInf(hw, 0) || math.IsNaN(hw) {
+				// N_k = 1 (or corrupt sums): no variance estimate exists.
+				// Use |stratum estimate| as a conservative finite stand-in.
+				hw = math.Abs(s / n)
+				if math.IsInf(hw, 0) || math.IsNaN(hw) {
+					hw = 0
+				}
+			}
 			varSum[a] += hw * hw
 		}
 	}

@@ -1,0 +1,73 @@
+package wj
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestMergeStratifiedDegenerateStrataFinite is the property test for the
+// hardening: no mix of degenerate strata — zero completed walks, a single
+// walk (no variance information), all-rejected strata, even corrupt
+// non-finite sums a distributed run could receive from a buggy worker —
+// ever produces a NaN or Inf estimate or interval.
+func TestMergeStratifiedDegenerateStrataFinite(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 500; trial++ {
+		nStrata := 1 + rng.Intn(6)
+		accs := make([]*Acc, 0, nStrata)
+		healthy := false
+		for k := 0; k < nStrata; k++ {
+			a := NewAcc()
+			switch rng.Intn(5) {
+			case 0: // zero completed walks
+			case 1: // all-rejected stratum
+				a.N = int64(1 + rng.Intn(5))
+				a.Rejected = a.N
+			case 2: // single walk: no variance information
+				a.N = 1
+				a.Add(1, rng.Float64()*100)
+			case 3: // corrupt worker payload: non-finite sums
+				a.N = int64(2 + rng.Intn(5))
+				a.Sum[1] = math.Inf(1)
+				a.SumSq[1] = math.NaN()
+			default: // healthy stratum
+				a.N = int64(2 + rng.Intn(50))
+				for i := int64(0); i < a.N; i++ {
+					a.Add(1, rng.Float64()*10)
+					a.Add(2, rng.Float64())
+				}
+				healthy = true
+			}
+			accs = append(accs, a)
+			if rng.Intn(4) == 0 {
+				accs = append(accs, nil) // lost worker: no accumulator at all
+			}
+		}
+		r := MergeStratified(accs, 1.96)
+		for g, ci := range r.CI {
+			if math.IsNaN(ci) || math.IsInf(ci, 0) {
+				t.Fatalf("trial %d: group %d CI = %v from degenerate strata", trial, g, ci)
+			}
+			if ci < 0 {
+				t.Fatalf("trial %d: group %d CI = %v < 0", trial, g, ci)
+			}
+		}
+		_ = healthy
+	}
+}
+
+// TestMergeStratifiedSingleWalkConservative pins the fallback width: a
+// stratum of one walk contributes |estimate| as its half-width term.
+func TestMergeStratifiedSingleWalkConservative(t *testing.T) {
+	a := NewAcc()
+	a.N = 1
+	a.Add(1, 40)
+	r := MergeStratified([]*Acc{a}, 2)
+	if got := r.Estimates[1]; got != 40 {
+		t.Fatalf("estimate = %v, want 40", got)
+	}
+	if got, want := r.CI[1], 2*40.0; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("single-walk CI = %v, want %v (z*|estimate|)", got, want)
+	}
+}

@@ -139,6 +139,23 @@ func ReadShardManifest(manifestPath string) (ShardManifest, error) {
 	return shard.ReadManifest(manifestPath)
 }
 
+// SetShardWorkers records worker-address placement in an existing manifest:
+// workers[k] is the address of the kgworker serving shard k. Pass nil to
+// clear. Placement is deployment metadata — it does not enter the config
+// hash, so snapshots stay valid across address changes. The rewrite is
+// atomic (temp file + rename).
+func SetShardWorkers(manifestPath string, workers []string) (ShardManifest, error) {
+	m, err := shard.ReadManifest(manifestPath)
+	if err != nil {
+		return ShardManifest{}, err
+	}
+	m.Workers = workers
+	if err := shard.WriteManifest(manifestPath, m); err != nil {
+		return ShardManifest{}, err
+	}
+	return m, nil
+}
+
 // Close releases the per-shard snapshot mappings, if any.
 func (d *ShardedDataset) Close() error { return d.set.Close() }
 
