@@ -88,6 +88,10 @@ func metricDirection(key string) int {
 	}
 	seg = strings.ToLower(seg)
 	switch {
+	case strings.Contains(seg, "rss"):
+		// Peak RSS is machine context (page cache, allocator arenas), not a
+		// pass/fail metric; report moves but never gate on them.
+		return 0
 	case strings.Contains(seg, "err"),
 		strings.HasSuffix(seg, "_ns"),
 		strings.HasSuffix(seg, "millis"),
@@ -95,8 +99,12 @@ func metricDirection(key string) int {
 		strings.Contains(seg, "misses"),
 		strings.Contains(seg, "retries"),
 		strings.Contains(seg, "rejected"),
-		strings.Contains(seg, "walks_to_target"):
+		strings.Contains(seg, "walks_to_target"),
+		strings.Contains(seg, "walks_to_ci"):
 		return 1
+	case strings.Contains(seg, "walks_ratio"),
+		strings.Contains(seg, "equivalence_ok"):
+		return -1
 	case strings.Contains(seg, "per_sec"),
 		strings.Contains(seg, "ratio"),
 		strings.Contains(seg, "hits"):

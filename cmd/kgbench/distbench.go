@@ -44,16 +44,17 @@ type distBenchRow struct {
 // distBenchReport is the BENCH_dist.json schema: the fixture, the in-process
 // scatter baseline, the per-fleet-width grid, and the headline ratios.
 type distBenchReport struct {
-	Dataset    string  `json:"dataset"`
-	Scale      float64 `json:"scale"`
-	Triples    int     `json:"triples"`
-	Shards     int     `json:"shards"`
-	Walks      int64   `json:"walks"`
-	Seed       int64   `json:"seed"`
-	TargetCI   float64 `json:"target_ci"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	NumCPU     int     `json:"numcpu"`
-	GoVersion  string  `json:"go_version"`
+	Dataset      string  `json:"dataset"`
+	Scale        float64 `json:"scale"`
+	Triples      int     `json:"triples"`
+	Shards       int     `json:"shards"`
+	Walks        int64   `json:"walks"`
+	Seed         int64   `json:"seed"`
+	TargetCI     float64 `json:"target_ci"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	NumCPU       int     `json:"numcpu"`
+	GoVersion    string  `json:"go_version"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
 	// Baseline is the same run executed by in-process shard.RunScatter —
 	// identical seeds and allocation math, so its walk counts match the
 	// distributed rows and the delta is pure wire overhead.
@@ -296,6 +297,7 @@ func runDistBench(w io.Writer, outPath string, scale float64, seed, walks int64,
 			report.NumCPU)
 	}
 
+	report.PeakRSSBytes = peakRSSBytes()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

@@ -42,15 +42,16 @@ type estBenchQuery struct {
 // the summary estimator must hold median q-error at or below span statistics
 // on the multi-pattern workload, without regressing walks-to-target-CI.
 type estBenchReport struct {
-	Dataset    string  `json:"dataset"`
-	Scale      float64 `json:"scale"`
-	Triples    int     `json:"triples"`
-	Seed       int64   `json:"seed"`
-	Paths      int     `json:"paths"`
-	RelCI      float64 `json:"rel_ci_target"`
-	MaxWalks   int64   `json:"max_walks"`
-	GoMaxProcs int     `json:"gomaxprocs"`
-	GoVersion  string  `json:"go_version"`
+	Dataset      string  `json:"dataset"`
+	Scale        float64 `json:"scale"`
+	Triples      int     `json:"triples"`
+	Seed         int64   `json:"seed"`
+	Paths        int     `json:"paths"`
+	RelCI        float64 `json:"rel_ci_target"`
+	MaxWalks     int64   `json:"max_walks"`
+	GoMaxProcs   int     `json:"gomaxprocs"`
+	GoVersion    string  `json:"go_version"`
+	PeakRSSBytes int64   `json:"peak_rss_bytes"`
 
 	Queries      []estBenchQuery `json:"queries"`
 	MultiPattern int             `json:"multi_pattern_queries"`
@@ -188,6 +189,7 @@ func runEstBench(w io.Writer, outPath string, scale float64, seed int64, paths i
 		fmt.Fprintf(w, "WARNING: summary median q-error exceeds span on the multi-pattern workload\n")
 	}
 
+	report.PeakRSSBytes = peakRSSBytes()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

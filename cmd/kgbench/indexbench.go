@@ -25,12 +25,13 @@ type indexBenchResult struct {
 // plus the measured storage-layer microbenchmarks. Committed as a baseline so
 // regressions show up in review diffs.
 type indexBenchReport struct {
-	Dataset    string             `json:"dataset"`
-	Scale      float64            `json:"scale"`
-	Triples    int                `json:"triples"`
-	GoMaxProcs int                `json:"gomaxprocs"`
-	GoVersion  string             `json:"go_version"`
-	Results    []indexBenchResult `json:"results"`
+	Dataset      string             `json:"dataset"`
+	Scale        float64            `json:"scale"`
+	Triples      int                `json:"triples"`
+	GoMaxProcs   int                `json:"gomaxprocs"`
+	GoVersion    string             `json:"go_version"`
+	PeakRSSBytes int64              `json:"peak_rss_bytes"`
+	Results      []indexBenchResult `json:"results"`
 }
 
 // runIndexBench measures the storage-layer microbenchmarks (index build and
@@ -88,6 +89,7 @@ func runIndexBench(w io.Writer, outPath string, scale float64) error {
 		sinkInt = acc
 	})
 
+	report.PeakRSSBytes = peakRSSBytes()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

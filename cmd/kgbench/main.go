@@ -54,6 +54,10 @@ func main() {
 		distOut    = flag.String("distout", "BENCH_dist.json", "output path for -distbench")
 		distWalks  = flag.Int64("distwalks", 100000, "total walks per fleet width in -distbench")
 		distWorker = flag.String("distworker", "", "prebuilt kgworker binary for -distbench (default: go build it)")
+		scaleBench = flag.Bool("scalebench", false, "run the scale ladder (streaming builds + uniform-vs-stratified walks-to-CI) and write -scaleout")
+		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for -scalebench")
+		scaleRungs = flag.String("scalerungs", "0.02,0.2,1,4.2", "comma-separated dbpedia-sim scales for -scalebench rungs")
+		scaleMem   = flag.Int("scalemembudget", 32, "sort-buffer memory budget for -scalebench streaming builds, MiB")
 		diffMode   = flag.Bool("diff", false, "compare two kgbench JSON reports (kgbench -diff old.json new.json); exit 1 on regressions past -diffthreshold")
 		diffThresh = flag.Float64("diffthreshold", 0.25, "relative regression threshold for -diff")
 	)
@@ -223,6 +227,12 @@ func main() {
 	if *distBench {
 		any = true
 		if err := runDistBench(w, *distOut, *scale, *seed, *distWalks, *distWorker); err != nil {
+			fail(err)
+		}
+	}
+	if *scaleBench {
+		any = true
+		if err := runScaleBench(w, *scaleOut, *scaleRungs, *seed, *scaleMem); err != nil {
 			fail(err)
 		}
 	}

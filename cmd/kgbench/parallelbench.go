@@ -50,6 +50,7 @@ type parallelBenchReport struct {
 	Seed           int64              `json:"seed"`
 	GoMaxProcs     int                `json:"gomaxprocs"`
 	GoVersion      string             `json:"go_version"`
+	PeakRSSBytes   int64              `json:"peak_rss_bytes"`
 	Rows           []parallelBenchRow `json:"rows"`
 	// MissRatioShared4 = (CountMisses+ProbMisses of shared 4-worker) /
 	// (same of the 1-worker run). Single-flight keeps it near 1.
@@ -232,6 +233,7 @@ func runParallelBench(w io.Writer, outPath string, scale float64, seed, walksPer
 	fmt.Fprintf(w, "  shared 4w vs 1w: miss ratio %.3f, throughput ratio %.2fx\n",
 		report.MissRatioShared4, report.ThroughputRatioShared4)
 
+	report.PeakRSSBytes = peakRSSBytes()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

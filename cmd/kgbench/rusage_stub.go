@@ -1,0 +1,6 @@
+//go:build !unix
+
+package main
+
+// peakRSSBytes is unavailable off unix; reports record 0.
+func peakRSSBytes() int64 { return 0 }

@@ -1,0 +1,23 @@
+//go:build unix
+
+package main
+
+import (
+	"runtime"
+	"syscall"
+)
+
+// peakRSSBytes reports the process's peak resident set size so far, in
+// bytes, via getrusage(2). The kernel reports ru_maxrss in kilobytes on
+// Linux and in bytes on Darwin. Returns 0 when the syscall fails.
+func peakRSSBytes() int64 {
+	var ru syscall.Rusage
+	if err := syscall.Getrusage(syscall.RUSAGE_SELF, &ru); err != nil {
+		return 0
+	}
+	rss := int64(ru.Maxrss)
+	if runtime.GOOS != "darwin" {
+		rss *= 1024
+	}
+	return rss
+}

@@ -39,14 +39,15 @@ type shardBenchRow struct {
 // grid, and the headline throughput ratio of the widest configuration over
 // a single shard.
 type shardBenchReport struct {
-	Dataset    string          `json:"dataset"`
-	Scale      float64         `json:"scale"`
-	Triples    int             `json:"triples"`
-	Walks      int64           `json:"walks"`
-	Seed       int64           `json:"seed"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	GoVersion  string          `json:"go_version"`
-	Rows       []shardBenchRow `json:"rows"`
+	Dataset      string          `json:"dataset"`
+	Scale        float64         `json:"scale"`
+	Triples      int             `json:"triples"`
+	Walks        int64           `json:"walks"`
+	Seed         int64           `json:"seed"`
+	GoMaxProcs   int             `json:"gomaxprocs"`
+	GoVersion    string          `json:"go_version"`
+	PeakRSSBytes int64           `json:"peak_rss_bytes"`
+	Rows         []shardBenchRow `json:"rows"`
 	// ThroughputRatio8 = walks/sec at 8 shards over 1 shard: >1 means
 	// scatter-gather turned the shard count into parallel walk throughput.
 	ThroughputRatio8 float64 `json:"throughput_ratio_8_vs_1"`
@@ -195,6 +196,7 @@ func runShardBench(w io.Writer, outPath string, scale float64, seed, walks int64
 			report.GoMaxProcs)
 	}
 
+	report.PeakRSSBytes = peakRSSBytes()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

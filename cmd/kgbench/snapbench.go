@@ -33,6 +33,7 @@ type snapBenchReport struct {
 	SnapshotBytes int64             `json:"snapshot_bytes"`
 	GoMaxProcs    int               `json:"gomaxprocs"`
 	GoVersion     string            `json:"go_version"`
+	PeakRSSBytes  int64             `json:"peak_rss_bytes"`
 	Results       []snapBenchResult `json:"results"`
 	// CopyLoadSpeedup and MmapLoadSpeedup are IndexBuild time over load
 	// time: how many times faster a server reaches ready via each snapshot
@@ -127,6 +128,7 @@ func runSnapBench(w io.Writer, outPath string, scale float64) error {
 	fmt.Fprintf(w, "startup speedup over IndexBuild: copy %.1fx, mmap %.1fx\n",
 		report.CopyLoadSpeedup, report.MmapLoadSpeedup)
 
+	report.PeakRSSBytes = peakRSSBytes()
 	data, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		return err

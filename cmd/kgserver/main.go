@@ -56,19 +56,27 @@ func main() {
 	pprofOn := flag.Bool("pprof", false, "expose net/http/pprof under /debug/pprof/")
 	estimator := flag.String("estimator", "", "cardinality estimator: "+
 		kgexplore.EstimatorSpan+" (default) or "+kgexplore.EstimatorSummary)
+	strategy := flag.String("strategy", "", "online sampling strategy: uniform (default) or stratified "+
+		"(semantic-aware stratified walk roots with Neyman allocation)")
 	workers := flag.String("workers", "", "comma-separated kgworker addresses (requires -snapshot FILE.kgm); "+
 		`"manifest" uses the addresses recorded in the manifest`)
 	flag.Parse()
+
+	switch *strategy {
+	case "", "uniform", "stratified":
+	default:
+		fatal(fmt.Errorf("unknown -strategy %q (want uniform or stratified)", *strategy))
+	}
 
 	if *workers != "" {
 		if *snapshot == "" || !strings.HasSuffix(*snapshot, ".kgm") {
 			fatal(fmt.Errorf("-workers requires -snapshot pointing at a .kgm shard manifest"))
 		}
-		serveDist(*snapshot, *workers, *addr, *estimator, *adminOn, *pprofOn)
+		serveDist(*snapshot, *workers, *addr, *estimator, *strategy, *adminOn, *pprofOn)
 		return
 	}
 	if *snapshot != "" && strings.HasSuffix(*snapshot, ".kgm") {
-		serveSharded(*snapshot, *snapMode, *addr, *estimator, *adminOn, *pprofOn)
+		serveSharded(*snapshot, *snapMode, *addr, *estimator, *strategy, *adminOn, *pprofOn)
 		return
 	}
 
@@ -123,6 +131,7 @@ func main() {
 		srv = server.NewWithProvenance(ds, prov, closer)
 	}
 	srv.Estimator = *estimator
+	srv.Strategy = *strategy
 	srv.EnablePprof = *pprofOn
 	srv.EnableAdmin = *adminOn
 	if *pprofOn {
@@ -148,7 +157,7 @@ func main() {
 // serveSharded serves a shard set from its .kgm manifest (kgsnap shard):
 // per-shard .kgs snapshots are mmap'ed unless -snapmode=copy, and charts run
 // scatter-gather Audit Join.
-func serveSharded(path, snapMode, addr, estimator string, adminOn, pprofOn bool) {
+func serveSharded(path, snapMode, addr, estimator, strategy string, adminOn, pprofOn bool) {
 	sds, prov, err := server.LoadShardedDataset(path, snapMode != "copy")
 	if err != nil {
 		fatal(err)
@@ -160,6 +169,7 @@ func serveSharded(path, snapMode, addr, estimator string, adminOn, pprofOn bool)
 	}
 	srv := server.NewSharded(sds, prov)
 	srv.Estimator = estimator
+	srv.Strategy = strategy
 	srv.EnablePprof = pprofOn
 	srv.EnableAdmin = adminOn
 	fmt.Fprintf(os.Stderr, "kgserver: %d triples in %d shards ready in %dms (sharded from %s); listening on %s\n",
@@ -173,7 +183,7 @@ func serveSharded(path, snapMode, addr, estimator string, adminOn, pprofOn bool)
 // scatters chart runs across the workers, /healthz polls their stats, and
 // with -admin POST /admin/swap performs the epoch-coordinated fleet-wide
 // hot swap.
-func serveDist(manifest, workers, addr, estimator string, adminOn, pprofOn bool) {
+func serveDist(manifest, workers, addr, estimator, strategy string, adminOn, pprofOn bool) {
 	var addrs []string // nil = the manifest's recorded placement
 	if workers != "manifest" {
 		addrs = strings.Split(workers, ",")
@@ -198,6 +208,7 @@ func serveDist(manifest, workers, addr, estimator string, adminOn, pprofOn bool)
 	}
 	srv := server.NewDist(dds, prov)
 	srv.Estimator = estimator
+	srv.Strategy = strategy
 	srv.EnablePprof = pprofOn
 	srv.EnableAdmin = adminOn
 	fmt.Fprintf(os.Stderr, "kgserver: %d triples in %d shards across %d workers ready in %dms (distributed from %s); listening on %s\n",

@@ -21,6 +21,8 @@ import (
 
 	"kgexplore"
 
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/rdf"
 	"kgexplore/internal/snap"
 )
 
@@ -45,9 +47,10 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   kgsnap build -load FILE | -gen dbpedia|lgd [-scale S] [-nosummary] -out FILE.kgs
+               [-stream [-membudget MB]]   # -gen only: external-memory build
   kgsnap shard -load FILE | -gen dbpedia|lgd [-scale S] -shards K [-partitioner P] [-workers A,B,...] -out FILE.kgm
   kgsnap info FILE.kgs|FILE.kgm     # header, metadata and section table
-  kgsnap verify FILE.kgs|FILE.kgm   # full checksum + structural verification
+  kgsnap verify FILE.kgs|FILE.kgm   # streamed checksum + structural verification
 `)
 	os.Exit(2)
 }
@@ -64,9 +67,19 @@ func build(args []string) {
 	scale := fs.Float64("scale", 0.05, "scale for -gen")
 	out := fs.String("out", "", "output snapshot path (.kgs)")
 	noSummary := fs.Bool("nosummary", false, "omit the typed graph summary section (writes a v1 snapshot for pre-v2 readers)")
+	stream := fs.Bool("stream", false, "external-memory build: stream the generator through spill-sorted runs instead of materializing the graph (-gen only)")
+	memBudget := fs.Int("membudget", 256, "sort-buffer budget in MiB for -stream")
 	fs.Parse(args)
 	if *out == "" || (*load == "") == (*gen == "") {
 		usage()
+	}
+	if *stream {
+		if *gen == "" {
+			fmt.Fprintln(os.Stderr, "kgsnap: -stream requires -gen (file inputs are materialized by the parser)")
+			os.Exit(2)
+		}
+		streamBuild(*gen, *scale, *out, *noSummary, *memBudget)
+		return
 	}
 
 	start := time.Now()
@@ -88,6 +101,43 @@ func build(args []string) {
 	fmt.Printf("kgsnap: %d triples built in %v, %d bytes written to %s in %v\n",
 		ds.NumTriples(), built.Round(time.Millisecond), st.Size(), *out,
 		time.Since(start).Round(time.Millisecond))
+}
+
+// streamBuild is the external-memory build path: the generator's triple
+// stream goes straight through spill-sorted runs into the snapshot writer,
+// so the fixture size is bounded by disk, not by the sort-time heap.
+func streamBuild(gen string, scale float64, out string, noSummary bool, memBudgetMiB int) {
+	var cfg kggen.Config
+	switch gen {
+	case "dbpedia":
+		cfg = kggen.DBpediaSim(scale)
+	case "lgd":
+		cfg = kggen.LGDSim(scale)
+	default:
+		usage()
+	}
+	start := time.Now()
+	meta := &snap.Meta{
+		Source:      fmt.Sprintf("%s@%g (streamed)", cfg.Name, scale),
+		CreatedUnix: time.Now().Unix(),
+	}
+	stats, err := snap.BuildExternalFile(out,
+		func(emit func(rdf.Triple) error) (*rdf.Dict, error) {
+			d, _, err := kggen.Stream(cfg, emit)
+			return d, err
+		},
+		meta,
+		snap.ExtBuildOptions{MemBudget: int64(memBudgetMiB) << 20, OmitSummary: noSummary})
+	if err != nil {
+		fatal(err)
+	}
+	fi, err := os.Stat(out)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("kgsnap: %d triples (%d raw) streamed in %v, %d runs / %d spill bytes under %d MiB budget, %d bytes written to %s\n",
+		stats.Triples, stats.RawTriples, time.Since(start).Round(time.Millisecond),
+		stats.Runs, stats.SpillBytes, memBudgetMiB, fi.Size(), out)
 }
 
 // loadInput resolves the shared -load/-gen flags of build and shard.
@@ -207,25 +257,58 @@ func inspect(args []string, verify bool) {
 		return
 	}
 	start := time.Now()
-	// verify: a copy load checks every section checksum and all span bounds.
-	// info: an unverified mmap load (if available) only reads the metadata.
-	mode, opts := "info", snap.Options{Mode: snap.ModeAuto}
+	var (
+		m           snap.Meta
+		version     int
+		sum         struct{ buckets, edges, bytes, millis int64 }
+		hasSummary  bool
+		loadedLabel string
+	)
 	if verify {
-		mode, opts = "verify", snap.Options{Mode: snap.ModeCopy, Verify: true}
+		// A streaming pass: every checksum, span bound and key ordering is
+		// checked over a bounded buffer — nothing but the meta and summary
+		// sections is ever resident, so verification memory is independent
+		// of the snapshot size.
+		rep, err := snap.VerifyFile(path)
+		if err != nil {
+			fatal(fmt.Errorf("verify: %w", err))
+		}
+		m, version = rep.Meta, rep.FormatVersion
+		if rep.Summary != nil {
+			hasSummary = true
+			sum.buckets = int64(rep.Summary.NumBuckets)
+			sum.edges = int64(len(rep.Summary.Edges))
+			sum.bytes = rep.SummaryBytes
+			sum.millis = rep.Summary.BuildMillis
+		}
+	} else {
+		// info: an unverified mmap load (if available) only reads the metadata.
+		l, err := snap.LoadFile(path, snap.Options{Mode: snap.ModeAuto})
+		if err != nil {
+			fatal(fmt.Errorf("info: %w", err))
+		}
+		defer l.Close()
+		m, version = l.Meta, l.FormatVersion
+		if l.HasSummary() {
+			s := l.Store.Summary() // persisted in the file, not rebuilt
+			hasSummary = true
+			sum.buckets = int64(s.NumBuckets)
+			sum.edges = int64(len(s.Edges))
+			sum.bytes = l.SummaryBytes
+			sum.millis = s.BuildMillis
+		}
+		loadedLabel = "copy"
+		if l.Mmap {
+			loadedLabel = "mmap"
+		}
 	}
-	l, err := snap.LoadFile(path, opts)
-	if err != nil {
-		fatal(fmt.Errorf("%s: %w", mode, err))
-	}
-	defer l.Close()
 	elapsed := time.Since(start)
 
 	fi, err := os.Stat(path)
 	if err != nil {
 		fatal(err)
 	}
-	m := l.Meta
-	fmt.Printf("%s: store snapshot, format v%d\n", path, l.FormatVersion)
+	fmt.Printf("%s: store snapshot, format v%d\n", path, version)
 	fmt.Printf("  size:     %d bytes\n", fi.Size())
 	fmt.Printf("  source:   %s\n", orDash(m.Source))
 	if m.CreatedUnix != 0 {
@@ -234,22 +317,17 @@ func inspect(args []string, verify bool) {
 	fmt.Printf("  triples:  %d\n", m.Triples)
 	fmt.Printf("  terms:    %d\n", m.DictLen)
 	fmt.Printf("  ndv1:     spo=%d ops=%d pso=%d pos=%d\n", m.NDV1[0], m.NDV1[1], m.NDV1[2], m.NDV1[3])
-	if l.HasSummary() {
-		s := l.Store.Summary() // persisted in the file, not rebuilt
+	if hasSummary {
 		fmt.Printf("  summary:  %d buckets, %d edges, %d bytes, built in %dms\n",
-			s.NumBuckets, len(s.Edges), l.SummaryBytes, s.BuildMillis)
+			sum.buckets, sum.edges, sum.bytes, sum.millis)
 	} else {
 		fmt.Printf("  summary:  none (pre-v2 snapshot; built lazily when the summary estimator is used)\n")
 	}
 	if verify {
-		fmt.Printf("  verified: all checksums and span bounds OK (%v)\n", elapsed.Round(time.Millisecond))
+		fmt.Printf("  verified: all checksums and span bounds OK (streamed, %v)\n", elapsed.Round(time.Millisecond))
 	} else {
-		kind := "copy"
-		if l.Mmap {
-			kind = "mmap"
-		}
 		fmt.Printf("  loaded:   %s in %v (header+table checks only; use verify for checksums)\n",
-			kind, elapsed.Round(time.Millisecond))
+			loadedLabel, elapsed.Round(time.Millisecond))
 	}
 }
 

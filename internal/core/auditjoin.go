@@ -63,6 +63,13 @@ type Options struct {
 	// otherwise constructs one shared cache per run. It exists for the
 	// shared-vs-private ablation in kgbench and has no effect on a plain New.
 	NoSharedCache bool
+	// Root, when non-nil, restricts the walk root to one semantic stratum:
+	// step 0 samples uniformly from the stratum's segments instead of the
+	// full static span, and the inverse probability uses the stratum size.
+	// The runner then estimates the STRATUM total; NewStratified merges such
+	// runners with wj.MergeStratified. Requires step 0 to be a static
+	// sampling (non-membership) step over the span the stratum partitions.
+	Root *index.RootStratum
 }
 
 // Runner executes Audit Join over one plan. It owns a CTJ evaluation
@@ -145,9 +152,15 @@ func (r *Runner) Step() {
 			return
 		}
 		if st.Kind != query.AccessMembership {
-			t := r.store.Sample(st.Order, sp, r.rng)
+			var t rdf.Triple
+			if i == 0 && r.opts.Root != nil {
+				t = r.opts.Root.Sample(r.store, st.Order, r.rng)
+				prodD *= float64(r.opts.Root.Total)
+			} else {
+				t = r.store.Sample(st.Order, sp, r.rng)
+				prodD *= float64(sp.Len())
+			}
 			st.Bind(t, b)
-			prodD *= float64(sp.Len())
 		}
 		if i == last {
 			r.finish(i, b, prodD, 0, false)

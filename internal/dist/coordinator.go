@@ -184,6 +184,13 @@ type RunOptions struct {
 	// StallTimeout is how long a run stream may be silent before its
 	// worker is declared lost. Zero derives max(3×Interval, 2s).
 	StallTimeout time.Duration
+	// Stratify asks every worker to nest semantic root strata
+	// (characteristic-set buckets, shard.SubStrata) inside its shard
+	// stratum; snapshots then stream one accumulator per sub-stratum and
+	// the coordinator flat-merges all leaves. MaxStrata caps the sub-strata
+	// per shard (< 2 selects index.DefaultMaxStrata).
+	Stratify  bool
+	MaxStrata int
 }
 
 // RetryRecord documents one stratum re-allocation after worker loss.
@@ -209,9 +216,11 @@ type RunStats struct {
 	WireOutBytes  int64         `json:"wire_out_bytes"`
 }
 
-// stratumResult is one stratum's completed run.
+// stratumResult is one stratum's completed run. accs holds one
+// accumulator per semantic sub-stratum (exactly one when the shard did not
+// stratify).
 type stratumResult struct {
-	acc  *wj.Acc
+	accs []*wj.Acc
 	done runDone
 	addr string
 }
@@ -331,6 +340,8 @@ func (c *Coordinator) Run(ctx context.Context, q *query.Query, opts RunOptions, 
 			IntervalMillis: xopts.Interval.Milliseconds(),
 			Threshold:      opts.Threshold,
 			Estimator:      opts.Estimator,
+			Stratify:       opts.Stratify,
+			MaxStrata:      opts.MaxStrata,
 		}
 	}
 
@@ -344,7 +355,7 @@ func (c *Coordinator) Run(ctx context.Context, q *query.Query, opts RunOptions, 
 
 	// Phase 3: one stream per non-empty stratum, with retry re-allocation.
 	var mu sync.Mutex // guards latest, finals, rstats.Reallocations
-	latest := make([]*wj.Acc, K)
+	latest := make([][]*wj.Acc, K)
 	finals := make([]*stratumResult, K)
 	var stopped atomic.Bool
 
@@ -355,9 +366,9 @@ func (c *Coordinator) Run(ctx context.Context, q *query.Query, opts RunOptions, 
 				continue
 			}
 			if f := finals[k]; f != nil {
-				accs = append(accs, f.acc)
+				accs = append(accs, f.accs...)
 			} else if latest[k] != nil {
-				accs = append(accs, latest[k])
+				accs = append(accs, latest[k]...)
 			}
 		}
 		return wj.MergeStratified(accs, stats.Z95)
@@ -415,7 +426,7 @@ func (c *Coordinator) Run(ctx context.Context, q *query.Query, opts RunOptions, 
 		go func(k int) {
 			defer wg.Done()
 			errs[k] = c.runStratum(ctx, k, reqs[k], wps, opts.Seed, stall, &wireIn, &wireOut,
-				func(a *wj.Acc) {
+				func(a []*wj.Acc) {
 					mu.Lock()
 					latest[k] = a
 					mu.Unlock()
@@ -448,12 +459,11 @@ func (c *Coordinator) Run(ctx context.Context, q *query.Query, opts RunOptions, 
 		}
 		f := finals[k]
 		if f == nil {
-			if latest[k] != nil {
-				accs = append(accs, latest[k]) // stopped early: best progressive state
-			}
+			accs = append(accs, latest[k]...) // stopped early: best progressive state
 			continue
 		}
-		accs = append(accs, f.acc)
+		accs = append(accs, f.accs...)
+		rstats.Strata += f.done.Strata
 		rstats.PerShard[k].Walks = f.done.Walks
 		rstats.PerShard[k].Tipped = f.done.Tipped
 		rstats.Cache.Hits += f.done.CacheHits
@@ -573,7 +583,7 @@ func (c *Coordinator) infoOne(ctx context.Context, w *workerRef, q *query.Query,
 // FRESH seeds (offset past every first-attempt seed), keeping the stratum
 // estimate unbiased — partial streams must not be merged with a re-run
 // because the overlapping walks would be double-counted.
-func (c *Coordinator) runStratum(ctx context.Context, k int, req runReq, wps int, baseSeed int64, stall time.Duration, wireIn, wireOut *atomic.Int64, onAcc func(*wj.Acc), onDone func(*stratumResult), onRetry func(RetryRecord)) error {
+func (c *Coordinator) runStratum(ctx context.Context, k int, req runReq, wps int, baseSeed int64, stall time.Duration, wireIn, wireOut *atomic.Int64, onAcc func([]*wj.Acc), onDone func(*stratumResult), onRetry func(RetryRecord)) error {
 	tried := make(map[*workerRef]bool)
 	var prev *workerRef
 	for {
@@ -617,7 +627,7 @@ func prevErr(w *workerRef) string {
 }
 
 // streamRun opens one run stream and consumes it to MsgDone.
-func (c *Coordinator) streamRun(ctx context.Context, w *workerRef, k int, req runReq, stall time.Duration, wireIn, wireOut *atomic.Int64, onAcc func(*wj.Acc), onDone func(*stratumResult)) error {
+func (c *Coordinator) streamRun(ctx context.Context, w *workerRef, k int, req runReq, stall time.Duration, wireIn, wireOut *atomic.Int64, onAcc func([]*wj.Acc), onDone func(*stratumResult)) error {
 	cc, err := dialConn(ctx, w.addr)
 	if err != nil {
 		return err
@@ -659,12 +669,16 @@ func (c *Coordinator) streamRun(ctx context.Context, w *workerRef, k int, req ru
 		case MsgSnap:
 			rb := rbuf{b: payload}
 			_ = rb.u32() // seq
-			if rb.u8() != 0 {
-				a, err := decodeAcc(&rb)
-				if err != nil {
-					return err
+			if n := int(rb.u8()); n > 0 {
+				accs := make([]*wj.Acc, 0, n)
+				for i := 0; i < n; i++ {
+					a, err := decodeAcc(&rb)
+					if err != nil {
+						return err
+					}
+					accs = append(accs, a)
 				}
-				onAcc(a)
+				onAcc(accs)
 			}
 		case MsgDone:
 			rb := rbuf{b: payload}
@@ -677,11 +691,15 @@ func (c *Coordinator) streamRun(ctx context.Context, w *workerRef, k int, req ru
 				return err
 			}
 			rb.b = rb.b[n:]
-			acc, err := decodeAcc(&rb)
-			if err != nil {
-				return err
+			accs := make([]*wj.Acc, 0, 1)
+			for i, na := 0, int(rb.u8()); i < na; i++ {
+				acc, err := decodeAcc(&rb)
+				if err != nil {
+					return err
+				}
+				accs = append(accs, acc)
 			}
-			onDone(&stratumResult{acc: acc, done: done, addr: w.addr})
+			onDone(&stratumResult{accs: accs, done: done, addr: w.addr})
 			return nil
 		case MsgErr:
 			var ep errPayload

@@ -1,0 +1,156 @@
+package dist
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"kgexplore/internal/core"
+	"kgexplore/internal/exec"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/shard"
+	"kgexplore/internal/testkit"
+)
+
+// stratifyFixture mirrors the shard/core stratification fixture: hub and
+// leaf subject populations with wildly different walk contributions, so
+// the worker-side semantic sub-strata pay off over the wire.
+func stratifyFixture(t *testing.T) (*rdf.Graph, *query.Query) {
+	t.Helper()
+	g := rdf.NewGraph()
+	for h := 0; h < 4; h++ {
+		hub := fmt.Sprintf("hub%d", h)
+		g.AddIRIs(hub, "hubFlag", "yes")
+		for j := 0; j < 40; j++ {
+			o := fmt.Sprintf("friend%d_%d", h, j)
+			g.AddIRIs(hub, "knows", o)
+			for _, lex := range []string{"5", "13"} {
+				g.Add(rdf.NewIRI(o), rdf.NewIRI("pop"), rdf.NewLiteral(lex))
+			}
+		}
+	}
+	for p := 0; p < 150; p++ {
+		person := fmt.Sprintf("person%d", p)
+		g.AddIRIs(person, rdf.RDFType, "Person")
+		o := fmt.Sprintf("pal%d", p)
+		g.AddIRIs(person, "knows", o)
+		if p%3 != 0 {
+			g.Add(rdf.NewIRI(o), rdf.NewIRI("pop"), rdf.NewLiteral("900"))
+		}
+	}
+	g.Dedup()
+	knows, _ := g.Dict.LookupIRI("knows")
+	pop, _ := g.Dict.LookupIRI("pop")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(knows), O: query.V(1)},
+			{S: query.V(1), P: query.C(pop), O: query.V(2)},
+		},
+		Alpha: query.NoVar,
+		Beta:  2,
+		Agg:   query.AggCount,
+	}
+	return g, q
+}
+
+// TestDistributedStratifyEquivalence drives the stratified wire path: the
+// multi-accumulator snapshot frames must merge into unbiased estimates,
+// the stats must report the expanded leaf count, and the distributed CI
+// must not exceed the non-stratified distributed CI on the skewed fixture.
+func TestDistributedStratifyEquivalence(t *testing.T) {
+	g, q := stratifyFixture(t)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := float64(lftj.GroupCount(testkit.BuildStore(g), pl)[core.GlobalGroup])
+	const K = 2
+	manifest := writeFixtureSet(t, g, K)
+	_, addrs := startFleet(t, manifest, 2, K)
+	c := mustDial(t, addrs)
+
+	const runs = 5
+	var mean, stratCI, plainCI float64
+	for r := int64(0); r < runs; r++ {
+		xo := exec.Options{MaxWalks: 4000, Batch: 64}
+		got, rstats, err := c.Run(context.Background(), q,
+			RunOptions{Seed: 900 + r, WorkersPerShard: 2, Stratify: true}, xo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rstats.Strata <= K {
+			t.Fatalf("stats report %d strata, want > %d shards", rstats.Strata, K)
+		}
+		mean += got.Estimates[core.GlobalGroup]
+		stratCI += got.CI[core.GlobalGroup]
+
+		plain, _, err := c.Run(context.Background(), q,
+			RunOptions{Seed: 900 + r, WorkersPerShard: 2}, xo)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plainCI += plain.CI[core.GlobalGroup]
+	}
+	mean /= runs
+	if rel := math.Abs(mean-exact) / exact; rel > 0.05 {
+		t.Fatalf("distributed stratified mean %.1f vs exact %.0f (%.1f%% off)", mean, exact, rel*100)
+	}
+	if stratCI > plainCI {
+		t.Fatalf("stratified CI (%.2f avg) wider than plain (%.2f avg)", stratCI/runs, plainCI/runs)
+	}
+	t.Logf("distributed: mean %.1f (exact %.0f), CI %.2f vs plain %.2f (%.2fx)",
+		mean, exact, stratCI/runs, plainCI/runs, plainCI/stratCI)
+}
+
+// TestDistributedStratifyMatchesInProcess pins the cross-process contract
+// under stratification. Unlike the uniform path, stratified runs are NOT
+// bit-identical to in-process RunScatter: the coordinator splits quotas
+// shard-first and each worker re-splits its share across leaves (two
+// rounding stages vs. RunScatter's single global one), and leaf walkers
+// derive seeds from the per-shard wire seeds. What must match exactly is
+// the leaf decomposition itself — same manifest, same strata — and the
+// estimates must agree within their merged confidence intervals.
+func TestDistributedStratifyMatchesInProcess(t *testing.T) {
+	g, q := stratifyFixture(t)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const K = 2
+	manifest := writeFixtureSet(t, g, K)
+	set, err := shard.Load(manifest, shard.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+
+	xo := exec.Options{MaxWalks: 4000, Batch: 64}
+	want, wantStats, err := shard.RunScatter(context.Background(), set, pl,
+		shard.ScatterOptions{Seed: 31, WorkersPerShard: 2, Stratify: true}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	_, addrs := startFleet(t, manifest, 2, K)
+	c := mustDial(t, addrs)
+	got, gotStats, err := c.Run(context.Background(), q,
+		RunOptions{Seed: 31, WorkersPerShard: 2, Stratify: true}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotStats.Strata != wantStats.Strata {
+		t.Fatalf("distributed ran %d leaves, in-process %d", gotStats.Strata, wantStats.Strata)
+	}
+	for a, w := range want.Estimates {
+		if diff := math.Abs(got.Estimates[a] - w); diff > got.CI[a]+want.CI[a] {
+			t.Fatalf("group %d: distributed %.2f ± %.2f vs in-process %.2f ± %.2f",
+				a, got.Estimates[a], got.CI[a], w, want.CI[a])
+		}
+	}
+	if diff := got.Walks - want.Walks; diff < -64 || diff > 64 {
+		t.Fatalf("walk budgets diverged: distributed %d, in-process %d", got.Walks, want.Walks)
+	}
+}

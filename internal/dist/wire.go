@@ -59,8 +59,8 @@ const (
 	MsgInfo       = 0x05 // JSON infoReq
 	MsgInfoOK     = 0x06 // JSON infoResp
 	MsgRun        = 0x07 // JSON runReq
-	MsgSnap       = 0x08 // binary: u32 seq | u8 hasAcc | [acc]
-	MsgDone       = 0x09 // binary: u32 jsonLen | JSON runDone | acc
+	MsgSnap       = 0x08 // binary: u32 seq | u8 count | count × acc (0 = heartbeat)
+	MsgDone       = 0x09 // binary: u32 jsonLen | JSON runDone | u8 count | count × acc
 	MsgCancel     = 0x0A // empty (client -> worker, mid-run)
 	MsgExact      = 0x0B // JSON exactReq
 	MsgExactOK    = 0x0C // binary: u32 n | n * (u32 id | f64 value)
@@ -128,6 +128,13 @@ type runReq struct {
 	IntervalMillis int64        `json:"interval_millis,omitempty"`
 	Threshold      float64      `json:"threshold"`
 	Estimator      string       `json:"estimator,omitempty"`
+	// Stratify asks the worker to nest semantic root strata
+	// (characteristic-set buckets) inside its shard stratum: each snapshot
+	// and the done frame then carry one accumulator per sub-stratum, which
+	// the coordinator flat-merges as independent strata. MaxStrata caps the
+	// sub-strata (< 2 selects index.DefaultMaxStrata).
+	Stratify  bool `json:"stratify,omitempty"`
+	MaxStrata int  `json:"max_strata,omitempty"`
 }
 
 // runDone is the JSON trailer of MsgDone: the stratum's run statistics,
@@ -139,6 +146,9 @@ type runDone struct {
 	CacheHits   int64           `json:"cache_hits"`
 	CacheMisses int64           `json:"cache_misses"`
 	Tips        json.RawMessage `json:"tips,omitempty"` // core.TipDiag
+	// Strata is the number of semantic sub-strata the worker ran (1 when
+	// the shard did not stratify).
+	Strata int `json:"strata,omitempty"`
 }
 
 type exactReq struct {

@@ -494,17 +494,45 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 
 	wps := len(req.Seeds)
 	cache := shard.NewCache()
-	walkers := make([]*shard.Walker, wps)
-	for j := range walkers {
-		walkers[j], err = shard.NewWalker(e.set, pl, req.Stratum, shard.WalkerOptions{
-			Threshold: req.Threshold,
-			Seed:      req.Seeds[j],
-			Cache:     cache,
-			Estimator: est,
-		})
-		if err != nil {
-			return err
+
+	// Leaf strata: the shard's semantic sub-strata when the coordinator
+	// asked for them, one uniform leaf otherwise. Walker (l, j) derives its
+	// seed from the coordinator's j-th seed so the non-stratified path stays
+	// bit-identical to shard.RunScatter under equal quotas.
+	var subs []index.RootStratum
+	if req.Stratify {
+		if req.MaxStrata > 255 {
+			req.MaxStrata = 255 // the snap frame's count is one byte
 		}
+		subs = shard.SubStrata(e.set, pl, req.Stratum, req.MaxStrata)
+	}
+	L := len(subs)
+	if L == 0 {
+		L = 1
+	}
+	walkers := make([][]*shard.Walker, L)
+	cards := make([]int, L)
+	cardTotal := 0
+	for l := 0; l < L; l++ {
+		walkers[l] = make([]*shard.Walker, wps)
+		for j := 0; j < wps; j++ {
+			wo := shard.WalkerOptions{
+				Threshold: req.Threshold,
+				Seed:      req.Seeds[j],
+				Cache:     cache,
+				Estimator: est,
+			}
+			if subs != nil {
+				wo.Root = &subs[l]
+				wo.Seed = core.WorkerSeed(req.Seeds[j], l)
+			}
+			walkers[l][j], err = shard.NewWalker(e.set, pl, req.Stratum, wo)
+			if err != nil {
+				return err
+			}
+		}
+		cards[l] = walkers[l][0].RootCard()
+		cardTotal += cards[l]
 	}
 
 	w.activeRuns.Add(1)
@@ -537,6 +565,29 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 	hung := false
 	snaps := 0
 	var seq uint32
+	// mergeLeaves folds per-walker clones into one accumulator per leaf
+	// stratum, leaf-ascending — the order the final merge uses too.
+	mergeLeaves := func(latest []*wj.Acc) []*wj.Acc {
+		accs := make([]*wj.Acc, 0, L)
+		for l := 0; l < L; l++ {
+			var merged *wj.Acc
+			for j := 0; j < wps; j++ {
+				a := latest[l*wps+j]
+				if a == nil {
+					continue
+				}
+				if merged == nil {
+					merged = wj.NewAcc()
+					merged.Distinct = a.Distinct
+				}
+				merged.Merge(a)
+			}
+			if merged != nil {
+				accs = append(accs, merged)
+			}
+		}
+		return accs
+	}
 	sendSnap := func(latest []*wj.Acc) error {
 		if hung {
 			return nil
@@ -544,22 +595,10 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 		seq++
 		wb := wbuf{}
 		wb.u32(seq)
-		var merged *wj.Acc
-		for _, a := range latest {
-			if a == nil {
-				continue
-			}
-			if merged == nil {
-				merged = wj.NewAcc()
-				merged.Distinct = a.Distinct
-			}
-			merged.Merge(a)
-		}
-		if merged != nil {
-			wb.u8(1)
-			wb.b = appendAcc(wb.b, merged)
-		} else {
-			wb.u8(0) // heartbeat only
+		accs := mergeLeaves(latest)
+		wb.u8(byte(len(accs))) // 0 = heartbeat only
+		for _, a := range accs {
+			wb.b = appendAcc(wb.b, a)
 		}
 		if err := c.writeFrame(MsgSnap, wb.b); err != nil {
 			return err
@@ -576,7 +615,7 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 	}
 
 	// Per-walker publish state, mirroring RunScatter's latest-clone merge.
-	latest := make([]*wj.Acc, wps)
+	latest := make([]*wj.Acc, L*wps)
 	var mu sync.Mutex
 	o := exec.Options{
 		Budget:   time.Duration(req.BudgetMillis) * time.Millisecond,
@@ -585,6 +624,35 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 	}
 	if interval > 0 {
 		o.Interval = interval
+	}
+	// With sub-strata the stratum's budget splits across leaves by root
+	// cardinality, exactly as the coordinator split the global budget across
+	// shards (the pool goroutines cannot re-run Neyman allocation; in-process
+	// single-threaded steppers do, see shard.Scatter).
+	perLeaf := make([]exec.Options, L)
+	for l := 0; l < L; l++ {
+		ol := o
+		if L > 1 && cardTotal > 0 {
+			share := float64(cards[l]) / float64(cardTotal)
+			if o.MaxWalks > 0 {
+				pw := int64(float64(o.MaxWalks)*share + 0.5)
+				if pw < 1 {
+					pw = 1
+				}
+				ol.MaxWalks = pw
+			}
+			if o.Batch > 0 {
+				b := int(float64(o.Batch) * share * float64(L))
+				if b < 1 {
+					b = 1
+				}
+				if b > 8192 {
+					b = 8192
+				}
+				ol.Batch = b
+			}
+		}
+		perLeaf[l] = ol
 	}
 
 	pubStop := make(chan struct{})
@@ -600,7 +668,7 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 				return
 			case <-ticker.C:
 				mu.Lock()
-				clones := make([]*wj.Acc, wps)
+				clones := make([]*wj.Acc, len(latest))
 				copy(clones, latest)
 				mu.Unlock()
 				if err := sendSnap(clones); err != nil {
@@ -612,23 +680,26 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 	}()
 
 	var wg sync.WaitGroup
-	errs := make([]error, wps)
-	for j := range walkers {
-		oj := o
-		if interval > 0 {
-			j := j
-			oj.OnSnapshot = func(exec.Progress) bool {
-				mu.Lock()
-				latest[j] = walkers[j].Acc().Clone()
-				mu.Unlock()
-				return true
+	errs := make([]error, L*wps)
+	for l := 0; l < L; l++ {
+		for j := 0; j < wps; j++ {
+			oj := perLeaf[l]
+			idx := l*wps + j
+			if interval > 0 {
+				l, j := l, j
+				oj.OnSnapshot = func(exec.Progress) bool {
+					mu.Lock()
+					latest[idx] = walkers[l][j].Acc().Clone()
+					mu.Unlock()
+					return true
+				}
 			}
+			wg.Add(1)
+			go func(wk *shard.Walker, o exec.Options, e int) {
+				defer wg.Done()
+				_, errs[e] = exec.Drive(ctx, wk, o)
+			}(walkers[l][j], oj, idx)
 		}
-		wg.Add(1)
-		go func(wk *shard.Walker, o exec.Options, j int) {
-			defer wg.Done()
-			_, errs[j] = exec.Drive(ctx, wk, o)
-		}(walkers[j], oj, j)
 	}
 	wg.Wait()
 	close(pubStop)
@@ -641,20 +712,29 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 		return nil
 	}
 
-	// Final stratum accumulator: walkers merged in pool order, exactly as
-	// RunScatter's finish does, so a distributed run is bit-identical to
-	// the in-process one under the same seeds and quotas.
-	final := wj.NewAcc() // owned-distinct walkers use plain accumulators
-	done := runDone{RootCard: int64(walkers[0].RootCard())}
+	// Final per-leaf accumulators: walkers merged in pool order within each
+	// leaf, leaves leaf-ascending — exactly as RunScatter's finish does, so
+	// a distributed run is bit-identical to the in-process one under the
+	// same seeds and quotas.
+	done := runDone{Strata: L}
 	var tips core.TipDiag
-	for _, wk := range walkers {
-		final.Merge(wk.Acc())
-		done.Tipped += wk.Tipped()
-		tips.Merge(wk.TipDiag())
+	finalAccs := make([]*wj.Acc, 0, L)
+	for l := 0; l < L; l++ {
+		m := wj.NewAcc() // owned-distinct walkers use plain accumulators
+		for _, wk := range walkers[l] {
+			m.Merge(wk.Acc())
+			done.Tipped += wk.Tipped()
+			tips.Merge(wk.TipDiag())
+		}
+		done.RootCard += int64(cards[l])
+		done.Walks += m.N
+		finalAccs = append(finalAccs, m)
 	}
-	for _, wk := range walkers {
-		if err := wk.ViewErr(); err != nil {
-			return fmt.Errorf("dist: peer shard failed mid-run: %w", err)
+	for l := 0; l < L; l++ {
+		for _, wk := range walkers[l] {
+			if err := wk.ViewErr(); err != nil {
+				return fmt.Errorf("dist: peer shard failed mid-run: %w", err)
+			}
 		}
 	}
 	for _, err := range errs {
@@ -663,12 +743,11 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 		}
 	}
 	cs := cache.Stats()
-	done.Walks = final.N
 	done.CacheHits, done.CacheMisses = cs.Hits, cs.Misses
 	if tipsJSON, err := json.Marshal(tips); err == nil {
 		done.Tips = tipsJSON
 	}
-	w.totalWalks.Add(final.N)
+	w.totalWalks.Add(done.Walks)
 
 	trailer, err := json.Marshal(done)
 	if err != nil {
@@ -677,7 +756,10 @@ func (w *Worker) handleRun(c *conn, payload []byte) error {
 	wb := wbuf{}
 	wb.u32(uint32(len(trailer)))
 	wb.b = append(wb.b, trailer...)
-	wb.b = appendAcc(wb.b, final)
+	wb.u8(byte(len(finalAccs)))
+	for _, a := range finalAccs {
+		wb.b = appendAcc(wb.b, a)
+	}
 	return c.writeFrame(MsgDone, wb.b)
 }
 

@@ -1,0 +1,282 @@
+package index
+
+import (
+	"bufio"
+	"container/heap"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"kgexplore/internal/rdf"
+)
+
+// This file implements the external-memory half of the snapshot build path:
+// an order-keyed merge sorter that buffers triples up to a budget, spills
+// sorted runs to disk, and replays the fully sorted, deduplicated sequence
+// through a k-way merge. Paired with a streaming generator (kggen.Stream)
+// and the streaming snapshot writer (snap.BuildExternal), it lets
+// multi-million-triple .kgs fixtures build with a resident set bounded by
+// O(dictionary + sort buffers + merge read buffers) instead of the
+// 5 sorted in-memory copies Build keeps.
+
+// diskTripleBytes is the on-disk run encoding: three little-endian u32s,
+// matching the snapshot's triple section so runs stream straight into it.
+const diskTripleBytes = 12
+
+// runReadBufBytes sizes each run reader's buffer during the merge. With the
+// default budgets a build merges a handful of runs, so the total stays a few
+// hundred KiB.
+const runReadBufBytes = 256 << 10
+
+// TripleSorter sorts a triple stream by one index order using bounded
+// memory. Add buffers triples and spills sorted runs once the buffer fills;
+// after Finish, Iterate replays the merged, deduplicated sequence — any
+// number of times, which the snapshot builder uses for its counting and
+// summary passes.
+type TripleSorter struct {
+	order    Order
+	dir      string
+	budget   int
+	buf      []rdf.Triple
+	runs     []tripleRun
+	finished bool
+}
+
+type tripleRun struct {
+	path string
+	n    int
+}
+
+// NewTripleSorter creates a sorter spilling runs into dir. budget is the
+// maximum number of buffered triples (12 bytes each) before a spill; values
+// below 1<<14 are raised to keep runs from degenerating into tiny files.
+func NewTripleSorter(dir string, order Order, budget int) *TripleSorter {
+	if budget < 1<<14 {
+		budget = 1 << 14
+	}
+	return &TripleSorter{order: order, dir: dir, budget: budget}
+}
+
+// Add buffers one triple, spilling a sorted run when the buffer is full.
+func (ts *TripleSorter) Add(t rdf.Triple) error {
+	if ts.finished {
+		return fmt.Errorf("index: TripleSorter.Add after Finish")
+	}
+	ts.buf = append(ts.buf, t)
+	if len(ts.buf) >= ts.budget {
+		return ts.spill()
+	}
+	return nil
+}
+
+// Finish seals the sorter: the remaining buffer is sorted in place and kept
+// as the final in-memory run. After Finish, Iterate may be called repeatedly.
+func (ts *TripleSorter) Finish() {
+	if ts.finished {
+		return
+	}
+	ts.sortBuf()
+	ts.finished = true
+}
+
+// Runs reports how many runs were spilled to disk.
+func (ts *TripleSorter) Runs() int { return len(ts.runs) }
+
+// SpilledBytes reports the total size of the spilled run files.
+func (ts *TripleSorter) SpilledBytes() int64 {
+	var b int64
+	for _, r := range ts.runs {
+		b += int64(r.n) * diskTripleBytes
+	}
+	return b
+}
+
+// Close removes the spilled run files. The sorter is unusable afterwards.
+func (ts *TripleSorter) Close() error {
+	var first error
+	for _, r := range ts.runs {
+		if err := os.Remove(r.path); err != nil && first == nil {
+			first = err
+		}
+	}
+	ts.runs = nil
+	ts.buf = nil
+	return first
+}
+
+func (ts *TripleSorter) sortBuf() {
+	p := perms[ts.order]
+	rdf.SortTriples(ts.buf, uint8(p[0]), uint8(p[1]), uint8(p[2]))
+}
+
+func (ts *TripleSorter) spill() error {
+	ts.sortBuf()
+	f, err := os.CreateTemp(ts.dir, fmt.Sprintf(".extsort-%v-*", ts.order))
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriterSize(f, 1<<20)
+	var rec [diskTripleBytes]byte
+	for _, t := range ts.buf {
+		binary.LittleEndian.PutUint32(rec[0:4], uint32(t.S))
+		binary.LittleEndian.PutUint32(rec[4:8], uint32(t.P))
+		binary.LittleEndian.PutUint32(rec[8:12], uint32(t.O))
+		if _, err := bw.Write(rec[:]); err != nil {
+			f.Close()
+			os.Remove(f.Name())
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return err
+	}
+	ts.runs = append(ts.runs, tripleRun{path: f.Name(), n: len(ts.buf)})
+	ts.buf = ts.buf[:0]
+	return nil
+}
+
+// Iterate replays the sorted, deduplicated triple sequence through fn,
+// stopping on the first error fn returns. It returns the number of distinct
+// triples emitted. The merge holds one buffered reader per spilled run plus
+// the in-memory remainder; duplicate triples (identical S,P,O) are emitted
+// once.
+func (ts *TripleSorter) Iterate(fn func(rdf.Triple) error) (int, error) {
+	if !ts.finished {
+		return 0, fmt.Errorf("index: TripleSorter.Iterate before Finish")
+	}
+	srcs := make([]*runSource, 0, len(ts.runs)+1)
+	defer func() {
+		for _, s := range srcs {
+			if s.f != nil {
+				s.f.Close()
+			}
+		}
+	}()
+	for _, r := range ts.runs {
+		f, err := os.Open(r.path)
+		if err != nil {
+			return 0, err
+		}
+		srcs = append(srcs, &runSource{f: f, br: bufio.NewReaderSize(f, runReadBufBytes), left: r.n})
+	}
+	if len(ts.buf) > 0 {
+		srcs = append(srcs, &runSource{mem: ts.buf})
+	}
+
+	h := &runHeap{perm: perms[ts.order]}
+	for i, s := range srcs {
+		t, ok, err := s.next()
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			h.items = append(h.items, runItem{t: t, src: i})
+		}
+	}
+	heap.Init(h)
+
+	n := 0
+	var last rdf.Triple
+	for h.Len() > 0 {
+		it := h.items[0]
+		if n == 0 || it.t != last {
+			if err := fn(it.t); err != nil {
+				return n, err
+			}
+			last = it.t
+			n++
+		}
+		t, ok, err := srcs[it.src].next()
+		if err != nil {
+			return n, err
+		}
+		if ok {
+			h.items[0] = runItem{t: t, src: it.src}
+			heap.Fix(h, 0)
+		} else {
+			heap.Pop(h)
+		}
+	}
+	return n, nil
+}
+
+// runSource yields triples from one sorted run: a spilled file or the
+// in-memory remainder.
+type runSource struct {
+	f    *os.File
+	br   *bufio.Reader
+	left int
+	mem  []rdf.Triple
+	pos  int
+}
+
+func (s *runSource) next() (rdf.Triple, bool, error) {
+	if s.f != nil {
+		if s.left == 0 {
+			return rdf.Triple{}, false, nil
+		}
+		var rec [diskTripleBytes]byte
+		if _, err := io.ReadFull(s.br, rec[:]); err != nil {
+			return rdf.Triple{}, false, err
+		}
+		s.left--
+		return rdf.Triple{
+			S: rdf.ID(binary.LittleEndian.Uint32(rec[0:4])),
+			P: rdf.ID(binary.LittleEndian.Uint32(rec[4:8])),
+			O: rdf.ID(binary.LittleEndian.Uint32(rec[8:12])),
+		}, true, nil
+	}
+	if s.pos >= len(s.mem) {
+		return rdf.Triple{}, false, nil
+	}
+	t := s.mem[s.pos]
+	s.pos++
+	return t, true, nil
+}
+
+type runItem struct {
+	t   rdf.Triple
+	src int
+}
+
+type runHeap struct {
+	perm  [3]Pos
+	items []runItem
+}
+
+func (h *runHeap) Len() int { return len(h.items) }
+
+func (h *runHeap) Less(i, j int) bool {
+	a, b := h.items[i], h.items[j]
+	for _, p := range h.perm {
+		if va, vb := field(a.t, p), field(b.t, p); va != vb {
+			return va < vb
+		}
+	}
+	return a.src < b.src
+}
+
+func (h *runHeap) Swap(i, j int) { h.items[i], h.items[j] = h.items[j], h.items[i] }
+
+func (h *runHeap) Push(x any) { h.items = append(h.items, x.(runItem)) }
+
+func (h *runHeap) Pop() any {
+	old := h.items
+	n := len(old)
+	it := old[n-1]
+	h.items = old[:n-1]
+	return it
+}
+
+// BuildNumericTable computes the numeric-literal cache for a dictionary:
+// entry i is the parsed value of term i, NaN for non-numeric terms. Exported
+// for the external snapshot builder, which writes the cache without ever
+// holding a Store.
+func BuildNumericTable(d *rdf.Dict) []float64 { return buildNumeric(d) }

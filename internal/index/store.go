@@ -173,6 +173,11 @@ type Store struct {
 	// v2 snapshot or built lazily on first use via Summary().
 	summaryOnce sync.Once
 	summary     *Summary
+
+	// classifier memoizes the subject→bucket classification behind
+	// stratified root sampling (strata.go), built lazily on first use.
+	classifierOnce sync.Once
+	classifier     *Classifier
 }
 
 // Build indexes the graph. The graph should be deduplicated; Build sorts four

@@ -1,0 +1,220 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+
+	"kgexplore/internal/rdf"
+)
+
+// This file implements semantic root stratification: partitioning a root
+// span into strata by the characteristic-set bucket of each triple's
+// SUBJECT (the typed graph summary's buckets, summary.go). Walk roots drawn
+// uniformly within a stratum give a per-stratum Horvitz–Thompson estimator
+// whose totals sum to the global answer (wj.MergeStratified), and because
+// nodes in one bucket share an out-predicate signature their walks behave
+// alike — per-stratum variance drops, which is the entire point (Wang et
+// al.'s semantic-aware sampling, adapted to Audit Join's walk roots).
+
+// Classifier maps node IDs to their characteristic-set bucket in the
+// store's Summary. Bucket 0 is the leaf bucket (nodes with no out-edges and
+// IDs that never appear as subjects). The classification is a deterministic
+// partition of the ID space, so stratified sampling stays correct even if a
+// charset fails to match the summary (such nodes just land in bucket 0).
+type Classifier struct {
+	bucketOf []int32
+	buckets  int
+}
+
+// Classifier returns the store's subject classifier, building it on first
+// use (one O(triples) scan over SPO). Safe for concurrent callers.
+func (st *Store) Classifier() *Classifier {
+	st.classifierOnce.Do(func() {
+		st.classifier = buildClassifier(st)
+	})
+	return st.classifier
+}
+
+func buildClassifier(st *Store) *Classifier {
+	sum := st.Summary()
+	keys := make(map[string]int32, sum.NumBuckets)
+	var kb []byte
+	for b := 1; b < sum.NumBuckets; b++ {
+		kb = kb[:0]
+		for _, p := range sum.CharSet(b) {
+			kb = append(kb, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+		keys[string(kb)] = int32(b)
+	}
+	spo := &st.orders[SPO]
+	ts := spo.triples
+	out := make([]int32, len(spo.l1))
+	var keyBuf []byte
+	for s := range out {
+		sp := spo.l1[s]
+		if sp.Empty() {
+			continue // leaf bucket 0
+		}
+		keyBuf = keyBuf[:0]
+		var prev rdf.ID
+		for i := sp.Lo; i < sp.Hi; i++ {
+			// SPO sorts each subject's triples by predicate; run heads are
+			// the ascending charset, exactly as in BuildSummary.
+			p := ts[i].P
+			if len(keyBuf) == 0 || p != prev {
+				keyBuf = append(keyBuf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+				prev = p
+			}
+		}
+		if b, ok := keys[string(keyBuf)]; ok {
+			out[s] = b
+		}
+	}
+	return &Classifier{bucketOf: out, buckets: sum.NumBuckets}
+}
+
+// NumBuckets returns the bucket count of the underlying summary.
+func (c *Classifier) NumBuckets() int { return c.buckets }
+
+// Bucket returns the characteristic-set bucket of a node.
+func (c *Classifier) Bucket(id rdf.ID) int32 {
+	if int(id) < len(c.bucketOf) {
+		return c.bucketOf[id]
+	}
+	return 0
+}
+
+// RootStratum is one stratum of a stratified root-span partition: the
+// triples of the span whose subject classifies into the stratum's bucket,
+// stored as segments of the span. Strata of one StratifyRoots call are
+// disjoint and cover the span, so Σ Total over strata equals the span
+// length and per-stratum uniform sampling composes into an exact partition
+// of the uniform root distribution.
+type RootStratum struct {
+	// Bucket is the summary bucket, or -1 for the merged tail stratum that
+	// absorbs the smallest buckets past the stratum cap.
+	Bucket int32
+	// Total is the number of root triples in the stratum.
+	Total int
+	segs  []Span
+	cum   []int // cum[i] = Σ_{j<=i} segs[j].Len()
+}
+
+// Pos maps rank i ∈ [0, Total) to the global triple position in the order.
+func (rs *RootStratum) Pos(i int) int {
+	k := sort.SearchInts(rs.cum, i+1)
+	prev := 0
+	if k > 0 {
+		prev = rs.cum[k-1]
+	}
+	return rs.segs[k].Lo + (i - prev)
+}
+
+// Sample draws a uniformly random root triple of the stratum; the walk's
+// inverse probability factor for the root step is float64(rs.Total).
+func (rs *RootStratum) Sample(st *Store, o Order, rng *rand.Rand) rdf.Triple {
+	return st.orders[o].triples[rs.Pos(rng.Intn(rs.Total))]
+}
+
+// At returns the stratum's i-th root triple (tests and exact scans).
+func (rs *RootStratum) At(st *Store, o Order, i int) rdf.Triple {
+	return st.orders[o].triples[rs.Pos(i)]
+}
+
+// maxRootSegments bounds the segment-scan cost of StratifyRoots: spans in
+// subject-major orders (SPO, or a PSO level-1 span) produce one segment per
+// subject run, but an adversarial order could fragment into one segment per
+// triple. Past the cap StratifyRoots reports "not stratifiable" and callers
+// fall back to uniform sampling.
+const maxRootSegments = 1 << 20
+
+// DefaultMaxStrata caps the number of strata a stratified runner manages;
+// the smallest buckets beyond the cap merge into one tail stratum.
+const DefaultMaxStrata = 16
+
+// StratifyRoots partitions span sp of order o into characteristic-set root
+// strata. It returns nil — meaning "sample uniformly" — when stratification
+// is unavailable or pointless: a span with fewer than two triples, only one
+// distinct bucket present, or subject runs so fragmented the segment cap is
+// exceeded. maxStrata < 2 selects DefaultMaxStrata.
+func StratifyRoots(st *Store, o Order, sp Span, maxStrata int) []RootStratum {
+	if sp.Len() < 2 {
+		return nil
+	}
+	if maxStrata < 2 {
+		maxStrata = DefaultMaxStrata
+	}
+	cl := st.Classifier()
+	ts := st.orders[o].triples
+
+	type bstrat struct {
+		bucket int32
+		segs   []Span
+		total  int
+	}
+	byBucket := make(map[int32]*bstrat)
+	add := func(b int32, lo, hi int) {
+		s := byBucket[b]
+		if s == nil {
+			s = &bstrat{bucket: b}
+			byBucket[b] = s
+		}
+		if n := len(s.segs); n > 0 && s.segs[n-1].Hi == lo {
+			s.segs[n-1].Hi = hi // adjacent same-bucket runs coalesce
+		} else {
+			s.segs = append(s.segs, Span{lo, hi})
+		}
+		s.total += hi - lo
+	}
+	segs := 0
+	runStart := sp.Lo
+	curS := ts[sp.Lo].S
+	for i := sp.Lo + 1; i <= sp.Hi; i++ {
+		if i < sp.Hi && ts[i].S == curS {
+			continue
+		}
+		if segs++; segs > maxRootSegments {
+			return nil
+		}
+		add(cl.Bucket(curS), runStart, i)
+		if i < sp.Hi {
+			runStart, curS = i, ts[i].S
+		}
+	}
+	if len(byBucket) < 2 {
+		return nil
+	}
+
+	// Deterministic stratum order: by size descending, bucket ascending.
+	parts := make([]*bstrat, 0, len(byBucket))
+	for _, s := range byBucket {
+		parts = append(parts, s)
+	}
+	sort.Slice(parts, func(i, j int) bool {
+		if parts[i].total != parts[j].total {
+			return parts[i].total > parts[j].total
+		}
+		return parts[i].bucket < parts[j].bucket
+	})
+	if len(parts) > maxStrata {
+		tail := &bstrat{bucket: -1}
+		for _, s := range parts[maxStrata-1:] {
+			tail.segs = append(tail.segs, s.segs...)
+			tail.total += s.total
+		}
+		sort.Slice(tail.segs, func(i, j int) bool { return tail.segs[i].Lo < tail.segs[j].Lo })
+		parts = append(parts[:maxStrata-1], tail)
+	}
+
+	out := make([]RootStratum, len(parts))
+	for i, s := range parts {
+		cum := make([]int, len(s.segs))
+		run := 0
+		for j, seg := range s.segs {
+			run += seg.Len()
+			cum[j] = run
+		}
+		out[i] = RootStratum{Bucket: s.bucket, Total: s.total, segs: s.segs, cum: cum}
+	}
+	return out
+}

@@ -1,0 +1,167 @@
+package index
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"kgexplore/internal/rdf"
+)
+
+// strataGraph builds a skewed graph with two subject populations: a few
+// hub subjects with many out-edges (charset {knows, hub}) and many leaf
+// subjects with one out-edge each (charset {knows, type}).
+func strataGraph(t *testing.T) (*rdf.Graph, *Store) {
+	t.Helper()
+	g := rdf.NewGraph()
+	for h := 0; h < 4; h++ {
+		hub := fmt.Sprintf("hub%d", h)
+		g.AddIRIs(hub, "hubFlag", "yes")
+		for j := 0; j < 30; j++ {
+			g.AddIRIs(hub, "knows", fmt.Sprintf("friend%d_%d", h, j))
+		}
+	}
+	for p := 0; p < 120; p++ {
+		person := fmt.Sprintf("person%d", p)
+		g.AddIRIs(person, rdf.RDFType, "Person")
+		g.AddIRIs(person, "knows", fmt.Sprintf("pal%d", p))
+	}
+	g.Dedup()
+	return g, Build(g)
+}
+
+func TestStratifyRootsPartition(t *testing.T) {
+	g, st := strataGraph(t)
+	knows, _ := g.Dict.LookupIRI("knows")
+	sp := st.SpanL1(PSO, knows)
+	if sp.Len() != 4*30+120 {
+		t.Fatalf("root span has %d triples, want 240", sp.Len())
+	}
+	strata := StratifyRoots(st, PSO, sp, 0)
+	if len(strata) < 2 {
+		t.Fatalf("expected >=2 strata over two charsets, got %d", len(strata))
+	}
+
+	// The strata must be a disjoint cover of the span: every position
+	// reached exactly once through Pos, totals summing to the span length.
+	seen := make(map[int]int)
+	total := 0
+	for k := range strata {
+		rs := &strata[k]
+		total += rs.Total
+		for i := 0; i < rs.Total; i++ {
+			pos := rs.Pos(i)
+			if pos < sp.Lo || pos >= sp.Hi {
+				t.Fatalf("stratum %d rank %d maps to %d outside span [%d,%d)", k, i, pos, sp.Lo, sp.Hi)
+			}
+			seen[pos]++
+		}
+	}
+	if total != sp.Len() {
+		t.Fatalf("stratum totals sum to %d, want %d", total, sp.Len())
+	}
+	for pos, n := range seen {
+		if n != 1 {
+			t.Fatalf("position %d covered %d times", pos, n)
+		}
+	}
+
+	// Every triple of a stratum must classify into the stratum's bucket.
+	cl := st.Classifier()
+	for k := range strata {
+		rs := &strata[k]
+		if rs.Bucket < 0 {
+			continue // merged tail stratum mixes buckets by design
+		}
+		for i := 0; i < rs.Total; i++ {
+			tr := rs.At(st, PSO, i)
+			if b := cl.Bucket(tr.S); b != rs.Bucket {
+				t.Fatalf("stratum %d (bucket %d) holds subject %d of bucket %d", k, rs.Bucket, tr.S, b)
+			}
+		}
+	}
+
+	// Sampling stays inside the stratum.
+	rng := rand.New(rand.NewSource(1))
+	for k := range strata {
+		rs := &strata[k]
+		for i := 0; i < 200; i++ {
+			tr := rs.Sample(st, PSO, rng)
+			if rs.Bucket >= 0 && cl.Bucket(tr.S) != rs.Bucket {
+				t.Fatalf("sample from stratum %d left its bucket", k)
+			}
+		}
+	}
+}
+
+func TestStratifyRootsMaxStrata(t *testing.T) {
+	g := rdf.NewGraph()
+	// 8 distinct charsets: subject i has predicates {knows, p_i}.
+	for i := 0; i < 8; i++ {
+		s := fmt.Sprintf("s%d", i)
+		g.AddIRIs(s, "knows", fmt.Sprintf("o%d", i))
+		g.AddIRIs(s, fmt.Sprintf("p%d", i), "x")
+	}
+	g.Dedup()
+	st := Build(g)
+	knows, _ := g.Dict.LookupIRI("knows")
+	sp := st.SpanL1(PSO, knows)
+	strata := StratifyRoots(st, PSO, sp, 4)
+	if len(strata) != 4 {
+		t.Fatalf("got %d strata with maxStrata=4", len(strata))
+	}
+	tail := strata[len(strata)-1]
+	if tail.Bucket != -1 {
+		t.Fatalf("expected merged tail stratum, got bucket %d", tail.Bucket)
+	}
+	total := 0
+	for _, rs := range strata {
+		total += rs.Total
+	}
+	if total != sp.Len() {
+		t.Fatalf("capped strata cover %d of %d", total, sp.Len())
+	}
+}
+
+func TestStratifyRootsUniformFallbacks(t *testing.T) {
+	g := rdf.NewGraph()
+	for i := 0; i < 10; i++ {
+		g.AddIRIs(fmt.Sprintf("s%d", i), "knows", "o")
+	}
+	g.Dedup()
+	st := Build(g)
+	knows, _ := g.Dict.LookupIRI("knows")
+	sp := st.SpanL1(PSO, knows)
+	if got := StratifyRoots(st, PSO, sp, 0); got != nil {
+		t.Fatalf("single-charset span should not stratify, got %d strata", len(got))
+	}
+	if got := StratifyRoots(st, PSO, Span{sp.Lo, sp.Lo + 1}, 0); got != nil {
+		t.Fatalf("one-triple span should not stratify")
+	}
+}
+
+func TestClassifierMatchesSummary(t *testing.T) {
+	g, st := strataGraph(t)
+	_ = g
+	sum := st.Summary()
+	cl := st.Classifier()
+	if cl.NumBuckets() != sum.NumBuckets {
+		t.Fatalf("classifier sees %d buckets, summary %d", cl.NumBuckets(), sum.NumBuckets)
+	}
+	// Bucket populations recomputed through the classifier must match the
+	// summary's subject-bucket node counts (leaf bucket 0 differs: the
+	// summary also counts object-only nodes there).
+	counts := make([]int64, sum.NumBuckets)
+	spoLen := len(st.orders[SPO].l1)
+	for s := 0; s < spoLen; s++ {
+		if st.orders[SPO].l1[s].Empty() {
+			continue
+		}
+		counts[cl.Bucket(rdf.ID(s))]++
+	}
+	for b := 1; b < sum.NumBuckets; b++ {
+		if counts[b] != sum.BucketNodes[b] {
+			t.Fatalf("bucket %d: classifier %d nodes, summary %d", b, counts[b], sum.BucketNodes[b])
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package kggen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"kgexplore/internal/explore"
+	"kgexplore/internal/rdf"
+)
+
+// Stream generates the same dataset as Generate without materializing the
+// graph: triples flow through emit one at a time and only the dictionary
+// (vocabulary-sized, not edge-sized) stays resident. The subclass closure
+// is computed inline from the class tree's parent chains instead of by
+// explore.MaterializeClosure's whole-graph pass.
+//
+// Determinism contract, pinned by TestStreamMatchesGenerate: Stream interns
+// vocabulary in Generate's order (identical IDs) and performs the RNG draws
+// in Generate's order (identical triples), so after sorting and
+// deduplication the two paths yield byte-identical stores. The raw emit
+// order differs from Generate's append order only within the closure
+// triples, which both paths canonicalize away.
+//
+// Stream's resident set is O(classes + props + entities + values) dictionary
+// entries plus the per-class ancestor chains — independent of NumEdges,
+// which is what lets multi-million-triple fixtures build under a bounded
+// heap when paired with index.BuildExternal.
+func Stream(cfg Config, emit func(rdf.Triple) error) (*rdf.Dict, explore.Schema, error) {
+	if cfg.NumClasses < 1 || cfg.NumProps < 1 || cfg.NumEntities < 1 {
+		return nil, explore.Schema{}, fmt.Errorf("kggen: config %q needs at least one class, property and entity", cfg.Name)
+	}
+	if cfg.Branching < 2 {
+		cfg.Branching = 2
+	}
+	if cfg.ValuePool <= 0 {
+		cfg.ValuePool = cfg.NumEntities/10 + 1
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	d := rdf.NewDict()
+
+	// Vocabulary interning replicates Generate exactly so IDs match.
+	classes := make([]rdf.ID, cfg.NumClasses)
+	for i := range classes {
+		classes[i] = d.InternIRI(fmt.Sprintf("c:%s:%d", cfg.Name, i))
+	}
+	props := make([]rdf.ID, cfg.NumProps)
+	for i := range props {
+		props[i] = d.InternIRI(fmt.Sprintf("p:%s:%d", cfg.Name, i))
+	}
+	entities := make([]rdf.ID, cfg.NumEntities)
+	for i := range entities {
+		entities[i] = d.InternIRI(fmt.Sprintf("e:%s:%d", cfg.Name, i))
+	}
+	values := make([]rdf.ID, cfg.ValuePool)
+	for i := range values {
+		values[i] = d.Intern(rdf.NewTypedLiteral(fmt.Sprintf("%d", i+1), rdf.XSDInteger))
+	}
+	root := d.InternIRI(rdf.OWLThing)
+	typeID := d.InternIRI(rdf.RDFType)
+	subID := d.InternIRI(rdf.RDFSSubClass)
+	closureID := d.InternIRI(explore.TypeClosureIRI)
+
+	// Class tree, with each class's ancestor chain (self ... root) kept for
+	// the inline closure. Chains are short — O(tree depth).
+	topLevel := cfg.TopLevel
+	if topLevel < 1 {
+		topLevel = 1
+	}
+	if topLevel > cfg.NumClasses {
+		topLevel = cfg.NumClasses
+	}
+	parentIdx := make([]int, cfg.NumClasses) // -1 = root
+	for i, c := range classes {
+		parent := root
+		parentIdx[i] = -1
+		if i >= topLevel {
+			pi := (i - topLevel) / cfg.Branching
+			parent = classes[pi]
+			parentIdx[i] = pi
+		}
+		if err := emit(rdf.Triple{S: c, P: subID, O: parent}); err != nil {
+			return nil, explore.Schema{}, err
+		}
+	}
+	anc := make([][]rdf.ID, cfg.NumClasses)
+	for i := range anc {
+		chain := []rdf.ID{classes[i]}
+		for p := parentIdx[i]; p >= 0; p = parentIdx[p] {
+			chain = append(chain, classes[p])
+		}
+		anc[i] = append(chain, root)
+	}
+
+	// Types with the closure inline: Generate's RNG draw order, plus
+	// (entity, typeClosure, ancestor) per drawn class — the same triple set
+	// MaterializeClosure appends, duplicates and all (Dedup canonicalizes
+	// both paths).
+	classZipf := rand.NewZipf(rng, cfg.ClassZipfS, 1, uint64(cfg.NumClasses-1))
+	maxTypes := cfg.TypesPerEntityMax
+	if maxTypes < 1 {
+		maxTypes = 1
+	}
+	for _, e := range entities {
+		n := 1 + rng.Intn(maxTypes)
+		for k := 0; k < n; k++ {
+			ci := int(classZipf.Uint64())
+			if err := emit(rdf.Triple{S: e, P: typeID, O: classes[ci]}); err != nil {
+				return nil, explore.Schema{}, err
+			}
+			for _, a := range anc[ci] {
+				if err := emit(rdf.Triple{S: e, P: closureID, O: a}); err != nil {
+					return nil, explore.Schema{}, err
+				}
+			}
+		}
+	}
+
+	// Property edges: Generate's draw order, verbatim.
+	predZipf := rand.NewZipf(rng, cfg.PredZipfS, 1, uint64(cfg.NumProps-1))
+	objZipf := rand.NewZipf(rng, cfg.ObjZipfS, 1, uint64(cfg.NumEntities-1))
+	valZipf := rand.NewZipf(rng, cfg.ObjZipfS, 1, uint64(cfg.ValuePool-1))
+	var subjZipf *rand.Zipf
+	if cfg.SubjZipfS > 1 {
+		subjZipf = rand.NewZipf(rng, cfg.SubjZipfS, 1, uint64(cfg.NumEntities-1))
+	}
+	for i := 0; i < cfg.NumEdges; i++ {
+		var s rdf.ID
+		if subjZipf != nil {
+			s = entities[subjZipf.Uint64()]
+		} else {
+			s = entities[rng.Intn(cfg.NumEntities)]
+		}
+		p := props[predZipf.Uint64()]
+		var o rdf.ID
+		if rng.Float64() < cfg.EntityObjFrac {
+			o = entities[objZipf.Uint64()]
+		} else {
+			o = values[valZipf.Uint64()]
+		}
+		if err := emit(rdf.Triple{S: s, P: p, O: o}); err != nil {
+			return nil, explore.Schema{}, err
+		}
+	}
+
+	schema, err := explore.SchemaOf(d, rdf.OWLThing)
+	if err != nil {
+		return nil, explore.Schema{}, fmt.Errorf("kggen: %w", err)
+	}
+	return d, schema, nil
+}

@@ -153,6 +153,12 @@ type Server struct {
 	// -estimator keeps its selection across hot swaps. The initial dataset's
 	// estimator is the embedding process's job (kgserver sets both).
 	Estimator string
+	// Strategy selects the online sampling strategy: "uniform" (default,
+	// uniform walk roots) or "stratified" (semantic-aware stratified
+	// sampling — walk roots stratified by characteristic-set bucket with
+	// Neyman-allocated budgets). Applies to aj and wj runs on every epoch
+	// kind: monolithic runners, sharded scatter and distributed runs.
+	Strategy string
 
 	// tipDiag accumulates estimate-vs-actual tipping diagnostics across
 	// every Audit Join run this process served, for /healthz; guarded by mu.
@@ -452,6 +458,9 @@ type HealthResponse struct {
 	Rebuilds  int        `json:"rebuilds,omitempty"`
 	Sessions  int        `json:"sessions"`
 	Estimator string     `json:"estimator"`
+	// Strategy is the walk-allocation strategy every online run uses:
+	// "uniform" or "stratified".
+	Strategy string `json:"strategy"`
 	// Tips aggregates estimate-vs-actual tipping diagnostics over every
 	// Audit Join run served since startup; absent until a walk tips.
 	Tips *TipDiagBody `json:"tips,omitempty"`
@@ -477,6 +486,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Swaps:     swaps,
 		Sessions:  nsess,
 		Estimator: e.be.EstimatorName(),
+		Strategy:  s.strategyName(),
 		Tips:      tipBody(tips),
 	}
 	if e.sds != nil {
@@ -788,6 +798,11 @@ type ChartResponse struct {
 	// this run's tipping decisions (final responses of online engines only).
 	Estimator string       `json:"estimator,omitempty"`
 	Tips      *TipDiagBody `json:"tips,omitempty"`
+	// Strategy names the sampling strategy ("uniform" or "stratified");
+	// Strat carries the stratification telemetry of stratified runs (strata
+	// count, fallback reason, Neyman reallocations, per-stratum budgets).
+	Strategy string                        `json:"strategy,omitempty"`
+	Strat    *kgexplore.StratifiedRunStats `json:"strat,omitempty"`
 	// Dist reports a distributed run's telemetry: which worker delivered
 	// each stratum, re-allocations after worker loss, and wire traffic
 	// (non-stream responses of online engines over distributed epochs).
@@ -856,13 +871,19 @@ func cacheBody(cs kgexplore.CTJCacheStats) CacheStatsBody {
 // cacheStatsOf extracts the cache payload from a finished (or quiescent)
 // online runner; nil for engines without CTJ caches.
 func cacheStatsOf(r kgexplore.Stepper) *ChartCacheStats {
-	aj, ok := r.(*kgexplore.AuditJoin)
-	if !ok {
+	var cs kgexplore.CTJCacheStats
+	var shared *kgexplore.SharedCTJCache
+	switch v := r.(type) {
+	case *kgexplore.AuditJoin:
+		cs, shared = v.CacheStats(), v.SharedCache()
+	case *kgexplore.StratifiedAuditJoin:
+		cs, shared = v.CacheStats(), v.SharedCache()
+	default:
 		return nil
 	}
-	out := &ChartCacheStats{Run: cacheBody(aj.CacheStats())}
-	if sc := aj.SharedCache(); sc != nil {
-		b := cacheBody(sc.Stats())
+	out := &ChartCacheStats{Run: cacheBody(cs)}
+	if shared != nil {
+		b := cacheBody(shared.Stats())
 		out.Shared = &b
 	}
 	return out
@@ -924,9 +945,11 @@ func (s *Server) handleChart(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := chartResponse(e, req.Op, engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
+	resp.Strategy = s.strategyName()
 	resp.Cache = extras.cache
 	resp.Tips = extras.tips
 	resp.Dist = extras.dist
+	resp.Strat = extras.strat
 	writeJSON(w, http.StatusOK, resp)
 }
 
@@ -980,8 +1003,24 @@ func (s *Server) clampBudget(budgetMS int) time.Duration {
 func (s *Server) onlineRunner(ds *kgexplore.Dataset, pl *kgexplore.Plan, engine string) (kgexplore.Stepper, bool) {
 	switch engine {
 	case "wj":
+		if s.stratified() {
+			// Stratified Wander Join: the same stratified stepper with
+			// tipping disabled, mirroring the sharded wj configuration.
+			return ds.NewStratifiedAuditJoin(pl, kgexplore.StratifiedAuditJoinOptions{
+				Options: kgexplore.AuditJoinOptions{Threshold: -1, Seed: time.Now().UnixNano()},
+			}), true
+		}
 		return ds.NewWanderJoin(pl, time.Now().UnixNano()), true
 	case "aj", "":
+		if s.stratified() {
+			return ds.NewStratifiedAuditJoin(pl, kgexplore.StratifiedAuditJoinOptions{
+				Options: kgexplore.AuditJoinOptions{
+					Threshold: kgexplore.DefaultTippingThreshold,
+					Seed:      time.Now().UnixNano(),
+					Shared:    s.sharedCacheFor(pl),
+				},
+			}), true
+		}
 		return ds.NewAuditJoin(pl, kgexplore.AuditJoinOptions{
 			Threshold: kgexplore.DefaultTippingThreshold,
 			Seed:      time.Now().UnixNano(),
@@ -992,6 +1031,17 @@ func (s *Server) onlineRunner(ds *kgexplore.Dataset, pl *kgexplore.Plan, engine 
 	}
 }
 
+// stratified reports whether the server runs the stratified sampling
+// strategy; strategyName is the label surfaced in charts and /healthz.
+func (s *Server) stratified() bool { return s.Strategy == "stratified" }
+
+func (s *Server) strategyName() string {
+	if s.Strategy == "" {
+		return "uniform"
+	}
+	return s.Strategy
+}
+
 // chartExtras carries the engine-specific telemetry a chart response
 // attaches beside the bars: CTJ cache stats (monolithic aj), tipping
 // diagnostics (online engines) and distribution telemetry (dist epochs).
@@ -999,6 +1049,7 @@ type chartExtras struct {
 	cache *ChartCacheStats
 	tips  *TipDiagBody
 	dist  *DistChartBody
+	strat *kgexplore.StratifiedRunStats
 }
 
 func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, chartExtras, error) {
@@ -1028,17 +1079,33 @@ func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, eng
 	if err != nil {
 		return nil, nil, chartExtras{}, err
 	}
-	return rep.Final.Estimates, rep.Final.CI, chartExtras{cache: cacheStatsOf(r), tips: s.tipStatsOf(r)}, nil
+	return rep.Final.Estimates, rep.Final.CI,
+		chartExtras{cache: cacheStatsOf(r), tips: s.tipStatsOf(r), strat: stratStatsOf(r)}, nil
+}
+
+// stratStatsOf extracts the stratification telemetry from a stratified
+// runner; nil for uniform engines.
+func stratStatsOf(r kgexplore.Stepper) *kgexplore.StratifiedRunStats {
+	sr, ok := r.(*kgexplore.StratifiedAuditJoin)
+	if !ok {
+		return nil
+	}
+	st := sr.Stats()
+	return &st
 }
 
 // tipStatsOf extracts one quiescent runner's tipping diagnostics and folds
 // them into the /healthz totals.
 func (s *Server) tipStatsOf(r kgexplore.Stepper) *TipDiagBody {
-	aj, ok := r.(*kgexplore.AuditJoin)
-	if !ok {
+	var d kgexplore.TipDiagnostics
+	switch v := r.(type) {
+	case *kgexplore.AuditJoin:
+		d = v.TipDiag()
+	case *kgexplore.StratifiedAuditJoin:
+		d = v.TipDiag()
+	default:
 		return nil
 	}
-	d := aj.TipDiag()
 	s.observeTips(d)
 	return tipBody(d)
 }
@@ -1048,8 +1115,9 @@ func (s *Server) tipStatsOf(r kgexplore.Stepper) *TipDiagBody {
 // Wander Join analog). Both share the plan's warm per-shard caches.
 func (s *Server) scatterOptions(sds *kgexplore.ShardedDataset, pl *kgexplore.Plan, engine string) (kgexplore.ShardScatterOptions, bool) {
 	opts := kgexplore.ShardScatterOptions{
-		Seed:   time.Now().UnixNano(),
-		Caches: s.shardCachesFor(pl, sds.NumShards()),
+		Seed:     time.Now().UnixNano(),
+		Caches:   s.shardCachesFor(pl, sds.NumShards()),
+		Stratify: s.stratified(),
 	}
 	switch engine {
 	case "aj", "":
@@ -1080,7 +1148,11 @@ func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedData
 		return nil, nil, chartExtras{}, err
 	}
 	s.observeTips(stats.Tips)
-	return res.Estimates, res.CI, chartExtras{tips: tipBody(stats.Tips)}, nil
+	extras := chartExtras{tips: tipBody(stats.Tips)}
+	if s.stratified() {
+		extras.strat = &kgexplore.StratifiedRunStats{Strata: stats.Strata}
+	}
+	return res.Estimates, res.CI, extras, nil
 }
 
 // distOptions maps an online engine name onto distributed run settings,
@@ -1088,7 +1160,7 @@ func (s *Server) evaluateSharded(ctx context.Context, sds *kgexplore.ShardedData
 // tips. Worker-side suffix caches warm up per worker process, so there is
 // no coordinator-side cache to thread through.
 func (s *Server) distOptions(dds *kgexplore.DistDataset, engine string) (kgexplore.DistRunOptions, bool) {
-	opts := kgexplore.DistRunOptions{Seed: time.Now().UnixNano()}
+	opts := kgexplore.DistRunOptions{Seed: time.Now().UnixNano(), Stratify: s.stratified()}
 	switch engine {
 	case "aj", "":
 		opts.Threshold = kgexplore.DefaultTippingThreshold
@@ -1119,7 +1191,11 @@ func (s *Server) evaluateDist(ctx context.Context, dds *kgexplore.DistDataset, p
 		return nil, nil, chartExtras{}, err
 	}
 	s.observeTips(stats.Tips)
-	return res.Estimates, res.CI, chartExtras{tips: tipBody(stats.Tips), dist: distBody(stats)}, nil
+	extras := chartExtras{tips: tipBody(stats.Tips), dist: distBody(stats)}
+	if s.stratified() {
+		extras.strat = &kgexplore.StratifiedRunStats{Strata: stats.Strata}
+	}
+	return res.Estimates, res.CI, extras, nil
 }
 
 // streamChart answers a `?stream=1` chart request with Server-Sent Events:
@@ -1173,11 +1249,13 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, o
 		resp.Millis = p.Elapsed.Milliseconds()
 		resp.Walks = p.Walks
 		resp.Final = p.Final
+		resp.Strategy = s.strategyName()
 		if p.Final && runner != nil {
 			// The callback runs on the driving goroutine between walks, so
 			// the runner is quiescent and its stats are consistent.
 			resp.Cache = cacheStatsOf(runner)
 			resp.Tips = s.tipStatsOf(runner)
+			resp.Strat = stratStatsOf(runner)
 		}
 		data, err := json.Marshal(resp)
 		if err != nil {
@@ -1306,9 +1384,11 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 	}
 	resp := chartResponse(e, "sparql", engineName(req.Engine), counts, ci, req.TopN)
 	resp.Millis = time.Since(start).Milliseconds()
+	resp.Strategy = s.strategyName()
 	resp.Cache = extras.cache
 	resp.Tips = extras.tips
 	resp.Dist = extras.dist
+	resp.Strat = extras.strat
 	writeJSON(w, http.StatusOK, resp)
 }
 

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"net/http/httptest"
+	"testing"
+)
+
+// newStrategyServer serves tinyNT with the named sampling strategy.
+func newStrategyServer(t *testing.T, strategy string) (*Server, *httptest.Server) {
+	t.Helper()
+	srv := New(testDataset(t))
+	srv.Strategy = strategy
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, ts
+}
+
+// TestStrategySurfaced pins the diagnostics contract of the strategy layer:
+// /healthz and chart payloads name the active strategy, and stratified runs
+// carry stratification telemetry while uniform runs carry none.
+func TestStrategySurfaced(t *testing.T) {
+	for _, tc := range []struct{ strategy, want string }{
+		{"", "uniform"},
+		{"uniform", "uniform"},
+		{"stratified", "stratified"},
+	} {
+		t.Run(tc.want+"/"+tc.strategy, func(t *testing.T) {
+			_, ts := newStrategyServer(t, tc.strategy)
+			if h := getHealth(t, ts.URL); h.Strategy != tc.want {
+				t.Errorf("healthz strategy = %q, want %q", h.Strategy, tc.want)
+			}
+			var st StateResponse
+			post(t, ts.URL+"/api/session", struct{}{}, &st)
+			var chart ChartResponse
+			post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+				ChartRequest{Op: "out-property", Engine: "aj", BudgetMS: 50}, &chart)
+			if chart.Strategy != tc.want {
+				t.Errorf("chart strategy = %q, want %q", chart.Strategy, tc.want)
+			}
+			if tc.want == "stratified" {
+				if chart.Strat == nil || chart.Strat.Strata < 1 {
+					t.Fatalf("stratified chart carried no strat telemetry: %+v", chart.Strat)
+				}
+			} else if chart.Strat != nil {
+				t.Errorf("uniform chart carried strat telemetry: %+v", chart.Strat)
+			}
+		})
+	}
+}
+
+// TestStrategyEnginesAgree drives aj and wj under the stratified strategy
+// and checks every bar against the exact counts: strategy selection must not
+// change what the estimates converge to on a fixture this small.
+func TestStrategyEnginesAgree(t *testing.T) {
+	_, ts := newStrategyServer(t, "stratified")
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+
+	var exact ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "ctj"}, &exact)
+	if exact.NumBars == 0 {
+		t.Fatal("exact chart returned no bars")
+	}
+	want := map[string]float64{}
+	for _, b := range exact.Bars {
+		want[b.Category] = b.Count
+	}
+	for _, engine := range []string{"aj", "wj", ""} {
+		var c ChartResponse
+		resp := post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+			ChartRequest{Op: "out-property", Engine: engine, BudgetMS: 200}, &c)
+		if resp.StatusCode != 200 {
+			t.Fatalf("engine %q: status %d", engine, resp.StatusCode)
+		}
+		for _, b := range c.Bars {
+			if ex, ok := want[b.Category]; ok && b.Count < ex/2 {
+				t.Errorf("engine %q: bar %q = %.1f, exact %.1f", engine, b.Category, b.Count, ex)
+			}
+		}
+	}
+}
+
+// TestShardedStrategySurfaced: the stratified strategy nests under sharded
+// scatter-gather — charts report strategy and a leaf-strata count of at
+// least the shard count.
+func TestShardedStrategySurfaced(t *testing.T) {
+	srv, _ := newShardedTestServer(t, 2)
+	srv.Strategy = "stratified"
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	if h := getHealth(t, ts.URL); h.Strategy != "stratified" {
+		t.Errorf("healthz strategy = %q", h.Strategy)
+	}
+	var st StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &st)
+	var chart ChartResponse
+	post(t, ts.URL+"/api/session/"+st.Session+"/chart",
+		ChartRequest{Op: "out-property", Engine: "aj", BudgetMS: 100}, &chart)
+	if chart.Strategy != "stratified" {
+		t.Errorf("chart strategy = %q", chart.Strategy)
+	}
+	if chart.Strat == nil || chart.Strat.Strata < 2 {
+		t.Fatalf("sharded stratified chart strat = %+v, want >= 2 strata", chart.Strat)
+	}
+}

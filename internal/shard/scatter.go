@@ -10,6 +10,7 @@ import (
 	"kgexplore/internal/card"
 	"kgexplore/internal/core"
 	"kgexplore/internal/exec"
+	"kgexplore/internal/index"
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
 	"kgexplore/internal/stats"
@@ -35,6 +36,86 @@ type ScatterOptions struct {
 	// Estimator drives every walker's tipping oracle and the per-stratum
 	// allocation weights; nil selects span statistics over the whole set.
 	Estimator card.Estimator
+	// Stratify nests semantic root strata (characteristic-set buckets, see
+	// index.StratifyRoots) inside each shard stratum: every (shard ×
+	// bucket) leaf gets its own walker, the Scatter stepper allocates walks
+	// adaptively (Neyman, wj.NeymanAlloc) across leaves, and the leaves
+	// flat-merge through wj.MergeStratified — disjoint leaves need no
+	// hierarchical merge. Distinct plans and shards whose roots do not
+	// stratify keep one uniform walker per shard.
+	Stratify bool
+	// MaxStrata caps the semantic strata per shard (< 2 selects
+	// index.DefaultMaxStrata).
+	MaxStrata int
+	// PilotWalks/AdaptEvery tune the adaptive allocator (defaults 64/512).
+	PilotWalks int64
+	AdaptEvery int64
+}
+
+// subStrataAll computes every shard's semantic sub-strata. Entry k is nil
+// when shard k does not stratify (distinct plan, membership or empty root,
+// remote shard, single bucket, fragmented runs) — such shards keep one
+// uniform walker.
+func subStrataAll(set *Set, pl *query.Plan, maxStrata int) [][]index.RootStratum {
+	out := make([][]index.RootStratum, set.K())
+	if pl.Query.Distinct || pl.Steps[0].Kind == query.AccessMembership {
+		return out
+	}
+	res, err := newResolver(set, pl)
+	if err != nil {
+		return out
+	}
+	st0 := &pl.Steps[0]
+	b := pl.NewBindings()
+	for k := 0; k < set.K(); k++ {
+		store := set.stores[k]
+		if store == nil {
+			continue // remote shard: roots are not local to this process
+		}
+		span, ok := res.views[k].Resolve(0, b)
+		if !ok || span.Len() == 0 {
+			continue
+		}
+		out[k] = index.StratifyRoots(store, st0.Order, span, maxStrata)
+	}
+	return out
+}
+
+// SubStrata computes shard k's semantic root strata, or nil when that shard
+// does not stratify (see subStrataAll). Distributed workers call this to
+// nest characteristic-set strata inside their own shard stratum.
+func SubStrata(set *Set, pl *query.Plan, k, maxStrata int) []index.RootStratum {
+	if k < 0 || k >= set.K() {
+		return nil
+	}
+	return subStrataAll(set, pl, maxStrata)[k]
+}
+
+// leafSpec names one walk stratum of a scatter run: a shard, optionally
+// restricted to a semantic sub-stratum.
+type leafSpec struct {
+	shard int
+	root  *index.RootStratum
+}
+
+// scatterLeaves expands the shard list into leaf strata under opts.
+func scatterLeaves(set *Set, pl *query.Plan, opts ScatterOptions) []leafSpec {
+	K := set.K()
+	leaves := make([]leafSpec, 0, K)
+	var subs [][]index.RootStratum
+	if opts.Stratify {
+		subs = subStrataAll(set, pl, opts.MaxStrata)
+	}
+	for k := 0; k < K; k++ {
+		if opts.Stratify && len(subs[k]) > 0 {
+			for i := range subs[k] {
+				leaves = append(leaves, leafSpec{shard: k, root: &subs[k][i]})
+			}
+			continue
+		}
+		leaves = append(leaves, leafSpec{shard: k})
+	}
+	return leaves
 }
 
 // ShardRunStats reports one stratum's share of a scatter-gather run.
@@ -64,6 +145,9 @@ type ScatterStats struct {
 	// runs never retry; distributed runs (internal/dist) record each lost
 	// worker's stratum being re-run on a survivor here.
 	Retries int `json:"retries,omitempty"`
+	// Strata is the number of leaf strata the run actually used: K without
+	// semantic stratification, up to K × MaxStrata with it.
+	Strata int `json:"strata,omitempty"`
 }
 
 // Scatter is the shard-merging driver as a single exec.Stepper: Step runs
@@ -78,29 +162,49 @@ type Scatter struct {
 	weights []float64
 	credit  []float64
 	totalW  float64
+	// alloc replaces the fixed-weight round-robin with adaptive Neyman
+	// allocation when the run is semantically stratified; accs are the
+	// walkers' accumulators it reads variances from.
+	alloc *wj.NeymanAlloc
+	accs  []*wj.Acc
 }
 
-// NewScatter builds one walker per non-empty stratum. Distinct plans whose
-// variable the partition key does not own fail with ErrDistinctNotOwned.
+// NewScatter builds one walker per non-empty leaf stratum (shards, or
+// shard × characteristic-set bucket with opts.Stratify). Distinct plans
+// whose variable the partition key does not own fail with
+// ErrDistinctNotOwned.
 func NewScatter(set *Set, pl *query.Plan, opts ScatterOptions) (*Scatter, error) {
 	est := setEstimator(set, opts.Estimator)
 	s := &Scatter{}
-	for k := 0; k < set.K(); k++ {
-		w, err := NewWalker(set, pl, k, WalkerOptions{
+	leaves := scatterLeaves(set, pl, opts)
+	stratified := false
+	for li, leaf := range leaves {
+		w, err := NewWalker(set, pl, leaf.shard, WalkerOptions{
 			Threshold: opts.Threshold,
-			Seed:      core.WorkerSeed(opts.Seed, k),
-			Cache:     cacheFor(opts.Caches, k),
+			Seed:      core.WorkerSeed(opts.Seed, li),
+			Cache:     cacheFor(opts.Caches, leaf.shard),
 			Estimator: est,
+			Root:      leaf.root,
 		})
 		if err != nil {
 			return nil, err
 		}
-		if w.RootCard() == 0 && set.K() > 1 {
+		if w.RootCard() == 0 && len(leaves) > 1 {
 			continue // empty stratum contributes exactly zero
+		}
+		if leaf.root != nil {
+			stratified = true
 		}
 		s.walkers = append(s.walkers, w)
 		s.weights = append(s.weights, float64(w.RootCard()))
 		s.totalW += float64(w.RootCard())
+	}
+	if stratified {
+		s.accs = make([]*wj.Acc, len(s.walkers))
+		for i, w := range s.walkers {
+			s.accs[i] = w.Acc()
+		}
+		s.alloc = wj.NewNeymanAlloc(s.weights, opts.PilotWalks, opts.AdaptEvery)
 	}
 	if len(s.walkers) == 0 {
 		// Every stratum is empty. Keep one walker so Step still advances the
@@ -132,7 +236,13 @@ func cacheFor(caches []*Cache, k int) *Cache {
 
 // Step walks the stratum with the highest accumulated credit — over time
 // each stratum receives walks in proportion to its root cardinality.
+// Semantically stratified runs hand the choice to the adaptive Neyman
+// allocator instead.
 func (s *Scatter) Step() {
+	if s.alloc != nil {
+		s.walkers[s.alloc.Next(s.accs)].Step()
+		return
+	}
 	best := 0
 	for i := range s.walkers {
 		s.credit[i] += s.weights[i]
@@ -143,6 +253,9 @@ func (s *Scatter) Step() {
 	s.credit[best] -= s.totalW
 	s.walkers[best].Step()
 }
+
+// Strata returns the number of leaf strata the stepper drives.
+func (s *Scatter) Strata() int { return len(s.walkers) }
 
 // Walks sums the stratum walk counts.
 func (s *Scatter) Walks() int64 {
@@ -211,44 +324,49 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 		}
 	}
 
-	// Build the pools and read the per-stratum root cardinalities that
-	// drive the allocation.
-	walkers := make([][]*Walker, K)
-	cards := make([]int, K)
+	// Expand the shards into leaf strata (one per shard, or shard ×
+	// characteristic-set bucket under opts.Stratify), build the pools and
+	// read the per-leaf root cardinalities that drive the allocation.
+	leaves := scatterLeaves(set, pl, opts)
+	L := len(leaves)
+	sstats.Strata = L
+	walkers := make([][]*Walker, L)
+	cards := make([]int, L)
 	total := 0
 	widx := 0
-	for k := 0; k < K; k++ {
-		walkers[k] = make([]*Walker, wps)
+	for li, leaf := range leaves {
+		walkers[li] = make([]*Walker, wps)
 		for j := 0; j < wps; j++ {
-			w, err := NewWalker(set, pl, k, WalkerOptions{
+			w, err := NewWalker(set, pl, leaf.shard, WalkerOptions{
 				Threshold: opts.Threshold,
 				Seed:      core.WorkerSeed(opts.Seed, widx),
-				Cache:     caches[k],
+				Cache:     caches[leaf.shard],
 				Estimator: est,
+				Root:      leaf.root,
 			})
 			if err != nil {
 				return wj.Result{}, sstats, err
 			}
-			walkers[k][j] = w
+			walkers[li][j] = w
 			widx++
 		}
-		cards[k] = walkers[k][0].RootCard()
-		sstats.PerShard[k].RootCard = cards[k]
-		total += cards[k]
+		cards[li] = walkers[li][0].RootCard()
+		sstats.PerShard[leaf.shard].RootCard += cards[li]
+		total += cards[li]
 	}
 	finish := func() wj.Result {
-		accs := make([]*wj.Acc, 0, K)
-		for k := 0; k < K; k++ {
-			if cards[k] == 0 {
+		accs := make([]*wj.Acc, 0, L)
+		for li, leaf := range leaves {
+			if cards[li] == 0 {
 				continue
 			}
 			m := wj.NewAcc()
-			for _, w := range walkers[k] {
+			for _, w := range walkers[li] {
 				m.Merge(w.Acc())
-				sstats.PerShard[k].Tipped += w.Tipped()
+				sstats.PerShard[leaf.shard].Tipped += w.Tipped()
 				sstats.Tips.Merge(w.TipDiag())
 			}
-			sstats.PerShard[k].Walks = m.N
+			sstats.PerShard[leaf.shard].Walks += m.N
 			accs = append(accs, m)
 		}
 		for k := 0; k < K; k++ {
@@ -267,24 +385,26 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 		return res, sstats, nil
 	}
 
-	// Proportional allocation. MaxWalks is the total budget: stratum k gets
-	// ⌈MaxWalks·card_k/total⌉ (at least one walk per non-empty stratum so no
-	// stratum is silently dropped), split over its pool. In pure
+	// Proportional allocation. MaxWalks is the total budget: leaf stratum k
+	// gets ⌈MaxWalks·card_k/total⌉ (at least one walk per non-empty stratum
+	// so no stratum is silently dropped), split over its pool. In pure
 	// budget-driven runs the same proportions are approximated by scaling
 	// each pool's batch size, so strata advance at cardinality-proportional
-	// rates between deadline checks.
+	// rates between deadline checks. (Pools run as independent goroutines
+	// behind exec.Drive, so cross-pool Neyman reallocation does not apply
+	// here; the single-threaded Scatter stepper adapts, see NewScatter.)
 	base := xopts.Batch
 	if base <= 0 {
 		base = exec.DefaultBatch
 	}
 	active := 0
-	for k := 0; k < K; k++ {
+	for k := 0; k < L; k++ {
 		if cards[k] > 0 {
 			active++
 		}
 	}
-	perWorker := make([]exec.Options, K)
-	for k := 0; k < K; k++ {
+	perWorker := make([]exec.Options, L)
+	for k := 0; k < L; k++ {
 		if cards[k] == 0 {
 			continue
 		}
@@ -316,7 +436,7 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 	// Publisher mirroring core.RunParallelStats: workers publish clones at
 	// their own cadence; a dedicated goroutine folds the latest clones into
 	// merged progressive snapshots.
-	latest := make([][]*wj.Acc, K)
+	latest := make([][]*wj.Acc, L)
 	for k := range latest {
 		latest[k] = make([]*wj.Acc, wps)
 	}
@@ -325,8 +445,8 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 	onSnap := xopts.OnSnapshot
 
 	mergedLocked := func() wj.Result {
-		accs := make([]*wj.Acc, 0, K)
-		for k := 0; k < K; k++ {
+		accs := make([]*wj.Acc, 0, L)
+		for k := 0; k < L; k++ {
 			var m *wj.Acc
 			for _, a := range latest[k] {
 				if a == nil {
@@ -384,9 +504,9 @@ func RunScatter(ctx context.Context, set *Set, pl *query.Plan, opts ScatterOptio
 		}()
 	}
 
-	errs := make([]error, K*wps)
+	errs := make([]error, L*wps)
 	var wg sync.WaitGroup
-	for k := 0; k < K; k++ {
+	for k := 0; k < L; k++ {
 		if cards[k] == 0 {
 			continue
 		}

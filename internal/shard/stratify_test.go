@@ -1,0 +1,156 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+
+	"kgexplore/internal/core"
+	"kgexplore/internal/exec"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// skewedShardGraph mirrors core's stratification fixture: two subject
+// populations with wildly different walk contributions (hubs with dense
+// fan-out, leaves with one edge and partial pop coverage), so semantic
+// sub-strata nested inside shard strata pay off.
+func skewedShardGraph(t *testing.T) (*rdf.Graph, *query.Plan) {
+	t.Helper()
+	g := rdf.NewGraph()
+	for h := 0; h < 4; h++ {
+		hub := fmt.Sprintf("hub%d", h)
+		g.AddIRIs(hub, "hubFlag", "yes")
+		for j := 0; j < 40; j++ {
+			o := fmt.Sprintf("friend%d_%d", h, j)
+			g.AddIRIs(hub, "knows", o)
+			for _, lex := range []string{"5", "13"} {
+				g.Add(rdf.NewIRI(o), rdf.NewIRI("pop"), rdf.NewLiteral(lex))
+			}
+		}
+	}
+	for p := 0; p < 150; p++ {
+		person := fmt.Sprintf("person%d", p)
+		g.AddIRIs(person, rdf.RDFType, "Person")
+		o := fmt.Sprintf("pal%d", p)
+		g.AddIRIs(person, "knows", o)
+		if p%3 != 0 {
+			g.Add(rdf.NewIRI(o), rdf.NewIRI("pop"), rdf.NewLiteral("900"))
+		}
+	}
+	g.Dedup()
+	knows, _ := g.Dict.LookupIRI("knows")
+	pop, _ := g.Dict.LookupIRI("pop")
+	q := &query.Query{
+		Patterns: []query.Pattern{
+			{S: query.V(0), P: query.C(knows), O: query.V(1)},
+			{S: query.V(1), P: query.C(pop), O: query.V(2)},
+		},
+		Alpha: query.NoVar,
+		Beta:  2,
+		Agg:   query.AggCount,
+	}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g, pl
+}
+
+// TestScatterStratifyNested checks the tentpole composition: semantic
+// strata nest inside shard strata as flat disjoint leaves, the stepper
+// stays unbiased and CI-valid, and on the skewed fixture the nested run's
+// CI beats the shard-only run's at the same walk budget.
+func TestScatterStratifyNested(t *testing.T) {
+	g, pl := skewedShardGraph(t)
+	exact := float64(lftj.GroupCount(testkit.BuildStore(g), pl)[core.GlobalGroup])
+	if exact == 0 {
+		t.Fatal("empty fixture")
+	}
+	const (
+		seeds = 10
+		walks = 4000
+	)
+	for _, k := range []int{1, 2, 4} {
+		s := buildSet(t, g, k)
+		var mean, stratCI, plainCI float64
+		covered := 0
+		strata := 0
+		for seed := int64(0); seed < seeds; seed++ {
+			sc, err := NewScatter(s, pl, ScatterOptions{Seed: 100 + seed, Stratify: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			strata = sc.Strata()
+			exec.RunN(sc, walks)
+			snap := sc.Snapshot()
+			est, ci := snap.Estimates[core.GlobalGroup], snap.CI[core.GlobalGroup]
+			mean += est
+			stratCI += ci
+			if math.Abs(est-exact) <= ci+1e-9 {
+				covered++
+			}
+
+			plain, err := NewScatter(s, pl, ScatterOptions{Seed: 100 + seed})
+			if err != nil {
+				t.Fatal(err)
+			}
+			exec.RunN(plain, walks)
+			plainCI += plain.Snapshot().CI[core.GlobalGroup]
+		}
+		if strata <= k {
+			t.Fatalf("K=%d: expected > %d leaf strata with Stratify, got %d", k, k, strata)
+		}
+		mean /= seeds
+		if rel := math.Abs(mean-exact) / exact; rel > 0.05 {
+			t.Fatalf("K=%d: stratified scatter mean %.1f vs exact %.0f (%.1f%% off)", k, mean, exact, rel*100)
+		}
+		if covered < seeds*7/10 {
+			t.Fatalf("K=%d: CI covered exact in only %d/%d runs", k, covered, seeds)
+		}
+		if stratCI > plainCI {
+			t.Fatalf("K=%d: nested CI (%.2f avg) wider than shard-only (%.2f avg)",
+				k, stratCI/seeds, plainCI/seeds)
+		}
+		t.Logf("K=%d: %d leaves, mean %.1f (exact %.0f), CI %.2f vs shard-only %.2f (%.2fx)",
+			k, strata, mean, exact, stratCI/seeds, plainCI/seeds, plainCI/stratCI)
+	}
+}
+
+// TestRunScatterStratifyEquivalence drives the pooled parallel path with
+// nesting on: the merged result must stay unbiased and the stats must
+// report the expanded leaf count while per-shard root cardinalities still
+// sum to the full root span.
+func TestRunScatterStratifyEquivalence(t *testing.T) {
+	g, pl := skewedShardGraph(t)
+	exact := float64(lftj.GroupCount(testkit.BuildStore(g), pl)[core.GlobalGroup])
+	s := buildSet(t, g, 2)
+	var mean float64
+	const runs = 6
+	for r := int64(0); r < runs; r++ {
+		res, sstats, err := RunScatter(context.Background(), s, pl,
+			ScatterOptions{Seed: 500 + r, Stratify: true, WorkersPerShard: 2},
+			execOptsN(4000))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sstats.Strata <= s.K() {
+			t.Fatalf("stats report %d strata, want > %d shards", sstats.Strata, s.K())
+		}
+		rootTotal := 0
+		for _, ps := range sstats.PerShard {
+			rootTotal += ps.RootCard
+		}
+		if want := 4*40 + 150; rootTotal != want {
+			t.Fatalf("per-shard root cards sum to %d, want %d", rootTotal, want)
+		}
+		mean += res.Estimates[core.GlobalGroup]
+	}
+	mean /= runs
+	if rel := math.Abs(mean-exact) / exact; rel > 0.05 {
+		t.Fatalf("pooled stratified mean %.1f vs exact %.0f (%.1f%% off)", mean, exact, rel*100)
+	}
+}

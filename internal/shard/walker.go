@@ -63,6 +63,13 @@ type WalkerOptions struct {
 	// exact under every shipped estimator, so walk allocation does not depend
 	// on the choice.
 	Estimator card.Estimator
+	// Root, when non-nil, restricts this walker to one SEMANTIC sub-stratum
+	// of the shard's root span (index.StratifyRoots over the shard store):
+	// roots sample uniformly from the sub-stratum and the inverse
+	// probability uses its size, nesting characteristic-set strata inside
+	// the shard strata. The (shard × bucket) leaves stay disjoint, so their
+	// accumulators flat-merge through wj.MergeStratified.
+	Root *index.RootStratum
 }
 
 // Walker runs stratified Audit Join walks for ONE stratum of a sharded
@@ -100,6 +107,9 @@ type Walker struct {
 
 	rootSpan index.Span
 	rootLen  int
+	// root is the optional semantic sub-stratum restriction (nil samples the
+	// whole shard root span); when set, rootLen is the sub-stratum size.
+	root *index.RootStratum
 	// rootCard is the stratum weight reported to the scatter allocator,
 	// answered by the estimator (exactly, for both shipped estimators).
 	rootCard int
@@ -169,11 +179,23 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 			w.rootLen = ss.Span.Len()
 		}
 	}
+	if opts.Root != nil {
+		// Semantic sub-stratum: roots draw from the restricted segment set.
+		// The membership-root case never stratifies (callers check), so
+		// rootLen is always the sub-stratum size here.
+		w.root = opts.Root
+		w.rootLen = opts.Root.Total
+	}
 	// The allocator weight comes from the estimator scoped to this stratum's
 	// store, not from the span directly: both shipped estimators answer root
 	// counts exactly, so this equals rootLen while keeping every budget
-	// decision behind the card layer.
-	w.rootCard = int(est.Scope(set.stores[stratum]).RootCount(pl).Value)
+	// decision behind the card layer. A sub-stratified walker's weight is its
+	// sub-stratum size, exact by construction.
+	if w.root != nil {
+		w.rootCard = w.root.Total
+	} else {
+		w.rootCard = int(est.Scope(set.stores[stratum]).RootCount(pl).Value)
+	}
 
 	// ctj-style interface variables for suffix-cache keys.
 	n := len(pl.Steps)
@@ -236,8 +258,7 @@ func (w *Walker) Step() {
 	st0 := &w.pl.Steps[0]
 	prodD := 1.0
 	if st0.Kind != query.AccessMembership {
-		t := w.set.stores[w.stratum].At(st0.Order, w.rootSpan, w.rng.Intn(w.rootLen))
-		st0.Bind(t, b)
+		st0.Bind(w.sampleRoot(st0), b)
 		prodD = float64(w.rootLen)
 	}
 	last := len(w.pl.Steps) - 1
@@ -268,6 +289,17 @@ func (w *Walker) Step() {
 	}
 }
 
+// sampleRoot draws a uniform root triple: from the semantic sub-stratum
+// when one is set, otherwise from the shard's whole root span. Both draw
+// from exactly rootLen triples, so prodD = rootLen either way.
+func (w *Walker) sampleRoot(st0 *query.Step) rdf.Triple {
+	store := w.set.stores[w.stratum]
+	if w.root != nil {
+		return w.root.Sample(store, st0.Order, w.rng)
+	}
+	return store.At(st0.Order, w.rootSpan, w.rng.Intn(w.rootLen))
+}
+
 // stepOwned is the owned-distinct walk: sample a root triple uniformly
 // from the stratum root span, look up (memoized) the distinct groups
 // reachable from its subject v and the exact count n_v of root triples
@@ -277,7 +309,7 @@ func (w *Walker) Step() {
 // contributes rootLen/n_v once per group it reaches.
 func (w *Walker) stepOwned() {
 	st0 := &w.pl.Steps[0]
-	t := w.set.stores[w.stratum].At(st0.Order, w.rootSpan, w.rng.Intn(w.rootLen))
+	t := w.sampleRoot(st0)
 	groups, nv := w.groupsOf(t.S)
 	if len(groups) == 0 || nv == 0 {
 		w.acc.Rejected++

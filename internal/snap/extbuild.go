@@ -1,0 +1,630 @@
+package snap
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/bits"
+	"os"
+	"sort"
+	"time"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// This file is the external-memory snapshot build path: BuildExternal writes
+// a .kgs directly from a triple *stream* instead of a built Store, so
+// fixtures far larger than memory-resident builds allow come out of the same
+// format. The input may contain duplicates (kggen.Stream emits the raw
+// closure stream); each order's external merge sorter (index.TripleSorter)
+// deduplicates during its merge, so all four orders settle on the same
+// triple set — exactly what Build produces from a deduplicated graph.
+//
+// Resident set: the four sort buffers (MemBudget bytes total), one dense
+// level-1 span array at a time (16 B per dictionary ID), the per-predicate
+// stats and numeric caches (32 B per ID), the dictionary itself, and the
+// merge read buffers. Everything proportional to the triple count — the
+// sorted orders and the packed level-2 pair arrays — lives in spill files.
+//
+// With OmitSummary the output is byte-identical to WriteOpts over
+// index.Build of the same data (given an identical Meta); with the summary
+// the only difference is the summary's recorded BuildMillis, since the
+// streaming summary construction reproduces BuildSummary's bucket numbering
+// and edge table exactly.
+
+// DefaultMemBudget is the default external-build sort budget: small enough
+// to prove the bounded-memory property on CI machines, large enough that
+// scale-1 fixtures spill only a handful of runs.
+const DefaultMemBudget = 256 << 20
+
+// ExtBuildOptions configure BuildExternal.
+type ExtBuildOptions struct {
+	// TmpDir receives the spill files (sorted runs, packed level-2 pairs);
+	// empty means the OS temp directory. Peak spill usage is roughly
+	// 4x the deduplicated triple bytes plus the level-2 pair files.
+	TmpDir string
+	// MemBudget bounds the four sort buffers' total bytes (default
+	// DefaultMemBudget). This is the knob that trades spill I/O for memory;
+	// it does not cover the O(dictionary) arrays, which are irreducible.
+	MemBudget int64
+	// OmitSummary matches WriteOptions.OmitSummary: skip the graph-summary
+	// section and stamp format version 1.
+	OmitSummary bool
+}
+
+// ExtBuildStats reports what a streaming build did.
+type ExtBuildStats struct {
+	// RawTriples counts stream triples before deduplication; Triples after.
+	RawTriples int
+	Triples    int
+	// Runs counts sorted runs spilled across all four orders; SpillBytes
+	// their total size (level-2 pair files included).
+	Runs       int
+	SpillBytes int64
+}
+
+// BuildExternal streams a snapshot from a triple source. feed must emit the
+// full triple stream and return the dictionary covering every ID it emitted;
+// it is called exactly once. meta may be nil; counts are filled in either
+// way, as in Write.
+func BuildExternal(w io.Writer, feed func(emit func(rdf.Triple) error) (*rdf.Dict, error), meta *Meta, o ExtBuildOptions) (ExtBuildStats, error) {
+	var stats ExtBuildStats
+	tmp := o.TmpDir
+	if tmp == "" {
+		tmp = os.TempDir()
+	}
+	budget := o.MemBudget
+	if budget <= 0 {
+		budget = DefaultMemBudget
+	}
+	perSorter := int(budget / 4 / diskTripleSize)
+
+	var sorters [4]*index.TripleSorter
+	for ord := index.Order(0); ord < 4; ord++ {
+		sorters[ord] = index.NewTripleSorter(tmp, ord, perSorter)
+		defer sorters[ord].Close()
+	}
+
+	// Feed pass: fan every triple into the four sorters, tracking the
+	// distinct subject/predicate/object sets (bitmaps over the dense ID
+	// space) — that is all the meta section's NDV1 needs, and it spares a
+	// dedicated pass per order.
+	var seen [3]bitset
+	err := func() error {
+		d, err := feed(func(t rdf.Triple) error {
+			stats.RawTriples++
+			seen[0].set(uint32(t.S))
+			seen[1].set(uint32(t.P))
+			seen[2].set(uint32(t.O))
+			for ord := index.Order(0); ord < 4; ord++ {
+				if err := sorters[ord].Add(t); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+		if d == nil {
+			return fmt.Errorf("snap: external build feed returned no dictionary")
+		}
+		eb := &extBuilder{w: w, d: d, sorters: sorters, tmp: tmp, opts: o, stats: &stats, seen: &seen}
+		return eb.run(meta)
+	}()
+	for _, ts := range sorters {
+		stats.Runs += ts.Runs()
+		stats.SpillBytes += ts.SpilledBytes()
+	}
+	return stats, err
+}
+
+// BuildExternalFile is BuildExternal writing atomically to path, mirroring
+// WriteFile's temp-and-rename.
+func BuildExternalFile(path string, feed func(emit func(rdf.Triple) error) (*rdf.Dict, error), meta *Meta, o ExtBuildOptions) (ExtBuildStats, error) {
+	f, err := os.CreateTemp(dirOf(path), ".snap-*")
+	if err != nil {
+		return ExtBuildStats{}, err
+	}
+	tmp := f.Name()
+	defer os.Remove(tmp)
+	stats, err := BuildExternal(f, feed, meta, o)
+	if err != nil {
+		f.Close()
+		return stats, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return stats, err
+	}
+	if err := f.Close(); err != nil {
+		return stats, err
+	}
+	return stats, os.Rename(tmp, path)
+}
+
+// extBuilder holds the state of one streaming build after the feed pass.
+type extBuilder struct {
+	w       io.Writer
+	d       *rdf.Dict
+	sorters [4]*index.TripleSorter
+	tmp     string
+	opts    ExtBuildOptions
+	stats   *ExtBuildStats
+	seen    *[3]bitset
+
+	cw    *countingWriter
+	table []sectionEntry
+
+	// Summary state, carried from the SPO counting pass (bucket assignment)
+	// to the summary section's edge pass.
+	bucketOf []int32
+	charSets [][]rdf.ID
+	counts   []int64
+	sumStart time.Time
+
+	psoL1Len  int
+	predStats []index.PredStat
+}
+
+// section writes one table section around emit, like Write's helper but
+// filling the element count afterwards — streaming passes learn their counts
+// as they go.
+func (eb *extBuilder) section(kind uint32, emit func() (count int, err error)) error {
+	eb.cw.pad()
+	e := sectionEntry{kind: kind, off: eb.cw.off}
+	eb.cw.crc = 0
+	n, err := emit()
+	if err != nil {
+		return err
+	}
+	e.size = eb.cw.off - e.off
+	e.crc = eb.cw.crc
+	e.count = uint64(n)
+	eb.table = append(eb.table, e)
+	return eb.cw.err
+}
+
+func (eb *extBuilder) run(meta *Meta) error {
+	for _, ts := range eb.sorters {
+		ts.Finish()
+	}
+	dictLen := eb.d.Len()
+
+	// Counting pass over SPO: the deduplicated triple count is in the meta
+	// section, which is written before any triples, so one extra merge read
+	// is the price of the forward-only file layout. The pass doubles as the
+	// summary's bucket-assignment scan (subject charsets arrive as
+	// predicate runs in SPO order, the same grouping BuildSummary reads off
+	// the built index).
+	eb.sumStart = time.Now()
+	collect := !eb.opts.OmitSummary
+	if collect {
+		eb.bucketOf = make([]int32, dictLen)
+		eb.charSets = [][]rdf.ID{nil}
+		eb.counts = []int64{0}
+	}
+	buckets := map[string]int32{"": 0}
+	var keyBuf []byte
+	var predBuf []rdf.ID
+	var curS rdf.ID = ^rdf.ID(0)
+	flushSubject := func() {
+		if !collect || len(predBuf) == 0 {
+			return
+		}
+		id, ok := buckets[string(keyBuf)]
+		if !ok {
+			id = int32(len(eb.charSets))
+			buckets[string(keyBuf)] = id
+			eb.charSets = append(eb.charSets, append([]rdf.ID(nil), predBuf...))
+			eb.counts = append(eb.counts, 0)
+		}
+		if int(curS) < dictLen {
+			eb.bucketOf[curS] = id
+		}
+		eb.counts[id]++
+	}
+	n, err := eb.sorters[index.SPO].Iterate(func(t rdf.Triple) error {
+		if !collect {
+			return nil
+		}
+		if t.S != curS {
+			flushSubject()
+			curS = t.S
+			keyBuf = keyBuf[:0]
+			predBuf = predBuf[:0]
+		}
+		if p := t.P; len(predBuf) == 0 || p != predBuf[len(predBuf)-1] {
+			predBuf = append(predBuf, p)
+			keyBuf = append(keyBuf, byte(p), byte(p>>8), byte(p>>16), byte(p>>24))
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	flushSubject()
+	if collect {
+		// Leaf bucket: IDs seen as objects but never as subjects. Matches
+		// BuildSummary's scan over the OPS level-1 array.
+		eb.counts[0] = int64(eb.seen[2].countNotIn(&eb.seen[0]))
+	}
+	eb.stats.Triples = n
+
+	m := Meta{}
+	if meta != nil {
+		m = *meta
+	}
+	m.Triples = n
+	m.DictLen = dictLen
+	m.NDV1 = [4]int{eb.seen[0].count(), eb.seen[2].count(), eb.seen[1].count(), eb.seen[1].count()}
+	metaJSON, err := json.Marshal(m)
+	if err != nil {
+		return err
+	}
+
+	version := uint16(formatVersion)
+	if eb.opts.OmitSummary {
+		version = 1
+	}
+	eb.cw = &countingWriter{bw: bufio.NewWriterSize(eb.w, 1<<20)}
+	cw := eb.cw
+	cw.write([]byte(headerMagic))
+	cw.u16(version)
+	cw.write([]byte{diskTripleSize, diskSpanSize, diskPredStatSize, 0, 0, 0})
+
+	if err := eb.section(secMeta, func() (int, error) { cw.write(metaJSON); return 1, nil }); err != nil {
+		return err
+	}
+	if err := eb.section(secDict, func() (int, error) { writeDict(cw, eb.d); return eb.d.Len(), nil }); err != nil {
+		return err
+	}
+	for ord := index.Order(0); ord < 4; ord++ {
+		if err := eb.writeOrder(ord, dictLen, n); err != nil {
+			return err
+		}
+	}
+	if err := eb.section(secPredStats, func() (int, error) {
+		writePredStats(cw, eb.predStats)
+		return len(eb.predStats), nil
+	}); err != nil {
+		return err
+	}
+	if err := eb.section(secNumeric, func() (int, error) {
+		numeric := index.BuildNumericTable(eb.d)
+		writeFloats(cw, numeric)
+		return len(numeric), nil
+	}); err != nil {
+		return err
+	}
+	if !eb.opts.OmitSummary {
+		sum, err := eb.buildSummary(dictLen)
+		if err != nil {
+			return err
+		}
+		img := sum.EncodeU64()
+		if err := eb.section(secSummary, func() (int, error) { writeU64s(cw, img); return len(img), nil }); err != nil {
+			return err
+		}
+	}
+
+	cw.pad()
+	tableOff := cw.off
+	cw.crc = 0
+	for _, e := range eb.table {
+		cw.u32(e.kind)
+		cw.u32(e.crc)
+		cw.u64(e.off)
+		cw.u64(e.size)
+		cw.u64(e.count)
+	}
+	tableCRC := cw.crc
+	cw.u64(tableOff)
+	cw.u32(uint32(len(eb.table)))
+	cw.u32(tableCRC)
+	cw.u64(cw.off + 16)
+	cw.write([]byte(footerMagic))
+	if cw.err != nil {
+		return cw.err
+	}
+	return cw.bw.Flush()
+}
+
+// writeOrder streams one order's triples section while building its dense
+// level-1 spans in memory and, for PSO/POS, spilling the packed level-2
+// pairs and accumulating the per-predicate stats. The level-1 and level-2
+// sections follow immediately, as in Write.
+func (eb *extBuilder) writeOrder(ord index.Order, dictLen, total int) error {
+	cw := eb.cw
+	levels := ord.Levels()
+	l1 := make([]index.Span, dictLen)
+	needL2 := ord == index.PSO || ord == index.POS
+	var pairs *pairFile
+	if needL2 {
+		var err error
+		if pairs, err = newPairFile(eb.tmp); err != nil {
+			return err
+		}
+		defer pairs.close()
+	}
+	trackStats := ord == index.PSO || ord == index.POS
+	if ord == index.PSO {
+		eb.predStats = make([]index.PredStat, dictLen)
+	}
+
+	var (
+		pos             int
+		k0, k1          rdf.ID
+		l1Lo, l2Lo      int
+		started         bool
+		prevSecondary   rdf.ID
+		ndvRuns         int
+		statPos         = levels[1] // PSO: NdvS counts subject runs; POS: NdvO counts object runs
+		closeL1, close2 func() error
+	)
+	closeL1 = func() error {
+		if !started {
+			return nil
+		}
+		if int(k0) >= len(l1) {
+			grown := make([]index.Span, int(k0)+1)
+			copy(grown, l1)
+			l1 = grown
+		}
+		l1[k0] = index.Span{Lo: l1Lo, Hi: pos}
+		if trackStats {
+			st := index.PredStat{Count: pos - l1Lo}
+			if ord == index.PSO {
+				st.NdvS = ndvRuns
+				if int(k0) >= len(eb.predStats) {
+					grownPS := make([]index.PredStat, int(k0)+1)
+					copy(grownPS, eb.predStats)
+					eb.predStats = grownPS
+				}
+				eb.predStats[k0] = st
+			} else {
+				eb.predStats[k0].NdvO = ndvRuns
+			}
+		}
+		return nil
+	}
+	close2 = func() error {
+		if !started || !needL2 {
+			return nil
+		}
+		return pairs.add(uint64(k0)<<32|uint64(k1), index.Span{Lo: l2Lo, Hi: pos})
+	}
+
+	err := eb.section(secTriples+uint32(ord), func() (int, error) {
+		n, err := eb.sorters[ord].Iterate(func(t rdf.Triple) error {
+			v0, v1 := fieldAt(t, levels[0]), fieldAt(t, levels[1])
+			if !started || v0 != k0 {
+				if err := close2(); err != nil {
+					return err
+				}
+				if err := closeL1(); err != nil {
+					return err
+				}
+				k0, k1 = v0, v1
+				l1Lo, l2Lo = pos, pos
+				ndvRuns = 0
+				started = true
+			} else if v1 != k1 {
+				if err := close2(); err != nil {
+					return err
+				}
+				k1 = v1
+				l2Lo = pos
+			}
+			if trackStats {
+				if v := fieldAt(t, statPos); ndvRuns == 0 || v != prevSecondary {
+					ndvRuns++
+					prevSecondary = v
+				}
+			}
+			var rec [diskTripleSize]byte
+			binary.LittleEndian.PutUint32(rec[0:4], uint32(t.S))
+			binary.LittleEndian.PutUint32(rec[4:8], uint32(t.P))
+			binary.LittleEndian.PutUint32(rec[8:12], uint32(t.O))
+			cw.write(rec[:])
+			pos++
+			return cw.err
+		})
+		return n, err
+	})
+	if err != nil {
+		return err
+	}
+	if err := close2(); err != nil {
+		return err
+	}
+	if err := closeL1(); err != nil {
+		return err
+	}
+	if pos != total {
+		return fmt.Errorf("snap: order %v merged to %d triples, %v to %d", ord, pos, index.SPO, total)
+	}
+
+	if err := eb.section(secL1+uint32(ord), func() (int, error) {
+		writeSpans(cw, l1)
+		return len(l1), nil
+	}); err != nil {
+		return err
+	}
+	if ord == index.PSO {
+		eb.psoL1Len = len(l1)
+	}
+	if ord == index.POS && len(eb.predStats) < eb.psoL1Len {
+		grown := make([]index.PredStat, eb.psoL1Len)
+		copy(grown, eb.predStats)
+		eb.predStats = grown
+	}
+	if needL2 && pairs.n > 0 {
+		if err := pairs.finish(); err != nil {
+			return err
+		}
+		if err := eb.section(secL2Keys+uint32(ord), func() (int, error) {
+			return pairs.n, pairs.stream(func(key uint64, _ index.Span) {
+				cw.u64(key)
+			})
+		}); err != nil {
+			return err
+		}
+		if err := eb.section(secL2Spans+uint32(ord), func() (int, error) {
+			return pairs.n, pairs.stream(func(_ uint64, sp index.Span) {
+				cw.u64(uint64(int64(sp.Lo)))
+				cw.u64(uint64(int64(sp.Hi)))
+			})
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildSummary runs the summary's edge pass — a second merge read of SPO,
+// now that every subject's bucket is known — and assembles the same Summary
+// BuildSummary derives from a resident store.
+func (eb *extBuilder) buildSummary(dictLen int) (*index.Summary, error) {
+	type ekey struct {
+		p        rdf.ID
+		from, to int32
+	}
+	em := make(map[ekey]int64)
+	if _, err := eb.sorters[index.SPO].Iterate(func(t rdf.Triple) error {
+		var from, to int32
+		if int(t.S) < dictLen {
+			from = eb.bucketOf[t.S]
+		}
+		if int(t.O) < dictLen {
+			to = eb.bucketOf[t.O]
+		}
+		em[ekey{t.P, from, to}]++
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	edges := make([]index.SummaryEdge, 0, len(em))
+	for k, c := range em {
+		edges = append(edges, index.SummaryEdge{Pred: k.p, From: k.from, To: k.to, Count: c})
+	}
+	sort.Slice(edges, func(i, j int) bool {
+		a, b := edges[i], edges[j]
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		if a.From != b.From {
+			return a.From < b.From
+		}
+		return a.To < b.To
+	})
+	sum := &index.Summary{
+		NumBuckets:  len(eb.charSets),
+		BucketNodes: eb.counts,
+		CharSetOff:  make([]int32, 1, len(eb.charSets)+1),
+		Edges:       edges,
+	}
+	for _, cs := range eb.charSets {
+		sum.CharSetPreds = append(sum.CharSetPreds, cs...)
+		sum.CharSetOff = append(sum.CharSetOff, int32(len(sum.CharSetPreds)))
+	}
+	sum.BuildMillis = time.Since(eb.sumStart).Milliseconds()
+	return sum, nil
+}
+
+func fieldAt(t rdf.Triple, p index.Pos) rdf.ID { return index.Field(t, p) }
+
+// pairFile spills packed level-2 (key, span) records — 24 bytes each — so
+// the level-2 arrays never materialize during a build; the two section
+// writes stream them back.
+type pairFile struct {
+	f  *os.File
+	bw *bufio.Writer
+	n  int
+}
+
+func newPairFile(dir string) (*pairFile, error) {
+	f, err := os.CreateTemp(dir, ".extsort-l2-*")
+	if err != nil {
+		return nil, err
+	}
+	return &pairFile{f: f, bw: bufio.NewWriterSize(f, 1<<20)}, nil
+}
+
+func (p *pairFile) add(key uint64, sp index.Span) error {
+	var rec [24]byte
+	binary.LittleEndian.PutUint64(rec[0:8], key)
+	binary.LittleEndian.PutUint64(rec[8:16], uint64(int64(sp.Lo)))
+	binary.LittleEndian.PutUint64(rec[16:24], uint64(int64(sp.Hi)))
+	if _, err := p.bw.Write(rec[:]); err != nil {
+		return err
+	}
+	p.n++
+	return nil
+}
+
+func (p *pairFile) finish() error { return p.bw.Flush() }
+
+func (p *pairFile) stream(fn func(key uint64, sp index.Span)) error {
+	if _, err := p.f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(p.f, 1<<20)
+	var rec [24]byte
+	for i := 0; i < p.n; i++ {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return err
+		}
+		fn(binary.LittleEndian.Uint64(rec[0:8]), index.Span{
+			Lo: int(int64(binary.LittleEndian.Uint64(rec[8:16]))),
+			Hi: int(int64(binary.LittleEndian.Uint64(rec[16:24]))),
+		})
+	}
+	return nil
+}
+
+func (p *pairFile) close() error {
+	name := p.f.Name()
+	p.f.Close()
+	return os.Remove(name)
+}
+
+// bitset is a growable bitmap over the dense ID space, used to count the
+// distinct subjects/predicates/objects the feed pass sees.
+type bitset struct {
+	words []uint64
+}
+
+func (b *bitset) set(i uint32) {
+	w := int(i >> 6)
+	if w >= len(b.words) {
+		grown := make([]uint64, w+1+len(b.words)/2)
+		copy(grown, b.words)
+		b.words = grown
+	}
+	b.words[w] |= 1 << (i & 63)
+}
+
+func (b *bitset) count() int {
+	n := 0
+	for _, w := range b.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// countNotIn counts bits set in b but not in other.
+func (b *bitset) countNotIn(other *bitset) int {
+	n := 0
+	for i, w := range b.words {
+		var ow uint64
+		if i < len(other.words) {
+			ow = other.words[i]
+		}
+		n += bits.OnesCount64(w &^ ow)
+	}
+	return n
+}

@@ -1,0 +1,125 @@
+package snap
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+	"kgexplore/internal/rdf"
+)
+
+// genFeed adapts kggen.Stream into BuildExternal's feed contract.
+func genFeed(cfg kggen.Config) func(emit func(rdf.Triple) error) (*rdf.Dict, error) {
+	return func(emit func(rdf.Triple) error) (*rdf.Dict, error) {
+		d, _, err := kggen.Stream(cfg, emit)
+		return d, err
+	}
+}
+
+// TestBuildExternalByteIdentical pins the strongest equivalence the format
+// allows: with the summary omitted (whose BuildMillis is wall-clock), a
+// streaming build over kggen.Stream produces the very bytes WriteOpts
+// produces over index.Build of the materialized graph — same meta, same
+// sections, same checksums.
+func TestBuildExternalByteIdentical(t *testing.T) {
+	for _, cfg := range []kggen.Config{kggen.DBpediaSim(0.02), kggen.LGDSim(0.01)} {
+		gen, _, err := kggen.Generate(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		st := index.Build(gen)
+		meta := &Meta{Source: "equivalence-test", CreatedUnix: 1700000000}
+		var want bytes.Buffer
+		if err := WriteOpts(&want, st, meta, WriteOptions{OmitSummary: true}); err != nil {
+			t.Fatal(err)
+		}
+
+		var got bytes.Buffer
+		// A tiny budget forces multiple spilled runs per order, so the merge
+		// path (not the single-buffer fast path) is what's being compared.
+		stats, err := BuildExternal(&got, genFeed(cfg), meta,
+			ExtBuildOptions{TmpDir: t.TempDir(), MemBudget: 4 * (1 << 14) * diskTripleSize, OmitSummary: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Triples != st.NumTriples() {
+			t.Fatalf("%s: streamed %d triples, built store has %d", cfg.Name, stats.Triples, st.NumTriples())
+		}
+		if stats.Runs == 0 {
+			t.Fatalf("%s: budget did not force any spills; the merge path went untested", cfg.Name)
+		}
+		if !bytes.Equal(got.Bytes(), want.Bytes()) {
+			t.Fatalf("%s: streaming build differs from in-memory build (%d vs %d bytes)",
+				cfg.Name, got.Len(), want.Len())
+		}
+	}
+}
+
+// TestBuildExternalSummary checks the v2 path: the streamed summary must be
+// structurally identical to BuildSummary's (bucket numbering included);
+// only the recorded build time may differ.
+func TestBuildExternalSummary(t *testing.T) {
+	cfg := kggen.DBpediaSim(0.01)
+	gen, _, err := kggen.Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := index.Build(gen)
+	want := index.BuildSummary(st)
+
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ext.kgs")
+	if _, err := BuildExternalFile(path, genFeed(cfg), nil, ExtBuildOptions{TmpDir: dir, MemBudget: 1 << 22}); err != nil {
+		t.Fatal(err)
+	}
+	l, err := LoadFile(path, Options{Mode: ModeCopy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.FormatVersion != FormatVersion {
+		t.Fatalf("external build stamped v%d, want v%d", l.FormatVersion, FormatVersion)
+	}
+	if !l.HasSummary() {
+		t.Fatal("external v2 build carries no summary section")
+	}
+	got := l.Store.Summary()
+	got.BuildMillis, want.BuildMillis = 0, 0
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("streamed summary differs: %d/%d buckets, %d/%d edges",
+			got.NumBuckets, want.NumBuckets, len(got.Edges), len(want.Edges))
+	}
+}
+
+// TestBuildExternalSpillsBounded sanity-checks the spill accounting: the
+// runs land in the requested directory and are cleaned up after the build.
+func TestBuildExternalSpillsBounded(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.kgs")
+	stats, err := BuildExternalFile(path, genFeed(kggen.DBpediaSim(0.02)), nil,
+		ExtBuildOptions{TmpDir: dir, MemBudget: 4 * (1 << 14) * diskTripleSize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Runs < 4 {
+		t.Fatalf("expected spilled runs in every order, got %d", stats.Runs)
+	}
+	if stats.SpillBytes < int64(stats.Triples)*diskTripleSize {
+		t.Fatalf("spill accounting too small: %d bytes for %d triples", stats.SpillBytes, stats.Triples)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.Name() != "out.kgs" {
+			t.Fatalf("leftover spill file %s after build", e.Name())
+		}
+	}
+	if _, err := LoadFile(path, Options{Mode: ModeCopy, Verify: true}); err != nil {
+		t.Fatalf("streamed snapshot fails verified load: %v", err)
+	}
+}

@@ -1,0 +1,89 @@
+package snap
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/kggen"
+)
+
+func writeTestSnapshot(t *testing.T) string {
+	t.Helper()
+	g, _, err := kggen.Generate(kggen.DBpediaSim(0.01))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "v.kgs")
+	if err := WriteFile(path, index.Build(g), &Meta{Source: "verify-test"}); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestVerifyFileOK(t *testing.T) {
+	path := writeTestSnapshot(t)
+	rep, err := VerifyFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FormatVersion != FormatVersion {
+		t.Fatalf("reported v%d, want v%d", rep.FormatVersion, FormatVersion)
+	}
+	if rep.Meta.Source != "verify-test" || rep.Meta.Triples == 0 {
+		t.Fatalf("meta not surfaced: %+v", rep.Meta)
+	}
+	if rep.Summary == nil || rep.Summary.NumBuckets < 2 {
+		t.Fatal("summary not decoded during verify")
+	}
+
+	// The streaming pass must agree with the copy-load verifier's verdict.
+	if _, err := LoadFile(path, Options{Mode: ModeCopy, Verify: true}); err != nil {
+		t.Fatalf("copy load disagrees on a file streaming verify accepted: %v", err)
+	}
+}
+
+// TestVerifyFileCorruption flips one byte in every section and expects the
+// streaming verifier to reject each mutation, like the copy loader does.
+func TestVerifyFileCorruption(t *testing.T) {
+	path := writeTestSnapshot(t)
+	info, err := Inspect(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sec := range info.Sections {
+		if sec.Size == 0 {
+			continue
+		}
+		mut := append([]byte(nil), orig...)
+		mut[sec.Off+sec.Size/2] ^= 0x40
+		mutPath := filepath.Join(t.TempDir(), "mut.kgs")
+		if err := os.WriteFile(mutPath, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := VerifyFile(mutPath); err == nil {
+			t.Errorf("flip inside section %s went undetected", sec.Kind)
+		}
+	}
+}
+
+func TestVerifyFileTruncated(t *testing.T) {
+	path := writeTestSnapshot(t)
+	orig, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trunc := filepath.Join(t.TempDir(), "trunc.kgs")
+	if err := os.WriteFile(trunc, orig[:len(orig)/2], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyFile(trunc); err == nil || !strings.Contains(err.Error(), "snap:") {
+		t.Fatalf("truncated file verified: %v", err)
+	}
+}

@@ -1,0 +1,148 @@
+package wj
+
+import "math"
+
+// VarTotal returns the total per-group sample variance of walk
+// contributions, Σ_a (SumSq[a]/N − (Sum[a]/N)²). It is the quantity the
+// stratified merge sums in quadrature (divided by N), so minimizing
+// Σ_k VarTotal_k/N_k over a walk budget minimizes the merged squared CI —
+// the objective behind Neyman allocation. Ratio accumulators (AVG) report
+// the numerator channel's variance, the dominant term of the delta-method
+// interval. Accumulators with fewer than two walks carry no variance
+// information and report zero.
+func (c *Acc) VarTotal() float64 {
+	if c.N < 2 {
+		return 0
+	}
+	n := float64(c.N)
+	var tot float64
+	for a, s := range c.Sum {
+		m := s / n
+		if v := c.SumSq[a]/n - m*m; v > 0 {
+			tot += v
+		}
+	}
+	return tot
+}
+
+// NeymanAlloc schedules walks over strata by smooth weighted round-robin,
+// with weights that start proportional to stratum size and, once every
+// stratum has completed its pilot walks, adapt toward Neyman allocation:
+//
+//	N_k ∝ sqrt(V̂_k)
+//
+// where V̂_k is stratum k's contribution variance (Acc.VarTotal). Because
+// walk contributions are Horvitz–Thompson scaled by the stratum's root
+// count, V̂_k already absorbs the stratum size N_h of the textbook
+// N_h·S_h rule — sqrt(V̂_k) is its sample analog. Weights are floored at a
+// fraction of the proportional share so a stratum whose early variance
+// estimate happens to be tiny keeps receiving walks (its variance estimate
+// keeps updating, and the merged estimator stays consistent).
+//
+// Not safe for concurrent use; the driving stepper owns it.
+type NeymanAlloc struct {
+	prop    []float64 // proportional shares, Σ = 1
+	weights []float64 // current shares, Σ = 1
+	credit  []float64
+	pilot   int64
+	every   int64
+	steps   int64
+	realloc int
+}
+
+// allocFloor is the minimum share a stratum keeps relative to its
+// proportional share after a Neyman reallocation.
+const allocFloor = 0.1
+
+// NewNeymanAlloc builds an allocator over strata of the given sizes
+// (root cardinalities; must be positive for at least one stratum). pilot
+// is the per-stratum walk count required before the first reallocation;
+// every is the step period between reallocation checks. Non-positive
+// values select defaults (64 and 512).
+func NewNeymanAlloc(sizes []float64, pilot, every int64) *NeymanAlloc {
+	if pilot <= 0 {
+		pilot = 64
+	}
+	if every <= 0 {
+		every = 512
+	}
+	na := &NeymanAlloc{
+		prop:    make([]float64, len(sizes)),
+		weights: make([]float64, len(sizes)),
+		credit:  make([]float64, len(sizes)),
+		pilot:   pilot,
+		every:   every,
+	}
+	var total float64
+	for _, s := range sizes {
+		if s > 0 {
+			total += s
+		}
+	}
+	for i, s := range sizes {
+		if total > 0 && s > 0 {
+			na.prop[i] = s / total
+		} else {
+			na.prop[i] = 1 / float64(len(sizes))
+		}
+		na.weights[i] = na.prop[i]
+	}
+	return na
+}
+
+// Next picks the stratum for the next walk. accs[k] is stratum k's current
+// accumulator (nil entries count as unpiloted); every `every` steps the
+// weights are re-derived from the accumulated variances.
+func (na *NeymanAlloc) Next(accs []*Acc) int {
+	if na.steps > 0 && na.steps%na.every == 0 {
+		na.adapt(accs)
+	}
+	na.steps++
+	best := 0
+	for i := range na.weights {
+		na.credit[i] += na.weights[i]
+		if na.credit[i] > na.credit[best] {
+			best = i
+		}
+	}
+	na.credit[best]-- // Σ weights = 1
+	return best
+}
+
+// adapt recomputes the weights from per-stratum variances. It is a no-op
+// until every stratum has run its pilot and at least one variance is
+// positive.
+func (na *NeymanAlloc) adapt(accs []*Acc) {
+	raw := make([]float64, len(na.weights))
+	var sum float64
+	for k := range na.weights {
+		if k >= len(accs) || accs[k] == nil || accs[k].N < na.pilot {
+			return
+		}
+		raw[k] = math.Sqrt(accs[k].VarTotal())
+		sum += raw[k]
+	}
+	if sum == 0 || math.IsInf(sum, 0) || math.IsNaN(sum) {
+		return
+	}
+	var renorm float64
+	for k := range raw {
+		w := raw[k] / sum
+		if floor := allocFloor * na.prop[k]; w < floor {
+			w = floor
+		}
+		raw[k] = w
+		renorm += w
+	}
+	for k := range raw {
+		na.weights[k] = raw[k] / renorm
+	}
+	na.realloc++
+}
+
+// Weights returns the current allocation shares (Σ = 1). The slice is the
+// allocator's own; callers must not mutate it.
+func (na *NeymanAlloc) Weights() []float64 { return na.weights }
+
+// Reallocs returns how many Neyman reallocations have been applied.
+func (na *NeymanAlloc) Reallocs() int { return na.realloc }

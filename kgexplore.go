@@ -125,6 +125,15 @@ type (
 	// TipDiagnostics aggregates estimate-vs-actual observations at Audit
 	// Join tipping points.
 	TipDiagnostics = core.TipDiag
+	// StratifiedAuditJoin runs semantic-aware stratified Audit Join: walk
+	// roots stratified by characteristic-set bucket with Neyman-allocated
+	// walk budgets (see internal/core.Stratified).
+	StratifiedAuditJoin = core.Stratified
+	// StratifiedAuditJoinOptions configures StratifiedAuditJoin.
+	StratifiedAuditJoinOptions = core.StratifiedOptions
+	// StratifiedRunStats reports a stratified run's shape: strata count,
+	// fallback reason, reallocation count and per-stratum telemetry.
+	StratifiedRunStats = core.StratifiedStats
 )
 
 // Estimator names accepted by UseEstimator and the -estimator flags.
@@ -563,6 +572,18 @@ func (d *Dataset) NewAuditJoin(pl *Plan, opts AuditJoinOptions) *AuditJoin {
 		opts.Estimator = d.est
 	}
 	return core.New(d.store, pl, opts)
+}
+
+// NewStratifiedAuditJoin creates a stratified Audit Join estimator: walk
+// roots are stratified by their subject's characteristic-set bucket and the
+// walk budget is Neyman-allocated across strata. Plans that cannot be
+// stratified (DISTINCT, membership roots, single-bucket spans) degrade to a
+// uniform runner; Stats().Fallback records why.
+func (d *Dataset) NewStratifiedAuditJoin(pl *Plan, opts StratifiedAuditJoinOptions) *StratifiedAuditJoin {
+	if opts.Estimator == nil {
+		opts.Estimator = d.est
+	}
+	return core.NewStratified(d.store, pl, opts)
 }
 
 // PathStep records one exploration interaction portably (by decoded term),
