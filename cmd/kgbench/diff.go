@@ -95,6 +95,7 @@ func metricDirection(key string) int {
 	case strings.Contains(seg, "err"),
 		strings.HasSuffix(seg, "_ns"),
 		strings.HasSuffix(seg, "millis"),
+		strings.HasSuffix(seg, "micros"),
 		strings.Contains(seg, "bytes"),
 		strings.Contains(seg, "misses"),
 		strings.Contains(seg, "retries"),

@@ -54,6 +54,8 @@ func main() {
 		distOut    = flag.String("distout", "BENCH_dist.json", "output path for -distbench")
 		distWalks  = flag.Int64("distwalks", 100000, "total walks per fleet width in -distbench")
 		distWorker = flag.String("distworker", "", "prebuilt kgworker binary for -distbench (default: go build it)")
+		ingBench   = flag.Bool("ingestbench", false, "run the live-ingestion benchmark (walks-to-CI and read latency under sustained concurrent ingest) and write -ingestout")
+		ingOut     = flag.String("ingestout", "BENCH_ingest.json", "output path for -ingestbench")
 		scaleBench = flag.Bool("scalebench", false, "run the scale ladder (streaming builds + uniform-vs-stratified walks-to-CI) and write -scaleout")
 		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for -scalebench")
 		scaleRungs = flag.String("scalerungs", "0.02,0.2,1,4.2", "comma-separated dbpedia-sim scales for -scalebench rungs")
@@ -227,6 +229,12 @@ func main() {
 	if *distBench {
 		any = true
 		if err := runDistBench(w, *distOut, *scale, *seed, *distWalks, *distWorker); err != nil {
+			fail(err)
+		}
+	}
+	if *ingBench {
+		any = true
+		if err := runIngestBench(w, *ingOut, *scale, *seed); err != nil {
 			fail(err)
 		}
 	}

@@ -13,6 +13,17 @@
 //	                                             # distributed: scatter over a kgworker fleet
 //	kgserver -snapshot data.kgm -workers manifest -addr :8080
 //	                                             # fleet addresses from the manifest (kgsnap shard -workers)
+//	kgserver -snapshot data.kgs -live -walpath ingest.wal -addr :8080
+//	                                             # live ingestion: POST /ingest, background compaction
+//
+// With -live the served store is an updatable overlay: POST /ingest applies
+// batches of N-Triples adds and deletes (WAL-acknowledged when -walpath is
+// set), charts run merged-view Audit Join over base+delta, and a background
+// compactor folds the overlay into fresh snapshots without blocking either
+// side:
+//
+//	curl -X POST localhost:8080/ingest \
+//	     -d '{"add":["<s> <p> <o> ."],"delete":["<x> <p> <y> ."]}'
 //
 // Then open http://localhost:8080/ for the UI, or use the API:
 //
@@ -35,6 +46,7 @@ import (
 	"fmt"
 	"net/http"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -60,6 +72,16 @@ func main() {
 		"(semantic-aware stratified walk roots with Neyman allocation)")
 	workers := flag.String("workers", "", "comma-separated kgworker addresses (requires -snapshot FILE.kgm); "+
 		`"manifest" uses the addresses recorded in the manifest`)
+	liveOn := flag.Bool("live", false, "serve an updatable overlay store: POST /ingest accepts triple batches, "+
+		"background compaction folds the overlay into fresh snapshots")
+	walPath := flag.String("walpath", "", "write-ahead log for -live: ingest batches are fsynced here before "+
+		"they are acknowledged and replayed on restart (empty disables durability)")
+	walNoSync := flag.Bool("walnosync", false, "skip the per-batch fsync on the -live WAL (durability extends "+
+		"only to the OS page cache)")
+	liveDir := flag.String("livedir", "", "directory for -live compaction snapshots (default: a temp directory)")
+	compactEvery := flag.Duration("compactevery", 30*time.Second, "how often -live checks whether to compact")
+	compactMin := flag.Int("compactmin", 10_000, "overlay size (delta adds + tombstones) that triggers a "+
+		"-live background compaction")
 	flag.Parse()
 
 	switch *strategy {
@@ -68,6 +90,9 @@ func main() {
 		fatal(fmt.Errorf("unknown -strategy %q (want uniform or stratified)", *strategy))
 	}
 
+	if *liveOn && (*workers != "" || *shards > 0 || strings.HasSuffix(*snapshot, ".kgm")) {
+		fatal(fmt.Errorf("-live serves a single overlay store; it does not combine with -shards or -workers"))
+	}
 	if *workers != "" {
 		if *snapshot == "" || !strings.HasSuffix(*snapshot, ".kgm") {
 			fatal(fmt.Errorf("-workers requires -snapshot pointing at a .kgm shard manifest"))
@@ -108,7 +133,17 @@ func main() {
 	}
 
 	var srv *server.Server
-	if *shards > 0 {
+	if *liveOn {
+		lds, err := ds.Live(kgexplore.LiveOptions{Closer: closer, WALPath: *walPath, NoSync: *walNoSync})
+		if err != nil {
+			fatal(err)
+		}
+		prov.Kind = "live"
+		prov.Triples = lds.NumTriples() // WAL replay may have grown it
+		prov.LoadMillis = time.Since(start).Milliseconds()
+		srv = server.NewLive(lds, prov)
+		go compactLoop(srv, lds, *liveDir, *compactEvery, *compactMin)
+	} else if *shards > 0 {
 		sds, err := ds.BuildSharded(*shards, *partitioner)
 		if err != nil {
 			fatal(err)
@@ -215,6 +250,51 @@ func serveDist(manifest, workers, addr, estimator, strategy string, adminOn, ppr
 		prov.Triples, prov.Shards, prov.Workers, prov.LoadMillis, manifest, addr)
 	if err := http.ListenAndServe(addr, srv.Handler()); err != nil {
 		fatal(err)
+	}
+}
+
+// compactLoop is the -live background compactor: every interval it checks
+// the overlay size and, past the threshold, folds base+delta into a fresh
+// .kgs in dir via the external builder, adopts it, rotates the server's
+// epoch so in-flight readers drain before the retired base unmaps, and
+// removes the previous compaction's file. Ingest and serving never block on
+// it. Errors are logged and surfaced in /healthz (lastError).
+func compactLoop(srv *server.Server, lds *kgexplore.LiveDataset, dir string, every time.Duration, minOverlay int) {
+	if dir == "" {
+		d, err := os.MkdirTemp("", "kgserver-live-")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "kgserver: live compactor disabled: %v\n", err)
+			return
+		}
+		dir = d
+	}
+	if every <= 0 {
+		every = 30 * time.Second
+	}
+	if minOverlay < 1 {
+		minOverlay = 1
+	}
+	var prevPath string
+	for range time.Tick(every) {
+		st := lds.Stats()
+		if st.DeltaAdds+st.Tombstones < minOverlay {
+			continue
+		}
+		path := filepath.Join(dir, fmt.Sprintf("base-gen%d.kgs", st.Gen))
+		res, err := lds.Compact(path)
+		if err != nil {
+			if err != kgexplore.ErrLiveCompacting {
+				fmt.Fprintf(os.Stderr, "kgserver: live compaction: %v\n", err)
+			}
+			continue
+		}
+		srv.RotateLiveEpoch(res.Retired)
+		if prevPath != "" {
+			os.Remove(prevPath)
+		}
+		prevPath = path
+		fmt.Fprintf(os.Stderr, "kgserver: compacted to %s in %dms (%d residual adds, %d residual tombstones)\n",
+			path, res.Millis, res.ResidualAdds, res.ResidualTombs)
 	}
 }
 

@@ -2,19 +2,24 @@
 // realizing the paper's envisaged extension of "support for incremental
 // indexing on updates" (§VI).
 //
-// The design is a classic two-tier scheme: additions and deletions
-// accumulate in an in-memory delta, and readers obtain immutable snapshots.
-// A snapshot is rebuilt lazily, only when the delta is non-empty and a
-// reader asks for one, so the rebuild cost is amortized over batches of
-// updates; between snapshots, running estimators keep using their (still
-// valid, merely stale) store, which is exactly the semantics an exploration
-// UI needs — charts refresh on the next interaction.
+// Since the live-ingestion subsystem landed, this package is a thin
+// compatibility shim over internal/live: updates go straight into the
+// overlay store (so Delete of a pending add is O(1) via the overlay's add
+// set, not the linear scan this package used to do), and Snapshot folds the
+// overlay into a fresh immutable index via live's in-memory compaction. The
+// observable behaviour is unchanged: snapshots are immutable and stay valid
+// forever, rebuilds are lazy (only when the overlay is non-empty), and
+// persistence failures surface through PersistErr rather than failing the
+// rebuild. New code should use internal/live directly — it additionally
+// offers merged-view querying WITHOUT a rebuild, write-ahead durability,
+// and background compaction.
 package dynamic
 
 import (
 	"sync"
 
 	"kgexplore/internal/index"
+	"kgexplore/internal/live"
 	"kgexplore/internal/rdf"
 	"kgexplore/internal/snap"
 )
@@ -23,84 +28,54 @@ import (
 // use; Snapshot returns immutable index.Store values that remain valid
 // forever.
 type Store struct {
-	mu      sync.Mutex
-	graph   *rdf.Graph
-	current *index.Store
-	adds    []rdf.Triple
-	dels    map[rdf.Triple]bool
-	// Rebuilds counts how many times a snapshot was rebuilt (observability
-	// and tests).
-	rebuilds int
-	// persistPath, when set, makes every rebuild write the new snapshot to
-	// disk (atomically) so a restart can skip the initial Build.
+	ls *live.Store
+
+	// mu serializes Snapshot (so at most one in-memory compaction runs,
+	// keeping live.ErrCompacting impossible) and guards the fields below.
+	mu          sync.Mutex
+	rebuilds    int
 	persistPath string
 	persistSrc  string
 	persistErr  error
 }
 
 // New wraps a graph into an updatable store. The dictionary is retained and
-// grows with interned terms; the triple slice is copied, because applyLocked
-// compacts it in place and the caller's slice may be read-only (a graph view
-// over an mmap'ed store snapshot).
+// grows with interned terms; the caller's triple slice is never mutated (it
+// may be a read-only view over an mmap'ed store snapshot).
 func New(g *rdf.Graph) *Store {
-	own := &rdf.Graph{Dict: g.Dict, Triples: append([]rdf.Triple(nil), g.Triples...)}
-	return &Store{
-		graph:   own,
-		current: index.Build(own),
-		dels:    make(map[rdf.Triple]bool),
+	ls, err := live.NewStore(index.Build(g), live.Options{})
+	if err != nil {
+		// Unreachable: NewStore only fails opening a WAL, and we pass none.
+		panic(err)
 	}
+	return &Store{ls: ls}
 }
 
 // Dict returns the term dictionary. Interning new terms is allowed (the
 // dictionary only grows; existing IDs never change).
-func (s *Store) Dict() *rdf.Dict {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.graph.Dict
-}
+func (s *Store) Dict() *rdf.Dict { return s.ls.Dict() }
 
 // Add buffers the insertion of a triple. Duplicate inserts are harmless.
 func (s *Store) Add(t rdf.Triple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	delete(s.dels, t)
-	s.adds = append(s.adds, t)
+	_ = s.ls.Add(t) // no WAL configured, cannot fail
 }
 
 // AddDecoded interns the terms and buffers the triple.
 func (s *Store) AddDecoded(sub, pred, obj rdf.Term) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	t := rdf.Triple{
-		S: s.graph.Dict.Intern(sub),
-		P: s.graph.Dict.Intern(pred),
-		O: s.graph.Dict.Intern(obj),
-	}
-	delete(s.dels, t)
-	s.adds = append(s.adds, t)
+	_ = s.ls.ApplyDecoded([]live.DecodedOp{{S: sub, P: pred, O: obj}})
 }
 
 // Delete buffers the removal of a triple. Deleting an absent triple is a
-// no-op.
+// no-op; deleting a pending add cancels it in O(1).
 func (s *Store) Delete(t rdf.Triple) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	// Cancel a pending add if present; also record the delete in case the
-	// triple exists in the base.
-	for i, a := range s.adds {
-		if a == t {
-			s.adds = append(s.adds[:i], s.adds[i+1:]...)
-			break
-		}
-	}
-	s.dels[t] = true
+	_ = s.ls.Delete(t)
 }
 
-// Pending returns the number of buffered updates.
+// Pending returns the number of buffered updates (overlay adds plus
+// tombstones).
 func (s *Store) Pending() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.adds) + len(s.dels)
+	v := s.ls.View()
+	return v.DeltaAdds() + v.Tombstones()
 }
 
 // Rebuilds returns how many snapshot rebuilds have happened.
@@ -111,15 +86,25 @@ func (s *Store) Rebuilds() int {
 }
 
 // Snapshot returns an immutable store reflecting every update buffered so
-// far, rebuilding the indexes only if the delta is non-empty.
+// far, rebuilding the indexes only if the overlay is non-empty.
 func (s *Store) Snapshot() *index.Store {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if len(s.adds) == 0 && len(s.dels) == 0 {
-		return s.current
+	v := s.ls.View()
+	if v.DeltaAdds() == 0 && v.Tombstones() == 0 {
+		return v.Base()
 	}
-	s.applyLocked()
-	return s.current
+	nb, _, err := s.ls.CompactInMemory()
+	if err != nil {
+		// Only live.ErrCompacting can occur, and s.mu excludes it; keep the
+		// previous base rather than crash if that invariant ever breaks.
+		return v.Base()
+	}
+	s.rebuilds++
+	if s.persistPath != "" {
+		s.persistErr = snap.WriteFile(s.persistPath, nb, &snap.Meta{Source: s.persistSrc})
+	}
+	return nb
 }
 
 // SetPersist makes every subsequent rebuild write the fresh store to path as
@@ -142,26 +127,4 @@ func (s *Store) PersistErr() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.persistErr
-}
-
-// applyLocked folds the delta into the graph and rebuilds the indexes.
-func (s *Store) applyLocked() {
-	if len(s.dels) > 0 {
-		kept := s.graph.Triples[:0]
-		for _, t := range s.graph.Triples {
-			if !s.dels[t] {
-				kept = append(kept, t)
-			}
-		}
-		s.graph.Triples = kept
-	}
-	s.graph.Triples = append(s.graph.Triples, s.adds...)
-	s.graph.Dedup()
-	s.adds = s.adds[:0]
-	s.dels = make(map[rdf.Triple]bool)
-	s.current = index.Build(s.graph)
-	s.rebuilds++
-	if s.persistPath != "" {
-		s.persistErr = snap.WriteFile(s.persistPath, s.current, &snap.Meta{Source: s.persistSrc})
-	}
 }

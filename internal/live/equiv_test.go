@@ -1,0 +1,241 @@
+package live
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/exec"
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// TestRandomInterleavingEquivalence is the overlay's property test: ANY
+// randomized sequence of Add / Delete / Snapshot(view) / Compact must leave
+// the overlay answering exact CTJ queries IDENTICALLY to a from-scratch
+// index.Build of the final triple set, and walk estimates must cover the
+// exact answer within their confidence intervals. Runs under -race in CI
+// (the ingest loop below also exercises concurrent views).
+func TestRandomInterleavingEquivalence(t *testing.T) {
+	for trial := int64(0); trial < 4; trial++ {
+		trial := trial
+		t.Run(fmt.Sprintf("seed=%d", trial), func(t *testing.T) {
+			g := testkit.RandomGraph(100+trial, 30, 3, 25, 400)
+			baseStore, rest := splitGraph(g, 0.5)
+			s := mustStore(t, baseStore, Options{})
+
+			model := make(map[rdf.Triple]bool)
+			for _, tr := range baseStore.Triples(index.SPO) {
+				model[tr] = true
+			}
+			pool := append([]rdf.Triple(nil), g.Triples...)
+
+			rng := rand.New(rand.NewSource(1000 + trial))
+			nextHeldOut := 0
+			for i := 0; i < 300; i++ {
+				switch op := rng.Intn(10); {
+				case op < 4: // add: held-out first, then random re-adds
+					tr := pool[rng.Intn(len(pool))]
+					if nextHeldOut < len(rest) {
+						tr = rest[nextHeldOut]
+						nextHeldOut++
+					}
+					if err := s.Add(tr); err != nil {
+						t.Fatal(err)
+					}
+					model[tr] = true
+				case op < 7: // delete a random pool triple (live or not)
+					tr := pool[rng.Intn(len(pool))]
+					if err := s.Delete(tr); err != nil {
+						t.Fatal(err)
+					}
+					delete(model, tr)
+				case op < 9: // snapshot: the captured view must stay coherent
+					v := s.View()
+					if v.NumTriples() != len(model) {
+						t.Fatalf("op %d: view has %d triples, model %d", i, v.NumTriples(), len(model))
+					}
+				default: // compact
+					if _, _, err := s.CompactInMemory(); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+			// Flush any remaining held-out triples so the stream is fully applied.
+			for ; nextHeldOut < len(rest); nextHeldOut++ {
+				if err := s.Add(rest[nextHeldOut]); err != nil {
+					t.Fatal(err)
+				}
+				model[rest[nextHeldOut]] = true
+			}
+
+			// From-scratch rebuild of the final triple set.
+			final := &rdf.Graph{Dict: g.Dict}
+			for tr := range model {
+				final.Triples = append(final.Triples, tr)
+			}
+			final.Dedup()
+			rebuilt := index.Build(final)
+
+			v := s.View()
+			if v.NumTriples() != rebuilt.NumTriples() {
+				t.Fatalf("live %d triples, rebuild %d", v.NumTriples(), rebuilt.NumTriples())
+			}
+
+			queries := []*query.Query{
+				testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false),
+				testkit.ChainQuery(g, []rdf.ID{31, 32}, true, false),
+				testkit.ChainQuery(g, []rdf.ID{30, 31, 32}, false, false),
+			}
+			avg := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+			avg.Agg = query.AggAvg
+			queries = append(queries, avg)
+
+			for qi, q := range queries {
+				pl, err := query.Compile(q)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := ctj.Evaluate(rebuilt, pl)
+				got, err := Exact(context.Background(), v, pl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !testkit.MapsEqual(got, want, 1e-6) {
+					t.Fatalf("query %d: overlay exact %v, rebuild ctj %v", qi, got, want)
+				}
+
+				// Walk estimates: pure sampling (no tipping), generous walk
+				// budget, exact answer within 5 CI half-widths per group (a
+				// ~1e-6 flake probability bound, deterministic seed anyway).
+				w, err := NewWalker(v, pl, WalkerOptions{Threshold: -1, Seed: 7 + trial})
+				if err != nil {
+					t.Fatal(err)
+				}
+				exec.RunN(w, 20000)
+				res := w.Snapshot()
+				for a, wantV := range want {
+					est, ci := res.Estimates[a], res.CI[a]
+					if ci == 0 {
+						ci = math.Max(1, wantV) // degenerate group: allow slack
+					}
+					if math.Abs(est-wantV) > 5*ci {
+						t.Fatalf("query %d group %d: estimate %.3f ± %.3f, exact %.3f",
+							qi, a, est, res.CI[a], wantV)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestConcurrentIngestAndWalks drives sustained Apply batches while reader
+// goroutines run walkers and exact enumerations over captured views — the
+// -race workout for the dict lock, the atomic view swap, and compaction
+// concurrent with both.
+func TestConcurrentIngestAndWalks(t *testing.T) {
+	g := testkit.RandomGraph(55, 30, 3, 25, 400)
+	baseStore, rest := splitGraph(g, 0.5)
+	s := mustStore(t, baseStore, Options{})
+	q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Deletes draw from the base region only (rest is disjoint from it), so
+	// the final state is independent of batch interleaving.
+	baseTriples := g.Triples[:len(g.Triples)-len(rest)]
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() { // writer: batches of held-out adds + scattered deletes
+		defer wg.Done()
+		defer close(stop)
+		for i := 0; i < len(rest); i += 20 {
+			end := i + 20
+			if end > len(rest) {
+				end = len(rest)
+			}
+			ops := make([]Op, 0, 21)
+			for _, tr := range rest[i:end] {
+				ops = append(ops, Op{T: tr})
+			}
+			ops = append(ops, Op{Del: true, T: baseTriples[i%len(baseTriples)]})
+			if err := s.Apply(ops); err != nil {
+				t.Error(err)
+				return
+			}
+			// New terms intern concurrently with readers resolving them.
+			s.dict.Intern(rdf.NewIRI(fmt.Sprintf("ingest-%d", i)))
+		}
+	}()
+	wg.Add(1)
+	go func() { // background compactions
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, _, err := s.CompactInMemory(); err != nil && err != ErrCompacting {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				v := s.View()
+				w, err := NewWalker(v, pl, WalkerOptions{Seed: seed})
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				exec.RunN(w, 200)
+				if _, err := Exact(context.Background(), v, pl); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = s.Stats()
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+
+	// After the dust settles the overlay must equal the from-scratch build.
+	deleted := make(map[rdf.Triple]bool)
+	for i := 0; i < len(rest); i += 20 {
+		deleted[baseTriples[i%len(baseTriples)]] = true
+	}
+	final := &rdf.Graph{Dict: g.Dict}
+	for _, tr := range g.Triples {
+		if !deleted[tr] {
+			final.Triples = append(final.Triples, tr)
+		}
+	}
+	want := ctj.Evaluate(index.Build(final), pl)
+	got, err := Exact(context.Background(), s.View(), pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testkit.MapsEqual(got, want, 1e-9) {
+		t.Fatalf("after concurrent ingest: overlay %v, rebuild %v", got, want)
+	}
+}

@@ -1,0 +1,70 @@
+package live
+
+import (
+	"context"
+
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/wj"
+)
+
+// exactCheckEvery is the number of visited result rows between context
+// checks during exact enumeration.
+const exactCheckEvery = 1 << 13
+
+// Exact computes the exact per-group aggregate over the view's LIVE triple
+// set by merged-view enumeration (tombstones filtered), matching the
+// aggregation semantics of the single-store exact engines: COUNT counts
+// matches, SUM/AVG aggregate numeric β values (non-numeric rows skipped),
+// and DISTINCT counts distinct (group, β) pairs — the exact path distinct
+// overlay queries are routed to (see ErrDistinctOverlay).
+func Exact(ctx context.Context, v *View, pl *query.Plan) (map[rdf.ID]float64, error) {
+	r := newResolver(v, pl)
+	q := pl.Query
+	b := pl.NewBindings()
+	out := make(map[rdf.ID]float64)
+	counts := make(map[rdf.ID]float64)
+	var seen map[[2]rdf.ID]struct{}
+	if q.Distinct {
+		seen = make(map[[2]rdf.ID]struct{})
+	}
+	rows := 0
+	err := r.enumerate(0, b, func() error {
+		rows++
+		if rows&(exactCheckEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		a := wj.GlobalGroup
+		if q.Alpha != query.NoVar {
+			a = b[q.Alpha]
+		}
+		switch q.Agg {
+		case query.AggSum, query.AggAvg:
+			if x, ok := v.Numeric(b[q.Beta]); ok {
+				out[a] += x
+				counts[a]++
+			}
+		default:
+			if q.Distinct {
+				k := [2]rdf.ID{a, b[q.Beta]}
+				if _, dup := seen[k]; dup {
+					return nil
+				}
+				seen[k] = struct{}{}
+			}
+			out[a]++
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if q.Agg == query.AggAvg {
+		for a := range out {
+			out[a] /= counts[a]
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,351 @@
+// Package live implements the updatable overlay store behind live
+// ingestion: an in-memory delta (inserts indexed as a small index.Store,
+// deletions as a tombstone set) layered over an immutable — typically
+// mmap'd — base index.Store.
+//
+// Readers resolve through immutable Views; each applied batch publishes a
+// fresh generation, so serving never blocks on ingest. Walk sampling draws
+// uniformly from the DISJOINT union of the base span (tombstones included)
+// and the delta span with d = |base span| + |delta span|; a walk that draws
+// a tombstoned triple rejects, exactly like a dead-end walk, which keeps
+// the Horvitz–Thompson estimator unbiased for the live triple set (see
+// DESIGN.md for the weight-correction argument). Exact engines enumerate
+// the merged view with tombstones filtered.
+//
+// In front of Apply sits an optional write-ahead log: batches are
+// checksummed and appended before they are acknowledged, and replayed on
+// open (stopping at a torn tail), so acknowledged updates survive a crash
+// between compactions. Behind it, Compact streams base+delta through
+// snap.BuildExternal into a fresh .kgs snapshot and adopts it as the new
+// base without blocking ingest — see compact.go.
+package live
+
+import (
+	"errors"
+	"io"
+	"sync"
+	"sync/atomic"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+)
+
+// Op is one mutation: an insert (Del false) or a delete (Del true) of an
+// encoded triple. IDs must come from the store's dictionary.
+type Op struct {
+	Del bool
+	T   rdf.Triple
+}
+
+// Options configure NewStore.
+type Options struct {
+	// Closer, when non-nil, owns the base store's backing resources (an
+	// mmap'd snapshot). The store does NOT close it on compaction — the old
+	// base may still be referenced by in-flight Views; Compact returns it
+	// as CompactResult.Retired for the caller (the server's refcounted
+	// epochs, or a bench that drains readers) to close.
+	Closer io.Closer
+	// WALPath, when non-empty, opens (creating if needed) a write-ahead
+	// log: existing records are replayed into the overlay before NewStore
+	// returns, and every subsequent Apply appends its batch before
+	// acknowledging.
+	WALPath string
+	// NoSync skips the per-append fsync on the WAL (benchmarks; durability
+	// then extends only to the OS page cache).
+	NoSync bool
+}
+
+// Store is the updatable overlay store. All methods are safe for concurrent
+// use; reads are wait-free (an atomic View load).
+type Store struct {
+	mu   sync.Mutex
+	dict *rdf.Dict
+
+	base       *index.Store
+	baseCloser io.Closer
+
+	// adds + addSet mirror each other: addSet maps a pending add to its
+	// index in adds, making Delete of a pending insert O(1).
+	adds   []rdf.Triple
+	addSet map[rdf.Triple]int
+	// tombs is the canonical tombstone set; views get copy-on-write clones.
+	tombs map[rdf.Triple]struct{}
+
+	cur atomic.Pointer[View]
+	gen uint64
+
+	wal *wal
+
+	// capturing is set while a compaction builds from a captured view;
+	// touched records every triple mutated during that window so adoption
+	// can reconcile overlay entries that were REMOVED mid-build (a
+	// cancelled pending add, a resurrected tombstone) — see finishCompact.
+	capturing bool
+	touched   map[rdf.Triple]struct{}
+
+	applied     int64
+	compactions int64
+
+	lastCompactMillis int64
+	lastErr           error
+}
+
+// ErrCompacting reports a Compact call while another is in flight; the
+// store runs at most one compaction at a time (ingest continues regardless).
+var ErrCompacting = errors.New("live: compaction already in progress")
+
+// NewStore layers an empty overlay over base. If opts.WALPath names an
+// existing log, its records are replayed (re-interning terms) so the
+// overlay reflects every acknowledged batch from the previous run.
+func NewStore(base *index.Store, opts Options) (*Store, error) {
+	s := &Store{
+		dict:       base.Dict(),
+		base:       base,
+		baseCloser: opts.Closer,
+		addSet:     make(map[rdf.Triple]int),
+		tombs:      make(map[rdf.Triple]struct{}),
+	}
+	s.cur.Store(&View{base: base})
+	if opts.WALPath != "" {
+		w, batches, err := openWAL(opts.WALPath, opts.NoSync)
+		if err != nil {
+			return nil, err
+		}
+		for _, b := range batches {
+			ops := make([]Op, len(b))
+			for i, r := range b {
+				ops[i] = Op{Del: r.Del, T: rdf.Triple{
+					S: s.dict.Intern(r.S),
+					P: s.dict.Intern(r.P),
+					O: s.dict.Intern(r.O),
+				}}
+			}
+			s.applyOps(ops, false)
+		}
+		s.wal = w
+	}
+	return s, nil
+}
+
+// View returns the current immutable view; wait-free.
+func (s *Store) View() *View { return s.cur.Load() }
+
+// Dict returns the shared dictionary (safe for concurrent interning).
+func (s *Store) Dict() *rdf.Dict { return s.dict }
+
+// NumTriples returns the current live triple count.
+func (s *Store) NumTriples() int { return s.View().NumTriples() }
+
+// Contains reports live membership under the current view.
+func (s *Store) Contains(t rdf.Triple) bool { return s.View().Contains(t) }
+
+// Add applies a single insertion (a one-op batch).
+func (s *Store) Add(t rdf.Triple) error { return s.Apply([]Op{{T: t}}) }
+
+// Delete applies a single deletion (a one-op batch).
+func (s *Store) Delete(t rdf.Triple) error { return s.Apply([]Op{{Del: true, T: t}}) }
+
+// ApplyDecoded interns the batch's terms and applies it. This is the ingest
+// endpoint's entry point: terms arrive decoded because they may be new.
+func (s *Store) ApplyDecoded(ops []DecodedOp) error {
+	enc := make([]Op, len(ops))
+	for i, op := range ops {
+		enc[i] = Op{Del: op.Del, T: rdf.Triple{
+			S: s.dict.Intern(op.S),
+			P: s.dict.Intern(op.P),
+			O: s.dict.Intern(op.O),
+		}}
+	}
+	return s.Apply(enc)
+}
+
+// DecodedOp is a mutation over decoded terms — the WAL record and wire
+// format (new terms have no ID before they are interned).
+type DecodedOp struct {
+	Del     bool
+	S, P, O rdf.Term
+}
+
+// Apply executes one batch of mutations in order, appends it to the WAL (if
+// configured) BEFORE acknowledging, and publishes a fresh View. Ops within
+// a batch apply sequentially, so add-then-delete of the same triple inside
+// one batch nets to a no-op. Re-inserting a live triple and deleting an
+// absent one are no-ops; re-inserting a tombstoned base triple resurrects
+// it; deleting a pending add cancels it in O(1).
+func (s *Store) Apply(ops []Op) error {
+	if len(ops) == 0 {
+		return nil
+	}
+	return s.applyOps(ops, true)
+}
+
+func (s *Store) applyOps(ops []Op, logWAL bool) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if logWAL && s.wal != nil {
+		recs := make([]DecodedOp, len(ops))
+		for i, op := range ops {
+			recs[i] = DecodedOp{
+				Del: op.Del,
+				S:   s.dict.Term(op.T.S),
+				P:   s.dict.Term(op.T.P),
+				O:   s.dict.Term(op.T.O),
+			}
+		}
+		if err := s.wal.append(recs); err != nil {
+			s.lastErr = err
+			return err
+		}
+	}
+
+	// Copy-on-write: published views alias s.tombs, so clone before the
+	// first tombstone mutation of this batch.
+	tombsCloned := false
+	cloneTombs := func() {
+		if tombsCloned {
+			return
+		}
+		nt := make(map[rdf.Triple]struct{}, len(s.tombs)+1)
+		for t := range s.tombs {
+			nt[t] = struct{}{}
+		}
+		s.tombs = nt
+		tombsCloned = true
+	}
+
+	deltaDirty := false
+	for _, op := range ops {
+		t := op.T
+		if s.capturing {
+			s.touched[t] = struct{}{}
+		}
+		if !op.Del {
+			if _, dead := s.tombs[t]; dead {
+				cloneTombs()
+				delete(s.tombs, t)
+			} else if s.base.Contains(t) {
+				// Already live in the base: no-op.
+			} else if _, pending := s.addSet[t]; !pending {
+				s.addSet[t] = len(s.adds)
+				s.adds = append(s.adds, t)
+				deltaDirty = true
+			}
+			continue
+		}
+		if i, pending := s.addSet[t]; pending {
+			// O(1) cancel: swap-remove from the adds slice.
+			last := len(s.adds) - 1
+			s.adds[i] = s.adds[last]
+			s.addSet[s.adds[i]] = i
+			s.adds = s.adds[:last]
+			delete(s.addSet, t)
+			deltaDirty = true
+		} else if s.base.Contains(t) {
+			if _, dead := s.tombs[t]; !dead {
+				cloneTombs()
+				s.tombs[t] = struct{}{}
+			}
+		}
+	}
+	if deltaDirty || tombsCloned {
+		s.applied++
+	}
+	s.publishLocked(deltaDirty)
+	return nil
+}
+
+// publishLocked builds the delta store if the adds changed and installs a
+// new View generation. Callers hold s.mu.
+func (s *Store) publishLocked(deltaDirty bool) {
+	prev := s.cur.Load()
+	delta := prev.delta
+	if deltaDirty {
+		if len(s.adds) == 0 {
+			delta = nil
+		} else {
+			// The delta index is rebuilt per batch: O(|dict| + |delta|),
+			// independent of the base — the LSM memtable cost, bounded by
+			// compaction. The slice is copied because index.Build's order
+			// goroutines read it while future Applies mutate s.adds.
+			g := &rdf.Graph{Dict: s.dict, Triples: append([]rdf.Triple(nil), s.adds...)}
+			g.Dedup()
+			delta = index.Build(g)
+		}
+	}
+	tombs := s.tombs
+	if len(tombs) == 0 {
+		tombs = nil
+	}
+	s.gen++
+	s.cur.Store(&View{base: s.base, delta: delta, tombs: tombs, gen: s.gen})
+}
+
+// Stats is an overlay telemetry snapshot.
+type Stats struct {
+	Gen               uint64
+	BaseTriples       int
+	DeltaAdds         int
+	Tombstones        int
+	LiveTriples       int
+	AppliedBatches    int64
+	Compactions       int64
+	LastCompactMillis int64
+	WALRecords        int64
+	WALBytes          int64
+	// LastErr is the most recent WAL-append, compaction or WAL-rewrite
+	// error ("" when the last such operation succeeded) — surfaced through
+	// /healthz so operators see failures without polling.
+	LastErr string
+}
+
+// Stats returns current overlay telemetry.
+func (s *Store) Stats() Stats {
+	v := s.View()
+	s.mu.Lock()
+	st := Stats{
+		Gen:               v.gen,
+		BaseTriples:       v.base.NumTriples(),
+		DeltaAdds:         v.DeltaAdds(),
+		Tombstones:        v.Tombstones(),
+		LiveTriples:       v.NumTriples(),
+		AppliedBatches:    s.applied,
+		Compactions:       s.compactions,
+		LastCompactMillis: s.lastCompactMillis,
+	}
+	if s.lastErr != nil {
+		st.LastErr = s.lastErr.Error()
+	}
+	s.mu.Unlock()
+	if s.wal != nil {
+		st.WALRecords, st.WALBytes = s.wal.stats()
+	}
+	return st
+}
+
+// LastErr returns the most recent persistence/compaction error, or nil.
+func (s *Store) LastErr() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastErr
+}
+
+// Close closes the WAL and the CURRENT base's closer. Retired bases from
+// earlier compactions are the caller's to close (CompactResult.Retired).
+func (s *Store) Close() error {
+	var first error
+	if s.wal != nil {
+		if err := s.wal.close(); err != nil {
+			first = err
+		}
+	}
+	s.mu.Lock()
+	c := s.baseCloser
+	s.baseCloser = nil
+	s.mu.Unlock()
+	if c != nil {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

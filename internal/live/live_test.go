@@ -1,0 +1,364 @@
+package live
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// splitGraph builds a base store from the first part of g's triples and
+// returns the remainder as the pending stream.
+func splitGraph(g *rdf.Graph, baseFrac float64) (*index.Store, []rdf.Triple) {
+	n := int(float64(len(g.Triples)) * baseFrac)
+	base := &rdf.Graph{Dict: g.Dict, Triples: append([]rdf.Triple(nil), g.Triples[:n]...)}
+	return index.Build(base), g.Triples[n:]
+}
+
+func mustStore(t *testing.T, base *index.Store, opts Options) *Store {
+	t.Helper()
+	s, err := NewStore(base, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// liveSet returns the store's live triple set via the streaming iterator.
+func liveSet(t *testing.T, v *View) map[rdf.Triple]bool {
+	t.Helper()
+	set := make(map[rdf.Triple]bool)
+	if err := v.Triples(func(tr rdf.Triple) error {
+		if set[tr] {
+			t.Fatalf("Triples emitted %v twice", tr)
+		}
+		set[tr] = true
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+func TestOverlaySetSemantics(t *testing.T) {
+	g := testkit.RandomGraph(3, 20, 3, 15, 200)
+	baseStore, rest := splitGraph(g, 0.5)
+	s := mustStore(t, baseStore, Options{})
+
+	model := make(map[rdf.Triple]bool)
+	for _, tr := range baseStore.Triples(index.SPO) {
+		model[tr] = true
+	}
+
+	rng := rand.New(rand.NewSource(42))
+	pool := append(append([]rdf.Triple(nil), g.Triples...), rdf.Triple{S: 1, P: 21, O: 2})
+	for i := 0; i < 500; i++ {
+		tr := pool[rng.Intn(len(pool))]
+		if i < len(rest) {
+			tr = rest[i] // make sure every held-out triple flows through
+		}
+		if rng.Intn(3) == 0 {
+			if err := s.Delete(tr); err != nil {
+				t.Fatal(err)
+			}
+			delete(model, tr)
+		} else {
+			if err := s.Add(tr); err != nil {
+				t.Fatal(err)
+			}
+			model[tr] = true
+		}
+	}
+
+	v := s.View()
+	if v.NumTriples() != len(model) {
+		t.Fatalf("NumTriples = %d, model has %d", v.NumTriples(), len(model))
+	}
+	got := liveSet(t, v)
+	for tr := range model {
+		if !got[tr] || !v.Contains(tr) {
+			t.Fatalf("live set missing %v", tr)
+		}
+	}
+	for tr := range got {
+		if !model[tr] {
+			t.Fatalf("live set has spurious %v", tr)
+		}
+	}
+	// Invariants: delta ∩ base = ∅, tombs ⊆ base.
+	if v.delta != nil {
+		for _, tr := range v.delta.Triples(index.SPO) {
+			if v.base.Contains(tr) {
+				t.Fatalf("delta triple %v also in base", tr)
+			}
+		}
+	}
+	for tr := range v.tombs {
+		if !v.base.Contains(tr) {
+			t.Fatalf("tombstone %v not in base", tr)
+		}
+	}
+}
+
+func TestDeleteCancelsPendingAddAndResurrects(t *testing.T) {
+	g := testkit.RandomGraph(4, 10, 2, 8, 60)
+	baseStore, _ := splitGraph(g, 1.0)
+	s := mustStore(t, baseStore, Options{})
+
+	fresh := rdf.Triple{S: 0, P: 10, O: 1}
+	if s.Contains(fresh) {
+		t.Fatal("fixture: fresh triple already in base")
+	}
+	// Add then delete a NEW triple: cancels the pending add, no tombstone.
+	if err := s.Add(fresh); err != nil {
+		t.Fatal(err)
+	}
+	if !s.Contains(fresh) {
+		t.Fatal("pending add not visible")
+	}
+	if err := s.Delete(fresh); err != nil {
+		t.Fatal(err)
+	}
+	v := s.View()
+	if v.Contains(fresh) || v.DeltaAdds() != 0 || v.Tombstones() != 0 {
+		t.Fatalf("cancel left overlay state: delta=%d tombs=%d", v.DeltaAdds(), v.Tombstones())
+	}
+
+	// Delete then re-add a BASE triple: tombstone, then resurrection.
+	tr := baseStore.Triples(index.SPO)[0]
+	if err := s.Delete(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.Contains(tr) {
+		t.Fatal("tombstoned triple still live")
+	}
+	if got := s.View().Tombstones(); got != 1 {
+		t.Fatalf("tombstones = %d, want 1", got)
+	}
+	if err := s.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	v = s.View()
+	if !v.Contains(tr) || v.Tombstones() != 0 || v.DeltaAdds() != 0 {
+		t.Fatalf("resurrection failed: contains=%v delta=%d tombs=%d",
+			v.Contains(tr), v.DeltaAdds(), v.Tombstones())
+	}
+	if v.NumTriples() != baseStore.NumTriples() {
+		t.Fatalf("NumTriples = %d, want %d", v.NumTriples(), baseStore.NumTriples())
+	}
+}
+
+func TestViewImmutableAcrossApply(t *testing.T) {
+	g := testkit.RandomGraph(5, 12, 2, 10, 80)
+	baseStore, _ := splitGraph(g, 1.0)
+	s := mustStore(t, baseStore, Options{})
+	tr := baseStore.Triples(index.SPO)[3]
+
+	before := s.View()
+	wantN := before.NumTriples()
+	if err := s.Delete(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Add(rdf.Triple{S: 0, P: 12, O: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if before.NumTriples() != wantN || !before.Contains(tr) {
+		t.Fatal("published view changed after later Apply")
+	}
+	after := s.View()
+	if after.Gen() <= before.Gen() {
+		t.Fatalf("generation did not advance: %d -> %d", before.Gen(), after.Gen())
+	}
+	if after.Contains(tr) {
+		t.Fatal("new view still contains deleted triple")
+	}
+}
+
+// TestCompactReconcilesCancelDuringBuild pins the touched-set edge case: a
+// pending add captured into the new base and cancelled mid-build must come
+// out tombstoned, not resurrected.
+func TestCompactReconcilesCancelDuringBuild(t *testing.T) {
+	g := testkit.RandomGraph(6, 10, 2, 8, 60)
+	baseStore, _ := splitGraph(g, 1.0)
+	s := mustStore(t, baseStore, Options{})
+	fresh := rdf.Triple{S: 1, P: 10, O: 2}
+	if err := s.Add(fresh); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := s.beginCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Build the new base from the captured view — it contains fresh.
+	ng := &rdf.Graph{Dict: s.dict}
+	_ = v.Triples(func(tr rdf.Triple) error { ng.Triples = append(ng.Triples, tr); return nil })
+	newBase := index.Build(ng)
+	// Mid-build: cancel the pending add.
+	if err := s.Delete(fresh); err != nil {
+		t.Fatal(err)
+	}
+	res := s.finishCompact(newBase, nil)
+	if res.ResidualTombs != 1 {
+		t.Fatalf("residual tombs = %d, want 1 (cancelled add present in new base)", res.ResidualTombs)
+	}
+	if s.Contains(fresh) {
+		t.Fatal("cancelled-during-build add still live after adoption")
+	}
+}
+
+// TestCompactReconcilesResurrectDuringBuild pins the symmetric case: a
+// tombstoned base triple captured OUT of the new base and resurrected
+// mid-build must come back as a delta add.
+func TestCompactReconcilesResurrectDuringBuild(t *testing.T) {
+	g := testkit.RandomGraph(7, 10, 2, 8, 60)
+	baseStore, _ := splitGraph(g, 1.0)
+	s := mustStore(t, baseStore, Options{})
+	tr := baseStore.Triples(index.SPO)[5]
+	if err := s.Delete(tr); err != nil {
+		t.Fatal(err)
+	}
+
+	v, err := s.beginCompact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ng := &rdf.Graph{Dict: s.dict}
+	_ = v.Triples(func(x rdf.Triple) error { ng.Triples = append(ng.Triples, x); return nil })
+	newBase := index.Build(ng) // does NOT contain tr
+	if err := s.Add(tr); err != nil {
+		t.Fatal(err)
+	}
+	res := s.finishCompact(newBase, nil)
+	if res.ResidualAdds != 1 {
+		t.Fatalf("residual adds = %d, want 1 (resurrected triple absent from new base)", res.ResidualAdds)
+	}
+	if !s.Contains(tr) {
+		t.Fatal("resurrected-during-build triple lost after adoption")
+	}
+	if s.NumTriples() != baseStore.NumTriples() {
+		t.Fatalf("NumTriples = %d, want %d", s.NumTriples(), baseStore.NumTriples())
+	}
+}
+
+func TestCompactSingleFlight(t *testing.T) {
+	g := testkit.RandomGraph(8, 10, 2, 8, 50)
+	baseStore, _ := splitGraph(g, 1.0)
+	s := mustStore(t, baseStore, Options{})
+	if _, err := s.beginCompact(); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := s.CompactInMemory(); !errors.Is(err, ErrCompacting) {
+		t.Fatalf("concurrent compaction: err = %v, want ErrCompacting", err)
+	}
+	s.abortCompact(nil)
+	if _, _, err := s.CompactInMemory(); err != nil {
+		t.Fatalf("compaction after abort: %v", err)
+	}
+}
+
+func TestExactMatchesBruteForceOverOverlay(t *testing.T) {
+	g := testkit.RandomGraph(11, 30, 3, 25, 350)
+	baseStore, rest := splitGraph(g, 0.6)
+	s := mustStore(t, baseStore, Options{})
+	for _, tr := range rest {
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a slice of base triples so tombstone filtering is exercised.
+	baseTriples := baseStore.Triples(index.SPO)
+	deleted := make(map[rdf.Triple]bool)
+	for i := 0; i < len(baseTriples); i += 7 {
+		if err := s.Delete(baseTriples[i]); err != nil {
+			t.Fatal(err)
+		}
+		deleted[baseTriples[i]] = true
+	}
+	final := &rdf.Graph{Dict: g.Dict}
+	for _, tr := range g.Triples {
+		if !deleted[tr] {
+			final.Triples = append(final.Triples, tr)
+		}
+	}
+
+	v := s.View()
+	for _, distinct := range []bool{false, true} {
+		q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, distinct)
+		want := testkit.BruteForce(final, q)
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Exact(context.Background(), v, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testkit.MapsEqual(got, want, 1e-9) {
+			t.Fatalf("distinct=%v: exact %v, want %v", distinct, got, want)
+		}
+	}
+	for _, agg := range []query.AggFunc{query.AggSum, query.AggAvg} {
+		q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+		q.Agg = agg
+		want := testkit.BruteForce(final, q)
+		pl, err := query.Compile(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Exact(context.Background(), v, pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testkit.MapsEqual(got, want, 1e-6) {
+			t.Fatalf("agg=%v: exact %v, want %v", agg, got, want)
+		}
+	}
+}
+
+// TestDistinctTakesExactPath pins the overlay DISTINCT policy (no silent
+// bias): the walker refuses distinct plans and the exact path answers them
+// correctly over the merged view.
+func TestDistinctTakesExactPath(t *testing.T) {
+	g := testkit.RandomGraph(13, 25, 3, 20, 300)
+	baseStore, rest := splitGraph(g, 0.7)
+	s := mustStore(t, baseStore, Options{})
+	for _, tr := range rest {
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(baseStore.Triples(index.SPO)[0]); err != nil {
+		t.Fatal(err)
+	}
+
+	q := testkit.ChainQuery(g, []rdf.ID{25, 26}, true, true)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWalker(s.View(), pl, WalkerOptions{Seed: 1}); !errors.Is(err, ErrDistinctOverlay) {
+		t.Fatalf("distinct walker: err = %v, want ErrDistinctOverlay", err)
+	}
+
+	final := &rdf.Graph{Dict: g.Dict}
+	dead := baseStore.Triples(index.SPO)[0]
+	for _, tr := range g.Triples {
+		if tr != dead {
+			final.Triples = append(final.Triples, tr)
+		}
+	}
+	want := testkit.BruteForce(final, q)
+	got, err := Exact(context.Background(), s.View(), pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testkit.MapsEqual(got, want, 1e-9) {
+		t.Fatalf("distinct exact %v, want %v", got, want)
+	}
+}

@@ -1,0 +1,151 @@
+package live
+
+import (
+	"math/rand"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// layer identifies which store of the overlay a span came from.
+const (
+	layerBase  = 0
+	layerDelta = 1
+)
+
+// spanPair is a step's candidate set under the current bindings: the base
+// span and the delta span side by side. The candidate set is their DISJOINT
+// union (delta ∩ base = ∅ by the Apply invariant) — and it deliberately
+// INCLUDES tombstoned base triples: the sampling denominator d counts the
+// superset, and a walk that draws a tombstoned triple rejects, so each LIVE
+// triple is drawn with probability exactly 1/d and the Horvitz–Thompson
+// weights stay unbiased for the live set. Filtering tombstones out of d
+// instead would require knowing how many tombstones fall inside every span,
+// which no index answers in O(1).
+type spanPair struct {
+	base  index.Span
+	delta index.Span
+	total int
+}
+
+// resolver resolves one plan's steps against a View. It is not safe for
+// concurrent use; create one per walker/enumeration.
+type resolver struct {
+	v  *View
+	pl *query.Plan
+}
+
+func newResolver(v *View, pl *query.Plan) *resolver {
+	return &resolver{v: v, pl: pl}
+}
+
+func atomVal(a query.Atom, b query.Bindings) rdf.ID {
+	if a.IsVar() {
+		return b[a.Var]
+	}
+	return a.ID
+}
+
+// boundTriple materializes a membership step's fully bound triple.
+func (r *resolver) boundTriple(st *query.Step, b query.Bindings) rdf.Triple {
+	return rdf.Triple{
+		S: atomVal(st.Pattern.S, b),
+		P: atomVal(st.Pattern.P, b),
+		O: atomVal(st.Pattern.O, b),
+	}
+}
+
+// resolve gathers step i's candidate spans under b. Membership steps gather
+// no spans and report d = 1 iff the triple is LIVE (tombstones honored
+// immediately — a membership step binds nothing, so there is no later
+// rejection opportunity). ok is false when the candidate set is empty.
+func (r *resolver) resolve(i int, b query.Bindings) (spanPair, bool) {
+	st := &r.pl.Steps[i]
+	if st.Kind == query.AccessMembership {
+		if r.v.Contains(r.boundTriple(st, b)) {
+			return spanPair{total: 1}, true
+		}
+		return spanPair{}, false
+	}
+	var sp spanPair
+	if bs, ok := st.ResolveSpan(r.v.base, b); ok {
+		sp.base = bs
+		sp.total += bs.Len()
+	}
+	if r.v.delta != nil {
+		if ds, ok := st.ResolveSpan(r.v.delta, b); ok {
+			sp.delta = ds
+			sp.total += ds.Len()
+		}
+	}
+	return sp, sp.total > 0
+}
+
+// sample draws uniformly from the gathered candidate set. live is false
+// when the draw hit a tombstoned base triple — the caller rejects the walk
+// (HT mass assigned to dead candidates, identical in effect to a dead-end
+// rejection).
+func (r *resolver) sample(i int, sp spanPair, rng *rand.Rand) (rdf.Triple, bool) {
+	st := &r.pl.Steps[i]
+	n := rng.Intn(sp.total)
+	if l := sp.base.Len(); n < l {
+		t := r.v.base.At(st.Order, sp.base, n)
+		return t, !r.v.Tombstoned(t)
+	} else {
+		t := r.v.delta.At(st.Order, sp.delta, n-l)
+		return t, true
+	}
+}
+
+// enumerate visits every extension of the current bindings through steps
+// j..last over the LIVE set (tombstones filtered), calling visit at each
+// full binding. Backtracking is in-place on b; visit's error aborts the
+// recursion (context cancellation).
+func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error {
+	if j == len(r.pl.Steps) {
+		return visit()
+	}
+	st := &r.pl.Steps[j]
+	sp, ok := r.resolve(j, b)
+	if !ok {
+		return nil
+	}
+	if st.Kind == query.AccessMembership {
+		return r.enumerate(j+1, b, visit)
+	}
+	ord := st.Order
+	for n := 0; n < sp.base.Len(); n++ {
+		t := r.v.base.At(ord, sp.base, n)
+		if r.v.Tombstoned(t) {
+			continue
+		}
+		st.Bind(t, b)
+		if err := r.enumerate(j+1, b, visit); err != nil {
+			st.Unbind(b)
+			return err
+		}
+	}
+	for n := 0; n < sp.delta.Len(); n++ {
+		st.Bind(r.v.delta.At(ord, sp.delta, n), b)
+		if err := r.enumerate(j+1, b, visit); err != nil {
+			st.Unbind(b)
+			return err
+		}
+	}
+	st.Unbind(b)
+	return nil
+}
+
+// resolverWidth adapts the resolver to card.SpanResolver: the tipping
+// oracle's adjacent-step widths are the exact merged candidate-set sizes
+// (tombstones included — consistent with the sampling denominator).
+type resolverWidth struct{ r *resolver }
+
+func (rw resolverWidth) ResolveWidth(step int, b query.Bindings) (float64, bool) {
+	sp, ok := rw.r.resolve(step, b)
+	if !ok {
+		return 0, false
+	}
+	return float64(sp.total), true
+}

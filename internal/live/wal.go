@@ -1,0 +1,303 @@
+package live
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"kgexplore/internal/rdf"
+)
+
+// The write-ahead log is an append-only file of checksummed batch records:
+//
+//	header:  "KGWL" | u32 version
+//	record:  u32 payload length | u32 CRC-32C(payload) | payload
+//	payload: u32 nops | nops × op
+//	op:      u8 flags (bit0 = delete) | term × 3
+//	term:    u8 kind | u32 len | value bytes | u32 len | datatype bytes |
+//	         u32 len | lang bytes
+//
+// Terms are stored DECODED: dictionary IDs are assigned in first-seen order
+// and a restarted process reloads the base snapshot's dictionary, which
+// does not contain terms first seen via ingest — replay re-interns. A batch
+// is appended (and by default fsynced) before Apply acknowledges it, so
+// every acknowledged batch survives a crash; replay stops at the first
+// record whose length or checksum does not hold (a torn tail from a crash
+// mid-append) and truncates the file there. After a compaction folds the
+// overlay into a new base, the log is rewritten to hold only the residual
+// ops (tmp file + rename, so a crash mid-rewrite keeps the old log).
+type wal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	noSync  bool
+	records int64
+	bytes   int64
+}
+
+const walMagic = "KGWL"
+const walVersion = 1
+
+var walCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// openWAL opens (creating if absent) the log at path and replays its
+// records, returning the decoded batches in append order.
+func openWAL(path string, noSync bool) (*wal, [][]DecodedOp, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	w := &wal{f: f, path: path, noSync: noSync}
+	batches, good, err := replayWAL(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if good == 0 {
+		// Fresh (or fully torn) log: stamp the header.
+		if err := f.Truncate(0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		var hdr [8]byte
+		copy(hdr[:4], walMagic)
+		binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+		if _, err := f.WriteAt(hdr[:], 0); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		good = int64(len(hdr))
+	} else if fi, err := f.Stat(); err == nil && fi.Size() > good {
+		// Torn tail: drop it so the next append starts at a clean record
+		// boundary.
+		if err := f.Truncate(good); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(good, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	w.bytes = good
+	w.records = int64(len(batches))
+	return w, batches, nil
+}
+
+// replayWAL reads records until EOF or the first corrupt/torn record,
+// returning the decoded batches and the byte offset of the last good
+// record. A missing or foreign header yields good = 0 (the file is treated
+// as fresh).
+func replayWAL(f *os.File) ([][]DecodedOp, int64, error) {
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, 0, err
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(f, hdr[:]); err != nil {
+		return nil, 0, nil // empty/short file: fresh log
+	}
+	if string(hdr[:4]) != walMagic || binary.LittleEndian.Uint32(hdr[4:]) != walVersion {
+		return nil, 0, fmt.Errorf("live: %s is not a v%d WAL", f.Name(), walVersion)
+	}
+	good := int64(len(hdr))
+	var batches [][]DecodedOp
+	var rec [8]byte
+	for {
+		if _, err := io.ReadFull(f, rec[:]); err != nil {
+			return batches, good, nil // clean EOF or torn length word
+		}
+		n := binary.LittleEndian.Uint32(rec[:4])
+		sum := binary.LittleEndian.Uint32(rec[4:])
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(f, payload); err != nil {
+			return batches, good, nil // torn payload
+		}
+		if crc32.Checksum(payload, walCRC) != sum {
+			return batches, good, nil // corrupt record: stop replay here
+		}
+		ops, err := decodeBatch(payload)
+		if err != nil {
+			return batches, good, nil // undecodable yet checksummed: treat as tail
+		}
+		batches = append(batches, ops)
+		good += int64(len(rec)) + int64(n)
+	}
+}
+
+func appendTerm(buf []byte, t rdf.Term) []byte {
+	buf = append(buf, byte(t.Kind))
+	for _, s := range []string{t.Value, t.Datatype, t.Lang} {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf
+}
+
+func readTerm(p []byte) (rdf.Term, []byte, error) {
+	if len(p) < 1 {
+		return rdf.Term{}, nil, io.ErrUnexpectedEOF
+	}
+	t := rdf.Term{Kind: rdf.TermKind(p[0])}
+	p = p[1:]
+	for i := 0; i < 3; i++ {
+		if len(p) < 4 {
+			return rdf.Term{}, nil, io.ErrUnexpectedEOF
+		}
+		n := int(binary.LittleEndian.Uint32(p))
+		p = p[4:]
+		if n < 0 || len(p) < n {
+			return rdf.Term{}, nil, io.ErrUnexpectedEOF
+		}
+		s := string(p[:n])
+		p = p[n:]
+		switch i {
+		case 0:
+			t.Value = s
+		case 1:
+			t.Datatype = s
+		default:
+			t.Lang = s
+		}
+	}
+	return t, p, nil
+}
+
+func encodeBatch(ops []DecodedOp) []byte {
+	buf := binary.LittleEndian.AppendUint32(nil, uint32(len(ops)))
+	for _, op := range ops {
+		var flags byte
+		if op.Del {
+			flags = 1
+		}
+		buf = append(buf, flags)
+		buf = appendTerm(buf, op.S)
+		buf = appendTerm(buf, op.P)
+		buf = appendTerm(buf, op.O)
+	}
+	return buf
+}
+
+func decodeBatch(p []byte) ([]DecodedOp, error) {
+	if len(p) < 4 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	n := int(binary.LittleEndian.Uint32(p))
+	p = p[4:]
+	ops := make([]DecodedOp, 0, n)
+	for i := 0; i < n; i++ {
+		if len(p) < 1 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		op := DecodedOp{Del: p[0]&1 != 0}
+		p = p[1:]
+		var err error
+		if op.S, p, err = readTerm(p); err != nil {
+			return nil, err
+		}
+		if op.P, p, err = readTerm(p); err != nil {
+			return nil, err
+		}
+		if op.O, p, err = readTerm(p); err != nil {
+			return nil, err
+		}
+		ops = append(ops, op)
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("live: %d trailing bytes in WAL batch", len(p))
+	}
+	return ops, nil
+}
+
+// append writes one batch record and (unless NoSync) fsyncs before
+// returning — the acknowledgement barrier.
+func (w *wal) append(ops []DecodedOp) error {
+	payload := encodeBatch(ops)
+	rec := make([]byte, 0, 8+len(payload))
+	rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+	rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(payload, walCRC))
+	rec = append(rec, payload...)
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if _, err := w.f.Write(rec); err != nil {
+		return err
+	}
+	if !w.noSync {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+	}
+	w.records++
+	w.bytes += int64(len(rec))
+	return nil
+}
+
+// rewrite atomically replaces the log's contents with a single batch of
+// residual ops (post-compaction: the overlay entries the new base does not
+// cover). An empty batch leaves just the header.
+func (w *wal) rewrite(ops []DecodedOp) error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	tmp, err := os.CreateTemp(filepath.Dir(w.path), ".wal-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	var hdr [8]byte
+	copy(hdr[:4], walMagic)
+	binary.LittleEndian.PutUint32(hdr[4:], walVersion)
+	if _, err := tmp.Write(hdr[:]); err != nil {
+		tmp.Close()
+		return err
+	}
+	records, bytes := int64(0), int64(len(hdr))
+	if len(ops) > 0 {
+		payload := encodeBatch(ops)
+		rec := make([]byte, 0, 8+len(payload))
+		rec = binary.LittleEndian.AppendUint32(rec, uint32(len(payload)))
+		rec = binary.LittleEndian.AppendUint32(rec, crc32.Checksum(payload, walCRC))
+		rec = append(rec, payload...)
+		if _, err := tmp.Write(rec); err != nil {
+			tmp.Close()
+			return err
+		}
+		records, bytes = 1, bytes+int64(len(rec))
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), w.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(w.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekEnd); err != nil {
+		f.Close()
+		return err
+	}
+	w.f.Close()
+	w.f = f
+	w.records, w.bytes = records, bytes
+	return nil
+}
+
+func (w *wal) stats() (records, bytes int64) {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.records, w.bytes
+}
+
+func (w *wal) close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.f.Close()
+}

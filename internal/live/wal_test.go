@@ -1,0 +1,197 @@
+package live
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/testkit"
+)
+
+// reopen simulates a restart: a fresh store over the same base fed by the
+// same WAL path.
+func reopen(t *testing.T, base *index.Store, walPath string) *Store {
+	t.Helper()
+	s, err := NewStore(base, Options{WALPath: walPath})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestWALReplayRestoresOverlay(t *testing.T) {
+	g := testkit.RandomGraph(21, 15, 2, 12, 120)
+	baseStore, rest := splitGraph(g, 0.6)
+	walPath := filepath.Join(t.TempDir(), "ingest.wal")
+
+	s := mustStore(t, baseStore, Options{WALPath: walPath})
+	for i, tr := range rest {
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+		if i%3 == 0 {
+			if err := s.Delete(baseStore.Triples(index.SPO)[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// New terms must round-trip through the log by VALUE, not ID.
+	novel := rdf.Triple{
+		S: s.Dict().InternIRI("wal-novel-subject"),
+		P: rdf.ID(15), // p0
+		O: s.Dict().Intern(rdf.NewTypedLiteral("42", rdf.XSDInteger)),
+	}
+	if err := s.Add(novel); err != nil {
+		t.Fatal(err)
+	}
+	want := liveSet(t, s.View())
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart against a dictionary that has NOT seen the ingested terms:
+	// rebuild the base from its own graph copy with a fresh dict prefix.
+	s2 := reopen(t, baseStore, walPath)
+	got := liveSet(t, s2.View())
+	if len(got) != len(want) {
+		t.Fatalf("replayed %d live triples, want %d", len(got), len(want))
+	}
+	for tr := range want {
+		if !got[tr] {
+			t.Fatalf("replay lost %v", tr)
+		}
+	}
+	if !s2.Contains(novel) {
+		t.Fatal("replay lost the novel-term triple")
+	}
+	s2.Close()
+}
+
+func TestWALTornTailTruncated(t *testing.T) {
+	g := testkit.RandomGraph(22, 12, 2, 10, 80)
+	baseStore, rest := splitGraph(g, 0.5)
+	walPath := filepath.Join(t.TempDir(), "ingest.wal")
+
+	s := mustStore(t, baseStore, Options{WALPath: walPath})
+	for _, tr := range rest[:10] {
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := s.NumTriples()
+	s.Close()
+
+	// Crash mid-append: a partial record at the tail.
+	f, err := os.OpenFile(walPath, os.O_APPEND|os.O_WRONLY, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xFF, 0x00, 0x00, 0x00, 0xde, 0xad}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	sizeBefore, _ := os.Stat(walPath)
+
+	s2 := reopen(t, baseStore, walPath)
+	if got := s2.NumTriples(); got != want {
+		t.Fatalf("after torn tail: %d triples, want %d", got, want)
+	}
+	sizeAfter, _ := os.Stat(walPath)
+	if sizeAfter.Size() >= sizeBefore.Size() {
+		t.Fatalf("torn tail not truncated: %d -> %d bytes", sizeBefore.Size(), sizeAfter.Size())
+	}
+	// The truncated log must accept appends again.
+	if err := s2.Add(rest[10]); err != nil {
+		t.Fatal(err)
+	}
+	s2.Close()
+	s3 := reopen(t, baseStore, walPath)
+	if got := s3.NumTriples(); got != want+1 {
+		t.Fatalf("append after truncation: %d triples, want %d", got, want+1)
+	}
+	s3.Close()
+}
+
+func TestWALCorruptRecordStopsReplay(t *testing.T) {
+	g := testkit.RandomGraph(23, 12, 2, 10, 80)
+	baseStore, rest := splitGraph(g, 0.5)
+	walPath := filepath.Join(t.TempDir(), "ingest.wal")
+
+	s := mustStore(t, baseStore, Options{WALPath: walPath})
+	if err := s.Add(rest[0]); err != nil {
+		t.Fatal(err)
+	}
+	afterFirst, _ := os.Stat(walPath)
+	if err := s.Add(rest[1]); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Flip a byte inside the SECOND record's payload.
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[afterFirst.Size()+10] ^= 0x40
+	if err := os.WriteFile(walPath, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2 := reopen(t, baseStore, walPath)
+	if !s2.Contains(rest[0]) {
+		t.Fatal("replay lost the intact first record")
+	}
+	if s2.Contains(rest[1]) {
+		t.Fatal("replay applied a corrupt record")
+	}
+	s2.Close()
+}
+
+func TestWALRewriteAfterCompaction(t *testing.T) {
+	g := testkit.RandomGraph(24, 15, 2, 12, 120)
+	baseStore, rest := splitGraph(g, 0.6)
+	walPath := filepath.Join(t.TempDir(), "ingest.wal")
+
+	s := mustStore(t, baseStore, Options{WALPath: walPath})
+	for _, tr := range rest {
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Delete(baseStore.Triples(index.SPO)[2]); err != nil {
+		t.Fatal(err)
+	}
+	recsBefore, _ := s.wal.stats()
+	if recsBefore == 0 {
+		t.Fatal("fixture: no WAL records before compaction")
+	}
+
+	newBase, res, err := s.CompactInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ResidualAdds != 0 || res.ResidualTombs != 0 {
+		t.Fatalf("quiescent compaction left residual overlay: %+v", res)
+	}
+	recsAfter, _ := s.wal.stats()
+	if recsAfter != 0 {
+		t.Fatalf("rewritten WAL has %d records, want 0 (empty residual)", recsAfter)
+	}
+	want := liveSet(t, s.View())
+
+	// Residual ops after the rewrite replay against the NEW base.
+	post := rdf.Triple{S: 0, P: 15, O: 1}
+	if err := s.Add(post); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	s2 := reopen(t, newBase, walPath)
+	got := liveSet(t, s2.View())
+	if len(got) != len(want)+1 || !s2.Contains(post) {
+		t.Fatalf("restart from compacted base: %d triples, want %d", len(got), len(want)+1)
+	}
+	s2.Close()
+}

@@ -1,0 +1,346 @@
+package live
+
+import (
+	"errors"
+	"math/rand"
+
+	"kgexplore/internal/card"
+	"kgexplore/internal/core"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+)
+
+// ErrDistinctOverlay reports a COUNT(DISTINCT) plan on the overlay walker.
+// Distinct estimation over the merged view would need tombstone-aware
+// per-value dedup reconciliation across the layers; rather than risk a
+// silently biased estimate, the walker refuses and callers route distinct
+// queries to the exact path (Exact), which enumerates the merged view —
+// the same "exact, never biased" policy the stratified sampler applies to
+// DISTINCT (see DESIGN's fallback taxonomy).
+var ErrDistinctOverlay = errors.New(
+	"live: COUNT(DISTINCT) is not estimated over the overlay; use the exact path")
+
+// WalkerOptions configure one overlay walker.
+type WalkerOptions struct {
+	// Threshold is the Audit Join tipping point with core.Options
+	// semantics: suffix estimates at or below it switch the walk to the
+	// exact finish. Negative never tips (pure Wander Join); zero means
+	// core.DefaultThreshold.
+	Threshold float64
+	// Seed seeds the walker's private random source.
+	Seed int64
+	// Estimator drives the tipping oracle; nil selects span statistics
+	// summed over base+delta. (Adjacent-step widths always come from the
+	// exact merged resolver regardless.)
+	Estimator card.Estimator
+}
+
+// Walker runs Audit Join walks over an overlay View: roots sample
+// uniformly from the merged root span (base incl. tombstones + delta, so
+// d₁ is the merged width), later steps resolve and sample through the
+// two-layer resolver, and a draw that lands on a tombstoned triple rejects
+// the walk — Horvitz–Thompson-unbiased for the live triple set. Tipped
+// walks finish exactly by merged-view enumeration memoized per walker.
+//
+// A Walker is an exec.Stepper; it is not safe for concurrent use. It holds
+// the View captured at creation: estimates refer to that generation, which
+// is exactly the snapshot-consistency a chart run wants under ingest.
+type Walker struct {
+	v      *View
+	pl     *query.Plan
+	res    *resolver
+	oracle card.Suffix
+	thresh float64
+	rng    *rand.Rand
+	acc    *wj.Acc
+
+	// b is the walk binding buffer, gb the suffix-enumeration scratch.
+	b  query.Bindings
+	gb query.Bindings
+
+	// iface[i] lists the interface variables of boundary i (ctj's
+	// cache-key discipline): bound before i, used at or after i.
+	iface [][]query.Var
+	cache map[aggKey][]suffixEntry
+
+	rootSpan spanPair
+	rootLen  int
+
+	perGroup   map[rdf.ID]float64
+	perGroupND map[rdf.ID]numDen
+
+	tipped int64
+	diag   core.TipDiag
+}
+
+type numDen struct{ num, den float64 }
+
+// maxIfaceVals bounds the fixed-size suffix cache key; walks whose
+// interface does not fit compute uncached.
+const maxIfaceVals = 8
+
+type aggKey struct {
+	step int8
+	vals [maxIfaceVals]rdf.ID
+}
+
+type suffixEntry struct {
+	a, b rdf.ID
+	n    int64
+}
+
+// NewWalker creates an overlay walker for the view. Distinct plans fail
+// with ErrDistinctOverlay.
+func NewWalker(v *View, pl *query.Plan, opts WalkerOptions) (*Walker, error) {
+	if pl.Query.Distinct {
+		return nil, ErrDistinctOverlay
+	}
+	thresh := opts.Threshold
+	if thresh == 0 {
+		thresh = core.DefaultThreshold
+	}
+	res := newResolver(v, pl)
+	est := opts.Estimator
+	if est == nil {
+		est = card.NewSpanStats(v.stores()...)
+	}
+	w := &Walker{
+		v:          v,
+		pl:         pl,
+		res:        res,
+		oracle:     est.NewSuffix(pl, resolverWidth{res}),
+		thresh:     thresh,
+		rng:        rand.New(rand.NewSource(opts.Seed)),
+		acc:        wj.NewAcc(),
+		b:          pl.NewBindings(),
+		gb:         pl.NewBindings(),
+		cache:      make(map[aggKey][]suffixEntry),
+		perGroup:   make(map[rdf.ID]float64),
+		perGroupND: make(map[rdf.ID]numDen),
+	}
+	// The root step has no join variables, so its merged span is constant.
+	w.rootSpan, _ = res.resolve(0, w.b)
+	w.rootLen = w.rootSpan.total
+	w.iface = ifaceVars(pl)
+	return w, nil
+}
+
+// ifaceVars computes ctj's interface-variable sets per step boundary.
+func ifaceVars(pl *query.Plan) [][]query.Var {
+	n := len(pl.Steps)
+	firstBound := make([]int, pl.NumVars())
+	lastUse := make([]int, pl.NumVars())
+	for v := range firstBound {
+		firstBound[v], lastUse[v] = -1, -1
+	}
+	for i, st := range pl.Steps {
+		for _, a := range []query.Atom{st.Pattern.S, st.Pattern.P, st.Pattern.O} {
+			if a.IsVar() {
+				if firstBound[a.Var] == -1 {
+					firstBound[a.Var] = i
+				}
+				lastUse[a.Var] = i
+			}
+		}
+	}
+	iface := make([][]query.Var, n+1)
+	for i := 0; i <= n; i++ {
+		for v := 0; v < pl.NumVars(); v++ {
+			if firstBound[v] >= 0 && firstBound[v] < i && lastUse[v] >= i {
+				iface[i] = append(iface[i], query.Var(v))
+			}
+		}
+	}
+	return iface
+}
+
+// Step performs one walk.
+func (w *Walker) Step() {
+	w.acc.N++
+	if w.rootLen == 0 {
+		w.acc.Rejected++
+		return
+	}
+	b := w.b
+	b.Reset()
+	st0 := &w.pl.Steps[0]
+	prodD := 1.0
+	if st0.Kind != query.AccessMembership {
+		t, live := w.res.sample(0, w.rootSpan, w.rng)
+		if !live {
+			w.acc.Rejected++
+			return
+		}
+		st0.Bind(t, b)
+		prodD = float64(w.rootLen)
+	}
+	last := len(w.pl.Steps) - 1
+	for i := 0; ; i++ {
+		if i > 0 {
+			st := &w.pl.Steps[i]
+			sp, ok := w.res.resolve(i, b)
+			if !ok {
+				w.acc.Rejected++
+				return
+			}
+			if st.Kind != query.AccessMembership {
+				t, live := w.res.sample(i, sp, w.rng)
+				if !live {
+					w.acc.Rejected++
+					return
+				}
+				st.Bind(t, b)
+				prodD *= float64(sp.total)
+			}
+		}
+		if i == last {
+			w.finish(i, b, prodD, 0, false)
+			return
+		}
+		if est := w.oracle.Estimate(i, b); est <= w.thresh {
+			w.tipped++
+			w.finish(i, b, prodD, est, true)
+			return
+		}
+	}
+}
+
+// finish completes a walk exactly: enumerate (memoized) the live suffix
+// aggregation beyond step i and credit each group scaled by the prefix's
+// inverse probability ∏ d_j.
+func (w *Walker) finish(i int, b query.Bindings, prodD, tipEst float64, tipped bool) {
+	agg := w.suffixAgg(i, b)
+	if tipped {
+		var actual float64
+		for _, e := range agg {
+			actual += float64(e.n)
+		}
+		w.diag.Observe(tipEst, actual)
+	}
+	if len(agg) == 0 {
+		w.acc.Rejected++
+		return
+	}
+	switch w.pl.Query.Agg {
+	case query.AggSum:
+		clear(w.perGroup)
+		for _, e := range agg {
+			if v, ok := w.v.Numeric(e.b); ok {
+				w.perGroup[e.a] += v * float64(e.n) * prodD
+			}
+		}
+		for a, x := range w.perGroup {
+			w.acc.Add(a, x)
+		}
+	case query.AggAvg:
+		clear(w.perGroupND)
+		for _, e := range agg {
+			if v, ok := w.v.Numeric(e.b); ok {
+				cur := w.perGroupND[e.a]
+				cur.num += v * float64(e.n) * prodD
+				cur.den += float64(e.n) * prodD
+				w.perGroupND[e.a] = cur
+			}
+		}
+		for a, x := range w.perGroupND {
+			w.acc.AddRatio(a, x.num, x.den)
+		}
+	default: // COUNT
+		clear(w.perGroup)
+		for _, e := range agg {
+			w.perGroup[e.a] += float64(e.n) * prodD
+		}
+		for a, x := range w.perGroup {
+			w.acc.Add(a, x)
+		}
+	}
+}
+
+func (w *Walker) suffixAgg(i int, b query.Bindings) []suffixEntry {
+	k, ok := w.aggKeyAt(i+1, b)
+	if !ok {
+		return w.computeSuffixAgg(i, b)
+	}
+	if agg, hit := w.cache[k]; hit {
+		return agg
+	}
+	agg := w.computeSuffixAgg(i, b)
+	w.cache[k] = agg
+	return agg
+}
+
+func (w *Walker) aggKeyAt(step int, b query.Bindings) (aggKey, bool) {
+	q := w.pl.Query
+	k := aggKey{step: int8(step)}
+	i := 0
+	for _, v := range w.iface[step] {
+		if i >= maxIfaceVals {
+			return k, false
+		}
+		k.vals[i] = b[v]
+		i++
+	}
+	for _, v := range []query.Var{q.Alpha, q.Beta} {
+		if i >= maxIfaceVals {
+			return k, false
+		}
+		if v != query.NoVar {
+			k.vals[i] = b[v]
+		} else {
+			k.vals[i] = rdf.NoID
+		}
+		i++
+	}
+	for ; i < maxIfaceVals; i++ {
+		k.vals[i] = rdf.NoID
+	}
+	return k, true
+}
+
+func (w *Walker) computeSuffixAgg(i int, b query.Bindings) []suffixEntry {
+	q := w.pl.Query
+	copy(w.gb, b)
+	gb := w.gb
+	type akey struct{ a, b rdf.ID }
+	idx := make(map[akey]int)
+	var out []suffixEntry
+	_ = w.res.enumerate(i+1, gb, func() error {
+		a, bb := rdf.NoID, rdf.NoID
+		if q.Alpha != query.NoVar {
+			a = gb[q.Alpha]
+		}
+		if q.Beta != query.NoVar {
+			bb = gb[q.Beta]
+		}
+		ak := akey{a, bb}
+		if j, ok := idx[ak]; ok {
+			out[j].n++
+			return nil
+		}
+		idx[ak] = len(out)
+		out = append(out, suffixEntry{a: a, b: bb, n: 1})
+		return nil
+	})
+	return out
+}
+
+// Walks returns the number of walks performed; with Step and Snapshot it
+// makes the Walker an exec.Stepper.
+func (w *Walker) Walks() int64 { return w.acc.N }
+
+// Snapshot returns the running estimates with 0.95 confidence intervals.
+func (w *Walker) Snapshot() wj.Result { return w.acc.Snapshot(stats.Z95) }
+
+// Acc exposes the accumulator.
+func (w *Walker) Acc() *wj.Acc { return w.acc }
+
+// Tipped returns how many walks switched to the exact finish.
+func (w *Walker) Tipped() int64 { return w.tipped }
+
+// TipDiag returns the walker's estimate-vs-actual tipping diagnostics.
+func (w *Walker) TipDiag() core.TipDiag { return w.diag }
+
+// View returns the view the walker was created over.
+func (w *Walker) View() *View { return w.v }

@@ -15,14 +15,18 @@ const NoID = ID(^uint32(0))
 
 // Dict is a bidirectional dictionary between Terms and dense IDs.
 //
-// Dict is not safe for concurrent mutation; build it single-threaded (or
-// behind a lock) and then share it freely for lookups, which are read-only.
+// All methods are safe for concurrent use, including Intern: the dictionary
+// only grows and existing IDs never change, so readers racing an Intern see
+// either the pre- or post-insertion dictionary, both of which are
+// consistent. Live ingestion relies on this — walk runners resolve terms
+// while the ingest path interns new ones.
 //
 // The reverse map is built lazily on the first Intern or Lookup (guarded by
 // a sync.Once, so concurrent first Lookups are safe): a dictionary restored
 // from a store snapshot pays for term hashing only if something actually
 // resolves terms by value.
 type Dict struct {
+	mu      sync.RWMutex
 	terms   []Term
 	ids     map[Term]ID
 	idsOnce sync.Once
@@ -55,6 +59,8 @@ func (d *Dict) ensureIDs() {
 
 // Intern returns the ID for t, assigning a fresh one if t is new.
 func (d *Dict) Intern(t Term) ID {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	d.ensureIDs()
 	if id, ok := d.ids[t]; ok {
 		return id
@@ -70,6 +76,8 @@ func (d *Dict) InternIRI(iri string) ID { return d.Intern(NewIRI(iri)) }
 
 // Lookup returns the ID for t and whether t has been interned.
 func (d *Dict) Lookup(t Term) (ID, bool) {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	d.ensureIDs()
 	id, ok := d.ids[t]
 	return id, ok
@@ -81,6 +89,8 @@ func (d *Dict) LookupIRI(iri string) (ID, bool) { return d.Lookup(NewIRI(iri)) }
 // Term returns the term with the given ID. It panics if id is out of range,
 // which always indicates a programming error (IDs only come from this Dict).
 func (d *Dict) Term(id ID) Term {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
 	if int(id) >= len(d.terms) {
 		panic(fmt.Sprintf("rdf: ID %d out of range (dict has %d terms)", id, len(d.terms)))
 	}
@@ -88,7 +98,11 @@ func (d *Dict) Term(id ID) Term {
 }
 
 // Len returns the number of interned terms.
-func (d *Dict) Len() int { return len(d.terms) }
+func (d *Dict) Len() int {
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return len(d.terms)
+}
 
 // Triple is a dictionary-encoded RDF triple.
 type Triple struct {

@@ -52,6 +52,17 @@ func ReadNTriplesInto(r io.Reader, g *Graph) error {
 	return sc.Err()
 }
 
+// ParseTripleLine parses one "<s> <p> <o> ." N-Triples line into decoded
+// terms. It is the line-at-a-time entry point for ingest endpoints that
+// receive triples outside a full document.
+func ParseTripleLine(line string) (DecodedTriple, error) {
+	s, p, o, err := parseTripleLine(strings.TrimSpace(line), 1)
+	if err != nil {
+		return DecodedTriple{}, err
+	}
+	return DecodedTriple{S: s, P: p, O: o}, nil
+}
+
 // parseTripleLine parses one "<s> <p> <o> ." line.
 func parseTripleLine(line string, lineNo int) (s, p, o Term, err error) {
 	pp := &lineParser{line: line, lineNo: lineNo}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"kgexplore"
+)
+
+func newLiveTestServer(t *testing.T) (*Server, *kgexplore.LiveDataset, *httptest.Server) {
+	t.Helper()
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(tinyNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lds, err := ds.Live(kgexplore.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lds.Close() })
+	srv := NewLive(lds, Provenance{Kind: "live", Triples: lds.NumTriples()})
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return srv, lds, ts
+}
+
+func sparqlCount(t *testing.T, ts *httptest.Server, query, engine string) float64 {
+	t.Helper()
+	var resp ChartResponse
+	r := post(t, ts.URL+"/api/sparql", SPARQLRequest{Query: query, Engine: engine}, &resp)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("sparql (%s): status %d", engine, r.StatusCode)
+	}
+	var total float64
+	for _, b := range resp.Bars {
+		total += b.Count
+	}
+	return total
+}
+
+func TestIngestEndpoint(t *testing.T) {
+	_, lds, ts := newLiveTestServer(t)
+	before := lds.NumTriples()
+	const q = `SELECT COUNT(?s) WHERE { ?s <birthPlace> ?o }`
+	if got := sparqlCount(t, ts, q, "ctj"); got != 3 {
+		t.Fatalf("base count = %v, want 3", got)
+	}
+
+	var ack IngestResponse
+	r := post(t, ts.URL+"/ingest", IngestRequest{
+		Add:    []string{"<dave> <birthPlace> <lima> .", "", "# comment"},
+		Delete: []string{"<carol> <birthPlace> <lima> ."},
+	}, &ack)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("ingest status %d", r.StatusCode)
+	}
+	if ack.Applied != 2 {
+		t.Fatalf("applied = %d, want 2 (blank and comment lines skipped)", ack.Applied)
+	}
+	if ack.Gen == 0 {
+		t.Fatal("ack carries no view generation")
+	}
+
+	// The batch is visible to exact engines and to merged-view walks.
+	if got := sparqlCount(t, ts, q, "ctj"); got != 3 {
+		t.Fatalf("post-ingest exact count = %v, want 3 (one add, one delete)", got)
+	}
+	// Walks draw from the merged span (tombstone included, rejected on
+	// draw), so the estimate fluctuates around the live count of 3.
+	if got := sparqlCount(t, ts, q, "aj"); got < 2.5 || got > 3.5 {
+		t.Fatalf("post-ingest aj estimate = %v, want ≈3", got)
+	}
+	if lds.NumTriples() != before {
+		t.Fatalf("live triples = %d, want %d (one add, one delete)", lds.NumTriples(), before)
+	}
+
+	// Malformed lines are the client's fault.
+	if r := post(t, ts.URL+"/ingest", IngestRequest{Add: []string{"not a triple"}}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestIngestRequiresLiveEpoch(t *testing.T) {
+	ts := newTestServer(t)
+	if r := post(t, ts.URL+"/ingest", IngestRequest{Add: []string{"<a> <b> <c> ."}}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("ingest on non-live epoch: status %d, want 400", r.StatusCode)
+	}
+}
+
+func TestLiveDistinctTakesExactPath(t *testing.T) {
+	_, _, ts := newLiveTestServer(t)
+	// COUNT(DISTINCT ?o) over birthPlace: paris, lima → 2. The aj engine on
+	// a live epoch must answer this EXACTLY (routed to merged enumeration,
+	// never a biased overlay estimate).
+	const q = `SELECT COUNT(DISTINCT ?o) WHERE { ?s <birthPlace> ?o }`
+	if got := sparqlCount(t, ts, q, "aj"); got != 2 {
+		t.Fatalf("distinct via aj on live epoch = %v, want exact 2", got)
+	}
+}
+
+func TestLiveHealthzAndChartTelemetry(t *testing.T) {
+	_, lds, ts := newLiveTestServer(t)
+	if _, err := lds.IngestNTriples([]string{"<dave> <birthPlace> <lima> ."}, []string{"<carol> <birthPlace> <lima> ."}); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var h HealthResponse
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		t.Fatal(err)
+	}
+	if h.Live == nil {
+		t.Fatal("healthz has no live body on a live epoch")
+	}
+	if h.Live.DeltaAdds != 1 || h.Live.Tombstones != 1 {
+		t.Fatalf("live overlay telemetry = %+v, want 1 add / 1 tombstone", h.Live)
+	}
+	if h.Live.AppliedBatches != 1 {
+		t.Fatalf("applied batches = %d, want 1", h.Live.AppliedBatches)
+	}
+
+	var chart ChartResponse
+	post(t, ts.URL+"/api/sparql", SPARQLRequest{Query: `SELECT COUNT(?s) WHERE { ?s <birthPlace> ?o }`}, &chart)
+	if chart.Live == nil || chart.Live.Gen == 0 {
+		t.Fatalf("chart carries no overlay generation: %+v", chart.Live)
+	}
+	if chart.Live.DeltaAdds != 1 || chart.Live.Tombstones != 1 {
+		t.Fatalf("chart overlay telemetry = %+v", chart.Live)
+	}
+}
+
+func TestRotateLiveEpochKeepsSessions(t *testing.T) {
+	srv, lds, ts := newLiveTestServer(t)
+	var sess StateResponse
+	post(t, ts.URL+"/api/session", struct{}{}, &sess)
+
+	if _, err := lds.IngestNTriples([]string{"<erin> <birthPlace> <paris> ."}, nil); err != nil {
+		t.Fatal(err)
+	}
+	res, err := lds.CompactInMemory()
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.RotateLiveEpoch(res.Retired)
+	if got := srv.Swaps(); got != 0 {
+		t.Fatalf("epoch rotation counted as admin swap: %d", got)
+	}
+
+	// The session survives the rotation (dictionary IDs are stable), and
+	// charts reflect the compacted state.
+	var chart ChartResponse
+	r := post(t, ts.URL+"/api/session/"+sess.Session+"/chart", ChartRequest{Op: "subclass", Engine: "ctj"}, &chart)
+	if r.StatusCode != http.StatusOK {
+		t.Fatalf("chart after rotation: status %d", r.StatusCode)
+	}
+	if got := sparqlCount(t, ts, `SELECT COUNT(?s) WHERE { ?s <birthPlace> ?o }`, "ctj"); got != 4 {
+		t.Fatalf("post-compaction count = %v, want 4", got)
+	}
+}
+
+func TestLiveAdminSwapRejected(t *testing.T) {
+	ds, err := kgexplore.LoadNTriples(strings.NewReader(tinyNT))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lds, err := ds.Live(kgexplore.LiveOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { lds.Close() })
+	srv := NewLive(lds, Provenance{Kind: "live"})
+	srv.EnableAdmin = true
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	if r := post(t, ts.URL+"/admin/swap", SwapRequest{Path: "x.kgs"}, nil); r.StatusCode != http.StatusBadRequest {
+		t.Fatalf("admin swap on live epoch: status %d, want 400", r.StatusCode)
+	}
+}

@@ -14,6 +14,7 @@ package server
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -49,9 +50,9 @@ type Provenance struct {
 }
 
 // backend is what the handlers need from a served store, satisfied by
-// *kgexplore.Dataset, *kgexplore.ShardedDataset and *kgexplore.DistDataset.
-// Engine dispatch (which differs between them) lives in
-// evaluate/streamChart, not here.
+// *kgexplore.Dataset, *kgexplore.ShardedDataset, *kgexplore.DistDataset and
+// *kgexplore.LiveDataset. Engine dispatch (which differs between them)
+// lives in evaluate/streamChart, not here.
 type backend interface {
 	NumTriples() int
 	IndexBytes() int64
@@ -67,12 +68,13 @@ type backend interface {
 // for their whole run, so a hot swap never frees a store out from under an
 // in-flight query: the old epoch's closer (an mmap'ed snapshot, typically)
 // runs only when the server reference and every request reference are gone.
-// Exactly one of ds/sds/dds is non-nil; be always is.
+// Exactly one of ds/sds/dds/lds is non-nil; be always is.
 type epoch struct {
 	be     backend
 	ds     *kgexplore.Dataset        // monolithic store, nil otherwise
 	sds    *kgexplore.ShardedDataset // in-process shard set, nil otherwise
 	dds    *kgexplore.DistDataset    // distributed worker fleet, nil otherwise
+	lds    *kgexplore.LiveDataset    // live overlay store, nil otherwise
 	prov   Provenance
 	closer io.Closer
 	refs   atomic.Int64 // starts at 1 for the server's own reference
@@ -88,6 +90,18 @@ func newShardedEpoch(sds *kgexplore.ShardedDataset, prov Provenance) *epoch {
 	// The shard set owns its snapshot mappings; closing it is the epoch
 	// drain action.
 	e := &epoch{be: sds, sds: sds, prov: prov, closer: sds}
+	e.refs.Store(1)
+	return e
+}
+
+// newLiveEpoch wraps a live dataset generation. The base store's resources
+// are owned by the live store itself (closed via LiveDataset.Close at
+// process exit); a live epoch's closer is instead the RETIRED base of the
+// compaction that rotated it out — set by RotateLiveEpoch just before the
+// swap, so the old mmap unmaps only after every request that might hold a
+// pre-compaction view has drained.
+func newLiveEpoch(lds *kgexplore.LiveDataset, prov Provenance) *epoch {
+	e := &epoch{be: lds, lds: lds, prov: prov}
 	e.refs.Store(1)
 	return e
 }
@@ -148,6 +162,11 @@ type Server struct {
 	// RebuildsFn, when set, reports dynamic-store rebuild counts in
 	// /healthz (wired to dynamic.Store.Rebuilds by the embedding process).
 	RebuildsFn func() int
+	// PersistErrFn, when set, reports the embedding process's last
+	// persistence error in /healthz's lastError (wired to
+	// dynamic.Store.PersistErr). Live epochs report their own WAL and
+	// compaction errors there without this hook.
+	PersistErrFn func() error
 	// Estimator, when set, is applied (Dataset.UseEstimator) to every
 	// dataset installed by an admin swap, so a server started with
 	// -estimator keeps its selection across hot swaps. The initial dataset's
@@ -203,6 +222,15 @@ func NewWithProvenance(ds *kgexplore.Dataset, prov Provenance, closer io.Closer)
 // run scatter-gather Audit Join instead of the monolithic engines.
 func NewSharded(sds *kgexplore.ShardedDataset, prov Provenance) *Server {
 	return newServer(newShardedEpoch(sds, prov))
+}
+
+// NewLive creates a server over a live (updatable) dataset: POST /ingest
+// accepts triple batches, chart requests run merged-view Audit Join over
+// the overlay, and /healthz reports overlay, compaction and WAL telemetry.
+// Background compaction is the embedding process's job (kgserver -live);
+// after each compaction it calls RotateLiveEpoch with the retired base.
+func NewLive(lds *kgexplore.LiveDataset, prov Provenance) *Server {
+	return newServer(newLiveEpoch(lds, prov))
 }
 
 // NewDist creates a server over a distributed dataset: chart requests run
@@ -269,6 +297,31 @@ func (s *Server) swapEpoch(ne *epoch) {
 	s.sessions = make(map[string]*session)
 	s.planCaches = make(map[string]*planCache)
 	s.swaps++
+	s.mu.Unlock()
+	old.release()
+}
+
+// RotateLiveEpoch re-epochs a live dataset after a background compaction
+// adopted a new base: the current epoch — whose in-flight requests may
+// still hold views over the retired base — gets the retired closer and
+// drains, while a fresh epoch over the SAME live dataset serves on.
+// Sessions and plan caches survive: compaction does not change dictionary
+// IDs or live content. No-op (closing retired immediately) if the serving
+// epoch is not live.
+func (s *Server) RotateLiveEpoch(retired io.Closer) {
+	s.mu.Lock()
+	old := s.cur
+	if old.lds == nil {
+		s.mu.Unlock()
+		if retired != nil {
+			retired.Close()
+		}
+		return
+	}
+	ne := newLiveEpoch(old.lds, old.prov)
+	ne.prov.Triples = old.lds.NumTriples()
+	old.closer = retired
+	s.cur = ne
 	s.mu.Unlock()
 	old.release()
 }
@@ -389,6 +442,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /api/session/{id}/select", s.handleSelect)
 	mux.HandleFunc("POST /api/session/{id}/back", s.handleBack)
 	mux.HandleFunc("POST /api/sparql", s.handleSPARQL)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.EnableAdmin {
 		mux.HandleFunc("POST /admin/swap", s.handleAdminSwap)
@@ -458,6 +512,14 @@ type HealthResponse struct {
 	Rebuilds  int        `json:"rebuilds,omitempty"`
 	Sessions  int        `json:"sessions"`
 	Estimator string     `json:"estimator"`
+	// Live carries the overlay telemetry of a live epoch: view generation,
+	// layer sizes, applied batches, compaction and WAL counters.
+	Live *kgexplore.LiveStats `json:"live,omitempty"`
+	// LastError surfaces the most recent background persistence or
+	// compaction error (live epochs report WAL/compaction failures here;
+	// embedding processes can report dynamic-store persist errors through
+	// PersistErrFn) so operators see failures without polling.
+	LastError string `json:"lastError,omitempty"`
 	// Strategy is the walk-allocation strategy every online run uses:
 	// "uniform" or "stratified".
 	Strategy string `json:"strategy"`
@@ -504,10 +566,68 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
+	if e.lds != nil {
+		st := e.lds.Stats()
+		resp.Live = &st
+		resp.LastError = st.LastErr
+		if st.LastErr != "" {
+			resp.Status = "degraded"
+		}
+	}
 	if s.RebuildsFn != nil {
 		resp.Rebuilds = s.RebuildsFn()
 	}
+	if s.PersistErrFn != nil {
+		if err := s.PersistErrFn(); err != nil {
+			resp.LastError = err.Error()
+			resp.Status = "degraded"
+		}
+	}
 	writeJSON(w, http.StatusOK, resp)
+}
+
+// IngestRequest is one POST /ingest batch: N-Triples lines to add and to
+// delete, applied in order (adds first) as a single acknowledged batch.
+type IngestRequest struct {
+	Add    []string `json:"add"`
+	Delete []string `json:"delete"`
+}
+
+// IngestResponse acknowledges an applied batch. The ack is durable when the
+// live store runs with a WAL: the batch was fsynced before this response.
+type IngestResponse struct {
+	// Applied counts the operations in the batch (parsed, non-blank lines).
+	Applied int `json:"applied"`
+	// Triples is the live triple count after the batch.
+	Triples int `json:"triples"`
+	// Gen is the view generation the batch published.
+	Gen uint64 `json:"gen"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	e := s.acquire()
+	defer e.release()
+	if e.lds == nil {
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("not serving a live store; start kgserver with -live"))
+		return
+	}
+	var req IngestRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, err)
+		return
+	}
+	n, err := e.lds.IngestNTriples(req.Add, req.Delete)
+	if err != nil {
+		// Parse errors are the client's fault; apply (WAL) errors are ours.
+		code := http.StatusBadRequest
+		if !errors.As(err, new(*kgexplore.ParseError)) {
+			code = http.StatusInternalServerError
+		}
+		writeErr(w, code, err)
+		return
+	}
+	st := e.lds.Stats()
+	writeJSON(w, http.StatusOK, IngestResponse{Applied: n, Triples: st.LiveTriples, Gen: st.Gen})
 }
 
 // TipDiagBody is the JSON form of the tipping diagnostics: how many walks
@@ -568,6 +688,13 @@ func (s *Server) handleAdminSwap(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	e := s.acquire()
+	if e.lds != nil {
+		// A live epoch owns an overlay, WAL and compaction lifecycle that a
+		// path swap cannot carry over; restart the server to change bases.
+		e.release()
+		writeErr(w, http.StatusBadRequest, fmt.Errorf("live epochs do not hot-swap; restart kgserver -live with the new base"))
+		return
+	}
 	if e.dds != nil {
 		// A distributed epoch swaps the FLEET, not the local process: every
 		// worker prepares the new manifest, the swap aborts all-or-nothing
@@ -807,6 +934,16 @@ type ChartResponse struct {
 	// each stratum, re-allocations after worker loss, and wire traffic
 	// (non-stream responses of online engines over distributed epochs).
 	Dist *DistChartBody `json:"dist,omitempty"`
+	// Live identifies the overlay state a live epoch's chart was computed
+	// over: the view generation and layer sizes at response time.
+	Live *LiveChartBody `json:"live,omitempty"`
+}
+
+// LiveChartBody is the per-request overlay telemetry of a live epoch.
+type LiveChartBody struct {
+	Gen        uint64 `json:"gen"`
+	DeltaAdds  int    `json:"deltaAdds"`
+	Tombstones int    `json:"tombstones"`
 }
 
 // DistChartBody is the per-request distribution telemetry of one
@@ -969,6 +1106,10 @@ func chartResponse(e *epoch, op, engine string, counts, ci map[kgexplore.ID]floa
 	if e.dds != nil {
 		resp.Shards = e.dds.NumShards()
 	}
+	if e.lds != nil {
+		st := e.lds.Stats()
+		resp.Live = &LiveChartBody{Gen: st.Gen, DeltaAdds: st.DeltaAdds, Tombstones: st.Tombstones}
+	}
 	bars := e.be.BarsOf(counts, ci)
 	resp.NumBars = len(bars)
 	if topN > 0 && len(bars) > topN {
@@ -1059,6 +1200,9 @@ func (s *Server) evaluate(ctx context.Context, e *epoch, pl *kgexplore.Plan, eng
 	if e.dds != nil {
 		return s.evaluateDist(ctx, e.dds, pl, engine, budgetMS)
 	}
+	if e.lds != nil {
+		return s.evaluateLive(ctx, e.lds, pl, engine, budgetMS)
+	}
 	ds := e.ds
 	switch engine {
 	case "ctj":
@@ -1103,11 +1247,60 @@ func (s *Server) tipStatsOf(r kgexplore.Stepper) *TipDiagBody {
 		d = v.TipDiag()
 	case *kgexplore.StratifiedAuditJoin:
 		d = v.TipDiag()
+	case *kgexplore.LiveWalker:
+		d = v.TipDiag()
 	default:
 		return nil
 	}
 	s.observeTips(d)
 	return tipBody(d)
+}
+
+// liveRunner builds the overlay walker for an online engine name: aj tips
+// at the default threshold, wj never tips. The walker captures the CURRENT
+// view, so the whole run is snapshot-consistent under concurrent ingest.
+// COUNT(DISTINCT) plans are not built here — evaluateLive routes them to
+// the exact merged-view path first.
+func liveRunner(lds *kgexplore.LiveDataset, pl *kgexplore.Plan, engine string) (*kgexplore.LiveWalker, error, bool) {
+	opts := kgexplore.LiveWalkerOptions{Seed: time.Now().UnixNano()}
+	switch engine {
+	case "aj", "":
+		opts.Threshold = kgexplore.DefaultTippingThreshold
+	case "wj":
+		opts.Threshold = -1
+	default:
+		return nil, nil, false
+	}
+	w, err := lds.NewLiveWalker(pl, opts)
+	return w, err, true
+}
+
+// evaluateLive answers a chart request over a live epoch: exact engines —
+// and every DISTINCT plan, per the no-silent-bias policy — enumerate the
+// merged view with tombstones filtered; online engines run merged-view
+// Audit Join whose root weights come from the combined base+delta spans.
+func (s *Server) evaluateLive(ctx context.Context, lds *kgexplore.LiveDataset, pl *kgexplore.Plan, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, chartExtras, error) {
+	switch engine {
+	case "ctj", "lftj", "baseline":
+		res, err := lds.ExactCtx(ctx, pl)
+		return res, nil, chartExtras{}, err
+	}
+	if pl.Query.Distinct {
+		res, err := lds.ExactCtx(ctx, pl)
+		return res, nil, chartExtras{}, err
+	}
+	r, err, ok := liveRunner(lds, pl, engine)
+	if !ok {
+		return nil, nil, chartExtras{}, fmt.Errorf("unknown engine %q", engine)
+	}
+	if err != nil {
+		return nil, nil, chartExtras{}, err
+	}
+	rep, err := kgexplore.Drive(ctx, r, kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128})
+	if err != nil {
+		return nil, nil, chartExtras{}, err
+	}
+	return rep.Final.Estimates, rep.Final.CI, chartExtras{tips: s.tipStatsOf(r)}, nil
 }
 
 // scatterOptions maps an online engine name onto scatter-gather settings:
@@ -1222,6 +1415,18 @@ func (s *Server) streamChart(w http.ResponseWriter, r *http.Request, e *epoch, o
 			writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
 			return
 		}
+	case e.lds != nil:
+		lw, err, ok := liveRunner(e.lds, pl, req.Engine)
+		if !ok {
+			writeErr(w, http.StatusBadRequest, fmt.Errorf("engine %q does not stream; use aj or wj", engine))
+			return
+		}
+		if err != nil {
+			// ErrLiveDistinct: distinct runs exactly, which does not stream.
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		runner = lw
 	default:
 		var ok bool
 		runner, ok = s.onlineRunner(e.ds, pl, req.Engine)
