@@ -60,6 +60,9 @@ func main() {
 		scaleOut   = flag.String("scaleout", "BENCH_scale.json", "output path for -scalebench")
 		scaleRungs = flag.String("scalerungs", "0.02,0.2,1,4.2", "comma-separated dbpedia-sim scales for -scalebench rungs")
 		scaleMem   = flag.Int("scalemembudget", 32, "sort-buffer memory budget for -scalebench streaming builds, MiB")
+		surfBench  = flag.Bool("surfacebench", false, "run the extended-surface benchmark (FILTER/UNION/path accuracy and walks-to-target-CI) and write -surfaceout")
+		surfOut    = flag.String("surfaceout", "BENCH_surface.json", "output path for -surfacebench")
+		surfN      = flag.Int("surfacequeries", 12, "extended-surface queries in -surfacebench")
 		diffMode   = flag.Bool("diff", false, "compare two kgbench JSON reports (kgbench -diff old.json new.json); exit 1 on regressions past -diffthreshold")
 		diffThresh = flag.Float64("diffthreshold", 0.25, "relative regression threshold for -diff")
 	)
@@ -223,6 +226,12 @@ func main() {
 	if *estBench {
 		any = true
 		if err := runEstBench(w, *estOut, *scale, *seed, *estPaths); err != nil {
+			fail(err)
+		}
+	}
+	if *surfBench {
+		any = true
+		if err := runSurfaceBench(w, *surfOut, *scale, *seed, *surfN); err != nil {
 			fail(err)
 		}
 	}

@@ -364,6 +364,42 @@ func (r *repl) run(pl *kgexplore.Plan) (map[kgexplore.ID]float64, map[kgexplore.
 	}
 }
 
+// runUnion evaluates a UNION query under the session engine: exact engines
+// run the cross-branch exact union; online engines run the stratified union
+// estimator, except DISTINCT unions, which have no unbiased estimator and
+// fall back to the exact CTJ union.
+func (r *repl) runUnion(u *kgexplore.UnionQuery) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, error) {
+	r.lastCache = nil
+	up, err := r.ds.CompileUnion(u)
+	if err != nil {
+		return nil, nil, err
+	}
+	switch r.engine {
+	case "ctj", "lftj", "baseline":
+		eng := map[string]kgexplore.ExactEngine{
+			"ctj": kgexplore.EngineCTJ, "lftj": kgexplore.EngineLFTJ, "baseline": kgexplore.EngineBaseline,
+		}[r.engine]
+		res, err := r.ds.ExactUnion(up, eng)
+		return res, nil, err
+	case "wj", "aj", "":
+		if u.Distinct() {
+			res, err := r.ds.ExactUnion(up, kgexplore.EngineCTJ)
+			return res, nil, err
+		}
+		est, err := r.ds.NewUnionEstimator(up, time.Now().UnixNano())
+		if err != nil {
+			return nil, nil, err
+		}
+		rep, err := kgexplore.Drive(context.Background(), est, kgexplore.DriveOptions{Budget: r.budget, Batch: 128})
+		if err != nil {
+			return nil, nil, err
+		}
+		return rep.Final.Estimates, rep.Final.CI, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", r.engine)
+	}
+}
+
 func (r *repl) selectBar(opName, iri string) {
 	op, ok := parseOp(opName)
 	if !ok {
@@ -395,13 +431,19 @@ func (r *repl) sparql(src string) {
 		fmt.Fprintln(r.out, err)
 		return
 	}
-	pl, err := r.ds.Compile(p.Query)
-	if err != nil {
-		fmt.Fprintln(r.out, err)
-		return
-	}
 	start := time.Now()
-	counts, ci, err := r.run(pl)
+	var counts, ci map[kgexplore.ID]float64
+	if p.IsUnion() {
+		counts, ci, err = r.runUnion(p.Union())
+	} else {
+		var pl *kgexplore.Plan
+		pl, err = r.ds.Compile(p.Query)
+		if err != nil {
+			fmt.Fprintln(r.out, err)
+			return
+		}
+		counts, ci, err = r.run(pl)
+	}
 	if err != nil {
 		fmt.Fprintln(r.out, err)
 		return

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"kgexplore/internal/card"
 	"kgexplore/internal/dist"
@@ -13,6 +14,7 @@ import (
 	"kgexplore/internal/shard"
 	"kgexplore/internal/snap"
 	"kgexplore/internal/sparql"
+	"kgexplore/internal/wj"
 )
 
 // Re-exported distributed scatter-gather types (internal/dist).
@@ -188,6 +190,63 @@ func (d *DistDataset) RunDist(ctx context.Context, pl *Plan, opts DistRunOptions
 		opts.Estimator = d.estimator
 	}
 	return d.co.Run(ctx, pl.Query, opts, xopts)
+}
+
+// CompileUnion validates and plans every branch of a union.
+func (d *DistDataset) CompileUnion(u *UnionQuery) (*UnionPlan, error) {
+	return query.CompileUnion(u)
+}
+
+// ExactUnionCtx evaluates a union exactly on one worker, which shares the
+// DISTINCT dedup set and AVG numerator/denominator across branches against
+// its hybrid-resolver view of the whole set. Retries on worker loss.
+func (d *DistDataset) ExactUnionCtx(ctx context.Context, up *UnionPlan) (map[ID]float64, error) {
+	return d.co.ExactUnion(ctx, up.Query, 0)
+}
+
+// RunUnionDist estimates a union over the fleet: each branch runs as its own
+// distributed scatter-gather with an equal share of the walk and wall-clock
+// budget, and the finished branch results merge additively — estimates sum,
+// CIs in quadrature (wj.MergeUnion). That merge is sound only for additive
+// aggregates, so AVG and COUNT(DISTINCT) unions route to the worker-side
+// exact union instead (reported via the returned stats' ExactFallback).
+// xopts.OnSnapshot fires per branch run and therefore sees partial-union
+// snapshots; pass nil unless branch-level progress is wanted.
+func (d *DistDataset) RunUnionDist(ctx context.Context, up *UnionPlan, opts DistRunOptions, xopts DriveOptions) (EstimateResult, []DistRunStats, error) {
+	q := up.Query
+	if q.Agg() == query.AggAvg || q.Distinct() {
+		counts, err := d.co.ExactUnion(ctx, q, xopts.Budget)
+		if err != nil {
+			return EstimateResult{}, nil, err
+		}
+		st := DistRunStats{}
+		st.ExactFallback = true
+		return EstimateResult{Estimates: counts, CI: map[ID]float64{}}, []DistRunStats{st}, nil
+	}
+	n := len(up.Plans)
+	bopts := xopts
+	if xopts.MaxWalks > 0 {
+		bopts.MaxWalks = (xopts.MaxWalks + int64(n) - 1) / int64(n)
+	}
+	if xopts.Budget > 0 {
+		bopts.Budget = xopts.Budget / time.Duration(n)
+	}
+	results := make([]wj.Result, 0, n)
+	stats := make([]DistRunStats, 0, n)
+	for i, pl := range up.Plans {
+		ropts := opts
+		if opts.Estimator == "" {
+			ropts.Estimator = d.estimator
+		}
+		ropts.Seed = opts.Seed + int64(i)*1_000_003
+		res, st, err := d.co.Run(ctx, pl.Query, ropts, bopts)
+		if err != nil {
+			return EstimateResult{}, stats, err
+		}
+		results = append(results, res)
+		stats = append(stats, st)
+	}
+	return wj.MergeUnion(results, 0), stats, nil
 }
 
 // ExactCtx evaluates the plan exactly on one worker (replicate workers hold

@@ -86,6 +86,15 @@ func (e *Engine) EvaluateCtx(ctx context.Context, store *index.Store, pl *query.
 	if maxRows <= 0 {
 		maxRows = DefaultMaxRows
 	}
+	cur, err := e.materialize(ctx, store, pl, maxRows)
+	if err != nil {
+		return nil, err
+	}
+	return aggregate(ctx, store, cur, pl)
+}
+
+// materialize runs the pairwise hash joins to the final relation.
+func (e *Engine) materialize(ctx context.Context, store *index.Store, pl *query.Plan, maxRows int) (*relation, error) {
 	cur := &relation{stride: 0}
 	for i := range pl.Steps {
 		next, err := e.joinStep(ctx, store, pl, i, cur, maxRows)
@@ -93,11 +102,79 @@ func (e *Engine) EvaluateCtx(ctx context.Context, store *index.Store, pl *query.
 			return nil, err
 		}
 		cur = next
+		if len(pl.Steps[i].Filters) > 0 {
+			if err := filterRows(ctx, store, pl, i, cur); err != nil {
+				return nil, err
+			}
+		}
 		if cur.rows() == 0 {
 			break
 		}
 	}
-	return aggregate(ctx, store, cur, pl)
+	return cur, nil
+}
+
+// EvaluateUnionCtx evaluates a compiled union: each branch materializes
+// independently, the branch rows aggregate into shared accumulators (so
+// COUNT(DISTINCT) dedups across branches), and AVG divides the summed
+// numerators by the summed denominators at the end.
+func (e *Engine) EvaluateUnionCtx(ctx context.Context, store *index.Store, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	maxRows := e.MaxRows
+	if maxRows <= 0 {
+		maxRows = DefaultMaxRows
+	}
+	out := make(map[rdf.ID]float64)
+	counts := make(map[rdf.ID]float64)
+	var seen map[[2]rdf.ID]struct{}
+	if up.Query.Distinct() {
+		seen = make(map[[2]rdf.ID]struct{})
+	}
+	for _, pl := range up.Plans {
+		rel, err := e.materialize(ctx, store, pl, maxRows)
+		if err != nil {
+			return nil, err
+		}
+		if err := aggregateInto(ctx, store, rel, pl, out, counts, seen); err != nil {
+			return nil, err
+		}
+	}
+	if up.Query.Agg() == query.AggAvg {
+		for a := range out {
+			out[a] /= counts[a]
+		}
+	}
+	return out, nil
+}
+
+// filterRows compacts the intermediate in place, dropping rows that fail the
+// filters anchored at step i. Running it right after the step that completes
+// a filter's variables keeps doomed rows from inflating later joins — the
+// materializing engine's analogue of the trie engines' per-step checks.
+func filterRows(ctx context.Context, store *index.Store, pl *query.Plan, i int, rel *relation) error {
+	if rel.rows() == 0 {
+		return nil
+	}
+	b := pl.NewBindings()
+	w := 0
+	for r := 0; r < rel.rows(); r++ {
+		if r&(checkEvery-1) == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		row := rel.data[r*rel.stride : (r+1)*rel.stride]
+		b.Reset()
+		for c, v := range rel.schema {
+			b[v] = row[c]
+		}
+		if !pl.StepFiltersOK(i, store, b) {
+			continue
+		}
+		copy(rel.data[w*rel.stride:(w+1)*rel.stride], row)
+		w++
+	}
+	rel.data = rel.data[:w*rel.stride]
+	return nil
 }
 
 // joinStep hash-joins the current intermediate with the triples matching
@@ -259,23 +336,38 @@ func constSpan(store *index.Store, pat query.Pattern) (index.Order, index.Span, 
 // SUM or AVG) to the final relation.
 func aggregate(ctx context.Context, store *index.Store, rel *relation, pl *query.Plan) (map[rdf.ID]float64, error) {
 	out := make(map[rdf.ID]float64)
+	counts := make(map[rdf.ID]float64)
+	var seen map[[2]rdf.ID]struct{}
+	if pl.Query.Distinct {
+		seen = make(map[[2]rdf.ID]struct{})
+	}
+	if err := aggregateInto(ctx, store, rel, pl, out, counts, seen); err != nil {
+		return nil, err
+	}
+	if pl.Query.Agg == query.AggAvg {
+		for a := range out {
+			out[a] /= counts[a]
+		}
+	}
+	return out, nil
+}
+
+// aggregateInto accumulates one relation's rows into shared aggregation
+// state. Union evaluation calls it once per branch with the same maps (and
+// one shared distinct set); AVG division is the caller's job.
+func aggregateInto(ctx context.Context, store *index.Store, rel *relation, pl *query.Plan, out, counts map[rdf.ID]float64, seen map[[2]rdf.ID]struct{}) error {
 	if rel.rows() == 0 {
-		return out, nil
+		return nil
 	}
 	alphaCol := -1
 	if pl.Query.Alpha != query.NoVar {
 		alphaCol = rel.colOf(pl.Query.Alpha)
 	}
 	betaCol := rel.colOf(pl.Query.Beta)
-	var seen map[[2]rdf.ID]struct{}
-	if pl.Query.Distinct {
-		seen = make(map[[2]rdf.ID]struct{})
-	}
-	counts := make(map[rdf.ID]float64)
 	for r := 0; r < rel.rows(); r++ {
 		if r&(checkEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		row := rel.data[r*rel.stride : (r+1)*rel.stride]
@@ -300,12 +392,7 @@ func aggregate(ctx context.Context, store *index.Store, rel *relation, pl *query
 			out[a]++
 		}
 	}
-	if pl.Query.Agg == query.AggAvg {
-		for a := range out {
-			out[a] /= counts[a]
-		}
-	}
-	return out, nil
+	return nil
 }
 
 // Evaluate is a convenience wrapper using a default Engine.

@@ -129,6 +129,64 @@ func (r StoreResolver) ResolveWidth(step int, b query.Bindings) (float64, bool) 
 	return float64(sp.Len()), true
 }
 
+// Filter-selectivity heuristics, in the System R tradition: without value
+// histograms the layer cannot do better than fixed fractions per comparison
+// shape. They only scale estimates — every engine enforces filters exactly —
+// so a bad guess costs walk efficiency (tipping a little early or late) and
+// plan choice, never correctness.
+const (
+	// SelEq is the assumed fraction kept by an equality filter.
+	SelEq = 0.1
+	// SelNe is the assumed fraction kept by an inequality filter.
+	SelNe = 0.9
+	// SelOrdered is the assumed fraction kept by <, <=, > or >=.
+	SelOrdered = 1.0 / 3
+)
+
+// FilterSelectivity returns the heuristic fraction of assignments one filter
+// keeps.
+func FilterSelectivity(f *query.Filter) float64 {
+	switch f.Op {
+	case query.CmpEq:
+		return SelEq
+	case query.CmpNe:
+		return SelNe
+	default:
+		return SelOrdered
+	}
+}
+
+// QueryFilterSelectivity is the product of the query's filter selectivities
+// under the usual independence assumption — the factor JoinSize folds into
+// whole-plan estimates.
+func QueryFilterSelectivity(q *query.Query) float64 {
+	sel := 1.0
+	for i := range q.Filters {
+		sel *= FilterSelectivity(&q.Filters[i])
+	}
+	return sel
+}
+
+// pendingFilterSel precomputes, per prefix end i, the joint selectivity of
+// the filters anchored STRICTLY AFTER step i — the filters a suffix
+// estimate |Γ_δ| has not yet accounted for. nil when the plan has none
+// (the common case pays nothing).
+func pendingFilterSel(pl *query.Plan) []float64 {
+	if !pl.HasFilters() {
+		return nil
+	}
+	n := len(pl.Steps)
+	pending := make([]float64, n)
+	acc := 1.0
+	for i := n - 1; i >= 0; i-- {
+		pending[i] = acc
+		for _, fi := range pl.Steps[i].Filters {
+			acc *= FilterSelectivity(&pl.Query.Filters[fi])
+		}
+	}
+	return pending
+}
+
 // suffix is the shared Suffix implementation: per-step statistics factors
 // precomputed at construction (by SpanStats or GraphSummary), exact widths
 // resolved live for steps adjacent to the prefix. It mirrors the walk
@@ -143,6 +201,11 @@ type suffix struct {
 	// adjFrom[j] is the earliest prefix end i at which all of step j's join
 	// variables are bound; len(pl.Steps) when step j has none.
 	adjFrom []int
+	// pending[i] scales the estimate by the joint selectivity of filters
+	// anchored after step i (nil for filterless plans). This only biases the
+	// tipping decision toward the exact finish on filtered plans — the
+	// filtered suffix really is smaller — never the estimates themselves.
+	pending []float64
 }
 
 func (e *suffix) Estimate(i int, b query.Bindings) float64 {
@@ -160,6 +223,9 @@ func (e *suffix) Estimate(i int, b query.Bindings) float64 {
 		if est == 0 {
 			return 0
 		}
+	}
+	if e.pending != nil {
+		est *= e.pending[i]
 	}
 	return est
 }

@@ -170,6 +170,13 @@ func (s *SpanStats) JoinSize(pl *query.Plan) Est {
 			conf = ConfComposed
 		}
 	}
+	if sel := QueryFilterSelectivity(pl.Query); sel < 1 {
+		// Heuristic selectivities are never better than composed confidence.
+		est *= sel
+		if conf > ConfComposed {
+			conf = ConfComposed
+		}
+	}
 	return Est{Value: est, Confidence: conf}
 }
 
@@ -218,5 +225,6 @@ func (s *SpanStats) factors(pl *query.Plan) []float64 {
 // NewSuffix precomputes the walk-time suffix estimator: statistics factors
 // folded per step, exact widths via res for prefix-adjacent steps.
 func (s *SpanStats) NewSuffix(pl *query.Plan, res SpanResolver) Suffix {
-	return &suffix{pl: pl, res: res, factor: s.factors(pl), adjFrom: adjacencyFrom(pl)}
+	return &suffix{pl: pl, res: res, factor: s.factors(pl),
+		adjFrom: adjacencyFrom(pl), pending: pendingFilterSel(pl)}
 }

@@ -261,6 +261,13 @@ func (g *GraphSummary) JoinSize(pl *query.Plan) Est {
 	if !allCond {
 		lim = ConfComposed
 	}
+	if sel := QueryFilterSelectivity(pl.Query); sel < 1 {
+		// Heuristic selectivities are never better than composed confidence.
+		est *= sel
+		if lim > ConfComposed {
+			lim = ConfComposed
+		}
+	}
 	if conf > lim {
 		conf = lim
 	}
@@ -277,5 +284,6 @@ func (g *GraphSummary) NewSuffix(pl *query.Plan, res SpanResolver) Suffix {
 			factor[j] = f
 		}
 	}
-	return &suffix{pl: pl, res: res, factor: factor, adjFrom: adjacencyFrom(pl)}
+	return &suffix{pl: pl, res: res, factor: factor,
+		adjFrom: adjacencyFrom(pl), pending: pendingFilterSel(pl)}
 }

@@ -161,6 +161,13 @@ func (r *Runner) Step() {
 				prodD *= float64(sp.Len())
 			}
 			st.Bind(t, b)
+			// A failed FILTER rejects the walk — a zero-weight draw, exactly
+			// as in Wander Join; filters anchored past the tipping step are
+			// enforced by the CTJ suffix aggregation instead.
+			if len(st.Filters) > 0 && !r.pl.StepFiltersOK(i, r.store, b) {
+				r.acc.Rejected++
+				return
+			}
 		}
 		if i == last {
 			r.finish(i, b, prodD, 0, false)

@@ -99,6 +99,10 @@ func (o *ProbeOracle) probe(i int, b query.Bindings) float64 {
 		}
 		st.Bind(o.Store.Sample(st.Order, sp, o.rng), b)
 		bound = j
+		if len(st.Filters) > 0 && !o.Plan.StepFiltersOK(j, o.Store, b) {
+			prod = 0
+			break
+		}
 		prod *= float64(sp.Len())
 	}
 	for j := i + 1; j <= bound; j++ {

@@ -144,6 +144,17 @@ func New(store *index.Store, pl *query.Plan) *Evaluator {
 				e.lastUse[a.Var] = i
 			}
 		}
+		// A filter anchored at step i reads its variables at i: that is a
+		// use, and ignoring it would drop the variable from intermediate
+		// interfaces and serve cached suffixes across bindings the filter
+		// distinguishes.
+		for _, fi := range st.Filters {
+			for _, v := range pl.Query.Filters[fi].Vars() {
+				if e.lastUse[v] < i {
+					e.lastUse[v] = i
+				}
+			}
+		}
 	}
 	e.iface = make([][]query.Var, n+1)
 	for i := 0; i <= n; i++ {
@@ -258,6 +269,9 @@ func (e *Evaluator) computeCount(j int, b query.Bindings) int64 {
 			ts := e.store.Triples(st.Order)
 			for t := sp.Lo; t < sp.Hi; t++ {
 				st.Bind(ts[t], b)
+				if len(st.Filters) > 0 && !e.pl.StepFiltersOK(j, e.store, b) {
+					continue
+				}
 				n += e.count(j+1, b)
 			}
 			st.Unbind(b)
@@ -298,6 +312,9 @@ func (e *Evaluator) computeExists(j int, b query.Bindings) bool {
 			ts := e.store.Triples(st.Order)
 			for t := sp.Lo; t < sp.Hi && !found; t++ {
 				st.Bind(ts[t], b)
+				if len(st.Filters) > 0 && !e.pl.StepFiltersOK(j, e.store, b) {
+					continue
+				}
 				found = e.Exists(j+1, b)
 			}
 			st.Unbind(b)

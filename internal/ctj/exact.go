@@ -104,6 +104,9 @@ func groupCountCtx(ctx context.Context, store *index.Store, pl *query.Plan, est 
 				break
 			}
 			st.Bind(store.At(st.Order, sp, t), b)
+			if len(st.Filters) > 0 && !pl2.StepFiltersOK(i, store, b) {
+				continue
+			}
 			if i == target {
 				if n := e.SuffixCount(i, b); n > 0 {
 					out[b[pl2.Query.Alpha]] += n
@@ -133,10 +136,13 @@ func GroupDistinct(store *index.Store, pl *query.Plan) map[rdf.ID]int64 {
 
 // GroupDistinctCtx is GroupDistinct under a context.
 func GroupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan) (map[rdf.ID]int64, error) {
-	return groupDistinctCtx(ctx, store, pl, nil)
+	return groupDistinctCtx(ctx, store, pl, nil, nil)
 }
 
-func groupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan, est query.Estimator) (map[rdf.ID]int64, error) {
+// groupDistinctCtx collects distinct (group, Beta) pairs. seen may carry the
+// dedup state across calls — union evaluation passes one shared set so a pair
+// produced by two branches counts once; nil starts fresh.
+func groupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan, est query.Estimator, seen map[[2]rdf.ID]struct{}) (map[rdf.ID]int64, error) {
 	cc := newCanceller(ctx)
 	if cc.cancelled() {
 		return nil, cc.err
@@ -150,7 +156,9 @@ func groupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan, e
 	if alpha != query.NoVar && pl2.AlphaStep > target {
 		target = pl2.AlphaStep
 	}
-	seen := make(map[[2]rdf.ID]struct{})
+	if seen == nil {
+		seen = make(map[[2]rdf.ID]struct{})
+	}
 	out := make(map[rdf.ID]int64)
 	var rec func(i int)
 	rec = func(i int) {
@@ -186,6 +194,9 @@ func groupDistinctCtx(ctx context.Context, store *index.Store, pl *query.Plan, e
 				break
 			}
 			st.Bind(store.At(st.Order, sp, t), b)
+			if len(st.Filters) > 0 && !pl2.StepFiltersOK(i, store, b) {
+				continue
+			}
 			rec(i + 1)
 		}
 		st.Unbind(b)
@@ -252,6 +263,9 @@ func groupWeighted(ctx context.Context, store *index.Store, pl *query.Plan, est 
 				break
 			}
 			st.Bind(store.At(st.Order, sp, t), b)
+			if len(st.Filters) > 0 && !pl2.StepFiltersOK(i, store, b) {
+				continue
+			}
 			rec(i + 1)
 		}
 		st.Unbind(b)
@@ -344,7 +358,7 @@ func EvaluateCtxEst(ctx context.Context, store *index.Store, pl *query.Plan, est
 		err error
 	)
 	if pl.Query.Distinct {
-		raw, err = groupDistinctCtx(ctx, store, pl, est)
+		raw, err = groupDistinctCtx(ctx, store, pl, est, nil)
 	} else {
 		raw, err = groupCountCtx(ctx, store, pl, est)
 	}

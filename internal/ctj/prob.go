@@ -129,6 +129,9 @@ func (e *Evaluator) materializeProbsInto(m map[uint64]float64) {
 		ts := e.store.Triples(st.Order)
 		for t := sp.Lo; t < sp.Hi; t++ {
 			st.Bind(ts[t], b)
+			if len(st.Filters) > 0 && !e.pl.StepFiltersOK(j, e.store, b) {
+				continue // a rejected walk contributes no probability mass
+			}
 			rec(j+1, p)
 		}
 		st.Unbind(b)
@@ -204,6 +207,13 @@ func (e *Evaluator) walkProbability(b, orig query.Bindings, presets map[query.Va
 		if orig[v] == rdf.NoID {
 			orig[v] = val
 		}
+	}
+	// The constrained plan enumerates without the query's filters (preset
+	// variables may have turned into constants there), so the filter check
+	// happens here, on the completed original bindings: filter-failing paths
+	// are walks that would have been rejected and carry no probability.
+	if e.pl.HasFilters() && !e.pl.FiltersOK(e.store, orig) {
+		return 0
 	}
 	prob := 1.0
 	for j := range e.pl.Steps {

@@ -31,6 +31,12 @@ func (e *Evaluator) EnumerateSuffix(i int, b query.Bindings, cb func(b query.Bin
 		ts := e.store.Triples(st.Order)
 		for t := sp.Lo; t < sp.Hi; t++ {
 			st.Bind(ts[t], b)
+			// Filter-failing completions are invisible to the walk estimator
+			// (the walk would have been rejected), so they contribute neither
+			// a completion nor probability mass.
+			if len(st.Filters) > 0 && !e.pl.StepFiltersOK(j, e.store, b) {
+				continue
+			}
 			rec(j+1, p)
 		}
 		st.Unbind(b)

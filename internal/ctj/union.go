@@ -1,0 +1,86 @@
+package ctj
+
+import (
+	"context"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// EvaluateUnion evaluates a compiled union exactly with the cached trie
+// join, under SPARQL bag semantics: COUNT and SUM add across branches, AVG
+// is the ratio of the summed per-branch numerators and denominators, and
+// COUNT(DISTINCT) deduplicates (group, β) pairs ACROSS branches via one
+// shared value set threaded through the per-branch traversals. Each branch
+// keeps its own CTJ session (branches have different plans, so their caches
+// cannot mix).
+func EvaluateUnion(store *index.Store, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	return EvaluateUnionCtx(context.Background(), store, up)
+}
+
+// EvaluateUnionCtx is EvaluateUnion under a context.
+func EvaluateUnionCtx(ctx context.Context, store *index.Store, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	return EvaluateUnionCtxEst(ctx, store, up, nil)
+}
+
+// EvaluateUnionCtxEst is EvaluateUnionCtx with an explicit cardinality
+// estimator behind each branch's order selection; nil selects span
+// statistics.
+func EvaluateUnionCtxEst(ctx context.Context, store *index.Store, up *query.UnionPlan, est query.Estimator) (map[rdf.ID]float64, error) {
+	out := make(map[rdf.ID]float64)
+	switch {
+	case up.Query.Agg() == query.AggSum:
+		for _, pl := range up.Plans {
+			sums, _, err := groupWeighted(ctx, store, pl, est)
+			if err != nil {
+				return nil, err
+			}
+			for a, v := range sums {
+				out[a] += v
+			}
+		}
+	case up.Query.Agg() == query.AggAvg:
+		nums := make(map[rdf.ID]float64)
+		dens := make(map[rdf.ID]float64)
+		for _, pl := range up.Plans {
+			sums, counts, err := groupWeighted(ctx, store, pl, est)
+			if err != nil {
+				return nil, err
+			}
+			for a, v := range sums {
+				nums[a] += v
+			}
+			for a, v := range counts {
+				dens[a] += v
+			}
+		}
+		for a, n := range nums {
+			if d := dens[a]; d > 0 {
+				out[a] = n / d
+			}
+		}
+	case up.Query.Distinct():
+		seen := make(map[[2]rdf.ID]struct{})
+		for _, pl := range up.Plans {
+			raw, err := groupDistinctCtx(ctx, store, pl, est, seen)
+			if err != nil {
+				return nil, err
+			}
+			for a, v := range raw {
+				out[a] += float64(v)
+			}
+		}
+	default:
+		for _, pl := range up.Plans {
+			raw, err := groupCountCtx(ctx, store, pl, est)
+			if err != nil {
+				return nil, err
+			}
+			for a, v := range raw {
+				out[a] += float64(v)
+			}
+		}
+	}
+	return out, nil
+}

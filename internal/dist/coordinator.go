@@ -256,7 +256,7 @@ func (c *Coordinator) Run(ctx context.Context, q *query.Query, opts RunOptions, 
 
 	if q.Distinct && !shard.Owned(pl) {
 		rstats.ExactFallback = true
-		res, err := c.runExact(ctx, q, xopts, &wireIn, &wireOut)
+		res, err := c.runExact(ctx, q, nil, xopts, &wireIn, &wireOut)
 		if err == nil && xopts.OnSnapshot != nil {
 			xopts.OnSnapshot(exec.Progress{Seq: 1, Snapshot: res, Final: true})
 		}
@@ -719,7 +719,21 @@ func (c *Coordinator) streamRun(ctx context.Context, w *workerRef, k int, req ru
 // evaluation; the context cancels it either way.
 func (c *Coordinator) Exact(ctx context.Context, q *query.Query, budget time.Duration) (map[rdf.ID]float64, error) {
 	var wireIn, wireOut atomic.Int64
-	res, err := c.runExact(ctx, q, exec.Options{Budget: budget}, &wireIn, &wireOut)
+	res, err := c.runExact(ctx, q, nil, exec.Options{Budget: budget}, &wireIn, &wireOut)
+	if err != nil {
+		return nil, err
+	}
+	return res.Estimates, nil
+}
+
+// ExactUnion evaluates a union exactly on one live worker, which shares the
+// DISTINCT dedup set and AVG numerator/denominator across branches against
+// its hybrid-resolver view of the whole set — the semantics a merge of
+// per-branch exact results cannot reproduce. Retries on worker loss like
+// Exact.
+func (c *Coordinator) ExactUnion(ctx context.Context, u *query.UnionQuery, budget time.Duration) (map[rdf.ID]float64, error) {
+	var wireIn, wireOut atomic.Int64
+	res, err := c.runExact(ctx, nil, u, exec.Options{Budget: budget}, &wireIn, &wireOut)
 	if err != nil {
 		return nil, err
 	}
@@ -729,7 +743,7 @@ func (c *Coordinator) Exact(ctx context.Context, q *query.Query, budget time.Dur
 // runExact evaluates the exact fallback on any live worker (replicate
 // workers hold the whole set; own-placement workers reach peers through
 // their hybrid resolver), retrying on worker loss.
-func (c *Coordinator) runExact(ctx context.Context, q *query.Query, xopts exec.Options, wireIn, wireOut *atomic.Int64) (wj.Result, error) {
+func (c *Coordinator) runExact(ctx context.Context, q *query.Query, u *query.UnionQuery, xopts exec.Options, wireIn, wireOut *atomic.Int64) (wj.Result, error) {
 	tried := make(map[*workerRef]bool)
 	for {
 		var w *workerRef
@@ -742,7 +756,7 @@ func (c *Coordinator) runExact(ctx context.Context, q *query.Query, xopts exec.O
 		if w == nil {
 			return wj.Result{}, fmt.Errorf("dist: no live worker left for the exact fallback")
 		}
-		counts, err := c.exactOne(ctx, w, q, xopts, wireIn, wireOut)
+		counts, err := c.exactOne(ctx, w, q, u, xopts, wireIn, wireOut)
 		if err == nil {
 			res := wj.Result{Estimates: counts, CI: make(map[rdf.ID]float64)}
 			if res.Estimates == nil {
@@ -758,7 +772,7 @@ func (c *Coordinator) runExact(ctx context.Context, q *query.Query, xopts exec.O
 	}
 }
 
-func (c *Coordinator) exactOne(ctx context.Context, w *workerRef, q *query.Query, xopts exec.Options, wireIn, wireOut *atomic.Int64) (map[rdf.ID]float64, error) {
+func (c *Coordinator) exactOne(ctx context.Context, w *workerRef, q *query.Query, u *query.UnionQuery, xopts exec.Options, wireIn, wireOut *atomic.Int64) (map[rdf.ID]float64, error) {
 	cc, err := dialConn(ctx, w.addr)
 	if err != nil {
 		return nil, err
@@ -778,7 +792,7 @@ func (c *Coordinator) exactOne(ctx context.Context, w *workerRef, q *query.Query
 		case <-watchDone:
 		}
 	}()
-	if err := cc.writeJSON(MsgExact, exactReq{Query: q, BudgetMillis: xopts.Budget.Milliseconds()}); err != nil {
+	if err := cc.writeJSON(MsgExact, exactReq{Query: q, Union: u, BudgetMillis: xopts.Budget.Milliseconds()}); err != nil {
 		return nil, err
 	}
 	if xopts.Budget > 0 {

@@ -131,6 +131,65 @@ func TestDistributedEquivalence(t *testing.T) {
 	}
 }
 
+// TestDistributedFilterEquivalence drives a FILTERed query over the wire:
+// the JSON query payload must carry the filter predicates, and the workers'
+// filtered strata must reproduce the in-process scatter run bit-identically
+// (same seeds, same rejected-walk pattern).
+func TestDistributedFilterEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(42, 50, 4, 40, 700)
+	q := testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false)
+	q.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q.Beta), R: query.ENum(5)}}
+	const K = 2
+
+	manifest := writeFixtureSet(t, g, K)
+	set, err := shard.Load(manifest, shard.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer set.Close()
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	xo := exec.Options{MaxWalks: 4000, Batch: 64}
+	want, _, err := shard.RunScatter(context.Background(), set, pl,
+		shard.ScatterOptions{Seed: 9}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unfiltered := testkit.BruteForce(g, testkit.ChainQuery(g, []rdf.ID{50, 51}, true, false))
+	filtered := testkit.BruteForce(g, q)
+	if sumVals(filtered) >= sumVals(unfiltered) {
+		t.Fatal("fixture filter prunes nothing; the test would not detect a dropped filter")
+	}
+
+	_, addrs := startFleet(t, manifest, K, K)
+	c := mustDial(t, addrs)
+	got, _, err := c.Run(context.Background(), q, RunOptions{Seed: 9}, xo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resultsEqual(got, want, 0) {
+		t.Fatalf("distributed filtered %v ± %v, in-process %v ± %v",
+			got.Estimates, got.CI, want.Estimates, want.CI)
+	}
+	if got.Rejected == 0 {
+		t.Fatal("filtered distributed run recorded no rejections")
+	}
+	// And the estimate tracks the FILTERED oracle, not the unfiltered one.
+	if tot, ex := sumVals(got.Estimates), sumVals(filtered); math.Abs(tot-ex) > 0.25*ex+2 {
+		t.Fatalf("distributed filtered estimate %.1f, exact %.1f", tot, ex)
+	}
+}
+
+func sumVals(m map[rdf.ID]float64) float64 {
+	s := 0.0
+	for _, v := range m {
+		s += v
+	}
+	return s
+}
+
 func perShardWalks(s shard.ScatterStats) []int64 {
 	out := make([]int64, len(s.PerShard))
 	for i, ps := range s.PerShard {
@@ -569,5 +628,50 @@ func TestMixedFleetRejected(t *testing.T) {
 	_, a3 := startWorker(t, WorkerOptions{Manifest: m3, Shard: 0})
 	if _, err := Dial(context.Background(), []string{a2, a3}); err == nil {
 		t.Fatal("mixed fleet accepted")
+	}
+}
+
+// TestDistributedUnionExact: the worker-side exact union (MsgExact with a
+// Union payload) matches the oracle for every aggregate, including the
+// cross-branch DISTINCT dedup and AVG ratio a merge of per-branch exact
+// results cannot reproduce.
+func TestDistributedUnionExact(t *testing.T) {
+	g := testkit.RandomGraph(43, 40, 4, 30, 500)
+	const K = 2
+	manifest := writeFixtureSet(t, g, K)
+	_, addrs := startFleet(t, manifest, K, K)
+	c := mustDial(t, addrs)
+
+	mk := func(p rdf.ID, distinct bool, agg query.AggFunc) *query.Query {
+		q := testkit.ChainQuery(g, []rdf.ID{p, 41}, true, distinct)
+		q.Agg = agg
+		return q
+	}
+	for _, tc := range []struct {
+		name     string
+		distinct bool
+		agg      query.AggFunc
+	}{
+		{"count", false, query.AggCount},
+		{"sum", false, query.AggSum},
+		{"avg", false, query.AggAvg},
+		{"distinct", true, query.AggCount},
+	} {
+		u := &query.UnionQuery{Branches: []*query.Query{
+			mk(40, tc.distinct, tc.agg),
+			mk(42, tc.distinct, tc.agg),
+			mk(40, tc.distinct, tc.agg), // overlaps branch 0 for DISTINCT dedup
+		}}
+		u.Branches[1].Filters = []query.Filter{
+			{Op: query.CmpGt, L: query.EVar(u.Branches[1].Beta), R: query.ENum(2)},
+		}
+		want := testkit.BruteForceUnion(g, u)
+		got, err := c.ExactUnion(context.Background(), u, 0)
+		if err != nil {
+			t.Fatalf("%s: ExactUnion: %v", tc.name, err)
+		}
+		if !testkit.MapsEqual(got, want, 1e-9) {
+			t.Errorf("%s: distributed exact union disagrees: got %v want %v", tc.name, got, want)
+		}
 	}
 }

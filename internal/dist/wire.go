@@ -44,7 +44,11 @@ import (
 )
 
 // ProtoVersion gates the handshake: both sides must speak the same version.
-const ProtoVersion = 1
+// Version 2 added FILTER predicates to the query payloads; a v1 worker would
+// decode a filtered query by silently DROPPING the unknown Filters field and
+// return unfiltered (biased) strata, so the bump is a correctness gate, not
+// a formality.
+const ProtoVersion = 2
 
 // MaxFrame bounds one frame's payload; larger frames are a protocol error.
 const MaxFrame = 64 << 20
@@ -152,8 +156,14 @@ type runDone struct {
 }
 
 type exactReq struct {
-	Query        *query.Query `json:"query"`
-	BudgetMillis int64        `json:"budget_millis,omitempty"`
+	Query *query.Query `json:"query"`
+	// Union, when non-nil, asks for the exact cross-branch union evaluation
+	// instead (Query is then ignored). Added with ProtoVersion 2: one worker
+	// evaluates all branches against its hybrid-resolver view of the whole
+	// set, sharing the DISTINCT dedup set and AVG numerator/denominator
+	// across branches — semantics no merge of per-branch results can give.
+	Union        *query.UnionQuery `json:"union,omitempty"`
+	BudgetMillis int64             `json:"budget_millis,omitempty"`
 }
 
 type swapReq struct {

@@ -771,7 +771,14 @@ func (w *Worker) handleExact(c *conn, payload []byte) error {
 	if err := json.Unmarshal(payload, &req); err != nil {
 		return err
 	}
-	pl, err := compileWire(req.Query)
+	var pl *query.Plan
+	var up *query.UnionPlan
+	var err error
+	if req.Union != nil {
+		up, err = query.CompileUnion(req.Union)
+	} else {
+		pl, err = compileWire(req.Query)
+	}
 	if err != nil {
 		return err
 	}
@@ -798,7 +805,12 @@ func (w *Worker) handleExact(c *conn, payload []byte) error {
 		}
 	}()
 
-	counts, err := e.set.ExactCtx(ctx, pl)
+	var counts map[rdf.ID]float64
+	if up != nil {
+		counts, err = e.set.ExactUnionCtx(ctx, up)
+	} else {
+		counts, err = e.set.ExactCtx(ctx, pl)
+	}
 	if err != nil {
 		return err
 	}

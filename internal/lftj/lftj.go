@@ -67,6 +67,9 @@ func EnumerateCtx(ctx context.Context, store *index.Store, pl *query.Plan, cb fu
 		ts := store.Triples(st.Order)
 		for k := sp.Lo; k < sp.Hi; k++ {
 			st.Bind(ts[k], b)
+			if len(st.Filters) > 0 && !pl.StepFiltersOK(i, store, b) {
+				continue
+			}
 			if !rec(i + 1) {
 				return false
 			}

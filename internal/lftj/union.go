@@ -1,0 +1,62 @@
+package lftj
+
+import (
+	"context"
+
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// EvaluateUnion evaluates a compiled union with SPARQL bag semantics: the
+// branches' assignment multisets are concatenated before aggregation, so
+// COUNT and SUM add up across branches, AVG is the ratio of the summed
+// numerators and denominators, and COUNT(DISTINCT) deduplicates (group, β)
+// pairs across branches through one shared value set.
+func EvaluateUnion(store *index.Store, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	return EvaluateUnionCtx(context.Background(), store, up)
+}
+
+// EvaluateUnionCtx is EvaluateUnion under a context.
+func EvaluateUnionCtx(ctx context.Context, store *index.Store, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	agg := up.Query.Agg()
+	distinct := up.Query.Distinct()
+	out := make(map[rdf.ID]float64)
+	counts := make(map[rdf.ID]float64)
+	seen := make(map[uint64]struct{})
+	for _, pl := range up.Plans {
+		alpha, beta := pl.Query.Alpha, pl.Query.Beta
+		err := EnumerateCtx(ctx, store, pl, func(b query.Bindings) bool {
+			a := GlobalGroup
+			if alpha != query.NoVar {
+				a = b[alpha]
+			}
+			switch agg {
+			case query.AggSum, query.AggAvg:
+				if v, ok := store.Numeric(b[beta]); ok {
+					out[a] += v
+					counts[a]++
+				}
+			default:
+				if distinct {
+					k := uint64(a)<<32 | uint64(b[beta])
+					if _, dup := seen[k]; dup {
+						return true
+					}
+					seen[k] = struct{}{}
+				}
+				out[a]++
+			}
+			return true
+		})
+		if err != nil {
+			return nil, err
+		}
+	}
+	if agg == query.AggAvg {
+		for a := range out {
+			out[a] /= counts[a]
+		}
+	}
+	return out, nil
+}

@@ -135,6 +135,75 @@ func TestRandomInterleavingEquivalence(t *testing.T) {
 	}
 }
 
+// TestLiveFilterEquivalence: FILTER semantics survive the delta overlay —
+// the merged-view exact enumeration matches the oracle on the live triple
+// set, and the overlay walker treats failed filters as rejections (unbiased
+// for the filtered live counts, same mechanism as tombstone hits).
+func TestLiveFilterEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(21, 30, 3, 25, 400)
+	baseStore, rest := splitGraph(g, 0.5)
+	s := mustStore(t, baseStore, Options{})
+	for _, tr := range rest {
+		if err := s.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Delete a slice of base triples so tombstone rejection composes with
+	// filter rejection in the same walks.
+	baseTriples := g.Triples[:len(g.Triples)-len(rest)]
+	deleted := make(map[rdf.Triple]bool)
+	for i := 0; i < len(baseTriples); i += 7 {
+		if err := s.Delete(baseTriples[i]); err != nil {
+			t.Fatal(err)
+		}
+		deleted[baseTriples[i]] = true
+	}
+	final := &rdf.Graph{Dict: g.Dict}
+	for _, tr := range g.Triples {
+		if !deleted[tr] {
+			final.Triples = append(final.Triples, tr)
+		}
+	}
+	final.Dedup()
+
+	q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	q.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q.Beta), R: query.ENum(5)}}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testkit.BruteForce(final, q)
+	v := s.View()
+	got, err := Exact(context.Background(), v, pl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !testkit.MapsEqual(got, want, 1e-9) {
+		t.Fatalf("overlay filtered exact %v, oracle %v", got, want)
+	}
+
+	total := 0.0
+	for _, x := range want {
+		total += x
+	}
+	w, err := NewWalker(v, pl, WalkerOptions{Threshold: -1, Seed: 19})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exec.RunN(w, 40000)
+	res := w.Snapshot()
+	est := 0.0
+	for _, x := range res.Estimates {
+		est += x
+	}
+	if tol := 0.25*total + 2; math.Abs(est-total) > tol {
+		t.Errorf("filtered overlay estimate %.1f vs exact %.1f", est, total)
+	}
+	if res.Rejected == 0 {
+		t.Error("filtered overlay run recorded no rejections")
+	}
+}
+
 // TestConcurrentIngestAndWalks drives sustained Apply batches while reader
 // goroutines run walkers and exact enumerations over captured views — the
 // -race workout for the dict lock, the atomic view swap, and compaction

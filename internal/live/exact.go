@@ -16,20 +16,64 @@ const exactCheckEvery = 1 << 13
 // set by merged-view enumeration (tombstones filtered), matching the
 // aggregation semantics of the single-store exact engines: COUNT counts
 // matches, SUM/AVG aggregate numeric β values (non-numeric rows skipped),
-// and DISTINCT counts distinct (group, β) pairs — the exact path distinct
-// overlay queries are routed to (see ErrDistinctOverlay).
+// DISTINCT counts distinct (group, β) pairs — the exact path distinct
+// overlay queries are routed to (see ErrDistinctOverlay) — and FILTER
+// predicates prune assignments during the enumeration.
 func Exact(ctx context.Context, v *View, pl *query.Plan) (map[rdf.ID]float64, error) {
-	r := newResolver(v, pl)
 	q := pl.Query
-	b := pl.NewBindings()
 	out := make(map[rdf.ID]float64)
 	counts := make(map[rdf.ID]float64)
 	var seen map[[2]rdf.ID]struct{}
 	if q.Distinct {
 		seen = make(map[[2]rdf.ID]struct{})
 	}
+	if err := exactInto(ctx, v, pl, out, counts, seen); err != nil {
+		return nil, err
+	}
+	if q.Agg == query.AggAvg {
+		for a := range out {
+			out[a] /= counts[a]
+		}
+	}
+	return out, nil
+}
+
+// ExactUnion evaluates a compiled union exactly over the live view under
+// SPARQL bag semantics: COUNT and SUM add across branches, AVG is the ratio
+// of the summed per-branch numerators and denominators, and COUNT(DISTINCT)
+// deduplicates (group, β) pairs ACROSS branches via one shared value set.
+func ExactUnion(ctx context.Context, v *View, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	q := up.Query
+	out := make(map[rdf.ID]float64)
+	counts := make(map[rdf.ID]float64)
+	var seen map[[2]rdf.ID]struct{}
+	if q.Distinct() {
+		seen = make(map[[2]rdf.ID]struct{})
+	}
+	for _, pl := range up.Plans {
+		if err := exactInto(ctx, v, pl, out, counts, seen); err != nil {
+			return nil, err
+		}
+	}
+	if q.Agg() == query.AggAvg {
+		for a := range out {
+			if d := counts[a]; d > 0 {
+				out[a] /= d
+			}
+		}
+	}
+	return out, nil
+}
+
+// exactInto enumerates one plan and accumulates into the caller's maps:
+// sums (or counts) into out, AVG denominators into counts, and the distinct
+// (group, β) dedup set into seen (nil when the query is not DISTINCT).
+func exactInto(ctx context.Context, v *View, pl *query.Plan, out, counts map[rdf.ID]float64, seen map[[2]rdf.ID]struct{}) error {
+	r := newResolver(v, pl)
+	q := pl.Query
+	b := pl.NewBindings()
 	rows := 0
-	err := r.enumerate(0, b, func() error {
+	return r.enumerate(0, b, func() error {
 		rows++
 		if rows&(exactCheckEvery-1) == 0 {
 			if err := ctx.Err(); err != nil {
@@ -47,7 +91,7 @@ func Exact(ctx context.Context, v *View, pl *query.Plan) (map[rdf.ID]float64, er
 				counts[a]++
 			}
 		default:
-			if q.Distinct {
+			if seen != nil {
 				k := [2]rdf.ID{a, b[q.Beta]}
 				if _, dup := seen[k]; dup {
 					return nil
@@ -58,13 +102,4 @@ func Exact(ctx context.Context, v *View, pl *query.Plan) (map[rdf.ID]float64, er
 		}
 		return nil
 	})
-	if err != nil {
-		return nil, err
-	}
-	if q.Agg == query.AggAvg {
-		for a := range out {
-			out[a] /= counts[a]
-		}
-	}
-	return out, nil
 }

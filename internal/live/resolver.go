@@ -112,6 +112,7 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 		return nil
 	}
 	if st.Kind == query.AccessMembership {
+		// Membership steps bind no new variables, so no filter anchors here.
 		return r.enumerate(j+1, b, visit)
 	}
 	ord := st.Order
@@ -121,6 +122,9 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 			continue
 		}
 		st.Bind(t, b)
+		if len(st.Filters) > 0 && !r.pl.StepFiltersOK(j, r.v, b) {
+			continue
+		}
 		if err := r.enumerate(j+1, b, visit); err != nil {
 			st.Unbind(b)
 			return err
@@ -128,6 +132,9 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 	}
 	for n := 0; n < sp.delta.Len(); n++ {
 		st.Bind(r.v.delta.At(ord, sp.delta, n), b)
+		if len(st.Filters) > 0 && !r.pl.StepFiltersOK(j, r.v, b) {
+			continue
+		}
 		if err := r.enumerate(j+1, b, visit); err != nil {
 			st.Unbind(b)
 			return err

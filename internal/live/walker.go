@@ -144,6 +144,16 @@ func ifaceVars(pl *query.Plan) [][]query.Var {
 				lastUse[a.Var] = i
 			}
 		}
+		// A filter anchored at step i reads its variables at i; without this
+		// the variable drops out of intermediate interfaces and the suffix
+		// cache serves aggregates across bindings the filter distinguishes.
+		for _, fi := range st.Filters {
+			for _, v := range pl.Query.Filters[fi].Vars() {
+				if lastUse[v] < i {
+					lastUse[v] = i
+				}
+			}
+		}
 	}
 	iface := make([][]query.Var, n+1)
 	for i := 0; i <= n; i++ {
@@ -175,6 +185,13 @@ func (w *Walker) Step() {
 		}
 		st0.Bind(t, b)
 		prodD = float64(w.rootLen)
+		// A failed FILTER rejects the walk — a zero-weight HT draw, the same
+		// mechanism as a tombstone hit — so estimates stay unbiased for the
+		// filtered live counts.
+		if len(st0.Filters) > 0 && !w.pl.StepFiltersOK(0, w.v, b) {
+			w.acc.Rejected++
+			return
+		}
 	}
 	last := len(w.pl.Steps) - 1
 	for i := 0; ; i++ {
@@ -193,6 +210,10 @@ func (w *Walker) Step() {
 				}
 				st.Bind(t, b)
 				prodD *= float64(sp.total)
+				if len(st.Filters) > 0 && !w.pl.StepFiltersOK(i, w.v, b) {
+					w.acc.Rejected++
+					return
+				}
 			}
 		}
 		if i == last {
@@ -329,6 +350,10 @@ func (w *Walker) computeSuffixAgg(i int, b query.Bindings) []suffixEntry {
 // Walks returns the number of walks performed; with Step and Snapshot it
 // makes the Walker an exec.Stepper.
 func (w *Walker) Walks() int64 { return w.acc.N }
+
+// RootCard returns the walker's root population size — the number of live
+// root triples its walks draw from.
+func (w *Walker) RootCard() int64 { return int64(w.rootLen) }
 
 // Snapshot returns the running estimates with 0.95 confidence intervals.
 func (w *Walker) Snapshot() wj.Result { return w.acc.Snapshot(stats.Z95) }

@@ -1,0 +1,310 @@
+package query
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"kgexplore/internal/rdf"
+)
+
+// This file defines the FILTER expression IR. A Filter is a comparison
+// between two arithmetic expressions over query variables, numeric
+// constants and interned RDF terms, attached to a Query and anchored by the
+// planner at the earliest step where all its variables are bound. Every
+// engine applies anchored filters the same way: an assignment that fails a
+// filter is dropped during exact enumeration, and a walk that fails one is
+// rejected — a Horvitz–Thompson zero-weight draw, which keeps the online
+// estimators unbiased for the filtered result (the same argument that
+// covers dead-end rejections in the paper's §IV-C).
+//
+// Semantics follow SPARQL's error-as-false rule restricted to the numeric
+// precompute the store maintains: '=' and '!=' compare by numeric value
+// when both sides are numeric literals and by term identity otherwise;
+// ordered comparisons (<, <=, >, >=) and arithmetic require both operands
+// numeric and evaluate to false (rejecting the row) when either is not.
+// All types are JSON-serializable so filters ride inside query.Query over
+// the internal/dist wire protocol unchanged.
+
+// CmpOp is a filter comparison operator, spelled as in the concrete syntax.
+type CmpOp string
+
+const (
+	CmpEq CmpOp = "="
+	CmpNe CmpOp = "!="
+	CmpLt CmpOp = "<"
+	CmpLe CmpOp = "<="
+	CmpGt CmpOp = ">"
+	CmpGe CmpOp = ">="
+)
+
+// ArithOp is a filter arithmetic operator.
+type ArithOp string
+
+const (
+	ArithAdd ArithOp = "+"
+	ArithSub ArithOp = "-"
+	ArithMul ArithOp = "*"
+	ArithDiv ArithOp = "/"
+)
+
+// ExprKind discriminates filter expression nodes.
+type ExprKind string
+
+const (
+	// ExprVar references a query variable's bound value.
+	ExprVar ExprKind = "var"
+	// ExprNum is a numeric constant.
+	ExprNum ExprKind = "num"
+	// ExprTerm is an interned RDF term constant (IRI or literal).
+	ExprTerm ExprKind = "term"
+	// ExprArith combines two sub-expressions with an ArithOp.
+	ExprArith ExprKind = "arith"
+)
+
+// Expr is one node of a filter expression tree.
+type Expr struct {
+	Kind ExprKind `json:"kind"`
+	Var  Var      `json:"var,omitempty"`  // ExprVar
+	Num  float64  `json:"num,omitempty"`  // ExprNum
+	ID   rdf.ID   `json:"id,omitempty"`   // ExprTerm
+	Op   ArithOp  `json:"arop,omitempty"` // ExprArith
+	L    *Expr    `json:"l,omitempty"`    // ExprArith
+	R    *Expr    `json:"r,omitempty"`    // ExprArith
+}
+
+// EVar returns a variable expression.
+func EVar(v Var) *Expr { return &Expr{Kind: ExprVar, Var: v} }
+
+// ENum returns a numeric-constant expression.
+func ENum(x float64) *Expr { return &Expr{Kind: ExprNum, Num: x} }
+
+// ETerm returns a term-constant expression.
+func ETerm(id rdf.ID) *Expr { return &Expr{Kind: ExprTerm, ID: id} }
+
+// EArith returns an arithmetic expression.
+func EArith(op ArithOp, l, r *Expr) *Expr {
+	return &Expr{Kind: ExprArith, Op: op, L: l, R: r}
+}
+
+// Filter is one comparison predicate attached to a query.
+type Filter struct {
+	Op CmpOp `json:"op"`
+	L  *Expr `json:"l"`
+	R  *Expr `json:"r"`
+}
+
+// NumSource resolves the numeric value of an interned term, when it has
+// one — the store's precomputed numeric-literal cache. index.Store,
+// shard.Set and live.View all satisfy it.
+type NumSource interface {
+	Numeric(id rdf.ID) (float64, bool)
+}
+
+// exprVal is an evaluated expression: a term identity and/or a numeric
+// value, whichever the node can produce.
+type exprVal struct {
+	id     rdf.ID
+	num    float64
+	hasID  bool
+	hasNum bool
+}
+
+func evalExpr(e *Expr, ns NumSource, b Bindings) (exprVal, bool) {
+	switch e.Kind {
+	case ExprVar:
+		if int(e.Var) >= len(b) {
+			return exprVal{}, false
+		}
+		id := b[e.Var]
+		if id == rdf.NoID {
+			return exprVal{}, false
+		}
+		v := exprVal{id: id, hasID: true}
+		if n, ok := ns.Numeric(id); ok {
+			v.num, v.hasNum = n, true
+		}
+		return v, true
+	case ExprNum:
+		return exprVal{num: e.Num, hasNum: true}, true
+	case ExprTerm:
+		v := exprVal{id: e.ID, hasID: true}
+		if n, ok := ns.Numeric(e.ID); ok {
+			v.num, v.hasNum = n, true
+		}
+		return v, true
+	case ExprArith:
+		l, ok := evalExpr(e.L, ns, b)
+		if !ok || !l.hasNum {
+			return exprVal{}, false
+		}
+		r, ok := evalExpr(e.R, ns, b)
+		if !ok || !r.hasNum {
+			return exprVal{}, false
+		}
+		var n float64
+		switch e.Op {
+		case ArithAdd:
+			n = l.num + r.num
+		case ArithSub:
+			n = l.num - r.num
+		case ArithMul:
+			n = l.num * r.num
+		case ArithDiv:
+			if r.num == 0 {
+				return exprVal{}, false
+			}
+			n = l.num / r.num
+		default:
+			return exprVal{}, false
+		}
+		return exprVal{num: n, hasNum: true}, true
+	}
+	return exprVal{}, false
+}
+
+// Eval evaluates the filter under the bindings. Unbound variables, type
+// errors (ordered comparison or arithmetic on non-numeric terms) and
+// division by zero all evaluate to false, mirroring SPARQL's
+// error-propagates-to-false FILTER semantics.
+func (f *Filter) Eval(ns NumSource, b Bindings) bool {
+	l, ok := evalExpr(f.L, ns, b)
+	if !ok {
+		return false
+	}
+	r, ok := evalExpr(f.R, ns, b)
+	if !ok {
+		return false
+	}
+	switch f.Op {
+	case CmpEq, CmpNe:
+		var eq bool
+		switch {
+		case l.hasNum && r.hasNum:
+			eq = l.num == r.num
+		case l.hasID && r.hasID:
+			eq = l.id == r.id
+		default:
+			return false
+		}
+		if f.Op == CmpNe {
+			return !eq
+		}
+		return eq
+	}
+	if !l.hasNum || !r.hasNum {
+		return false
+	}
+	switch f.Op {
+	case CmpLt:
+		return l.num < r.num
+	case CmpLe:
+		return l.num <= r.num
+	case CmpGt:
+		return l.num > r.num
+	case CmpGe:
+		return l.num >= r.num
+	}
+	return false
+}
+
+// Vars returns the distinct variables the filter references, sorted.
+func (f *Filter) Vars() []Var {
+	set := map[Var]bool{}
+	var walk func(e *Expr)
+	walk = func(e *Expr) {
+		if e == nil {
+			return
+		}
+		if e.Kind == ExprVar {
+			set[e.Var] = true
+		}
+		walk(e.L)
+		walk(e.R)
+	}
+	walk(f.L)
+	walk(f.R)
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// validateFilter checks structural well-formedness: known operators, leaf
+// nodes without children, arithmetic nodes with both, and at least one
+// variable (a constant filter is almost certainly a query bug).
+func validateFilter(f *Filter) error {
+	switch f.Op {
+	case CmpEq, CmpNe, CmpLt, CmpLe, CmpGt, CmpGe:
+	default:
+		return fmt.Errorf("query: unknown filter operator %q", f.Op)
+	}
+	var walk func(e *Expr) error
+	walk = func(e *Expr) error {
+		if e == nil {
+			return fmt.Errorf("query: nil filter expression")
+		}
+		switch e.Kind {
+		case ExprVar:
+			if e.Var < 0 {
+				return fmt.Errorf("query: filter references invalid variable %d", e.Var)
+			}
+		case ExprNum, ExprTerm:
+		case ExprArith:
+			switch e.Op {
+			case ArithAdd, ArithSub, ArithMul, ArithDiv:
+			default:
+				return fmt.Errorf("query: unknown filter arithmetic operator %q", e.Op)
+			}
+			if err := walk(e.L); err != nil {
+				return err
+			}
+			return walk(e.R)
+		default:
+			return fmt.Errorf("query: unknown filter expression kind %q", e.Kind)
+		}
+		return nil
+	}
+	if err := walk(f.L); err != nil {
+		return err
+	}
+	if err := walk(f.R); err != nil {
+		return err
+	}
+	if len(f.Vars()) == 0 {
+		return fmt.Errorf("query: filter %s references no variable", f)
+	}
+	return nil
+}
+
+func (e *Expr) String() string {
+	switch e.Kind {
+	case ExprVar:
+		return fmt.Sprintf("?%d", e.Var)
+	case ExprNum:
+		return strconv.FormatFloat(e.Num, 'g', -1, 64)
+	case ExprTerm:
+		return fmt.Sprintf("<%d>", e.ID)
+	case ExprArith:
+		return fmt.Sprintf("(%s %s %s)", e.L, e.Op, e.R)
+	}
+	return "?!"
+}
+
+func (f *Filter) String() string {
+	return fmt.Sprintf("FILTER(%s %s %s)", f.L, f.Op, f.R)
+}
+
+// appendFilterSignature renders the filters into a Signature builder: the
+// canonical string must distinguish filtered from unfiltered queries, or
+// shared CTJ caches keyed on signatures would serve poisoned suffix
+// aggregates across them.
+func appendFilterSignature(b *strings.Builder, filters []Filter) {
+	for i := range filters {
+		b.WriteString("|F")
+		b.WriteString(filters[i].String())
+	}
+}

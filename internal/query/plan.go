@@ -59,6 +59,12 @@ type Step struct {
 	NewVars []VarPos
 	// JoinVars lists this step's variables already bound by earlier steps.
 	JoinVars []VarPos
+	// Filters indexes Query.Filters anchored at this step: every filter
+	// whose variables are all bound once this step completes, anchored at
+	// the LAST such step. Engines check them right after binding the step;
+	// a filter is an extra use of its variables at the anchor step, which
+	// the CTJ interface computation must honor (see ctj's lastUse).
+	Filters []int
 }
 
 // VarPos pairs a variable with the triple position it occupies in a pattern.
@@ -154,7 +160,70 @@ func compile(q *Query) (*Plan, error) {
 		}
 		pl.Steps = append(pl.Steps, st)
 	}
+	if err := pl.anchorFilters(); err != nil {
+		return nil, err
+	}
 	return pl, nil
+}
+
+// anchorFilters attaches each query filter to the earliest step at which
+// all its variables are bound (i.e. the latest first-binding step among
+// them). Checking a filter as soon as it is decidable prunes exact
+// enumerations early and rejects doomed walks before they spend more span
+// lookups.
+func (pl *Plan) anchorFilters() error {
+	if len(pl.Query.Filters) == 0 {
+		return nil
+	}
+	firstBound := make([]int, pl.nvars)
+	for i := range firstBound {
+		firstBound[i] = -1
+	}
+	for i := range pl.Steps {
+		for _, vp := range pl.Steps[i].NewVars {
+			firstBound[vp.Var] = i
+		}
+	}
+	for fi := range pl.Query.Filters {
+		anchor := 0
+		for _, v := range pl.Query.Filters[fi].Vars() {
+			if int(v) >= pl.nvars || firstBound[v] < 0 {
+				return fmt.Errorf("query: filter %d references ?%d, which no step binds", fi, v)
+			}
+			if firstBound[v] > anchor {
+				anchor = firstBound[v]
+			}
+		}
+		pl.Steps[anchor].Filters = append(pl.Steps[anchor].Filters, fi)
+	}
+	return nil
+}
+
+// HasFilters reports whether the plan carries any filter.
+func (pl *Plan) HasFilters() bool { return len(pl.Query.Filters) > 0 }
+
+// StepFiltersOK evaluates the filters anchored at step i under the
+// bindings. Callers should guard with len(pl.Steps[i].Filters) > 0 on hot
+// paths; the helper itself is allocation-free.
+func (pl *Plan) StepFiltersOK(i int, ns NumSource, b Bindings) bool {
+	for _, fi := range pl.Steps[i].Filters {
+		if !pl.Query.Filters[fi].Eval(ns, b) {
+			return false
+		}
+	}
+	return true
+}
+
+// FiltersOK evaluates every filter of the plan under fully populated
+// bindings — the all-at-once check used where per-step anchoring does not
+// apply (e.g. path-probability enumeration over preset bindings).
+func (pl *Plan) FiltersOK(ns NumSource, b Bindings) bool {
+	for fi := range pl.Query.Filters {
+		if !pl.Query.Filters[fi].Eval(ns, b) {
+			return false
+		}
+	}
+	return true
 }
 
 // AccessFor exposes the access-path derivation for a bound-position mask,
@@ -212,6 +281,15 @@ func (pl *Plan) Explain(est Estimator) string {
 					b.WriteByte(',')
 				}
 				fmt.Fprintf(&b, "?%d@%s", nv.Var, nv.Pos)
+			}
+		}
+		if len(st.Filters) > 0 {
+			b.WriteString(" filters=")
+			for k, fi := range st.Filters {
+				if k > 0 {
+					b.WriteByte(',')
+				}
+				b.WriteString(pl.Query.Filters[fi].String())
 			}
 		}
 		if est != nil {

@@ -117,6 +117,11 @@ type Query struct {
 	Beta     Var     // aggregated variable
 	Distinct bool    // COUNT(DISTINCT Beta); only valid with AggCount
 	Agg      AggFunc // aggregation function; zero value is AggCount
+	// Filters are acceptance predicates over the patterns' variables. The
+	// planner anchors each at the earliest step binding all its variables;
+	// engines drop assignments (or reject walks) that fail one. The JSON
+	// tag carries them over the internal/dist wire protocol.
+	Filters []Filter `json:"Filters,omitempty"`
 }
 
 // NumVars returns one plus the largest variable index used, i.e. the size of
@@ -245,6 +250,19 @@ func (q *Query) validate(allowCycles bool) error {
 			return fmt.Errorf("query: Alpha ?%d does not occur in any pattern", q.Alpha)
 		}
 	}
+	// Filters: structurally well-formed, and every referenced variable must
+	// occur in some pattern (otherwise it could never be bound).
+	for i := range q.Filters {
+		f := &q.Filters[i]
+		if err := validateFilter(f); err != nil {
+			return fmt.Errorf("filter %d: %w", i, err)
+		}
+		for _, v := range f.Vars() {
+			if _, ok := occ[v]; !ok {
+				return fmt.Errorf("query: filter %d references ?%d, which occurs in no pattern", i, v)
+			}
+		}
+	}
 	// Connectivity in walk order.
 	bound := map[Var]bool{}
 	for i, p := range q.Patterns {
@@ -275,7 +293,7 @@ func (q *Query) Reorder(perm []int) (*Query, error) {
 		return nil, fmt.Errorf("query: permutation has %d entries for %d patterns", len(perm), len(q.Patterns))
 	}
 	used := make([]bool, len(perm))
-	nq := &Query{Alpha: q.Alpha, Beta: q.Beta, Distinct: q.Distinct, Agg: q.Agg}
+	nq := &Query{Alpha: q.Alpha, Beta: q.Beta, Distinct: q.Distinct, Agg: q.Agg, Filters: q.Filters}
 	for _, idx := range perm {
 		if idx < 0 || idx >= len(q.Patterns) || used[idx] {
 			return nil, fmt.Errorf("query: invalid permutation %v", perm)
@@ -366,6 +384,7 @@ func (q *Query) Signature() string {
 			}
 		}
 	}
+	appendFilterSignature(&b, q.Filters)
 	return b.String()
 }
 
@@ -384,6 +403,11 @@ func (q *Query) String() string {
 	for _, p := range q.Patterns {
 		b.WriteString(" ")
 		b.WriteString(p.String())
+		b.WriteString(" .")
+	}
+	for i := range q.Filters {
+		b.WriteString(" ")
+		b.WriteString(q.Filters[i].String())
 		b.WriteString(" .")
 	}
 	b.WriteString(" }")

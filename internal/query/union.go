@@ -1,0 +1,124 @@
+package query
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// UnionQuery is the multi-branch extension of the exploration fragment: the
+// aggregate over the bag union of the branches' assignment multisets,
+//
+//	SELECT ?α AGG(?β) WHERE { {B_1} UNION {B_2} ... UNION {B_m} } GROUP BY ?α
+//
+// Every branch is an ordinary exploration Query (its own patterns and
+// filters) sharing the SELECT clause: the same aggregate, the same DISTINCT
+// flag, and Alpha/Beta present in every branch. Variable indices need not
+// line up across branches — group keys and aggregated values are dictionary
+// IDs, which are branch-independent.
+//
+// Aggregation semantics follow SPARQL's bag union: COUNT and SUM over the
+// union are the sums of the per-branch aggregates, AVG is the ratio of the
+// summed numerators and denominators, and COUNT(DISTINCT) deduplicates
+// (group, β) pairs ACROSS branches — a pair produced by two branches counts
+// once. Exact engines evaluate branches against one shared dedup set;
+// online estimation treats each branch as one stratum of a stratified
+// design (budget ∝ branch root cardinality, estimates summed, CIs merged in
+// quadrature via wj.MergeStratified) — except DISTINCT, whose cross-branch
+// overlap no per-branch walk sample can observe, so estimators refuse it
+// with ErrDistinctUnion and callers route to the exact path, mirroring the
+// live overlay's DISTINCT policy.
+type UnionQuery struct {
+	Branches []*Query `json:"branches"`
+}
+
+// ErrDistinctUnion reports a COUNT(DISTINCT) union handed to an online
+// estimator: per-branch walks cannot observe cross-branch duplicates, so an
+// estimated union-distinct would be silently biased. Callers catch it and
+// evaluate exactly instead.
+var ErrDistinctUnion = errors.New(
+	"query: COUNT(DISTINCT) over UNION is not estimated; use the exact path")
+
+// Validate checks every branch and their agreement on the shared SELECT
+// clause.
+func (u *UnionQuery) Validate() error {
+	if len(u.Branches) == 0 {
+		return errors.New("query: union with no branches")
+	}
+	first := u.Branches[0]
+	for i, q := range u.Branches {
+		if q == nil {
+			return fmt.Errorf("query: union branch %d is nil", i)
+		}
+		if err := q.Validate(); err != nil {
+			return fmt.Errorf("union branch %d: %w", i, err)
+		}
+		if q.Agg != first.Agg {
+			return fmt.Errorf("query: union branch %d aggregates with %v, branch 0 with %v", i, q.Agg, first.Agg)
+		}
+		if q.Distinct != first.Distinct {
+			return fmt.Errorf("query: union branch %d disagrees with branch 0 on DISTINCT", i)
+		}
+		if (q.Alpha == NoVar) != (first.Alpha == NoVar) {
+			return fmt.Errorf("query: union branch %d disagrees with branch 0 on grouping", i)
+		}
+	}
+	return nil
+}
+
+// Agg returns the shared aggregate of the branches.
+func (u *UnionQuery) Agg() AggFunc { return u.Branches[0].Agg }
+
+// Distinct reports the shared DISTINCT flag of the branches.
+func (u *UnionQuery) Distinct() bool { return u.Branches[0].Distinct }
+
+// Grouped reports whether the branches group by an Alpha variable.
+func (u *UnionQuery) Grouped() bool { return u.Branches[0].Alpha != NoVar }
+
+// UnionPlan is a compiled union: one ordinary Plan per branch.
+type UnionPlan struct {
+	Query *UnionQuery
+	Plans []*Plan
+}
+
+// CompileUnion validates the union and compiles every branch.
+func CompileUnion(u *UnionQuery) (*UnionPlan, error) {
+	if err := u.Validate(); err != nil {
+		return nil, err
+	}
+	up := &UnionPlan{Query: u, Plans: make([]*Plan, len(u.Branches))}
+	for i, q := range u.Branches {
+		pl, err := compile(q)
+		if err != nil {
+			return nil, fmt.Errorf("union branch %d: %w", i, err)
+		}
+		up.Plans[i] = pl
+	}
+	return up, nil
+}
+
+// Signature concatenates the branch signatures — the analogue of
+// Query.Signature for caching and display.
+func (u *UnionQuery) Signature() string {
+	var b strings.Builder
+	b.WriteString("union")
+	for _, q := range u.Branches {
+		b.WriteString("[")
+		b.WriteString(q.Signature())
+		b.WriteString("]")
+	}
+	return b.String()
+}
+
+func (u *UnionQuery) String() string {
+	var b strings.Builder
+	for i, q := range u.Branches {
+		if i > 0 {
+			b.WriteString(" UNION ")
+		}
+		b.WriteString("{ ")
+		b.WriteString(q.String())
+		b.WriteString(" }")
+	}
+	return b.String()
+}

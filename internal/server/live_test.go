@@ -182,3 +182,18 @@ func TestLiveAdminSwapRejected(t *testing.T) {
 		t.Fatalf("admin swap on live epoch: status %d, want 400", r.StatusCode)
 	}
 }
+
+func TestLiveSPARQLUnion(t *testing.T) {
+	_, _, ts := newLiveTestServer(t)
+	const q = `SELECT COUNT(?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`
+	if got := sparqlCount(t, ts, q, "ctj"); got != 5 {
+		t.Fatalf("live exact union = %v, want 5", got)
+	}
+	if got := sparqlCount(t, ts, q, "aj"); got < 4 || got > 6 {
+		t.Fatalf("live online union = %v, want ≈5", got)
+	}
+	const qd = `SELECT COUNT(DISTINCT ?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`
+	if got := sparqlCount(t, ts, qd, "aj"); got != 2 {
+		t.Fatalf("live distinct union = %v, want 2 (exact fallback)", got)
+	}
+}

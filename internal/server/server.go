@@ -1391,6 +1391,99 @@ func (s *Server) evaluateDist(ctx context.Context, dds *kgexplore.DistDataset, p
 	return res.Estimates, res.CI, extras, nil
 }
 
+// evaluateUnion answers a SPARQL UNION query over any epoch kind. Exact
+// engine names run the cross-branch exact union; online names run the
+// backend's stratified union estimator. DISTINCT unions always take the
+// exact path — per-branch walks cannot observe cross-branch duplicates
+// (query.ErrDistinctUnion policy) — as do AVG unions on distributed epochs,
+// whose per-branch results cannot merge at the result level.
+func (s *Server) evaluateUnion(ctx context.Context, e *epoch, u *kgexplore.UnionQuery, engine string, budgetMS int) (map[kgexplore.ID]float64, map[kgexplore.ID]float64, chartExtras, error) {
+	exact := engine == "ctj" || engine == "lftj" || engine == "baseline"
+	online := engine == "aj" || engine == "wj" || engine == ""
+	if !exact && !online {
+		return nil, nil, chartExtras{}, fmt.Errorf("unknown engine %q", engine)
+	}
+	threshold := float64(kgexplore.DefaultTippingThreshold)
+	if engine == "wj" {
+		threshold = -1
+	}
+	xopts := kgexplore.DriveOptions{Budget: s.clampBudget(budgetMS), Batch: 128}
+	switch {
+	case e.sds != nil:
+		up, err := e.sds.CompileUnion(u)
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		if exact || u.Distinct() {
+			res, err := e.sds.ExactUnionCtx(ctx, up)
+			return res, nil, chartExtras{}, err
+		}
+		opts := kgexplore.ShardScatterOptions{
+			Seed: time.Now().UnixNano(), Threshold: threshold, Stratify: s.stratified(),
+		}
+		res, err := e.sds.RunUnionScatter(ctx, up, opts, xopts)
+		return res.Estimates, res.CI, chartExtras{}, err
+	case e.dds != nil:
+		up, err := e.dds.CompileUnion(u)
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		if exact {
+			res, err := e.dds.ExactUnionCtx(ctx, up)
+			return res, nil, chartExtras{}, err
+		}
+		opts, _ := s.distOptions(e.dds, engine)
+		res, _, err := e.dds.RunUnionDist(ctx, up, opts, xopts)
+		return res.Estimates, res.CI, chartExtras{}, err
+	case e.lds != nil:
+		up, err := e.lds.CompileUnion(u)
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		if exact || u.Distinct() {
+			res, err := e.lds.ExactUnionCtx(ctx, up)
+			return res, nil, chartExtras{}, err
+		}
+		est, err := e.lds.NewUnionEstimator(up, kgexplore.LiveWalkerOptions{
+			Seed: time.Now().UnixNano(), Threshold: threshold,
+		})
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		rep, err := kgexplore.Drive(ctx, est, xopts)
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		return rep.Final.Estimates, rep.Final.CI, chartExtras{}, nil
+	default:
+		ds := e.ds
+		up, err := ds.CompileUnion(u)
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		if exact || u.Distinct() {
+			eng := kgexplore.EngineCTJ
+			switch engine {
+			case "lftj":
+				eng = kgexplore.EngineLFTJ
+			case "baseline":
+				eng = kgexplore.EngineBaseline
+			}
+			res, err := ds.ExactUnionCtx(ctx, up, eng)
+			return res, nil, chartExtras{}, err
+		}
+		est, err := ds.NewUnionEstimator(up, time.Now().UnixNano())
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		rep, err := kgexplore.Drive(ctx, est, xopts)
+		if err != nil {
+			return nil, nil, chartExtras{}, err
+		}
+		return rep.Final.Estimates, rep.Final.CI, chartExtras{}, nil
+	}
+}
+
 // streamChart answers a `?stream=1` chart request with Server-Sent Events:
 // one ChartResponse per snapshot interval, each strictly further along than
 // the last, and a Final event when the budget elapses. Closing the
@@ -1576,13 +1669,20 @@ func (s *Server) handleSPARQL(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, err)
 		return
 	}
-	pl, err := e.be.Compile(parsed.Query)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, err)
-		return
-	}
 	start := time.Now()
-	counts, ci, extras, err := s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
+	var counts, ci map[kgexplore.ID]float64
+	var extras chartExtras
+	if parsed.IsUnion() {
+		counts, ci, extras, err = s.evaluateUnion(r.Context(), e, parsed.Union(), req.Engine, req.BudgetMS)
+	} else {
+		var pl *kgexplore.Plan
+		pl, err = e.be.Compile(parsed.Query)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, err)
+			return
+		}
+		counts, ci, extras, err = s.evaluate(r.Context(), e, pl, req.Engine, req.BudgetMS)
+	}
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, err)
 		return

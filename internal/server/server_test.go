@@ -257,3 +257,40 @@ func TestPprofEnabled(t *testing.T) {
 		}
 	}
 }
+
+func TestSPARQLUnionEndpoint(t *testing.T) {
+	ts := newTestServer(t)
+	// birthPlace targets {paris ×2, lima} plus the type edges into City
+	// {paris, lima}: the bag union counts 5, the DISTINCT union collapses
+	// the overlap to {paris, lima} = 2.
+	for _, tc := range []struct {
+		name, q, engine string
+		want            float64
+	}{
+		{"bag", `SELECT COUNT(?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`, "ctj", 5},
+		{"bag-lftj", `SELECT COUNT(?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`, "lftj", 5},
+		{"distinct", `SELECT COUNT(DISTINCT ?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`, "aj", 2},
+	} {
+		var chart ChartResponse
+		resp := post(t, ts.URL+"/api/sparql", SPARQLRequest{Query: tc.q, Engine: tc.engine, BudgetMS: 30}, &chart)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("%s: status = %d", tc.name, resp.StatusCode)
+		}
+		if chart.NumBars != 1 || chart.Bars[0].Count != tc.want {
+			t.Errorf("%s: union chart = %+v, want %v", tc.name, chart.Bars, tc.want)
+		}
+	}
+	// Online union estimation answers too (tiny graph, walks converge).
+	var chart ChartResponse
+	resp := post(t, ts.URL+"/api/sparql", SPARQLRequest{
+		Query:    `SELECT COUNT(?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`,
+		Engine:   "aj",
+		BudgetMS: 50,
+	}, &chart)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("online union status = %d", resp.StatusCode)
+	}
+	if chart.NumBars != 1 || chart.Bars[0].Count < 4 || chart.Bars[0].Count > 6 {
+		t.Errorf("online union chart = %+v, want ≈5", chart.Bars)
+	}
+}

@@ -221,3 +221,14 @@ func TestShardCachesForWarmStart(t *testing.T) {
 		t.Fatal("InvalidateShared must discard shard caches")
 	}
 }
+
+func TestShardedSPARQLUnion(t *testing.T) {
+	_, ts := newShardedTestServer(t, 2)
+	const q = `SELECT COUNT(?o) WHERE { { ?s <birthPlace> ?o } UNION { ?o <http://www.w3.org/1999/02/22-rdf-syntax-ns#type> <City> } }`
+	if got := sparqlCount(t, ts, q, "ctj"); got != 5 {
+		t.Fatalf("sharded exact union = %v, want 5", got)
+	}
+	if got := sparqlCount(t, ts, q, "aj"); got < 4 || got > 6 {
+		t.Fatalf("sharded online union = %v, want ≈5", got)
+	}
+}

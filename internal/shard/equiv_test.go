@@ -195,6 +195,51 @@ func TestScatterMatchesAvgAndSum(t *testing.T) {
 	}
 }
 
+// TestShardFilterEquivalence: FILTER semantics survive sharding — the
+// resolver-backed exact enumeration matches the single-store oracle and the
+// scatter estimator stays unbiased for the FILTERED totals (rejected walks
+// are zero-weight HT draws in every stratum).
+func TestShardFilterEquivalence(t *testing.T) {
+	g := testkit.RandomGraph(12, 30, 4, 20, 400)
+	q := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	q.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q.Beta), R: query.ENum(5)}}
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := testkit.BruteForce(g, q)
+	if len(exact) == 0 {
+		t.Skip("empty fixture")
+	}
+	total := 0.0
+	for _, v := range exact {
+		total += v
+	}
+	for _, k := range []int{2, 4} {
+		s := buildSet(t, g, k)
+		got, err := s.ExactCtx(context.Background(), pl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !testkit.MapsEqual(got, exact, 1e-9) {
+			t.Errorf("K=%d: sharded exact %v, oracle %v", k, got, exact)
+		}
+		sc, err := NewScatter(s, pl, ScatterOptions{Seed: int64(90 + k)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		exec.RunN(sc, 40000)
+		snap := sc.Snapshot()
+		est := 0.0
+		for _, v := range snap.Estimates {
+			est += v
+		}
+		if tol := 0.25*total + 2; math.Abs(est-total) > tol {
+			t.Errorf("K=%d: filtered scatter estimate %.1f vs exact %.1f", k, est, total)
+		}
+	}
+}
+
 // TestWalkerMergePlusStratifiedEqualsScatter pins the algebra RunScatter
 // relies on: pooling same-stratum walkers with Merge and then combining
 // strata with MergeStratified matches the walk-weighted stratified math.

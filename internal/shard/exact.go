@@ -23,12 +23,7 @@ func (s *Set) Exact(pl *query.Plan) map[rdf.ID]float64 {
 // ctx every few thousand result rows and returns ctx.Err with a nil map
 // when it fires.
 func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64, error) {
-	r, err := newResolver(s, pl)
-	if err != nil {
-		return nil, err
-	}
 	q := pl.Query
-	b := pl.NewBindings()
 	counts := make(map[rdf.ID]float64)
 	var den map[rdf.ID]float64
 	if q.Agg == query.AggAvg {
@@ -38,6 +33,61 @@ func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64,
 	if q.Distinct {
 		seen = make(map[uint64]struct{})
 	}
+	if err := s.exactInto(ctx, pl, counts, den, seen); err != nil {
+		return nil, err
+	}
+	if q.Agg == query.AggAvg {
+		for a, d := range den {
+			if d > 0 {
+				counts[a] /= d
+			}
+		}
+	}
+	return counts, nil
+}
+
+// ExactUnionCtx evaluates a compiled union exactly over the sharded set
+// under SPARQL bag semantics: COUNT and SUM add across branches, AVG is the
+// ratio of the summed per-branch numerators and denominators, and
+// COUNT(DISTINCT) deduplicates (group, β) pairs ACROSS branches via one
+// shared value set threaded through the per-branch enumerations.
+func (s *Set) ExactUnionCtx(ctx context.Context, up *query.UnionPlan) (map[rdf.ID]float64, error) {
+	q := up.Query
+	counts := make(map[rdf.ID]float64)
+	var den map[rdf.ID]float64
+	if q.Agg() == query.AggAvg {
+		den = make(map[rdf.ID]float64)
+	}
+	var seen map[uint64]struct{}
+	if q.Distinct() {
+		seen = make(map[uint64]struct{})
+	}
+	for _, pl := range up.Plans {
+		if err := s.exactInto(ctx, pl, counts, den, seen); err != nil {
+			return nil, err
+		}
+	}
+	if q.Agg() == query.AggAvg {
+		for a, d := range den {
+			if d > 0 {
+				counts[a] /= d
+			}
+		}
+	}
+	return counts, nil
+}
+
+// exactInto enumerates one plan through the resolver and accumulates into
+// the caller's maps: sums (or counts) into counts, AVG denominators into
+// den, and the distinct (group, β) dedup keys into seen (nil when the query
+// is not DISTINCT).
+func (s *Set) exactInto(ctx context.Context, pl *query.Plan, counts, den map[rdf.ID]float64, seen map[uint64]struct{}) error {
+	r, err := newResolver(s, pl)
+	if err != nil {
+		return err
+	}
+	q := pl.Query
+	b := pl.NewBindings()
 	rows := 0
 	err = r.enumerate(0, b, func() error {
 		rows++
@@ -61,7 +111,7 @@ func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64,
 				den[a]++
 			}
 		default:
-			if q.Distinct {
+			if seen != nil {
 				key := wj.DistinctKey(a, b[q.Beta])
 				if _, dup := seen[key]; dup {
 					return nil
@@ -73,18 +123,8 @@ func (s *Set) ExactCtx(ctx context.Context, pl *query.Plan) (map[rdf.ID]float64,
 		return nil
 	})
 	if err != nil {
-		return nil, err
+		return err
 	}
-	if err := r.viewErr(); err != nil {
-		// A remote shard failed mid-enumeration; the counts are incomplete.
-		return nil, err
-	}
-	if q.Agg == query.AggAvg {
-		for a, d := range den {
-			if d > 0 {
-				counts[a] /= d
-			}
-		}
-	}
-	return counts, nil
+	// A remote shard failing mid-enumeration leaves the counts incomplete.
+	return r.viewErr()
 }

@@ -124,6 +124,7 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 		return nil
 	}
 	if st.Kind == query.AccessMembership {
+		// Membership steps bind no new variables, so no filter anchors here.
 		return r.enumerate(j+1, b, visit)
 	}
 	for _, ss := range subs {
@@ -133,6 +134,9 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 			for n := 0; n < ss.span.Len(); n++ {
 				t := lv.store.At(ord, ss.span, n)
 				st.Bind(t, b)
+				if len(st.Filters) > 0 && !r.pl.StepFiltersOK(j, r.set, b) {
+					continue
+				}
 				if err := r.enumerate(j+1, b, visit); err != nil {
 					st.Unbind(b)
 					return err
@@ -147,6 +151,9 @@ func (r *resolver) enumerate(j int, b query.Bindings, visit func() error) error 
 				r.enumBufs[j] = batch[:0]
 				for _, t := range batch {
 					st.Bind(t, b)
+					if len(st.Filters) > 0 && !r.pl.StepFiltersOK(j, r.set, b) {
+						continue
+					}
 					if err := r.enumerate(j+1, b, visit); err != nil {
 						st.Unbind(b)
 						return err

@@ -1,0 +1,113 @@
+package shard
+
+import (
+	"kgexplore/internal/query"
+	"kgexplore/internal/stats"
+	"kgexplore/internal/wj"
+)
+
+// UnionScatter estimates a UNION over a sharded set: every branch runs its
+// own Scatter (one walker per shard stratum), branches are interleaved by
+// weighted deficit like exec.Union, and Snapshot merges ALL (branch, shard)
+// accumulators with wj.MergeStratified — the strata of the union design are
+// simply the cross product of branches and shards, so the merge stays at the
+// accumulator level and AVG unions work (unlike a result-level merge of
+// finished branch Results, which is additive-only).
+//
+// COUNT(DISTINCT) unions are refused with query.ErrDistinctUnion: per-branch
+// walks cannot observe cross-branch duplicates. Callers route those to
+// Set.ExactUnionCtx.
+type UnionScatter struct {
+	branches []*Scatter
+	weights  []float64
+	wsum     float64
+}
+
+// NewUnionScatter builds one Scatter per branch. Branch walk shares are
+// proportional to the estimated branch join sizes under opts.Estimator.
+// opts.Caches is ignored: the shard suffix caches are keyed per plan, so
+// branches cannot share them.
+func NewUnionScatter(set *Set, up *query.UnionPlan, opts ScatterOptions) (*UnionScatter, error) {
+	if up.Query.Distinct() {
+		return nil, query.ErrDistinctUnion
+	}
+	est := setEstimator(set, opts.Estimator)
+	u := &UnionScatter{
+		branches: make([]*Scatter, len(up.Plans)),
+		weights:  make([]float64, len(up.Plans)),
+	}
+	for i, pl := range up.Plans {
+		bopts := opts
+		bopts.Caches = nil
+		bopts.Estimator = est
+		bopts.Seed = opts.Seed + int64(i)*1_000_003
+		sc, err := NewScatter(set, pl, bopts)
+		if err != nil {
+			return nil, err
+		}
+		u.branches[i] = sc
+		u.weights[i] = est.JoinSize(pl).Value
+	}
+	// Lift non-positive weights so no branch is starved of walks (a starved
+	// stratum would silently contribute a zero estimate).
+	minPos := 0.0
+	for _, w := range u.weights {
+		if w > 0 && (minPos == 0 || w < minPos) {
+			minPos = w
+		}
+	}
+	if minPos == 0 {
+		minPos = 1
+	}
+	for i, w := range u.weights {
+		if w <= 0 {
+			u.weights[i] = minPos
+		}
+		u.wsum += u.weights[i]
+	}
+	return u, nil
+}
+
+// Step performs one walk on the branch with the largest weighted deficit
+// (deterministic proportional interleave, ties to the lower index).
+func (u *UnionScatter) Step() {
+	share := float64(u.Walks()) + 1
+	best, bestDeficit := 0, 0.0
+	for i, br := range u.branches {
+		d := share*u.weights[i]/u.wsum - float64(br.Walks())
+		if i == 0 || d > bestDeficit {
+			best, bestDeficit = i, d
+		}
+	}
+	u.branches[best].Step()
+}
+
+// Walks returns the total walks across all branches.
+func (u *UnionScatter) Walks() int64 {
+	var n int64
+	for _, br := range u.branches {
+		n += br.Walks()
+	}
+	return n
+}
+
+// Strata returns the total leaf stratum count across branches.
+func (u *UnionScatter) Strata() int {
+	n := 0
+	for _, br := range u.branches {
+		n += br.Strata()
+	}
+	return n
+}
+
+// Snapshot merges every branch's per-stratum accumulators into one
+// stratified result: estimates sum, CIs combine in quadrature.
+func (u *UnionScatter) Snapshot() wj.Result {
+	var accs []*wj.Acc
+	for _, br := range u.branches {
+		for _, w := range br.walkers {
+			accs = append(accs, w.Acc())
+		}
+	}
+	return wj.MergeStratified(accs, stats.Z95)
+}

@@ -213,6 +213,16 @@ func NewWalker(set *Set, pl *query.Plan, stratum int, opts WalkerOptions) (*Walk
 				lastUse[a.Var] = i
 			}
 		}
+		// A filter anchored at step i reads its variables at i; without this
+		// the variable drops out of intermediate interfaces and the stratum
+		// cache serves suffixes across bindings the filter distinguishes.
+		for _, fi := range st.Filters {
+			for _, v := range pl.Query.Filters[fi].Vars() {
+				if lastUse[v] < i {
+					lastUse[v] = i
+				}
+			}
+		}
 	}
 	w.iface = make([][]query.Var, n+1)
 	for i := 0; i <= n; i++ {
@@ -260,6 +270,13 @@ func (w *Walker) Step() {
 	if st0.Kind != query.AccessMembership {
 		st0.Bind(w.sampleRoot(st0), b)
 		prodD = float64(w.rootLen)
+		// A failed FILTER rejects the walk — a zero-weight HT draw — exactly
+		// as in the single-store runners, so stratum estimates stay unbiased
+		// for the filtered totals.
+		if len(st0.Filters) > 0 && !w.pl.StepFiltersOK(0, w.set, b) {
+			w.acc.Rejected++
+			return
+		}
 	}
 	last := len(w.pl.Steps) - 1
 	for i := 0; ; i++ {
@@ -275,6 +292,10 @@ func (w *Walker) Step() {
 				t := w.res.sample(i, subs, total, w.rng)
 				st.Bind(t, b)
 				prodD *= float64(total)
+				if len(st.Filters) > 0 && !w.pl.StepFiltersOK(i, w.set, b) {
+					w.acc.Rejected++
+					return
+				}
 			}
 		}
 		if i == last {
@@ -369,13 +390,22 @@ func (w *Walker) computeGroups(v rdf.ID) groupEntry {
 		seen[a] = struct{}{}
 		return nil
 	}
+	// Root-anchored filters gate each enumeration; deeper anchors are
+	// enforced inside the resolver's enumerate.
+	rootOK := func() bool {
+		return len(st0.Filters) == 0 || w.pl.StepFiltersOK(0, w.set, b)
+	}
 	if w.ownKind == query.AccessMembership {
 		st0.Bind(rdf.Triple{S: v, P: st0.Pattern.P.ID, O: st0.Pattern.O.ID}, b)
-		_ = w.res.enumerate(1, b, visit)
+		if rootOK() {
+			_ = w.res.enumerate(1, b, visit)
+		}
 	} else {
 		for i := 0; i < sp.Len(); i++ {
 			st0.Bind(store.At(w.ownOrder, sp, i), b)
-			_ = w.res.enumerate(1, b, visit)
+			if rootOK() {
+				_ = w.res.enumerate(1, b, visit)
+			}
 		}
 	}
 	st0.Unbind(b)

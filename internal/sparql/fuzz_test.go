@@ -8,7 +8,8 @@ import (
 )
 
 // FuzzParse checks the fragment parser never panics and that anything it
-// accepts validates, prints, and re-parses to the same shape.
+// accepts validates, prints, and re-parses to the same shape — including
+// the extended surface (FILTER, UNION, property paths).
 func FuzzParse(f *testing.F) {
 	f.Add(fig5Query)
 	f.Add(`SELECT COUNT(?x) WHERE { ?x <p> ?y }`)
@@ -18,25 +19,51 @@ func FuzzParse(f *testing.F) {
 	f.Add(`SELECT COUNT(?x) WHERE { ?s ?p "lit"@en }`)
 	f.Add(`SELECT`)
 	f.Add(`SELECT COUNT(?x WHERE`)
+	// FILTER comparisons and arithmetic.
+	f.Add(`SELECT COUNT(?x) WHERE { ?s <v> ?x FILTER(?x > 3) }`)
+	f.Add(`SELECT ?g COUNT(?x) WHERE { ?s <v> ?x . ?s <c> ?g FILTER(?x * 2 <= 10 + 1) } GROUP BY ?g`)
+	f.Add(`SELECT COUNT(?x) WHERE { ?s <v> ?x FILTER(?s != <bad>) FILTER(?x >= 0 - 1.5) }`)
+	f.Add(`SELECT COUNT(?x) WHERE { ?s <v> ?x FILTER(?x = "lit") }`)
+	f.Add(`SELECT COUNT(?x) WHERE { ?s <v> ?x FILTER(?x > ) }`)
+	f.Add(`SELECT COUNT(?x) WHERE { ?s <v> ?x FILTER(?y < 1) }`)
+	// UNION of group graph patterns.
+	f.Add(`SELECT COUNT(?o) WHERE { { ?s <p> ?o } UNION { ?o <q> ?z } }`)
+	f.Add(`SELECT ?g COUNT(?o) WHERE { { ?s <p> ?o . ?s <c> ?g } UNION { ?o <q> ?g } } GROUP BY ?g`)
+	f.Add(`SELECT COUNT(?o) WHERE { { ?s <p> ?o } UNION { ?o <q> ?z } UNION { ?z <r> ?o FILTER(?o > 1) } }`)
+	f.Add(`SELECT COUNT(?o) WHERE { { ?s <p> ?o } UNION }`)
+	// Fixed-length property paths.
+	f.Add(`SELECT COUNT(?o) WHERE { ?s <p>/<q> ?o }`)
+	f.Add(`SELECT ?s COUNT(?o) WHERE { ?s <p>{3} ?o } GROUP BY ?s`)
+	f.Add(`SELECT COUNT(?o) WHERE { ?s <p>/<q>{2}/<r> ?o }`)
+	f.Add(`SELECT COUNT(?o) WHERE { ?s <p>{0} ?o }`)
+	f.Add(`SELECT COUNT(?o) WHERE { ?s <p>/ ?o }`)
 	f.Fuzz(func(t *testing.T, src string) {
 		d := rdf.NewDict()
 		p, err := Parse(src, d)
 		if err != nil {
 			return
 		}
-		if err := p.Query.Validate(); err != nil {
+		u := p.Union()
+		if err := u.Validate(); err != nil {
 			t.Fatalf("parser accepted an invalid query: %v\nsrc: %q", err, src)
 		}
-		printed := Print(p.Query, d, p.Names)
+		printed := PrintUnion(u, d, p.Names)
 		p2, err := Parse(printed, d)
 		if err != nil {
 			t.Fatalf("printed form failed to parse: %v\nprinted: %q", err, printed)
 		}
-		if len(p2.Query.Patterns) != len(p.Query.Patterns) ||
-			p2.Query.Distinct != p.Query.Distinct ||
-			p2.Query.Agg != p.Query.Agg ||
-			(p.Query.Alpha == query.NoVar) != (p2.Query.Alpha == query.NoVar) {
-			t.Fatalf("round trip changed shape:\nsrc: %q\nprinted: %q", src, printed)
+		if len(p2.Branches) != len(p.Branches) {
+			t.Fatalf("round trip changed branch count:\nsrc: %q\nprinted: %q", src, printed)
+		}
+		for i, q := range p.Branches {
+			q2 := p2.Branches[i]
+			if len(q2.Patterns) != len(q.Patterns) ||
+				len(q2.Filters) != len(q.Filters) ||
+				q2.Distinct != q.Distinct ||
+				q2.Agg != q.Agg ||
+				(q.Alpha == query.NoVar) != (q2.Alpha == query.NoVar) {
+				t.Fatalf("round trip changed branch %d shape:\nsrc: %q\nprinted: %q", i, src, printed)
+			}
 		}
 	})
 }

@@ -2,6 +2,7 @@ package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 	"unicode"
 
@@ -18,13 +19,16 @@ const (
 	tokLiteral
 	tokA // the `a` shorthand for rdf:type
 	tokPunct
+	tokNum // numeric constant in FILTER expressions and path repetitions
+	tokOp  // comparison/arithmetic operator: = != < <= > >= && + - * /
 	tokError
 )
 
 type token struct {
 	kind tokKind
-	text string   // keyword (upper-cased), var name, IRI, punctuation, or error message
+	text string   // keyword (upper-cased), var name, IRI, punct, operator, or error message
 	lit  rdf.Term // for tokLiteral
+	num  float64  // for tokNum
 	off  int      // byte offset in the source
 }
 
@@ -46,10 +50,18 @@ func (t token) String() string {
 		return "a"
 	case tokPunct:
 		return fmt.Sprintf("%q", t.text)
+	case tokNum:
+		return strconv.FormatFloat(t.num, 'g', -1, 64)
+	case tokOp:
+		return fmt.Sprintf("%q", t.text)
 	default:
 		return "lex error: " + t.text
 	}
 }
+
+func (t token) isOp(op string) bool { return t.kind == tokOp && t.text == op }
+
+func (t token) isPunct(p string) bool { return t.kind == tokPunct && t.text == p }
 
 type lexer struct {
 	src    string
@@ -97,13 +109,55 @@ func (l *lexer) scan() token {
 		}
 		return token{kind: tokVar, text: l.src[s:l.pos], off: start}
 	case c == '<':
-		end := strings.IndexByte(l.src[l.pos:], '>')
-		if end < 0 {
-			return token{kind: tokError, text: "unterminated IRI", off: start}
+		// '<' opens an IRI in patterns and is less-than (or <=) in FILTER
+		// expressions. Disambiguate lexically: "<=" is always the operator,
+		// and an IRI attempt is recognized by its next byte — IRIs start
+		// with a name character, ':' or '/' — so "< 5", "<?y", "<5" and
+		// "<(" all lex as the operator while "<http://…>" stays an IRI.
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokOp, text: "<=", off: start}
 		}
-		iri := l.src[l.pos+1 : l.pos+end]
-		l.pos += end + 1
-		return token{kind: tokIRI, text: iri, off: start}
+		if l.pos+1 < len(l.src) && (isNameStart(l.src[l.pos+1]) || l.src[l.pos+1] == ':' || l.src[l.pos+1] == '/') {
+			end := strings.IndexByte(l.src[l.pos:], '>')
+			if end < 0 {
+				return token{kind: tokError, text: "unterminated IRI", off: start}
+			}
+			iri := l.src[l.pos+1 : l.pos+end]
+			l.pos += end + 1
+			return token{kind: tokIRI, text: iri, off: start}
+		}
+		l.pos++
+		return token{kind: tokOp, text: "<", off: start}
+	case c == '>':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: ">=", off: start}
+		}
+		return token{kind: tokOp, text: ">", off: start}
+	case c == '=':
+		l.pos++
+		return token{kind: tokOp, text: "=", off: start}
+	case c == '!':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '=' {
+			l.pos++
+			return token{kind: tokOp, text: "!=", off: start}
+		}
+		return token{kind: tokError, text: "expected '=' after '!'", off: start}
+	case c == '&':
+		l.pos++
+		if l.pos < len(l.src) && l.src[l.pos] == '&' {
+			l.pos++
+			return token{kind: tokOp, text: "&&", off: start}
+		}
+		return token{kind: tokError, text: "expected '&&'", off: start}
+	case c == '+' || c == '-' || c == '*' || c == '/':
+		l.pos++
+		return token{kind: tokOp, text: string(c), off: start}
+	case c >= '0' && c <= '9':
+		return l.scanNumber(start)
 	case c == '"':
 		return l.scanLiteral(start)
 	case strings.ContainsRune("{}().", rune(c)):
@@ -191,6 +245,41 @@ func (l *lexer) scanLiteral(start int) token {
 		return token{kind: tokLiteral, lit: rdf.NewTypedLiteral(lex, dt), off: start}
 	}
 	return token{kind: tokLiteral, lit: rdf.NewLiteral(lex), off: start}
+}
+
+// scanNumber lexes an unsigned numeric constant: digits, an optional
+// fraction (the '.' is consumed only when a digit follows, keeping the
+// pattern separator unambiguous: "5." lexes as 5 then '.'), and an
+// optional exponent. Negative constants are produced by the parser's unary
+// minus.
+func (l *lexer) scanNumber(start int) token {
+	for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+		l.pos++
+	}
+	if l.pos+1 < len(l.src) && l.src[l.pos] == '.' && l.src[l.pos+1] >= '0' && l.src[l.pos+1] <= '9' {
+		l.pos++
+		for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+			l.pos++
+		}
+	}
+	if l.pos < len(l.src) && (l.src[l.pos] == 'e' || l.src[l.pos] == 'E') {
+		p := l.pos + 1
+		if p < len(l.src) && (l.src[p] == '+' || l.src[p] == '-') {
+			p++
+		}
+		if p < len(l.src) && l.src[p] >= '0' && l.src[p] <= '9' {
+			l.pos = p
+			for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+				l.pos++
+			}
+		}
+	}
+	text := l.src[start:l.pos]
+	v, err := strconv.ParseFloat(text, 64)
+	if err != nil {
+		return token{kind: tokError, text: "malformed number " + text, off: start}
+	}
+	return token{kind: tokNum, num: v, off: start}
 }
 
 func isSpace(c byte) bool { return c == ' ' || c == '\t' || c == '\n' || c == '\r' }

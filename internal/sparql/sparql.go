@@ -1,63 +1,132 @@
 // Package sparql parses and prints the SPARQL fragment of the paper's
-// exploration queries (Fig. 4):
+// exploration queries (Fig. 4), extended with the query surface real query
+// logs carry:
 //
 //	SELECT ?α COUNT(DISTINCT ?β) WHERE {
 //	    a1 b1 c1 . a2 b2 c2 . ... an bn cn .
+//	    FILTER(?x + 1 > 5 && ?name != "Alice")
 //	} GROUP BY ?α
 //
-// The grouping clause is optional (then only the count is selected), the
-// DISTINCT keyword is optional, and each term is a variable (?name), an IRI
-// (<...>), the keyword `a` (rdf:type), or a literal ("..." with optional
-// @lang or ^^<datatype>) in the object position.
+// The grouping clause is optional (then only the aggregate is selected),
+// the DISTINCT keyword is optional, and each term is a variable (?name), an
+// IRI (<...>), the keyword `a` (rdf:type), or a literal ("..." with
+// optional @lang or ^^<datatype>) in the object position.
+//
+// Three constructs extend the fragment:
+//
+//   - FILTER(rel && rel && ...): each rel compares two arithmetic
+//     expressions over variables, numeric constants, IRIs and literals with
+//     =, !=, <, <=, > or >=. Ordered comparisons and arithmetic apply to
+//     values the store's numeric-literal precompute knows; parentheses
+//     group arithmetic (not comparisons).
+//   - Fixed-length property paths in the predicate position: <p>/<q>
+//     chains, <p>{n} repetitions (1 ≤ n ≤ 8) and combinations, desugared at
+//     parse time into fresh-variable pattern chains (the fresh variables
+//     are named _p0, _p1, ... avoiding collisions). Path elements must be
+//     IRIs (or `a`).
+//   - UNION of group graph patterns: WHERE { {...} UNION {...} }. The WHERE
+//     block either is a plain pattern body or consists entirely of braced
+//     groups joined by UNION; each group is a full fragment body (patterns,
+//     filters, paths) and the SELECT clause is shared.
 //
 // This is deliberately a fragment parser, not a SPARQL implementation: the
-// engines in this repository only evaluate Fig. 4 queries, and a parser for
-// just that shape keeps error messages precise.
+// engines in this repository evaluate exactly this surface, and a parser
+// for just that shape keeps error messages precise.
 package sparql
 
 import (
 	"fmt"
+	"strconv"
 	"strings"
 
 	"kgexplore/internal/query"
 	"kgexplore/internal/rdf"
 )
 
-// Parsed is the result of parsing: the query plus the variable-name table.
+// maxPathHops caps the number of patterns one property path may desugar
+// into, bounding parser output size against adversarial input (p{8}/q{8}).
+const maxPathHops = 16
+
+// maxPathRepeat caps one {n} repetition.
+const maxPathRepeat = 8
+
+// Parsed is the result of parsing: the query (or union branches) plus the
+// variable-name tables.
 type Parsed struct {
+	// Query is the parsed query; for UNION queries it is the first branch
+	// (legacy callers that pre-date UNION keep working on plain queries).
 	Query *query.Query
+	// Branches holds every branch of a UNION query, in source order; it has
+	// exactly one entry for plain queries. All branches share one variable
+	// namespace (Names/VarName).
+	Branches []*query.Query
 	// Names maps variable names (without '?') to variable indices.
 	Names map[string]query.Var
+	// rev is the inverse of Names, built once at parse time: VarName is
+	// called per group bar during chart rendering, where a linear scan over
+	// Names would be quadratic in the variable count.
+	rev []string
+}
+
+// IsUnion reports whether the source had UNION branches.
+func (p *Parsed) IsUnion() bool { return len(p.Branches) > 1 }
+
+// Union wraps the branches as a query.UnionQuery (single-branch for plain
+// queries), the IR handed to CompileUnion.
+func (p *Parsed) Union() *query.UnionQuery {
+	return &query.UnionQuery{Branches: p.Branches}
 }
 
 // VarName returns the name of variable v, or its index as a fallback.
 func (p *Parsed) VarName(v query.Var) string {
-	for name, vv := range p.Names {
-		if vv == v {
-			return name
-		}
+	if int(v) >= 0 && int(v) < len(p.rev) && p.rev[v] != "" {
+		return p.rev[v]
 	}
 	return fmt.Sprintf("v%d", v)
+}
+
+// buildRev populates the reverse name table from Names.
+func (p *Parsed) buildRev() {
+	p.rev = make([]string, len(p.Names))
+	for name, v := range p.Names {
+		if int(v) >= 0 && int(v) < len(p.rev) {
+			p.rev[v] = name
+		}
+	}
 }
 
 // Parse parses the fragment, interning constants into d (constants absent
 // from the data will simply match nothing).
 func Parse(src string, d *rdf.Dict) (*Parsed, error) {
 	p := &parser{lex: newLexer(src), dict: d, names: map[string]query.Var{}}
-	q, err := p.parseQuery()
+	branches, err := p.parseQuery()
 	if err != nil {
 		return nil, err
 	}
-	if err := q.Validate(); err != nil {
-		return nil, err
+	p.renameFreshVars()
+	if len(branches) > 1 {
+		u := &query.UnionQuery{Branches: branches}
+		if err := u.Validate(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := branches[0].Validate(); err != nil {
+			return nil, err
+		}
 	}
-	return &Parsed{Query: q, Names: p.names}, nil
+	out := &Parsed{Query: branches[0], Branches: branches, Names: p.names}
+	out.buildRev()
+	return out, nil
 }
 
 type parser struct {
 	lex   *lexer
 	dict  *rdf.Dict
 	names map[string]query.Var
+	// fresh counts the placeholder variables minted by path desugaring;
+	// their temporary names contain a NUL byte no token can carry, and
+	// renameFreshVars swaps in collision-free printable names at the end.
+	fresh int
 }
 
 func (p *parser) varOf(name string) query.Var {
@@ -69,25 +138,62 @@ func (p *parser) varOf(name string) query.Var {
 	return v
 }
 
-func (p *parser) parseQuery() (*query.Query, error) {
+// freshVar mints a path-joint variable under a placeholder name.
+func (p *parser) freshVar() query.Var {
+	name := fmt.Sprintf("\x00p%d", p.fresh)
+	p.fresh++
+	return p.varOf(name)
+}
+
+// renameFreshVars gives path placeholders printable names (_p0, _p1, ...)
+// that do not collide with user variables, so Print output re-parses.
+func (p *parser) renameFreshVars() {
+	if p.fresh == 0 {
+		return
+	}
+	next := 0
+	for i := 0; i < p.fresh; i++ {
+		old := fmt.Sprintf("\x00p%d", i)
+		v, ok := p.names[old]
+		if !ok {
+			continue
+		}
+		var name string
+		for {
+			name = fmt.Sprintf("_p%d", next)
+			next++
+			if _, taken := p.names[name]; !taken {
+				break
+			}
+		}
+		delete(p.names, old)
+		p.names[name] = v
+	}
+}
+
+// parseQuery parses the whole source and returns the union branches (one
+// branch for plain queries).
+func (p *parser) parseQuery() ([]*query.Query, error) {
 	if err := p.keyword("SELECT"); err != nil {
 		return nil, err
 	}
-	q := &query.Query{Alpha: query.NoVar, Beta: query.NoVar}
-	// Optional group variable before COUNT.
+	alpha, beta := query.NoVar, query.NoVar
+	var agg query.AggFunc
+	distinct := false
+	// Optional group variable before the aggregate.
 	tok := p.lex.peek()
 	if tok.kind == tokVar {
 		p.lex.next()
-		q.Alpha = p.varOf(tok.text)
+		alpha = p.varOf(tok.text)
 	}
 	aggTok := p.lex.next()
 	switch {
 	case aggTok.isKeyword("COUNT"):
-		q.Agg = query.AggCount
+		agg = query.AggCount
 	case aggTok.isKeyword("SUM"):
-		q.Agg = query.AggSum
+		agg = query.AggSum
 	case aggTok.isKeyword("AVG"):
-		q.Agg = query.AggAvg
+		agg = query.AggAvg
 	default:
 		return nil, p.errf(aggTok, "expected COUNT, SUM or AVG, got %s", aggTok)
 	}
@@ -96,13 +202,13 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	}
 	if p.lex.peek().isKeyword("DISTINCT") {
 		p.lex.next()
-		q.Distinct = true
+		distinct = true
 	}
 	tok = p.lex.next()
 	if tok.kind != tokVar {
 		return nil, p.errf(tok, "expected counted variable, got %s", tok)
 	}
-	q.Beta = p.varOf(tok.text)
+	beta = p.varOf(tok.text)
 	if err := p.punct(")"); err != nil {
 		return nil, err
 	}
@@ -112,24 +218,37 @@ func (p *parser) parseQuery() (*query.Query, error) {
 	if err := p.punct("{"); err != nil {
 		return nil, err
 	}
-	for {
-		tok := p.lex.peek()
-		if tok.kind == tokPunct && tok.text == "}" {
-			p.lex.next()
+	newBranch := func() *query.Query {
+		return &query.Query{Alpha: alpha, Beta: beta, Distinct: distinct, Agg: agg}
+	}
+	var branches []*query.Query
+	if p.lex.peek().isPunct("{") {
+		// Union of braced groups: { {body} UNION {body} ... }.
+		for {
+			if err := p.punct("{"); err != nil {
+				return nil, err
+			}
+			q := newBranch()
+			if err := p.parseBody(q); err != nil {
+				return nil, err
+			}
+			branches = append(branches, q)
+			tok := p.lex.peek()
+			if tok.isKeyword("UNION") {
+				p.lex.next()
+				continue
+			}
 			break
 		}
-		if tok.kind == tokEOF {
-			return nil, p.errf(tok, "unterminated WHERE block")
-		}
-		pat, err := p.parsePattern()
-		if err != nil {
+		if err := p.punct("}"); err != nil {
 			return nil, err
 		}
-		q.Patterns = append(q.Patterns, pat)
-		// Patterns are '.'-separated; the final dot is optional.
-		if p.lex.peek().kind == tokPunct && p.lex.peek().text == "." {
-			p.lex.next()
+	} else {
+		q := newBranch()
+		if err := p.parseBody(q); err != nil {
+			return nil, err
 		}
+		branches = append(branches, q)
 	}
 	// Optional GROUP BY.
 	if p.lex.peek().isKeyword("GROUP") {
@@ -145,33 +264,299 @@ func (p *parser) parseQuery() (*query.Query, error) {
 		if !ok {
 			return nil, p.errf(tok, "GROUP BY variable ?%s not used in the query", tok.text)
 		}
-		if q.Alpha != query.NoVar && q.Alpha != v {
+		if alpha != query.NoVar && alpha != v {
 			return nil, p.errf(tok, "GROUP BY ?%s does not match the selected variable", tok.text)
 		}
-		q.Alpha = v
-	} else if q.Alpha != query.NoVar {
+		for _, q := range branches {
+			q.Alpha = v
+		}
+	} else if alpha != query.NoVar {
 		return nil, p.errf(p.lex.peek(), "selected variable requires a GROUP BY clause")
 	}
 	if tok := p.lex.next(); tok.kind != tokEOF {
 		return nil, p.errf(tok, "unexpected trailing %s", tok)
 	}
-	return q, nil
+	return branches, nil
 }
 
-func (p *parser) parsePattern() (query.Pattern, error) {
+// parseBody parses one group body — triples (with paths) and FILTERs —
+// stopping at (and consuming) the closing '}'.
+func (p *parser) parseBody(q *query.Query) error {
+	for {
+		tok := p.lex.peek()
+		switch {
+		case tok.isPunct("}"):
+			p.lex.next()
+			return nil
+		case tok.kind == tokEOF:
+			return p.errf(tok, "unterminated WHERE block: missing '}'")
+		case tok.isKeyword("FILTER"):
+			p.lex.next()
+			if err := p.parseFilter(q); err != nil {
+				return err
+			}
+		default:
+			if err := p.parseTriple(q); err != nil {
+				return err
+			}
+		}
+		// Statements are '.'-separated; the final dot is optional, and a
+		// dot after FILTER is tolerated.
+		if p.lex.peek().isPunct(".") {
+			p.lex.next()
+		}
+	}
+}
+
+// parseTriple parses one triple — possibly with a property path in the
+// predicate position — and appends the desugared patterns to q.
+func (p *parser) parseTriple(q *query.Query) error {
 	s, err := p.parseTerm(false)
 	if err != nil {
-		return query.Pattern{}, err
+		return err
 	}
-	pr, err := p.parseTerm(false)
+	elts, single, err := p.parsePredicate()
 	if err != nil {
-		return query.Pattern{}, err
+		return err
 	}
 	o, err := p.parseTerm(true)
 	if err != nil {
-		return query.Pattern{}, err
+		return err
 	}
-	return query.Pattern{S: s, P: pr, O: o}, nil
+	if elts == nil {
+		q.Patterns = append(q.Patterns, query.Pattern{S: s, P: single, O: o})
+		return nil
+	}
+	hops := 0
+	for _, e := range elts {
+		hops += e.count
+	}
+	prev := s
+	hop := 0
+	for _, e := range elts {
+		for r := 0; r < e.count; r++ {
+			hop++
+			next := o
+			if hop < hops {
+				next = query.V(p.freshVar())
+			}
+			q.Patterns = append(q.Patterns, query.Pattern{S: prev, P: query.C(e.pred), O: next})
+			prev = next
+		}
+	}
+	return nil
+}
+
+// pathElt is one element of a property path: a predicate IRI repeated
+// count times.
+type pathElt struct {
+	pred  rdf.ID
+	count int
+}
+
+// parsePredicate parses the predicate position. It returns either a path
+// (elts non-nil: a '/'-chain of IRIs with optional {n} repetitions) or a
+// single predicate atom (variable or constant) in single.
+func (p *parser) parsePredicate() (elts []pathElt, single query.Atom, err error) {
+	tok := p.lex.next()
+	var first query.Atom
+	switch tok.kind {
+	case tokVar:
+		// Variables cannot start a path; `?s ?p ?o` stays a plain pattern.
+		return nil, query.V(p.varOf(tok.text)), nil
+	case tokIRI:
+		first = query.C(p.dict.InternIRI(tok.text))
+	case tokA:
+		first = query.C(p.dict.InternIRI(rdf.RDFType))
+	default:
+		return nil, query.Atom{}, p.errf(tok, "expected a predicate, got %s", tok)
+	}
+	if !p.lex.peek().isOp("/") && !p.lex.peek().isPunct("{") {
+		return nil, first, nil
+	}
+	// Path mode: the first element plus any following /element parts, each
+	// with an optional {n}.
+	hops := 0
+	appendElt := func(pred rdf.ID, at token) error {
+		count := 1
+		if p.lex.peek().isPunct("{") {
+			p.lex.next()
+			ntok := p.lex.next()
+			if ntok.kind != tokNum || ntok.num != float64(int(ntok.num)) || int(ntok.num) < 1 {
+				return p.errf(ntok, "expected a positive integer repetition, got %s", ntok)
+			}
+			count = int(ntok.num)
+			if count > maxPathRepeat {
+				return p.errf(ntok, "path repetition {%d} exceeds the maximum {%d}", count, maxPathRepeat)
+			}
+			if err := p.punct("}"); err != nil {
+				return err
+			}
+		}
+		hops += count
+		if hops > maxPathHops {
+			return p.errf(at, "property path expands to %d+ patterns; the maximum is %d", hops, maxPathHops)
+		}
+		elts = append(elts, pathElt{pred: pred, count: count})
+		return nil
+	}
+	if err := appendElt(first.ID, tok); err != nil {
+		return nil, query.Atom{}, err
+	}
+	for p.lex.peek().isOp("/") {
+		p.lex.next()
+		tok := p.lex.next()
+		var pred rdf.ID
+		switch tok.kind {
+		case tokIRI:
+			pred = p.dict.InternIRI(tok.text)
+		case tokA:
+			pred = p.dict.InternIRI(rdf.RDFType)
+		default:
+			return nil, query.Atom{}, p.errf(tok, "property path elements must be IRIs, got %s", tok)
+		}
+		if err := appendElt(pred, tok); err != nil {
+			return nil, query.Atom{}, err
+		}
+	}
+	return elts, query.Atom{}, nil
+}
+
+// parseFilter parses FILTER(rel && rel && ...) and appends one
+// query.Filter per conjunct to q.
+func (p *parser) parseFilter(q *query.Query) error {
+	if err := p.punct("("); err != nil {
+		return err
+	}
+	for {
+		f, err := p.parseRel()
+		if err != nil {
+			return err
+		}
+		q.Filters = append(q.Filters, f)
+		tok := p.lex.peek()
+		if tok.isOp("&&") {
+			p.lex.next()
+			continue
+		}
+		break
+	}
+	return p.punct(")")
+}
+
+// parseRel parses one comparison: expr cmp expr.
+func (p *parser) parseRel() (query.Filter, error) {
+	l, err := p.parseSum()
+	if err != nil {
+		return query.Filter{}, err
+	}
+	tok := p.lex.next()
+	var op query.CmpOp
+	switch {
+	case tok.isOp("="):
+		op = query.CmpEq
+	case tok.isOp("!="):
+		op = query.CmpNe
+	case tok.isOp("<"):
+		op = query.CmpLt
+	case tok.isOp("<="):
+		op = query.CmpLe
+	case tok.isOp(">"):
+		op = query.CmpGt
+	case tok.isOp(">="):
+		op = query.CmpGe
+	default:
+		return query.Filter{}, p.errf(tok, "expected a comparison operator, got %s", tok)
+	}
+	r, err := p.parseSum()
+	if err != nil {
+		return query.Filter{}, err
+	}
+	return query.Filter{Op: op, L: l, R: r}, nil
+}
+
+func (p *parser) parseSum() (*query.Expr, error) {
+	l, err := p.parseProduct()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.lex.peek()
+		var op query.ArithOp
+		switch {
+		case tok.isOp("+"):
+			op = query.ArithAdd
+		case tok.isOp("-"):
+			op = query.ArithSub
+		default:
+			return l, nil
+		}
+		p.lex.next()
+		r, err := p.parseProduct()
+		if err != nil {
+			return nil, err
+		}
+		l = query.EArith(op, l, r)
+	}
+}
+
+func (p *parser) parseProduct() (*query.Expr, error) {
+	l, err := p.parseFactor()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		tok := p.lex.peek()
+		var op query.ArithOp
+		switch {
+		case tok.isOp("*"):
+			op = query.ArithMul
+		case tok.isOp("/"):
+			op = query.ArithDiv
+		default:
+			return l, nil
+		}
+		p.lex.next()
+		r, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		l = query.EArith(op, l, r)
+	}
+}
+
+func (p *parser) parseFactor() (*query.Expr, error) {
+	tok := p.lex.next()
+	switch {
+	case tok.kind == tokVar:
+		return query.EVar(p.varOf(tok.text)), nil
+	case tok.kind == tokNum:
+		return query.ENum(tok.num), nil
+	case tok.isOp("-"):
+		f, err := p.parseFactor()
+		if err != nil {
+			return nil, err
+		}
+		if f.Kind == query.ExprNum {
+			return query.ENum(-f.Num), nil
+		}
+		return query.EArith(query.ArithSub, query.ENum(0), f), nil
+	case tok.kind == tokIRI:
+		return query.ETerm(p.dict.InternIRI(tok.text)), nil
+	case tok.kind == tokLiteral:
+		return query.ETerm(p.dict.Intern(tok.lit)), nil
+	case tok.isPunct("("):
+		e, err := p.parseSum()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.punct(")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+	default:
+		return nil, p.errf(tok, "expected a filter operand, got %s", tok)
+	}
 }
 
 func (p *parser) parseTerm(allowLiteral bool) (query.Atom, error) {
@@ -210,28 +595,63 @@ func (p *parser) punct(s string) error {
 }
 
 func (p *parser) errf(tok token, format string, args ...any) error {
+	if tok.kind == tokError {
+		return fmt.Errorf("sparql: offset %d: %s", tok.off, tok.text)
+	}
 	return fmt.Errorf("sparql: offset %d: %s", tok.off, fmt.Sprintf(format, args...))
 }
 
 // Print renders a query in the fragment's concrete syntax, resolving
 // constants through the dictionary and variables through names (falling
-// back to ?vN).
+// back to ?vN). Property paths print in desugared form; Print output
+// re-parses to the same query.
 func Print(q *query.Query, d *rdf.Dict, names map[string]query.Var) string {
-	nameOf := func(v query.Var) string {
-		for n, vv := range names {
-			if vv == v {
-				return n
-			}
+	var b strings.Builder
+	printHeader(&b, q, nameFunc(names))
+	b.WriteString(" WHERE {\n")
+	printBody(&b, q, d, nameFunc(names), "  ")
+	b.WriteString("}")
+	printGroupBy(&b, q, nameFunc(names))
+	return b.String()
+}
+
+// PrintUnion renders a union query; with a single branch it matches Print.
+func PrintUnion(u *query.UnionQuery, d *rdf.Dict, names map[string]query.Var) string {
+	if len(u.Branches) == 1 {
+		return Print(u.Branches[0], d, names)
+	}
+	nameOf := nameFunc(names)
+	q0 := u.Branches[0]
+	var b strings.Builder
+	printHeader(&b, q0, nameOf)
+	b.WriteString(" WHERE {\n")
+	for i, q := range u.Branches {
+		if i > 0 {
+			b.WriteString("  UNION\n")
+		}
+		b.WriteString("  {\n")
+		printBody(&b, q, d, nameOf, "    ")
+		b.WriteString("  }\n")
+	}
+	b.WriteString("}")
+	printGroupBy(&b, q0, nameOf)
+	return b.String()
+}
+
+func nameFunc(names map[string]query.Var) func(query.Var) string {
+	rev := make(map[query.Var]string, len(names))
+	for n, v := range names {
+		rev[v] = n
+	}
+	return func(v query.Var) string {
+		if n, ok := rev[v]; ok {
+			return n
 		}
 		return fmt.Sprintf("v%d", v)
 	}
-	atom := func(a query.Atom) string {
-		if a.IsVar() {
-			return "?" + nameOf(a.Var)
-		}
-		return d.Term(a.ID).String()
-	}
-	var b strings.Builder
+}
+
+func printHeader(b *strings.Builder, q *query.Query, nameOf func(query.Var) string) {
 	b.WriteString("SELECT ")
 	if q.Alpha != query.NoVar {
 		b.WriteString("?" + nameOf(q.Alpha) + " ")
@@ -241,13 +661,44 @@ func Print(q *query.Query, d *rdf.Dict, names map[string]query.Var) string {
 	if q.Distinct {
 		b.WriteString("DISTINCT ")
 	}
-	b.WriteString("?" + nameOf(q.Beta) + ") WHERE {\n")
-	for _, p := range q.Patterns {
-		fmt.Fprintf(&b, "  %s %s %s .\n", atom(p.S), atom(p.P), atom(p.O))
-	}
-	b.WriteString("}")
+	b.WriteString("?" + nameOf(q.Beta) + ")")
+}
+
+func printGroupBy(b *strings.Builder, q *query.Query, nameOf func(query.Var) string) {
 	if q.Alpha != query.NoVar {
 		b.WriteString(" GROUP BY ?" + nameOf(q.Alpha))
 	}
-	return b.String()
+}
+
+func printBody(b *strings.Builder, q *query.Query, d *rdf.Dict, nameOf func(query.Var) string, indent string) {
+	atom := func(a query.Atom) string {
+		if a.IsVar() {
+			return "?" + nameOf(a.Var)
+		}
+		return d.Term(a.ID).String()
+	}
+	for _, p := range q.Patterns {
+		fmt.Fprintf(b, "%s%s %s %s .\n", indent, atom(p.S), atom(p.P), atom(p.O))
+	}
+	for i := range q.Filters {
+		f := &q.Filters[i]
+		fmt.Fprintf(b, "%sFILTER(%s %s %s)\n", indent,
+			printExpr(f.L, d, nameOf), f.Op, printExpr(f.R, d, nameOf))
+	}
+}
+
+// printExpr renders a filter expression in concrete syntax.
+func printExpr(e *query.Expr, d *rdf.Dict, nameOf func(query.Var) string) string {
+	switch e.Kind {
+	case query.ExprVar:
+		return "?" + nameOf(e.Var)
+	case query.ExprNum:
+		return strconv.FormatFloat(e.Num, 'g', -1, 64)
+	case query.ExprTerm:
+		return d.Term(e.ID).String()
+	case query.ExprArith:
+		return fmt.Sprintf("(%s %s %s)",
+			printExpr(e.L, d, nameOf), e.Op, printExpr(e.R, d, nameOf))
+	}
+	return "?!"
 }

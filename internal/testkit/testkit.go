@@ -86,19 +86,60 @@ func ChainQuery(g *rdf.Graph, preds []rdf.ID, grouped, distinct bool) *query.Que
 	return q
 }
 
+// GraphNums adapts a graph's dictionary to the query.NumSource interface, so
+// the oracle can evaluate filters without an index.Store.
+type GraphNums struct{ G *rdf.Graph }
+
+// Numeric implements query.NumSource.
+func (n GraphNums) Numeric(id rdf.ID) (float64, bool) {
+	return rdf.NumericValue(n.G.Dict.Term(id))
+}
+
+type pair struct{ a, b rdf.ID }
+
 // BruteForce evaluates the query by nested loops over the raw triples,
-// honoring the query's Alpha/Beta/Distinct. It is exponential in the number
-// of patterns and intended only for tiny test graphs.
+// honoring the query's Alpha/Beta/Distinct and Filters. It is exponential in
+// the number of patterns and intended only for tiny test graphs.
 func BruteForce(g *rdf.Graph, q *query.Query) map[rdf.ID]float64 {
+	counts := make(map[rdf.ID]float64)
+	denoms := make(map[rdf.ID]float64)
+	seen := make(map[pair]bool)
+	bruteInto(g, q, counts, denoms, seen)
+	if q.Agg == query.AggAvg {
+		for a := range counts {
+			counts[a] /= denoms[a]
+		}
+	}
+	return counts
+}
+
+// BruteForceUnion evaluates a union with SPARQL bag semantics: COUNT and SUM
+// add up across branches, AVG is the ratio of the summed numerators and
+// denominators, and DISTINCT deduplicates (group, β) pairs across branches.
+func BruteForceUnion(g *rdf.Graph, u *query.UnionQuery) map[rdf.ID]float64 {
+	counts := make(map[rdf.ID]float64)
+	denoms := make(map[rdf.ID]float64)
+	seen := make(map[pair]bool)
+	for _, q := range u.Branches {
+		bruteInto(g, q, counts, denoms, seen)
+	}
+	if u.Agg() == query.AggAvg {
+		for a := range counts {
+			counts[a] /= denoms[a]
+		}
+	}
+	return counts
+}
+
+// bruteInto runs the nested-loop join of one query, accumulating into shared
+// maps (shared across union branches so DISTINCT dedups cross-branch).
+func bruteInto(g *rdf.Graph, q *query.Query, counts, denoms map[rdf.ID]float64, seen map[pair]bool) {
 	nv := q.NumVars()
 	bind := make([]rdf.ID, nv)
 	for i := range bind {
 		bind[i] = rdf.NoID
 	}
-	type pair struct{ a, b rdf.ID }
-	counts := make(map[rdf.ID]float64)
-	denoms := make(map[rdf.ID]float64)
-	seen := make(map[pair]bool)
+	nums := GraphNums{G: g}
 
 	match := func(a query.Atom, v rdf.ID) (rdf.ID, bool, bool) {
 		// Returns (newBinding, needsBind, ok).
@@ -114,6 +155,11 @@ func BruteForce(g *rdf.Graph, q *query.Query) map[rdf.ID]float64 {
 	var rec func(i int)
 	rec = func(i int) {
 		if i == len(q.Patterns) {
+			for fi := range q.Filters {
+				if !q.Filters[fi].Eval(nums, bind) {
+					return
+				}
+			}
 			a := GlobalGroup
 			if q.Alpha != query.NoVar {
 				a = bind[q.Alpha]
@@ -176,12 +222,6 @@ func BruteForce(g *rdf.Graph, q *query.Query) map[rdf.ID]float64 {
 		}
 	}
 	rec(0)
-	if q.Agg == query.AggAvg {
-		for a := range counts {
-			counts[a] /= denoms[a]
-		}
-	}
-	return counts
 }
 
 // BuildStore indexes the graph.

@@ -85,3 +85,43 @@ func MergeStratified(accs []*Acc, z float64) Result {
 	}
 	return r
 }
+
+// MergeUnion combines finished Results of independently estimated UNION
+// branches for additive aggregates (COUNT, SUM): under SPARQL bag semantics
+// each branch contributes its full multiset, so the union estimate is the sum
+// of branch estimates, and — the branches being estimated by independent walk
+// processes — the half-widths merge in quadrature:
+//
+//	est[a] = Σ_b est_b[a],  CI[a] = sqrt(Σ_b CI_b[a]²)
+//
+// AVG (a ratio of two additive channels that Result no longer separates) and
+// COUNT(DISTINCT) (cross-branch duplicates collapse, so estimates do NOT add)
+// cannot be merged at the Result level; callers route those to the exact
+// union evaluators or to a stepper that keeps per-branch accumulators
+// (exec.Union via MergeStratified).
+func MergeUnion(results []Result, z float64) Result {
+	_ = z // half-widths are already scaled; kept for signature symmetry
+	r := Result{
+		Estimates: make(map[rdf.ID]float64),
+		CI:        make(map[rdf.ID]float64),
+	}
+	varSum := make(map[rdf.ID]float64)
+	for _, br := range results {
+		r.Walks += br.Walks
+		r.Rejected += br.Rejected
+		r.Dedup += br.Dedup
+		for a, v := range br.Estimates {
+			r.Estimates[a] += v
+		}
+		for a, hw := range br.CI {
+			if math.IsInf(hw, 0) || math.IsNaN(hw) {
+				hw = math.Abs(br.Estimates[a])
+			}
+			varSum[a] += hw * hw
+		}
+	}
+	for a, v := range varSum {
+		r.CI[a] = math.Sqrt(v)
+	}
+	return r
+}

@@ -305,6 +305,12 @@ func (r *Runner) Step() {
 		}
 		t := r.store.Sample(st.Order, sp, r.rng)
 		st.Bind(t, b)
+		// A failed FILTER rejects the walk: a zero-weight Horvitz–Thompson
+		// draw, so the estimator stays unbiased for the filtered count.
+		if len(st.Filters) > 0 && !r.pl.StepFiltersOK(i, r.store, b) {
+			r.acc.Rejected++
+			return
+		}
 		prod *= float64(sp.Len())
 	}
 	q := r.pl.Query

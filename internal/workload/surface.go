@@ -1,0 +1,221 @@
+package workload
+
+import (
+	"math/rand"
+	"sort"
+
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/index"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+)
+
+// This file extends the evaluation workload to the wider query surface:
+// FILTER comparisons, UNION of branches, and fixed-length property-path
+// chains. Surface records are derived from the same exploration paths the
+// base workload produces (so filters and unions stay anchored in chart
+// shapes a user would actually reach) plus predicate chains sampled from
+// the store (the desugared form of p1/p2 paths), each with CTJ ground
+// truth for equivalence and benchmark harnesses.
+
+// SurfaceKind classifies an extended-surface workload query.
+type SurfaceKind string
+
+const (
+	// SurfaceFilter is a chart query with an attached FILTER predicate.
+	SurfaceFilter SurfaceKind = "filter"
+	// SurfaceUnion is a multi-branch union of chart queries.
+	SurfaceUnion SurfaceKind = "union"
+	// SurfacePath is a chain query — the desugared form of a fixed-length
+	// property path p1/p2 (or p{n}).
+	SurfacePath SurfaceKind = "path"
+)
+
+// SurfaceRecord is one extended-surface workload query with exact ground
+// truth. Filter and path records carry Query/Plan; union records carry
+// Union/UnionPlan instead.
+type SurfaceRecord struct {
+	Kind      SurfaceKind
+	Query     *query.Query
+	Plan      *query.Plan
+	Union     *query.UnionQuery
+	UnionPlan *query.UnionPlan
+	Exact     map[rdf.ID]float64
+}
+
+// Distinct reports whether the record's query deduplicates.
+func (r *SurfaceRecord) Distinct() bool {
+	if r.Union != nil {
+		return r.Union.Distinct()
+	}
+	return r.Query.Distinct
+}
+
+// Surface derives up to n extended-surface queries, cycling through the
+// three kinds. Filter records attach an α ≠ <selected group> predicate to
+// a chart query (the group the simulated user drilled into is excluded —
+// mirroring a "hide this bar" refinement); union records pair two chart
+// queries from different exploration steps, alternating bag and DISTINCT
+// semantics; path records are 2- and 3-hop predicate chains sampled from
+// the store's non-schema predicates. Records with empty exact results are
+// discarded, so fewer than n may return on tiny stores. Deterministic in
+// Seed, independent of Paths' stream.
+func (g *Generator) Surface(n int) []SurfaceRecord {
+	rng := rand.New(rand.NewSource(g.Seed*1_000_003 + 17))
+	base := g.Paths(n/2 + 2)
+	var filters, unions, paths []SurfaceRecord
+	want := (n + 2) / 3
+	filters = g.surfaceFilters(rng, base, want)
+	unions = g.surfaceUnions(rng, base, want)
+	paths = g.surfacePaths(rng, n-len(filters)-len(unions))
+	out := make([]SurfaceRecord, 0, n)
+	for i := 0; len(out) < n; i++ {
+		added := false
+		if i < len(filters) {
+			out = append(out, filters[i])
+			added = true
+		}
+		if i < len(unions) && len(out) < n {
+			out = append(out, unions[i])
+			added = true
+		}
+		if i < len(paths) && len(out) < n {
+			out = append(out, paths[i])
+			added = true
+		}
+		if !added {
+			break
+		}
+	}
+	return out
+}
+
+// surfaceFilters turns grouped chart queries into filtered variants:
+// FILTER(?α != <g>) for a weighted-sampled group g, which removes exactly
+// that group from the chart.
+func (g *Generator) surfaceFilters(rng *rand.Rand, base []StepRecord, k int) []SurfaceRecord {
+	var out []SurfaceRecord
+	for _, rec := range base {
+		if len(out) >= k {
+			break
+		}
+		if rec.Query.Alpha == query.NoVar {
+			continue
+		}
+		victim := weightedSample(rng, rec.Exact)
+		fq := cloneQuery(rec.Query)
+		fq.Filters = append(fq.Filters, query.Filter{
+			Op: query.CmpNe,
+			L:  query.EVar(fq.Alpha),
+			R:  query.ETerm(victim),
+		})
+		pl, err := query.Compile(fq)
+		if err != nil {
+			continue
+		}
+		exact := ctj.Evaluate(g.Store, pl)
+		if len(exact) == 0 {
+			continue
+		}
+		out = append(out, SurfaceRecord{Kind: SurfaceFilter, Query: fq, Plan: pl, Exact: exact})
+	}
+	return out
+}
+
+// surfaceUnions pairs chart queries from distinct exploration steps into
+// two-branch unions, alternating the shared DISTINCT flag so both the bag
+// and the dedup semantics appear in the workload.
+func (g *Generator) surfaceUnions(rng *rand.Rand, base []StepRecord, k int) []SurfaceRecord {
+	var grouped []StepRecord
+	for _, rec := range base {
+		if rec.Query.Alpha != query.NoVar {
+			grouped = append(grouped, rec)
+		}
+	}
+	var out []SurfaceRecord
+	for i := 0; i+1 < len(grouped) && len(out) < k; i += 2 {
+		b0 := cloneQuery(grouped[i].Query)
+		b1 := cloneQuery(grouped[i+1].Query)
+		if len(out)%2 == 1 {
+			b0.Distinct, b1.Distinct = false, false
+		}
+		u := &query.UnionQuery{Branches: []*query.Query{b0, b1}}
+		up, err := query.CompileUnion(u)
+		if err != nil {
+			continue
+		}
+		exact, err := ctj.EvaluateUnion(g.Store, up)
+		if err != nil || len(exact) == 0 {
+			continue
+		}
+		out = append(out, SurfaceRecord{Kind: SurfaceUnion, Union: u, UnionPlan: up, Exact: exact})
+	}
+	_ = rng
+	return out
+}
+
+// surfacePaths samples 2- and 3-hop predicate chains — the desugared form
+// of <p1>/<p2> (and p{3}-style repeats when a predicate chains with
+// itself) — grouped by the chain's source, counting its sinks.
+func (g *Generator) surfacePaths(rng *rand.Rand, k int) []SurfaceRecord {
+	preds := g.dataPredicates()
+	if len(preds) == 0 || k <= 0 {
+		return nil
+	}
+	var out []SurfaceRecord
+	tries := 0
+	for len(out) < k && tries < 20*k+40 {
+		tries++
+		hops := 2 + tries%2
+		pats := make([]query.Pattern, hops)
+		for h := 0; h < hops; h++ {
+			p := preds[rng.Intn(len(preds))]
+			pats[h] = query.Pattern{
+				S: query.V(query.Var(h)),
+				P: query.C(p),
+				O: query.V(query.Var(h + 1)),
+			}
+		}
+		pq := &query.Query{Patterns: pats, Alpha: 0, Beta: query.Var(hops)}
+		pl, err := query.Compile(pq)
+		if err != nil {
+			continue
+		}
+		exact := ctj.Evaluate(g.Store, pl)
+		if len(exact) == 0 {
+			continue
+		}
+		out = append(out, SurfaceRecord{Kind: SurfacePath, Query: pq, Plan: pl, Exact: exact})
+	}
+	return out
+}
+
+// dataPredicates lists the store's predicates minus the schema machinery
+// (type, subclass, closure), sorted for determinism.
+func (g *Generator) dataPredicates() []rdf.ID {
+	var preds []rdf.ID
+	it := g.Store.Level(index.PSO, g.Store.FullSpan(index.PSO), 0)
+	for it.Next() {
+		p := it.Key()
+		if p == g.Schema.Type || p == g.Schema.SubClassOf || p == g.Schema.TypeClosure {
+			continue
+		}
+		preds = append(preds, p)
+	}
+	sort.Slice(preds, func(i, j int) bool { return preds[i] < preds[j] })
+	return preds
+}
+
+// cloneQuery deep-copies a query so surface variants never mutate the base
+// workload's records.
+func cloneQuery(q *query.Query) *query.Query {
+	nq := &query.Query{
+		Patterns: append([]query.Pattern(nil), q.Patterns...),
+		Alpha:    q.Alpha,
+		Beta:     q.Beta,
+		Distinct: q.Distinct,
+		Agg:      q.Agg,
+		Filters:  append([]query.Filter(nil), q.Filters...),
+	}
+	return nq
+}

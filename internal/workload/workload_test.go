@@ -100,6 +100,81 @@ func TestWeightedSampleRespectsWeights(t *testing.T) {
 	}
 }
 
+func TestSurfaceRecords(t *testing.T) {
+	st, schema, g := smallDataset(t)
+	gen := &Generator{Store: st, Schema: schema, Seed: 9, MaxSteps: 3}
+	recs := gen.Surface(12)
+	if len(recs) == 0 {
+		t.Fatal("no surface records generated")
+	}
+	kinds := map[SurfaceKind]int{}
+	for _, r := range recs {
+		kinds[r.Kind]++
+		if len(r.Exact) == 0 {
+			t.Errorf("%s record with empty exact result", r.Kind)
+		}
+		switch r.Kind {
+		case SurfaceUnion:
+			if r.Union == nil || r.UnionPlan == nil {
+				t.Fatalf("union record missing union/plan")
+			}
+			if err := r.Union.Validate(); err != nil {
+				t.Errorf("invalid union: %v", err)
+			}
+			want := testkit.BruteForceUnion(g, r.Union)
+			if !testkit.MapsEqual(r.Exact, want, 1e-9) {
+				t.Error("union exact diverges from brute force")
+			}
+		case SurfaceFilter:
+			if r.Query == nil || len(r.Query.Filters) == 0 {
+				t.Fatal("filter record without filters")
+			}
+			again := ctj.Evaluate(st, r.Plan)
+			if !testkit.MapsEqual(r.Exact, again, 1e-9) {
+				t.Error("filter exact diverges from re-evaluation")
+			}
+		case SurfacePath:
+			if r.Query == nil || len(r.Query.Patterns) < 2 {
+				t.Fatal("path record must be a multi-hop chain")
+			}
+			for _, p := range r.Query.Patterns {
+				if p.P.IsVar() {
+					t.Error("path hop with variable predicate")
+				}
+			}
+			again := ctj.Evaluate(st, r.Plan)
+			if !testkit.MapsEqual(r.Exact, again, 1e-9) {
+				t.Error("path exact diverges from re-evaluation")
+			}
+		default:
+			t.Errorf("unknown kind %q", r.Kind)
+		}
+	}
+	for _, k := range []SurfaceKind{SurfaceFilter, SurfaceUnion, SurfacePath} {
+		if kinds[k] == 0 {
+			t.Errorf("no %s records generated", k)
+		}
+	}
+}
+
+func TestSurfaceDeterministic(t *testing.T) {
+	st, schema, _ := smallDataset(t)
+	g1 := &Generator{Store: st, Schema: schema, Seed: 4, MaxSteps: 2}
+	g2 := &Generator{Store: st, Schema: schema, Seed: 4, MaxSteps: 2}
+	r1, r2 := g1.Surface(9), g2.Surface(9)
+	if len(r1) != len(r2) {
+		t.Fatalf("lengths differ: %d vs %d", len(r1), len(r2))
+	}
+	for i := range r1 {
+		if r1[i].Kind != r2[i].Kind {
+			t.Fatalf("record %d kind differs", i)
+		}
+		if !testkit.MapsEqual(r1[i].Exact, r2[i].Exact, 0) {
+			t.Errorf("record %d exact differs", i)
+		}
+	}
+}
+
 func TestSelectivity(t *testing.T) {
 	st, schema, g := smallDataset(t)
 	// A filter-free query has selectivity 0... exploration queries always

@@ -68,9 +68,22 @@ type (
 	Var = query.Var
 	// Pattern is one triple pattern.
 	Pattern = query.Pattern
-	// ParsedQuery is a parsed SPARQL fragment with its variable names.
+	// Filter is one FILTER constraint of a query (comparison over variables,
+	// numeric constants and terms, with bound-variable arithmetic).
+	Filter = query.Filter
+	// UnionQuery is a UNION of exploration queries sharing one SELECT clause.
+	UnionQuery = query.UnionQuery
+	// UnionPlan is a compiled union: one Plan per branch.
+	UnionPlan = query.UnionPlan
+	// ParsedQuery is a parsed SPARQL fragment with its variable names. Its
+	// Branches field carries every UNION branch (one entry for plain
+	// queries); IsUnion and Union expose the multi-branch view.
 	ParsedQuery = sparql.Parsed
 )
+
+// ErrDistinctUnion reports a COUNT(DISTINCT) union handed to an online
+// estimator; callers route those to the exact path (ExactUnion).
+var ErrDistinctUnion = query.ErrDistinctUnion
 
 // Re-exported exploration types.
 type (
@@ -518,6 +531,85 @@ func (d *Dataset) ExactCtx(ctx context.Context, pl *Plan, engine ExactEngine) (m
 	default:
 		return nil, fmt.Errorf("kgexplore: unknown engine %v", engine)
 	}
+}
+
+// CompileUnion validates and plans every branch of a union.
+func (d *Dataset) CompileUnion(u *UnionQuery) (*UnionPlan, error) {
+	return query.CompileUnion(u)
+}
+
+// ExactUnion evaluates a compiled union exactly with the chosen engine,
+// under SPARQL bag semantics: COUNT and SUM add across branches, AVG is the
+// ratio of the summed numerators and denominators, and COUNT(DISTINCT)
+// deduplicates (group, β) pairs across branches.
+func (d *Dataset) ExactUnion(up *UnionPlan, engine ExactEngine) (map[ID]float64, error) {
+	return d.ExactUnionCtx(context.Background(), up, engine)
+}
+
+// ExactUnionCtx is ExactUnion under a context.
+func (d *Dataset) ExactUnionCtx(ctx context.Context, up *UnionPlan, engine ExactEngine) (map[ID]float64, error) {
+	switch engine {
+	case EngineCTJ:
+		return ctj.EvaluateUnionCtxEst(ctx, d.store, up, d.est)
+	case EngineLFTJ:
+		return lftj.EvaluateUnionCtx(ctx, d.store, up)
+	case EngineBaseline:
+		return (&baseline.Engine{}).EvaluateUnionCtx(ctx, d.store, up)
+	default:
+		return nil, fmt.Errorf("kgexplore: unknown engine %v", engine)
+	}
+}
+
+// UnionEstimator estimates a UNION online: each branch is one stratum run by
+// its own Audit Join runner, walks are interleaved in proportion to the
+// branches' estimated sizes, and Snapshot merges the strata with summed
+// estimates and quadrature CIs (wj.MergeStratified). It implements Stepper,
+// so Drive and RunWalks apply.
+type UnionEstimator = exec.Union
+
+// NewUnionEstimator creates the stratified union estimator. COUNT(DISTINCT)
+// unions are refused with ErrDistinctUnion — per-branch walks cannot observe
+// cross-branch duplicates — and must use ExactUnion.
+func (d *Dataset) NewUnionEstimator(up *UnionPlan, seed int64) (*UnionEstimator, error) {
+	if up.Query.Distinct() {
+		return nil, query.ErrDistinctUnion
+	}
+	branches := make([]exec.AccStepper, len(up.Plans))
+	weights := make([]float64, len(up.Plans))
+	for i, pl := range up.Plans {
+		branches[i] = core.New(d.store, pl, core.Options{
+			Threshold: core.DefaultThreshold,
+			Seed:      seed + int64(i)*1_000_003,
+			Estimator: d.est,
+		})
+		weights[i] = d.estimator().JoinSize(pl).Value
+	}
+	return exec.NewUnion(branches, weights), nil
+}
+
+// AutoUnionCtx evaluates a union with the Auto strategy: exactly with CTJ
+// when the summed branch estimates are small (or the union is DISTINCT,
+// which has no estimator), otherwise online with the stratified union
+// estimator under the budget.
+func (d *Dataset) AutoUnionCtx(ctx context.Context, up *UnionPlan, budget time.Duration, seed int64) (AutoResult, error) {
+	total := 0.0
+	for _, pl := range up.Plans {
+		total += d.estimator().JoinSize(pl).Value
+	}
+	if up.Query.Distinct() || total <= AutoExactLimit {
+		counts, err := ctj.EvaluateUnionCtxEst(ctx, d.store, up, d.est)
+		if err != nil {
+			return AutoResult{}, err
+		}
+		return AutoResult{Counts: counts, Exact: true}, nil
+	}
+	u, err := d.NewUnionEstimator(up, seed)
+	if err != nil {
+		return AutoResult{}, err
+	}
+	rep, err := exec.Drive(ctx, u, exec.Options{Budget: budget, Batch: 128})
+	snap := rep.Final
+	return AutoResult{Counts: snap.Estimates, CI: snap.CI, Walks: snap.Walks}, err
 }
 
 // AutoResult is what Auto returns: the per-group counts, whether they are

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"strings"
 
+	"kgexplore/internal/exec"
 	"kgexplore/internal/explore"
 	"kgexplore/internal/index"
 	"kgexplore/internal/live"
@@ -177,6 +178,44 @@ func (d *LiveDataset) NewLiveWalker(pl *Plan, opts LiveWalkerOptions) (*LiveWalk
 // cancellation. This is the path DISTINCT queries take on live datasets.
 func (d *LiveDataset) ExactCtx(ctx context.Context, pl *Plan) (map[ID]float64, error) {
 	return live.Exact(ctx, d.ls.View(), pl)
+}
+
+// CompileUnion validates and plans every branch of a union.
+func (d *LiveDataset) CompileUnion(u *UnionQuery) (*UnionPlan, error) {
+	return query.CompileUnion(u)
+}
+
+// ExactUnionCtx evaluates a union exactly over the current view: COUNT and
+// SUM add across branches, AVG is the ratio of the summed numerators and
+// denominators, and COUNT(DISTINCT) deduplicates (group, β) pairs across
+// branches through one shared value set.
+func (d *LiveDataset) ExactUnionCtx(ctx context.Context, up *UnionPlan) (map[ID]float64, error) {
+	return live.ExactUnion(ctx, d.ls.View(), up)
+}
+
+// NewUnionEstimator creates the stratified union estimator over ONE captured
+// view: each branch is a live walker (tombstone rejection and all), walks
+// interleave proportionally to the branches' root cardinalities, and
+// Snapshot merges the branch accumulators as strata. COUNT(DISTINCT) unions
+// are refused with ErrDistinctUnion — use ExactUnionCtx.
+func (d *LiveDataset) NewUnionEstimator(up *UnionPlan, opts LiveWalkerOptions) (*UnionEstimator, error) {
+	if up.Query.Distinct() {
+		return nil, query.ErrDistinctUnion
+	}
+	v := d.ls.View()
+	branches := make([]exec.AccStepper, len(up.Plans))
+	weights := make([]float64, len(up.Plans))
+	for i, pl := range up.Plans {
+		bopts := opts
+		bopts.Seed = opts.Seed + int64(i)*1_000_003
+		w, err := live.NewWalker(v, pl, bopts)
+		if err != nil {
+			return nil, err
+		}
+		branches[i] = w
+		weights[i] = float64(w.RootCard())
+	}
+	return exec.NewUnion(branches, weights), nil
 }
 
 // Compact streams the current view through the external builder into a

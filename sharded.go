@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"kgexplore/internal/card"
+	"kgexplore/internal/exec"
 	"kgexplore/internal/explore"
 	"kgexplore/internal/index"
 	"kgexplore/internal/query"
@@ -199,6 +200,52 @@ func (d *ShardedDataset) Exact(pl *Plan) map[ID]float64 { return d.set.Exact(pl)
 // ExactCtx is Exact with cooperative cancellation.
 func (d *ShardedDataset) ExactCtx(ctx context.Context, pl *Plan) (map[ID]float64, error) {
 	return d.set.ExactCtx(ctx, pl)
+}
+
+// CompileUnion validates and plans every branch of a union.
+func (d *ShardedDataset) CompileUnion(u *UnionQuery) (*UnionPlan, error) {
+	return query.CompileUnion(u)
+}
+
+// ExactUnionCtx evaluates a compiled union exactly over the sharded set:
+// COUNT and SUM add across branches, AVG is the ratio of the summed
+// numerators and denominators, and COUNT(DISTINCT) deduplicates (group, β)
+// pairs across branches through one shared value set.
+func (d *ShardedDataset) ExactUnionCtx(ctx context.Context, up *UnionPlan) (map[ID]float64, error) {
+	return d.set.ExactUnionCtx(ctx, up)
+}
+
+// NewUnionScatter creates the stratified union stepper over the shards: one
+// Scatter per branch, branches interleaved proportionally to estimated join
+// size, Snapshot merging all (branch, shard) strata. COUNT(DISTINCT) unions
+// are refused with ErrDistinctUnion; use ExactUnionCtx.
+func (d *ShardedDataset) NewUnionScatter(up *UnionPlan, opts ShardScatterOptions) (*shard.UnionScatter, error) {
+	if opts.Estimator == nil {
+		opts.Estimator = d.est
+	}
+	return shard.NewUnionScatter(d.set, up, opts)
+}
+
+// RunUnionScatter drives the union stepper under xopts and returns the final
+// stratified-merged estimate. COUNT(DISTINCT) unions fall back to the exact
+// cross-branch union, mirroring RunScatter's unowned-distinct policy.
+func (d *ShardedDataset) RunUnionScatter(ctx context.Context, up *UnionPlan, opts ShardScatterOptions, xopts DriveOptions) (EstimateResult, error) {
+	if up.Query.Distinct() {
+		counts, err := d.set.ExactUnionCtx(ctx, up)
+		if err != nil {
+			return EstimateResult{}, err
+		}
+		return EstimateResult{Estimates: counts, CI: map[ID]float64{}}, nil
+	}
+	u, err := d.NewUnionScatter(up, opts)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	rep, err := exec.Drive(ctx, u, xopts)
+	if err != nil {
+		return EstimateResult{}, err
+	}
+	return rep.Final, nil
 }
 
 // NewScatter creates the sequential scatter-gather stepper for the plan:

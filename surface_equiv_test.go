@@ -1,0 +1,432 @@
+package kgexplore
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"kgexplore/internal/baseline"
+	"kgexplore/internal/core"
+	"kgexplore/internal/ctj"
+	"kgexplore/internal/lftj"
+	"kgexplore/internal/query"
+	"kgexplore/internal/rdf"
+	"kgexplore/internal/sparql"
+	"kgexplore/internal/testkit"
+	"kgexplore/internal/wj"
+)
+
+// surfaceGraph builds a deterministic random graph whose objects are partly
+// numeric literals, so FILTER arithmetic and SUM/AVG have data to chew on.
+func surfaceGraph(seed int64) *rdf.Graph {
+	return testkit.RandomGraph(seed, 30, 4, 20, 400)
+}
+
+// surfaceDataset wraps a test graph in a Dataset without the exploration
+// schema (the engines under test do not consult it).
+func surfaceDataset(g *rdf.Graph) *Dataset {
+	return &Dataset{graph: g, store: testkit.BuildStore(g)}
+}
+
+// exactEngines evaluates the plan on every exact engine and checks agreement
+// with the brute-force oracle.
+func exactEngines(t *testing.T, g *rdf.Graph, q *query.Query, label string) map[rdf.ID]float64 {
+	t.Helper()
+	st := testkit.BuildStore(g)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	want := testkit.BruteForce(g, q)
+	if got := ctj.Evaluate(st, pl); !testkit.MapsEqual(got, want, 1e-9) {
+		t.Errorf("%s: ctj disagrees with oracle: got %v want %v", label, got, want)
+	}
+	if got := lftj.Evaluate(st, pl); !testkit.MapsEqual(got, want, 1e-9) {
+		t.Errorf("%s: lftj disagrees with oracle: got %v want %v", label, got, want)
+	}
+	if got, err := baseline.Evaluate(st, pl); err != nil {
+		t.Errorf("%s: baseline: %v", label, err)
+	} else if !testkit.MapsEqual(got, want, 1e-9) {
+		t.Errorf("%s: baseline disagrees with oracle: got %v want %v", label, got, want)
+	}
+	return want
+}
+
+// estimateConverges runs the walk estimators for many steps and checks the
+// totals land near the exact answer. Tolerance is statistical, so the walk
+// counts are generous and the graphs small.
+func estimateConverges(t *testing.T, g *rdf.Graph, q *query.Query, want map[rdf.ID]float64, label string) {
+	t.Helper()
+	st := testkit.BuildStore(g)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatalf("%s: compile: %v", label, err)
+	}
+	total := 0.0
+	for _, v := range want {
+		total += v
+	}
+	check := func(engine string, res wj.Result) {
+		got := 0.0
+		for _, v := range res.Estimates {
+			got += v
+		}
+		// 25% relative + small absolute slack: generous, but the walk budget
+		// is big and a biased estimator drifts far outside this band.
+		tol := 0.25*total + 2
+		if d := got - total; d > tol || d < -tol {
+			t.Errorf("%s/%s: estimate total %.2f, exact %.2f (tolerance %.2f)", label, engine, got, total, tol)
+		}
+	}
+	if !q.Distinct {
+		// Plain Wander Join has no unbiased distinct estimator; skip it there.
+		wr := wj.New(st, pl, 11)
+		for i := 0; i < 60000; i++ {
+			wr.Step()
+		}
+		check("wj", wr.Snapshot())
+	}
+	if q.Agg == query.AggAvg && len(want) > 1 {
+		return // per-group AVG ratio comparison below is what matters; skip totals
+	}
+	aj := core.New(st, pl, core.Options{Threshold: 50, Seed: 13})
+	for i := 0; i < 20000; i++ {
+		aj.Step()
+	}
+	check("core", aj.Snapshot())
+}
+
+// TestFilterEquivalence: per-construct FILTER semantics agree across all
+// exact engines and the estimators converge to them.
+func TestFilterEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := surfaceGraph(seed)
+		preds := []rdf.ID{30, 31} // p0, p1 per RandomGraph's ID layout
+
+		// Numeric comparison on the counted variable.
+		q := testkit.ChainQuery(g, preds, true, false)
+		q.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q.Beta), R: query.ENum(5)}}
+		want := exactEngines(t, g, q, fmt.Sprintf("seed%d/gt", seed))
+		estimateConverges(t, g, q, want, fmt.Sprintf("seed%d/gt", seed))
+
+		// Arithmetic over two bound variables (mid and end of the chain).
+		q = testkit.ChainQuery(g, preds, false, false)
+		q.Filters = []query.Filter{{
+			Op: query.CmpLe,
+			L:  query.EArith(query.ArithAdd, query.EVar(1), query.EVar(q.Beta)),
+			R:  query.ENum(40),
+		}}
+		want = exactEngines(t, g, q, fmt.Sprintf("seed%d/arith", seed))
+		estimateConverges(t, g, q, want, fmt.Sprintf("seed%d/arith", seed))
+
+		// Inequality on the group variable against a term (ID comparison).
+		q = testkit.ChainQuery(g, preds, true, false)
+		q.Filters = []query.Filter{{Op: query.CmpNe, L: query.EVar(0), R: query.ETerm(3)}}
+		want = exactEngines(t, g, q, fmt.Sprintf("seed%d/ne", seed))
+		if _, hit := want[3]; hit {
+			t.Errorf("seed%d/ne: filtered-out group 3 present in result", seed)
+		}
+		estimateConverges(t, g, q, want, fmt.Sprintf("seed%d/ne", seed))
+
+		// DISTINCT under a filter: Audit Join's unbiased distinct estimator
+		// must account for filter-rejected paths in Pr(a,b).
+		q = testkit.ChainQuery(g, preds, true, true)
+		q.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q.Beta), R: query.ENum(3)}}
+		want = exactEngines(t, g, q, fmt.Sprintf("seed%d/distinct", seed))
+		estimateConverges(t, g, q, want, fmt.Sprintf("seed%d/distinct", seed))
+
+		// SUM with a filter that prunes non-numeric and small values.
+		q = testkit.ChainQuery(g, preds, true, false)
+		q.Agg = query.AggSum
+		q.Filters = []query.Filter{{Op: query.CmpGe, L: query.EVar(q.Beta), R: query.ENum(2)}}
+		want = exactEngines(t, g, q, fmt.Sprintf("seed%d/sum", seed))
+		estimateConverges(t, g, q, want, fmt.Sprintf("seed%d/sum", seed))
+	}
+}
+
+// TestFilterAllRejected: a filter nothing satisfies yields empty results, not
+// errors, on every engine.
+func TestFilterAllRejected(t *testing.T) {
+	g := surfaceGraph(7)
+	q := testkit.ChainQuery(g, []rdf.ID{30}, false, false)
+	q.Filters = []query.Filter{{Op: query.CmpLt, L: query.EVar(q.Beta), R: query.ENum(-1e9)}}
+	want := exactEngines(t, g, q, "allrejected")
+	if len(want) != 0 {
+		t.Fatalf("oracle found %v for an unsatisfiable filter", want)
+	}
+	st := testkit.BuildStore(g)
+	pl, err := query.Compile(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wr := wj.New(st, pl, 3)
+	for i := 0; i < 2000; i++ {
+		wr.Step()
+	}
+	res := wr.Snapshot()
+	for a, v := range res.Estimates {
+		if v != 0 {
+			t.Errorf("wj estimated %v for group %d under an unsatisfiable filter", v, a)
+		}
+	}
+	if res.Rejected == 0 {
+		t.Error("wj recorded no rejections under an unsatisfiable filter")
+	}
+}
+
+// TestUnionEquivalence: union bag semantics (and cross-branch DISTINCT dedup)
+// agree between the oracle and the exact union evaluators.
+func TestUnionEquivalence(t *testing.T) {
+	for seed := int64(1); seed <= 3; seed++ {
+		g := surfaceGraph(seed)
+		mk := func(p rdf.ID, distinct bool, agg query.AggFunc) *query.Query {
+			q := testkit.ChainQuery(g, []rdf.ID{p, 31}, true, distinct)
+			q.Agg = agg
+			return q
+		}
+		for _, tc := range []struct {
+			name     string
+			distinct bool
+			agg      query.AggFunc
+		}{
+			{"count", false, query.AggCount},
+			{"distinct", true, query.AggCount},
+			{"sum", false, query.AggSum},
+			{"avg", false, query.AggAvg},
+		} {
+			u := &query.UnionQuery{Branches: []*query.Query{
+				mk(30, tc.distinct, tc.agg),
+				mk(32, tc.distinct, tc.agg),
+			}}
+			// Overlapping branches: branch 3 repeats branch 1's first
+			// predicate so DISTINCT has cross-branch duplicates to collapse.
+			u.Branches = append(u.Branches, mk(30, tc.distinct, tc.agg))
+			if err := u.Validate(); err != nil {
+				t.Fatalf("seed%d/%s: %v", seed, tc.name, err)
+			}
+			want := testkit.BruteForceUnion(g, u)
+			d := surfaceDataset(g)
+			up, err := d.CompileUnion(u)
+			if err != nil {
+				t.Fatalf("seed%d/%s: %v", seed, tc.name, err)
+			}
+			for _, eng := range []ExactEngine{EngineCTJ, EngineLFTJ, EngineBaseline} {
+				got, err := d.ExactUnion(up, eng)
+				if err != nil {
+					t.Fatalf("seed%d/%s/%v: ExactUnion: %v", seed, tc.name, eng, err)
+				}
+				if !testkit.MapsEqual(got, want, 1e-9) {
+					t.Errorf("seed%d/%s/%v: ExactUnion disagrees with oracle: got %v want %v",
+						seed, tc.name, eng, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestUnionEstimation: the stratified union estimator converges to the exact
+// union for COUNT and SUM, and refuses DISTINCT.
+func TestUnionEstimation(t *testing.T) {
+	g := surfaceGraph(2)
+	d := surfaceDataset(g)
+	mk := func(p rdf.ID, agg query.AggFunc) *query.Query {
+		q := testkit.ChainQuery(g, []rdf.ID{p, 31}, false, false)
+		q.Agg = agg
+		return q
+	}
+	for _, tc := range []struct {
+		name string
+		agg  query.AggFunc
+	}{{"count", query.AggCount}, {"sum", query.AggSum}, {"avg", query.AggAvg}} {
+		u := &query.UnionQuery{Branches: []*query.Query{mk(30, tc.agg), mk(32, tc.agg)}}
+		up, err := query.CompileUnion(u)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		want := testkit.BruteForceUnion(g, u)
+		stepper, err := d.NewUnionEstimator(up, 17)
+		if err != nil {
+			t.Fatalf("%s: NewUnionEstimator: %v", tc.name, err)
+		}
+		for i := 0; i < 60000; i++ {
+			stepper.Step()
+		}
+		res := stepper.Snapshot()
+		got := res.Estimates[wj.GlobalGroup]
+		exact := want[testkit.GlobalGroup]
+		tol := 0.25*exact + 2
+		if diff := got - exact; diff > tol || diff < -tol {
+			t.Errorf("%s: union estimate %.2f, exact %.2f", tc.name, got, exact)
+		}
+	}
+
+	// DISTINCT over UNION is refused.
+	qd := testkit.ChainQuery(g, []rdf.ID{30, 31}, false, true)
+	qd2 := testkit.ChainQuery(g, []rdf.ID{32, 31}, false, true)
+	ud := &query.UnionQuery{Branches: []*query.Query{qd, qd2}}
+	upd, err := query.CompileUnion(ud)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.NewUnionEstimator(upd, 1); err != query.ErrDistinctUnion {
+		t.Errorf("distinct union estimator error = %v, want ErrDistinctUnion", err)
+	}
+}
+
+// TestPathEquivalence: desugared fixed-length paths evaluate identically to
+// the hand-written chains on every engine.
+func TestPathEquivalence(t *testing.T) {
+	g := surfaceGraph(4)
+	// ?x0 <p0>/<p1> ?y desugars to the 2-chain over p0, p1.
+	src := `SELECT ?a COUNT(?y) WHERE { ?a <p0>/<p1> ?y } GROUP BY ?a`
+	p, err := sparql.Parse(src, g.Dict)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chain := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	want := testkit.BruteForce(g, chain)
+	got := exactEngines(t, g, p.Query, "path")
+	if !testkit.MapsEqual(got, want, 1e-9) {
+		t.Errorf("path query disagrees with explicit chain: got %v want %v", got, want)
+	}
+	estimateConverges(t, g, p.Query, want, "path")
+}
+
+// TestFilterSignatureCacheSafety: plans differing only in filters must not
+// share CTJ caches (their signatures must differ).
+func TestFilterSignatureCacheSafety(t *testing.T) {
+	g := surfaceGraph(5)
+	q1 := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	q2 := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	q2.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q2.Beta), R: query.ENum(5)}}
+	if q1.Signature() == q2.Signature() {
+		t.Fatal("filtered and unfiltered queries share a signature")
+	}
+	q3 := testkit.ChainQuery(g, []rdf.ID{30, 31}, true, false)
+	q3.Filters = []query.Filter{{Op: query.CmpGt, L: query.EVar(q3.Beta), R: query.ENum(6)}}
+	if q2.Signature() == q3.Signature() {
+		t.Fatal("filters with different constants share a signature")
+	}
+}
+
+// TestBackendUnionEquivalence: the sharded and live backends evaluate unions
+// (with a filtered branch) identically to the oracle, and their union
+// estimators converge. Covers the acc-level stratified merge of
+// shard.UnionScatter (branch × shard strata, AVG included) and the live
+// walker union.
+func TestBackendUnionEquivalence(t *testing.T) {
+	g := surfaceGraph(6)
+	d := surfaceDataset(g)
+	mk := func(p rdf.ID, distinct bool, agg query.AggFunc) *query.Query {
+		q := testkit.ChainQuery(g, []rdf.ID{p, 31}, true, distinct)
+		q.Agg = agg
+		return q
+	}
+	for _, tc := range []struct {
+		name     string
+		distinct bool
+		agg      query.AggFunc
+	}{
+		{"count", false, query.AggCount},
+		{"sum", false, query.AggSum},
+		{"avg", false, query.AggAvg},
+		{"distinct", true, query.AggCount},
+	} {
+		u := &query.UnionQuery{Branches: []*query.Query{
+			mk(30, tc.distinct, tc.agg),
+			mk(32, tc.distinct, tc.agg),
+			mk(30, tc.distinct, tc.agg), // overlaps branch 0 for DISTINCT dedup
+		}}
+		// A filtered branch exercises FILTER through the union paths.
+		u.Branches[1].Filters = []query.Filter{
+			{Op: query.CmpGt, L: query.EVar(u.Branches[1].Beta), R: query.ENum(2)},
+		}
+		want := testkit.BruteForceUnion(g, u)
+		up, err := query.CompileUnion(u)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		total := 0.0
+		for _, v := range want {
+			total += v
+		}
+
+		for _, K := range []int{2, 3} {
+			sd, err := d.BuildSharded(K, "")
+			if err != nil {
+				t.Fatalf("%s/K%d: %v", tc.name, K, err)
+			}
+			got, err := sd.ExactUnionCtx(context.Background(), up)
+			if err != nil {
+				t.Fatalf("%s/K%d: ExactUnionCtx: %v", tc.name, K, err)
+			}
+			if !testkit.MapsEqual(got, want, 1e-9) {
+				t.Errorf("%s/K%d: sharded exact union disagrees: got %v want %v", tc.name, K, got, want)
+			}
+			if tc.distinct {
+				if _, err := sd.NewUnionScatter(up, ShardScatterOptions{Seed: 21}); err != query.ErrDistinctUnion {
+					t.Errorf("%s/K%d: distinct NewUnionScatter error = %v, want ErrDistinctUnion", tc.name, K, err)
+				}
+				// RunUnionScatter must fall back to the exact cross-branch union.
+				res, err := sd.RunUnionScatter(context.Background(), up, ShardScatterOptions{Seed: 21}, DriveOptions{MaxWalks: 100})
+				if err != nil {
+					t.Fatalf("%s/K%d: RunUnionScatter: %v", tc.name, K, err)
+				}
+				if !testkit.MapsEqual(res.Estimates, want, 1e-9) {
+					t.Errorf("%s/K%d: distinct union fallback disagrees: got %v want %v", tc.name, K, res.Estimates, want)
+				}
+				continue
+			}
+			us, err := sd.NewUnionScatter(up, ShardScatterOptions{Seed: 21})
+			if err != nil {
+				t.Fatalf("%s/K%d: NewUnionScatter: %v", tc.name, K, err)
+			}
+			for i := 0; i < 60000; i++ {
+				us.Step()
+			}
+			res := us.Snapshot()
+			gotTotal := 0.0
+			for _, v := range res.Estimates {
+				gotTotal += v
+			}
+			tol := 0.25*total + 2
+			if diff := gotTotal - total; diff > tol || diff < -tol {
+				t.Errorf("%s/K%d: union scatter total %.2f, exact %.2f (tol %.2f)", tc.name, K, gotTotal, total, tol)
+			}
+		}
+
+		ld, err := surfaceDataset(g).Live(LiveOptions{})
+		if err != nil {
+			t.Fatalf("%s: Live: %v", tc.name, err)
+		}
+		got, err := ld.ExactUnionCtx(context.Background(), up)
+		if err != nil {
+			t.Fatalf("%s: live ExactUnionCtx: %v", tc.name, err)
+		}
+		if !testkit.MapsEqual(got, want, 1e-9) {
+			t.Errorf("%s: live exact union disagrees: got %v want %v", tc.name, got, want)
+		}
+		if tc.distinct {
+			if _, err := ld.NewUnionEstimator(up, LiveWalkerOptions{Seed: 23}); err != query.ErrDistinctUnion {
+				t.Errorf("%s: live distinct union estimator error = %v, want ErrDistinctUnion", tc.name, err)
+			}
+			continue
+		}
+		le, err := ld.NewUnionEstimator(up, LiveWalkerOptions{Threshold: -1, Seed: 23})
+		if err != nil {
+			t.Fatalf("%s: live NewUnionEstimator: %v", tc.name, err)
+		}
+		for i := 0; i < 60000; i++ {
+			le.Step()
+		}
+		res := le.Snapshot()
+		gotTotal := 0.0
+		for _, v := range res.Estimates {
+			gotTotal += v
+		}
+		tol := 0.25*total + 2
+		if diff := gotTotal - total; diff > tol || diff < -tol {
+			t.Errorf("%s: live union total %.2f, exact %.2f (tol %.2f)", tc.name, gotTotal, total, tol)
+		}
+	}
+}
